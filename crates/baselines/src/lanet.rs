@@ -1,0 +1,154 @@
+//! LaNet-vi-style K-Core shell layout [6].
+//!
+//! LaNet-vi places vertices on concentric annuli by core number: the densest
+//! cores sit at the center, lower shells further out, and vertices of one
+//! shell are spread angularly so that vertices of the same higher-core cluster
+//! stay close. The densest K-Core therefore appears as a small central blob —
+//! which is exactly why Task 1/Task 2 of the user study are harder with this
+//! picture when that blob is small (Figures 12(b,e,h)).
+
+use crate::svg::{Point2, PositionedGraph};
+use measures::core_numbers;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use ugraph::{CsrGraph, VertexId};
+
+/// Result of a LaNet-vi-style layout.
+#[derive(Clone, Debug)]
+pub struct LanetLayout {
+    /// Positions per vertex (and core numbers as the color value).
+    pub layout: PositionedGraph,
+    /// Core number per vertex (the shell index).
+    pub core: Vec<usize>,
+    /// The maximum core number (innermost shell).
+    pub max_core: usize,
+}
+
+/// Compute the LaNet-vi-style shell layout.
+///
+/// * Vertices with core number `c` are placed on a ring of radius
+///   `(max_core - c + jitter) / max_core` (innermost = densest).
+/// * Angular positions group vertices by the connected component of their
+///   `>= c` core subgraph, so each dense core occupies an angular sector.
+pub fn lanet_layout(graph: &CsrGraph, seed: u64) -> LanetLayout {
+    let n = graph.vertex_count();
+    let decomposition = core_numbers(graph);
+    let core = decomposition.core.clone();
+    let max_core = decomposition.degeneracy.max(1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut positions = vec![Point2::default(); n];
+
+    if n == 0 {
+        return LanetLayout {
+            layout: PositionedGraph { positions, color_value: None },
+            core,
+            max_core,
+        };
+    }
+
+    // Angular anchor per vertex: BFS over the whole graph from the highest-core
+    // vertex assigns consecutive angles, so connected regions share a sector.
+    let mut order: Vec<VertexId> = graph.vertices().collect();
+    order.sort_by_key(|v| std::cmp::Reverse(core[v.index()]));
+    let mut angle_of = vec![f64::NAN; n];
+    let mut next_angle = 0.0f64;
+    let angle_step = std::f64::consts::TAU / n as f64;
+    let mut queue = std::collections::VecDeque::new();
+    for &start in &order {
+        if !angle_of[start.index()].is_nan() {
+            continue;
+        }
+        angle_of[start.index()] = next_angle;
+        next_angle += angle_step;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for u in graph.neighbor_vertices(v) {
+                if angle_of[u.index()].is_nan() {
+                    angle_of[u.index()] = next_angle;
+                    next_angle += angle_step;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+
+    for v in 0..n {
+        let shell = core[v];
+        // Radius: innermost shell (max core) near 0, shell 0 at radius 1.
+        let base_radius = (max_core - shell) as f64 / max_core as f64;
+        let radius = (base_radius + rng.gen::<f64>() * 0.04).min(1.0);
+        let angle = angle_of[v] + rng.gen::<f64>() * angle_step * 0.5;
+        positions[v] = Point2::new(0.5 + 0.5 * radius * angle.cos(), 0.5 + 0.5 * radius * angle.sin());
+    }
+
+    LanetLayout {
+        layout: PositionedGraph {
+            positions,
+            color_value: Some(core.iter().map(|&c| c as f64).collect()),
+        },
+        core,
+        max_core,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::GraphBuilder;
+
+    fn clique_with_tail() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6u32 {
+                b.add_edge(u, v);
+            }
+        }
+        b.add_edge(5, 6);
+        b.add_edge(6, 7);
+        b.build()
+    }
+
+    #[test]
+    fn denser_cores_sit_closer_to_the_center() {
+        let g = clique_with_tail();
+        let result = lanet_layout(&g, 3);
+        let center = Point2::new(0.5, 0.5);
+        let clique_radius: f64 = (0..6)
+            .map(|v| result.layout.positions[v].distance(&center))
+            .sum::<f64>()
+            / 6.0;
+        let tail_radius: f64 = (6..8)
+            .map(|v| result.layout.positions[v].distance(&center))
+            .sum::<f64>()
+            / 2.0;
+        assert!(
+            clique_radius < tail_radius,
+            "clique at radius {clique_radius:.3} should be inside tail at {tail_radius:.3}"
+        );
+        assert_eq!(result.max_core, 5);
+    }
+
+    #[test]
+    fn layout_is_deterministic_and_bounded() {
+        let g = clique_with_tail();
+        let a = lanet_layout(&g, 9);
+        let b = lanet_layout(&g, 9);
+        assert_eq!(a.layout.positions, b.layout.positions);
+        for p in &a.layout.positions {
+            assert!((0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y));
+        }
+        // Color value carries the core numbers.
+        assert_eq!(
+            a.layout.color_value.unwrap(),
+            a.core.iter().map(|&c| c as f64).collect::<Vec<f64>>()
+        );
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        let result = lanet_layout(&g, 0);
+        assert!(result.layout.positions.is_empty());
+    }
+}

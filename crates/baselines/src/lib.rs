@@ -1,0 +1,34 @@
+//! # baselines — comparison visualizations from the paper's evaluation
+//!
+//! The paper's experiments and user study compare the terrain visualization
+//! against existing techniques:
+//!
+//! * the classic **Fruchterman–Reingold spring layout** [31]
+//!   (Figures 6(a,b), the linked 2D displays, Figures 9(b), 10(b,c));
+//! * **LaNet-vi** [6], which draws K-Cores as concentric shells
+//!   (Figures 6(f), 12(b,e,h));
+//! * **OpenOrd** [26], a multilevel force-directed layout for large graphs
+//!   (Figures 12(c,f,i), 13(b));
+//! * the **CSV plot** [1], a cohesion curve over a vertex ordering
+//!   (Figure 6(g)).
+//!
+//! As discussed in DESIGN.md §4 these are reimplemented in simplified form:
+//! what the comparisons (and the simulated user study) need is each method's
+//! characteristic geometry — shells for LaNet-vi, cluster blobs for OpenOrd,
+//! a 1D cohesion curve for CSV — not pixel-exact output of the original
+//! binaries. Every layout is deterministic given its seed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod csv_plot;
+pub mod lanet;
+pub mod openord;
+pub mod spring;
+pub mod svg;
+
+pub use csv_plot::{csv_plot, CsvPlot};
+pub use lanet::{lanet_layout, LanetLayout};
+pub use openord::{openord_layout, OpenOrdConfig};
+pub use spring::{spring_layout, SpringConfig};
+pub use svg::{layout_to_svg, Point2, PositionedGraph};

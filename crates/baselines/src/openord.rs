@@ -1,0 +1,209 @@
+//! OpenOrd-style multilevel force layout [26].
+//!
+//! OpenOrd coarsens the graph, lays out the coarse graph, then refines level
+//! by level with force-directed passes whose edge-cutting schedule emphasizes
+//! cluster separation. The simplified reimplementation keeps the multilevel
+//! skeleton — heavy-edge-matching coarsening, recursive layout, placement of
+//! children around their coarse parent, local spring refinement — which is
+//! what gives OpenOrd its characteristic "cluster blob" geometry in
+//! Figures 12(c,f,i) and 13(b).
+
+use crate::spring::{spring_layout, SpringConfig};
+use crate::svg::{Point2, PositionedGraph};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use ugraph::{CsrGraph, GraphBuilder, VertexId};
+
+/// Configuration of the multilevel layout.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenOrdConfig {
+    /// Stop coarsening when the graph has at most this many vertices.
+    pub min_coarse_size: usize,
+    /// Maximum number of coarsening levels.
+    pub max_levels: usize,
+    /// Spring iterations per refinement level.
+    pub refine_iterations: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for OpenOrdConfig {
+    fn default() -> Self {
+        OpenOrdConfig { min_coarse_size: 50, max_levels: 8, refine_iterations: 25, seed: 0x0bd }
+    }
+}
+
+/// Compute an OpenOrd-style multilevel layout.
+pub fn openord_layout(graph: &CsrGraph, config: &OpenOrdConfig) -> PositionedGraph {
+    let n = graph.vertex_count();
+    if n == 0 {
+        return PositionedGraph { positions: Vec::new(), color_value: None };
+    }
+    layout_recursive(graph, config, 0)
+}
+
+fn layout_recursive(graph: &CsrGraph, config: &OpenOrdConfig, level: usize) -> PositionedGraph {
+    let n = graph.vertex_count();
+    if n <= config.min_coarse_size || level >= config.max_levels {
+        return spring_layout(
+            graph,
+            &SpringConfig {
+                iterations: config.refine_iterations * 2,
+                area_side: 1.0,
+                seed: config.seed ^ level as u64,
+            },
+        );
+    }
+
+    // Heavy-edge matching: greedily pair each unmatched vertex with an
+    // unmatched neighbor (highest-degree neighbor first, which tends to merge
+    // within clusters).
+    let mut matched = vec![u32::MAX; n];
+    let mut order: Vec<VertexId> = graph.vertices().collect();
+    order.sort_by_key(|v| std::cmp::Reverse(graph.degree(*v)));
+    let mut coarse_count = 0u32;
+    for &v in &order {
+        if matched[v.index()] != u32::MAX {
+            continue;
+        }
+        let partner = graph
+            .neighbor_vertices(v)
+            .find(|u| matched[u.index()] == u32::MAX && *u != v);
+        matched[v.index()] = coarse_count;
+        if let Some(u) = partner {
+            matched[u.index()] = coarse_count;
+        }
+        coarse_count += 1;
+    }
+
+    // Build the coarse graph.
+    let mut coarse_builder = GraphBuilder::new();
+    coarse_builder.ensure_vertex(coarse_count.saturating_sub(1));
+    for e in graph.edges() {
+        let cu = matched[e.u.index()];
+        let cv = matched[e.v.index()];
+        if cu != cv {
+            coarse_builder.add_edge(cu, cv);
+        }
+    }
+    let coarse = coarse_builder.build();
+    let coarse_layout = layout_recursive(&coarse, config, level + 1);
+
+    // Refine: place each fine vertex near its coarse representative with a
+    // small deterministic jitter, then run a short spring pass.
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(level as u64 * 7919));
+    let jitter = 0.5f64.powi(level as i32 + 3);
+    let positions: Vec<Point2> = (0..n)
+        .map(|v| {
+            let c = matched[v] as usize;
+            let base = coarse_layout.positions[c];
+            Point2::new(
+                (base.x + (rng.gen::<f64>() - 0.5) * jitter).clamp(0.0, 1.0),
+                (base.y + (rng.gen::<f64>() - 0.5) * jitter).clamp(0.0, 1.0),
+            )
+        })
+        .collect();
+
+    refine_with_springs(graph, positions, config.refine_iterations)
+}
+
+/// A short local spring refinement starting from given positions.
+fn refine_with_springs(
+    graph: &CsrGraph,
+    mut positions: Vec<Point2>,
+    iterations: usize,
+) -> PositionedGraph {
+    let n = graph.vertex_count();
+    if n <= 1 {
+        return PositionedGraph { positions, color_value: None };
+    }
+    let k = (1.0 / n as f64).sqrt();
+    for iteration in 0..iterations {
+        let temperature = 0.03 * (1.0 - iteration as f64 / iterations.max(1) as f64) + 1e-4;
+        let mut disp = vec![Point2::default(); n];
+        // Attraction along edges plus mild repulsion from graph-adjacent
+        // 2-hop crowding (cheap local forces only — the global structure comes
+        // from the coarse level).
+        for e in graph.edges() {
+            let dx = positions[e.u.index()].x - positions[e.v.index()].x;
+            let dy = positions[e.u.index()].y - positions[e.v.index()].y;
+            let dist = (dx * dx + dy * dy).sqrt().max(1e-9);
+            let attract = dist * dist / k;
+            let repulse = k * k / dist;
+            let net = attract - repulse;
+            disp[e.u.index()].x -= dx / dist * net;
+            disp[e.u.index()].y -= dy / dist * net;
+            disp[e.v.index()].x += dx / dist * net;
+            disp[e.v.index()].y += dy / dist * net;
+        }
+        for v in 0..n {
+            let len = (disp[v].x * disp[v].x + disp[v].y * disp[v].y).sqrt().max(1e-9);
+            let step = len.min(temperature);
+            positions[v].x = (positions[v].x + disp[v].x / len * step).clamp(0.0, 1.0);
+            positions[v].y = (positions[v].y + disp[v].y / len * step).clamp(0.0, 1.0);
+        }
+    }
+    PositionedGraph { positions, color_value: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::generators::planted_partition;
+    use ugraph::GraphBuilder;
+
+    #[test]
+    fn layout_is_deterministic_and_bounded() {
+        let planted = planted_partition(&[60, 60], 0.2, 0.01, 3);
+        let a = openord_layout(&planted.graph, &OpenOrdConfig::default());
+        let b = openord_layout(&planted.graph, &OpenOrdConfig::default());
+        assert_eq!(a.positions, b.positions);
+        for p in &a.positions {
+            assert!((0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y));
+        }
+        assert_eq!(a.positions.len(), 120);
+    }
+
+    #[test]
+    fn planted_clusters_separate_spatially() {
+        let planted = planted_partition(&[80, 80], 0.15, 0.002, 9);
+        let layout = openord_layout(&planted.graph, &OpenOrdConfig::default());
+        // Mean intra-cluster distance should be smaller than the distance
+        // between the two cluster centroids' members.
+        let centroid = |range: std::ops::Range<usize>| -> Point2 {
+            let mut cx = 0.0;
+            let mut cy = 0.0;
+            let len = range.len() as f64;
+            for v in range {
+                cx += layout.positions[v].x;
+                cy += layout.positions[v].y;
+            }
+            Point2::new(cx / len, cy / len)
+        };
+        let c0 = centroid(0..80);
+        let c1 = centroid(80..160);
+        let spread = |range: std::ops::Range<usize>, c: &Point2| -> f64 {
+            let len = range.len() as f64;
+            range.map(|v| layout.positions[v].distance(c)).sum::<f64>() / len
+        };
+        let s0 = spread(0..80, &c0);
+        let s1 = spread(80..160, &c1);
+        let separation = c0.distance(&c1);
+        assert!(
+            separation > 0.5 * (s0 + s1),
+            "clusters should separate: centroids {separation:.3} apart vs spreads {s0:.3}/{s1:.3}"
+        );
+    }
+
+    #[test]
+    fn small_graphs_skip_coarsening() {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0u32, 1u32), (1, 2)]);
+        let g = b.build();
+        let layout = openord_layout(&g, &OpenOrdConfig::default());
+        assert_eq!(layout.positions.len(), 3);
+        let g = GraphBuilder::new().build();
+        assert!(openord_layout(&g, &OpenOrdConfig::default()).positions.is_empty());
+    }
+}

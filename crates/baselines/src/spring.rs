@@ -1,0 +1,176 @@
+//! Fruchterman–Reingold force-directed ("spring") layout [31].
+//!
+//! The classic baseline of Figures 6(a,b): nodes repel each other, edges pull
+//! their endpoints together, and the step size cools over the iterations. The
+//! implementation uses a simple spatial grid to keep the repulsion pass near
+//! linear in the number of vertices, which is enough for the graph sizes the
+//! figures and user study use.
+
+use crate::svg::{Point2, PositionedGraph};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use ugraph::CsrGraph;
+
+/// Configuration of the spring layout.
+#[derive(Clone, Copy, Debug)]
+pub struct SpringConfig {
+    /// Number of iterations.
+    pub iterations: usize,
+    /// Side length of the square layout area.
+    pub area_side: f64,
+    /// PRNG seed for the initial placement.
+    pub seed: u64,
+}
+
+impl Default for SpringConfig {
+    fn default() -> Self {
+        SpringConfig { iterations: 60, area_side: 1.0, seed: 0x5eed }
+    }
+}
+
+/// Compute a Fruchterman–Reingold layout.
+pub fn spring_layout(graph: &CsrGraph, config: &SpringConfig) -> PositionedGraph {
+    let n = graph.vertex_count();
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let side = config.area_side;
+    let mut positions: Vec<Point2> = (0..n)
+        .map(|_| Point2::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side))
+        .collect();
+    if n <= 1 {
+        return PositionedGraph { positions, color_value: None };
+    }
+
+    // Ideal pairwise distance.
+    let k = side * (1.0 / n as f64).sqrt();
+    let mut displacement = vec![Point2::default(); n];
+
+    for iteration in 0..config.iterations {
+        let temperature =
+            side * 0.1 * (1.0 - iteration as f64 / config.iterations.max(1) as f64) + 1e-4;
+        for d in &mut displacement {
+            *d = Point2::default();
+        }
+
+        // Repulsive forces via a uniform grid of cell size ~2k: only nearby
+        // pairs contribute meaningfully, so only neighbors of grid cells are
+        // examined.
+        let cell = (2.0 * k).max(1e-6);
+        let cols = (side / cell).ceil().max(1.0) as i64;
+        let cell_of = |p: &Point2| -> (i64, i64) {
+            (
+                ((p.x / cell).floor() as i64).clamp(0, cols - 1),
+                ((p.y / cell).floor() as i64).clamp(0, cols - 1),
+            )
+        };
+        let mut grid: std::collections::HashMap<(i64, i64), Vec<usize>> =
+            std::collections::HashMap::new();
+        for (v, p) in positions.iter().enumerate() {
+            grid.entry(cell_of(p)).or_default().push(v);
+        }
+        for (v, p) in positions.iter().enumerate() {
+            let (cx, cy) = cell_of(p);
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    let Some(neighbors) = grid.get(&(cx + dx, cy + dy)) else { continue };
+                    for &u in neighbors {
+                        if u == v {
+                            continue;
+                        }
+                        let delta_x = positions[v].x - positions[u].x;
+                        let delta_y = positions[v].y - positions[u].y;
+                        let dist = (delta_x * delta_x + delta_y * delta_y).sqrt().max(1e-9);
+                        let force = k * k / dist;
+                        displacement[v].x += delta_x / dist * force;
+                        displacement[v].y += delta_y / dist * force;
+                    }
+                }
+            }
+        }
+
+        // Attractive forces along edges.
+        for e in graph.edges() {
+            let delta_x = positions[e.u.index()].x - positions[e.v.index()].x;
+            let delta_y = positions[e.u.index()].y - positions[e.v.index()].y;
+            let dist = (delta_x * delta_x + delta_y * delta_y).sqrt().max(1e-9);
+            let force = dist * dist / k;
+            let fx = delta_x / dist * force;
+            let fy = delta_y / dist * force;
+            displacement[e.u.index()].x -= fx;
+            displacement[e.u.index()].y -= fy;
+            displacement[e.v.index()].x += fx;
+            displacement[e.v.index()].y += fy;
+        }
+
+        // Apply displacements, limited by the temperature, and clamp to area.
+        for v in 0..n {
+            let d = &displacement[v];
+            let len = (d.x * d.x + d.y * d.y).sqrt().max(1e-9);
+            let step = len.min(temperature);
+            positions[v].x = (positions[v].x + d.x / len * step).clamp(0.0, side);
+            positions[v].y = (positions[v].y + d.y / len * step).clamp(0.0, side);
+        }
+    }
+
+    PositionedGraph { positions, color_value: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::generators::planted_partition;
+    use ugraph::GraphBuilder;
+
+    #[test]
+    fn layout_is_deterministic_and_in_bounds() {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0u32, 1u32), (1, 2), (2, 0), (2, 3)]);
+        let g = b.build();
+        let a = spring_layout(&g, &SpringConfig::default());
+        let c = spring_layout(&g, &SpringConfig::default());
+        assert_eq!(a.positions, c.positions);
+        for p in &a.positions {
+            assert!((0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn connected_vertices_end_up_closer_than_random_pairs() {
+        let planted = planted_partition(&[30, 30], 0.35, 0.01, 5);
+        let layout = spring_layout(&planted.graph, &SpringConfig { iterations: 80, ..Default::default() });
+        // Average distance between adjacent vertices vs between a sample of
+        // non-adjacent cross-community pairs.
+        let mut adjacent = 0.0;
+        let mut count = 0usize;
+        for e in planted.graph.edges() {
+            adjacent += layout.positions[e.u.index()].distance(&layout.positions[e.v.index()]);
+            count += 1;
+        }
+        adjacent /= count as f64;
+        let mut cross = 0.0;
+        let mut cross_count = 0usize;
+        for u in 0..30 {
+            for v in 30..60 {
+                if !planted.graph.has_edge(ugraph::VertexId(u), ugraph::VertexId(v)) {
+                    cross += layout.positions[u as usize].distance(&layout.positions[v as usize]);
+                    cross_count += 1;
+                }
+            }
+        }
+        cross /= cross_count as f64;
+        assert!(
+            adjacent < cross,
+            "adjacent pairs ({adjacent:.3}) should sit closer than cross-community pairs ({cross:.3})"
+        );
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        let g = GraphBuilder::new().build();
+        assert!(spring_layout(&g, &SpringConfig::default()).positions.is_empty());
+        let mut b = GraphBuilder::new();
+        b.ensure_vertex(0);
+        let g = b.build();
+        assert_eq!(spring_layout(&g, &SpringConfig::default()).positions.len(), 1);
+    }
+}

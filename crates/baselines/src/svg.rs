@@ -1,0 +1,203 @@
+//! Shared node-link rendering types and SVG export for the baseline layouts.
+
+use std::fmt::Write as _;
+use ugraph::CsrGraph;
+
+/// A point in layout space.
+#[derive(Copy, Clone, Debug, PartialEq, Default)]
+pub struct Point2 {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Construct a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point2) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// A graph together with a 2D position per vertex (the output of every
+/// baseline layout).
+#[derive(Clone, Debug)]
+pub struct PositionedGraph {
+    /// Vertex positions, indexed by vertex id.
+    pub positions: Vec<Point2>,
+    /// Optional per-vertex value used for coloring (e.g. core number).
+    pub color_value: Option<Vec<f64>>,
+}
+
+impl PositionedGraph {
+    /// Bounding box of the positions as `(min, max)`.
+    pub fn bounds(&self) -> Option<(Point2, Point2)> {
+        if self.positions.is_empty() {
+            return None;
+        }
+        let mut min = Point2::new(f64::INFINITY, f64::INFINITY);
+        let mut max = Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in &self.positions {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+        Some((min, max))
+    }
+
+    /// Fraction of vertex pairs closer than `radius` — a crude measure of
+    /// node occlusion used by the simulated user study (sampled for large
+    /// graphs, exact for small ones).
+    pub fn occlusion_fraction(&self, radius: f64) -> f64 {
+        let n = self.positions.len();
+        if n < 2 {
+            return 0.0;
+        }
+        // Sampling cap keeps this O(1e6) comparisons at most.
+        let stride = ((n * n) as f64 / 1_000_000.0).sqrt().ceil().max(1.0) as usize;
+        let mut close = 0usize;
+        let mut total = 0usize;
+        let mut i = 0;
+        while i < n {
+            let mut j = i + stride;
+            while j < n {
+                total += 1;
+                if self.positions[i].distance(&self.positions[j]) < radius {
+                    close += 1;
+                }
+                j += stride;
+            }
+            i += stride;
+        }
+        if total == 0 {
+            0.0
+        } else {
+            close as f64 / total as f64
+        }
+    }
+}
+
+/// Render a positioned graph as a node-link SVG diagram.
+///
+/// Vertices are colored by `color_value` (blue→red) when present. Edges are
+/// drawn for graphs up to `max_edges_drawn`; beyond that only vertices are
+/// drawn (the same pragmatic cut-off large-graph tools make).
+pub fn layout_to_svg(
+    graph: &CsrGraph,
+    layout: &PositionedGraph,
+    width_px: f64,
+    height_px: f64,
+    max_edges_drawn: usize,
+) -> String {
+    let mut out = String::new();
+    let Some((min, max)) = layout.bounds() else {
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" height="{height_px}"/>"#
+        );
+        return out;
+    };
+    let span_x = (max.x - min.x).max(1e-9);
+    let span_y = (max.y - min.y).max(1e-9);
+    let scale = ((width_px - 20.0) / span_x).min((height_px - 20.0) / span_y);
+    let to_px = |p: &Point2| -> (f64, f64) {
+        ((p.x - min.x) * scale + 10.0, (p.y - min.y) * scale + 10.0)
+    };
+
+    let normalized_colors: Option<Vec<f64>> = layout.color_value.as_ref().map(|values| {
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if hi > lo {
+            values.iter().map(|&v| (v - lo) / (hi - lo)).collect()
+        } else {
+            vec![0.5; values.len()]
+        }
+    });
+
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" height="{height_px}" viewBox="0 0 {width_px} {height_px}">"#
+    );
+    if graph.edge_count() <= max_edges_drawn {
+        for e in graph.edges() {
+            let a = to_px(&layout.positions[e.u.index()]);
+            let b = to_px(&layout.positions[e.v.index()]);
+            let _ = writeln!(
+                out,
+                r##"  <line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#999999" stroke-width="0.4"/>"##,
+                a.0, a.1, b.0, b.1
+            );
+        }
+    }
+    for v in graph.vertices() {
+        let p = to_px(&layout.positions[v.index()]);
+        let fill = match &normalized_colors {
+            Some(colors) => {
+                let t = colors[v.index()];
+                // Simple blue→red ramp.
+                let r = (255.0 * t) as u8;
+                let b = (255.0 * (1.0 - t)) as u8;
+                format!("#{r:02x}40{b:02x}")
+            }
+            None => "#3366cc".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            r#"  <circle cx="{:.1}" cy="{:.1}" r="2.0" fill="{}"/>"#,
+            p.0, p.1, fill
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::GraphBuilder;
+
+    #[test]
+    fn point_distance() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_and_occlusion() {
+        let layout = PositionedGraph {
+            positions: vec![Point2::new(0.0, 0.0), Point2::new(1.0, 1.0), Point2::new(0.01, 0.01)],
+            color_value: None,
+        };
+        let (min, max) = layout.bounds().unwrap();
+        assert_eq!(min, Point2::new(0.0, 0.0));
+        assert_eq!(max, Point2::new(1.0, 1.0));
+        // One of the three pairs is very close.
+        let occ = layout.occlusion_fraction(0.1);
+        assert!(occ > 0.0 && occ < 1.0);
+        assert_eq!(PositionedGraph { positions: vec![], color_value: None }.occlusion_fraction(0.1), 0.0);
+    }
+
+    #[test]
+    fn svg_contains_nodes_and_edges() {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0u32, 1u32), (1, 2)]);
+        let g = b.build();
+        let layout = PositionedGraph {
+            positions: vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0), Point2::new(0.5, 1.0)],
+            color_value: Some(vec![0.0, 1.0, 2.0]),
+        };
+        let svg = layout_to_svg(&g, &layout, 200.0, 200.0, 1000);
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert_eq!(svg.matches("<line").count(), 2);
+        // Edge drawing is suppressed beyond the cap.
+        let svg = layout_to_svg(&g, &layout, 200.0, 200.0, 1);
+        assert_eq!(svg.matches("<line").count(), 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Criterion bench: Local/Global Correlation Index computation (Section II-F,
+//! the analysis behind Figure 10) and the exact-vs-sampled betweenness
+//! ablation that feeds it.
+
+use bench::datasets::DatasetKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use measures::{betweenness_centrality, betweenness_centrality_sampled, degrees};
+use scalarfield::{global_correlation_index, local_correlation_index};
+
+fn bench_correlation(c: &mut Criterion) {
+    let dataset = DatasetKind::Astro.generate(0.08);
+    let graph = dataset.graph;
+    let degree_field: Vec<f64> = degrees(&graph).iter().map(|&d| d as f64).collect();
+    let betweenness = betweenness_centrality_sampled(&graph, 64, 3);
+
+    let mut group = c.benchmark_group("correlation_index");
+    group.bench_function("lci_1hop", |b| {
+        b.iter(|| local_correlation_index(&graph, &degree_field, &betweenness, 1).unwrap().len())
+    });
+    group.bench_function("gci_1hop", |b| {
+        b.iter(|| global_correlation_index(&graph, &degree_field, &betweenness, 1).unwrap())
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("betweenness");
+    group.sample_size(10);
+    group.bench_function("exact", |b| b.iter(|| betweenness_centrality(&graph).len()));
+    for samples in [32usize, 128] {
+        group.bench_with_input(BenchmarkId::new("sampled", samples), &samples, |b, &samples| {
+            b.iter(|| betweenness_centrality_sampled(&graph, samples, 7).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_correlation
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench: Algorithm 3 vs the naive dual-graph edge tree — the
+//! `tc` vs `te` comparison of Table II for KT(e).
+
+use bench::datasets::DatasetKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use measures::truss_numbers;
+use scalarfield::{build_super_tree, edge_scalar_tree, edge_scalar_tree_naive, EdgeScalarGraph};
+
+fn bench_edge_tree_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_scalar_tree");
+    for (kind, scale) in [(DatasetKind::GrQc, 0.35), (DatasetKind::WikiVote, 0.12)] {
+        let dataset = kind.generate(scale);
+        let graph = dataset.graph.clone();
+        let truss = truss_numbers(&graph);
+        let scalar: Vec<f64> = truss.truss.iter().map(|&t| t as f64).collect();
+        group.throughput(Throughput::Elements(graph.edge_count() as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("alg3_optimized", dataset.spec.name),
+            &(&graph, &scalar),
+            |b, (graph, scalar)| {
+                b.iter(|| {
+                    let sg = EdgeScalarGraph::new(graph, scalar).unwrap();
+                    build_super_tree(&edge_scalar_tree(&sg)).node_count()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive_dual_graph", dataset.spec.name),
+            &(&graph, &scalar),
+            |b, (graph, scalar)| {
+                b.iter(|| {
+                    let sg = EdgeScalarGraph::new(graph, scalar).unwrap();
+                    build_super_tree(&edge_scalar_tree_naive(&sg)).node_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_edge_tree_methods
+}
+criterion_main!(benches);

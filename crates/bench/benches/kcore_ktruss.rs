@@ -1,0 +1,33 @@
+//! Criterion bench: the scalar-field substrates — K-Core and K-Truss
+//! decompositions — whose outputs feed every terrain of Figures 1, 6 and 7.
+
+use bench::datasets::DatasetKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use measures::{core_numbers, truss_numbers};
+
+fn bench_decompositions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompositions");
+    for (kind, scale) in [(DatasetKind::GrQc, 0.5), (DatasetKind::WikiVote, 0.2)] {
+        let dataset = kind.generate(scale);
+        let graph = dataset.graph.clone();
+        group.throughput(Throughput::Elements(graph.edge_count() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("kcore", dataset.spec.name),
+            &graph,
+            |b, graph| b.iter(|| core_numbers(graph).degeneracy),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ktruss", dataset.spec.name),
+            &graph,
+            |b, graph| b.iter(|| truss_numbers(graph).max_truss),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_decompositions
+}
+criterion_main!(benches);

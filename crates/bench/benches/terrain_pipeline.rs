@@ -1,0 +1,51 @@
+//! Criterion bench: terrain layout, meshing and SVG serialization — the `tv`
+//! column of Table II — plus the simplification ablation (how much the render
+//! budget of Section II-E buys).
+
+use bench::datasets::DatasetKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use measures::core_numbers;
+use scalarfield::{build_super_tree, simplify_super_tree, vertex_scalar_tree, VertexScalarGraph};
+use terrain::{build_terrain_mesh, layout_super_tree, terrain_to_svg, LayoutConfig, MeshConfig};
+
+fn bench_terrain_rendering(c: &mut Criterion) {
+    let dataset = DatasetKind::GrQc.generate(0.5);
+    let graph = dataset.graph;
+    let cores = core_numbers(&graph);
+    let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
+    let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+    let tree = build_super_tree(&vertex_scalar_tree(&sg));
+
+    let mut group = c.benchmark_group("terrain_rendering");
+    group.bench_function("layout_mesh_svg", |b| {
+        b.iter(|| {
+            let layout = layout_super_tree(&tree, &LayoutConfig::default());
+            let mesh = build_terrain_mesh(&tree, &layout, &MeshConfig::default());
+            terrain_to_svg(&mesh, 900.0, 700.0).len()
+        })
+    });
+
+    // Simplification ablation: rendering cost after discretizing to N levels.
+    for levels in [64usize, 16, 4] {
+        let simplified = simplify_super_tree(&tree, levels);
+        group.bench_with_input(
+            BenchmarkId::new("simplified_levels", levels),
+            &simplified,
+            |b, simplified| {
+                b.iter(|| {
+                    let layout = layout_super_tree(simplified, &LayoutConfig::default());
+                    let mesh = build_terrain_mesh(simplified, &layout, &MeshConfig::default());
+                    terrain_to_svg(&mesh, 900.0, 700.0).len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_terrain_rendering
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench: vertex scalar tree construction (Algorithm 1 + Algorithm 2)
+//! across dataset analogs and sizes — the `tc` column of Table II for KC(v).
+
+use bench::datasets::DatasetKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use measures::core_numbers;
+use scalarfield::{build_super_tree, vertex_scalar_tree, VertexScalarGraph};
+
+fn bench_vertex_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vertex_scalar_tree");
+    for (kind, scale) in [
+        (DatasetKind::GrQc, 0.5),
+        (DatasetKind::WikiVote, 0.25),
+        (DatasetKind::Ppi, 0.5),
+    ] {
+        let dataset = kind.generate(scale);
+        let graph = dataset.graph.clone();
+        let cores = core_numbers(&graph);
+        let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
+        group.throughput(Throughput::Elements(graph.edge_count() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("alg1_plus_alg2", dataset.spec.name),
+            &(&graph, &scalar),
+            |b, (graph, scalar)| {
+                b.iter(|| {
+                    let sg = VertexScalarGraph::new(graph, scalar).unwrap();
+                    let tree = vertex_scalar_tree(&sg);
+                    build_super_tree(&tree).node_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    // Scaling sweep on a single generator family: near-linear growth of tc
+    // with |E| is the claim behind the complexity analysis of Section II-B.
+    let mut group = c.benchmark_group("vertex_tree_scaling");
+    group.sample_size(20);
+    for nodes in [1_000usize, 4_000, 16_000] {
+        let graph = ugraph::generators::barabasi_albert(nodes, 6, 42);
+        let cores = core_numbers(&graph);
+        let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
+        group.throughput(Throughput::Elements(graph.edge_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &(&graph, &scalar), |b, (graph, scalar)| {
+            b.iter(|| {
+                let sg = VertexScalarGraph::new(graph, scalar).unwrap();
+                build_super_tree(&vertex_scalar_tree(&sg)).node_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vertex_tree, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Figure 10 — comparing degree and betweenness centrality on the Astro
+//! analog through the Local/Global Correlation Index and the outlier-score
+//! terrain.
+//!
+//! The harness reports the GCI (the paper measures 0.89 on the real Astro
+//! graph), builds the outlier-score terrain colored by degree, and drills into
+//! the top outlier vertices to confirm the paper's reading: they are
+//! bridge-like vertices with modest degree but relatively high betweenness.
+
+use bench::datasets::DatasetKind;
+use bench::output::{format_table, write_artifact};
+use measures::{betweenness_centrality_sampled, degrees};
+use scalarfield::{
+    build_super_tree, global_correlation_index, local_correlation_index, outlier_scores,
+    vertex_scalar_tree, VertexScalarGraph,
+};
+use terrain::{build_terrain_mesh, layout_super_tree, terrain_to_svg, ColorScheme, LayoutConfig, MeshConfig};
+use ugraph::VertexId;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") { 1.0 } else { 0.25 };
+    let dataset = DatasetKind::Astro.generate(scale);
+    let graph = &dataset.graph;
+    println!(
+        "Figure 10 — Astro analog: {} nodes, {} edges",
+        graph.vertex_count(),
+        graph.edge_count()
+    );
+
+    let degree_field: Vec<f64> = degrees(graph).iter().map(|&d| d as f64).collect();
+    let betweenness = betweenness_centrality_sampled(graph, 256, 0xf16);
+
+    let gci = global_correlation_index(graph, &degree_field, &betweenness, 1).unwrap();
+    let lci = local_correlation_index(graph, &degree_field, &betweenness, 1).unwrap();
+    let outliers = outlier_scores(graph, &degree_field, &betweenness, 1).unwrap();
+    println!("Global Correlation Index (degree vs betweenness): {gci:.2}");
+    println!("(paper reports 0.89 on the real Astro network — expect a strongly positive value)");
+
+    // Outlier-score terrain colored by degree.
+    let sg = VertexScalarGraph::new(graph, &outliers).unwrap();
+    let tree = build_super_tree(&vertex_scalar_tree(&sg));
+    let layout = layout_super_tree(&tree, &LayoutConfig::default());
+    let mesh = build_terrain_mesh(
+        &tree,
+        &layout,
+        &MeshConfig { color: ColorScheme::BySecondaryScalar(degree_field.clone()), ..Default::default() },
+    );
+    let _ = write_artifact("figure10_outlier_terrain.svg", &terrain_to_svg(&mesh, 900.0, 700.0));
+
+    // Drill-down: the top outlier vertices (restricted to vertices with a
+    // meaningful neighborhood, as the paper's drill-down does by construction).
+    let mut order: Vec<usize> =
+        (0..graph.vertex_count()).filter(|&v| graph.degree(VertexId::from_index(v)) >= 2).collect();
+    order.sort_by(|&a, &b| outliers[b].partial_cmp(&outliers[a]).unwrap());
+    let mut rows = Vec::new();
+    let avg_degree = graph.average_degree();
+    for &v in order.iter().take(5) {
+        let vid = VertexId::from_index(v);
+        rows.push(vec![
+            v.to_string(),
+            format!("{:.2}", outliers[v]),
+            format!("{:.2}", lci[v]),
+            graph.degree(vid).to_string(),
+            format!("{:.1}", betweenness[v]),
+        ]);
+    }
+    let table = format_table(
+        &["vertex", "outlier score", "LCI", "degree", "betweenness"],
+        &rows,
+    );
+    println!("\nTop outlier vertices (lowest local correlation):\n\n{table}");
+    println!(
+        "Expected shape: GCI strongly positive while the top outliers' LCI sits far\n\
+         below it, with low-to-moderate degree (graph average {avg_degree:.1}) —\n\
+         bridge-like vertices whose betweenness is high relative to their degree."
+    );
+    let _ = write_artifact("figure10_summary.txt", &format!("GCI = {gci:.3}\n\n{table}"));
+}

@@ -1,0 +1,58 @@
+//! Figure 4 — scalar tree → 2D layout → 3D terrain on the paper's 9-node
+//! example, plus the peak5 / peak3 cross-sections of Figures 4(d)–(i).
+
+use bench::output::write_artifact;
+use scalarfield::{build_super_tree, component_members_at_alpha, vertex_scalar_tree, VertexScalarGraph};
+use terrain::{
+    ascii_heightmap, build_terrain_mesh, build_treemap, layout_super_tree, peaks_at_alpha,
+    terrain_to_svg, treemap_to_svg, LayoutConfig, MeshConfig,
+};
+use ugraph::GraphBuilder;
+
+fn main() {
+    // The worked example of Figure 2/4: nine vertices, two high-scalar regions
+    // meeting at lower-scalar vertices.
+    let mut b = GraphBuilder::new();
+    b.extend_edges([(0u32, 1u32), (0, 2), (1, 4), (2, 4)]);
+    b.add_edge(3, 5);
+    b.extend_edges([(2u32, 6u32), (5, 6)]);
+    b.add_edge(6, 7);
+    b.add_edge(7, 8);
+    let graph = b.build();
+    let scalar = vec![3.0, 3.0, 4.0, 3.0, 5.0, 4.0, 2.0, 1.5, 1.0];
+
+    let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+    let tree = build_super_tree(&vertex_scalar_tree(&sg));
+    let layout = layout_super_tree(&tree, &LayoutConfig::default());
+    let mesh = build_terrain_mesh(&tree, &layout, &MeshConfig::default());
+
+    println!("Figure 4 — terrain pipeline on the 9-vertex example");
+    println!("super tree nodes: {}", tree.node_count());
+    println!("terrain mesh: {} vertices, {} triangles", mesh.vertex_count(), mesh.triangle_count());
+
+    for alpha in [5.0, 3.0, 2.5] {
+        let peaks = peaks_at_alpha(&tree, &layout, alpha);
+        println!("peaks at alpha = {alpha}: {}", peaks.len());
+        for p in &peaks {
+            println!(
+                "  peak rooted at super node {} — members {:?}, summit {:.1}, base area {:.4}",
+                p.root_node, p.members, p.summit_height, p.base_area()
+            );
+        }
+        // Cross-check against the tree-level cut.
+        let sets = component_members_at_alpha(&tree, alpha);
+        assert_eq!(sets.len(), peaks.len());
+    }
+
+    println!("\nASCII terrain (top view, height-coded):\n");
+    println!("{}", ascii_heightmap(&layout, 64, 20));
+
+    let svg3d = terrain_to_svg(&mesh, 900.0, 700.0);
+    let svg2d = treemap_to_svg(&build_treemap(&tree, &layout), 900.0, 700.0);
+    if let Ok(p) = write_artifact("figure4_terrain.svg", &svg3d) {
+        println!("wrote {}", p.display());
+    }
+    if let Ok(p) = write_artifact("figure4_layout2d.svg", &svg2d) {
+        println!("wrote {}", p.display());
+    }
+}

@@ -1,0 +1,117 @@
+//! Figure 6 — visualizing dense subgraphs: spring layouts, K-Core terrains,
+//! K-Truss terrain, LaNet-vi 2D K-Core plot and the CSV plot, on the GrQc and
+//! WikiVote analogs.
+//!
+//! The quantitative claims this harness checks and reports:
+//!
+//! * GrQc (collaboration): several disconnected dense K-Cores → several high
+//!   terrain peaks;
+//! * WikiVote (preferential attachment): one densest K-Core → a single
+//!   dominant peak;
+//! * the terrain exposes the containment hierarchy (a dense peak sits on a
+//!   broader, lower foundation), which the flat plots do not.
+
+use baselines::{csv_plot, lanet_layout, layout_to_svg, spring_layout, SpringConfig};
+use bench::datasets::DatasetKind;
+use bench::output::{format_table, write_artifact};
+use measures::{core_numbers, truss_numbers};
+use scalarfield::{
+    build_super_tree, edge_scalar_tree, vertex_scalar_tree, EdgeScalarGraph, VertexScalarGraph,
+};
+use terrain::{build_terrain_mesh, highest_peaks, layout_super_tree, peaks_at_alpha, terrain_to_svg, LayoutConfig, MeshConfig};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") { 1.0 } else { 0.4 };
+    let mut rows = Vec::new();
+
+    for kind in [DatasetKind::GrQc, DatasetKind::WikiVote] {
+        let dataset = kind.generate(scale);
+        let graph = &dataset.graph;
+        let name = dataset.spec.name;
+        eprintln!("[figure6] {} analog: {} nodes, {} edges", name, graph.vertex_count(), graph.edge_count());
+
+        // --- K-Core terrain -------------------------------------------------
+        let cores = core_numbers(graph);
+        let kc: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
+        let sg = VertexScalarGraph::new(graph, &kc).unwrap();
+        let tree = build_super_tree(&vertex_scalar_tree(&sg));
+        let layout = layout_super_tree(&tree, &LayoutConfig::default());
+        let mesh = build_terrain_mesh(&tree, &layout, &MeshConfig::default());
+
+        // How many disconnected dense cores exist at 60% of the degeneracy?
+        let alpha = (cores.degeneracy as f64 * 0.6).floor().max(2.0);
+        let dense_peaks = peaks_at_alpha(&tree, &layout, alpha);
+
+        // Containment: does the tallest peak sit on a broader lower foundation?
+        let tallest = highest_peaks(&tree, &layout, 1);
+        let foundation = tallest.first().map(|p| {
+            let root = p.root_node;
+            let mut depth = 0;
+            let mut node = root;
+            while let Some(parent) = tree.nodes[node as usize].parent {
+                depth += 1;
+                node = parent;
+            }
+            depth
+        });
+
+        rows.push(vec![
+            name.to_string(),
+            cores.degeneracy.to_string(),
+            format!("{alpha:.0}"),
+            dense_peaks.len().to_string(),
+            foundation.map(|d| d.to_string()).unwrap_or_default(),
+        ]);
+
+        let _ = write_artifact(&format!("figure6_{name}_kcore_terrain.svg"), &terrain_to_svg(&mesh, 900.0, 700.0));
+
+        // --- spring layout baseline ------------------------------------------
+        let spring = spring_layout(graph, &SpringConfig { iterations: 40, ..Default::default() });
+        let _ = write_artifact(
+            &format!("figure6_{name}_spring.svg"),
+            &layout_to_svg(graph, &spring, 900.0, 700.0, 30_000),
+        );
+
+        // --- LaNet-vi style shell plot ---------------------------------------
+        let lanet = lanet_layout(graph, 7);
+        let _ = write_artifact(
+            &format!("figure6_{name}_lanet.svg"),
+            &layout_to_svg(graph, &lanet.layout, 900.0, 700.0, 30_000),
+        );
+
+        // --- CSV plot ---------------------------------------------------------
+        let plot = csv_plot(graph);
+        let _ = write_artifact(&format!("figure6_{name}_csv.svg"), &plot.to_svg(900.0, 300.0));
+
+        // --- K-Truss terrain (GrQc only, as in the paper) ----------------------
+        if kind == DatasetKind::GrQc {
+            let truss = truss_numbers(graph);
+            let kt: Vec<f64> = truss.truss.iter().map(|&t| t as f64).collect();
+            let esg = EdgeScalarGraph::new(graph, &kt).unwrap();
+            let etree = build_super_tree(&edge_scalar_tree(&esg));
+            let elayout = layout_super_tree(&etree, &LayoutConfig::default());
+            let emesh = build_terrain_mesh(&etree, &elayout, &MeshConfig::default());
+            let _ = write_artifact(
+                &format!("figure6_{name}_ktruss_terrain.svg"),
+                &terrain_to_svg(&emesh, 900.0, 700.0),
+            );
+            println!(
+                "{name} K-Truss terrain: max KT = {}, super tree nodes = {}",
+                truss.max_truss,
+                etree.node_count()
+            );
+        }
+    }
+
+    let table = format_table(
+        &["dataset", "degeneracy", "alpha(0.6K)", "disconnected dense peaks", "tallest-peak depth"],
+        &rows,
+    );
+    println!("\nFigure 6 — dense-subgraph landscape summary\n\n{table}");
+    println!(
+        "Expected shape: the GrQc analog shows several disconnected dense peaks;\n\
+         the WikiVote analog shows a single dominant peak; tallest peaks sit on\n\
+         multi-level foundations (containment hierarchy)."
+    );
+    let _ = write_artifact("figure6_summary.txt", &table);
+}

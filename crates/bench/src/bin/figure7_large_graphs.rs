@@ -1,0 +1,70 @@
+//! Figure 7 — K-Core and K-Truss terrains of the Wikipedia and Cit-Patent
+//! analogs, with the densest K-Core / K-Truss drill-down of Figures 7(e,f).
+//!
+//! The default scale keeps the run to a few seconds; `--large` uses 10x more
+//! vertices for a scalability exercise closer to the paper's full datasets.
+
+use bench::datasets::DatasetKind;
+use bench::output::{format_table, write_artifact};
+use bench::pipeline::{run_edge_pipeline, run_vertex_pipeline};
+use measures::{core_numbers, truss_numbers};
+
+fn main() {
+    let large = std::env::args().any(|a| a == "--large");
+    let mut rows = Vec::new();
+
+    for kind in [DatasetKind::Wikipedia, DatasetKind::CitPatent] {
+        let scale = if large { (kind.default_scale() * 10.0).min(1.0) } else { kind.default_scale() };
+        let dataset = kind.generate(scale);
+        let graph = &dataset.graph;
+        eprintln!(
+            "[figure7] {} analog at scale {:.2}: {} nodes, {} edges",
+            dataset.spec.name,
+            scale,
+            graph.vertex_count(),
+            graph.edge_count()
+        );
+
+        // Full pipelines (also produce the terrains as SVG via the pipeline
+        // helpers' internals; here we re-run the decompositions to report the
+        // densest structures of Figures 7(e,f)).
+        let vreport = run_vertex_pipeline(graph);
+        let ereport = run_edge_pipeline(graph, false);
+
+        let cores = core_numbers(graph);
+        let densest_core = cores.densest_core_vertices();
+        let truss = truss_numbers(graph);
+        let densest_truss = truss.densest_truss_edges();
+
+        rows.push(vec![
+            dataset.spec.name.to_string(),
+            graph.vertex_count().to_string(),
+            graph.edge_count().to_string(),
+            format!("K={} ({} vertices)", cores.degeneracy, densest_core.len()),
+            format!("K={} ({} edges)", truss.max_truss, densest_truss.len()),
+            vreport.super_tree_nodes.to_string(),
+            ereport.super_tree_nodes.to_string(),
+        ]);
+    }
+
+    let table = format_table(
+        &[
+            "dataset",
+            "nodes",
+            "edges",
+            "densest K-Core",
+            "densest K-Truss",
+            "Nt (KC)",
+            "Nt (KT)",
+        ],
+        &rows,
+    );
+    println!("Figure 7 — large-graph terrains and densest-structure drill-down\n\n{table}");
+    println!(
+        "Expected shape: the Wikipedia analog (preferential attachment) has a much\n\
+         denser maximal core/truss than the Cit-Patent analog (sparse citations),\n\
+         and both graphs reduce to super trees orders of magnitude smaller than\n\
+         the input."
+    );
+    let _ = write_artifact("figure7_large_graphs.txt", &table);
+}

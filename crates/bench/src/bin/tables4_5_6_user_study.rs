@@ -1,0 +1,55 @@
+//! Tables IV, V and VI — the (simulated) user study.
+//!
+//! Runs the full factorial design of Section IV — Tasks 1 and 2 on the GrQc,
+//! PPI and DBLP analogs, Task 3 on the Astro analog, ten simulated
+//! participants per cell, Terrain vs LaNet-vi vs OpenOrd — and prints the
+//! accuracy / mean-time tables in the paper's layout. See DESIGN.md §4 for the
+//! human-participant substitution.
+
+use bench::datasets::DatasetKind;
+use bench::output::write_artifact;
+use study::report::format_tables;
+use study::{run_user_study, StudyConfig, Task};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") { 1.0 } else { 0.3 };
+    let task12_datasets: Vec<(String, ugraph::CsrGraph)> =
+        [DatasetKind::GrQc, DatasetKind::Ppi, DatasetKind::Dblp]
+            .into_iter()
+            .map(|kind| {
+                let d = kind.generate(scale);
+                eprintln!(
+                    "[user-study] {} analog: {} nodes, {} edges",
+                    d.spec.name,
+                    d.graph.vertex_count(),
+                    d.graph.edge_count()
+                );
+                (d.spec.name.to_string(), d.graph)
+            })
+            .collect();
+    let astro = DatasetKind::Astro.generate(scale * 0.6);
+    eprintln!(
+        "[user-study] Astro analog: {} nodes, {} edges",
+        astro.graph.vertex_count(),
+        astro.graph.edge_count()
+    );
+
+    let design = vec![
+        (Task::DensestKCore, task12_datasets.clone()),
+        (Task::SecondDisconnectedKCore, task12_datasets),
+        (Task::CentralityCorrelation, vec![("Astro".to_string(), astro.graph)]),
+    ];
+
+    let config = StudyConfig { participants: 10, ..Default::default() };
+    let rows = run_user_study(&design, &config);
+    let tables = format_tables(&rows);
+    println!("Tables IV–VI — simulated user study (10 participants per cell)\n");
+    println!("{tables}");
+    println!(
+        "Expected shape (matching the paper's ordinal findings): Terrain accuracy ≥\n\
+         the baselines on every dataset, Terrain mean times lowest, Task 2 notably\n\
+         harder than Task 1 for LaNet-vi and OpenOrd, and Terrain ahead of OpenOrd\n\
+         on the Task 3 correlation judgment."
+    );
+    let _ = write_artifact("tables4_5_6_user_study.txt", &tables);
+}

@@ -1,0 +1,26 @@
+//! # bench — shared infrastructure for the table/figure harness
+//!
+//! The binaries in `src/bin/` regenerate every table and figure of the paper's
+//! evaluation section (see `DESIGN.md` §3 for the experiment index and
+//! `EXPERIMENTS.md` for recorded outputs). This library crate holds what they
+//! share:
+//!
+//! * [`datasets`] — the synthetic analogs of the paper's Table I datasets;
+//! * [`nn_graph`] — the attribute-table → nearest-neighbor-graph construction
+//!   of the Figure 11 query-result experiment;
+//! * [`pipeline`] — timed end-to-end runs of the scalar-tree + terrain
+//!   pipeline (the quantities of Table II);
+//! * [`output`] — helpers to write figure artifacts (SVG, JSON, text tables)
+//!   under `results/`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod datasets;
+pub mod nn_graph;
+pub mod output;
+pub mod pipeline;
+
+pub use datasets::{DatasetKind, DatasetSpec, GeneratedDataset};
+pub use nn_graph::{generate_plant_table, knn_graph, PlantTable};
+pub use pipeline::{run_edge_pipeline, run_vertex_pipeline, EdgePipelineReport, VertexPipelineReport};

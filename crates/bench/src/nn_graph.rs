@@ -1,0 +1,179 @@
+//! Query-result visualization substrate (Figure 11): a synthetic attribute
+//! table and its nearest-neighbor graph.
+//!
+//! The paper models the output of a SQL query over a plant-genus database as a
+//! 5-attribute materialized table, builds a nearest-neighbor graph over the
+//! rows (distance measure and threshold chosen by a domain expert) and draws
+//! terrains using individual attributes as the scalar. We plant the structure
+//! the figure demonstrates: three genus clusters, one well separated from the
+//! other two, with attribute 1 more genus-separable than attribute 2.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use ugraph::{CsrGraph, GraphBuilder};
+
+/// A synthetic query-result table.
+#[derive(Clone, Debug)]
+pub struct PlantTable {
+    /// Attribute matrix: `rows[i]` has 5 attribute values.
+    pub rows: Vec<[f64; 5]>,
+    /// Genus label per row (0, 1, 2).
+    pub genus: Vec<usize>,
+}
+
+impl PlantTable {
+    /// One attribute as a scalar field over the rows.
+    pub fn attribute(&self, index: usize) -> Vec<f64> {
+        self.rows.iter().map(|r| r[index]).collect()
+    }
+}
+
+/// Generate the synthetic plant-genus query result.
+///
+/// * genus 0 ("red") is nested inside genus 1 ("green") in attribute space —
+///   closer to it and partially contained within it;
+/// * genus 2 ("blue") is well separated from both;
+/// * attribute 0 separates the genera strongly, attribute 1 weakly — the
+///   Figure 11 observation that attribute 1 "demonstrates greater genus
+///   separability".
+pub fn generate_plant_table(rows_per_genus: usize, seed: u64) -> PlantTable {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(rows_per_genus * 3);
+    let mut genus = Vec::with_capacity(rows_per_genus * 3);
+    for g in 0..3usize {
+        // Attribute-0 centers far apart; attribute-1 centers close together.
+        let center0 = match g {
+            0 => 2.0,
+            1 => 3.0,
+            _ => 9.0,
+        };
+        let center1 = match g {
+            0 => 5.0,
+            1 => 5.4,
+            _ => 6.0,
+        };
+        for _ in 0..rows_per_genus {
+            let mut row = [0.0f64; 5];
+            row[0] = center0 + rng.gen::<f64>() * 0.8 - 0.4;
+            row[1] = center1 + rng.gen::<f64>() * 1.6 - 0.8;
+            // Remaining attributes are uninformative noise.
+            row[2] = rng.gen::<f64>() * 10.0;
+            row[3] = rng.gen::<f64>() * 10.0;
+            row[4] = rng.gen::<f64>() * 10.0;
+            rows.push(row);
+            genus.push(g);
+        }
+    }
+    PlantTable { rows, genus }
+}
+
+/// Build the k-nearest-neighbor graph over the table rows using Euclidean
+/// distance on the first two (expert-selected) attributes, connecting each row
+/// to its `k` nearest neighbors if they are within `threshold`.
+pub fn knn_graph(table: &PlantTable, k: usize, threshold: f64) -> CsrGraph {
+    let n = table.rows.len();
+    let mut builder = GraphBuilder::new();
+    if n > 0 {
+        builder.ensure_vertex(n - 1);
+    }
+    for i in 0..n {
+        let mut distances: Vec<(f64, usize)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| {
+                let dx = table.rows[i][0] - table.rows[j][0];
+                let dy = table.rows[i][1] - table.rows[j][1];
+                ((dx * dx + dy * dy).sqrt(), j)
+            })
+            .collect();
+        distances.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for &(d, j) in distances.iter().take(k) {
+            if d <= threshold {
+                builder.add_edge(i as u32, j as u32);
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::traversal::connected_components;
+
+    #[test]
+    fn table_has_three_balanced_genera() {
+        let t = generate_plant_table(40, 1);
+        assert_eq!(t.rows.len(), 120);
+        for g in 0..3 {
+            assert_eq!(t.genus.iter().filter(|&&x| x == g).count(), 40);
+        }
+        assert_eq!(t.attribute(0).len(), 120);
+    }
+
+    #[test]
+    fn attribute0_separates_genera_better_than_attribute1() {
+        let t = generate_plant_table(60, 2);
+        let separability = |attr: usize| -> f64 {
+            // Ratio of between-genus variance to within-genus variance.
+            let values = t.attribute(attr);
+            let overall: f64 = values.iter().sum::<f64>() / values.len() as f64;
+            let mut between = 0.0;
+            let mut within = 0.0;
+            for g in 0..3usize {
+                let members: Vec<f64> = values
+                    .iter()
+                    .zip(&t.genus)
+                    .filter(|(_, &gg)| gg == g)
+                    .map(|(v, _)| *v)
+                    .collect();
+                let mean: f64 = members.iter().sum::<f64>() / members.len() as f64;
+                between += members.len() as f64 * (mean - overall).powi(2);
+                within += members.iter().map(|v| (v - mean).powi(2)).sum::<f64>();
+            }
+            between / within.max(1e-9)
+        };
+        assert!(
+            separability(0) > 2.0 * separability(1),
+            "attribute 0 ({:.2}) should separate much better than attribute 1 ({:.2})",
+            separability(0),
+            separability(1)
+        );
+    }
+
+    #[test]
+    fn knn_graph_keeps_blue_genus_separated() {
+        let t = generate_plant_table(50, 3);
+        let g = knn_graph(&t, 5, 1.5);
+        assert_eq!(g.vertex_count(), 150);
+        let cc = connected_components(&g);
+        // Genus 2 (rows 100..150) must not connect to genus 0 (rows 0..50):
+        // their attribute-0 centers are ~7 apart with threshold 1.5.
+        for &v0 in &[0usize, 10, 25] {
+            for &v2 in &[100usize, 120, 149] {
+                assert!(!cc.same_component(
+                    ugraph::VertexId::from_index(v0),
+                    ugraph::VertexId::from_index(v2)
+                ));
+            }
+        }
+        // Genus 0 and genus 1 overlap, so most of their rows do connect.
+        let mixed = (0..50).filter(|&v0| {
+            (50..100).any(|v1| {
+                cc.same_component(
+                    ugraph::VertexId::from_index(v0),
+                    ugraph::VertexId::from_index(v1),
+                )
+            })
+        });
+        assert!(mixed.count() > 25);
+    }
+
+    #[test]
+    fn knn_respects_threshold() {
+        let t = generate_plant_table(30, 4);
+        let strict = knn_graph(&t, 5, 0.05);
+        let loose = knn_graph(&t, 5, 5.0);
+        assert!(strict.edge_count() < loose.edge_count());
+    }
+}

@@ -1,0 +1,105 @@
+//! Output helpers for the figure/table binaries.
+//!
+//! Every binary writes its artifacts (SVG renderings, JSON series, text
+//! tables) under a results directory — `results/` at the workspace root by
+//! default, overridable with the `GRAPH_TERRAIN_RESULTS_DIR` environment
+//! variable — and also prints the table rows to stdout so `EXPERIMENTS.md`
+//! can quote them directly.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The directory figure artifacts are written to.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("GRAPH_TERRAIN_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    PathBuf::from(dir)
+}
+
+/// Write `content` to `results_dir()/name`, creating the directory if needed.
+/// Returns the full path written.
+pub fn write_artifact(name: &str, content: &str) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    let mut file = fs::File::create(&path)?;
+    file.write_all(content.as_bytes())?;
+    Ok(path)
+}
+
+/// Write a serde-serializable value as pretty JSON next to the other
+/// artifacts.
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+    let json = serde_json::to_string_pretty(value).expect("serializable value");
+    write_artifact(name, &json)
+}
+
+/// Render a simple aligned text table.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8) + 2))
+            .collect::<Vec<_>>()
+            .join("")
+    };
+    out.push_str(&fmt_row(headers.iter().map(|h| h.to_string()).collect(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().map(|w| w + 2).sum::<usize>()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Convenience: does a path exist and contain non-empty content?
+pub fn artifact_exists(path: &Path) -> bool {
+    fs::metadata(path).map(|m| m.len() > 0).unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formatting_aligns_columns() {
+        let table = format_table(
+            &["name", "nodes"],
+            &[
+                vec!["GrQc".to_string(), "5242".to_string()],
+                vec!["Wikipedia".to_string(), "1815914".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].starts_with("GrQc"));
+        // The numeric column starts at the same offset in both data rows.
+        let offset = lines[2].find("5242").unwrap();
+        assert_eq!(lines[3].find("1815914").unwrap(), offset);
+    }
+
+    #[test]
+    fn artifacts_round_trip_through_a_temp_dir() {
+        let dir = std::env::temp_dir().join(format!("gt-test-{}", std::process::id()));
+        std::env::set_var("GRAPH_TERRAIN_RESULTS_DIR", &dir);
+        let path = write_artifact("probe.txt", "hello").unwrap();
+        assert!(artifact_exists(&path));
+        let json_path = write_json("probe.json", &vec![1, 2, 3]).unwrap();
+        assert!(artifact_exists(&json_path));
+        std::env::remove_var("GRAPH_TERRAIN_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

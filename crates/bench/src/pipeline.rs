@@ -1,0 +1,179 @@
+//! Timed end-to-end pipeline runs — the measurements behind Table II.
+//!
+//! Table II reports, per dataset and scalar field:
+//!
+//! * `Nt` — number of nodes of the final super (edge) scalar tree;
+//! * `tc` — time to construct the tree (Algorithm 1 or 3, plus Algorithm 2);
+//! * `te` — time of the naive dual-graph edge-tree construction (edge scalars
+//!   only);
+//! * `tv` — time to turn the tree into the rendered terrain (here: 2D layout +
+//!   3D mesh + SVG serialization).
+//!
+//! The helpers here run those stages with wall-clock timing and return a
+//! report struct the Table II binary and the Criterion benches both use.
+
+use measures::{core_numbers, truss_numbers};
+use scalarfield::{
+    build_super_tree, edge_scalar_tree, edge_scalar_tree_naive, simplify_super_tree,
+    vertex_scalar_tree, EdgeScalarGraph, VertexScalarGraph,
+};
+use std::time::Instant;
+use terrain::{build_terrain_mesh, layout_super_tree, terrain_to_svg, LayoutConfig, MeshConfig};
+use ugraph::CsrGraph;
+
+/// Report of a vertex-scalar (K-Core) pipeline run.
+#[derive(Clone, Debug)]
+pub struct VertexPipelineReport {
+    /// Number of super tree nodes (`Nt`).
+    pub super_tree_nodes: usize,
+    /// Seconds to compute the scalar field (K-Core decomposition).
+    pub scalar_seconds: f64,
+    /// Seconds to build the scalar tree + super tree (`tc`).
+    pub tree_seconds: f64,
+    /// Seconds to lay out, mesh and serialize the terrain (`tv`).
+    pub visualization_seconds: f64,
+    /// Number of triangles in the rendered mesh.
+    pub mesh_triangles: usize,
+}
+
+/// Report of an edge-scalar (K-Truss) pipeline run.
+#[derive(Clone, Debug)]
+pub struct EdgePipelineReport {
+    /// Number of super tree nodes (`Nt`).
+    pub super_tree_nodes: usize,
+    /// Seconds to compute the scalar field (K-Truss decomposition).
+    pub scalar_seconds: f64,
+    /// Seconds for Algorithm 3 + Algorithm 2 (`tc`).
+    pub tree_seconds: f64,
+    /// Seconds for the naive dual-graph method + Algorithm 2 (`te`),
+    /// `None` if it was skipped (too large).
+    pub naive_tree_seconds: Option<f64>,
+    /// Seconds to lay out, mesh and serialize the terrain (`tv`).
+    pub visualization_seconds: f64,
+}
+
+/// Maximum number of super-tree nodes rendered without simplification; larger
+/// trees are simplified first, exactly as Section II-E prescribes.
+const RENDER_NODE_BUDGET: usize = 4_000;
+
+/// Run the K-Core terrain pipeline on a graph, timing each stage.
+pub fn run_vertex_pipeline(graph: &CsrGraph) -> VertexPipelineReport {
+    let t0 = Instant::now();
+    let cores = core_numbers(graph);
+    let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
+    let scalar_seconds = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let sg = VertexScalarGraph::new(graph, &scalar).expect("scalar field matches graph");
+    let tree = vertex_scalar_tree(&sg);
+    let super_tree = build_super_tree(&tree);
+    let tree_seconds = t1.elapsed().as_secs_f64();
+
+    let t2 = Instant::now();
+    let render_tree = if super_tree.node_count() > RENDER_NODE_BUDGET {
+        simplify_super_tree(&super_tree, 64)
+    } else {
+        super_tree.clone()
+    };
+    let layout = layout_super_tree(&render_tree, &LayoutConfig::default());
+    let mesh = build_terrain_mesh(&render_tree, &layout, &MeshConfig::default());
+    let svg = terrain_to_svg(&mesh, 900.0, 700.0);
+    let visualization_seconds = t2.elapsed().as_secs_f64();
+    std::hint::black_box(&svg);
+
+    VertexPipelineReport {
+        super_tree_nodes: super_tree.node_count(),
+        scalar_seconds,
+        tree_seconds,
+        visualization_seconds,
+        mesh_triangles: mesh.triangle_count(),
+    }
+}
+
+/// Run the K-Truss terrain pipeline on a graph, timing each stage.
+///
+/// `run_naive` controls whether the dual-graph baseline (`te`) is measured;
+/// on graphs with high-degree vertices it can be orders of magnitude slower
+/// than Algorithm 3, which is exactly the point of Table II.
+pub fn run_edge_pipeline(graph: &CsrGraph, run_naive: bool) -> EdgePipelineReport {
+    let t0 = Instant::now();
+    let truss = truss_numbers(graph);
+    let scalar: Vec<f64> = truss.truss.iter().map(|&t| t as f64).collect();
+    let scalar_seconds = t0.elapsed().as_secs_f64();
+
+    let sg = EdgeScalarGraph::new(graph, &scalar).expect("scalar field matches graph");
+
+    let t1 = Instant::now();
+    let tree = edge_scalar_tree(&sg);
+    let super_tree = build_super_tree(&tree);
+    let tree_seconds = t1.elapsed().as_secs_f64();
+
+    let naive_tree_seconds = if run_naive {
+        let t = Instant::now();
+        let naive = edge_scalar_tree_naive(&sg);
+        let naive_super = build_super_tree(&naive);
+        std::hint::black_box(naive_super.node_count());
+        Some(t.elapsed().as_secs_f64())
+    } else {
+        None
+    };
+
+    let t2 = Instant::now();
+    let render_tree = if super_tree.node_count() > RENDER_NODE_BUDGET {
+        simplify_super_tree(&super_tree, 64)
+    } else {
+        super_tree.clone()
+    };
+    let layout = layout_super_tree(&render_tree, &LayoutConfig::default());
+    let mesh = build_terrain_mesh(&render_tree, &layout, &MeshConfig::default());
+    let svg = terrain_to_svg(&mesh, 900.0, 700.0);
+    let visualization_seconds = t2.elapsed().as_secs_f64();
+    std::hint::black_box(&svg);
+
+    EdgePipelineReport {
+        super_tree_nodes: super_tree.node_count(),
+        scalar_seconds,
+        tree_seconds,
+        naive_tree_seconds,
+        visualization_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::DatasetKind;
+
+    #[test]
+    fn vertex_pipeline_produces_consistent_report() {
+        let d = DatasetKind::GrQc.generate(0.15);
+        let report = run_vertex_pipeline(&d.graph);
+        assert!(report.super_tree_nodes > 1);
+        assert!(report.super_tree_nodes <= d.graph.vertex_count());
+        assert!(report.mesh_triangles >= 2 * report.super_tree_nodes.min(RENDER_NODE_BUDGET));
+        assert!(report.tree_seconds >= 0.0 && report.visualization_seconds >= 0.0);
+    }
+
+    #[test]
+    fn edge_pipeline_fast_beats_naive_on_skewed_graphs() {
+        // WikiVote analog: preferential attachment with hubs, where the dual
+        // graph explodes quadratically in hub degree.
+        let d = DatasetKind::WikiVote.generate(0.08);
+        let report = run_edge_pipeline(&d.graph, true);
+        assert!(report.super_tree_nodes >= 1);
+        let naive = report.naive_tree_seconds.unwrap();
+        assert!(
+            naive >= report.tree_seconds,
+            "naive ({naive:.4}s) should not beat Algorithm 3 ({:.4}s)",
+            report.tree_seconds
+        );
+    }
+
+    #[test]
+    fn edge_pipeline_can_skip_naive() {
+        let d = DatasetKind::Ppi.generate(0.1);
+        let report = run_edge_pipeline(&d.graph, false);
+        assert!(report.naive_tree_seconds.is_none());
+        assert!(report.super_tree_nodes >= 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Betweenness centrality (Brandes' algorithm), exact and sampled.
+//!
+//! Betweenness is the second centrality of the paper's Figure 10 / user-study
+//! Task 3 (degree vs betweenness correlation). Exact Brandes costs
+//! `O(|V|·|E|)`; for the larger synthetic datasets the harness uses the
+//! pivot-sampled estimator, which runs the same dependency accumulation from
+//! a random subset of sources and rescales.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+use ugraph::{CsrGraph, VertexId};
+
+/// Exact betweenness centrality of every vertex (unnormalized, undirected
+/// convention: each shortest path counted once).
+pub fn betweenness_centrality(graph: &CsrGraph) -> Vec<f64> {
+    let sources: Vec<VertexId> = graph.vertices().collect();
+    brandes_from_sources(graph, &sources, 1.0)
+}
+
+/// Sampled betweenness centrality using `samples` random source pivots.
+///
+/// The estimate from each pivot is scaled by `n / samples` so that the
+/// expected value equals the exact score. With a few hundred pivots the
+/// ranking of vertices is already stable enough for visualization purposes.
+pub fn betweenness_centrality_sampled(graph: &CsrGraph, samples: usize, seed: u64) -> Vec<f64> {
+    let n = graph.vertex_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    if samples >= n {
+        return betweenness_centrality(graph);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut all: Vec<VertexId> = graph.vertices().collect();
+    all.shuffle(&mut rng);
+    all.truncate(samples);
+    let scale = n as f64 / samples as f64;
+    brandes_from_sources(graph, &all, scale)
+}
+
+fn brandes_from_sources(graph: &CsrGraph, sources: &[VertexId], scale: f64) -> Vec<f64> {
+    let n = graph.vertex_count();
+    let mut centrality = vec![0.0f64; n];
+    if n == 0 {
+        return centrality;
+    }
+
+    // Reused per-source scratch buffers.
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![-1i64; n];
+    let mut delta = vec![0.0f64; n];
+    let mut predecessors: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut stack: Vec<u32> = Vec::with_capacity(n);
+    let mut queue: VecDeque<u32> = VecDeque::with_capacity(n);
+
+    for &s in sources {
+        // Reset scratch state.
+        for v in 0..n {
+            sigma[v] = 0.0;
+            dist[v] = -1;
+            delta[v] = 0.0;
+            predecessors[v].clear();
+        }
+        stack.clear();
+        queue.clear();
+
+        sigma[s.index()] = 1.0;
+        dist[s.index()] = 0;
+        queue.push_back(s.0);
+
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            let dv = dist[v as usize];
+            for w in graph.neighbor_vertices(VertexId(v)) {
+                let w = w.index();
+                if dist[w] < 0 {
+                    dist[w] = dv + 1;
+                    queue.push_back(w as u32);
+                }
+                if dist[w] == dv + 1 {
+                    sigma[w] += sigma[v as usize];
+                    predecessors[w].push(v);
+                }
+            }
+        }
+
+        // Dependency accumulation in reverse BFS order.
+        while let Some(w) = stack.pop() {
+            let w = w as usize;
+            let coeff = (1.0 + delta[w]) / sigma[w];
+            for &v in &predecessors[w] {
+                delta[v as usize] += sigma[v as usize] * coeff;
+            }
+            if w != s.index() {
+                centrality[w] += delta[w] * scale;
+            }
+        }
+    }
+
+    // Each undirected shortest path was counted from both endpoints when all
+    // sources are used; halve to follow the standard undirected convention.
+    for c in &mut centrality {
+        *c /= 2.0;
+    }
+    centrality
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::generators::barabasi_albert;
+    use ugraph::GraphBuilder;
+
+    #[test]
+    fn path_graph_center_has_highest_betweenness() {
+        // Path 0-1-2-3-4: vertex 2 lies on the most shortest paths.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        b.add_edge(3, 4);
+        let g = b.build();
+        let bc = betweenness_centrality(&g);
+        // Exact values for a path of 5 vertices: [0, 3, 4, 3, 0].
+        assert!((bc[0] - 0.0).abs() < 1e-9);
+        assert!((bc[1] - 3.0).abs() < 1e-9);
+        assert!((bc[2] - 4.0).abs() < 1e-9);
+        assert!((bc[3] - 3.0).abs() < 1e-9);
+        assert!((bc[4] - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn star_center_betweenness() {
+        // Star with 5 leaves: center is on C(5,2) = 10 shortest paths.
+        let mut b = GraphBuilder::new();
+        for leaf in 1..=5u32 {
+            b.add_edge(0u32, leaf);
+        }
+        let g = b.build();
+        let bc = betweenness_centrality(&g);
+        assert!((bc[0] - 10.0).abs() < 1e-9);
+        for leaf in 1..=5 {
+            assert!(bc[leaf].abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clique_has_zero_betweenness() {
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5u32 {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        let bc = betweenness_centrality(&g);
+        assert!(bc.iter().all(|&c| c.abs() < 1e-9));
+    }
+
+    #[test]
+    fn bridge_vertex_dominates() {
+        // Two triangles joined through vertex 2: 0-1-2 and 2-3-4.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        b.add_edge(2, 3);
+        b.add_edge(3, 4);
+        b.add_edge(2, 4);
+        let g = b.build();
+        let bc = betweenness_centrality(&g);
+        let max = bc.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((bc[2] - max).abs() < 1e-12, "bridge vertex should have max betweenness");
+        assert!(bc[2] > 3.0);
+    }
+
+    #[test]
+    fn full_sampling_equals_exact() {
+        let g = barabasi_albert(60, 2, 3);
+        let exact = betweenness_centrality(&g);
+        let sampled = betweenness_centrality_sampled(&g, 60, 0);
+        for (a, b) in exact.iter().zip(&sampled) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampled_estimate_preserves_top_vertex() {
+        let g = barabasi_albert(300, 2, 8);
+        let exact = betweenness_centrality(&g);
+        let sampled = betweenness_centrality_sampled(&g, 100, 7);
+        let top_exact = exact
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        // The exact top vertex should rank in the sampled top 5%.
+        let mut order: Vec<usize> = (0..sampled.len()).collect();
+        order.sort_by(|&a, &b| sampled[b].partial_cmp(&sampled[a]).unwrap());
+        let rank = order.iter().position(|&v| v == top_exact).unwrap();
+        assert!(rank < 15, "top exact vertex ranked {rank} in sampled estimate");
+    }
+}

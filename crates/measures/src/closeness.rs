@@ -1,0 +1,171 @@
+//! Closeness and harmonic centrality.
+//!
+//! Both are listed in the paper's introduction as global connectivity
+//! measures. We use the component-local convention for closeness (distances
+//! averaged over the vertex's own connected component, scaled by the component
+//! fraction, as in Wasserman–Faust) so that disconnected graphs still produce
+//! meaningful fields, and plain `Σ 1/d` for harmonic centrality, which handles
+//! disconnection natively.
+
+use std::collections::VecDeque;
+use ugraph::{CsrGraph, VertexId};
+
+/// Closeness centrality of every vertex.
+///
+/// `closeness(v) = ((r - 1) / (n - 1)) * ((r - 1) / Σ_{u reachable} d(v, u))`,
+/// where `r` is the number of vertices reachable from `v` (including itself).
+/// Isolated vertices get 0.
+pub fn closeness_centrality(graph: &CsrGraph) -> Vec<f64> {
+    let n = graph.vertex_count();
+    let mut result = vec![0.0f64; n];
+    if n <= 1 {
+        return result;
+    }
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    for v in graph.vertices() {
+        let (sum, reachable) = bfs_accumulate(graph, v, &mut dist, &mut queue);
+        if reachable > 1 && sum > 0 {
+            let r = reachable as f64;
+            let frac = (r - 1.0) / (n as f64 - 1.0);
+            result[v.index()] = frac * (r - 1.0) / sum as f64;
+        }
+    }
+    result
+}
+
+/// Harmonic centrality: `Σ_{u ≠ v} 1 / d(v, u)` with `1/∞ = 0`, normalized by
+/// `n - 1` so values lie in `[0, 1]`.
+pub fn harmonic_centrality(graph: &CsrGraph) -> Vec<f64> {
+    let n = graph.vertex_count();
+    let mut result = vec![0.0f64; n];
+    if n <= 1 {
+        return result;
+    }
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    for v in graph.vertices() {
+        // BFS, accumulating 1/d on the fly.
+        for d in dist.iter_mut() {
+            *d = usize::MAX;
+        }
+        queue.clear();
+        dist[v.index()] = 0;
+        queue.push_back(v);
+        let mut acc = 0.0f64;
+        while let Some(x) = queue.pop_front() {
+            let dx = dist[x.index()];
+            if dx > 0 {
+                acc += 1.0 / dx as f64;
+            }
+            for u in graph.neighbor_vertices(x) {
+                if dist[u.index()] == usize::MAX {
+                    dist[u.index()] = dx + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        result[v.index()] = acc / (n as f64 - 1.0);
+    }
+    result
+}
+
+/// BFS from `v`, returning (sum of distances to reachable vertices, number of
+/// reachable vertices including `v`). Scratch buffers are reused.
+fn bfs_accumulate(
+    graph: &CsrGraph,
+    v: VertexId,
+    dist: &mut [usize],
+    queue: &mut VecDeque<VertexId>,
+) -> (usize, usize) {
+    for d in dist.iter_mut() {
+        *d = usize::MAX;
+    }
+    queue.clear();
+    dist[v.index()] = 0;
+    queue.push_back(v);
+    let mut sum = 0usize;
+    let mut reachable = 0usize;
+    while let Some(x) = queue.pop_front() {
+        reachable += 1;
+        sum += dist[x.index()];
+        for u in graph.neighbor_vertices(x) {
+            if dist[u.index()] == usize::MAX {
+                dist[u.index()] = dist[x.index()] + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    (sum, reachable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::GraphBuilder;
+
+    #[test]
+    fn star_center_is_most_central() {
+        let mut b = GraphBuilder::new();
+        for leaf in 1..=5u32 {
+            b.add_edge(0u32, leaf);
+        }
+        let g = b.build();
+        let cc = closeness_centrality(&g);
+        let hc = harmonic_centrality(&g);
+        assert!(cc[0] > cc[1]);
+        assert!(hc[0] > hc[1]);
+        // Center closeness is exactly 1 (distance 1 to all 5 others).
+        assert!((cc[0] - 1.0).abs() < 1e-9);
+        assert!((hc[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_endpoints_are_least_central() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        b.add_edge(3, 4);
+        let g = b.build();
+        let cc = closeness_centrality(&g);
+        assert!(cc[2] > cc[0]);
+        assert!(cc[2] > cc[4]);
+        assert!((cc[0] - cc[4]).abs() < 1e-12, "path is symmetric");
+    }
+
+    #[test]
+    fn disconnected_graph_scales_by_component_size() {
+        // One edge 0-1 and one isolated vertex 2.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.ensure_vertex(2);
+        let g = b.build();
+        let cc = closeness_centrality(&g);
+        let hc = harmonic_centrality(&g);
+        assert_eq!(cc[2], 0.0);
+        assert_eq!(hc[2], 0.0);
+        // Vertices 0 and 1: reachable component of size 2 out of 3 vertices.
+        assert!((cc[0] - 0.5).abs() < 1e-9);
+        assert!((hc[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn values_are_bounded() {
+        let g = ugraph::generators::erdos_renyi(80, 0.05, 3);
+        for &v in closeness_centrality(&g).iter().chain(harmonic_centrality(&g).iter()) {
+            assert!((0.0..=1.0 + 1e-9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn trivial_graphs() {
+        let g = GraphBuilder::new().build();
+        assert!(closeness_centrality(&g).is_empty());
+        let mut b = GraphBuilder::new();
+        b.ensure_vertex(0);
+        let g = b.build();
+        assert_eq!(closeness_centrality(&g), vec![0.0]);
+        assert_eq!(harmonic_centrality(&g), vec![0.0]);
+    }
+}

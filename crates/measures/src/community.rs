@@ -1,0 +1,233 @@
+//! Community structure: hard partitions and overlapping affiliation scores.
+//!
+//! The paper's Figures 1(b) and 8 visualize an overlapping ("soft") community
+//! detection result [Yang & Leskovec, WSDM'13]: each vertex carries a score
+//! vector `(c0, …, c_{m-1})`, and the terrain for community `i` is drawn from
+//! the scalar field `c_i`. We substitute BigCLAM with a deterministic,
+//! dependency-free construction (documented in DESIGN.md §4):
+//!
+//! 1. a **label-propagation** pass produces a hard partition whose largest
+//!    blocks become the seed communities;
+//! 2. each community's score field is a **degree-weighted decay** from the
+//!    community's dense core outwards: members get a score proportional to the
+//!    fraction of their neighbors inside the community (their embeddedness),
+//!    and non-members within a couple of hops get small positive scores.
+//!
+//! The resulting fields have the same shape the paper relies on — high at the
+//! community core, decaying towards the periphery, slightly overlapping at
+//! community boundaries — which is what the terrain visualization exercises.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use ugraph::{CsrGraph, VertexId};
+
+/// Result of overlapping community scoring.
+#[derive(Clone, Debug)]
+pub struct CommunityScores {
+    /// `scores[c][v]` is the affiliation of vertex `v` with community `c`.
+    pub scores: Vec<Vec<f64>>,
+    /// The hard community assignment used to seed the scores
+    /// (`usize::MAX` for vertices left unassigned / in tiny communities).
+    pub seed_assignment: Vec<usize>,
+}
+
+/// Asynchronous label propagation, returning a community label per vertex.
+///
+/// Labels are compacted to `0..community_count`. Deterministic for a fixed
+/// seed: vertex visiting order is shuffled with a seeded PRNG and ties are
+/// broken towards the smallest label.
+pub fn label_propagation(graph: &CsrGraph, max_rounds: usize, seed: u64) -> Vec<usize> {
+    let n = graph.vertex_count();
+    let mut label: Vec<usize> = (0..n).collect();
+    if n == 0 {
+        return label;
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+
+    for _ in 0..max_rounds {
+        order.shuffle(&mut rng);
+        let mut changed = 0usize;
+        for &v in &order {
+            let vid = VertexId::from_index(v);
+            if graph.degree(vid) == 0 {
+                continue;
+            }
+            counts.clear();
+            for u in graph.neighbor_vertices(vid) {
+                *counts.entry(label[u.index()]).or_insert(0) += 1;
+            }
+            // Most frequent neighbor label, ties to the smallest label.
+            let best = counts
+                .iter()
+                .map(|(&l, &c)| (c, std::cmp::Reverse(l)))
+                .max()
+                .map(|(_, std::cmp::Reverse(l))| l)
+                .unwrap();
+            if best != label[v] {
+                label[v] = best;
+                changed += 1;
+            }
+        }
+        if changed == 0 {
+            break;
+        }
+    }
+
+    // Compact labels to 0..k in order of first appearance.
+    let mut remap: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for l in &mut label {
+        let next = remap.len();
+        *l = *remap.entry(*l).or_insert(next);
+    }
+    label
+}
+
+/// Compute overlapping community affiliation scores for the `communities`
+/// largest label-propagation communities.
+///
+/// See the module documentation for the construction. Every score is in
+/// `[0, 1]`; members of a community get scores weighted by embeddedness, and
+/// 1-hop neighbors of members get a small spill-over score, producing the
+/// soft overlaps of Figure 8.
+pub fn overlapping_community_scores(
+    graph: &CsrGraph,
+    communities: usize,
+    seed: u64,
+) -> CommunityScores {
+    let n = graph.vertex_count();
+    let assignment = label_propagation(graph, 20, seed);
+    // Rank labels by size.
+    let label_count = assignment.iter().copied().max().map_or(0, |m| m + 1);
+    let mut sizes = vec![0usize; label_count];
+    for &l in &assignment {
+        sizes[l] += 1;
+    }
+    let mut by_size: Vec<usize> = (0..label_count).collect();
+    by_size.sort_by_key(|&l| std::cmp::Reverse(sizes[l]));
+    by_size.truncate(communities);
+
+    let mut scores = vec![vec![0.0f64; n]; by_size.len()];
+    let mut seed_assignment = vec![usize::MAX; n];
+
+    for (c, &label) in by_size.iter().enumerate() {
+        // Embeddedness of members.
+        for v in graph.vertices() {
+            if assignment[v.index()] != label {
+                continue;
+            }
+            seed_assignment[v.index()] = c;
+            let d = graph.degree(v);
+            if d == 0 {
+                scores[c][v.index()] = 0.5;
+                continue;
+            }
+            let inside = graph
+                .neighbor_vertices(v)
+                .filter(|u| assignment[u.index()] == label)
+                .count();
+            // 0.3 floor for members, up to 1.0 for fully embedded vertices.
+            scores[c][v.index()] = 0.3 + 0.7 * inside as f64 / d as f64;
+        }
+        // Spill-over to 1-hop non-member neighbors.
+        for v in graph.vertices() {
+            if assignment[v.index()] == label {
+                continue;
+            }
+            let d = graph.degree(v);
+            if d == 0 {
+                continue;
+            }
+            let inside = graph
+                .neighbor_vertices(v)
+                .filter(|u| assignment[u.index()] == label)
+                .count();
+            if inside > 0 {
+                scores[c][v.index()] = 0.25 * inside as f64 / d as f64;
+            }
+        }
+    }
+
+    CommunityScores { scores, seed_assignment }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::generators::planted_partition;
+
+    #[test]
+    fn label_propagation_recovers_planted_blocks() {
+        let planted = planted_partition(&[50, 50, 50], 0.3, 0.005, 7);
+        let labels = label_propagation(&planted.graph, 30, 1);
+        // Compute purity: for each planted block, the fraction assigned to its
+        // majority detected label.
+        let mut correct = 0usize;
+        for block in 0..3usize {
+            let members: Vec<usize> = (0..150).filter(|&v| planted.community[v] == block).collect();
+            let mut counts = std::collections::HashMap::new();
+            for &v in &members {
+                *counts.entry(labels[v]).or_insert(0usize) += 1;
+            }
+            correct += counts.values().copied().max().unwrap_or(0);
+        }
+        let purity = correct as f64 / 150.0;
+        assert!(purity > 0.8, "label propagation purity {purity}");
+    }
+
+    #[test]
+    fn labels_are_compacted() {
+        let planted = planted_partition(&[30, 30], 0.4, 0.01, 3);
+        let labels = label_propagation(&planted.graph, 30, 2);
+        let max = labels.iter().copied().max().unwrap();
+        let distinct: std::collections::HashSet<usize> = labels.iter().copied().collect();
+        assert_eq!(distinct.len(), max + 1, "labels must be 0..k with no gaps");
+    }
+
+    #[test]
+    fn overlapping_scores_are_high_inside_low_outside() {
+        let planted = planted_partition(&[60, 60], 0.3, 0.01, 11);
+        let result = overlapping_community_scores(&planted.graph, 2, 5);
+        assert_eq!(result.scores.len(), 2);
+        // For each detected community, member scores should dominate
+        // non-member scores on average.
+        for c in 0..2 {
+            let (mut member_sum, mut member_count) = (0.0, 0usize);
+            let (mut other_sum, mut other_count) = (0.0, 0usize);
+            for v in 0..120 {
+                if result.seed_assignment[v] == c {
+                    member_sum += result.scores[c][v];
+                    member_count += 1;
+                } else {
+                    other_sum += result.scores[c][v];
+                    other_count += 1;
+                }
+            }
+            let member_avg = member_sum / member_count.max(1) as f64;
+            let other_avg = other_sum / other_count.max(1) as f64;
+            assert!(
+                member_avg > 2.0 * other_avg,
+                "community {c}: member avg {member_avg} vs other {other_avg}"
+            );
+        }
+    }
+
+    #[test]
+    fn scores_are_in_unit_interval() {
+        let planted = planted_partition(&[40, 40, 40], 0.25, 0.02, 13);
+        let result = overlapping_community_scores(&planted.graph, 3, 9);
+        for field in &result.scores {
+            assert!(field.iter().all(|&s| (0.0..=1.0).contains(&s)));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let planted = planted_partition(&[40, 40], 0.3, 0.01, 17);
+        let a = label_propagation(&planted.graph, 20, 4);
+        let b = label_propagation(&planted.graph, 20, 4);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,51 @@
+//! Degree and degree centrality.
+
+use ugraph::CsrGraph;
+
+/// Degree of every vertex, indexed by vertex id.
+pub fn degrees(graph: &CsrGraph) -> Vec<usize> {
+    graph.vertices().map(|v| graph.degree(v)).collect()
+}
+
+/// Normalized degree centrality: `deg(v) / (n - 1)`.
+///
+/// For graphs with fewer than two vertices every centrality is 0.
+pub fn degree_centrality(graph: &CsrGraph) -> Vec<f64> {
+    let n = graph.vertex_count();
+    if n < 2 {
+        return vec![0.0; n];
+    }
+    let denom = (n - 1) as f64;
+    graph.vertices().map(|v| graph.degree(v) as f64 / denom).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::GraphBuilder;
+
+    #[test]
+    fn star_graph_degrees() {
+        let mut b = GraphBuilder::new();
+        for leaf in 1..=4u32 {
+            b.add_edge(0u32, leaf);
+        }
+        let g = b.build();
+        assert_eq!(degrees(&g), vec![4, 1, 1, 1, 1]);
+        let dc = degree_centrality(&g);
+        assert!((dc[0] - 1.0).abs() < 1e-12);
+        assert!((dc[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivial_graphs() {
+        let g = GraphBuilder::new().build();
+        assert!(degrees(&g).is_empty());
+        assert!(degree_centrality(&g).is_empty());
+
+        let mut b = GraphBuilder::new();
+        b.ensure_vertex(0);
+        let g = b.build();
+        assert_eq!(degree_centrality(&g), vec![0.0]);
+    }
+}

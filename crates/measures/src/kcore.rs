@@ -1,0 +1,238 @@
+//! K-Core decomposition (Batagelj–Zaveršnik bucket algorithm, `O(|E|)`).
+//!
+//! Definition 4 of the paper: a K-Core is a subgraph in which every vertex has
+//! at least `K` neighbors inside the subgraph; `KC(v)` is the largest `K` such
+//! that `v` belongs to a K-Core. When `KC(v)` is used as the vertex scalar,
+//! Proposition 4 shows that every maximal α-connected component is a K-Core
+//! with `K = α` — this is the scalar field behind Figures 1(a), 6(c,d),
+//! 7(a,c) and the user-study Tasks 1 and 2.
+
+use ugraph::{CsrGraph, VertexId};
+
+/// Result of a K-Core decomposition.
+#[derive(Clone, Debug)]
+pub struct KCoreDecomposition {
+    /// `core[v]` is `KC(v)`, the core number of vertex `v`.
+    pub core: Vec<usize>,
+    /// The largest core number present (the graph's degeneracy).
+    pub degeneracy: usize,
+}
+
+impl KCoreDecomposition {
+    /// Vertices of the maximal K-Core for `k = self.degeneracy`.
+    pub fn densest_core_vertices(&self) -> Vec<VertexId> {
+        self.vertices_with_core_at_least(self.degeneracy)
+    }
+
+    /// Vertices whose core number is at least `k`.
+    pub fn vertices_with_core_at_least(&self, k: usize) -> Vec<VertexId> {
+        self.core
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c >= k)
+            .map(|(v, _)| VertexId::from_index(v))
+            .collect()
+    }
+}
+
+/// Compute core numbers with the Batagelj–Zaveršnik bucket algorithm.
+///
+/// Runs in `O(|V| + |E|)`: vertices are kept in an array bucketed by their
+/// current effective degree and repeatedly the lowest-degree vertex is peeled,
+/// decrementing its still-present neighbors.
+pub fn core_numbers(graph: &CsrGraph) -> KCoreDecomposition {
+    let n = graph.vertex_count();
+    if n == 0 {
+        return KCoreDecomposition { core: Vec::new(), degeneracy: 0 };
+    }
+    let mut degree: Vec<usize> = (0..n).map(|v| graph.degree(VertexId::from_index(v))).collect();
+    let max_degree = degree.iter().copied().max().unwrap_or(0);
+
+    // Bucket sort vertices by degree.
+    let mut bin = vec![0usize; max_degree + 2];
+    for &d in &degree {
+        bin[d] += 1;
+    }
+    let mut start = 0usize;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    // pos[v]: index of v in vert; vert: vertices sorted by current degree.
+    let mut pos = vec![0usize; n];
+    let mut vert = vec![0usize; n];
+    {
+        let mut next = bin.clone();
+        for v in 0..n {
+            pos[v] = next[degree[v]];
+            vert[pos[v]] = v;
+            next[degree[v]] += 1;
+        }
+    }
+
+    let mut core = degree.clone();
+    for i in 0..n {
+        let v = vert[i];
+        core[v] = degree[v];
+        for u in graph.neighbor_vertices(VertexId::from_index(v)) {
+            let u = u.index();
+            if degree[u] > degree[v] {
+                // Move u one bucket down: swap it with the first vertex of its
+                // current bucket, then shift the bucket boundary.
+                let du = degree[u];
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = vert[pw];
+                if u != w {
+                    pos[u] = pw;
+                    pos[w] = pu;
+                    vert[pu] = w;
+                    vert[pw] = u;
+                }
+                bin[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+    }
+
+    let degeneracy = core.iter().copied().max().unwrap_or(0);
+    KCoreDecomposition { core, degeneracy }
+}
+
+/// Brute-force core numbers by repeated peeling; `O(|V|·|E|)`.
+///
+/// Exposed for tests and property checks only.
+pub fn core_numbers_bruteforce(graph: &CsrGraph) -> Vec<usize> {
+    let n = graph.vertex_count();
+    let mut core = vec![0usize; n];
+    let mut removed = vec![false; n];
+    let mut degree: Vec<usize> = (0..n).map(|v| graph.degree(VertexId::from_index(v))).collect();
+    // Peel the minimum-degree vertex repeatedly; the core number of a vertex
+    // is the largest minimum degree seen up to (and including) its removal.
+    let mut running_k = 0usize;
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| !removed[v])
+            .min_by_key(|&v| degree[v])
+            .expect("a vertex remains");
+        running_k = running_k.max(degree[v]);
+        core[v] = running_k;
+        removed[v] = true;
+        for u in graph.neighbor_vertices(VertexId::from_index(v)) {
+            if !removed[u.index()] && degree[u.index()] > 0 {
+                degree[u.index()] -= 1;
+            }
+        }
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::generators::{barabasi_albert, erdos_renyi};
+    use ugraph::GraphBuilder;
+
+    fn clique(k: usize) -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..k as u32 {
+            for v in (u + 1)..k as u32 {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn clique_core_numbers() {
+        let g = clique(5);
+        let d = core_numbers(&g);
+        assert_eq!(d.core, vec![4; 5]);
+        assert_eq!(d.degeneracy, 4);
+        assert_eq!(d.densest_core_vertices().len(), 5);
+    }
+
+    #[test]
+    fn clique_with_tail() {
+        // K4 on {0,1,2,3} plus a path 3-4-5.
+        let mut b = GraphBuilder::new();
+        for u in 0..4u32 {
+            for v in (u + 1)..4u32 {
+                b.add_edge(u, v);
+            }
+        }
+        b.add_edge(3, 4);
+        b.add_edge(4, 5);
+        let g = b.build();
+        let d = core_numbers(&g);
+        assert_eq!(d.core[0..4], [3, 3, 3, 3]);
+        assert_eq!(d.core[4], 1);
+        assert_eq!(d.core[5], 1);
+        assert_eq!(d.degeneracy, 3);
+        assert_eq!(d.vertices_with_core_at_least(3).len(), 4);
+    }
+
+    #[test]
+    fn two_cliques_joined_by_bridge() {
+        // Two K5s joined by a single edge: both cliques are 4-cores, the
+        // bridge does not raise anyone's core number.
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5u32 {
+                b.add_edge(u, v);
+                b.add_edge(u + 5, v + 5);
+            }
+        }
+        b.add_edge(4, 5);
+        let g = b.build();
+        let d = core_numbers(&g);
+        assert!(d.core.iter().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn isolated_vertices_have_core_zero() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.ensure_vertex(3);
+        let g = b.build();
+        let d = core_numbers(&g);
+        assert_eq!(d.core, vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn matches_bruteforce_on_random_graphs() {
+        for seed in 0..5u64 {
+            let g = erdos_renyi(60, 0.08, seed);
+            let fast = core_numbers(&g).core;
+            let slow = core_numbers_bruteforce(&g);
+            assert_eq!(fast, slow, "seed {seed}");
+        }
+        let g = barabasi_albert(80, 3, 1);
+        assert_eq!(core_numbers(&g).core, core_numbers_bruteforce(&g));
+    }
+
+    #[test]
+    fn kcore_invariant_every_vertex_has_enough_neighbors_in_its_core() {
+        let g = barabasi_albert(200, 4, 5);
+        let d = core_numbers(&g);
+        // For each vertex v, the subgraph induced by {u : core(u) >= core(v)}
+        // must give v at least core(v) neighbors.
+        for v in g.vertices() {
+            let k = d.core[v.index()];
+            let count = g
+                .neighbor_vertices(v)
+                .filter(|u| d.core[u.index()] >= k)
+                .count();
+            assert!(count >= k, "vertex {v:?} has only {count} neighbors in its {k}-core");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        let d = core_numbers(&g);
+        assert!(d.core.is_empty());
+        assert_eq!(d.degeneracy, 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! PageRank on the undirected graph (power iteration).
+//!
+//! PageRank is listed in the paper's introduction as one of the global
+//! importance measures a data scientist may want to visualize as a scalar
+//! field. On an undirected graph the random walk follows each edge in both
+//! directions.
+
+use ugraph::CsrGraph;
+
+/// Configuration for [`pagerank`].
+#[derive(Clone, Copy, Debug)]
+pub struct PageRankConfig {
+    /// Damping factor (probability of following an edge rather than jumping).
+    pub damping: f64,
+    /// Maximum number of power iterations.
+    pub max_iterations: usize,
+    /// L1 convergence tolerance.
+    pub tolerance: f64,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig { damping: 0.85, max_iterations: 100, tolerance: 1e-9 }
+    }
+}
+
+/// Compute PageRank scores; the result sums to 1.
+pub fn pagerank(graph: &CsrGraph, config: &PageRankConfig) -> Vec<f64> {
+    let n = graph.vertex_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!((0.0..1.0).contains(&config.damping), "damping must be in [0, 1)");
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+
+    for _ in 0..config.max_iterations {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        let mut dangling_mass = 0.0;
+        for v in graph.vertices() {
+            let d = graph.degree(v);
+            if d == 0 {
+                dangling_mass += rank[v.index()];
+                continue;
+            }
+            let share = rank[v.index()] / d as f64;
+            for u in graph.neighbor_vertices(v) {
+                next[u.index()] += share;
+            }
+        }
+        let teleport = (1.0 - config.damping) * uniform + config.damping * dangling_mass * uniform;
+        let mut delta = 0.0;
+        for v in 0..n {
+            let new_rank = teleport + config.damping * next[v];
+            delta += (new_rank - rank[v]).abs();
+            rank[v] = new_rank;
+        }
+        if delta < config.tolerance {
+            break;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::generators::barabasi_albert;
+    use ugraph::GraphBuilder;
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let g = barabasi_albert(200, 3, 4);
+        let pr = pagerank(&g, &PageRankConfig::default());
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+        assert!(pr.iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn symmetric_graph_has_symmetric_ranks() {
+        // A 4-cycle: all vertices are equivalent.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        b.add_edge(3, 0);
+        let g = b.build();
+        let pr = pagerank(&g, &PageRankConfig::default());
+        for &r in &pr {
+            assert!((r - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hub_outranks_leaves() {
+        let mut b = GraphBuilder::new();
+        for leaf in 1..=8u32 {
+            b.add_edge(0u32, leaf);
+        }
+        let g = b.build();
+        let pr = pagerank(&g, &PageRankConfig::default());
+        assert!(pr[0] > pr[1] * 3.0);
+    }
+
+    #[test]
+    fn dangling_vertices_receive_teleport_mass() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.ensure_vertex(2); // isolated vertex
+        let g = b.build();
+        let pr = pagerank(&g, &PageRankConfig::default());
+        assert!(pr[2] > 0.0);
+        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert!(pagerank(&g, &PageRankConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,275 @@
+//! Scalar field containers.
+//!
+//! A scalar field is simply a `f64` value per vertex (or per edge), but the
+//! wrappers here carry the association with a specific graph (length checked
+//! at construction), provide the normalization and discretization helpers the
+//! terrain pipeline needs, and give the rest of the workspace a common
+//! vocabulary type.
+
+use ugraph::{CsrGraph, EdgeId, GraphError, Result, VertexId};
+
+/// A scalar value per vertex of a specific graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VertexScalarField {
+    values: Vec<f64>,
+}
+
+/// A scalar value per edge of a specific graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EdgeScalarField {
+    values: Vec<f64>,
+}
+
+impl VertexScalarField {
+    /// Wrap per-vertex values, checking the length against `graph`.
+    pub fn new(graph: &CsrGraph, values: Vec<f64>) -> Result<Self> {
+        graph.check_vertex_values(&values)?;
+        Ok(VertexScalarField { values })
+    }
+
+    /// Build a field by evaluating `f` on every vertex.
+    pub fn from_fn(graph: &CsrGraph, mut f: impl FnMut(VertexId) -> f64) -> Self {
+        VertexScalarField { values: graph.vertices().map(|v| f(v)).collect() }
+    }
+
+    /// Build from integer values (e.g. core numbers).
+    pub fn from_usize(graph: &CsrGraph, values: &[usize]) -> Result<Self> {
+        graph.check_vertex_values(values)?;
+        Ok(VertexScalarField { values: values.iter().map(|&v| v as f64).collect() })
+    }
+
+    /// The scalar value of vertex `v`.
+    #[inline]
+    pub fn get(&self, v: VertexId) -> f64 {
+        self.values[v.index()]
+    }
+
+    /// All values, indexed by vertex id.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the underlying values.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the field is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Minimum and maximum value, or `None` for an empty field.
+    pub fn range(&self) -> Option<(f64, f64)> {
+        range_of(&self.values)
+    }
+
+    /// Return a copy rescaled linearly to `[0, 1]` (constant fields map to 0).
+    pub fn normalized(&self) -> Self {
+        VertexScalarField { values: normalize(&self.values) }
+    }
+
+    /// Return a copy with values snapped to `levels` evenly spaced values
+    /// between the minimum and maximum.
+    ///
+    /// This is the *simplification* operation of Section II-E: discretizing
+    /// the scalar values lets Algorithm 2 merge many more nodes into super
+    /// nodes, shrinking the tree the terrain has to render.
+    pub fn discretized(&self, levels: usize) -> Self {
+        VertexScalarField { values: discretize(&self.values, levels) }
+    }
+}
+
+impl EdgeScalarField {
+    /// Wrap per-edge values, checking the length against `graph`.
+    pub fn new(graph: &CsrGraph, values: Vec<f64>) -> Result<Self> {
+        graph.check_edge_values(&values)?;
+        Ok(EdgeScalarField { values })
+    }
+
+    /// Build a field by evaluating `f` on every edge.
+    pub fn from_fn(graph: &CsrGraph, mut f: impl FnMut(EdgeId) -> f64) -> Self {
+        EdgeScalarField {
+            values: (0..graph.edge_count()).map(|i| f(EdgeId::from_index(i))).collect(),
+        }
+    }
+
+    /// Build from integer values (e.g. truss numbers).
+    pub fn from_usize(graph: &CsrGraph, values: &[usize]) -> Result<Self> {
+        graph.check_edge_values(values)?;
+        Ok(EdgeScalarField { values: values.iter().map(|&v| v as f64).collect() })
+    }
+
+    /// The scalar value of edge `e`.
+    #[inline]
+    pub fn get(&self, e: EdgeId) -> f64 {
+        self.values[e.index()]
+    }
+
+    /// All values, indexed by edge id.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the underlying values.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Number of edges covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the field is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Minimum and maximum value, or `None` for an empty field.
+    pub fn range(&self) -> Option<(f64, f64)> {
+        range_of(&self.values)
+    }
+
+    /// Linearly rescaled copy in `[0, 1]`.
+    pub fn normalized(&self) -> Self {
+        EdgeScalarField { values: normalize(&self.values) }
+    }
+
+    /// Copy snapped to `levels` evenly spaced values (see
+    /// [`VertexScalarField::discretized`]).
+    pub fn discretized(&self, levels: usize) -> Self {
+        EdgeScalarField { values: discretize(&self.values, levels) }
+    }
+}
+
+fn range_of(values: &[f64]) -> Option<(f64, f64)> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    Some((min, max))
+}
+
+fn normalize(values: &[f64]) -> Vec<f64> {
+    match range_of(values) {
+        None => Vec::new(),
+        Some((min, max)) if max > min => {
+            values.iter().map(|&v| (v - min) / (max - min)).collect()
+        }
+        Some(_) => vec![0.0; values.len()],
+    }
+}
+
+fn discretize(values: &[f64], levels: usize) -> Vec<f64> {
+    assert!(levels >= 1, "need at least one level");
+    match range_of(values) {
+        None => Vec::new(),
+        Some((min, max)) if max > min => {
+            let span = max - min;
+            values
+                .iter()
+                .map(|&v| {
+                    let t = (v - min) / span;
+                    let bucket = (t * (levels - 1) as f64).round();
+                    min + span * bucket / (levels - 1).max(1) as f64
+                })
+                .collect()
+        }
+        Some(_) => values.to_vec(),
+    }
+}
+
+/// Validate that a scalar field is finite everywhere (no NaN / infinities).
+pub fn check_finite(values: &[f64], what: &'static str) -> Result<()> {
+    if values.iter().all(|v| v.is_finite()) {
+        Ok(())
+    } else {
+        Err(GraphError::Parse { line: 0, message: format!("{what} contains non-finite values") })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::GraphBuilder;
+
+    fn path3() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.build()
+    }
+
+    #[test]
+    fn vertex_field_construction_and_access() {
+        let g = path3();
+        let f = VertexScalarField::new(&g, vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(f.get(VertexId(1)), 2.0);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.range(), Some((1.0, 3.0)));
+        assert!(VertexScalarField::new(&g, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn edge_field_construction_and_access() {
+        let g = path3();
+        let f = EdgeScalarField::new(&g, vec![0.5, 1.5]).unwrap();
+        assert_eq!(f.get(EdgeId(0)), 0.5);
+        assert!(EdgeScalarField::new(&g, vec![0.5]).is_err());
+        let from_fn = EdgeScalarField::from_fn(&g, |e| e.index() as f64);
+        assert_eq!(from_fn.values(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn normalization_maps_to_unit_interval() {
+        let g = path3();
+        let f = VertexScalarField::new(&g, vec![10.0, 20.0, 30.0]).unwrap();
+        let n = f.normalized();
+        assert_eq!(n.values(), &[0.0, 0.5, 1.0]);
+        // Constant field normalizes to zero.
+        let c = VertexScalarField::new(&g, vec![5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(c.normalized().values(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn discretization_snaps_to_levels() {
+        let g = path3();
+        let f = VertexScalarField::new(&g, vec![0.0, 0.49, 1.0]).unwrap();
+        let d = f.discretized(2);
+        assert_eq!(d.values(), &[0.0, 0.0, 1.0]);
+        let d3 = f.discretized(3);
+        assert_eq!(d3.values(), &[0.0, 0.5, 1.0]);
+        // Discretization never leaves the original range.
+        let (min, max) = f.range().unwrap();
+        for &v in d3.values() {
+            assert!(v >= min && v <= max);
+        }
+    }
+
+    #[test]
+    fn from_usize_and_finiteness_check() {
+        let g = path3();
+        let f = VertexScalarField::from_usize(&g, &[3, 2, 1]).unwrap();
+        assert_eq!(f.values(), &[3.0, 2.0, 1.0]);
+        assert!(check_finite(f.values(), "field").is_ok());
+        assert!(check_finite(&[1.0, f64::NAN], "field").is_err());
+    }
+
+    #[test]
+    fn from_fn_evaluates_every_vertex() {
+        let g = path3();
+        let f = VertexScalarField::from_fn(&g, |v| g.degree(v) as f64);
+        assert_eq!(f.values(), &[1.0, 2.0, 1.0]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Triangle counting and clustering coefficients.
+//!
+//! Per-edge triangle counts ("triangle density" in the paper's introduction)
+//! are both a scalar field in their own right and the support computation of
+//! the K-Truss decomposition.
+
+use ugraph::{CsrGraph, VertexId};
+
+/// Number of triangles through each edge, indexed by edge id.
+///
+/// Uses the standard merge-intersection over the sorted adjacency lists of
+/// both endpoints, `O(Σ_e (deg(u) + deg(v)))`.
+pub fn edge_triangle_counts(graph: &CsrGraph) -> Vec<usize> {
+    let mut counts = vec![0usize; graph.edge_count()];
+    for e in graph.edges() {
+        counts[e.id.index()] = sorted_intersection_size(
+            graph.neighbor_slice(e.u),
+            graph.neighbor_slice(e.v),
+        );
+    }
+    counts
+}
+
+/// Number of triangles through each vertex, indexed by vertex id.
+pub fn vertex_triangle_counts(graph: &CsrGraph) -> Vec<usize> {
+    let edge_counts = edge_triangle_counts(graph);
+    let mut vertex_counts = vec![0usize; graph.vertex_count()];
+    for e in graph.edges() {
+        // Each triangle through a vertex v uses exactly two edges incident to
+        // v, so summing edge counts over incident edges double-counts.
+        vertex_counts[e.u.index()] += edge_counts[e.id.index()];
+        vertex_counts[e.v.index()] += edge_counts[e.id.index()];
+    }
+    for c in &mut vertex_counts {
+        *c /= 2;
+    }
+    vertex_counts
+}
+
+/// Local clustering coefficient of every vertex: the fraction of neighbor
+/// pairs that are themselves connected. Vertices of degree < 2 get 0.
+pub fn clustering_coefficients(graph: &CsrGraph) -> Vec<f64> {
+    let triangles = vertex_triangle_counts(graph);
+    graph
+        .vertices()
+        .map(|v| {
+            let d = graph.degree(v);
+            if d < 2 {
+                0.0
+            } else {
+                2.0 * triangles[v.index()] as f64 / (d * (d - 1)) as f64
+            }
+        })
+        .collect()
+}
+
+/// Total number of triangles in the graph.
+pub fn total_triangles(graph: &CsrGraph) -> usize {
+    // Each triangle is counted once per edge (3 times total).
+    edge_triangle_counts(graph).iter().sum::<usize>() / 3
+}
+
+fn sorted_intersection_size(a: &[VertexId], b: &[VertexId]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::GraphBuilder;
+
+    fn clique(k: usize) -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..k as u32 {
+            for v in (u + 1)..k as u32 {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn triangle_graph() {
+        let g = clique(3);
+        assert_eq!(edge_triangle_counts(&g), vec![1, 1, 1]);
+        assert_eq!(vertex_triangle_counts(&g), vec![1, 1, 1]);
+        assert_eq!(total_triangles(&g), 1);
+        assert_eq!(clustering_coefficients(&g), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn clique_counts() {
+        let k = 6;
+        let g = clique(k);
+        // Every edge of K6 is in k-2 = 4 triangles; every vertex in C(5,2) = 10.
+        assert!(edge_triangle_counts(&g).iter().all(|&c| c == k - 2));
+        assert!(vertex_triangle_counts(&g).iter().all(|&c| c == (k - 1) * (k - 2) / 2));
+        assert_eq!(total_triangles(&g), k * (k - 1) * (k - 2) / 6);
+    }
+
+    #[test]
+    fn path_has_no_triangles() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        let g = b.build();
+        assert_eq!(total_triangles(&g), 0);
+        assert!(clustering_coefficients(&g).iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn square_with_diagonal() {
+        // Square 0-1-2-3-0 plus diagonal 0-2: two triangles sharing edge 0-2.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        b.add_edge(3, 0);
+        b.add_edge(0, 2);
+        let g = b.build();
+        assert_eq!(total_triangles(&g), 2);
+        let e02 = g.find_edge(VertexId(0), VertexId(2)).unwrap();
+        assert_eq!(edge_triangle_counts(&g)[e02.index()], 2);
+        let cc = clustering_coefficients(&g);
+        // Vertices 1 and 3 have degree 2 and one closed pair each.
+        assert!((cc[1] - 1.0).abs() < 1e-12);
+        assert!((cc[3] - 1.0).abs() < 1e-12);
+        // Vertices 0 and 2 have degree 3 (3 pairs) and 2 closed pairs.
+        assert!((cc[0] - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the measure substrates: decompositions checked
+//! against brute force, and structural invariants of the centrality and
+//! community measures on arbitrary random graphs.
+
+use measures::kcore::{core_numbers, core_numbers_bruteforce};
+use measures::ktruss::{truss_numbers, truss_numbers_bruteforce};
+use measures::{
+    betweenness_centrality, clustering_coefficients, degree_centrality, degrees,
+    harmonic_centrality, label_propagation, pagerank, vertex_triangle_counts, PageRankConfig,
+};
+use proptest::prelude::*;
+use ugraph::{CsrGraph, GraphBuilder, VertexId};
+
+/// Strategy: an arbitrary simple graph with up to `max_n` vertices.
+fn arbitrary_graph(max_n: usize, edge_factor: usize) -> impl Strategy<Value = CsrGraph> {
+    (2usize..max_n)
+        .prop_flat_map(move |n| {
+            let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..(edge_factor * n));
+            (Just(n), edges)
+        })
+        .prop_map(|(n, edges)| {
+            let mut b = GraphBuilder::new();
+            b.ensure_vertex(n - 1);
+            for (u, v) in edges {
+                b.add_edge(u, v);
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The bucket K-Core decomposition agrees with the O(V·E) peeling oracle.
+    #[test]
+    fn core_numbers_match_bruteforce(graph in arbitrary_graph(40, 3)) {
+        prop_assert_eq!(core_numbers(&graph).core, core_numbers_bruteforce(&graph));
+    }
+
+    /// Core numbers are bounded by degree, and the degeneracy is attained.
+    #[test]
+    fn core_numbers_are_degree_bounded(graph in arbitrary_graph(60, 4)) {
+        let d = core_numbers(&graph);
+        for v in graph.vertices() {
+            prop_assert!(d.core[v.index()] <= graph.degree(v));
+        }
+        if graph.vertex_count() > 0 {
+            prop_assert_eq!(d.degeneracy, d.core.iter().copied().max().unwrap_or(0));
+        }
+    }
+
+    /// The truss peeling agrees with the fixed-point oracle.
+    #[test]
+    fn truss_numbers_match_bruteforce(graph in arbitrary_graph(22, 3)) {
+        prop_assert_eq!(truss_numbers(&graph).truss, truss_numbers_bruteforce(&graph));
+    }
+
+    /// Truss numbers are bounded by the edge's raw triangle support, and every
+    /// edge of a triangle has truss at least 1.
+    #[test]
+    fn truss_numbers_are_support_bounded(graph in arbitrary_graph(40, 3)) {
+        let support = measures::edge_triangle_counts(&graph);
+        let truss = truss_numbers(&graph).truss;
+        for e in 0..graph.edge_count() {
+            prop_assert!(truss[e] <= support[e]);
+            if support[e] > 0 {
+                prop_assert!(truss[e] >= 1);
+            } else {
+                prop_assert_eq!(truss[e], 0);
+            }
+        }
+    }
+
+    /// PageRank is a probability distribution and respects degree dominance in
+    /// expectation: the maximum-rank vertex is never a zero-degree vertex when
+    /// edges exist.
+    #[test]
+    fn pagerank_is_a_distribution(graph in arbitrary_graph(50, 3)) {
+        let pr = pagerank(&graph, &PageRankConfig::default());
+        if graph.vertex_count() == 0 {
+            prop_assert!(pr.is_empty());
+        } else {
+            let sum: f64 = pr.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6);
+            prop_assert!(pr.iter().all(|&r| r >= 0.0));
+            if graph.edge_count() > 0 {
+                let top = pr
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap()
+                    .0;
+                prop_assert!(graph.degree(VertexId::from_index(top)) > 0);
+            }
+        }
+    }
+
+    /// Centralities stay within their normalization bounds.
+    #[test]
+    fn centralities_are_bounded(graph in arbitrary_graph(40, 3)) {
+        for &c in &degree_centrality(&graph) {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&c));
+        }
+        for &c in &harmonic_centrality(&graph) {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&c));
+        }
+        for &c in &clustering_coefficients(&graph) {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&c));
+        }
+        for &c in &betweenness_centrality(&graph) {
+            prop_assert!(c >= -1e-9);
+        }
+    }
+
+    /// Triangle counts per vertex are consistent with degrees:
+    /// a vertex of degree d participates in at most C(d, 2) triangles.
+    #[test]
+    fn triangle_counts_are_bounded_by_degree_pairs(graph in arbitrary_graph(40, 4)) {
+        let triangles = vertex_triangle_counts(&graph);
+        let degs = degrees(&graph);
+        for v in 0..graph.vertex_count() {
+            prop_assert!(triangles[v] <= degs[v] * degs[v].saturating_sub(1) / 2);
+        }
+    }
+
+    /// Label propagation assigns every vertex a compact label and keeps
+    /// connected components intact: vertices in different components never
+    /// share a label with a vertex of another component... unless both labels
+    /// are singleton leftovers. We check the weaker, always-true property:
+    /// labels are in 0..k and every label is used.
+    #[test]
+    fn label_propagation_labels_are_compact(graph in arbitrary_graph(40, 3)) {
+        let labels = label_propagation(&graph, 15, 3);
+        prop_assert_eq!(labels.len(), graph.vertex_count());
+        if let Some(&max) = labels.iter().max() {
+            let used: std::collections::BTreeSet<usize> = labels.iter().copied().collect();
+            prop_assert_eq!(used.len(), max + 1);
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Direct extraction of maximal α-connected components (Definitions 1–3).
+//!
+//! These routines compute the components by a straightforward filtered BFS,
+//! without going through the scalar tree. They serve two purposes:
+//!
+//! 1. a simple public API when only one α value is needed, and
+//! 2. the *correctness oracle* that the scalar-tree algorithms (Algorithms
+//!    1–3) are validated against in unit and property tests: for every α the
+//!    subtrees above the cut must induce exactly these components.
+
+use crate::scalar_graph::{EdgeScalarGraph, VertexScalarGraph};
+use std::collections::VecDeque;
+use ugraph::{EdgeId, VertexId};
+
+/// One maximal α-connected component (Definition 1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlphaComponent {
+    /// The threshold α this component is maximal for.
+    pub alpha: f64,
+    /// Vertices of the component, sorted by id.
+    pub vertices: Vec<VertexId>,
+    /// Edges of the component (both endpoints inside), sorted by id.
+    pub edges: Vec<EdgeId>,
+    /// The smallest scalar value among member vertices (by Theorem 1, the
+    /// component equals `MCC(v)` of any vertex attaining this minimum).
+    pub min_scalar: f64,
+}
+
+/// One maximal α-edge-connected component (Definition 3).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlphaEdgeComponent {
+    /// The threshold α this component is maximal for.
+    pub alpha: f64,
+    /// Edges of the component, sorted by id.
+    pub edges: Vec<EdgeId>,
+    /// Vertices spanned by those edges, sorted by id.
+    pub vertices: Vec<VertexId>,
+    /// The smallest scalar value among member edges.
+    pub min_scalar: f64,
+}
+
+/// Extract all maximal α-connected components of a vertex scalar graph for a
+/// given `alpha` (Definition 1).
+///
+/// A component is a maximal connected set of vertices whose scalar is `>= α`,
+/// together with every edge joining two member vertices. Components are
+/// returned sorted by their smallest vertex id, so the output is canonical.
+pub fn maximal_alpha_components(sg: &VertexScalarGraph<'_>, alpha: f64) -> Vec<AlphaComponent> {
+    let graph = sg.graph();
+    let n = graph.vertex_count();
+    let mut visited = vec![false; n];
+    let mut components = Vec::new();
+    let mut queue = VecDeque::new();
+
+    for start in graph.vertices() {
+        if visited[start.index()] || sg.value(start) < alpha {
+            continue;
+        }
+        // BFS restricted to vertices with scalar >= alpha.
+        let mut vertices = Vec::new();
+        visited[start.index()] = true;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            vertices.push(v);
+            for u in graph.neighbor_vertices(v) {
+                if !visited[u.index()] && sg.value(u) >= alpha {
+                    visited[u.index()] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+        vertices.sort_unstable();
+        // Condition (3): include every edge with both endpoints inside.
+        let member = {
+            let mut member = vec![false; n];
+            for &v in &vertices {
+                member[v.index()] = true;
+            }
+            member
+        };
+        let mut edges = Vec::new();
+        for &v in &vertices {
+            for (u, e) in graph.neighbors(v) {
+                if u > v && member[u.index()] {
+                    edges.push(e);
+                }
+            }
+        }
+        edges.sort_unstable();
+        let min_scalar = vertices
+            .iter()
+            .map(|&v| sg.value(v))
+            .fold(f64::INFINITY, f64::min);
+        components.push(AlphaComponent { alpha, vertices, edges, min_scalar });
+    }
+    components
+}
+
+/// Extract all maximal α-edge-connected components of an edge scalar graph for
+/// a given `alpha` (Definition 3).
+///
+/// Two qualifying edges (scalar `>= α`) belong to the same component when they
+/// are connected through a chain of qualifying edges sharing endpoints.
+pub fn maximal_alpha_edge_components(
+    sg: &EdgeScalarGraph<'_>,
+    alpha: f64,
+) -> Vec<AlphaEdgeComponent> {
+    let graph = sg.graph();
+    let m = graph.edge_count();
+    let mut visited = vec![false; m];
+    let mut components = Vec::new();
+    let mut queue: VecDeque<EdgeId> = VecDeque::new();
+
+    for start_idx in 0..m {
+        let start = EdgeId::from_index(start_idx);
+        if visited[start_idx] || sg.value(start) < alpha {
+            continue;
+        }
+        let mut edges = Vec::new();
+        visited[start_idx] = true;
+        queue.push_back(start);
+        while let Some(e) = queue.pop_front() {
+            edges.push(e);
+            let (u, v) = graph.endpoints(e);
+            for endpoint in [u, v] {
+                for &incident in graph.incident_edge_slice(endpoint) {
+                    if !visited[incident.index()] && sg.value(incident) >= alpha {
+                        visited[incident.index()] = true;
+                        queue.push_back(incident);
+                    }
+                }
+            }
+        }
+        edges.sort_unstable();
+        let mut vertices: Vec<VertexId> = edges
+            .iter()
+            .flat_map(|&e| {
+                let (u, v) = graph.endpoints(e);
+                [u, v]
+            })
+            .collect();
+        vertices.sort_unstable();
+        vertices.dedup();
+        let min_scalar = edges.iter().map(|&e| sg.value(e)).fold(f64::INFINITY, f64::min);
+        components.push(AlphaEdgeComponent { alpha, edges, vertices, min_scalar });
+    }
+    components
+}
+
+/// All distinct scalar values of a slice, sorted increasing — the candidate α
+/// levels at which the component structure can change.
+pub fn distinct_levels(scalar: &[f64]) -> Vec<f64> {
+    let mut levels: Vec<f64> = scalar.to_vec();
+    levels.sort_by(|a, b| a.partial_cmp(b).expect("NaN-free scalars"));
+    levels.dedup();
+    levels
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use ugraph::{CsrGraph, GraphBuilder};
+
+    /// The example scalar graph of the paper's Figure 2(a): vertices v1..v9
+    /// (here 0-indexed as 0..8) with scalar values 3, 3, 4, 3, 5, 4, 2, 1.5, 1
+    /// and edges forming two dense regions joined through low-scalar vertices.
+    ///
+    /// Edges are chosen to match the figure's structure: {v1,v2,v3,v5} is a
+    /// maximal 2.5-connected component, {v4,v6} another, and both join at
+    /// v7 (scalar 2) into a maximal 2-connected component.
+    pub(crate) fn paper_figure2_graph() -> (CsrGraph, Vec<f64>) {
+        let mut b = GraphBuilder::new();
+        // Component {v1, v2, v3, v5}: a connected high-scalar region.
+        b.extend_edges([(0u32, 1u32), (0, 2), (1, 4), (2, 4)]);
+        // Component {v4, v6}.
+        b.add_edge(3, 5);
+        // v7 joins both regions.
+        b.extend_edges([(2u32, 6u32), (5, 6)]);
+        // v8 attaches below v7, v9 is the global minimum attached to v8.
+        b.add_edge(6, 7);
+        b.add_edge(7, 8);
+        let graph = b.build();
+        let scalar = vec![3.0, 3.0, 4.0, 3.0, 5.0, 4.0, 2.0, 1.5, 1.0];
+        (graph, scalar)
+    }
+
+    #[test]
+    fn figure2_alpha_2_5_components() {
+        let (graph, scalar) = paper_figure2_graph();
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let comps = maximal_alpha_components(&sg, 2.5);
+        assert_eq!(comps.len(), 2, "Figure 2(c): exactly two maximal 2.5-connected components");
+        let sets: Vec<Vec<u32>> = comps
+            .iter()
+            .map(|c| c.vertices.iter().map(|v| v.0).collect())
+            .collect();
+        assert!(sets.contains(&vec![0, 1, 2, 4]), "C1 = {{v1, v2, v3, v5}}");
+        assert!(sets.contains(&vec![3, 5]), "C2 = {{v4, v6}}");
+    }
+
+    #[test]
+    fn figure2_alpha_2_component_contains_both() {
+        let (graph, scalar) = paper_figure2_graph();
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let comps = maximal_alpha_components(&sg, 2.0);
+        assert_eq!(comps.len(), 1);
+        let verts: Vec<u32> = comps[0].vertices.iter().map(|v| v.0).collect();
+        assert_eq!(verts, vec![0, 1, 2, 3, 4, 5, 6], "C3 = {{v1..v7}}");
+        assert_eq!(comps[0].min_scalar, 2.0);
+    }
+
+    #[test]
+    fn components_include_internal_edges_only() {
+        let (graph, scalar) = paper_figure2_graph();
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let comps = maximal_alpha_components(&sg, 2.5);
+        for c in &comps {
+            for &e in &c.edges {
+                let (u, v) = graph.endpoints(e);
+                assert!(c.vertices.contains(&u) && c.vertices.contains(&v));
+            }
+            // No edge between member and non-member should be missing: count
+            // edges with both endpoints in the component directly.
+            let expected = graph
+                .edges()
+                .filter(|er| c.vertices.contains(&er.u) && c.vertices.contains(&er.v))
+                .count();
+            assert_eq!(c.edges.len(), expected);
+        }
+    }
+
+    #[test]
+    fn alpha_above_max_gives_no_components() {
+        let (graph, scalar) = paper_figure2_graph();
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        assert!(maximal_alpha_components(&sg, 100.0).is_empty());
+    }
+
+    #[test]
+    fn alpha_at_min_gives_connected_components_of_graph() {
+        let (graph, scalar) = paper_figure2_graph();
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let comps = maximal_alpha_components(&sg, 1.0);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].vertices.len(), graph.vertex_count());
+    }
+
+    #[test]
+    fn edge_components_on_a_path() {
+        // Path 0-1-2-3 with edge scalars 5, 1, 5: at α=3 the two scalar-5
+        // edges are separate components because the middle edge is below α.
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0u32, 1u32), (1, 2), (2, 3)]);
+        let graph = b.build();
+        let scalar = vec![5.0, 1.0, 5.0];
+        let sg = EdgeScalarGraph::new(&graph, &scalar).unwrap();
+        let comps = maximal_alpha_edge_components(&sg, 3.0);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].edges, vec![EdgeId(0)]);
+        assert_eq!(comps[1].edges, vec![EdgeId(2)]);
+        // At α=1 all three edges form one component.
+        let comps = maximal_alpha_edge_components(&sg, 1.0);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].edges.len(), 3);
+        assert_eq!(comps[0].vertices.len(), 4);
+    }
+
+    #[test]
+    fn distinct_levels_are_sorted_and_unique() {
+        let levels = distinct_levels(&[3.0, 1.0, 3.0, 2.0, 1.0]);
+        assert_eq!(levels, vec![1.0, 2.0, 3.0]);
+    }
+}

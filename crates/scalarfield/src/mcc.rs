@@ -1,0 +1,195 @@
+//! `MCC` queries and α cross-sections over super scalar trees.
+//!
+//! * `MCC(v)` (Definition 2) — the maximal `v.scalar`-connected component
+//!   containing `v` — is, by Proposition 2, the subtree of the super tree
+//!   rooted at the super node that contains `v`.
+//! * "Draw a line at height α across the tree" (Section II-B) — every subtree
+//!   hanging above the line is one maximal α-connected component; this is the
+//!   [`components_at_alpha`] cross-section, and it is also exactly the peak
+//!   decomposition the terrain shows at height α.
+
+use crate::super_tree::SuperScalarTree;
+
+/// The result of cutting a super scalar tree at a height α.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlphaCut {
+    /// The cut height.
+    pub alpha: f64,
+    /// For each maximal α-connected component: the super node that roots its
+    /// subtree.
+    pub component_roots: Vec<u32>,
+}
+
+impl AlphaCut {
+    /// Number of maximal α-connected components at this level.
+    pub fn component_count(&self) -> usize {
+        self.component_roots.len()
+    }
+}
+
+/// The super-tree subtree root corresponding to `MCC(element)`.
+///
+/// `element` is a vertex id for vertex scalar trees or an edge id for edge
+/// scalar trees. By Proposition 2 the subtree rooted at the returned super
+/// node spans exactly the maximal `scalar(element)`-connected component
+/// containing the element.
+pub fn mcc_of_element(tree: &SuperScalarTree, element: u32) -> u32 {
+    tree.node_of[element as usize]
+}
+
+/// All members (vertex or edge ids) of `MCC(element)`.
+pub fn mcc_members(tree: &SuperScalarTree, element: u32) -> Vec<u32> {
+    tree.subtree_members(mcc_of_element(tree, element))
+}
+
+/// Cut the super tree at height `alpha`: return one subtree root per maximal
+/// α-connected component (Section II-B / Definition 6's `peakα`s).
+///
+/// A super node roots a component when its scalar is `>= alpha` but its
+/// parent's scalar (if any) is `< alpha`.
+pub fn components_at_alpha(tree: &SuperScalarTree, alpha: f64) -> AlphaCut {
+    let mut component_roots = Vec::new();
+    for (id, node) in tree.nodes.iter().enumerate() {
+        if node.scalar < alpha {
+            continue;
+        }
+        let parent_below = match node.parent {
+            None => true,
+            Some(p) => tree.nodes[p as usize].scalar < alpha,
+        };
+        if parent_below {
+            component_roots.push(id as u32);
+        }
+    }
+    AlphaCut { alpha, component_roots }
+}
+
+/// Convenience: the members of every maximal α-connected component at `alpha`,
+/// sorted by component root id.
+pub fn component_members_at_alpha(tree: &SuperScalarTree, alpha: f64) -> Vec<Vec<u32>> {
+    components_at_alpha(tree, alpha)
+        .component_roots
+        .iter()
+        .map(|&root| tree.subtree_members(root))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{distinct_levels, maximal_alpha_components};
+    use crate::scalar_graph::VertexScalarGraph;
+    use crate::super_tree::build_super_tree;
+    use crate::vertex_tree::vertex_scalar_tree;
+    use std::collections::BTreeSet;
+    use ugraph::GraphBuilder;
+
+    fn figure2() -> (ugraph::CsrGraph, Vec<f64>) {
+        // Same structure as component::tests::paper_figure2_graph (kept local
+        // because that helper is private to its module's test build).
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0u32, 1u32), (0, 2), (1, 4), (2, 4)]);
+        b.add_edge(3, 5);
+        b.extend_edges([(2u32, 6u32), (5, 6)]);
+        b.add_edge(6, 7);
+        b.add_edge(7, 8);
+        (b.build(), vec![3.0, 3.0, 4.0, 3.0, 5.0, 4.0, 2.0, 1.5, 1.0])
+    }
+
+    #[test]
+    fn cut_components_match_direct_extraction_at_every_level() {
+        let (graph, scalar) = figure2();
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let st = build_super_tree(&vertex_scalar_tree(&sg));
+        for &alpha in &distinct_levels(&scalar) {
+            let from_tree: BTreeSet<BTreeSet<u32>> = component_members_at_alpha(&st, alpha)
+                .into_iter()
+                .map(|m| m.into_iter().collect())
+                .collect();
+            let direct: BTreeSet<BTreeSet<u32>> = maximal_alpha_components(&sg, alpha)
+                .into_iter()
+                .map(|c| c.vertices.into_iter().map(|v| v.0).collect())
+                .collect();
+            assert_eq!(from_tree, direct, "alpha {alpha}");
+        }
+    }
+
+    #[test]
+    fn figure2_alpha_cut_counts() {
+        let (graph, scalar) = figure2();
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let st = build_super_tree(&vertex_scalar_tree(&sg));
+        assert_eq!(components_at_alpha(&st, 2.5).component_count(), 2);
+        assert_eq!(components_at_alpha(&st, 2.0).component_count(), 1);
+        assert_eq!(components_at_alpha(&st, 5.0).component_count(), 1);
+        assert_eq!(components_at_alpha(&st, 5.5).component_count(), 0);
+        assert_eq!(components_at_alpha(&st, 1.0).component_count(), 1);
+    }
+
+    #[test]
+    fn theorem1_mcc_of_minimum_vertex_spans_component() {
+        // For every maximal α-connected component (at every level), MCC of its
+        // minimum-scalar vertex is the component itself (Theorem 1).
+        let (graph, scalar) = figure2();
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let st = build_super_tree(&vertex_scalar_tree(&sg));
+        for &alpha in &distinct_levels(&scalar) {
+            for comp in maximal_alpha_components(&sg, alpha) {
+                let min_vertex = *comp
+                    .vertices
+                    .iter()
+                    .min_by(|a, b| sg.value(**a).partial_cmp(&sg.value(**b)).unwrap())
+                    .unwrap();
+                let mcc: BTreeSet<u32> =
+                    mcc_members(&st, min_vertex.0).into_iter().collect();
+                let expected: BTreeSet<u32> = comp.vertices.iter().map(|v| v.0).collect();
+                assert_eq!(mcc, expected, "alpha {alpha}, min vertex {min_vertex:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn theorem2_equal_scalar_vertices_share_mcc() {
+        let (graph, scalar) = figure2();
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let st = build_super_tree(&vertex_scalar_tree(&sg));
+        for u in graph.vertices() {
+            for v in graph.vertices() {
+                if u == v || sg.value(u) != sg.value(v) {
+                    continue;
+                }
+                let mcc_u = mcc_members(&st, u.0);
+                if mcc_u.contains(&v.0) {
+                    assert_eq!(mcc_u, mcc_members(&st, v.0), "{u:?} vs {v:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem3_touching_components_nest() {
+        // Any two component subtrees from different levels either nest or are
+        // disjoint (Theorem 3: connected implies containment).
+        let (graph, scalar) = figure2();
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let st = build_super_tree(&vertex_scalar_tree(&sg));
+        let levels = distinct_levels(&scalar);
+        let mut all: Vec<BTreeSet<u32>> = Vec::new();
+        for &alpha in &levels {
+            for members in component_members_at_alpha(&st, alpha) {
+                all.push(members.into_iter().collect());
+            }
+        }
+        for a in &all {
+            for b in &all {
+                let intersects = a.intersection(b).next().is_some();
+                if intersects {
+                    assert!(
+                        a.is_subset(b) || b.is_subset(a),
+                        "components intersect without nesting: {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+}

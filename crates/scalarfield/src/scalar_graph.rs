@@ -1,0 +1,172 @@
+//! Scalar graphs: a graph together with a scalar value per vertex or per edge.
+//!
+//! These are thin, borrow-based views — the paper's "vertex-based scalar
+//! graph" `G(V, E)` with `v.scalar` and "edge-based scalar graph" with
+//! `e.scalar` (Section II). Construction validates that the scalar vector has
+//! exactly one entry per vertex (edge) and contains no NaN, so every
+//! downstream algorithm can rely on total ordering of the scalar values.
+
+use ugraph::{CsrGraph, EdgeId, GraphError, Result, VertexId};
+
+/// A vertex-based scalar graph: every vertex carries one scalar value.
+#[derive(Copy, Clone, Debug)]
+pub struct VertexScalarGraph<'a> {
+    graph: &'a CsrGraph,
+    scalar: &'a [f64],
+}
+
+/// An edge-based scalar graph: every edge carries one scalar value.
+#[derive(Copy, Clone, Debug)]
+pub struct EdgeScalarGraph<'a> {
+    graph: &'a CsrGraph,
+    scalar: &'a [f64],
+}
+
+impl<'a> VertexScalarGraph<'a> {
+    /// Create a vertex scalar graph, validating the scalar vector.
+    pub fn new(graph: &'a CsrGraph, scalar: &'a [f64]) -> Result<Self> {
+        graph.check_vertex_values(scalar)?;
+        check_no_nan(scalar, "vertex scalar field")?;
+        Ok(VertexScalarGraph { graph, scalar })
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &'a CsrGraph {
+        self.graph
+    }
+
+    /// The scalar values, indexed by vertex id.
+    #[inline]
+    pub fn scalar(&self) -> &'a [f64] {
+        self.scalar
+    }
+
+    /// The scalar value of vertex `v` (the paper's `v.scalar`).
+    #[inline]
+    pub fn value(&self, v: VertexId) -> f64 {
+        self.scalar[v.index()]
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.graph.vertex_count()
+    }
+
+    /// Vertices sorted by decreasing scalar value, ties broken by increasing
+    /// vertex id — the processing order of Algorithm 1.
+    pub fn vertices_by_decreasing_scalar(&self) -> Vec<VertexId> {
+        let mut order: Vec<VertexId> = self.graph.vertices().collect();
+        order.sort_by(|&a, &b| {
+            self.value(b)
+                .partial_cmp(&self.value(a))
+                .expect("scalar values are NaN-free")
+                .then(a.cmp(&b))
+        });
+        order
+    }
+}
+
+impl<'a> EdgeScalarGraph<'a> {
+    /// Create an edge scalar graph, validating the scalar vector.
+    pub fn new(graph: &'a CsrGraph, scalar: &'a [f64]) -> Result<Self> {
+        graph.check_edge_values(scalar)?;
+        check_no_nan(scalar, "edge scalar field")?;
+        Ok(EdgeScalarGraph { graph, scalar })
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &'a CsrGraph {
+        self.graph
+    }
+
+    /// The scalar values, indexed by edge id.
+    #[inline]
+    pub fn scalar(&self) -> &'a [f64] {
+        self.scalar
+    }
+
+    /// The scalar value of edge `e` (the paper's `e.scalar`).
+    #[inline]
+    pub fn value(&self, e: EdgeId) -> f64 {
+        self.scalar[e.index()]
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Edges sorted by decreasing scalar value, ties broken by increasing edge
+    /// id — the processing order of Algorithm 3.
+    pub fn edges_by_decreasing_scalar(&self) -> Vec<EdgeId> {
+        let mut order: Vec<EdgeId> = (0..self.edge_count()).map(EdgeId::from_index).collect();
+        order.sort_by(|&a, &b| {
+            self.value(b)
+                .partial_cmp(&self.value(a))
+                .expect("scalar values are NaN-free")
+                .then(a.cmp(&b))
+        });
+        order
+    }
+}
+
+fn check_no_nan(values: &[f64], what: &'static str) -> Result<()> {
+    if values.iter().any(|v| v.is_nan()) {
+        Err(GraphError::Parse { line: 0, message: format!("{what} contains NaN") })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::GraphBuilder;
+
+    fn path4() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0u32, 1u32), (1, 2), (2, 3)]);
+        b.build()
+    }
+
+    #[test]
+    fn vertex_scalar_graph_validates_input() {
+        let g = path4();
+        let good = vec![1.0, 2.0, 3.0, 4.0];
+        let sg = VertexScalarGraph::new(&g, &good).unwrap();
+        assert_eq!(sg.value(VertexId(2)), 3.0);
+        assert_eq!(sg.vertex_count(), 4);
+
+        let short = vec![1.0, 2.0];
+        assert!(VertexScalarGraph::new(&g, &short).is_err());
+        let nan = vec![1.0, f64::NAN, 3.0, 4.0];
+        assert!(VertexScalarGraph::new(&g, &nan).is_err());
+    }
+
+    #[test]
+    fn edge_scalar_graph_validates_input() {
+        let g = path4();
+        let good = vec![1.0, 2.0, 3.0];
+        let sg = EdgeScalarGraph::new(&g, &good).unwrap();
+        assert_eq!(sg.value(EdgeId(1)), 2.0);
+        assert_eq!(sg.edge_count(), 3);
+        assert!(EdgeScalarGraph::new(&g, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn decreasing_order_breaks_ties_by_id() {
+        let g = path4();
+        let scalar = vec![2.0, 5.0, 2.0, 7.0];
+        let sg = VertexScalarGraph::new(&g, &scalar).unwrap();
+        let order = sg.vertices_by_decreasing_scalar();
+        assert_eq!(order, vec![VertexId(3), VertexId(1), VertexId(0), VertexId(2)]);
+
+        let escalar = vec![1.0, 1.0, 9.0];
+        let esg = EdgeScalarGraph::new(&g, &escalar).unwrap();
+        assert_eq!(esg.edges_by_decreasing_scalar(), vec![EdgeId(2), EdgeId(0), EdgeId(1)]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Scalar-tree simplification by scalar discretization (Section II-E,
+//! "Simplification").
+//!
+//! Large graphs produce super trees with too many nodes to render and interact
+//! with smoothly. The paper's remedy is to discretize the scalar values so
+//! that similar values become equal, then re-run the Algorithm-2 merge: the
+//! result is an *approximate* super tree with far fewer nodes. This module
+//! implements that operation directly on a [`SuperScalarTree`], so it can be
+//! applied after construction without touching the original scalar field.
+
+use crate::super_tree::{SuperNode, SuperScalarTree};
+
+/// Simplify a super tree by snapping super-node scalars to `levels` evenly
+/// spaced values between the tree's minimum and maximum scalar and re-merging
+/// parent/child chains whose snapped values coincide.
+///
+/// `levels` must be at least 1. Using more levels than there are distinct
+/// scalar values leaves the tree unchanged. The members of merged nodes are
+/// concatenated, so [`SuperScalarTree::total_members`] is preserved.
+pub fn simplify_super_tree(tree: &SuperScalarTree, levels: usize) -> SuperScalarTree {
+    assert!(levels >= 1, "need at least one discretization level");
+    if tree.nodes.is_empty() {
+        return tree.clone();
+    }
+    let min = tree.nodes.iter().map(|n| n.scalar).fold(f64::INFINITY, f64::min);
+    let max = tree.nodes.iter().map(|n| n.scalar).fold(f64::NEG_INFINITY, f64::max);
+    let snap = |value: f64| -> f64 {
+        if max > min && levels > 1 {
+            let t = (value - min) / (max - min);
+            let bucket = (t * (levels - 1) as f64).round();
+            min + (max - min) * bucket / (levels - 1) as f64
+        } else {
+            min
+        }
+    };
+
+    // Phase 1: assign every old node to a new (merged) group. Walk each root's
+    // subtree; a child whose snapped scalar equals its parent's group scalar
+    // joins the parent's group, otherwise it starts a new group.
+    let old_count = tree.nodes.len();
+    let mut group_of = vec![u32::MAX; old_count];
+    // (group id, snapped scalar, parent group) in creation order.
+    let mut groups: Vec<(f64, Option<u32>)> = Vec::new();
+    let mut stack: Vec<(u32, Option<u32>)> = Vec::new(); // (old node, parent group)
+    for &root in &tree.roots {
+        stack.push((root, None));
+    }
+    while let Some((old, parent_group)) = stack.pop() {
+        let snapped = snap(tree.nodes[old as usize].scalar);
+        let group = match parent_group {
+            Some(pg) if groups[pg as usize].0 == snapped => pg,
+            _ => {
+                groups.push((snapped, parent_group));
+                (groups.len() - 1) as u32
+            }
+        };
+        group_of[old as usize] = group;
+        for &child in &tree.nodes[old as usize].children {
+            stack.push((child, Some(group)));
+        }
+    }
+
+    // Phase 2: materialize the merged nodes.
+    let mut nodes: Vec<SuperNode> = groups
+        .iter()
+        .map(|&(scalar, parent)| SuperNode {
+            scalar,
+            members: Vec::new(),
+            parent,
+            children: Vec::new(),
+        })
+        .collect();
+    for (old, &group) in group_of.iter().enumerate() {
+        nodes[group as usize]
+            .members
+            .extend_from_slice(&tree.nodes[old].members);
+    }
+    for node in &mut nodes {
+        node.members.sort_unstable();
+        node.members.dedup();
+    }
+    let mut roots = Vec::new();
+    for id in 0..nodes.len() {
+        match nodes[id].parent {
+            Some(p) => nodes[p as usize].children.push(id as u32),
+            None => roots.push(id as u32),
+        }
+    }
+    let mut node_of = vec![u32::MAX; tree.node_of.len()];
+    for (group_id, node) in nodes.iter().enumerate() {
+        for &m in &node.members {
+            node_of[m as usize] = group_id as u32;
+        }
+    }
+
+    let result = SuperScalarTree { nodes, roots, node_of };
+    debug_assert_eq!(result.check_invariants(), Ok(()));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar_graph::VertexScalarGraph;
+    use crate::super_tree::build_super_tree;
+    use crate::vertex_tree::vertex_scalar_tree;
+    use ugraph::generators::barabasi_albert;
+    use ugraph::GraphBuilder;
+
+    fn chain_tree() -> SuperScalarTree {
+        // Path 0-1-2-3-4 with scalars 5,4,3,2,1 -> a chain of 5 super nodes.
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0u32, 1u32), (1, 2), (2, 3), (3, 4)]);
+        let g = b.build();
+        let scalar = vec![5.0, 4.0, 3.0, 2.0, 1.0];
+        let sg = VertexScalarGraph::new(&g, &scalar).unwrap();
+        build_super_tree(&vertex_scalar_tree(&sg))
+    }
+
+    #[test]
+    fn two_levels_collapse_chain_to_two_nodes() {
+        let st = chain_tree();
+        assert_eq!(st.node_count(), 5);
+        let simplified = simplify_super_tree(&st, 2);
+        assert_eq!(simplified.node_count(), 2);
+        assert_eq!(simplified.total_members(), 5);
+        simplified.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn one_level_collapses_everything() {
+        let st = chain_tree();
+        let simplified = simplify_super_tree(&st, 1);
+        assert_eq!(simplified.node_count(), 1);
+        assert_eq!(simplified.total_members(), 5);
+    }
+
+    #[test]
+    fn many_levels_preserve_tree() {
+        let st = chain_tree();
+        let simplified = simplify_super_tree(&st, 50);
+        assert_eq!(simplified.node_count(), st.node_count());
+        assert_eq!(simplified.total_members(), st.total_members());
+    }
+
+    #[test]
+    fn member_count_is_always_preserved_and_nodes_shrink() {
+        let g = barabasi_albert(300, 3, 7);
+        let cores = measures::core_numbers(&g);
+        let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
+        let sg = VertexScalarGraph::new(&g, &scalar).unwrap();
+        let st = build_super_tree(&vertex_scalar_tree(&sg));
+        for levels in [64usize, 16, 4, 2, 1] {
+            let s = simplify_super_tree(&st, levels);
+            s.check_invariants().unwrap();
+            assert_eq!(s.total_members(), g.vertex_count());
+            assert!(s.node_count() <= st.node_count(), "simplification never grows the tree");
+        }
+        // The coarsest simplification collapses each root's subtree entirely.
+        let coarsest = simplify_super_tree(&st, 1);
+        assert_eq!(coarsest.node_count(), st.roots.len());
+    }
+
+    #[test]
+    fn empty_tree_is_unchanged() {
+        let g = GraphBuilder::new().build();
+        let scalar: Vec<f64> = vec![];
+        let sg = VertexScalarGraph::new(&g, &scalar).unwrap();
+        let st = build_super_tree(&vertex_scalar_tree(&sg));
+        let s = simplify_super_tree(&st, 4);
+        assert_eq!(s.node_count(), 0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Algorithm 2: postprocessing a scalar tree into a super scalar tree.
+//!
+//! When several elements share the same scalar value, the raw Algorithm-1 tree
+//! can contain subtrees that are *not* maximal α-connected components
+//! (the paper's Figure 3 example). Algorithm 2 fixes this by merging every
+//! ancestor with all of its equal-scalar descendants into a single **super
+//! node**; each subtree of the resulting super tree corresponds to a maximal
+//! α-connected component again (Proposition 2), at the price of Property 1
+//! (a super node may hold several original elements).
+//!
+//! The super tree is also the direct input of the terrain visualization: the
+//! 2D layout nests one boundary per super node, and the boundary's area is
+//! proportional to its subtree's total member count.
+
+use crate::vertex_tree::ScalarTree;
+use std::collections::VecDeque;
+
+/// One node of a [`SuperScalarTree`]: a maximal set of equal-scalar elements
+/// merged by Algorithm 2.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SuperNode {
+    /// The common scalar value of all members.
+    pub scalar: f64,
+    /// Original element ids (vertex ids or edge ids) merged into this node,
+    /// sorted increasing.
+    pub members: Vec<u32>,
+    /// Parent super node, or `None` for roots.
+    pub parent: Option<u32>,
+    /// Child super nodes, sorted by id.
+    pub children: Vec<u32>,
+}
+
+/// The super scalar tree produced by Algorithm 2 (a forest for disconnected
+/// inputs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SuperScalarTree {
+    /// All super nodes; ids are indices into this vector.
+    pub nodes: Vec<SuperNode>,
+    /// Root super nodes, sorted by id.
+    pub roots: Vec<u32>,
+    /// `node_of[element]` is the super node containing that original element.
+    pub node_of: Vec<u32>,
+}
+
+impl SuperScalarTree {
+    /// Number of super nodes (the `Nt` column of the paper's Table II).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total number of original elements across all super nodes.
+    pub fn total_members(&self) -> usize {
+        self.nodes.iter().map(|n| n.members.len()).sum()
+    }
+
+    /// Scalar value of super node `node`.
+    pub fn scalar(&self, node: u32) -> f64 {
+        self.nodes[node as usize].scalar
+    }
+
+    /// Number of members in the subtree rooted at each super node
+    /// (the quantity the terrain layout maps to boundary area).
+    pub fn subtree_member_counts(&self) -> Vec<usize> {
+        let mut counts: Vec<usize> = self.nodes.iter().map(|n| n.members.len()).collect();
+        // Accumulate bottom-up: process nodes in decreasing depth.
+        let order = self.nodes_by_decreasing_depth();
+        for node in order {
+            if let Some(p) = self.nodes[node as usize].parent {
+                counts[p as usize] += counts[node as usize];
+            }
+        }
+        counts
+    }
+
+    /// All original elements contained in the subtree rooted at `node`,
+    /// sorted increasing.
+    pub fn subtree_members(&self, node: u32) -> Vec<u32> {
+        let mut members = Vec::new();
+        let mut stack = vec![node];
+        while let Some(x) = stack.pop() {
+            members.extend_from_slice(&self.nodes[x as usize].members);
+            stack.extend_from_slice(&self.nodes[x as usize].children);
+        }
+        members.sort_unstable();
+        members
+    }
+
+    /// Depth of every super node (roots at depth 0).
+    pub fn depths(&self) -> Vec<usize> {
+        let mut depth = vec![0usize; self.nodes.len()];
+        let mut stack: Vec<u32> = self.roots.clone();
+        while let Some(node) = stack.pop() {
+            for &c in &self.nodes[node as usize].children {
+                depth[c as usize] = depth[node as usize] + 1;
+                stack.push(c);
+            }
+        }
+        depth
+    }
+
+    /// Node ids ordered by decreasing depth (children before parents).
+    pub fn nodes_by_decreasing_depth(&self) -> Vec<u32> {
+        let depths = self.depths();
+        let mut order: Vec<u32> = (0..self.nodes.len() as u32).collect();
+        order.sort_by_key(|&n| std::cmp::Reverse(depths[n as usize]));
+        order
+    }
+
+    /// Verify structural invariants (used by tests and debug assertions):
+    /// parent/child consistency, members sorted, scalar monotone along edges
+    /// (child scalar strictly greater than parent scalar), and `node_of`
+    /// consistency. Returns a description of the first violation found.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (id, node) in self.nodes.iter().enumerate() {
+            if node.members.is_empty() {
+                return Err(format!("super node {id} has no members"));
+            }
+            if node.members.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("super node {id} members not sorted/unique"));
+            }
+            for &m in &node.members {
+                if self.node_of.get(m as usize).copied() != Some(id as u32) {
+                    return Err(format!("node_of[{m}] does not point to super node {id}"));
+                }
+            }
+            for &c in &node.children {
+                let child = &self.nodes[c as usize];
+                if child.parent != Some(id as u32) {
+                    return Err(format!("child {c} of {id} has wrong parent"));
+                }
+                if child.scalar <= node.scalar {
+                    return Err(format!(
+                        "child {c} scalar {} not strictly greater than parent {id} scalar {}",
+                        child.scalar, node.scalar
+                    ));
+                }
+            }
+            if let Some(p) = node.parent {
+                if !self.nodes[p as usize].children.contains(&(id as u32)) {
+                    return Err(format!("parent {p} does not list child {id}"));
+                }
+            } else if !self.roots.contains(&(id as u32)) {
+                return Err(format!("orphan super node {id} not listed as root"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Algorithm 2: merge every ancestor with its equal-scalar descendants into
+/// super nodes and return the super scalar tree.
+pub fn build_super_tree(tree: &ScalarTree) -> SuperScalarTree {
+    let n = tree.len();
+    let children = tree.children();
+    let mut node_of = vec![u32::MAX; n];
+    let mut nodes: Vec<SuperNode> = Vec::new();
+    let mut roots = Vec::new();
+
+    // `ancestors` is the work list of the paper's Algorithm 2: tree nodes that
+    // start a new super node, paired with the super node of their parent.
+    let mut ancestors: VecDeque<(u32, Option<u32>)> =
+        tree.roots.iter().map(|&r| (r, None)).collect();
+
+    while let Some((anchor, parent_super)) = ancestors.pop_front() {
+        let super_id = nodes.len() as u32;
+        let mut members = Vec::new();
+        // BFS over the equal-scalar region rooted at `anchor` (lines 6-13).
+        let mut queue = VecDeque::new();
+        queue.push_back(anchor);
+        while let Some(nq) = queue.pop_front() {
+            members.push(nq);
+            node_of[nq as usize] = super_id;
+            for &nc in &children[nq as usize] {
+                if tree.scalar[nc as usize] == tree.scalar[anchor as usize] {
+                    queue.push_back(nc);
+                } else {
+                    // Lines 14-18: the child starts its own super node.
+                    ancestors.push_back((nc, Some(super_id)));
+                }
+            }
+        }
+        members.sort_unstable();
+        nodes.push(SuperNode {
+            scalar: tree.scalar[anchor as usize],
+            members,
+            parent: parent_super,
+            children: Vec::new(),
+        });
+        match parent_super {
+            Some(p) => nodes[p as usize].children.push(super_id),
+            None => roots.push(super_id),
+        }
+    }
+
+    let result = SuperScalarTree { nodes, roots, node_of };
+    debug_assert_eq!(result.check_invariants(), Ok(()));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar_graph::VertexScalarGraph;
+    use crate::vertex_tree::vertex_scalar_tree;
+    use ugraph::GraphBuilder;
+
+    /// The paper's Figure 3 example: duplicate scalar values force Algorithm 1
+    /// to produce a subtree that is not a maximal α-connected component, which
+    /// Algorithm 2 must repair by merging n3, n4, n5 into one super node.
+    ///
+    /// We reproduce the structure: vertices v1(3), v2(3), v3(2), v4(2), v5(2)
+    /// where v3, v4, v5 are mutually connected (same scalar 2) and v1 hangs
+    /// off v3 while v2 hangs off v5.
+    fn figure3_graph() -> (ugraph::CsrGraph, Vec<f64>) {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(2u32, 3u32), (3, 4), (2, 4)]); // v3-v4-v5 triangle
+        b.add_edge(0, 2); // v1 - v3
+        b.add_edge(1, 4); // v2 - v5
+        (b.build(), vec![3.0, 3.0, 2.0, 2.0, 2.0])
+    }
+
+    #[test]
+    fn figure3_merges_equal_scalar_chain() {
+        let (graph, scalar) = figure3_graph();
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let tree = vertex_scalar_tree(&sg);
+        let st = build_super_tree(&tree);
+        st.check_invariants().unwrap();
+        // One super node must contain exactly {v3, v4, v5} (ids 2, 3, 4).
+        let merged = st
+            .nodes
+            .iter()
+            .find(|n| n.members == vec![2, 3, 4])
+            .expect("v3, v4, v5 merged into one super node");
+        assert_eq!(merged.scalar, 2.0);
+        // v1 and v2 stay in their own super nodes, children of the merged one.
+        assert_eq!(st.node_count(), 3);
+        assert_eq!(st.total_members(), 5);
+        let root = st.roots[0];
+        assert_eq!(st.nodes[root as usize].members, vec![2, 3, 4]);
+        assert_eq!(st.nodes[root as usize].children.len(), 2);
+    }
+
+    #[test]
+    fn distinct_scalars_keep_one_member_per_node() {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0u32, 1u32), (1, 2), (2, 3)]);
+        let graph = b.build();
+        let scalar = vec![4.0, 3.0, 2.0, 1.0];
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let st = build_super_tree(&vertex_scalar_tree(&sg));
+        assert_eq!(st.node_count(), 4);
+        assert!(st.nodes.iter().all(|n| n.members.len() == 1));
+        assert_eq!(st.roots.len(), 1);
+    }
+
+    #[test]
+    fn subtree_member_counts_accumulate() {
+        let (graph, scalar) = figure3_graph();
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let st = build_super_tree(&vertex_scalar_tree(&sg));
+        let counts = st.subtree_member_counts();
+        let root = st.roots[0] as usize;
+        assert_eq!(counts[root], 5, "root subtree holds every vertex");
+        // Leaf super nodes hold exactly their own members.
+        for (id, node) in st.nodes.iter().enumerate() {
+            if node.children.is_empty() {
+                assert_eq!(counts[id], node.members.len());
+            }
+        }
+        // subtree_members agrees with the counts.
+        assert_eq!(st.subtree_members(st.roots[0]).len(), 5);
+    }
+
+    #[test]
+    fn constant_field_collapses_each_component_to_one_node() {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0u32, 1u32), (1, 2), (3, 4)]);
+        let graph = b.build();
+        let scalar = vec![1.0; 5];
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let st = build_super_tree(&vertex_scalar_tree(&sg));
+        assert_eq!(st.node_count(), 2, "one super node per connected component");
+        assert_eq!(st.roots.len(), 2);
+        assert_eq!(st.total_members(), 5);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let graph = GraphBuilder::new().build();
+        let scalar: Vec<f64> = vec![];
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let st = build_super_tree(&vertex_scalar_tree(&sg));
+        assert_eq!(st.node_count(), 0);
+        assert_eq!(st.total_members(), 0);
+        assert!(st.check_invariants().is_ok());
+    }
+}

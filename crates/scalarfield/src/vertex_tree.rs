@@ -1,0 +1,295 @@
+//! Algorithm 1: constructing the vertex scalar tree.
+//!
+//! The scalar tree has one node per vertex (Property 1); after the sweep every
+//! node's scalar is ≥ its parent's scalar, and — when scalar values are
+//! distinct — the subtree rooted at `n(v)` is exactly `MCC(v)`
+//! (Proposition 1). When values repeat, Algorithm 2 ([`crate::super_tree`])
+//! merges equal-value chains to restore Property 2.
+//!
+//! The sweep processes vertices in decreasing scalar order and maintains a
+//! union–find over the already-processed vertices; each set's payload tracks
+//! the current root of the corresponding subtree. Cost:
+//! `O(|E|·α(n) + |V| log |V|)`, matching the paper's analysis.
+
+use crate::scalar_graph::VertexScalarGraph;
+use ugraph::{UnionFind, VertexId};
+
+/// A rooted forest over elements `0..len`, each carrying a scalar value.
+///
+/// Produced by Algorithm 1 (over vertices) and Algorithm 3 (over edges). For a
+/// connected input there is a single root; disconnected inputs yield one root
+/// per connected component, which downstream code (super tree, terrain) treats
+/// uniformly as a forest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScalarTree {
+    /// `parent[i]` is the parent node of node `i`, or `None` for roots.
+    pub parent: Vec<Option<u32>>,
+    /// Scalar value of each node (equal to the element's scalar value).
+    pub scalar: Vec<f64>,
+    /// Roots of the forest (nodes with no parent), sorted by node id.
+    pub roots: Vec<u32>,
+}
+
+impl ScalarTree {
+    /// Number of nodes (= number of elements of the underlying scalar graph).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Children lists, computed on demand.
+    pub fn children(&self) -> Vec<Vec<u32>> {
+        let mut children = vec![Vec::new(); self.len()];
+        for (node, parent) in self.parent.iter().enumerate() {
+            if let Some(p) = parent {
+                children[*p as usize].push(node as u32);
+            }
+        }
+        children
+    }
+
+    /// Verify the defining order invariant: every node's scalar is greater
+    /// than or equal to its parent's scalar. Returns the first violating node
+    /// if any (used by tests and debug assertions).
+    pub fn check_monotone(&self) -> Option<u32> {
+        for (node, parent) in self.parent.iter().enumerate() {
+            if let Some(p) = parent {
+                if self.scalar[node] < self.scalar[*p as usize] {
+                    return Some(node as u32);
+                }
+            }
+        }
+        None
+    }
+
+    /// Depth of each node (roots have depth 0).
+    pub fn depths(&self) -> Vec<usize> {
+        let children = self.children();
+        let mut depth = vec![0usize; self.len()];
+        let mut stack: Vec<u32> = self.roots.clone();
+        while let Some(node) = stack.pop() {
+            for &c in &children[node as usize] {
+                depth[c as usize] = depth[node as usize] + 1;
+                stack.push(c);
+            }
+        }
+        depth
+    }
+}
+
+/// Algorithm 1: build the vertex scalar tree of a vertex scalar graph.
+pub fn vertex_scalar_tree(sg: &VertexScalarGraph<'_>) -> ScalarTree {
+    let graph = sg.graph();
+    let n = graph.vertex_count();
+    let mut parent: Vec<Option<u32>> = vec![None; n];
+    if n == 0 {
+        return ScalarTree { parent, scalar: Vec::new(), roots: Vec::new() };
+    }
+
+    // Line 1: sort vertices in decreasing order of scalar value.
+    let order = sg.vertices_by_decreasing_scalar();
+    // rank[v] = position of v in the processing order ("index" in the paper:
+    // lower rank means processed earlier, i.e. higher scalar).
+    let mut rank = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        rank[v.index()] = i;
+    }
+
+    // Union–find over vertices; the payload of each set is the node id of the
+    // current root of that subtree.
+    let mut uf = UnionFind::new(n);
+
+    // Lines 3-6.
+    for (i, &vi) in order.iter().enumerate() {
+        for vj in graph.neighbor_vertices(vi) {
+            // "j < i": the neighbor was processed earlier.
+            if rank[vj.index()] >= i {
+                continue;
+            }
+            // "currently n(vi) and n(vj) are not in the same subtree"
+            if uf.same_set(vi.index(), vj.index()) {
+                continue;
+            }
+            // Connect n(vi) to root(n(vj)); n(vi) becomes the new root.
+            let root_j = uf.payload(vj.index()) as u32;
+            parent[root_j as usize] = Some(vi.0);
+            uf.union(vi.index(), vj.index());
+            uf.set_payload(vi.index(), vi.index());
+        }
+    }
+
+    let roots: Vec<u32> = parent
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.is_none())
+        .map(|(v, _)| v as u32)
+        .collect();
+    let scalar: Vec<f64> = (0..n).map(|v| sg.value(VertexId::from_index(v))).collect();
+    let tree = ScalarTree { parent, scalar, roots };
+    debug_assert!(tree.check_monotone().is_none(), "scalar tree violates monotonicity");
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::tests::paper_figure2_graph;
+    use crate::component::{distinct_levels, maximal_alpha_components};
+    use crate::scalar_graph::VertexScalarGraph;
+    use std::collections::BTreeSet;
+    use ugraph::GraphBuilder;
+
+    /// Collect, for each node, the set of vertices in the subtree rooted there.
+    fn subtree_sets(tree: &ScalarTree) -> Vec<BTreeSet<u32>> {
+        let children = tree.children();
+        let mut sets: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); tree.len()];
+        // Process nodes in an order where children come before parents:
+        // sort by depth descending.
+        let depths = tree.depths();
+        let mut order: Vec<usize> = (0..tree.len()).collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(depths[v]));
+        for v in order {
+            let mut set: BTreeSet<u32> = BTreeSet::new();
+            set.insert(v as u32);
+            for &c in &children[v] {
+                let child_set = sets[c as usize].clone();
+                set.extend(child_set);
+            }
+            sets[v] = set;
+        }
+        sets
+    }
+
+    #[test]
+    fn single_vertex_and_empty_graph() {
+        let g = GraphBuilder::new().build();
+        let scalar: Vec<f64> = vec![];
+        let sg = VertexScalarGraph::new(&g, &scalar).unwrap();
+        let tree = vertex_scalar_tree(&sg);
+        assert!(tree.is_empty());
+
+        let mut b = GraphBuilder::new();
+        b.ensure_vertex(0);
+        let g = b.build();
+        let scalar = vec![7.0];
+        let sg = VertexScalarGraph::new(&g, &scalar).unwrap();
+        let tree = vertex_scalar_tree(&sg);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.roots, vec![0]);
+    }
+
+    #[test]
+    fn path_with_decreasing_scalars_is_a_chain() {
+        // Path 0-1-2-3 with scalars 4,3,2,1: the tree must be the chain
+        // 0 -> 1 -> 2 -> 3 with 3 as root (every node's parent has lower scalar).
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0u32, 1u32), (1, 2), (2, 3)]);
+        let g = b.build();
+        let scalar = vec![4.0, 3.0, 2.0, 1.0];
+        let sg = VertexScalarGraph::new(&g, &scalar).unwrap();
+        let tree = vertex_scalar_tree(&sg);
+        assert_eq!(tree.parent[0], Some(1));
+        assert_eq!(tree.parent[1], Some(2));
+        assert_eq!(tree.parent[2], Some(3));
+        assert_eq!(tree.parent[3], None);
+        assert_eq!(tree.roots, vec![3]);
+        assert!(tree.check_monotone().is_none());
+    }
+
+    #[test]
+    fn merge_point_gets_two_children() {
+        // Two peaks joined at a valley: 0(5) - 2(1) - 1(4).
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0u32, 2u32), (1, 2)]);
+        let g = b.build();
+        let scalar = vec![5.0, 4.0, 1.0];
+        let sg = VertexScalarGraph::new(&g, &scalar).unwrap();
+        let tree = vertex_scalar_tree(&sg);
+        assert_eq!(tree.parent[0], Some(2));
+        assert_eq!(tree.parent[1], Some(2));
+        assert_eq!(tree.parent[2], None);
+        assert_eq!(tree.children()[2].len(), 2);
+    }
+
+    #[test]
+    fn proposition1_subtrees_are_mccs_for_distinct_scalars() {
+        // Figure 2 graph has distinct-ish scalars except v1=v2=v4=3; perturb
+        // them slightly so all scalars are distinct, then every subtree rooted
+        // at n(v) must equal MCC(v).
+        let (graph, mut scalar) = paper_figure2_graph();
+        scalar[0] = 3.01;
+        scalar[1] = 3.02;
+        scalar[3] = 3.03;
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let tree = vertex_scalar_tree(&sg);
+        let sets = subtree_sets(&tree);
+        for v in graph.vertices() {
+            let alpha = sg.value(v);
+            let comps = maximal_alpha_components(&sg, alpha);
+            let mcc = comps
+                .iter()
+                .find(|c| c.vertices.contains(&v))
+                .expect("MCC(v) exists");
+            let expected: BTreeSet<u32> = mcc.vertices.iter().map(|x| x.0).collect();
+            assert_eq!(
+                sets[v.index()], expected,
+                "subtree rooted at n({v:?}) must equal MCC({v:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn forest_handles_disconnected_graphs() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        let g = b.build();
+        let scalar = vec![2.0, 1.0, 4.0, 3.0];
+        let sg = VertexScalarGraph::new(&g, &scalar).unwrap();
+        let tree = vertex_scalar_tree(&sg);
+        assert_eq!(tree.roots.len(), 2);
+        assert!(tree.check_monotone().is_none());
+    }
+
+    #[test]
+    fn cut_at_every_level_matches_direct_components_on_figure2() {
+        // Even with duplicate scalar values, cutting the raw Algorithm-1 tree
+        // at a level α and grouping connected tree nodes above the cut must
+        // reproduce the *vertex sets* of the maximal α-connected components.
+        // (The subtree/rooting structure needs Algorithm 2; the partition into
+        // components does not.)
+        let (graph, scalar) = paper_figure2_graph();
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let tree = vertex_scalar_tree(&sg);
+        for &alpha in &distinct_levels(&scalar) {
+            // Partition nodes with scalar >= alpha by tree connectivity.
+            let mut uf = ugraph::UnionFind::new(tree.len());
+            for node in 0..tree.len() {
+                if tree.scalar[node] < alpha {
+                    continue;
+                }
+                if let Some(p) = tree.parent[node] {
+                    if tree.scalar[p as usize] >= alpha {
+                        uf.union(node, p as usize);
+                    }
+                }
+            }
+            let mut groups: std::collections::BTreeMap<usize, BTreeSet<u32>> = Default::default();
+            for node in 0..tree.len() {
+                if tree.scalar[node] >= alpha {
+                    groups.entry(uf.find(node)).or_default().insert(node as u32);
+                }
+            }
+            let from_tree: BTreeSet<BTreeSet<u32>> = groups.into_values().collect();
+            let from_direct: BTreeSet<BTreeSet<u32>> = maximal_alpha_components(&sg, alpha)
+                .into_iter()
+                .map(|c| c.vertices.into_iter().map(|v| v.0).collect())
+                .collect();
+            assert_eq!(from_tree, from_direct, "alpha = {alpha}");
+        }
+    }
+}

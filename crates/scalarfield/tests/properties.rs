@@ -1,0 +1,214 @@
+//! Property-based tests for the scalar-tree pipeline.
+//!
+//! These exercise the paper's theorems on randomly generated scalar graphs:
+//! for arbitrary graphs and scalar fields (with plenty of duplicate values),
+//! the super scalar tree built by Algorithms 1–3 must describe exactly the
+//! maximal α-(edge-)connected components the direct extraction finds, at every
+//! distinct scalar level.
+
+use proptest::prelude::*;
+use scalarfield::{
+    build_super_tree, component_members_at_alpha, components_at_alpha, edge_scalar_tree,
+    edge_scalar_tree_naive, maximal_alpha_components, maximal_alpha_edge_components,
+    mcc_of_element, simplify_super_tree, vertex_scalar_tree, EdgeScalarGraph, VertexScalarGraph,
+};
+use std::collections::BTreeSet;
+use ugraph::{CsrGraph, GraphBuilder};
+
+/// Strategy: a random simple graph with up to `max_n` vertices plus a scalar
+/// value per vertex drawn from a small integer set (to force duplicates).
+fn graph_and_vertex_scalars(max_n: usize) -> impl Strategy<Value = (CsrGraph, Vec<f64>)> {
+    (2usize..max_n)
+        .prop_flat_map(|n| {
+            let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..(3 * n));
+            let scalars = proptest::collection::vec(0u8..6, n);
+            (Just(n), edges, scalars)
+        })
+        .prop_map(|(n, edges, scalars)| {
+            let mut b = GraphBuilder::new();
+            b.ensure_vertex(n - 1);
+            for (u, v) in edges {
+                b.add_edge(u, v);
+            }
+            (b.build(), scalars.into_iter().map(|s| s as f64).collect())
+        })
+}
+
+/// Strategy: a random graph plus a scalar per edge.
+fn graph_and_edge_scalars(max_n: usize) -> impl Strategy<Value = (CsrGraph, Vec<f64>)> {
+    (2usize..max_n)
+        .prop_flat_map(|n| {
+            let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 1..(3 * n));
+            (Just(n), edges, proptest::collection::vec(0u8..5, 3 * n))
+        })
+        .prop_map(|(n, edges, raw_scalars)| {
+            let mut b = GraphBuilder::new();
+            b.ensure_vertex(n - 1);
+            for (u, v) in edges {
+                b.add_edge(u, v);
+            }
+            let g = b.build();
+            let scalars = raw_scalars
+                .into_iter()
+                .take(g.edge_count())
+                .chain(std::iter::repeat(0))
+                .take(g.edge_count())
+                .map(|s| s as f64)
+                .collect();
+            (g, scalars)
+        })
+}
+
+fn distinct_levels(values: &[f64]) -> Vec<f64> {
+    let mut levels = values.to_vec();
+    levels.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    levels.dedup();
+    levels
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Property 2 of the scalar tree: at every level α, the subtrees above the
+    /// cut are exactly the maximal α-connected components.
+    #[test]
+    fn vertex_super_tree_matches_direct_components((graph, scalar) in graph_and_vertex_scalars(24)) {
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let st = build_super_tree(&vertex_scalar_tree(&sg));
+        st.check_invariants().unwrap();
+        prop_assert_eq!(st.total_members(), graph.vertex_count());
+        for alpha in distinct_levels(&scalar) {
+            let from_tree: BTreeSet<BTreeSet<u32>> = component_members_at_alpha(&st, alpha)
+                .into_iter()
+                .map(|m| m.into_iter().collect())
+                .collect();
+            let direct: BTreeSet<BTreeSet<u32>> = maximal_alpha_components(&sg, alpha)
+                .into_iter()
+                .map(|c| c.vertices.into_iter().map(|v| v.0).collect())
+                .collect();
+            prop_assert_eq!(from_tree, direct, "alpha {}", alpha);
+        }
+    }
+
+    /// Theorem 1 + Proposition 2: MCC(v) read from the super tree equals the
+    /// directly extracted maximal v.scalar-connected component containing v.
+    #[test]
+    fn mcc_queries_match_direct_extraction((graph, scalar) in graph_and_vertex_scalars(20)) {
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let st = build_super_tree(&vertex_scalar_tree(&sg));
+        for v in graph.vertices() {
+            let node = mcc_of_element(&st, v.0);
+            let from_tree: BTreeSet<u32> = st.subtree_members(node).into_iter().collect();
+            let comps = maximal_alpha_components(&sg, scalar[v.index()]);
+            let direct: BTreeSet<u32> = comps
+                .iter()
+                .find(|c| c.vertices.contains(&v))
+                .unwrap()
+                .vertices
+                .iter()
+                .map(|x| x.0)
+                .collect();
+            prop_assert_eq!(from_tree, direct);
+        }
+    }
+
+    /// Theorem 3 via the tree: components from any two levels either nest or
+    /// are disjoint.
+    #[test]
+    fn components_nest_across_levels((graph, scalar) in graph_and_vertex_scalars(18)) {
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let st = build_super_tree(&vertex_scalar_tree(&sg));
+        let mut all: Vec<BTreeSet<u32>> = Vec::new();
+        for alpha in distinct_levels(&scalar) {
+            for members in component_members_at_alpha(&st, alpha) {
+                all.push(members.into_iter().collect());
+            }
+        }
+        for a in &all {
+            for b in &all {
+                if a.intersection(b).next().is_some() {
+                    prop_assert!(a.is_subset(b) || b.is_subset(a));
+                }
+            }
+        }
+    }
+
+    /// Algorithm 3 and the naive dual-graph method describe the same component
+    /// hierarchy, and both match the direct edge-component extraction.
+    #[test]
+    fn edge_tree_fast_and_naive_agree((graph, scalar) in graph_and_edge_scalars(16)) {
+        let sg = EdgeScalarGraph::new(&graph, &scalar).unwrap();
+        let fast = build_super_tree(&edge_scalar_tree(&sg));
+        let naive = build_super_tree(&edge_scalar_tree_naive(&sg));
+        prop_assert_eq!(fast.node_count(), naive.node_count());
+        for alpha in distinct_levels(&scalar) {
+            let from_fast: BTreeSet<BTreeSet<u32>> = component_members_at_alpha(&fast, alpha)
+                .into_iter().map(|m| m.into_iter().collect()).collect();
+            let from_naive: BTreeSet<BTreeSet<u32>> = component_members_at_alpha(&naive, alpha)
+                .into_iter().map(|m| m.into_iter().collect()).collect();
+            let direct: BTreeSet<BTreeSet<u32>> = maximal_alpha_edge_components(&sg, alpha)
+                .into_iter()
+                .map(|c| c.edges.into_iter().map(|e| e.0).collect())
+                .collect();
+            prop_assert_eq!(&from_fast, &direct, "fast vs direct at alpha {}", alpha);
+            prop_assert_eq!(&from_naive, &direct, "naive vs direct at alpha {}", alpha);
+        }
+    }
+
+    /// Simplification preserves membership, never grows the tree, and at its
+    /// own (snapped) scalar levels still yields a valid nested hierarchy whose
+    /// component count never exceeds the number of elements.
+    #[test]
+    fn simplification_is_conservative((graph, scalar) in graph_and_vertex_scalars(20)) {
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let st = build_super_tree(&vertex_scalar_tree(&sg));
+        for levels in [1usize, 2, 3, 8] {
+            let s = simplify_super_tree(&st, levels);
+            s.check_invariants().unwrap();
+            prop_assert_eq!(s.total_members(), st.total_members());
+            prop_assert!(s.node_count() <= st.node_count());
+            // Cut the simplified tree at each of its own node scalars: the cut
+            // must partition a subset of the elements into disjoint groups.
+            let snapped_levels: Vec<f64> = distinct_levels(
+                &s.nodes.iter().map(|n| n.scalar).collect::<Vec<f64>>()
+            );
+            for alpha in snapped_levels {
+                let cut = components_at_alpha(&s, alpha);
+                prop_assert!(cut.component_count() <= graph.vertex_count());
+                let mut seen = std::collections::BTreeSet::new();
+                for root in &cut.component_roots {
+                    for m in s.subtree_members(*root) {
+                        prop_assert!(seen.insert(m), "element {} in two components", m);
+                    }
+                }
+            }
+        }
+    }
+
+    /// K-Core scalar fields: Proposition 4 — every maximal α-connected
+    /// component under the KC(v) field is a K-Core with K = α.
+    #[test]
+    fn proposition4_alpha_components_are_kcores((graph, _) in graph_and_vertex_scalars(22)) {
+        let cores = measures::core_numbers(&graph);
+        let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        for alpha in distinct_levels(&scalar) {
+            for comp in maximal_alpha_components(&sg, alpha) {
+                // Within the component, every vertex must have >= alpha
+                // neighbors inside the component.
+                let members: BTreeSet<u32> = comp.vertices.iter().map(|v| v.0).collect();
+                for &v in &comp.vertices {
+                    let inside = graph
+                        .neighbor_vertices(v)
+                        .filter(|u| members.contains(&u.0))
+                        .count();
+                    prop_assert!(
+                        inside as f64 >= alpha,
+                        "vertex {:?} has {} neighbors in its alpha={} component",
+                        v, inside, alpha
+                    );
+                }
+            }
+        }
+    }
+}

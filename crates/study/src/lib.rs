@@ -1,0 +1,37 @@
+//! # study — simulated user study (Section IV, Tables IV–VI)
+//!
+//! The paper evaluates the terrain visualization with an IRB-approved human
+//! study: ten participants per task identify (1) the densest K-Core, (2) the
+//! densest K-Core disconnected from the densest one, and (3) the sign of the
+//! correlation between two centralities, using the terrain, LaNet-vi and
+//! OpenOrd. We cannot run human subjects, so — per the substitution rule in
+//! DESIGN.md §4 — this crate replaces the participants with a simple
+//! perceptual model while keeping the *task structure* identical:
+//!
+//! 1. [`metrics`] reduces each (visualization, task, dataset) combination to a
+//!    **saliency score** in `[0, 1]` measuring how visually identifiable the
+//!    task's target is in that picture, using only quantities the real
+//!    rendering exposes (peak height ratios and footprint areas for the
+//!    terrain; shell radius and blob size for LaNet-vi; occlusion and color
+//!    resolution for OpenOrd);
+//! 2. [`simulated_user`] turns saliency into per-participant accuracy and
+//!    completion time with a noisy threshold model;
+//! 3. [`report`] runs the full factorial design (tool × dataset × 10
+//!    participants) and emits the rows of Tables IV, V and VI.
+//!
+//! The absolute seconds are calibrated to the ranges the paper reports; the
+//! claims that are expected to *reproduce* are ordinal (terrain at least as
+//! accurate, terrain faster, Task 2 hardest for the baselines).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod metrics;
+pub mod report;
+pub mod simulated_user;
+pub mod tasks;
+
+pub use metrics::{lanet_saliency, openord_saliency, terrain_saliency, SaliencyInputs};
+pub use report::{run_user_study, StudyConfig, StudyResultRow};
+pub use simulated_user::{simulate_participants, ParticipantModel, TrialOutcome};
+pub use tasks::{Task, Tool};

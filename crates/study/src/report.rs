@@ -1,0 +1,207 @@
+//! Running the full study design and producing the rows of Tables IV–VI.
+
+use crate::metrics::{lanet_saliency, openord_saliency, terrain_saliency, SaliencyInputs};
+use crate::simulated_user::{mean_accuracy, mean_time, simulate_participants, ParticipantModel};
+use crate::tasks::{Task, Tool};
+use ugraph::CsrGraph;
+
+/// Configuration of a study run.
+#[derive(Clone, Debug)]
+pub struct StudyConfig {
+    /// Participants per (task, dataset, tool) cell — the paper uses 10.
+    pub participants: usize,
+    /// Participant model parameters.
+    pub model: ParticipantModel,
+    /// Number of betweenness source pivots used when computing Task-3 inputs.
+    pub betweenness_samples: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            participants: 10,
+            model: ParticipantModel::default(),
+            betweenness_samples: 128,
+            seed: 0x57d1,
+        }
+    }
+}
+
+/// One row of Tables IV–VI: a (task, dataset, tool) cell.
+#[derive(Clone, Debug)]
+pub struct StudyResultRow {
+    /// The task.
+    pub task: Task,
+    /// Dataset name.
+    pub dataset: String,
+    /// The visualization tool.
+    pub tool: Tool,
+    /// The saliency the perceptual model assigned.
+    pub saliency: f64,
+    /// Mean accuracy over the participants.
+    pub accuracy: f64,
+    /// Mean completion time in seconds.
+    pub mean_time_s: f64,
+}
+
+/// Run the study over `task_datasets`: for each task, the list of named
+/// datasets it is evaluated on (the paper uses GrQc/PPI/DBLP for Tasks 1–2 and
+/// Astro for Task 3).
+pub fn run_user_study(
+    task_datasets: &[(Task, Vec<(String, CsrGraph)>)],
+    config: &StudyConfig,
+) -> Vec<StudyResultRow> {
+    let mut rows = Vec::new();
+    for (task, datasets) in task_datasets {
+        for (dataset_index, (name, graph)) in datasets.iter().enumerate() {
+            let inputs = SaliencyInputs::compute(
+                graph,
+                config.betweenness_samples,
+                config.seed ^ (dataset_index as u64) << 8,
+            );
+            for (tool_index, tool) in Tool::for_task(*task).into_iter().enumerate() {
+                let saliency = match tool {
+                    Tool::Terrain => terrain_saliency(*task, &inputs),
+                    Tool::LanetVi => lanet_saliency(*task, &inputs),
+                    Tool::OpenOrd => openord_saliency(*task, &inputs),
+                };
+                let trial_seed = config
+                    .seed
+                    .wrapping_add(task.number() as u64 * 1_000_003)
+                    .wrapping_add(dataset_index as u64 * 10_007)
+                    .wrapping_add(tool_index as u64 * 101);
+                let trials =
+                    simulate_participants(saliency, config.participants, &config.model, trial_seed);
+                rows.push(StudyResultRow {
+                    task: *task,
+                    dataset: name.clone(),
+                    tool,
+                    saliency,
+                    accuracy: mean_accuracy(&trials),
+                    mean_time_s: mean_time(&trials),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Format study rows as an aligned text table, one block per task (the shape
+/// of Tables IV–VI).
+pub fn format_tables(rows: &[StudyResultRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for task in Task::all() {
+        let task_rows: Vec<&StudyResultRow> = rows.iter().filter(|r| r.task == task).collect();
+        if task_rows.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "== {task} ==");
+        let _ = writeln!(out, "{:<12} {:<10} {:>9} {:>9}", "dataset", "tool", "accuracy", "time(s)");
+        for row in task_rows {
+            let _ = writeln!(
+                out,
+                "{:<12} {:<10} {:>9.2} {:>9.1}",
+                row.dataset,
+                row.tool.to_string(),
+                row.accuracy,
+                row.mean_time_s
+            );
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::generators::{collaboration_graph, watts_strogatz, CollaborationConfig};
+
+    fn small_datasets() -> Vec<(String, CsrGraph)> {
+        vec![
+            (
+                "grqc-like".to_string(),
+                collaboration_graph(&CollaborationConfig {
+                    authors: 300,
+                    papers: 250,
+                    groups: 6,
+                    groups_per_component: 3,
+                    dense_groups: 2,
+                    dense_group_extra_papers: 20,
+                    seed: 2,
+                    ..Default::default()
+                }),
+            ),
+            ("ppi-like".to_string(), watts_strogatz(300, 6, 0.15, 4)),
+        ]
+    }
+
+    #[test]
+    fn study_produces_one_row_per_cell() {
+        let datasets = small_datasets();
+        let design = vec![
+            (Task::DensestKCore, datasets.clone()),
+            (Task::SecondDisconnectedKCore, datasets.clone()),
+            (Task::CentralityCorrelation, vec![datasets[0].clone()]),
+        ];
+        let config = StudyConfig { participants: 10, betweenness_samples: 40, ..Default::default() };
+        let rows = run_user_study(&design, &config);
+        // Tasks 1 and 2: 2 datasets x 3 tools; Task 3: 1 dataset x 2 tools.
+        assert_eq!(rows.len(), 2 * 3 + 2 * 3 + 2);
+        for row in &rows {
+            assert!((0.0..=1.0).contains(&row.accuracy));
+            assert!(row.mean_time_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn terrain_is_at_least_as_accurate_and_faster_on_average() {
+        let datasets = small_datasets();
+        let design = vec![
+            (Task::DensestKCore, datasets.clone()),
+            (Task::SecondDisconnectedKCore, datasets),
+        ];
+        let config = StudyConfig { participants: 30, betweenness_samples: 40, ..Default::default() };
+        let rows = run_user_study(&design, &config);
+        let avg = |tool: Tool, f: fn(&StudyResultRow) -> f64| -> f64 {
+            let filtered: Vec<f64> = rows.iter().filter(|r| r.tool == tool).map(f).collect();
+            filtered.iter().sum::<f64>() / filtered.len() as f64
+        };
+        assert!(avg(Tool::Terrain, |r| r.accuracy) >= avg(Tool::LanetVi, |r| r.accuracy));
+        assert!(avg(Tool::Terrain, |r| r.accuracy) >= avg(Tool::OpenOrd, |r| r.accuracy));
+        assert!(avg(Tool::Terrain, |r| r.mean_time_s) < avg(Tool::LanetVi, |r| r.mean_time_s));
+        assert!(avg(Tool::Terrain, |r| r.mean_time_s) < avg(Tool::OpenOrd, |r| r.mean_time_s));
+    }
+
+    #[test]
+    fn formatted_tables_contain_every_dataset_and_tool() {
+        let datasets = small_datasets();
+        let design = vec![(Task::DensestKCore, datasets)];
+        let rows = run_user_study(
+            &design,
+            &StudyConfig { participants: 5, betweenness_samples: 30, ..Default::default() },
+        );
+        let text = format_tables(&rows);
+        assert!(text.contains("Task 1"));
+        assert!(text.contains("grqc-like"));
+        assert!(text.contains("Terrain"));
+        assert!(text.contains("LaNet-vi"));
+        assert!(text.contains("OpenOrd"));
+    }
+
+    #[test]
+    fn study_runs_are_deterministic() {
+        let datasets = vec![small_datasets().remove(1)];
+        let design = vec![(Task::DensestKCore, datasets)];
+        let config = StudyConfig { participants: 8, betweenness_samples: 30, ..Default::default() };
+        let a = run_user_study(&design, &config);
+        let b = run_user_study(&design, &config);
+        let key = |rows: &Vec<StudyResultRow>| -> Vec<(f64, f64)> {
+            rows.iter().map(|r| (r.accuracy, r.mean_time_s)).collect()
+        };
+        assert_eq!(key(&a), key(&b));
+    }
+}

@@ -1,0 +1,141 @@
+//! Simulated participants: from saliency to accuracy and completion time.
+//!
+//! Each participant is a noisy threshold decision maker:
+//!
+//! * they answer correctly with probability
+//!   `p = saliency · (1 − lapse) + guess · lapse` — a standard lapse-rate
+//!   psychometric form where `lapse` models attention slips and `guess` the
+//!   chance of guessing right after a slip;
+//! * their completion time is `floor + scale · (1 − saliency)` plus
+//!   multiplicative log-normal-ish noise — harder-to-see targets take longer,
+//!   which is the relationship Tables IV–VI show between the tools.
+//!
+//! The time constants are calibrated so the simulated Terrain/LaNet-vi/OpenOrd
+//! times land in the ranges the paper reports (roughly 2–5 s, 5–10 s and
+//! 8–12 s respectively); the ordinal structure is what the reproduction
+//! checks.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The participant model parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ParticipantModel {
+    /// Probability of an attention lapse.
+    pub lapse_rate: f64,
+    /// Probability of answering correctly during a lapse (chance level).
+    pub guess_rate: f64,
+    /// Minimum completion time in seconds (motor + reading overhead).
+    pub time_floor_s: f64,
+    /// Additional seconds per unit of missing saliency.
+    pub time_scale_s: f64,
+    /// Relative magnitude of the time noise.
+    pub time_noise: f64,
+}
+
+impl Default for ParticipantModel {
+    fn default() -> Self {
+        ParticipantModel {
+            lapse_rate: 0.03,
+            guess_rate: 0.25,
+            time_floor_s: 2.2,
+            time_scale_s: 16.0,
+            time_noise: 0.18,
+        }
+    }
+}
+
+/// Outcome of one simulated trial.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrialOutcome {
+    /// Whether the participant answered correctly.
+    pub correct: bool,
+    /// Completion time in seconds.
+    pub time_s: f64,
+}
+
+/// Simulate `participants` independent trials at the given saliency.
+pub fn simulate_participants(
+    saliency: f64,
+    participants: usize,
+    model: &ParticipantModel,
+    seed: u64,
+) -> Vec<TrialOutcome> {
+    let saliency = saliency.clamp(0.0, 1.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let p_correct =
+        saliency * (1.0 - model.lapse_rate) + model.guess_rate * model.lapse_rate;
+    (0..participants)
+        .map(|_| {
+            let correct = rng.gen_bool(p_correct.clamp(0.0, 1.0));
+            let base_time = model.time_floor_s + model.time_scale_s * (1.0 - saliency);
+            // Multiplicative noise, centered at 1, never negative.
+            let noise = 1.0 + model.time_noise * (rng.gen::<f64>() * 2.0 - 1.0);
+            // Incorrect answers take a bit longer (the participant searched).
+            let slowdown = if correct { 1.0 } else { 1.25 };
+            TrialOutcome { correct, time_s: base_time * noise * slowdown }
+        })
+        .collect()
+}
+
+/// Mean accuracy of a set of trials.
+pub fn mean_accuracy(trials: &[TrialOutcome]) -> f64 {
+    if trials.is_empty() {
+        return 0.0;
+    }
+    trials.iter().filter(|t| t.correct).count() as f64 / trials.len() as f64
+}
+
+/// Mean completion time of a set of trials.
+pub fn mean_time(trials: &[TrialOutcome]) -> f64 {
+    if trials.is_empty() {
+        return 0.0;
+    }
+    trials.iter().map(|t| t.time_s).sum::<f64>() / trials.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_saliency_gives_near_perfect_accuracy_and_fast_times() {
+        let trials = simulate_participants(1.0, 200, &ParticipantModel::default(), 1);
+        let acc = mean_accuracy(&trials);
+        let time = mean_time(&trials);
+        assert!(acc > 0.9, "accuracy {acc}");
+        assert!(time < 4.0, "time {time}");
+    }
+
+    #[test]
+    fn low_saliency_gives_low_accuracy_and_slow_times() {
+        let trials = simulate_participants(0.2, 200, &ParticipantModel::default(), 2);
+        let acc = mean_accuracy(&trials);
+        let time = mean_time(&trials);
+        assert!(acc < 0.5, "accuracy {acc}");
+        assert!(time > 10.0, "time {time}");
+    }
+
+    #[test]
+    fn accuracy_and_speed_increase_with_saliency() {
+        let model = ParticipantModel::default();
+        let low = simulate_participants(0.3, 500, &model, 3);
+        let high = simulate_participants(0.9, 500, &model, 4);
+        assert!(mean_accuracy(&high) > mean_accuracy(&low));
+        assert!(mean_time(&high) < mean_time(&low));
+    }
+
+    #[test]
+    fn trials_are_deterministic_for_a_seed_and_positive_times() {
+        let model = ParticipantModel::default();
+        let a = simulate_participants(0.7, 10, &model, 42);
+        let b = simulate_participants(0.7, 10, &model, 42);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|t| t.time_s > 0.0));
+        assert_eq!(a.len(), 10);
+        // Empty trial sets are handled.
+        assert_eq!(mean_accuracy(&[]), 0.0);
+        assert_eq!(mean_time(&[]), 0.0);
+    }
+}

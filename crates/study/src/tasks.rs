@@ -1,0 +1,95 @@
+//! Task and tool definitions of the user study (Section IV-A).
+
+use std::fmt;
+
+/// The three tasks of the user study.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Task {
+    /// Task 1: identify the densest K-Core in the graph.
+    DensestKCore,
+    /// Task 2: identify the densest K-Core that is *not connected* to the
+    /// densest one.
+    SecondDisconnectedKCore,
+    /// Task 3: decide whether betweenness and degree centrality are positively
+    /// or negatively correlated.
+    CentralityCorrelation,
+}
+
+impl Task {
+    /// All tasks in paper order.
+    pub fn all() -> [Task; 3] {
+        [Task::DensestKCore, Task::SecondDisconnectedKCore, Task::CentralityCorrelation]
+    }
+
+    /// The paper's task number (1-based).
+    pub fn number(&self) -> usize {
+        match self {
+            Task::DensestKCore => 1,
+            Task::SecondDisconnectedKCore => 2,
+            Task::CentralityCorrelation => 3,
+        }
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Task::DensestKCore => write!(f, "Task 1: densest K-Core"),
+            Task::SecondDisconnectedKCore => write!(f, "Task 2: second disconnected K-Core"),
+            Task::CentralityCorrelation => write!(f, "Task 3: centrality correlation"),
+        }
+    }
+}
+
+/// The visualization tools compared in the study.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Tool {
+    /// The paper's terrain visualization.
+    Terrain,
+    /// LaNet-vi-style K-Core shell plot.
+    LanetVi,
+    /// OpenOrd-style multilevel layout.
+    OpenOrd,
+}
+
+impl Tool {
+    /// The tools compared for a given task (Task 3 omits LaNet-vi, exactly as
+    /// the paper does, because it cannot display two centralities).
+    pub fn for_task(task: Task) -> Vec<Tool> {
+        match task {
+            Task::CentralityCorrelation => vec![Tool::Terrain, Tool::OpenOrd],
+            _ => vec![Tool::Terrain, Tool::LanetVi, Tool::OpenOrd],
+        }
+    }
+}
+
+impl fmt::Display for Tool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tool::Terrain => write!(f, "Terrain"),
+            Tool::LanetVi => write!(f, "LaNet-vi"),
+            Tool::OpenOrd => write!(f, "OpenOrd"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_numbers_and_display() {
+        assert_eq!(Task::DensestKCore.number(), 1);
+        assert_eq!(Task::CentralityCorrelation.number(), 3);
+        assert_eq!(Task::all().len(), 3);
+        assert!(Task::SecondDisconnectedKCore.to_string().contains("Task 2"));
+    }
+
+    #[test]
+    fn task3_excludes_lanet_vi() {
+        assert_eq!(Tool::for_task(Task::DensestKCore).len(), 3);
+        let t3 = Tool::for_task(Task::CentralityCorrelation);
+        assert_eq!(t3.len(), 2);
+        assert!(!t3.contains(&Tool::LanetVi));
+    }
+}

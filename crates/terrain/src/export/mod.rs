@@ -1,0 +1,11 @@
+//! Exporters: SVG (2D treemap and projected 3D terrain), Wavefront OBJ and
+//! ASCII heightmaps.
+//!
+//! The paper's tool renders the terrain interactively; the figure harness of
+//! this reproduction instead writes deterministic files that can be inspected,
+//! diffed and embedded in reports. The `tv` column of Table II is measured as
+//! the time to produce these renderings from a super tree.
+
+pub mod ascii;
+pub mod obj;
+pub mod svg;

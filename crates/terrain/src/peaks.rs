@@ -1,0 +1,236 @@
+//! Peak extraction and interactive-style selection queries.
+//!
+//! Definition 6 of the paper: a `peakα` is the terrain area within a boundary
+//! whose height is α; every `peakα` corresponds to a maximal α-connected
+//! component, and the area of its bottom boundary reflects the component's
+//! size. This module exposes those correspondences as queries:
+//!
+//! * [`peaks_at_alpha`] — cut the terrain with the horizontal plane `z = α`
+//!   and return one [`Peak`] per maximal α-connected component;
+//! * [`highest_peaks`] — the tallest peaks of the terrain (what a user finds
+//!   by glancing at the picture; used by the simulated user study);
+//! * [`select_region`] — all graph elements whose boundary rectangles
+//!   intersect a query rectangle (the programmatic equivalent of selecting a
+//!   region of the terrain and invoking the linked-2D-display callback).
+
+use crate::layout2d::{Rect, TerrainLayout};
+use scalarfield::{components_at_alpha, SuperScalarTree};
+
+/// One peak of the terrain.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Peak {
+    /// The super node that roots this peak's subtree.
+    pub root_node: u32,
+    /// The cut height α this peak was extracted at (equals `base_height` for
+    /// [`highest_peaks`]).
+    pub alpha: f64,
+    /// Scalar value at the peak's base (the root super node's scalar).
+    pub base_height: f64,
+    /// The maximum scalar value inside the peak (its summit height).
+    pub summit_height: f64,
+    /// Number of graph elements (vertices or edges) under the peak.
+    pub member_count: usize,
+    /// The graph elements under the peak, sorted by id.
+    pub members: Vec<u32>,
+    /// The peak's footprint rectangle in the 2D layout.
+    pub footprint: Rect,
+}
+
+impl Peak {
+    /// Area of the peak's footprint (proportional, by construction of the
+    /// layout, to `member_count` within its parent).
+    pub fn base_area(&self) -> f64 {
+        self.footprint.area()
+    }
+}
+
+/// All peaks at cut height `alpha`: one per maximal α-connected component.
+pub fn peaks_at_alpha(tree: &SuperScalarTree, layout: &TerrainLayout, alpha: f64) -> Vec<Peak> {
+    let cut = components_at_alpha(tree, alpha);
+    cut.component_roots
+        .iter()
+        .map(|&root| build_peak(tree, layout, root, alpha))
+        .collect()
+}
+
+/// The `count` highest peaks of the terrain, tallest first.
+///
+/// A "highest peak" is the subtree rooted at a super node of locally maximal
+/// scalar (a leaf super node, i.e. a summit), ranked by its scalar value; ties
+/// are broken towards larger member counts and then smaller node ids so the
+/// ordering is deterministic.
+pub fn highest_peaks(tree: &SuperScalarTree, layout: &TerrainLayout, count: usize) -> Vec<Peak> {
+    let mut summits: Vec<u32> = (0..tree.node_count() as u32)
+        .filter(|&n| tree.nodes[n as usize].children.is_empty())
+        .collect();
+    let counts = tree.subtree_member_counts();
+    summits.sort_by(|&a, &b| {
+        tree.nodes[b as usize]
+            .scalar
+            .partial_cmp(&tree.nodes[a as usize].scalar)
+            .unwrap()
+            .then(counts[b as usize].cmp(&counts[a as usize]))
+            .then(a.cmp(&b))
+    });
+    summits
+        .into_iter()
+        .take(count)
+        .map(|summit| {
+            let alpha = tree.nodes[summit as usize].scalar;
+            build_peak(tree, layout, summit, alpha)
+        })
+        .collect()
+}
+
+/// All graph elements whose boundary rectangle intersects `region` — the
+/// "select a region of the terrain, then draw it with another visualization"
+/// interaction of Section II-E.
+pub fn select_region(tree: &SuperScalarTree, layout: &TerrainLayout, region: &Rect) -> Vec<u32> {
+    let mut members = Vec::new();
+    for (id, node) in tree.nodes.iter().enumerate() {
+        if layout.rects[id].intersects(region) {
+            members.extend_from_slice(&node.members);
+        }
+    }
+    members.sort_unstable();
+    members.dedup();
+    members
+}
+
+fn build_peak(tree: &SuperScalarTree, layout: &TerrainLayout, root: u32, alpha: f64) -> Peak {
+    let members = tree.subtree_members(root);
+    // Summit height: maximum scalar in the subtree.
+    let mut summit = tree.nodes[root as usize].scalar;
+    let mut stack = vec![root];
+    while let Some(node) = stack.pop() {
+        summit = summit.max(tree.nodes[node as usize].scalar);
+        stack.extend_from_slice(&tree.nodes[node as usize].children);
+    }
+    Peak {
+        root_node: root,
+        alpha,
+        base_height: tree.nodes[root as usize].scalar,
+        summit_height: summit,
+        member_count: members.len(),
+        members,
+        footprint: layout.rects[root as usize],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout2d::{layout_super_tree, LayoutConfig};
+    use measures::core_numbers;
+    use scalarfield::{
+        build_super_tree, maximal_alpha_components, vertex_scalar_tree, VertexScalarGraph,
+    };
+    use std::collections::BTreeSet;
+    use ugraph::{CsrGraph, GraphBuilder};
+
+    /// Two K4 cliques joined by a long path: two clear K-Core peaks.
+    fn two_clique_graph() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..4u32 {
+            for v in (u + 1)..4u32 {
+                b.add_edge(u, v);
+                b.add_edge(u + 4, v + 4);
+            }
+        }
+        b.extend_edges([(3u32, 8u32), (8, 9), (9, 4)]);
+        b.build()
+    }
+
+    fn kcore_pipeline(graph: &CsrGraph) -> (SuperScalarTree, TerrainLayout, Vec<f64>) {
+        let cores = core_numbers(graph);
+        let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
+        let sg = VertexScalarGraph::new(graph, &scalar).unwrap();
+        let tree = build_super_tree(&vertex_scalar_tree(&sg));
+        let layout = layout_super_tree(&tree, &LayoutConfig::default());
+        (tree, layout, scalar)
+    }
+
+    #[test]
+    fn peaks_at_alpha_match_maximal_components() {
+        let g = two_clique_graph();
+        let (tree, layout, scalar) = kcore_pipeline(&g);
+        let sg = VertexScalarGraph::new(&g, &scalar).unwrap();
+        for alpha in [1.0, 2.0, 3.0] {
+            let peaks = peaks_at_alpha(&tree, &layout, alpha);
+            let direct = maximal_alpha_components(&sg, alpha);
+            assert_eq!(peaks.len(), direct.len(), "alpha {alpha}");
+            let peak_sets: BTreeSet<BTreeSet<u32>> = peaks
+                .iter()
+                .map(|p| p.members.iter().copied().collect())
+                .collect();
+            let direct_sets: BTreeSet<BTreeSet<u32>> = direct
+                .into_iter()
+                .map(|c| c.vertices.into_iter().map(|v| v.0).collect())
+                .collect();
+            assert_eq!(peak_sets, direct_sets, "alpha {alpha}");
+        }
+    }
+
+    #[test]
+    fn two_cliques_give_two_peaks_at_core_3() {
+        let g = two_clique_graph();
+        let (tree, layout, _) = kcore_pipeline(&g);
+        let peaks = peaks_at_alpha(&tree, &layout, 3.0);
+        assert_eq!(peaks.len(), 2, "each K4 is its own 3-core peak");
+        for p in &peaks {
+            assert_eq!(p.member_count, 4);
+            assert_eq!(p.summit_height, 3.0);
+            assert!(p.base_area() > 0.0);
+        }
+        // The two peak footprints are disjoint.
+        assert!(!peaks[0].footprint.intersects(&peaks[1].footprint));
+    }
+
+    #[test]
+    fn highest_peaks_are_sorted_and_capture_summits() {
+        let g = two_clique_graph();
+        let (tree, layout, _) = kcore_pipeline(&g);
+        let peaks = highest_peaks(&tree, &layout, 5);
+        assert!(!peaks.is_empty());
+        for w in peaks.windows(2) {
+            assert!(w[0].summit_height >= w[1].summit_height);
+        }
+        assert_eq!(peaks[0].summit_height, 3.0);
+        // Requesting more peaks than summits just returns all of them.
+        let all = highest_peaks(&tree, &layout, 100);
+        assert!(all.len() <= tree.node_count());
+    }
+
+    #[test]
+    fn select_region_returns_members_under_the_rectangle() {
+        let g = two_clique_graph();
+        let (tree, layout, _) = kcore_pipeline(&g);
+        // Selecting the whole domain returns every vertex.
+        let all = select_region(
+            &tree,
+            &layout,
+            &Rect::new(0.0, 0.0, layout.config.width, layout.config.height),
+        );
+        assert_eq!(all.len(), g.vertex_count());
+        // Selecting one peak's footprint returns at least that peak's members
+        // and not the other peak's (footprints are disjoint).
+        let peaks = peaks_at_alpha(&tree, &layout, 3.0);
+        let selected = select_region(&tree, &layout, &peaks[0].footprint);
+        for m in &peaks[0].members {
+            assert!(selected.contains(m));
+        }
+        for m in &peaks[1].members {
+            assert!(!peaks[0].members.contains(m));
+        }
+        // An empty region off the terrain selects nothing.
+        let nothing = select_region(&tree, &layout, &Rect::new(50.0, 50.0, 51.0, 51.0));
+        assert!(nothing.is_empty());
+    }
+
+    #[test]
+    fn alpha_above_summit_gives_no_peaks() {
+        let g = two_clique_graph();
+        let (tree, layout, _) = kcore_pipeline(&g);
+        assert!(peaks_at_alpha(&tree, &layout, 10.0).is_empty());
+    }
+}

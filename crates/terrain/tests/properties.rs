@@ -1,0 +1,128 @@
+//! Property-based tests for the terrain layer: nesting and area invariants of
+//! the 2D layout, mesh/height consistency, and peak ↔ component agreement on
+//! arbitrary scalar graphs.
+
+use proptest::prelude::*;
+use scalarfield::{
+    build_super_tree, component_members_at_alpha, vertex_scalar_tree, VertexScalarGraph,
+};
+use std::collections::BTreeSet;
+use terrain::{
+    ascii_heightmap, build_terrain_mesh, build_treemap, layout_super_tree, mesh_to_obj,
+    peaks_at_alpha, terrain_to_svg, treemap_to_svg, LayoutConfig, MeshConfig,
+};
+use ugraph::{CsrGraph, GraphBuilder};
+
+fn graph_and_scalars(max_n: usize) -> impl Strategy<Value = (CsrGraph, Vec<f64>)> {
+    (2usize..max_n)
+        .prop_flat_map(|n| {
+            let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..(3 * n));
+            let scalars = proptest::collection::vec(0u8..5, n);
+            (Just(n), edges, scalars)
+        })
+        .prop_map(|(n, edges, scalars)| {
+            let mut b = GraphBuilder::new();
+            b.ensure_vertex(n - 1);
+            for (u, v) in edges {
+                b.add_edge(u, v);
+            }
+            (b.build(), scalars.into_iter().map(|s| s as f64).collect())
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Layout invariants: children nest inside parents, siblings stay disjoint,
+    /// everything fits in the configured domain.
+    #[test]
+    fn layout_nesting_invariants((graph, scalar) in graph_and_scalars(24)) {
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let tree = build_super_tree(&vertex_scalar_tree(&sg));
+        let config = LayoutConfig { width: 4.0, height: 3.0, margin_fraction: 0.05 };
+        let layout = layout_super_tree(&tree, &config);
+        let domain = terrain::Rect::new(0.0, 0.0, 4.0, 3.0);
+        for (id, node) in tree.nodes.iter().enumerate() {
+            prop_assert!(domain.contains_rect(&layout.rects[id]));
+            if let Some(p) = node.parent {
+                prop_assert!(layout.rects[p as usize].contains_rect(&layout.rects[id]));
+            }
+            for (i, &a) in node.children.iter().enumerate() {
+                for &b in node.children.iter().skip(i + 1) {
+                    prop_assert!(!layout.rects[a as usize].intersects(&layout.rects[b as usize]));
+                }
+            }
+        }
+    }
+
+    /// Mesh invariants: two cap triangles per super node, every cap at its
+    /// node's scaled height, wall count determined by the raised nodes.
+    #[test]
+    fn mesh_heights_match_tree_scalars((graph, scalar) in graph_and_scalars(20)) {
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let tree = build_super_tree(&vertex_scalar_tree(&sg));
+        let layout = layout_super_tree(&tree, &LayoutConfig::default());
+        let mesh = build_terrain_mesh(&tree, &layout, &MeshConfig::default());
+        let caps = mesh.triangles.iter().filter(|t| t.is_top).count();
+        prop_assert_eq!(caps, 2 * tree.node_count());
+        let min = tree.nodes.iter().map(|n| n.scalar).fold(f64::INFINITY, f64::min);
+        for t in mesh.triangles.iter().filter(|t| t.is_top) {
+            let expected = tree.nodes[t.node as usize].scalar - min;
+            for &i in &t.indices {
+                prop_assert!((mesh.vertices[i as usize].z - expected).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Peaks at every distinct scalar level agree with the maximal
+    /// α-connected components read off the super tree.
+    #[test]
+    fn peaks_agree_with_alpha_components((graph, scalar) in graph_and_scalars(20)) {
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let tree = build_super_tree(&vertex_scalar_tree(&sg));
+        let layout = layout_super_tree(&tree, &LayoutConfig::default());
+        let mut levels = scalar.clone();
+        levels.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        levels.dedup();
+        for alpha in levels {
+            let peaks: BTreeSet<BTreeSet<u32>> = peaks_at_alpha(&tree, &layout, alpha)
+                .into_iter()
+                .map(|p| p.members.into_iter().collect())
+                .collect();
+            let components: BTreeSet<BTreeSet<u32>> = component_members_at_alpha(&tree, alpha)
+                .into_iter()
+                .map(|m| m.into_iter().collect())
+                .collect();
+            prop_assert_eq!(peaks, components);
+        }
+    }
+
+    /// Every exporter produces structurally consistent output for arbitrary
+    /// terrains: one SVG polygon per triangle, one OBJ vertex line per mesh
+    /// vertex, one treemap rect per super node, an ASCII grid of the requested
+    /// size, and no NaN coordinates anywhere.
+    #[test]
+    fn exporters_are_structurally_consistent((graph, scalar) in graph_and_scalars(18)) {
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let tree = build_super_tree(&vertex_scalar_tree(&sg));
+        let layout = layout_super_tree(&tree, &LayoutConfig::default());
+        let mesh = build_terrain_mesh(&tree, &layout, &MeshConfig::default());
+
+        let svg = terrain_to_svg(&mesh, 320.0, 240.0);
+        prop_assert_eq!(svg.matches("<polygon").count(), mesh.triangle_count());
+        prop_assert!(!svg.contains("NaN"));
+
+        let obj = mesh_to_obj(&mesh);
+        prop_assert_eq!(obj.lines().filter(|l| l.starts_with("v ")).count(), mesh.vertex_count());
+
+        let map = build_treemap(&tree, &layout);
+        let map_svg = treemap_to_svg(&map, 320.0, 240.0);
+        prop_assert_eq!(map_svg.matches("<rect").count(), tree.node_count());
+
+        let art = ascii_heightmap(&layout, 24, 8);
+        if tree.node_count() > 0 {
+            prop_assert_eq!(art.lines().count(), 8);
+            prop_assert!(art.lines().all(|l| l.chars().count() == 24));
+        }
+    }
+}

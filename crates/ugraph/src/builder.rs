@@ -1,0 +1,147 @@
+//! Mutable builder producing canonical [`CsrGraph`]s.
+//!
+//! The builder accepts edges in any order, with duplicates, reversed
+//! orientation and self loops; `build()` canonicalizes (`u < v`),
+//! deduplicates, drops self loops and produces a [`CsrGraph`]. The number of
+//! vertices is `max endpoint + 1`, or larger if [`GraphBuilder::ensure_vertex`]
+//! was used to reserve isolated vertices.
+
+use crate::csr::CsrGraph;
+use crate::ids::VertexId;
+
+/// Incremental builder for [`CsrGraph`].
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    edges: Vec<(VertexId, VertexId)>,
+    min_vertex_count: usize,
+    dropped_self_loops: usize,
+}
+
+impl GraphBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a builder with capacity for `edges` edges.
+    pub fn with_capacity(edges: usize) -> Self {
+        GraphBuilder {
+            edges: Vec::with_capacity(edges),
+            min_vertex_count: 0,
+            dropped_self_loops: 0,
+        }
+    }
+
+    /// Add an undirected edge between `u` and `v`.
+    ///
+    /// Self loops are silently dropped (and counted, see
+    /// [`GraphBuilder::dropped_self_loops`]); duplicates are removed at build
+    /// time.
+    pub fn add_edge(&mut self, u: impl Into<VertexId>, v: impl Into<VertexId>) -> &mut Self {
+        let u = u.into();
+        let v = v.into();
+        if u == v {
+            self.dropped_self_loops += 1;
+            return self;
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a, b));
+        self
+    }
+
+    /// Add every edge of an iterator of `(u, v)` pairs.
+    pub fn extend_edges<I, U, V>(&mut self, iter: I) -> &mut Self
+    where
+        I: IntoIterator<Item = (U, V)>,
+        U: Into<VertexId>,
+        V: Into<VertexId>,
+    {
+        for (u, v) in iter {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Guarantee that vertex `v` exists in the built graph even if no edge
+    /// touches it.
+    pub fn ensure_vertex(&mut self, v: impl Into<VertexId>) -> &mut Self {
+        let v = v.into();
+        self.min_vertex_count = self.min_vertex_count.max(v.index() + 1);
+        self
+    }
+
+    /// Number of self loops that were passed to `add_edge` and dropped.
+    pub fn dropped_self_loops(&self) -> usize {
+        self.dropped_self_loops
+    }
+
+    /// Number of (possibly duplicated) edges currently staged.
+    pub fn staged_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finish building: canonicalize, deduplicate and freeze into a
+    /// [`CsrGraph`].
+    pub fn build(mut self) -> CsrGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let max_endpoint = self
+            .edges
+            .iter()
+            .map(|&(_, v)| v.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let vertex_count = max_endpoint.max(self.min_vertex_count);
+        CsrGraph::from_canonical_edges(vertex_count, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deduplicates_and_canonicalizes() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(1, 0);
+        b.add_edge(0, 1);
+        b.add_edge(1u32, 0u32);
+        b.add_edge(2, 1);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2);
+        let edges: Vec<_> = g.edges().map(|e| (e.u.0, e.v.0)).collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn drops_self_loops() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 0);
+        b.add_edge(3, 3);
+        b.add_edge(0, 1);
+        assert_eq!(b.dropped_self_loops(), 2);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.vertex_count(), 2);
+    }
+
+    #[test]
+    fn ensure_vertex_grows_graph() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.ensure_vertex(9);
+        let g = b.build();
+        assert_eq!(g.vertex_count(), 10);
+        assert_eq!(g.degree(VertexId(9)), 0);
+    }
+
+    #[test]
+    fn extend_edges_and_capacity() {
+        let mut b = GraphBuilder::with_capacity(8);
+        b.extend_edges([(0u32, 1u32), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(b.staged_edge_count(), 4);
+        let g = b.build();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+    }
+}

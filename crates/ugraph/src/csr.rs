@@ -1,0 +1,434 @@
+//! Compressed sparse row (CSR) storage for simple undirected graphs.
+//!
+//! A [`CsrGraph`] is immutable once built (use [`crate::GraphBuilder`] to
+//! construct one). Every undirected edge `{u, v}` is stored once in the edge
+//! table (with `u < v`) and appears twice in the adjacency arrays — once in
+//! `u`'s neighbor list and once in `v`'s — both entries carrying the same
+//! [`EdgeId`]. Neighbor lists are sorted by target vertex id, which gives the
+//! whole structure a canonical form: two graphs with the same edge set compare
+//! equal and iterate identically.
+
+use crate::error::{GraphError, Result};
+use crate::ids::{EdgeId, VertexId};
+
+/// A reference to one undirected edge: its id and its two endpoints.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct EdgeRef {
+    /// Identifier of the edge.
+    pub id: EdgeId,
+    /// Smaller endpoint.
+    pub u: VertexId,
+    /// Larger endpoint.
+    pub v: VertexId,
+}
+
+impl EdgeRef {
+    /// The endpoint of this edge that is not `w`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `w` is not an endpoint of the edge.
+    #[inline]
+    pub fn other(&self, w: VertexId) -> VertexId {
+        debug_assert!(w == self.u || w == self.v, "vertex is not an endpoint");
+        if w == self.u {
+            self.v
+        } else {
+            self.u
+        }
+    }
+}
+
+/// Immutable simple undirected graph in CSR form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` is the slice of `targets`/`edge_ids` holding
+    /// the neighbors of vertex `v`.
+    offsets: Vec<usize>,
+    /// Neighbor vertex for each half-edge, sorted within each vertex.
+    targets: Vec<VertexId>,
+    /// Edge id for each half-edge, aligned with `targets`.
+    edge_ids: Vec<EdgeId>,
+    /// Endpoints `(u, v)` with `u < v` for each edge id.
+    endpoints: Vec<(VertexId, VertexId)>,
+}
+
+impl CsrGraph {
+    /// Build a graph from a vertex count and a list of canonical edges.
+    ///
+    /// The caller must guarantee that edges are deduplicated, contain no self
+    /// loops and are given with `u < v`. [`crate::GraphBuilder`] enforces all
+    /// of this; the constructor only debug-asserts it.
+    pub(crate) fn from_canonical_edges(
+        vertex_count: usize,
+        edges: Vec<(VertexId, VertexId)>,
+    ) -> Self {
+        let mut degree = vec![0usize; vertex_count];
+        for &(u, v) in &edges {
+            debug_assert!(u < v, "edges must be canonical (u < v)");
+            debug_assert!(v.index() < vertex_count, "endpoint out of bounds");
+            degree[u.index()] += 1;
+            degree[v.index()] += 1;
+        }
+
+        let mut offsets = Vec::with_capacity(vertex_count + 1);
+        offsets.push(0usize);
+        let mut acc = 0usize;
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+
+        let mut targets = vec![VertexId(0); acc];
+        let mut edge_ids = vec![EdgeId(0); acc];
+        // `cursor[v]` is the next free slot in v's adjacency block.
+        let mut cursor: Vec<usize> = offsets[..vertex_count].to_vec();
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            let id = EdgeId::from_index(i);
+            targets[cursor[u.index()]] = v;
+            edge_ids[cursor[u.index()]] = id;
+            cursor[u.index()] += 1;
+            targets[cursor[v.index()]] = u;
+            edge_ids[cursor[v.index()]] = id;
+            cursor[v.index()] += 1;
+        }
+
+        // Sort each adjacency block by target id to obtain the canonical form.
+        let mut graph = CsrGraph { offsets, targets, edge_ids, endpoints: edges };
+        for v in 0..vertex_count {
+            let (start, end) = (graph.offsets[v], graph.offsets[v + 1]);
+            // Sort the (target, edge_id) pairs together.
+            let mut pairs: Vec<(VertexId, EdgeId)> = graph.targets[start..end]
+                .iter()
+                .copied()
+                .zip(graph.edge_ids[start..end].iter().copied())
+                .collect();
+            pairs.sort_unstable();
+            for (k, (t, e)) in pairs.into_iter().enumerate() {
+                graph.targets[start + k] = t;
+                graph.edge_ids[start + k] = e;
+            }
+        }
+        graph
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Degree of vertex `v` (number of incident edges).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
+    }
+
+    /// Largest degree over all vertices, or 0 for an empty graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.vertex_count())
+            .map(|v| self.degree(VertexId::from_index(v)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterator over all vertex ids in increasing order.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.vertex_count()).map(VertexId::from_index)
+    }
+
+    /// Iterator over all edges in increasing [`EdgeId`] order.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.endpoints
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| EdgeRef { id: EdgeId::from_index(i), u, v })
+    }
+
+    /// Endpoints `(u, v)` with `u < v` of edge `e`.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        self.endpoints[e.index()]
+    }
+
+    /// Checked variant of [`CsrGraph::endpoints`].
+    pub fn try_endpoints(&self, e: EdgeId) -> Result<(VertexId, VertexId)> {
+        self.endpoints.get(e.index()).copied().ok_or(GraphError::EdgeOutOfBounds {
+            edge: e.0,
+            edge_count: self.edge_count(),
+        })
+    }
+
+    /// Iterator over the neighbors of `v` as `(neighbor, edge id)` pairs,
+    /// sorted by neighbor id.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> NeighborIter<'_> {
+        let start = self.offsets[v.index()];
+        let end = self.offsets[v.index() + 1];
+        NeighborIter {
+            targets: &self.targets[start..end],
+            edge_ids: &self.edge_ids[start..end],
+            pos: 0,
+        }
+    }
+
+    /// Iterator over just the neighbor vertices of `v`, sorted by id.
+    pub fn neighbor_vertices(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        let start = self.offsets[v.index()];
+        let end = self.offsets[v.index() + 1];
+        self.targets[start..end].iter().copied()
+    }
+
+    /// Slice of neighbor vertices of `v` (sorted by id).
+    #[inline]
+    pub fn neighbor_slice(&self, v: VertexId) -> &[VertexId] {
+        let start = self.offsets[v.index()];
+        let end = self.offsets[v.index() + 1];
+        &self.targets[start..end]
+    }
+
+    /// Incident edge ids of `v`, aligned with [`CsrGraph::neighbor_slice`].
+    #[inline]
+    pub fn incident_edge_slice(&self, v: VertexId) -> &[EdgeId] {
+        let start = self.offsets[v.index()];
+        let end = self.offsets[v.index() + 1];
+        &self.edge_ids[start..end]
+    }
+
+    /// Whether an edge between `u` and `v` exists. `O(log degree)`.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.find_edge(u, v).is_some()
+    }
+
+    /// The id of the edge between `u` and `v`, if present. `O(log degree)`.
+    ///
+    /// The search runs over the smaller of the two adjacency lists.
+    pub fn find_edge(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        if u == v {
+            return None;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let slice = self.neighbor_slice(a);
+        let idx = slice.binary_search(&b).ok()?;
+        Some(self.incident_edge_slice(a)[idx])
+    }
+
+    /// Validate that `v` is a vertex of this graph.
+    pub fn check_vertex(&self, v: VertexId) -> Result<()> {
+        if v.index() < self.vertex_count() {
+            Ok(())
+        } else {
+            Err(GraphError::VertexOutOfBounds { vertex: v.0, vertex_count: self.vertex_count() })
+        }
+    }
+
+    /// Validate that a per-vertex attribute vector has the right length.
+    pub fn check_vertex_values<T>(&self, values: &[T]) -> Result<()> {
+        if values.len() == self.vertex_count() {
+            Ok(())
+        } else {
+            Err(GraphError::LengthMismatch {
+                what: "vertices",
+                expected: self.vertex_count(),
+                actual: values.len(),
+            })
+        }
+    }
+
+    /// Validate that a per-edge attribute vector has the right length.
+    pub fn check_edge_values<T>(&self, values: &[T]) -> Result<()> {
+        if values.len() == self.edge_count() {
+            Ok(())
+        } else {
+            Err(GraphError::LengthMismatch {
+                what: "edges",
+                expected: self.edge_count(),
+                actual: values.len(),
+            })
+        }
+    }
+
+    /// Extract the subgraph induced by `keep` (vertices with `keep[v] == true`).
+    ///
+    /// Returns the induced graph together with the mapping from new vertex ids
+    /// to original vertex ids.
+    pub fn induced_subgraph(&self, keep: &[bool]) -> (CsrGraph, Vec<VertexId>) {
+        assert_eq!(keep.len(), self.vertex_count(), "mask length mismatch");
+        let mut new_id = vec![u32::MAX; self.vertex_count()];
+        let mut back = Vec::new();
+        for v in 0..self.vertex_count() {
+            if keep[v] {
+                new_id[v] = back.len() as u32;
+                back.push(VertexId::from_index(v));
+            }
+        }
+        let mut edges = Vec::new();
+        for e in self.edges() {
+            if keep[e.u.index()] && keep[e.v.index()] {
+                let a = VertexId(new_id[e.u.index()]);
+                let b = VertexId(new_id[e.v.index()]);
+                let (a, b) = if a < b { (a, b) } else { (b, a) };
+                edges.push((a, b));
+            }
+        }
+        edges.sort_unstable();
+        (CsrGraph::from_canonical_edges(back.len(), edges), back)
+    }
+
+    /// Average degree `2|E| / |V|`, or 0 for the empty graph.
+    pub fn average_degree(&self) -> f64 {
+        if self.vertex_count() == 0 {
+            0.0
+        } else {
+            2.0 * self.edge_count() as f64 / self.vertex_count() as f64
+        }
+    }
+}
+
+/// Iterator over `(neighbor, edge id)` pairs of one vertex.
+pub struct NeighborIter<'a> {
+    targets: &'a [VertexId],
+    edge_ids: &'a [EdgeId],
+    pos: usize,
+}
+
+impl<'a> Iterator for NeighborIter<'a> {
+    type Item = (VertexId, EdgeId);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos < self.targets.len() {
+            let item = (self.targets[self.pos], self.edge_ids[self.pos]);
+            self.pos += 1;
+            Some(item)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.targets.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl<'a> ExactSizeIterator for NeighborIter<'a> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle_plus_tail() -> CsrGraph {
+        // 0-1, 1-2, 2-0 triangle, plus 2-3 tail.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        b.add_edge(2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(VertexId(0)), 2);
+        assert_eq!(g.degree(VertexId(2)), 3);
+        assert_eq!(g.degree(VertexId(3)), 1);
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_carry_edge_ids() {
+        let g = triangle_plus_tail();
+        let nbrs: Vec<VertexId> = g.neighbor_vertices(VertexId(2)).collect();
+        assert_eq!(nbrs, vec![VertexId(0), VertexId(1), VertexId(3)]);
+        for (n, e) in g.neighbors(VertexId(2)) {
+            let (u, v) = g.endpoints(e);
+            assert!(u == VertexId(2) || v == VertexId(2));
+            assert!(u == n || v == n);
+        }
+    }
+
+    #[test]
+    fn find_edge_and_has_edge() {
+        let g = triangle_plus_tail();
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+        assert!(g.has_edge(VertexId(1), VertexId(0)));
+        assert!(!g.has_edge(VertexId(0), VertexId(3)));
+        assert!(!g.has_edge(VertexId(1), VertexId(1)));
+        let e = g.find_edge(VertexId(2), VertexId(3)).unwrap();
+        assert_eq!(g.endpoints(e), (VertexId(2), VertexId(3)));
+    }
+
+    #[test]
+    fn edge_iteration_is_canonical() {
+        let g = triangle_plus_tail();
+        let edges: Vec<(VertexId, VertexId)> = g.edges().map(|e| (e.u, e.v)).collect();
+        let mut sorted = edges.clone();
+        sorted.sort_unstable();
+        assert_eq!(edges, sorted, "edges iterate in canonical sorted order");
+        for e in g.edges() {
+            assert!(e.u < e.v);
+            assert_eq!(e.other(e.u), e.v);
+            assert_eq!(e.other(e.v), e.u);
+        }
+    }
+
+    #[test]
+    fn validation_helpers() {
+        let g = triangle_plus_tail();
+        assert!(g.check_vertex(VertexId(3)).is_ok());
+        assert!(g.check_vertex(VertexId(4)).is_err());
+        assert!(g.check_vertex_values(&[0.0f64; 4]).is_ok());
+        assert!(g.check_vertex_values(&[0.0f64; 3]).is_err());
+        assert!(g.check_edge_values(&[0u8; 4]).is_ok());
+        assert!(g.check_edge_values(&[0u8; 5]).is_err());
+        assert!(g.try_endpoints(EdgeId(100)).is_err());
+    }
+
+    #[test]
+    fn induced_subgraph_remaps_vertices() {
+        let g = triangle_plus_tail();
+        // Keep the triangle only.
+        let keep = vec![true, true, true, false];
+        let (sub, back) = g.induced_subgraph(&keep);
+        assert_eq!(sub.vertex_count(), 3);
+        assert_eq!(sub.edge_count(), 3);
+        assert_eq!(back, vec![VertexId(0), VertexId(1), VertexId(2)]);
+        // Keep a disconnected pair.
+        let keep = vec![true, false, false, true];
+        let (sub, _) = g.induced_subgraph(&keep);
+        assert_eq!(sub.vertex_count(), 2);
+        assert_eq!(sub.edge_count(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices_are_preserved() {
+        let mut b = GraphBuilder::new();
+        b.ensure_vertex(5); // vertices 0..=5 with no edges
+        let g = b.build();
+        assert_eq!(g.vertex_count(), 6);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.degree(VertexId(5)), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.vertices().count(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Line graphs (the "dual graph" of Section II-C).
+//!
+//! The paper's naive edge-scalar-tree method converts an edge-based scalar
+//! graph `G(V, E)` into its dual `Gd(Vd, Ed)`: every edge of `G` becomes a
+//! vertex of `Gd`, and two such vertices are adjacent whenever the original
+//! edges share an endpoint. The vertex-scalar-tree algorithm (Algorithm 1) is
+//! then run on `Gd`. The dual has `|Vd| = |E|` vertices and
+//! `|Ed| = O(Σ_v deg(v)²)` edges, which is why the paper develops the
+//! optimized Algorithm 3; we keep the naive path both as a baseline for the
+//! Table II `te` column and as a correctness oracle in tests.
+
+use crate::csr::CsrGraph;
+use crate::ids::{EdgeId, VertexId};
+use crate::GraphBuilder;
+
+/// The line graph of an undirected graph, with the mapping back to the
+/// original edges.
+#[derive(Clone, Debug)]
+pub struct LineGraph {
+    /// The dual graph: one vertex per original edge.
+    pub graph: CsrGraph,
+    /// `original_edge[w]` is the edge of the source graph represented by the
+    /// dual vertex `w`. Because dual vertex `w` is created for original edge
+    /// with id `w`, this is the identity mapping, stored explicitly for
+    /// clarity at call sites.
+    pub original_edge: Vec<EdgeId>,
+}
+
+/// Build the line (dual) graph of `graph`.
+///
+/// Dual vertex `i` corresponds to the original edge with [`EdgeId`] `i`. Two
+/// dual vertices are connected iff the corresponding original edges share an
+/// endpoint. The construction cost is `O(Σ_v deg(v)²)`, matching the bound
+/// discussed in the paper.
+pub fn line_graph(graph: &CsrGraph) -> LineGraph {
+    let mut builder = GraphBuilder::with_capacity(estimated_dual_edges(graph));
+    if graph.edge_count() > 0 {
+        builder.ensure_vertex(graph.edge_count() - 1);
+    }
+    // For every vertex, all pairs of incident edges become dual edges.
+    for v in graph.vertices() {
+        let incident = graph.incident_edge_slice(v);
+        for i in 0..incident.len() {
+            for j in (i + 1)..incident.len() {
+                builder.add_edge(incident[i].0, incident[j].0);
+            }
+        }
+    }
+    let dual = builder.build();
+    let original_edge = (0..graph.edge_count()).map(EdgeId::from_index).collect();
+    LineGraph { graph: dual, original_edge }
+}
+
+/// Number of dual edges before deduplication: `Σ_v C(deg(v), 2)`.
+///
+/// Edges that form a triangle in the source graph are counted once per shared
+/// endpoint pair, so the deduplicated dual can be slightly smaller.
+pub fn estimated_dual_edges(graph: &CsrGraph) -> usize {
+    graph
+        .vertices()
+        .map(|v| {
+            let d = graph.degree(v);
+            d * d.saturating_sub(1) / 2
+        })
+        .sum()
+}
+
+/// Map a dual vertex back to the original edge's endpoints.
+pub fn dual_vertex_endpoints(graph: &CsrGraph, dual_vertex: VertexId) -> (VertexId, VertexId) {
+    graph.endpoints(EdgeId(dual_vertex.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn path_graph_dual_is_path() {
+        // Path 0-1-2-3 has edges e0={0,1}, e1={1,2}, e2={2,3}; its line graph
+        // is the path e0-e1-e2.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        let g = b.build();
+        let dual = line_graph(&g);
+        assert_eq!(dual.graph.vertex_count(), 3);
+        assert_eq!(dual.graph.edge_count(), 2);
+        assert!(dual.graph.has_edge(VertexId(0), VertexId(1)));
+        assert!(dual.graph.has_edge(VertexId(1), VertexId(2)));
+        assert!(!dual.graph.has_edge(VertexId(0), VertexId(2)));
+    }
+
+    #[test]
+    fn triangle_dual_is_triangle() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        let g = b.build();
+        let dual = line_graph(&g);
+        assert_eq!(dual.graph.vertex_count(), 3);
+        assert_eq!(dual.graph.edge_count(), 3);
+    }
+
+    #[test]
+    fn star_dual_is_complete() {
+        // Star K_{1,4}: center 0 connected to 1..=4. Line graph is K_4.
+        let mut b = GraphBuilder::new();
+        for leaf in 1..=4u32 {
+            b.add_edge(0u32, leaf);
+        }
+        let g = b.build();
+        let dual = line_graph(&g);
+        assert_eq!(dual.graph.vertex_count(), 4);
+        assert_eq!(dual.graph.edge_count(), 6);
+        assert_eq!(estimated_dual_edges(&g), 6);
+    }
+
+    #[test]
+    fn dual_vertices_map_back_to_edges() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build();
+        let dual = line_graph(&g);
+        for (i, &e) in dual.original_edge.iter().enumerate() {
+            assert_eq!(e.index(), i);
+            let endpoints = dual_vertex_endpoints(&g, VertexId::from_index(i));
+            assert_eq!(endpoints, g.endpoints(e));
+        }
+    }
+
+    #[test]
+    fn empty_and_single_edge_duals() {
+        let g = GraphBuilder::new().build();
+        let dual = line_graph(&g);
+        assert_eq!(dual.graph.vertex_count(), 0);
+
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        let g = b.build();
+        let dual = line_graph(&g);
+        assert_eq!(dual.graph.vertex_count(), 1);
+        assert_eq!(dual.graph.edge_count(), 0);
+    }
+}

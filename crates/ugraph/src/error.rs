@@ -1,0 +1,108 @@
+//! Error types for the graph substrate.
+
+use std::fmt;
+use std::io;
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Errors produced by graph construction, validation and I/O.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A vertex index referenced a vertex that does not exist.
+    VertexOutOfBounds {
+        /// The offending vertex index.
+        vertex: u32,
+        /// Number of vertices in the graph.
+        vertex_count: usize,
+    },
+    /// An edge index referenced an edge that does not exist.
+    EdgeOutOfBounds {
+        /// The offending edge index.
+        edge: u32,
+        /// Number of edges in the graph.
+        edge_count: usize,
+    },
+    /// A scalar field or attribute vector had the wrong length.
+    LengthMismatch {
+        /// What the value was supposed to annotate ("vertices", "edges", ...).
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A line in an edge-list file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human readable description.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfBounds { vertex, vertex_count } => write!(
+                f,
+                "vertex {vertex} out of bounds for graph with {vertex_count} vertices"
+            ),
+            GraphError::EdgeOutOfBounds { edge, edge_count } => write!(
+                f,
+                "edge {edge} out of bounds for graph with {edge_count} edges"
+            ),
+            GraphError::LengthMismatch { what, expected, actual } => write!(
+                f,
+                "length mismatch for {what}: expected {expected}, got {actual}"
+            ),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::VertexOutOfBounds { vertex: 10, vertex_count: 5 };
+        assert!(e.to_string().contains("vertex 10"));
+        assert!(e.to_string().contains("5 vertices"));
+
+        let e = GraphError::LengthMismatch { what: "vertices", expected: 3, actual: 4 };
+        assert!(e.to_string().contains("expected 3"));
+
+        let e = GraphError::Parse { line: 7, message: "bad token".into() };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io_err = io::Error::new(io::ErrorKind::NotFound, "missing");
+        let e: GraphError = io_err.into();
+        assert!(matches!(e, GraphError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

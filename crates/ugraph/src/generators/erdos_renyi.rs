@@ -1,0 +1,91 @@
+//! Erdős–Rényi `G(n, p)` random graphs.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use rand::Rng;
+
+/// Sample a `G(n, p)` graph with the geometric skipping method, which runs in
+/// `O(n + |E|)` expected time instead of `O(n²)`.
+///
+/// * `n` — number of vertices.
+/// * `p` — independent probability of each of the `C(n, 2)` edges.
+/// * `seed` — PRNG seed.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1]");
+    let mut builder = GraphBuilder::new();
+    if n > 0 {
+        builder.ensure_vertex(n - 1);
+    }
+    if n < 2 || p == 0.0 {
+        return builder.build();
+    }
+    let mut rng = super::rng(seed);
+    if p >= 1.0 {
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                builder.add_edge(u, v);
+            }
+        }
+        return builder.build();
+    }
+
+    // Geometric skipping over the virtual list of all C(n,2) pairs.
+    let log_q = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    let n = n as i64;
+    while v < n {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        w += 1 + (r.ln() / log_q).floor() as i64;
+        while w >= v && v < n {
+            w -= v;
+            v += 1;
+        }
+        if v < n {
+            builder.add_edge(w as u32, v as u32);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_matches_probability() {
+        let n = 400;
+        let p = 0.05;
+        let g = erdos_renyi(n, p, 42);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let actual = g.edge_count() as f64;
+        // Allow 15% relative slack: variance of a binomial with ~4000 trials.
+        assert!(
+            (actual - expected).abs() < 0.15 * expected,
+            "edge count {actual} too far from expectation {expected}"
+        );
+        assert_eq!(g.vertex_count(), n);
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let g = erdos_renyi(50, 0.0, 1);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.vertex_count(), 50);
+        let g = erdos_renyi(10, 1.0, 1);
+        assert_eq!(g.edge_count(), 45);
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert_eq!(erdos_renyi(0, 0.5, 1).vertex_count(), 0);
+        assert_eq!(erdos_renyi(1, 0.5, 1).vertex_count(), 1);
+        assert_eq!(erdos_renyi(1, 0.5, 1).edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_invalid_probability() {
+        erdos_renyi(10, 1.5, 1);
+    }
+}

@@ -1,0 +1,210 @@
+//! Overlapping (soft) community graphs with ground-truth affiliation scores.
+//!
+//! Figure 8 and Figure 1(b) of the paper visualize a DBLP subset through the
+//! *community score vector* `(c0, c1, c2, c3)` produced by an overlapping
+//! community detection algorithm. This generator plants exactly that
+//! structure: each community has a few **core** members with affiliation close
+//! to 1, a middle tier, and peripheral members with low scores; some vertices
+//! belong to two communities (the overlap), and each community is itself split
+//! into a small number of sub-groups that only interact through their cores —
+//! which is what produces the separate sub-peaks inside one major peak in
+//! Figure 8.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use rand::Rng;
+
+/// Configuration for [`overlapping_communities`].
+#[derive(Clone, Debug)]
+pub struct OverlappingCommunityConfig {
+    /// Number of communities.
+    pub communities: usize,
+    /// Number of vertices per community (before overlap).
+    pub community_size: usize,
+    /// Number of sub-groups within each community (the sub-peaks of Fig. 8).
+    pub subgroups_per_community: usize,
+    /// Fraction of each community's vertices that also join the next community.
+    pub overlap_fraction: f64,
+    /// Edge probability between two vertices of the same sub-group.
+    pub p_subgroup: f64,
+    /// Edge probability between two vertices of the same community but
+    /// different sub-groups (mostly mediated by core members).
+    pub p_community: f64,
+    /// Edge probability between vertices of different communities.
+    pub p_background: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for OverlappingCommunityConfig {
+    fn default() -> Self {
+        OverlappingCommunityConfig {
+            communities: 4,
+            community_size: 120,
+            subgroups_per_community: 2,
+            overlap_fraction: 0.05,
+            p_subgroup: 0.25,
+            p_community: 0.02,
+            p_background: 0.001,
+            seed: 0x5ca1ab1e,
+        }
+    }
+}
+
+/// A generated overlapping-community graph with ground-truth scores.
+#[derive(Clone, Debug)]
+pub struct OverlappingCommunityGraph {
+    /// The generated graph.
+    pub graph: CsrGraph,
+    /// `scores[c][v]` is the affiliation of vertex `v` with community `c`,
+    /// in `[0, 1]`. This is the scalar field Figure 8 draws terrains from.
+    pub scores: Vec<Vec<f64>>,
+    /// `primary[v]` is the community with the largest affiliation for `v`.
+    pub primary: Vec<usize>,
+    /// `subgroup[v]` is the sub-group index of `v` inside its primary
+    /// community (used to verify the sub-peak structure).
+    pub subgroup: Vec<usize>,
+}
+
+/// Generate an overlapping-community graph per `config`.
+pub fn overlapping_communities(config: &OverlappingCommunityConfig) -> OverlappingCommunityGraph {
+    assert!(config.communities >= 1 && config.community_size >= 4);
+    assert!(config.subgroups_per_community >= 1);
+    let n = config.communities * config.community_size;
+    let mut rng = super::rng(config.seed);
+
+    // Membership tiers inside a community, by position within the community:
+    // the first 10% are core (score ~0.9-1.0), next 40% mid (0.5-0.8), rest
+    // peripheral (0.1-0.4).
+    let mut scores = vec![vec![0.0f64; n]; config.communities];
+    let mut primary = vec![0usize; n];
+    let mut subgroup = vec![0usize; n];
+
+    for c in 0..config.communities {
+        for i in 0..config.community_size {
+            let v = c * config.community_size + i;
+            primary[v] = c;
+            subgroup[v] = i % config.subgroups_per_community;
+            let tier = i as f64 / config.community_size as f64;
+            let score = if tier < 0.1 {
+                0.9 + 0.1 * rng.gen::<f64>()
+            } else if tier < 0.5 {
+                0.5 + 0.3 * rng.gen::<f64>()
+            } else {
+                0.1 + 0.3 * rng.gen::<f64>()
+            };
+            scores[c][v] = score;
+        }
+    }
+
+    // Overlap: the last `overlap_fraction` of each community also gets a
+    // moderate affiliation with the next community.
+    let overlap_count =
+        ((config.community_size as f64) * config.overlap_fraction).round() as usize;
+    for c in 0..config.communities {
+        let next = (c + 1) % config.communities;
+        for k in 0..overlap_count {
+            let v = c * config.community_size + config.community_size - 1 - k;
+            scores[next][v] = 0.3 + 0.2 * rng.gen::<f64>();
+        }
+    }
+
+    // Edges. Sub-group members are densely connected among themselves; the
+    // sub-groups of one community are bridged through their *peripheral*
+    // members (low scores), so the community is connected at low affiliation
+    // thresholds but splits into separate sub-peaks at high thresholds —
+    // exactly the sub-community structure of the paper's Figure 8.
+    let mut builder = GraphBuilder::new();
+    builder.ensure_vertex(n - 1);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if primary[u] == primary[v] {
+                let u_peripheral = scores[primary[u]][u] < 0.5;
+                let v_peripheral = scores[primary[v]][v] < 0.5;
+                if subgroup[u] == subgroup[v] {
+                    let affinity = scores[primary[u]][u].min(scores[primary[v]][v]);
+                    (config.p_subgroup * (0.5 + affinity)).min(1.0)
+                } else if u_peripheral && v_peripheral {
+                    // Cross-sub-group bridges live at the community periphery.
+                    (config.p_subgroup * 0.4).min(1.0)
+                } else {
+                    config.p_community
+                }
+            } else if scores[primary[v]][u] > 0.0 || scores[primary[u]][v] > 0.0 {
+                // Overlapping member connecting its two communities.
+                config.p_subgroup * 0.3
+            } else {
+                config.p_background
+            };
+            if p > 0.0 && rng.gen_bool(p.min(1.0)) {
+                builder.add_edge(u as u32, v as u32);
+            }
+        }
+    }
+
+    OverlappingCommunityGraph { graph: builder.build(), scores, primary, subgroup }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> OverlappingCommunityConfig {
+        OverlappingCommunityConfig {
+            communities: 3,
+            community_size: 40,
+            subgroups_per_community: 2,
+            overlap_fraction: 0.1,
+            seed: 99,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn scores_are_probabilities_and_cover_all_vertices() {
+        let g = overlapping_communities(&small_config());
+        assert_eq!(g.graph.vertex_count(), 120);
+        assert_eq!(g.scores.len(), 3);
+        for field in &g.scores {
+            assert_eq!(field.len(), 120);
+            assert!(field.iter().all(|&s| (0.0..=1.0).contains(&s)));
+        }
+        // Every vertex has a positive score in its primary community.
+        for v in 0..120 {
+            assert!(g.scores[g.primary[v]][v] > 0.0);
+        }
+    }
+
+    #[test]
+    fn communities_are_denser_inside_than_outside() {
+        let g = overlapping_communities(&small_config());
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for e in g.graph.edges() {
+            if g.primary[e.u.index()] == g.primary[e.v.index()] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 3 * inter, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn overlap_vertices_have_two_affiliations() {
+        let g = overlapping_communities(&small_config());
+        let doubly_affiliated = (0..g.graph.vertex_count())
+            .filter(|&v| g.scores.iter().filter(|f| f[v] > 0.0).count() >= 2)
+            .count();
+        assert!(doubly_affiliated >= 3, "expected overlapping members, got {doubly_affiliated}");
+    }
+
+    #[test]
+    fn core_members_have_highest_scores() {
+        let g = overlapping_communities(&small_config());
+        // Vertex 0 is the first (core) member of community 0.
+        assert!(g.scores[0][0] >= 0.9);
+        // The last member of community 0 is peripheral.
+        assert!(g.scores[0][39] < 0.5);
+    }
+}

@@ -1,0 +1,87 @@
+//! Planted-partition (stochastic block model) graphs with ground-truth
+//! community labels.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use rand::Rng;
+
+/// A planted-partition graph with its ground-truth labelling.
+#[derive(Clone, Debug)]
+pub struct PlantedPartitionGraph {
+    /// The generated graph.
+    pub graph: CsrGraph,
+    /// `community[v]` is the planted community index of vertex `v`.
+    pub community: Vec<usize>,
+    /// Number of planted communities.
+    pub community_count: usize,
+}
+
+/// Generate a planted-partition graph.
+///
+/// `sizes[i]` vertices belong to community `i`; an intra-community pair is an
+/// edge with probability `p_in` and an inter-community pair with probability
+/// `p_out`. With `p_in >> p_out` the planted blocks are the dense
+/// components-of-interest the paper's community figures rely on.
+pub fn planted_partition(
+    sizes: &[usize],
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> PlantedPartitionGraph {
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
+    let n: usize = sizes.iter().sum();
+    let mut community = Vec::with_capacity(n);
+    for (c, &size) in sizes.iter().enumerate() {
+        community.extend(std::iter::repeat(c).take(size));
+    }
+    let mut rng = super::rng(seed);
+    let mut builder = GraphBuilder::new();
+    if n > 0 {
+        builder.ensure_vertex(n - 1);
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if community[u] == community[v] { p_in } else { p_out };
+            if p > 0.0 && rng.gen_bool(p) {
+                builder.add_edge(u as u32, v as u32);
+            }
+        }
+    }
+    PlantedPartitionGraph { graph: builder.build(), community, community_count: sizes.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_sizes() {
+        let g = planted_partition(&[10, 20, 5], 0.5, 0.01, 3);
+        assert_eq!(g.graph.vertex_count(), 35);
+        assert_eq!(g.community_count, 3);
+        assert_eq!(g.community.iter().filter(|&&c| c == 1).count(), 20);
+    }
+
+    #[test]
+    fn intra_density_exceeds_inter_density() {
+        let g = planted_partition(&[40, 40], 0.3, 0.01, 11);
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for e in g.graph.edges() {
+            if g.community[e.u.index()] == g.community[e.v.index()] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        // 0.3 vs 0.01 with equal pair counts: intra should dominate clearly.
+        assert!(intra > 5 * inter, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn zero_probabilities_give_empty_graph() {
+        let g = planted_partition(&[5, 5], 0.0, 0.0, 1);
+        assert_eq!(g.graph.edge_count(), 0);
+        assert_eq!(g.graph.vertex_count(), 10);
+    }
+}

@@ -1,0 +1,158 @@
+//! Hub / dense-community / periphery / whisker role-structured community
+//! generator (the Amazon co-purchase community of Figure 9).
+//!
+//! The paper's Figure 9 colors one community's terrain by each vertex's
+//! dominant *role*: a hub book at the very top of the peak, densely connected
+//! community books below it, and loosely attached peripheral books at the
+//! bottom. This generator plants exactly that structure, with ground-truth
+//! roles and a ground-truth community score that decays from hub to periphery.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use rand::Rng;
+
+/// Ground-truth structural role of a planted vertex.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PlantedRole {
+    /// The single highest-affiliation vertex, connected to most of the dense core.
+    Hub,
+    /// Densely inter-connected core members.
+    DenseCommunity,
+    /// Members attached to a few core members only.
+    Periphery,
+    /// Degree-one whiskers hanging off peripheral members.
+    Whisker,
+}
+
+/// A planted hub/dense/periphery/whisker community.
+#[derive(Clone, Debug)]
+pub struct HubPeripheryGraph {
+    /// The generated graph.
+    pub graph: CsrGraph,
+    /// Ground-truth role per vertex.
+    pub roles: Vec<PlantedRole>,
+    /// Ground-truth community affiliation score per vertex, decreasing from
+    /// the hub (≈1.0) to whiskers (≈0.05).
+    pub community_score: Vec<f64>,
+}
+
+/// Generate a hub/dense/periphery/whisker community.
+///
+/// * `dense` — number of dense-core vertices (one of them is upgraded to the hub).
+/// * `periphery` — number of peripheral vertices.
+/// * `whiskers` — number of degree-one whisker vertices.
+/// * `seed` — PRNG seed.
+pub fn hub_periphery_community(
+    dense: usize,
+    periphery: usize,
+    whiskers: usize,
+    seed: u64,
+) -> HubPeripheryGraph {
+    assert!(dense >= 3, "need at least a small dense core");
+    let mut rng = super::rng(seed);
+    let n = dense + periphery + whiskers;
+    let mut builder = GraphBuilder::new();
+    builder.ensure_vertex(n - 1);
+    let mut roles = Vec::with_capacity(n);
+    let mut score = Vec::with_capacity(n);
+
+    // Vertex 0 is the hub; 1..dense are dense community members.
+    roles.push(PlantedRole::Hub);
+    score.push(1.0);
+    for i in 1..dense {
+        roles.push(PlantedRole::DenseCommunity);
+        score.push(0.75 + 0.15 * rng.gen::<f64>() - 0.0005 * i as f64);
+    }
+    for _ in 0..periphery {
+        roles.push(PlantedRole::Periphery);
+        score.push(0.25 + 0.2 * rng.gen::<f64>());
+    }
+    for _ in 0..whiskers {
+        roles.push(PlantedRole::Whisker);
+        score.push(0.05 + 0.05 * rng.gen::<f64>());
+    }
+
+    // Hub connects to (almost) every dense member.
+    for i in 1..dense {
+        if rng.gen_bool(0.95) {
+            builder.add_edge(0u32, i as u32);
+        }
+    }
+    // Dense members are heavily inter-connected.
+    for i in 1..dense {
+        for j in (i + 1)..dense {
+            if rng.gen_bool(0.5) {
+                builder.add_edge(i as u32, j as u32);
+            }
+        }
+    }
+    // Periphery members attach to 1-3 dense members (possibly the hub).
+    for p in 0..periphery {
+        let v = dense + p;
+        let attachments = rng.gen_range(1..=3usize);
+        for _ in 0..attachments {
+            let target = rng.gen_range(0..dense);
+            builder.add_edge(v as u32, target as u32);
+        }
+    }
+    // Whiskers hang off a random peripheral member (or a dense member when
+    // there is no periphery).
+    for w in 0..whiskers {
+        let v = dense + periphery + w;
+        let target = if periphery > 0 {
+            dense + rng.gen_range(0..periphery)
+        } else {
+            rng.gen_range(0..dense)
+        };
+        builder.add_edge(v as u32, target as u32);
+    }
+
+    HubPeripheryGraph { graph: builder.build(), roles, community_score: score }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_and_scores_are_aligned() {
+        let g = hub_periphery_community(20, 30, 10, 3);
+        assert_eq!(g.graph.vertex_count(), 60);
+        assert_eq!(g.roles.len(), 60);
+        assert_eq!(g.community_score.len(), 60);
+        assert_eq!(g.roles[0], PlantedRole::Hub);
+        assert!((g.community_score[0] - 1.0).abs() < 1e-12);
+        // Score ordering hub > dense > periphery > whisker on average.
+        let avg = |role: PlantedRole| {
+            let (sum, count) = g
+                .roles
+                .iter()
+                .zip(&g.community_score)
+                .filter(|(r, _)| **r == role)
+                .fold((0.0, 0usize), |(s, c), (_, v)| (s + v, c + 1));
+            sum / count as f64
+        };
+        assert!(avg(PlantedRole::DenseCommunity) > avg(PlantedRole::Periphery));
+        assert!(avg(PlantedRole::Periphery) > avg(PlantedRole::Whisker));
+    }
+
+    #[test]
+    fn hub_has_high_degree_and_whiskers_have_degree_one() {
+        let g = hub_periphery_community(25, 40, 15, 11);
+        let hub_degree = g.graph.degree(crate::ids::VertexId(0));
+        assert!(hub_degree >= 15, "hub should touch most of the dense core");
+        for (v, role) in g.roles.iter().enumerate() {
+            if *role == PlantedRole::Whisker {
+                assert_eq!(g.graph.degree(crate::ids::VertexId::from_index(v)), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let a = hub_periphery_community(10, 10, 5, 2);
+        let b = hub_periphery_community(10, 10, 5, 2);
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.roles, b.roles);
+    }
+}

@@ -1,0 +1,91 @@
+//! Watts–Strogatz small-world graphs.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use rand::Rng;
+
+/// Generate a Watts–Strogatz small-world graph.
+///
+/// Vertices are placed on a ring, each connected to its `k` nearest neighbors
+/// (`k` must be even), and every lattice edge is rewired to a uniformly random
+/// target with probability `beta`. Low `beta` keeps the high clustering of the
+/// lattice while the rewired shortcuts shrink path lengths — a reasonable
+/// analog for biological interaction networks such as the paper's PPI dataset.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!(k % 2 == 0, "lattice degree k must be even");
+    assert!(k < n, "lattice degree must be smaller than the vertex count");
+    assert!((0.0..=1.0).contains(&beta), "rewiring probability must be in [0, 1]");
+    let mut rng = super::rng(seed);
+    let mut builder = GraphBuilder::with_capacity(n * k / 2);
+    if n > 0 {
+        builder.ensure_vertex(n - 1);
+    }
+    if n == 0 || k == 0 {
+        return builder.build();
+    }
+
+    for u in 0..n {
+        for offset in 1..=(k / 2) {
+            let v = (u + offset) % n;
+            let (mut a, mut b) = (u as u32, v as u32);
+            if rng.gen_bool(beta) {
+                // Rewire the far endpoint to a random vertex distinct from `u`.
+                let mut target = rng.gen_range(0..n) as u32;
+                let mut guard = 0;
+                while target == a && guard < 32 {
+                    target = rng.gen_range(0..n) as u32;
+                    guard += 1;
+                }
+                b = target;
+            }
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            builder.add_edge(a, b);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::connected_components;
+
+    #[test]
+    fn zero_beta_is_a_ring_lattice() {
+        let n = 30;
+        let k = 4;
+        let g = watts_strogatz(n, k, 0.0, 5);
+        assert_eq!(g.vertex_count(), n);
+        assert_eq!(g.edge_count(), n * k / 2);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), k);
+        }
+    }
+
+    #[test]
+    fn rewiring_keeps_edge_count_close() {
+        let n = 200;
+        let k = 6;
+        let g = watts_strogatz(n, k, 0.2, 8);
+        // Rewiring can create duplicates which are deduplicated, so the edge
+        // count can only shrink, and not by much.
+        assert!(g.edge_count() <= n * k / 2);
+        assert!(g.edge_count() as f64 > 0.9 * (n * k / 2) as f64);
+    }
+
+    #[test]
+    fn small_world_stays_mostly_connected() {
+        let g = watts_strogatz(500, 6, 0.1, 21);
+        let cc = connected_components(&g);
+        let largest = cc.sizes.iter().copied().max().unwrap();
+        assert!(largest as f64 > 0.95 * 500.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_odd_k() {
+        watts_strogatz(10, 3, 0.1, 0);
+    }
+}

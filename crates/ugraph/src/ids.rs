@@ -1,0 +1,153 @@
+//! Strongly-typed vertex and edge identifiers.
+//!
+//! Both identifiers are thin wrappers around `u32` indices into the CSR
+//! arrays. The paper's experiments go up to a few million vertices / tens of
+//! millions of edges, comfortably within `u32`, and halving the index width
+//! keeps the adjacency arrays (the hot data of Algorithms 1 and 3) denser in
+//! cache.
+
+use std::fmt;
+
+/// Identifier of a vertex: an index in `0..graph.vertex_count()`.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VertexId(pub u32);
+
+/// Identifier of an undirected edge: an index in `0..graph.edge_count()`.
+///
+/// Each undirected edge has exactly one [`EdgeId`], regardless of direction;
+/// the CSR structure maps both half-edges of an edge to the same id.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EdgeId(pub u32);
+
+impl VertexId {
+    /// The index as a `usize`, for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize, "vertex index overflows u32");
+        VertexId(i as u32)
+    }
+}
+
+impl EdgeId {
+    /// The index as a `usize`, for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize, "edge index overflows u32");
+        EdgeId(i as u32)
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<usize> for VertexId {
+    fn from(v: usize) -> Self {
+        VertexId::from_index(v)
+    }
+}
+
+impl From<i32> for VertexId {
+    /// Convenience conversion so integer literals work at call sites.
+    ///
+    /// # Panics
+    /// Panics if `v` is negative.
+    fn from(v: i32) -> Self {
+        assert!(v >= 0, "vertex index must be non-negative");
+        VertexId(v as u32)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+impl From<usize> for EdgeId {
+    fn from(v: usize) -> Self {
+        EdgeId::from_index(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId::from_index(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v, VertexId(42));
+        assert_eq!(format!("{v:?}"), "v42");
+        assert_eq!(format!("{v}"), "42");
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId::from_index(7);
+        assert_eq!(e.index(), 7);
+        assert_eq!(format!("{e:?}"), "e7");
+        assert_eq!(format!("{e}"), "7");
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(VertexId(1) < VertexId(2));
+        assert!(EdgeId(0) < EdgeId(10));
+    }
+
+    #[test]
+    fn conversions_from_integers() {
+        assert_eq!(VertexId::from(3u32), VertexId(3));
+        assert_eq!(VertexId::from(3usize), VertexId(3));
+        assert_eq!(EdgeId::from(9u32), EdgeId(9));
+        assert_eq!(EdgeId::from(9usize), EdgeId(9));
+    }
+}

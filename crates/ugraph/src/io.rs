@@ -1,0 +1,224 @@
+//! Plain-text edge-list I/O and a compact binary encoding.
+//!
+//! The text format is the SNAP-style whitespace-separated edge list used by
+//! the paper's datasets: one `u v` pair per line, `#`-prefixed comment lines
+//! ignored. An optional third column carries a per-edge scalar. The binary
+//! format is a simple length-prefixed `u32` stream built with [`bytes`] for
+//! fast round-tripping of generated benchmark graphs.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::{GraphError, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// An edge list parsed from text: the graph plus optional per-edge weights.
+#[derive(Clone, Debug)]
+pub struct ParsedEdgeList {
+    /// The parsed graph.
+    pub graph: CsrGraph,
+    /// Per-edge weights aligned with [`CsrGraph`] edge ids, if the input had a
+    /// third column on every edge line.
+    pub edge_weights: Option<Vec<f64>>,
+}
+
+/// Read a whitespace-separated edge list from a reader.
+///
+/// Lines beginning with `#` or `%` and blank lines are skipped. Each data line
+/// must contain two vertex ids and may contain a third floating-point weight;
+/// weights are returned only when *every* edge line carries one.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<ParsedEdgeList> {
+    let reader = BufReader::new(reader);
+    let mut builder = GraphBuilder::new();
+    // (canonical endpoints) -> weight, in insertion order, so weights can be
+    // re-aligned with the deduplicated canonical edge ids afterwards.
+    let mut weighted: Vec<((u32, u32), f64)> = Vec::new();
+    let mut all_weighted = true;
+    let mut any_edge = false;
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let u: u32 = parse_field(it.next(), lineno + 1, "source vertex")?;
+        let v: u32 = parse_field(it.next(), lineno + 1, "target vertex")?;
+        any_edge = true;
+        match it.next() {
+            Some(w) => {
+                let w: f64 = w.parse().map_err(|_| GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("invalid weight `{w}`"),
+                })?;
+                let key = if u <= v { (u, v) } else { (v, u) };
+                weighted.push((key, w));
+            }
+            None => all_weighted = false,
+        }
+        builder.add_edge(u, v);
+    }
+
+    let graph = builder.build();
+    let edge_weights = if any_edge && all_weighted {
+        // Map each canonical edge to the last weight seen for it.
+        let mut map = std::collections::HashMap::with_capacity(weighted.len());
+        for (key, w) in weighted {
+            map.insert(key, w);
+        }
+        let weights = graph
+            .edges()
+            .map(|e| map.get(&(e.u.0, e.v.0)).copied().unwrap_or(0.0))
+            .collect();
+        Some(weights)
+    } else {
+        None
+    };
+    Ok(ParsedEdgeList { graph, edge_weights })
+}
+
+fn parse_field(field: Option<&str>, line: usize, what: &str) -> Result<u32> {
+    let raw = field.ok_or_else(|| GraphError::Parse {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    raw.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid {what} `{raw}`"),
+    })
+}
+
+/// Read an edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<ParsedEdgeList> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file)
+}
+
+/// Write a graph as a plain edge list (`u v` per line, canonical order).
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> Result<()> {
+    writeln!(writer, "# graph-terrain edge list: {} vertices, {} edges", graph.vertex_count(), graph.edge_count())?;
+    for e in graph.edges() {
+        writeln!(writer, "{} {}", e.u.0, e.v.0)?;
+    }
+    Ok(())
+}
+
+/// Write a graph to a file as an edge list.
+pub fn write_edge_list_file<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(graph, std::io::BufWriter::new(file))
+}
+
+/// Encode a graph into a compact binary buffer: `u32` vertex count, `u32` edge
+/// count, then `u32` endpoint pairs.
+pub fn encode_binary(graph: &CsrGraph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + graph.edge_count() * 8);
+    buf.put_u32_le(graph.vertex_count() as u32);
+    buf.put_u32_le(graph.edge_count() as u32);
+    for e in graph.edges() {
+        buf.put_u32_le(e.u.0);
+        buf.put_u32_le(e.v.0);
+    }
+    buf.freeze()
+}
+
+/// Decode a graph from the binary encoding produced by [`encode_binary`].
+pub fn decode_binary(mut bytes: Bytes) -> Result<CsrGraph> {
+    if bytes.remaining() < 8 {
+        return Err(GraphError::Parse { line: 0, message: "binary header truncated".into() });
+    }
+    let vertex_count = bytes.get_u32_le() as usize;
+    let edge_count = bytes.get_u32_le() as usize;
+    if bytes.remaining() < edge_count * 8 {
+        return Err(GraphError::Parse { line: 0, message: "binary edge data truncated".into() });
+    }
+    let mut builder = GraphBuilder::with_capacity(edge_count);
+    if vertex_count > 0 {
+        builder.ensure_vertex(vertex_count - 1);
+    }
+    for _ in 0..edge_count {
+        let u = bytes.get_u32_le();
+        let v = bytes.get_u32_le();
+        builder.add_edge(u, v);
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VertexId;
+
+    #[test]
+    fn parses_snap_style_edge_list() {
+        let text = "# comment line\n% another comment\n\n0 1\n1 2\n2 0\n";
+        let parsed = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(parsed.graph.vertex_count(), 3);
+        assert_eq!(parsed.graph.edge_count(), 3);
+        assert!(parsed.edge_weights.is_none());
+    }
+
+    #[test]
+    fn parses_weighted_edge_list() {
+        let text = "0 1 0.5\n1 2 2.5\n";
+        let parsed = read_edge_list(text.as_bytes()).unwrap();
+        let weights = parsed.edge_weights.unwrap();
+        assert_eq!(weights.len(), 2);
+        let e = parsed.graph.find_edge(VertexId(1), VertexId(2)).unwrap();
+        assert!((weights[e.index()] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_weights_are_dropped() {
+        let text = "0 1 0.5\n1 2\n";
+        let parsed = read_edge_list(text.as_bytes()).unwrap();
+        assert!(parsed.edge_weights.is_none());
+    }
+
+    #[test]
+    fn reports_parse_errors_with_line_numbers() {
+        let err = read_edge_list("0 1\nbogus line here\n".as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+        let err = read_edge_list("5\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(3, 4);
+        let g = b.build();
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let parsed = read_edge_list(out.as_slice()).unwrap();
+        assert_eq!(parsed.graph, g);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 5);
+        b.add_edge(5, 9);
+        b.ensure_vertex(12);
+        let g = b.build();
+        let bytes = encode_binary(&g);
+        let decoded = decode_binary(bytes).unwrap();
+        assert_eq!(decoded, g);
+    }
+
+    #[test]
+    fn binary_rejects_truncated_input() {
+        assert!(decode_binary(Bytes::from_static(&[1, 2, 3])).is_err());
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(10);
+        buf.put_u32_le(5); // claims 5 edges but provides none
+        assert!(decode_binary(buf.freeze()).is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Traversals and connectivity: BFS orderings, connected components,
+//! shortest-path distances (unweighted) and k-hop neighborhoods.
+
+use crate::csr::CsrGraph;
+use crate::ids::VertexId;
+use std::collections::VecDeque;
+
+/// Breadth-first visit order from `source`, restricted to `source`'s
+/// connected component.
+pub fn bfs_order(graph: &CsrGraph, source: VertexId) -> Vec<VertexId> {
+    let mut visited = vec![false; graph.vertex_count()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    visited[source.index()] = true;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for n in graph.neighbor_vertices(v) {
+            if !visited[n.index()] {
+                visited[n.index()] = true;
+                queue.push_back(n);
+            }
+        }
+    }
+    order
+}
+
+/// Unweighted single-source shortest-path distances (hop counts).
+///
+/// Unreachable vertices get `usize::MAX`.
+pub fn bfs_distances(graph: &CsrGraph, source: VertexId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; graph.vertex_count()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        for n in graph.neighbor_vertices(v) {
+            if dist[n.index()] == usize::MAX {
+                dist[n.index()] = d + 1;
+                queue.push_back(n);
+            }
+        }
+    }
+    dist
+}
+
+/// All vertices within `k` hops of `center`, including `center` itself.
+///
+/// This is the "k-hop neighborhood" `N(v)` used by the paper's Local
+/// Correlation Index (Section II-F); the paper fixes `k = 1` in experiments
+/// but we keep it general.
+pub fn k_hop_neighborhood(graph: &CsrGraph, center: VertexId, k: usize) -> Vec<VertexId> {
+    let mut dist = vec![usize::MAX; graph.vertex_count()];
+    let mut out = Vec::new();
+    let mut queue = VecDeque::new();
+    dist[center.index()] = 0;
+    queue.push_back(center);
+    out.push(center);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        if d == k {
+            continue;
+        }
+        for n in graph.neighbor_vertices(v) {
+            if dist[n.index()] == usize::MAX {
+                dist[n.index()] = d + 1;
+                out.push(n);
+                queue.push_back(n);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// The result of a connected-components labelling.
+#[derive(Clone, Debug)]
+pub struct ConnectedComponents {
+    /// `label[v]` is the component index of vertex `v`, in `0..count`.
+    pub label: Vec<usize>,
+    /// Number of connected components.
+    pub count: usize,
+    /// Size (vertex count) of each component.
+    pub sizes: Vec<usize>,
+}
+
+impl ConnectedComponents {
+    /// Indices of vertices in the largest component (ties broken by smallest
+    /// label). Empty for the empty graph.
+    pub fn largest_component(&self) -> Vec<VertexId> {
+        if self.count == 0 {
+            return Vec::new();
+        }
+        let best = self
+            .sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
+            .map(|(i, _)| i)
+            .unwrap();
+        self.label
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == best)
+            .map(|(v, _)| VertexId::from_index(v))
+            .collect()
+    }
+
+    /// Whether vertices `a` and `b` are in the same component.
+    pub fn same_component(&self, a: VertexId, b: VertexId) -> bool {
+        self.label[a.index()] == self.label[b.index()]
+    }
+}
+
+/// Label the connected components of `graph`.
+///
+/// Components are numbered in order of their smallest vertex, so the labelling
+/// is canonical.
+pub fn connected_components(graph: &CsrGraph) -> ConnectedComponents {
+    let n = graph.vertex_count();
+    let mut label = vec![usize::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        let comp = sizes.len();
+        sizes.push(0usize);
+        label[start] = comp;
+        queue.push_back(VertexId::from_index(start));
+        while let Some(v) = queue.pop_front() {
+            sizes[comp] += 1;
+            for nb in graph.neighbor_vertices(v) {
+                if label[nb.index()] == usize::MAX {
+                    label[nb.index()] = comp;
+                    queue.push_back(nb);
+                }
+            }
+        }
+    }
+    ConnectedComponents { count: sizes.len(), label, sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn two_components() -> CsrGraph {
+        // Component A: 0-1-2 path; component B: 3-4 edge; vertex 5 isolated.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(3, 4);
+        b.ensure_vertex(5);
+        b.build()
+    }
+
+    #[test]
+    fn bfs_order_covers_component() {
+        let g = two_components();
+        let order = bfs_order(&g, VertexId(0));
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], VertexId(0));
+        assert!(order.contains(&VertexId(2)));
+        assert!(!order.contains(&VertexId(3)));
+    }
+
+    #[test]
+    fn bfs_distances_hop_counts() {
+        let g = two_components();
+        let d = bfs_distances(&g, VertexId(0));
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], 2);
+        assert_eq!(d[3], usize::MAX);
+        assert_eq!(d[5], usize::MAX);
+    }
+
+    #[test]
+    fn k_hop_neighborhoods() {
+        let g = two_components();
+        assert_eq!(k_hop_neighborhood(&g, VertexId(0), 0), vec![VertexId(0)]);
+        assert_eq!(k_hop_neighborhood(&g, VertexId(0), 1), vec![VertexId(0), VertexId(1)]);
+        assert_eq!(
+            k_hop_neighborhood(&g, VertexId(0), 2),
+            vec![VertexId(0), VertexId(1), VertexId(2)]
+        );
+        assert_eq!(k_hop_neighborhood(&g, VertexId(5), 3), vec![VertexId(5)]);
+    }
+
+    #[test]
+    fn connected_components_labels_and_sizes() {
+        let g = two_components();
+        let cc = connected_components(&g);
+        assert_eq!(cc.count, 3);
+        assert_eq!(cc.sizes, vec![3, 2, 1]);
+        assert!(cc.same_component(VertexId(0), VertexId(2)));
+        assert!(!cc.same_component(VertexId(0), VertexId(3)));
+        let largest = cc.largest_component();
+        assert_eq!(largest, vec![VertexId(0), VertexId(1), VertexId(2)]);
+    }
+
+    #[test]
+    fn empty_graph_components() {
+        let g = GraphBuilder::new().build();
+        let cc = connected_components(&g);
+        assert_eq!(cc.count, 0);
+        assert!(cc.largest_component().is_empty());
+    }
+}

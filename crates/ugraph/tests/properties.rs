@@ -1,0 +1,128 @@
+//! Property-based tests for the graph substrate: CSR structural invariants,
+//! union–find correctness against a naive oracle, line-graph size identities,
+//! and I/O round-trips for arbitrary graphs.
+
+use proptest::prelude::*;
+use ugraph::dual::{estimated_dual_edges, line_graph};
+use ugraph::io::{decode_binary, encode_binary, read_edge_list, write_edge_list};
+use ugraph::{connected_components, CsrGraph, GraphBuilder, UnionFind, VertexId};
+
+fn arbitrary_edges(max_n: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..(4 * n));
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    b.ensure_vertex(n - 1);
+    for &(u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR invariants: degree sums to twice the edge count, neighbor lists are
+    /// sorted and self-loop free, every edge appears in both endpoints' lists,
+    /// and `find_edge` agrees with membership.
+    #[test]
+    fn csr_structure_is_consistent((n, edges) in arbitrary_edges(40)) {
+        let g = build(n, &edges);
+        let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+        for v in g.vertices() {
+            let nbrs = g.neighbor_slice(v);
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "sorted, no duplicates");
+            prop_assert!(!nbrs.contains(&v), "no self loops");
+        }
+        for e in g.edges() {
+            prop_assert!(g.neighbor_slice(e.u).contains(&e.v));
+            prop_assert!(g.neighbor_slice(e.v).contains(&e.u));
+            prop_assert_eq!(g.find_edge(e.u, e.v), Some(e.id));
+            prop_assert_eq!(g.find_edge(e.v, e.u), Some(e.id));
+        }
+    }
+
+    /// Union–find agrees with connectivity computed by BFS: after unioning the
+    /// graph's edges, two vertices share a set iff they share a component.
+    #[test]
+    fn union_find_matches_connected_components((n, edges) in arbitrary_edges(40)) {
+        let g = build(n, &edges);
+        let mut uf = UnionFind::new(g.vertex_count());
+        for e in g.edges() {
+            uf.union(e.u.index(), e.v.index());
+        }
+        let cc = connected_components(&g);
+        prop_assert_eq!(uf.set_count(), cc.count);
+        for u in 0..g.vertex_count() {
+            for v in (u + 1)..g.vertex_count() {
+                prop_assert_eq!(
+                    uf.same_set(u, v),
+                    cc.same_component(VertexId::from_index(u), VertexId::from_index(v))
+                );
+            }
+        }
+    }
+
+    /// Line-graph identities: |Vd| = |E|; |Ed| equals Σ C(deg,2) minus the
+    /// number of triangles (each triangle collapses three duplicate pairs into
+    /// three distinct ones... precisely: duplicates happen only when two edges
+    /// share *two* vertices, which simple graphs forbid, so the estimate is
+    /// exact).
+    #[test]
+    fn line_graph_sizes_match_formula((n, edges) in arbitrary_edges(28)) {
+        let g = build(n, &edges);
+        let dual = line_graph(&g);
+        prop_assert_eq!(dual.graph.vertex_count(), g.edge_count());
+        prop_assert_eq!(dual.graph.edge_count(), estimated_dual_edges(&g));
+        // Adjacency in the dual means sharing an endpoint in the original.
+        for e in dual.graph.edges() {
+            let (a1, a2) = g.endpoints(ugraph::EdgeId(e.u.0));
+            let (b1, b2) = g.endpoints(ugraph::EdgeId(e.v.0));
+            prop_assert!(a1 == b1 || a1 == b2 || a2 == b1 || a2 == b2);
+        }
+    }
+
+    /// Text and binary serialization round-trip to the identical graph.
+    #[test]
+    fn io_round_trips((n, edges) in arbitrary_edges(40)) {
+        let g = build(n, &edges);
+        let mut text = Vec::new();
+        write_edge_list(&g, &mut text).unwrap();
+        let parsed = read_edge_list(text.as_slice()).unwrap();
+        // Vertex count can differ when trailing vertices are isolated (the
+        // text format does not record them), so compare edge sets.
+        let edges_of = |g: &CsrGraph| -> Vec<(u32, u32)> {
+            g.edges().map(|e| (e.u.0, e.v.0)).collect()
+        };
+        prop_assert_eq!(edges_of(&parsed.graph), edges_of(&g));
+
+        let decoded = decode_binary(encode_binary(&g)).unwrap();
+        prop_assert_eq!(decoded, g);
+    }
+
+    /// Induced subgraphs keep exactly the edges with both endpoints retained.
+    #[test]
+    fn induced_subgraph_edge_filtering((n, edges) in arbitrary_edges(30), mask_seed in 0u64..1000) {
+        let g = build(n, &edges);
+        let keep: Vec<bool> = (0..g.vertex_count())
+            .map(|v| (v as u64).wrapping_mul(2654435761).wrapping_add(mask_seed) % 3 != 0)
+            .collect();
+        let (sub, back) = g.induced_subgraph(&keep);
+        let expected = g
+            .edges()
+            .filter(|e| keep[e.u.index()] && keep[e.v.index()])
+            .count();
+        prop_assert_eq!(sub.edge_count(), expected);
+        prop_assert_eq!(sub.vertex_count(), keep.iter().filter(|&&k| k).count());
+        // Every subgraph edge maps back to an original edge.
+        for e in sub.edges() {
+            let (u, v) = (back[e.u.index()], back[e.v.index()]);
+            prop_assert!(g.has_edge(u, v));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Multi-scalar analysis (the Figure 10 workflow): compare degree and
+//! betweenness centrality on a collaboration network with the Local/Global
+//! Correlation Index, visualize the outlier score as a terrain colored by
+//! degree, and drill into the strongest outliers.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example centrality_correlation
+//! ```
+
+use graph_terrain::prelude::*;
+use measures::{betweenness_centrality_sampled, degrees};
+use scalarfield::{global_correlation_index, local_correlation_index, outlier_scores};
+use terrain::ColorScheme;
+use terrain::{LayoutConfig, MeshConfig};
+use ugraph::generators::{collaboration_graph, CollaborationConfig};
+use ugraph::VertexId;
+
+fn main() {
+    // An Astro-like collaboration network.
+    let graph = collaboration_graph(&CollaborationConfig {
+        authors: 4_000,
+        papers: 8_000,
+        groups: 36,
+        groups_per_component: 12,
+        max_authors_per_paper: 8,
+        dense_groups: 4,
+        dense_group_extra_papers: 80,
+        seed: 23,
+        ..Default::default()
+    });
+    println!("network: {} authors, {} edges", graph.vertex_count(), graph.edge_count());
+
+    // Two scalar fields on the same graph.
+    let degree_field: Vec<f64> = degrees(&graph).iter().map(|&d| d as f64).collect();
+    let betweenness = betweenness_centrality_sampled(&graph, 256, 7);
+
+    // Global and local correlation.
+    let gci = global_correlation_index(&graph, &degree_field, &betweenness, 1).unwrap();
+    let lci = local_correlation_index(&graph, &degree_field, &betweenness, 1).unwrap();
+    println!("Global Correlation Index (degree vs betweenness): {gci:.2}");
+
+    // Outlier terrain: height = -LCI, color = degree.
+    let outlier = outlier_scores(&graph, &degree_field, &betweenness, 1).unwrap();
+    let terrain = VertexTerrain::build_with(
+        &graph,
+        &outlier,
+        &LayoutConfig::default(),
+        &MeshConfig {
+            color: ColorScheme::BySecondaryScalar(degree_field.clone()),
+            ..Default::default()
+        },
+    )
+    .expect("outlier field");
+    let path = std::env::temp_dir().join("graph_terrain_outliers.svg");
+    std::fs::write(&path, terrain.to_svg(900.0, 700.0)).expect("write svg");
+    println!("wrote outlier-score terrain (colored by degree) to {}", path.display());
+
+    // Drill-down: the five strongest outliers and their local picture.
+    let mut order: Vec<usize> = (0..graph.vertex_count()).collect();
+    order.sort_by(|&a, &b| outlier[b].partial_cmp(&outlier[a]).unwrap());
+    println!("\nstrongest outliers (local trend opposes the global correlation):");
+    for &v in order.iter().take(5) {
+        let vid = VertexId::from_index(v);
+        let neighborhood = ugraph::traversal::k_hop_neighborhood(&graph, vid, 2);
+        println!(
+            "  author {v}: degree {}, betweenness {:.1}, LCI {:+.2}, 2-hop neighborhood of {} authors",
+            graph.degree(vid),
+            betweenness[v],
+            lci[v],
+            neighborhood.len()
+        );
+    }
+    println!(
+        "\nreading: the global trend is strongly positive, while these authors sit in\n\
+         neighborhoods where high betweenness does not come with high degree — the\n\
+         bridge-like outliers of the paper's Figure 10."
+    );
+}

@@ -1,0 +1,189 @@
+//! # graph-terrain
+//!
+//! A Rust reproduction of *Analyzing and Visualizing Scalar Fields on Graphs*
+//! (Zhang, Wang, Parthasarathy, ICDE 2017): scalar graphs, maximal
+//! α-connected components, vertex/edge scalar trees, and the terrain-metaphor
+//! visualization, together with every substrate the paper's evaluation needs
+//! (graph generators, K-Core/K-Truss decompositions, centralities, community
+//! and role measures, baseline layouts and a simulated user study).
+//!
+//! This crate is the façade: it re-exports the workspace crates and adds a
+//! small high-level API ([`VertexTerrain`] / [`EdgeTerrain`]) that runs the
+//! whole pipeline — scalar field → scalar tree → super tree → 2D layout → 3D
+//! mesh → SVG — in one call, which is what the examples and most downstream
+//! users want.
+//!
+//! ```
+//! use graph_terrain::prelude::*;
+//!
+//! // A toy collaboration graph.
+//! let graph = ugraph::generators::barabasi_albert(200, 3, 7);
+//!
+//! // K-Core terrain in one call.
+//! let cores = measures::core_numbers(&graph);
+//! let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
+//! let terrain = VertexTerrain::build(&graph, &scalar).unwrap();
+//! assert!(terrain.super_tree.node_count() >= 1);
+//! assert!(terrain.to_svg(800.0, 600.0).starts_with("<svg"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use baselines;
+pub use measures;
+pub use scalarfield;
+pub use study;
+pub use terrain;
+pub use ugraph;
+
+use scalarfield::{
+    build_super_tree, edge_scalar_tree, vertex_scalar_tree, EdgeScalarGraph, SuperScalarTree,
+    VertexScalarGraph,
+};
+use terrain::{
+    build_terrain_mesh, layout_super_tree, terrain_to_svg, ColorScheme, LayoutConfig, MeshConfig,
+    TerrainLayout, TerrainMesh,
+};
+use ugraph::{CsrGraph, Result};
+
+/// Convenience prelude for downstream users and the examples.
+pub mod prelude {
+    pub use crate::{EdgeTerrain, VertexTerrain};
+    pub use baselines;
+    pub use measures;
+    pub use scalarfield;
+    pub use study;
+    pub use terrain;
+    pub use ugraph;
+}
+
+/// A fully built vertex-scalar terrain: super tree, 2D layout and 3D mesh.
+#[derive(Clone, Debug)]
+pub struct VertexTerrain {
+    /// The super scalar tree (Algorithms 1 + 2).
+    pub super_tree: SuperScalarTree,
+    /// The nested 2D boundary layout.
+    pub layout: TerrainLayout,
+    /// The 3D terrain mesh.
+    pub mesh: TerrainMesh,
+}
+
+/// A fully built edge-scalar terrain: super tree, 2D layout and 3D mesh.
+#[derive(Clone, Debug)]
+pub struct EdgeTerrain {
+    /// The super scalar tree (Algorithms 3 + 2).
+    pub super_tree: SuperScalarTree,
+    /// The nested 2D boundary layout.
+    pub layout: TerrainLayout,
+    /// The 3D terrain mesh.
+    pub mesh: TerrainMesh,
+}
+
+impl VertexTerrain {
+    /// Run the full pipeline on a vertex scalar field with default options.
+    pub fn build(graph: &CsrGraph, scalar: &[f64]) -> Result<Self> {
+        Self::build_with(graph, scalar, &LayoutConfig::default(), &MeshConfig::default())
+    }
+
+    /// Run the full pipeline with explicit layout / mesh options (e.g. a
+    /// secondary coloring scalar via [`ColorScheme::BySecondaryScalar`]).
+    pub fn build_with(
+        graph: &CsrGraph,
+        scalar: &[f64],
+        layout_config: &LayoutConfig,
+        mesh_config: &MeshConfig,
+    ) -> Result<Self> {
+        let sg = VertexScalarGraph::new(graph, scalar)?;
+        let super_tree = build_super_tree(&vertex_scalar_tree(&sg));
+        let layout = layout_super_tree(&super_tree, layout_config);
+        let mesh = build_terrain_mesh(&super_tree, &layout, mesh_config);
+        Ok(VertexTerrain { super_tree, layout, mesh })
+    }
+
+    /// Render the terrain to an SVG document.
+    pub fn to_svg(&self, width_px: f64, height_px: f64) -> String {
+        terrain_to_svg(&self.mesh, width_px, height_px)
+    }
+
+    /// Re-color the mesh (e.g. by a second scalar) without recomputing the
+    /// tree or the layout.
+    pub fn recolor(&mut self, color: ColorScheme) {
+        self.mesh = build_terrain_mesh(
+            &self.super_tree,
+            &self.layout,
+            &MeshConfig { color, ..Default::default() },
+        );
+    }
+}
+
+impl EdgeTerrain {
+    /// Run the full pipeline on an edge scalar field with default options.
+    pub fn build(graph: &CsrGraph, scalar: &[f64]) -> Result<Self> {
+        Self::build_with(graph, scalar, &LayoutConfig::default(), &MeshConfig::default())
+    }
+
+    /// Run the full pipeline with explicit layout / mesh options.
+    pub fn build_with(
+        graph: &CsrGraph,
+        scalar: &[f64],
+        layout_config: &LayoutConfig,
+        mesh_config: &MeshConfig,
+    ) -> Result<Self> {
+        let sg = EdgeScalarGraph::new(graph, scalar)?;
+        let super_tree = build_super_tree(&edge_scalar_tree(&sg));
+        let layout = layout_super_tree(&super_tree, layout_config);
+        let mesh = build_terrain_mesh(&super_tree, &layout, mesh_config);
+        Ok(EdgeTerrain { super_tree, layout, mesh })
+    }
+
+    /// Render the terrain to an SVG document.
+    pub fn to_svg(&self, width_px: f64, height_px: f64) -> String {
+        terrain_to_svg(&self.mesh, width_px, height_px)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::GraphBuilder;
+
+    #[test]
+    fn vertex_terrain_end_to_end() {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0u32, 1u32), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        let graph = b.build();
+        let cores = measures::core_numbers(&graph);
+        let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
+        let mut t = VertexTerrain::build(&graph, &scalar).unwrap();
+        assert_eq!(t.super_tree.total_members(), graph.vertex_count());
+        assert!(t.mesh.triangle_count() > 0);
+        assert!(t.to_svg(400.0, 300.0).contains("polygon"));
+        // Re-coloring by degree keeps the geometry identical.
+        let triangles = t.mesh.triangle_count();
+        let degrees: Vec<f64> = graph.vertices().map(|v| graph.degree(v) as f64).collect();
+        t.recolor(ColorScheme::BySecondaryScalar(degrees));
+        assert_eq!(t.mesh.triangle_count(), triangles);
+    }
+
+    #[test]
+    fn edge_terrain_end_to_end() {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0u32, 1u32), (1, 2), (2, 0), (2, 3)]);
+        let graph = b.build();
+        let truss = measures::truss_numbers(&graph);
+        let scalar: Vec<f64> = truss.truss.iter().map(|&t| t as f64).collect();
+        let t = EdgeTerrain::build(&graph, &scalar).unwrap();
+        assert_eq!(t.super_tree.total_members(), graph.edge_count());
+        assert!(t.to_svg(400.0, 300.0).starts_with("<svg"));
+    }
+
+    #[test]
+    fn mismatched_scalar_lengths_are_rejected() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        let graph = b.build();
+        assert!(VertexTerrain::build(&graph, &[1.0]).is_err());
+        assert!(EdgeTerrain::build(&graph, &[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Integration tests pinning the qualitative claims of the paper's evaluation
+//! on the synthetic dataset analogs (the "shape" the reproduction must hold).
+
+use graph_terrain::prelude::*;
+use measures::{betweenness_centrality_sampled, degrees};
+use scalarfield::global_correlation_index;
+use study::{run_user_study, StudyConfig, Task, Tool};
+use terrain::peaks_at_alpha;
+use ugraph::generators::{
+    barabasi_albert, collaboration_graph, hub_periphery_community, CollaborationConfig,
+};
+
+/// Figure 6(c) vs 6(d): a collaboration graph has several disconnected dense
+/// K-Cores, a preferential-attachment graph has a single dominant one.
+#[test]
+fn collaboration_has_many_dense_peaks_preferential_attachment_has_one() {
+    let grqc_like = collaboration_graph(&CollaborationConfig {
+        authors: 1_200,
+        papers: 1_000,
+        groups: 12,
+        groups_per_component: 4,
+        dense_groups: 4,
+        dense_group_extra_papers: 50,
+        seed: 3,
+        ..Default::default()
+    });
+    let wikivote_like = barabasi_albert(1_500, 12, 3);
+
+    let dense_peak_count = |graph: &ugraph::CsrGraph| -> usize {
+        let cores = measures::core_numbers(graph);
+        let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
+        let terrain = VertexTerrain::build(graph, &scalar).unwrap();
+        let alpha = (cores.degeneracy as f64 * 0.6).floor().max(2.0);
+        peaks_at_alpha(&terrain.super_tree, &terrain.layout, alpha).len()
+    };
+
+    let grqc_peaks = dense_peak_count(&grqc_like);
+    let wikivote_peaks = dense_peak_count(&wikivote_like);
+    assert!(grqc_peaks >= 2, "collaboration analog should show several dense peaks, got {grqc_peaks}");
+    assert_eq!(wikivote_peaks, 1, "preferential-attachment analog should show one dominant peak");
+}
+
+/// Figure 1(a): K-Core number and degree are positively correlated overall.
+#[test]
+fn kcore_and_degree_are_positively_correlated() {
+    let graph = collaboration_graph(&CollaborationConfig {
+        authors: 1_000,
+        papers: 900,
+        groups: 10,
+        seed: 8,
+        ..Default::default()
+    });
+    let cores = measures::core_numbers(&graph);
+    let kc: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
+    let degree_field: Vec<f64> = degrees(&graph).iter().map(|&d| d as f64).collect();
+    let gci = global_correlation_index(&graph, &kc, &degree_field, 1).unwrap();
+    assert!(gci > 0.2, "KC(v) vs degree GCI = {gci}");
+}
+
+/// Figure 10: degree and betweenness are strongly positively correlated on a
+/// collaboration network (the paper measures GCI = 0.89 on Astro), yet some
+/// vertices have negative local correlation.
+#[test]
+fn degree_betweenness_gci_is_strongly_positive_with_local_outliers() {
+    let graph = collaboration_graph(&CollaborationConfig {
+        authors: 1_500,
+        papers: 3_000,
+        groups: 15,
+        groups_per_component: 15,
+        max_authors_per_paper: 8,
+        seed: 5,
+        ..Default::default()
+    });
+    let degree_field: Vec<f64> = degrees(&graph).iter().map(|&d| d as f64).collect();
+    let betweenness = betweenness_centrality_sampled(&graph, 200, 1);
+    let gci = global_correlation_index(&graph, &degree_field, &betweenness, 1).unwrap();
+    assert!(gci > 0.4, "expected a strongly positive GCI, got {gci}");
+    // Outliers: some neighborhoods deviate strongly from the global trend
+    // (their local correlation sits far below the GCI). Whether any of them
+    // dips below zero depends on the particular graph, so the reproduction
+    // pins the weaker, structural claim.
+    let lci = scalarfield::local_correlation_index(&graph, &degree_field, &betweenness, 1).unwrap();
+    let min_lci = lci.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        min_lci < gci - 0.4,
+        "expected locally deviating neighborhoods: min LCI {min_lci} vs GCI {gci}"
+    );
+}
+
+/// Figure 9: roles stratify by community score — hub highest, then dense
+/// community, then periphery, then whiskers.
+#[test]
+fn roles_stratify_vertically_on_the_community_terrain() {
+    let planted = hub_periphery_community(50, 120, 30, 7);
+    let detected = measures::assign_roles(&planted.graph);
+    let mean_score = |role: measures::Role| -> f64 {
+        let members: Vec<usize> = (0..planted.graph.vertex_count())
+            .filter(|&v| detected.roles[v] == role)
+            .collect();
+        if members.is_empty() {
+            return f64::NAN;
+        }
+        members.iter().map(|&v| planted.community_score[v]).sum::<f64>() / members.len() as f64
+    };
+    let dense = mean_score(measures::Role::DenseCommunity);
+    let periphery = mean_score(measures::Role::Periphery);
+    let whisker = mean_score(measures::Role::Whisker);
+    assert!(dense > periphery, "dense {dense} vs periphery {periphery}");
+    assert!(periphery > whisker, "periphery {periphery} vs whisker {whisker}");
+}
+
+/// Tables IV–VI: the simulated study reproduces the ordinal findings — terrain
+/// at least as accurate as the baselines and faster on average.
+#[test]
+fn simulated_user_study_reproduces_the_paper_ordering() {
+    let datasets: Vec<(String, ugraph::CsrGraph)> = vec![
+        (
+            "grqc-like".into(),
+            collaboration_graph(&CollaborationConfig {
+                authors: 500,
+                papers: 420,
+                groups: 8,
+                groups_per_component: 4,
+                dense_groups: 2,
+                dense_group_extra_papers: 30,
+                seed: 12,
+                ..Default::default()
+            }),
+        ),
+        ("ppi-like".into(), ugraph::generators::watts_strogatz(500, 6, 0.2, 9)),
+    ];
+    let design = vec![
+        (Task::DensestKCore, datasets.clone()),
+        (Task::SecondDisconnectedKCore, datasets),
+    ];
+    let rows = run_user_study(
+        &design,
+        &StudyConfig { participants: 20, betweenness_samples: 40, ..Default::default() },
+    );
+    let avg = |tool: Tool, f: fn(&study::StudyResultRow) -> f64| -> f64 {
+        let values: Vec<f64> = rows.iter().filter(|r| r.tool == tool).map(f).collect();
+        values.iter().sum::<f64>() / values.len() as f64
+    };
+    assert!(avg(Tool::Terrain, |r| r.accuracy) >= avg(Tool::LanetVi, |r| r.accuracy));
+    assert!(avg(Tool::Terrain, |r| r.accuracy) >= avg(Tool::OpenOrd, |r| r.accuracy));
+    assert!(avg(Tool::Terrain, |r| r.mean_time_s) < avg(Tool::LanetVi, |r| r.mean_time_s));
+    assert!(avg(Tool::Terrain, |r| r.mean_time_s) < avg(Tool::OpenOrd, |r| r.mean_time_s));
+}

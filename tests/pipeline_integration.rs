@@ -1,0 +1,137 @@
+//! Cross-crate integration tests: the full pipeline from generated graphs
+//! through measures, scalar trees, terrains and exports.
+
+use graph_terrain::prelude::*;
+use scalarfield::{component_members_at_alpha, maximal_alpha_components, VertexScalarGraph};
+use std::collections::BTreeSet;
+use terrain::{ascii_heightmap, mesh_to_obj, peaks_at_alpha, treemap_to_svg, build_treemap};
+use ugraph::generators::{barabasi_albert, collaboration_graph, CollaborationConfig};
+
+fn collaboration_fixture() -> ugraph::CsrGraph {
+    collaboration_graph(&CollaborationConfig {
+        authors: 800,
+        papers: 700,
+        groups: 10,
+        groups_per_component: 5,
+        dense_groups: 3,
+        dense_group_extra_papers: 40,
+        seed: 77,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn kcore_terrain_peaks_are_kcores_end_to_end() {
+    let graph = collaboration_fixture();
+    let cores = measures::core_numbers(&graph);
+    let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
+    let terrain = VertexTerrain::build(&graph, &scalar).unwrap();
+
+    // Every peak at every integer level is a K-Core: each member has at least
+    // alpha neighbors inside the peak (Proposition 4 through the whole stack).
+    for alpha in 1..=cores.degeneracy {
+        let peaks = peaks_at_alpha(&terrain.super_tree, &terrain.layout, alpha as f64);
+        for peak in &peaks {
+            let members: BTreeSet<u32> = peak.members.iter().copied().collect();
+            for &m in &peak.members {
+                let inside = graph
+                    .neighbor_vertices(ugraph::VertexId(m))
+                    .filter(|u| members.contains(&u.0))
+                    .count();
+                assert!(
+                    inside >= alpha,
+                    "vertex {m} has {inside} neighbors inside its alpha={alpha} peak"
+                );
+            }
+        }
+        // And the peak decomposition matches the direct component extraction.
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let direct: BTreeSet<BTreeSet<u32>> = maximal_alpha_components(&sg, alpha as f64)
+            .into_iter()
+            .map(|c| c.vertices.into_iter().map(|v| v.0).collect())
+            .collect();
+        let from_peaks: BTreeSet<BTreeSet<u32>> = peaks
+            .into_iter()
+            .map(|p| p.members.into_iter().collect())
+            .collect();
+        assert_eq!(from_peaks, direct, "alpha {alpha}");
+    }
+}
+
+#[test]
+fn ktruss_terrain_members_are_ktruss_edges() {
+    let graph = barabasi_albert(400, 4, 11);
+    let truss = measures::truss_numbers(&graph);
+    let scalar: Vec<f64> = truss.truss.iter().map(|&t| t as f64).collect();
+    let terrain = EdgeTerrain::build(&graph, &scalar).unwrap();
+    assert_eq!(terrain.super_tree.total_members(), graph.edge_count());
+
+    // The members of every peak at the maximum truss level all have that truss
+    // number.
+    let peaks = peaks_at_alpha(&terrain.super_tree, &terrain.layout, truss.max_truss as f64);
+    assert!(!peaks.is_empty());
+    for peak in peaks {
+        for e in peak.members {
+            assert_eq!(truss.truss[e as usize], truss.max_truss);
+        }
+    }
+}
+
+#[test]
+fn exports_are_consistent_across_formats() {
+    let graph = collaboration_fixture();
+    let cores = measures::core_numbers(&graph);
+    let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
+    let terrain = VertexTerrain::build(&graph, &scalar).unwrap();
+
+    let svg = terrain.to_svg(640.0, 480.0);
+    assert_eq!(svg.matches("<polygon").count(), terrain.mesh.triangle_count());
+
+    let obj = mesh_to_obj(&terrain.mesh);
+    assert_eq!(obj.lines().filter(|l| l.starts_with("v ")).count(), terrain.mesh.vertex_count());
+
+    let treemap = build_treemap(&terrain.super_tree, &terrain.layout);
+    let map_svg = treemap_to_svg(&treemap, 640.0, 480.0);
+    assert_eq!(map_svg.matches("<rect").count(), terrain.super_tree.node_count());
+
+    let art = ascii_heightmap(&terrain.layout, 40, 10);
+    assert_eq!(art.lines().count(), 10);
+}
+
+#[test]
+fn simplification_keeps_the_headline_peaks() {
+    // After discretizing to a handful of levels, the tallest structure of the
+    // terrain must still be there (same summit level, non-empty membership).
+    let graph = collaboration_fixture();
+    let cores = measures::core_numbers(&graph);
+    let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
+    let terrain = VertexTerrain::build(&graph, &scalar).unwrap();
+
+    let simplified = scalarfield::simplify_super_tree(&terrain.super_tree, 8);
+    assert!(simplified.node_count() <= terrain.super_tree.node_count());
+    assert_eq!(simplified.total_members(), graph.vertex_count());
+
+    let layout = terrain::layout_super_tree(&simplified, &terrain::LayoutConfig::default());
+    let original_top = terrain::highest_peaks(&terrain.super_tree, &terrain.layout, 1);
+    let simplified_top = terrain::highest_peaks(&simplified, &layout, 1);
+    let orig_summit = original_top[0].summit_height;
+    let simp_summit = simplified_top[0].summit_height;
+    assert!(
+        (orig_summit - simp_summit).abs() <= orig_summit * 0.2 + 1e-9,
+        "summit moved too much: {orig_summit} -> {simp_summit}"
+    );
+    assert!(!simplified_top[0].members.is_empty());
+}
+
+#[test]
+fn cut_counts_match_between_alpha_cut_api_and_peaks() {
+    let graph = barabasi_albert(600, 3, 5);
+    let cores = measures::core_numbers(&graph);
+    let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
+    let terrain = VertexTerrain::build(&graph, &scalar).unwrap();
+    for alpha in 1..=cores.degeneracy {
+        let cut = component_members_at_alpha(&terrain.super_tree, alpha as f64);
+        let peaks = peaks_at_alpha(&terrain.super_tree, &terrain.layout, alpha as f64);
+        assert_eq!(cut.len(), peaks.len());
+    }
+}

@@ -79,7 +79,8 @@ pub fn lanet_layout(graph: &CsrGraph, seed: u64) -> LanetLayout {
         let base_radius = (max_core - shell) as f64 / max_core as f64;
         let radius = (base_radius + rng.gen::<f64>() * 0.04).min(1.0);
         let angle = angle_of[v] + rng.gen::<f64>() * angle_step * 0.5;
-        positions[v] = Point2::new(0.5 + 0.5 * radius * angle.cos(), 0.5 + 0.5 * radius * angle.sin());
+        positions[v] =
+            Point2::new(0.5 + 0.5 * radius * angle.cos(), 0.5 + 0.5 * radius * angle.sin());
     }
 
     LanetLayout {
@@ -114,14 +115,10 @@ mod tests {
         let g = clique_with_tail();
         let result = lanet_layout(&g, 3);
         let center = Point2::new(0.5, 0.5);
-        let clique_radius: f64 = (0..6)
-            .map(|v| result.layout.positions[v].distance(&center))
-            .sum::<f64>()
-            / 6.0;
-        let tail_radius: f64 = (6..8)
-            .map(|v| result.layout.positions[v].distance(&center))
-            .sum::<f64>()
-            / 2.0;
+        let clique_radius: f64 =
+            (0..6).map(|v| result.layout.positions[v].distance(&center)).sum::<f64>() / 6.0;
+        let tail_radius: f64 =
+            (6..8).map(|v| result.layout.positions[v].distance(&center)).sum::<f64>() / 2.0;
         assert!(
             clique_radius < tail_radius,
             "clique at radius {clique_radius:.3} should be inside tail at {tail_radius:.3}"

@@ -67,9 +67,8 @@ fn layout_recursive(graph: &CsrGraph, config: &OpenOrdConfig, level: usize) -> P
         if matched[v.index()] != u32::MAX {
             continue;
         }
-        let partner = graph
-            .neighbor_vertices(v)
-            .find(|u| matched[u.index()] == u32::MAX && *u != v);
+        let partner =
+            graph.neighbor_vertices(v).find(|u| matched[u.index()] == u32::MAX && *u != v);
         matched[v.index()] = coarse_count;
         if let Some(u) = partner {
             matched[u.index()] = coarse_count;

@@ -34,9 +34,8 @@ pub fn spring_layout(graph: &CsrGraph, config: &SpringConfig) -> PositionedGraph
     let n = graph.vertex_count();
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let side = config.area_side;
-    let mut positions: Vec<Point2> = (0..n)
-        .map(|_| Point2::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side))
-        .collect();
+    let mut positions: Vec<Point2> =
+        (0..n).map(|_| Point2::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side)).collect();
     if n <= 1 {
         return PositionedGraph { positions, color_value: None };
     }
@@ -137,7 +136,8 @@ mod tests {
     #[test]
     fn connected_vertices_end_up_closer_than_random_pairs() {
         let planted = planted_partition(&[30, 30], 0.35, 0.01, 5);
-        let layout = spring_layout(&planted.graph, &SpringConfig { iterations: 80, ..Default::default() });
+        let layout =
+            spring_layout(&planted.graph, &SpringConfig { iterations: 80, ..Default::default() });
         // Average distance between adjacent vertices vs between a sample of
         // non-adjacent cross-community pairs.
         let mut adjacent = 0.0;

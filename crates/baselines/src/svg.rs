@@ -106,9 +106,8 @@ pub fn layout_to_svg(
     let span_x = (max.x - min.x).max(1e-9);
     let span_y = (max.y - min.y).max(1e-9);
     let scale = ((width_px - 20.0) / span_x).min((height_px - 20.0) / span_y);
-    let to_px = |p: &Point2| -> (f64, f64) {
-        ((p.x - min.x) * scale + 10.0, (p.y - min.y) * scale + 10.0)
-    };
+    let to_px =
+        |p: &Point2| -> (f64, f64) { ((p.x - min.x) * scale + 10.0, (p.y - min.y) * scale + 10.0) };
 
     let normalized_colors: Option<Vec<f64>> = layout.color_value.as_ref().map(|values| {
         let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -147,11 +146,8 @@ pub fn layout_to_svg(
             }
             None => "#3366cc".to_string(),
         };
-        let _ = writeln!(
-            out,
-            r#"  <circle cx="{:.1}" cy="{:.1}" r="2.0" fill="{}"/>"#,
-            p.0, p.1, fill
-        );
+        let _ =
+            writeln!(out, r#"  <circle cx="{:.1}" cy="{:.1}" r="2.0" fill="{}"/>"#, p.0, p.1, fill);
     }
     out.push_str("</svg>\n");
     out
@@ -181,7 +177,10 @@ mod tests {
         // One of the three pairs is very close.
         let occ = layout.occlusion_fraction(0.1);
         assert!(occ > 0.0 && occ < 1.0);
-        assert_eq!(PositionedGraph { positions: vec![], color_value: None }.occlusion_fraction(0.1), 0.0);
+        assert_eq!(
+            PositionedGraph { positions: vec![], color_value: None }.occlusion_fraction(0.1),
+            0.0
+        );
     }
 
     #[test]

@@ -11,11 +11,9 @@ fn bench_decompositions(c: &mut Criterion) {
         let dataset = kind.generate(scale);
         let graph = dataset.graph.clone();
         group.throughput(Throughput::Elements(graph.edge_count() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("kcore", dataset.spec.name),
-            &graph,
-            |b, graph| b.iter(|| core_numbers(graph).degeneracy),
-        );
+        group.bench_with_input(BenchmarkId::new("kcore", dataset.spec.name), &graph, |b, graph| {
+            b.iter(|| core_numbers(graph).degeneracy)
+        });
         group.bench_with_input(
             BenchmarkId::new("ktruss", dataset.spec.name),
             &graph,

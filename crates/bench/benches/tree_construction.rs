@@ -8,11 +8,9 @@ use scalarfield::{build_super_tree, vertex_scalar_tree, VertexScalarGraph};
 
 fn bench_vertex_tree(c: &mut Criterion) {
     let mut group = c.benchmark_group("vertex_scalar_tree");
-    for (kind, scale) in [
-        (DatasetKind::GrQc, 0.5),
-        (DatasetKind::WikiVote, 0.25),
-        (DatasetKind::Ppi, 0.5),
-    ] {
+    for (kind, scale) in
+        [(DatasetKind::GrQc, 0.5), (DatasetKind::WikiVote, 0.25), (DatasetKind::Ppi, 0.5)]
+    {
         let dataset = kind.generate(scale);
         let graph = dataset.graph.clone();
         let cores = core_numbers(&graph);
@@ -43,12 +41,16 @@ fn bench_scaling(c: &mut Criterion) {
         let cores = core_numbers(&graph);
         let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
         group.throughput(Throughput::Elements(graph.edge_count() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(nodes), &(&graph, &scalar), |b, (graph, scalar)| {
-            b.iter(|| {
-                let sg = VertexScalarGraph::new(graph, scalar).unwrap();
-                build_super_tree(&vertex_scalar_tree(&sg)).node_count()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(nodes),
+            &(&graph, &scalar),
+            |b, (graph, scalar)| {
+                b.iter(|| {
+                    let sg = VertexScalarGraph::new(graph, scalar).unwrap();
+                    build_super_tree(&vertex_scalar_tree(&sg)).node_count()
+                })
+            },
+        );
     }
     group.finish();
 }

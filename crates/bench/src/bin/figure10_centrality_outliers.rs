@@ -14,7 +14,9 @@ use scalarfield::{
     build_super_tree, global_correlation_index, local_correlation_index, outlier_scores,
     vertex_scalar_tree, VertexScalarGraph,
 };
-use terrain::{build_terrain_mesh, layout_super_tree, terrain_to_svg, ColorScheme, LayoutConfig, MeshConfig};
+use terrain::{
+    build_terrain_mesh, layout_super_tree, terrain_to_svg, ColorScheme, LayoutConfig, MeshConfig,
+};
 use ugraph::VertexId;
 
 fn main() {
@@ -43,7 +45,10 @@ fn main() {
     let mesh = build_terrain_mesh(
         &tree,
         &layout,
-        &MeshConfig { color: ColorScheme::BySecondaryScalar(degree_field.clone()), ..Default::default() },
+        &MeshConfig {
+            color: ColorScheme::BySecondaryScalar(degree_field.clone()),
+            ..Default::default()
+        },
     );
     let _ = write_artifact("figure10_outlier_terrain.svg", &terrain_to_svg(&mesh, 900.0, 700.0));
 
@@ -64,10 +69,7 @@ fn main() {
             format!("{:.1}", betweenness[v]),
         ]);
     }
-    let table = format_table(
-        &["vertex", "outlier score", "LCI", "degree", "betweenness"],
-        &rows,
-    );
+    let table = format_table(&["vertex", "outlier score", "LCI", "degree", "betweenness"], &rows);
     println!("\nTop outlier vertices (lowest local correlation):\n\n{table}");
     println!(
         "Expected shape: GCI strongly positive while the top outliers' LCI sits far\n\

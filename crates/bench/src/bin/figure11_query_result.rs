@@ -11,8 +11,8 @@ use bench::nn_graph::{generate_plant_table, knn_graph};
 use bench::output::{format_table, write_artifact};
 use scalarfield::{build_super_tree, vertex_scalar_tree, VertexScalarGraph};
 use terrain::{
-    build_terrain_mesh, layout_super_tree, terrain_to_svg, ColorScheme, LayoutConfig, MeshConfig,
-    Color,
+    build_terrain_mesh, layout_super_tree, terrain_to_svg, Color, ColorScheme, LayoutConfig,
+    MeshConfig,
 };
 use ugraph::traversal::connected_components;
 
@@ -27,18 +27,11 @@ fn main() {
 
     // Observation (i)/(ii): genus connectivity in the NN graph.
     let cc = connected_components(&graph);
-    let blue_separated = (0..table.rows.len())
-        .filter(|&v| table.genus[v] == 2)
-        .all(|v| {
-            (0..table.rows.len())
-                .filter(|&u| table.genus[u] != 2)
-                .all(|u| {
-                    !cc.same_component(
-                        ugraph::VertexId::from_index(v),
-                        ugraph::VertexId::from_index(u),
-                    )
-                })
-        });
+    let blue_separated = (0..table.rows.len()).filter(|&v| table.genus[v] == 2).all(|v| {
+        (0..table.rows.len()).filter(|&u| table.genus[u] != 2).all(|u| {
+            !cc.same_component(ugraph::VertexId::from_index(v), ugraph::VertexId::from_index(u))
+        })
+    });
     println!("blue genus separated from the other two: {blue_separated}");
 
     // Genus palette: red, green, blue as in the figure.
@@ -54,7 +47,10 @@ fn main() {
             &tree,
             &layout,
             &MeshConfig {
-                color: ColorScheme::ByClass { classes: table.genus.clone(), palette: palette.clone() },
+                color: ColorScheme::ByClass {
+                    classes: table.genus.clone(),
+                    palette: palette.clone(),
+                },
                 ..Default::default()
             },
         );

@@ -2,7 +2,9 @@
 //! example, plus the peak5 / peak3 cross-sections of Figures 4(d)–(i).
 
 use bench::output::write_artifact;
-use scalarfield::{build_super_tree, component_members_at_alpha, vertex_scalar_tree, VertexScalarGraph};
+use scalarfield::{
+    build_super_tree, component_members_at_alpha, vertex_scalar_tree, VertexScalarGraph,
+};
 use terrain::{
     ascii_heightmap, build_terrain_mesh, build_treemap, layout_super_tree, peaks_at_alpha,
     terrain_to_svg, treemap_to_svg, LayoutConfig, MeshConfig,
@@ -36,7 +38,10 @@ fn main() {
         for p in &peaks {
             println!(
                 "  peak rooted at super node {} — members {:?}, summit {:.1}, base area {:.4}",
-                p.root_node, p.members, p.summit_height, p.base_area()
+                p.root_node,
+                p.members,
+                p.summit_height,
+                p.base_area()
             );
         }
         // Cross-check against the tree-level cut.

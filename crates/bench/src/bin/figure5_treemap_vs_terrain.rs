@@ -16,9 +16,8 @@ use terrain::{
 };
 
 fn main() {
-    let dataset = DatasetKind::GrQc.generate(
-        if std::env::args().any(|a| a == "--full") { 1.0 } else { 0.4 },
-    );
+    let dataset =
+        DatasetKind::GrQc.generate(if std::env::args().any(|a| a == "--full") { 1.0 } else { 0.4 });
     let graph = &dataset.graph;
     let cores = core_numbers(graph);
     let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
@@ -41,10 +40,8 @@ fn main() {
     let peaks = highest_peaks(&tree, &layout, 16);
     if let Some(first) = peaks.first() {
         let first_set: std::collections::BTreeSet<u32> = first.members.iter().copied().collect();
-        if let Some(second) = peaks
-            .iter()
-            .skip(1)
-            .find(|p| p.members.iter().all(|m| !first_set.contains(m)))
+        if let Some(second) =
+            peaks.iter().skip(1).find(|p| p.members.iter().all(|m| !first_set.contains(m)))
         {
             let max = tree.nodes.iter().map(|n| n.scalar).fold(f64::NEG_INFINITY, f64::max);
             let min = tree.nodes.iter().map(|n| n.scalar).fold(f64::INFINITY, f64::min);

@@ -18,7 +18,10 @@ use measures::{core_numbers, truss_numbers};
 use scalarfield::{
     build_super_tree, edge_scalar_tree, vertex_scalar_tree, EdgeScalarGraph, VertexScalarGraph,
 };
-use terrain::{build_terrain_mesh, highest_peaks, layout_super_tree, peaks_at_alpha, terrain_to_svg, LayoutConfig, MeshConfig};
+use terrain::{
+    build_terrain_mesh, highest_peaks, layout_super_tree, peaks_at_alpha, terrain_to_svg,
+    LayoutConfig, MeshConfig,
+};
 
 fn main() {
     let scale = if std::env::args().any(|a| a == "--full") { 1.0 } else { 0.4 };
@@ -28,7 +31,12 @@ fn main() {
         let dataset = kind.generate(scale);
         let graph = &dataset.graph;
         let name = dataset.spec.name;
-        eprintln!("[figure6] {} analog: {} nodes, {} edges", name, graph.vertex_count(), graph.edge_count());
+        eprintln!(
+            "[figure6] {} analog: {} nodes, {} edges",
+            name,
+            graph.vertex_count(),
+            graph.edge_count()
+        );
 
         // --- K-Core terrain -------------------------------------------------
         let cores = core_numbers(graph);
@@ -63,7 +71,10 @@ fn main() {
             foundation.map(|d| d.to_string()).unwrap_or_default(),
         ]);
 
-        let _ = write_artifact(&format!("figure6_{name}_kcore_terrain.svg"), &terrain_to_svg(&mesh, 900.0, 700.0));
+        let _ = write_artifact(
+            &format!("figure6_{name}_kcore_terrain.svg"),
+            &terrain_to_svg(&mesh, 900.0, 700.0),
+        );
 
         // --- spring layout baseline ------------------------------------------
         let spring = spring_layout(graph, &SpringConfig { iterations: 40, ..Default::default() });

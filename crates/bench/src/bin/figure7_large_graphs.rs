@@ -14,7 +14,8 @@ fn main() {
     let mut rows = Vec::new();
 
     for kind in [DatasetKind::Wikipedia, DatasetKind::CitPatent] {
-        let scale = if large { (kind.default_scale() * 10.0).min(1.0) } else { kind.default_scale() };
+        let scale =
+            if large { (kind.default_scale() * 10.0).min(1.0) } else { kind.default_scale() };
         let dataset = kind.generate(scale);
         let graph = &dataset.graph;
         eprintln!(
@@ -48,15 +49,7 @@ fn main() {
     }
 
     let table = format_table(
-        &[
-            "dataset",
-            "nodes",
-            "edges",
-            "densest K-Core",
-            "densest K-Truss",
-            "Nt (KC)",
-            "Nt (KT)",
-        ],
+        &["dataset", "nodes", "edges", "densest K-Core", "densest K-Truss", "Nt (KC)", "Nt (KT)"],
         &rows,
     );
     println!("Figure 7 — large-graph terrains and densest-structure drill-down\n\n{table}");

@@ -60,10 +60,8 @@ fn main() {
         // linked-2D-display callback.
         let top = highest_peaks(&tree, &layout, 1);
         let core_members: Vec<u32> = top.first().map(|p| p.members.clone()).unwrap_or_default();
-        let _region = top
-            .first()
-            .map(|p| select_region(&tree, &layout, &p.footprint))
-            .unwrap_or_default();
+        let _region =
+            top.first().map(|p| select_region(&tree, &layout, &p.footprint)).unwrap_or_default();
         let core_mean_score = if core_members.is_empty() {
             0.0
         } else {

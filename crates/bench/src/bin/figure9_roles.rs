@@ -47,18 +47,14 @@ fn main() {
     // terrain shows (hub on top, then dense, then periphery, then whiskers).
     let mut rows = Vec::new();
     for role in [Role::Hub, Role::DenseCommunity, Role::Periphery, Role::Whisker] {
-        let members: Vec<usize> = (0..graph.vertex_count())
-            .filter(|&v| detected.roles[v] == role)
-            .collect();
+        let members: Vec<usize> =
+            (0..graph.vertex_count()).filter(|&v| detected.roles[v] == role).collect();
         if members.is_empty() {
             rows.push(vec![role.name().to_string(), "0".to_string(), "-".to_string()]);
             continue;
         }
-        let mean_score: f64 = members
-            .iter()
-            .map(|&v| planted.community_score[v])
-            .sum::<f64>()
-            / members.len() as f64;
+        let mean_score: f64 =
+            members.iter().map(|&v| planted.community_score[v]).sum::<f64>() / members.len() as f64;
         rows.push(vec![
             role.name().to_string(),
             members.len().to_string(),

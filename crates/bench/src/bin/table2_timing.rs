@@ -18,20 +18,13 @@ fn main() {
     let large = args.iter().any(|a| a == "--large");
     let skip_naive = args.iter().any(|a| a == "--skip-naive");
 
-    let datasets = [
-        DatasetKind::GrQc,
-        DatasetKind::WikiVote,
-        DatasetKind::Wikipedia,
-        DatasetKind::CitPatent,
-    ];
+    let datasets =
+        [DatasetKind::GrQc, DatasetKind::WikiVote, DatasetKind::Wikipedia, DatasetKind::CitPatent];
 
     let mut rows = Vec::new();
     for kind in datasets {
-        let scale = if large {
-            (kind.default_scale() * 10.0).min(1.0)
-        } else {
-            kind.default_scale()
-        };
+        let scale =
+            if large { (kind.default_scale() * 10.0).min(1.0) } else { kind.default_scale() };
         let dataset = kind.generate(scale);
         let n = dataset.graph.vertex_count();
         let m = dataset.graph.edge_count();

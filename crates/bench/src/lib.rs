@@ -23,4 +23,6 @@ pub mod pipeline;
 
 pub use datasets::{DatasetKind, DatasetSpec, GeneratedDataset};
 pub use nn_graph::{generate_plant_table, knn_graph, PlantTable};
-pub use pipeline::{run_edge_pipeline, run_vertex_pipeline, EdgePipelineReport, VertexPipelineReport};
+pub use pipeline::{
+    run_edge_pipeline, run_vertex_pipeline, EdgePipelineReport, VertexPipelineReport,
+};

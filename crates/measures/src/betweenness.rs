@@ -141,8 +141,8 @@ mod tests {
         let g = b.build();
         let bc = betweenness_centrality(&g);
         assert!((bc[0] - 10.0).abs() < 1e-9);
-        for leaf in 1..=5 {
-            assert!(bc[leaf].abs() < 1e-9);
+        for &leaf_bc in &bc[1..=5] {
+            assert!(leaf_bc.abs() < 1e-9);
         }
     }
 
@@ -191,12 +191,8 @@ mod tests {
         let g = barabasi_albert(300, 2, 8);
         let exact = betweenness_centrality(&g);
         let sampled = betweenness_centrality_sampled(&g, 100, 7);
-        let top_exact = exact
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let top_exact =
+            exact.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         // The exact top vertex should rank in the sampled top 5%.
         let mut order: Vec<usize> = (0..sampled.len()).collect();
         order.sort_by(|&a, &b| sampled[b].partial_cmp(&sampled[a]).unwrap());

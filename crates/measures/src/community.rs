@@ -124,10 +124,8 @@ pub fn overlapping_community_scores(
                 scores[c][v.index()] = 0.5;
                 continue;
             }
-            let inside = graph
-                .neighbor_vertices(v)
-                .filter(|u| assignment[u.index()] == label)
-                .count();
+            let inside =
+                graph.neighbor_vertices(v).filter(|u| assignment[u.index()] == label).count();
             // 0.3 floor for members, up to 1.0 for fully embedded vertices.
             scores[c][v.index()] = 0.3 + 0.7 * inside as f64 / d as f64;
         }
@@ -140,10 +138,8 @@ pub fn overlapping_community_scores(
             if d == 0 {
                 continue;
             }
-            let inside = graph
-                .neighbor_vertices(v)
-                .filter(|u| assignment[u.index()] == label)
-                .count();
+            let inside =
+                graph.neighbor_vertices(v).filter(|u| assignment[u.index()] == label).count();
             if inside > 0 {
                 scores[c][v.index()] = 0.25 * inside as f64 / d as f64;
             }

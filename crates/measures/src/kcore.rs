@@ -112,10 +112,8 @@ pub fn core_numbers_bruteforce(graph: &CsrGraph) -> Vec<usize> {
     // is the largest minimum degree seen up to (and including) its removal.
     let mut running_k = 0usize;
     for _ in 0..n {
-        let v = (0..n)
-            .filter(|&v| !removed[v])
-            .min_by_key(|&v| degree[v])
-            .expect("a vertex remains");
+        let v =
+            (0..n).filter(|&v| !removed[v]).min_by_key(|&v| degree[v]).expect("a vertex remains");
         running_k = running_k.max(degree[v]);
         core[v] = running_k;
         removed[v] = true;
@@ -220,10 +218,7 @@ mod tests {
         // must give v at least core(v) neighbors.
         for v in g.vertices() {
             let k = d.core[v.index()];
-            let count = g
-                .neighbor_vertices(v)
-                .filter(|u| d.core[u.index()] >= k)
-                .count();
+            let count = g.neighbor_vertices(v).filter(|u| d.core[u.index()] >= k).count();
             assert!(count >= k, "vertex {v:?} has only {count} neighbors in its {k}-core");
         }
     }

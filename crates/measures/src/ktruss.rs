@@ -140,8 +140,7 @@ pub fn truss_numbers_bruteforce(graph: &CsrGraph) -> Vec<usize> {
                 break;
             }
         }
-        let survivors: Vec<usize> =
-            (0..m).filter(|&e| present[e]).collect();
+        let survivors: Vec<usize> = (0..m).filter(|&e| present[e]).collect();
         if survivors.is_empty() {
             break;
         }
@@ -254,15 +253,9 @@ mod tests {
             if k == 0 {
                 continue;
             }
-            let present: Vec<bool> = (0..g.edge_count())
-                .map(|i| d.truss[i] >= k)
-                .collect();
+            let present: Vec<bool> = (0..g.edge_count()).map(|i| d.truss[i] >= k).collect();
             let count = triangles_within(&g, &present, e.u, e.v);
-            assert!(
-                count >= k,
-                "edge {:?} has {count} triangles in its {k}-truss",
-                e.id
-            );
+            assert!(count >= k, "edge {:?} has {count} triangles in its {k}-truss", e.id);
         }
     }
 

@@ -99,11 +99,8 @@ fn classify(
     }
 
     // Average neighbor degree, for hub detection.
-    let neighbor_avg_degree = graph
-        .neighbor_vertices(v)
-        .map(|u| graph.degree(u) as f64)
-        .sum::<f64>()
-        / degree as f64;
+    let neighbor_avg_degree =
+        graph.neighbor_vertices(v).map(|u| graph.degree(u) as f64).sum::<f64>() / degree as f64;
     let hub_score = ((degree as f64 / neighbor_avg_degree.max(1.0)) / 3.0).min(1.0);
     let dense_score =
         (0.6 * clustering[v.index()] + 0.4 * core[v.index()] as f64 / max_core).min(1.0);

@@ -29,7 +29,7 @@ impl VertexScalarField {
 
     /// Build a field by evaluating `f` on every vertex.
     pub fn from_fn(graph: &CsrGraph, mut f: impl FnMut(VertexId) -> f64) -> Self {
-        VertexScalarField { values: graph.vertices().map(|v| f(v)).collect() }
+        VertexScalarField { values: graph.vertices().map(&mut f).collect() }
     }
 
     /// Build from integer values (e.g. core numbers).
@@ -164,9 +164,7 @@ fn range_of(values: &[f64]) -> Option<(f64, f64)> {
 fn normalize(values: &[f64]) -> Vec<f64> {
     match range_of(values) {
         None => Vec::new(),
-        Some((min, max)) if max > min => {
-            values.iter().map(|&v| (v - min) / (max - min)).collect()
-        }
+        Some((min, max)) if max > min => values.iter().map(|&v| (v - min) / (max - min)).collect(),
         Some(_) => vec![0.0; values.len()],
     }
 }

@@ -13,10 +13,8 @@ use ugraph::{CsrGraph, VertexId};
 pub fn edge_triangle_counts(graph: &CsrGraph) -> Vec<usize> {
     let mut counts = vec![0usize; graph.edge_count()];
     for e in graph.edges() {
-        counts[e.id.index()] = sorted_intersection_size(
-            graph.neighbor_slice(e.u),
-            graph.neighbor_slice(e.v),
-        );
+        counts[e.id.index()] =
+            sorted_intersection_size(graph.neighbor_slice(e.u), graph.neighbor_slice(e.v));
     }
     counts
 }

@@ -87,10 +87,7 @@ pub fn maximal_alpha_components(sg: &VertexScalarGraph<'_>, alpha: f64) -> Vec<A
             }
         }
         edges.sort_unstable();
-        let min_scalar = vertices
-            .iter()
-            .map(|&v| sg.value(v))
-            .fold(f64::INFINITY, f64::min);
+        let min_scalar = vertices.iter().map(|&v| sg.value(v)).fold(f64::INFINITY, f64::min);
         components.push(AlphaComponent { alpha, vertices, edges, min_scalar });
     }
     components
@@ -190,10 +187,8 @@ pub(crate) mod tests {
         let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
         let comps = maximal_alpha_components(&sg, 2.5);
         assert_eq!(comps.len(), 2, "Figure 2(c): exactly two maximal 2.5-connected components");
-        let sets: Vec<Vec<u32>> = comps
-            .iter()
-            .map(|c| c.vertices.iter().map(|v| v.0).collect())
-            .collect();
+        let sets: Vec<Vec<u32>> =
+            comps.iter().map(|c| c.vertices.iter().map(|v| v.0).collect()).collect();
         assert!(sets.contains(&vec![0, 1, 2, 4]), "C1 = {{v1, v2, v3, v5}}");
         assert!(sets.contains(&vec![3, 5]), "C2 = {{v4, v6}}");
     }

@@ -57,10 +57,7 @@ pub fn outlier_scores(
     field_j: &[f64],
     k: usize,
 ) -> Result<Vec<f64>> {
-    Ok(local_correlation_index(graph, field_i, field_j, k)?
-        .into_iter()
-        .map(|lci| -lci)
-        .collect())
+    Ok(local_correlation_index(graph, field_i, field_j, k)?.into_iter().map(|lci| -lci).collect())
 }
 
 /// Pearson correlation of two fields restricted to a vertex set, following the
@@ -93,7 +90,10 @@ fn check_finite(values: &[f64]) -> Result<()> {
     if values.iter().all(|v| v.is_finite()) {
         Ok(())
     } else {
-        Err(GraphError::Parse { line: 0, message: "scalar field contains non-finite values".into() })
+        Err(GraphError::Parse {
+            line: 0,
+            message: "scalar field contains non-finite values".into(),
+        })
     }
 }
 

@@ -37,11 +37,7 @@ pub fn edge_scalar_tree(sg: &EdgeScalarGraph<'_>) -> ScalarTree {
     // (i.e. processed earliest / highest scalar).
     let mut min_id_edge: Vec<Option<u32>> = vec![None; n];
     for v in graph.vertices() {
-        let best = graph
-            .incident_edge_slice(v)
-            .iter()
-            .min_by_key(|e| rank[e.index()])
-            .copied();
+        let best = graph.incident_edge_slice(v).iter().min_by_key(|e| rank[e.index()]).copied();
         min_id_edge[v.index()] = best.map(|e| e.0);
     }
 
@@ -71,12 +67,8 @@ pub fn edge_scalar_tree(sg: &EdgeScalarGraph<'_>) -> ScalarTree {
         }
     }
 
-    let roots: Vec<u32> = parent
-        .iter()
-        .enumerate()
-        .filter(|(_, p)| p.is_none())
-        .map(|(e, _)| e as u32)
-        .collect();
+    let roots: Vec<u32> =
+        parent.iter().enumerate().filter(|(_, p)| p.is_none()).map(|(e, _)| e as u32).collect();
     let scalar: Vec<f64> = (0..m).map(|e| sg.scalar()[e]).collect();
     let tree = ScalarTree { parent, scalar, roots };
     debug_assert!(tree.check_monotone().is_none(), "edge scalar tree violates monotonicity");
@@ -147,7 +139,11 @@ mod tests {
         for &alpha in &distinct_levels(scalar) {
             let expected = direct_partition(&sg, alpha);
             assert_eq!(tree_cut_partition(&fast, alpha), expected, "Algorithm 3 at alpha {alpha}");
-            assert_eq!(tree_cut_partition(&naive, alpha), expected, "naive method at alpha {alpha}");
+            assert_eq!(
+                tree_cut_partition(&naive, alpha),
+                expected,
+                "naive method at alpha {alpha}"
+            );
         }
     }
 
@@ -270,9 +266,8 @@ mod tests {
             b.add_edge(i, if i == 8 { 1 } else { i + 1 });
         }
         let g = b.build();
-        let scalar: Vec<f64> = (0..g.edge_count())
-            .map(|e| if e % 3 == 0 { 4.0 } else { (e % 3) as f64 })
-            .collect();
+        let scalar: Vec<f64> =
+            (0..g.edge_count()).map(|e| if e % 3 == 0 { 4.0 } else { (e % 3) as f64 }).collect();
         check_all_levels(&g, &scalar);
         // Sanity: the hub has high degree, so the naive dual here is much
         // denser than the original graph.

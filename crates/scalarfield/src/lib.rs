@@ -63,7 +63,9 @@ pub use component::{
 };
 pub use correlation::{global_correlation_index, local_correlation_index, outlier_scores};
 pub use edge_tree::{edge_scalar_tree, edge_scalar_tree_naive};
-pub use mcc::{component_members_at_alpha, components_at_alpha, mcc_members, mcc_of_element, AlphaCut};
+pub use mcc::{
+    component_members_at_alpha, components_at_alpha, mcc_members, mcc_of_element, AlphaCut,
+};
 pub use scalar_graph::{EdgeScalarGraph, VertexScalarGraph};
 pub use simplify::simplify_super_tree;
 pub use super_tree::{build_super_tree, SuperNode, SuperScalarTree};

@@ -140,8 +140,7 @@ mod tests {
                     .iter()
                     .min_by(|a, b| sg.value(**a).partial_cmp(&sg.value(**b)).unwrap())
                     .unwrap();
-                let mcc: BTreeSet<u32> =
-                    mcc_members(&st, min_vertex.0).into_iter().collect();
+                let mcc: BTreeSet<u32> = mcc_members(&st, min_vertex.0).into_iter().collect();
                 let expected: BTreeSet<u32> = comp.vertices.iter().map(|v| v.0).collect();
                 assert_eq!(mcc, expected, "alpha {alpha}, min vertex {min_vertex:?}");
             }

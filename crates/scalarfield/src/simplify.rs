@@ -71,9 +71,7 @@ pub fn simplify_super_tree(tree: &SuperScalarTree, levels: usize) -> SuperScalar
         })
         .collect();
     for (old, &group) in group_of.iter().enumerate() {
-        nodes[group as usize]
-            .members
-            .extend_from_slice(&tree.nodes[old].members);
+        nodes[group as usize].members.extend_from_slice(&tree.nodes[old].members);
     }
     for node in &mut nodes {
         node.members.sort_unstable();

@@ -122,12 +122,8 @@ pub fn vertex_scalar_tree(sg: &VertexScalarGraph<'_>) -> ScalarTree {
         }
     }
 
-    let roots: Vec<u32> = parent
-        .iter()
-        .enumerate()
-        .filter(|(_, p)| p.is_none())
-        .map(|(v, _)| v as u32)
-        .collect();
+    let roots: Vec<u32> =
+        parent.iter().enumerate().filter(|(_, p)| p.is_none()).map(|(v, _)| v as u32).collect();
     let scalar: Vec<f64> = (0..n).map(|v| sg.value(VertexId::from_index(v))).collect();
     let tree = ScalarTree { parent, scalar, roots };
     debug_assert!(tree.check_monotone().is_none(), "scalar tree violates monotonicity");
@@ -230,13 +226,11 @@ mod tests {
         for v in graph.vertices() {
             let alpha = sg.value(v);
             let comps = maximal_alpha_components(&sg, alpha);
-            let mcc = comps
-                .iter()
-                .find(|c| c.vertices.contains(&v))
-                .expect("MCC(v) exists");
+            let mcc = comps.iter().find(|c| c.vertices.contains(&v)).expect("MCC(v) exists");
             let expected: BTreeSet<u32> = mcc.vertices.iter().map(|x| x.0).collect();
             assert_eq!(
-                sets[v.index()], expected,
+                sets[v.index()],
+                expected,
                 "subtree rooted at n({v:?}) must equal MCC({v:?})"
             );
         }

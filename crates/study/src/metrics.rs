@@ -11,7 +11,9 @@
 use crate::tasks::Task;
 use baselines::{lanet_layout, openord_layout, OpenOrdConfig};
 use measures::{betweenness_centrality_sampled, core_numbers, degrees};
-use scalarfield::{build_super_tree, global_correlation_index, vertex_scalar_tree, VertexScalarGraph};
+use scalarfield::{
+    build_super_tree, global_correlation_index, vertex_scalar_tree, VertexScalarGraph,
+};
 use terrain::{highest_peaks, layout_super_tree, LayoutConfig};
 use ugraph::CsrGraph;
 
@@ -63,9 +65,10 @@ impl SaliencyInputs {
             Some(first) => {
                 let first_members: std::collections::BTreeSet<u32> =
                     first.members.iter().copied().collect();
-                let disjoint = peaks.iter().skip(1).find(|p| {
-                    p.members.iter().all(|m| !first_members.contains(m))
-                });
+                let disjoint = peaks
+                    .iter()
+                    .skip(1)
+                    .find(|p| p.members.iter().all(|m| !first_members.contains(m)));
                 match disjoint {
                     Some(p) => (
                         first.base_area() / domain_area,

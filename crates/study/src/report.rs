@@ -99,7 +99,8 @@ pub fn format_tables(rows: &[StudyResultRow]) -> String {
             continue;
         }
         let _ = writeln!(out, "== {task} ==");
-        let _ = writeln!(out, "{:<12} {:<10} {:>9} {:>9}", "dataset", "tool", "accuracy", "time(s)");
+        let _ =
+            writeln!(out, "{:<12} {:<10} {:>9} {:>9}", "dataset", "tool", "accuracy", "time(s)");
         for row in task_rows {
             let _ = writeln!(
                 out,
@@ -147,7 +148,8 @@ mod tests {
             (Task::SecondDisconnectedKCore, datasets.clone()),
             (Task::CentralityCorrelation, vec![datasets[0].clone()]),
         ];
-        let config = StudyConfig { participants: 10, betweenness_samples: 40, ..Default::default() };
+        let config =
+            StudyConfig { participants: 10, betweenness_samples: 40, ..Default::default() };
         let rows = run_user_study(&design, &config);
         // Tasks 1 and 2: 2 datasets x 3 tools; Task 3: 1 dataset x 2 tools.
         assert_eq!(rows.len(), 2 * 3 + 2 * 3 + 2);
@@ -160,11 +162,10 @@ mod tests {
     #[test]
     fn terrain_is_at_least_as_accurate_and_faster_on_average() {
         let datasets = small_datasets();
-        let design = vec![
-            (Task::DensestKCore, datasets.clone()),
-            (Task::SecondDisconnectedKCore, datasets),
-        ];
-        let config = StudyConfig { participants: 30, betweenness_samples: 40, ..Default::default() };
+        let design =
+            vec![(Task::DensestKCore, datasets.clone()), (Task::SecondDisconnectedKCore, datasets)];
+        let config =
+            StudyConfig { participants: 30, betweenness_samples: 40, ..Default::default() };
         let rows = run_user_study(&design, &config);
         let avg = |tool: Tool, f: fn(&StudyResultRow) -> f64| -> f64 {
             let filtered: Vec<f64> = rows.iter().filter(|r| r.tool == tool).map(f).collect();

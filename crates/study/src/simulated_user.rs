@@ -64,8 +64,7 @@ pub fn simulate_participants(
 ) -> Vec<TrialOutcome> {
     let saliency = saliency.clamp(0.0, 1.0);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let p_correct =
-        saliency * (1.0 - model.lapse_rate) + model.guess_rate * model.lapse_rate;
+    let p_correct = saliency * (1.0 - model.lapse_rate) + model.guess_rate * model.lapse_rate;
     (0..participants)
         .map(|_| {
             let correct = rng.gen_bool(p_correct.clamp(0.0, 1.0));

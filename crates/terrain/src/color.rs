@@ -162,10 +162,7 @@ mod tests {
             let t = i as f64 / 20.0;
             let c = colormap(t);
             // The blue channel decreases monotonically from BLUE to RED.
-            assert!(
-                (c.b as f64) <= previous + 1e-9,
-                "colormap blue channel not monotone at t={t}"
-            );
+            assert!((c.b as f64) <= previous + 1e-9, "colormap blue channel not monotone at t={t}");
             previous = c.b as f64;
         }
     }
@@ -196,10 +193,7 @@ mod tests {
 
     #[test]
     fn node_color_by_class_takes_majority() {
-        let scheme = ColorScheme::ByClass {
-            classes: vec![0, 0, 1, 1, 1],
-            palette: role_palette(),
-        };
+        let scheme = ColorScheme::ByClass { classes: vec![0, 0, 1, 1, 1], palette: role_palette() };
         let c = node_color(&scheme, &[0, 2, 3, 4], 0.0);
         assert_eq!(c, role_palette()[1]);
         // Empty member list falls back to gray.

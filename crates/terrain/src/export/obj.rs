@@ -12,24 +12,14 @@ use std::fmt::Write as _;
 pub fn mesh_to_obj(mesh: &TerrainMesh) -> String {
     let mut out = String::with_capacity(mesh.vertex_count() * 32 + mesh.triangle_count() * 16);
     out.push_str("# graph-terrain mesh export\n");
-    let _ = writeln!(
-        out,
-        "# {} vertices, {} triangles",
-        mesh.vertex_count(),
-        mesh.triangle_count()
-    );
+    let _ =
+        writeln!(out, "# {} vertices, {} triangles", mesh.vertex_count(), mesh.triangle_count());
     for v in &mesh.vertices {
         let _ = writeln!(out, "v {:.6} {:.6} {:.6}", v.x, v.z, v.y);
     }
     for t in &mesh.triangles {
         // OBJ face indices are 1-based.
-        let _ = writeln!(
-            out,
-            "f {} {} {}",
-            t.indices[0] + 1,
-            t.indices[1] + 1,
-            t.indices[2] + 1
-        );
+        let _ = writeln!(out, "f {} {} {}", t.indices[0] + 1, t.indices[1] + 1, t.indices[2] + 1);
     }
     out
 }

@@ -60,9 +60,8 @@ pub fn terrain_to_svg(mesh: &TerrainMesh, width_px: f64, height_px: f64) -> Stri
     // Oblique projection parameters.
     let depth = 0.45f64;
     let (cos_a, sin_a) = (30f64.to_radians().cos(), 30f64.to_radians().sin());
-    let project = |x: f64, y: f64, z: f64| -> (f64, f64) {
-        (x + depth * cos_a * y, -z - depth * sin_a * y)
-    };
+    let project =
+        |x: f64, y: f64, z: f64| -> (f64, f64) { (x + depth * cos_a * y, -z - depth * sin_a * y) };
 
     // Projected bounding box for scaling.
     let mut pmin = (f64::INFINITY, f64::INFINITY);

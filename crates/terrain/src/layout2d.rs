@@ -156,14 +156,11 @@ pub fn layout_super_tree(tree: &SuperScalarTree, config: &LayoutConfig) -> Terra
     // Roots partition the full domain horizontally, proportionally to their
     // subtree sizes.
     let domain = Rect::new(0.0, 0.0, config.width, config.height);
-    let root_weights: Vec<f64> = tree.roots.iter().map(|&r| subtree_members[r as usize] as f64).collect();
+    let root_weights: Vec<f64> =
+        tree.roots.iter().map(|&r| subtree_members[r as usize] as f64).collect();
     let root_rects = split_rect(&domain, &root_weights, true);
-    let mut stack: Vec<(u32, Rect, usize)> = tree
-        .roots
-        .iter()
-        .zip(root_rects)
-        .map(|(&r, rect)| (r, rect, 0usize))
-        .collect();
+    let mut stack: Vec<(u32, Rect, usize)> =
+        tree.roots.iter().zip(root_rects).map(|(&r, rect)| (r, rect, 0usize)).collect();
 
     while let Some((node, rect, depth)) = stack.pop() {
         rects[node as usize] = rect;
@@ -175,8 +172,7 @@ pub fn layout_super_tree(tree: &SuperScalarTree, config: &LayoutConfig) -> Terra
         // sizes; the parent's own members occupy the margin ring (plus a share
         // of the inner area if the parent has many direct members).
         let own = tree.nodes[node as usize].members.len() as f64;
-        let child_total: f64 =
-            children.iter().map(|&c| subtree_members[c as usize] as f64).sum();
+        let child_total: f64 = children.iter().map(|&c| subtree_members[c as usize] as f64).sum();
         let inner_full = rect.shrunk(config.margin_fraction);
         // Scale the children's area share by child_total / (child_total + own)
         // so parents with many direct members keep more visible ring area.

@@ -42,6 +42,6 @@ pub use export::ascii::ascii_heightmap;
 pub use export::obj::mesh_to_obj;
 pub use export::svg::{terrain_to_svg, treemap_to_svg};
 pub use layout2d::{layout_super_tree, LayoutConfig, Rect, TerrainLayout};
-pub use mesh::{build_terrain_mesh, MeshConfig, TerrainMesh};
+pub use mesh::{build_terrain_mesh, MeshBounds, MeshConfig, TerrainMesh};
 pub use peaks::{highest_peaks, peaks_at_alpha, select_region, Peak};
 pub use treemap::{build_treemap, Treemap, TreemapCell};

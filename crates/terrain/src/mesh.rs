@@ -57,6 +57,10 @@ pub struct MeshTriangle {
     pub is_top: bool,
 }
 
+/// An axis-aligned 3D bounding box:
+/// `((min_x, min_y, min_z), (max_x, max_y, max_z))`.
+pub type MeshBounds = ((f64, f64, f64), (f64, f64, f64));
+
 /// A terrain triangle mesh.
 #[derive(Clone, Debug, Default)]
 pub struct TerrainMesh {
@@ -79,7 +83,7 @@ impl TerrainMesh {
 
     /// Axis-aligned bounding box of the mesh as
     /// `((min_x, min_y, min_z), (max_x, max_y, max_z))`.
-    pub fn bounds(&self) -> Option<((f64, f64, f64), (f64, f64, f64))> {
+    pub fn bounds(&self) -> Option<MeshBounds> {
         if self.vertices.is_empty() {
             return None;
         }
@@ -239,11 +243,7 @@ mod tests {
         let mesh = build_terrain_mesh(&tree, &layout, &MeshConfig::default());
         for t in &mesh.triangles {
             if !t.is_top {
-                let cap = mesh
-                    .triangles
-                    .iter()
-                    .find(|c| c.is_top && c.node == t.node)
-                    .unwrap();
+                let cap = mesh.triangles.iter().find(|c| c.is_top && c.node == t.node).unwrap();
                 let brightness = |c: &Color| c.r as u32 + c.g as u32 + c.b as u32;
                 assert!(brightness(&t.color) < brightness(&cap.color));
             }

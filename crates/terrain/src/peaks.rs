@@ -47,10 +47,7 @@ impl Peak {
 /// All peaks at cut height `alpha`: one per maximal α-connected component.
 pub fn peaks_at_alpha(tree: &SuperScalarTree, layout: &TerrainLayout, alpha: f64) -> Vec<Peak> {
     let cut = components_at_alpha(tree, alpha);
-    cut.component_roots
-        .iter()
-        .map(|&root| build_peak(tree, layout, root, alpha))
-        .collect()
+    cut.component_roots.iter().map(|&root| build_peak(tree, layout, root, alpha)).collect()
 }
 
 /// The `count` highest peaks of the terrain, tallest first.
@@ -159,14 +156,10 @@ mod tests {
             let peaks = peaks_at_alpha(&tree, &layout, alpha);
             let direct = maximal_alpha_components(&sg, alpha);
             assert_eq!(peaks.len(), direct.len(), "alpha {alpha}");
-            let peak_sets: BTreeSet<BTreeSet<u32>> = peaks
-                .iter()
-                .map(|p| p.members.iter().copied().collect())
-                .collect();
-            let direct_sets: BTreeSet<BTreeSet<u32>> = direct
-                .into_iter()
-                .map(|c| c.vertices.into_iter().map(|v| v.0).collect())
-                .collect();
+            let peak_sets: BTreeSet<BTreeSet<u32>> =
+                peaks.iter().map(|p| p.members.iter().copied().collect()).collect();
+            let direct_sets: BTreeSet<BTreeSet<u32>> =
+                direct.into_iter().map(|c| c.vertices.into_iter().map(|v| v.0).collect()).collect();
             assert_eq!(peak_sets, direct_sets, "alpha {alpha}");
         }
     }

@@ -85,12 +85,7 @@ impl GraphBuilder {
     pub fn build(mut self) -> CsrGraph {
         self.edges.sort_unstable();
         self.edges.dedup();
-        let max_endpoint = self
-            .edges
-            .iter()
-            .map(|&(_, v)| v.index() + 1)
-            .max()
-            .unwrap_or(0);
+        let max_endpoint = self.edges.iter().map(|&(_, v)| v.index() + 1).max().unwrap_or(0);
         let vertex_count = max_endpoint.max(self.min_vertex_count);
         CsrGraph::from_canonical_edges(vertex_count, self.edges)
     }

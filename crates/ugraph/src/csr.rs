@@ -131,10 +131,7 @@ impl CsrGraph {
 
     /// Largest degree over all vertices, or 0 for an empty graph.
     pub fn max_degree(&self) -> usize {
-        (0..self.vertex_count())
-            .map(|v| self.degree(VertexId::from_index(v)))
-            .max()
-            .unwrap_or(0)
+        (0..self.vertex_count()).map(|v| self.degree(VertexId::from_index(v))).max().unwrap_or(0)
     }
 
     /// Iterator over all vertex ids in increasing order.
@@ -144,10 +141,11 @@ impl CsrGraph {
 
     /// Iterator over all edges in increasing [`EdgeId`] order.
     pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
-        self.endpoints
-            .iter()
-            .enumerate()
-            .map(|(i, &(u, v))| EdgeRef { id: EdgeId::from_index(i), u, v })
+        self.endpoints.iter().enumerate().map(|(i, &(u, v))| EdgeRef {
+            id: EdgeId::from_index(i),
+            u,
+            v,
+        })
     }
 
     /// Endpoints `(u, v)` with `u < v` of edge `e`.
@@ -158,10 +156,10 @@ impl CsrGraph {
 
     /// Checked variant of [`CsrGraph::endpoints`].
     pub fn try_endpoints(&self, e: EdgeId) -> Result<(VertexId, VertexId)> {
-        self.endpoints.get(e.index()).copied().ok_or(GraphError::EdgeOutOfBounds {
-            edge: e.0,
-            edge_count: self.edge_count(),
-        })
+        self.endpoints
+            .get(e.index())
+            .copied()
+            .ok_or(GraphError::EdgeOutOfBounds { edge: e.0, edge_count: self.edge_count() })
     }
 
     /// Iterator over the neighbors of `v` as `(neighbor, edge id)` pairs,

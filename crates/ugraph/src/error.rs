@@ -46,18 +46,15 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::VertexOutOfBounds { vertex, vertex_count } => write!(
-                f,
-                "vertex {vertex} out of bounds for graph with {vertex_count} vertices"
-            ),
-            GraphError::EdgeOutOfBounds { edge, edge_count } => write!(
-                f,
-                "edge {edge} out of bounds for graph with {edge_count} edges"
-            ),
-            GraphError::LengthMismatch { what, expected, actual } => write!(
-                f,
-                "length mismatch for {what}: expected {expected}, got {actual}"
-            ),
+            GraphError::VertexOutOfBounds { vertex, vertex_count } => {
+                write!(f, "vertex {vertex} out of bounds for graph with {vertex_count} vertices")
+            }
+            GraphError::EdgeOutOfBounds { edge, edge_count } => {
+                write!(f, "edge {edge} out of bounds for graph with {edge_count} edges")
+            }
+            GraphError::LengthMismatch { what, expected, actual } => {
+                write!(f, "length mismatch for {what}: expected {expected}, got {actual}")
+            }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
             }

@@ -147,11 +147,7 @@ mod tests {
     fn minimum_degree_is_m() {
         let m = 4;
         let g = barabasi_albert(300, m, 23);
-        let min_deg = g
-            .vertices()
-            .map(|v| g.degree(v))
-            .min()
-            .unwrap();
+        let min_deg = g.vertices().map(|v| g.degree(v)).min().unwrap();
         assert!(min_deg >= m, "every attached vertex has at least m = {m} edges");
         // Early vertices should be among the best connected.
         assert!(g.degree(VertexId(0)) >= m);

@@ -136,8 +136,8 @@ pub fn collaboration_graph(config: &CollaborationConfig) -> CsrGraph {
         let prolific: Vec<usize> =
             range.clone().take(((range.end - range.start) / 3).max(4)).collect();
         for _ in 0..config.dense_group_extra_papers {
-            let count = rng
-                .gen_range(config.min_authors_per_paper..=config.max_authors_per_paper.max(4));
+            let count =
+                rng.gen_range(config.min_authors_per_paper..=config.max_authors_per_paper.max(4));
             let mut members = Vec::with_capacity(count);
             let mut guard = 0;
             while members.len() < count.min(prolific.len()) && guard < 100 * count {

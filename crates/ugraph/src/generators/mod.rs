@@ -30,7 +30,9 @@ pub use barabasi_albert::{barabasi_albert, preferential_attachment};
 pub use citation::layered_citation;
 pub use collaboration::{collaboration_graph, CollaborationConfig};
 pub use erdos_renyi::erdos_renyi;
-pub use overlapping::{overlapping_communities, OverlappingCommunityConfig, OverlappingCommunityGraph};
+pub use overlapping::{
+    overlapping_communities, OverlappingCommunityConfig, OverlappingCommunityGraph,
+};
 pub use planted::{planted_partition, PlantedPartitionGraph};
 pub use roles::{hub_periphery_community, HubPeripheryGraph, PlantedRole};
 pub use watts_strogatz::watts_strogatz;

@@ -80,7 +80,7 @@ pub fn overlapping_communities(config: &OverlappingCommunityConfig) -> Overlappi
     let mut primary = vec![0usize; n];
     let mut subgroup = vec![0usize; n];
 
-    for c in 0..config.communities {
+    for (c, community_scores) in scores.iter_mut().enumerate() {
         for i in 0..config.community_size {
             let v = c * config.community_size + i;
             primary[v] = c;
@@ -93,14 +93,13 @@ pub fn overlapping_communities(config: &OverlappingCommunityConfig) -> Overlappi
             } else {
                 0.1 + 0.3 * rng.gen::<f64>()
             };
-            scores[c][v] = score;
+            community_scores[v] = score;
         }
     }
 
     // Overlap: the last `overlap_fraction` of each community also gets a
     // moderate affiliation with the next community.
-    let overlap_count =
-        ((config.community_size as f64) * config.overlap_fraction).round() as usize;
+    let overlap_count = ((config.community_size as f64) * config.overlap_fraction).round() as usize;
     for c in 0..config.communities {
         let next = (c + 1) % config.communities;
         for k in 0..overlap_count {

@@ -10,7 +10,6 @@ use std::fmt;
 
 /// Identifier of a vertex: an index in `0..graph.vertex_count()`.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VertexId(pub u32);
 
 /// Identifier of an undirected edge: an index in `0..graph.edge_count()`.
@@ -18,7 +17,6 @@ pub struct VertexId(pub u32);
 /// Each undirected edge has exactly one [`EdgeId`], regardless of direction;
 /// the CSR structure maps both half-edges of an edge to the same id.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EdgeId(pub u32);
 
 impl VertexId {

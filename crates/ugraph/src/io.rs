@@ -68,10 +68,8 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<ParsedEdgeList> {
         for (key, w) in weighted {
             map.insert(key, w);
         }
-        let weights = graph
-            .edges()
-            .map(|e| map.get(&(e.u.0, e.v.0)).copied().unwrap_or(0.0))
-            .collect();
+        let weights =
+            graph.edges().map(|e| map.get(&(e.u.0, e.v.0)).copied().unwrap_or(0.0)).collect();
         Some(weights)
     } else {
         None
@@ -80,14 +78,9 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<ParsedEdgeList> {
 }
 
 fn parse_field(field: Option<&str>, line: usize, what: &str) -> Result<u32> {
-    let raw = field.ok_or_else(|| GraphError::Parse {
-        line,
-        message: format!("missing {what}"),
-    })?;
-    raw.parse().map_err(|_| GraphError::Parse {
-        line,
-        message: format!("invalid {what} `{raw}`"),
-    })
+    let raw =
+        field.ok_or_else(|| GraphError::Parse { line, message: format!("missing {what}") })?;
+    raw.parse().map_err(|_| GraphError::Parse { line, message: format!("invalid {what} `{raw}`") })
 }
 
 /// Read an edge list from a file path.
@@ -98,7 +91,12 @@ pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<ParsedEdgeList> {
 
 /// Write a graph as a plain edge list (`u v` per line, canonical order).
 pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> Result<()> {
-    writeln!(writer, "# graph-terrain edge list: {} vertices, {} edges", graph.vertex_count(), graph.edge_count())?;
+    writeln!(
+        writer,
+        "# graph-terrain edge list: {} vertices, {} edges",
+        graph.vertex_count(),
+        graph.edge_count()
+    )?;
     for e in graph.edges() {
         writeln!(writer, "{} {}", e.u.0, e.v.0)?;
     }

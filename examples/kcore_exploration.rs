@@ -9,8 +9,8 @@
 //! cargo run --release --example kcore_exploration
 //! ```
 
-use graph_terrain::prelude::*;
 use baselines::{layout_to_svg, spring_layout, SpringConfig};
+use graph_terrain::prelude::*;
 use terrain::{highest_peaks, select_region};
 use ugraph::generators::{collaboration_graph, CollaborationConfig};
 
@@ -27,7 +27,11 @@ fn main() {
         seed: 41,
         ..Default::default()
     });
-    println!("collaboration graph: {} authors, {} co-authorships", graph.vertex_count(), graph.edge_count());
+    println!(
+        "collaboration graph: {} authors, {} co-authorships",
+        graph.vertex_count(),
+        graph.edge_count()
+    );
 
     // K-Core terrain.
     let cores = measures::core_numbers(&graph);
@@ -58,7 +62,8 @@ fn main() {
     // Drill into the densest K-Core peak: select its footprint and draw that
     // subgraph with a spring layout (the linked 2D display of Section II-E).
     if let Some(top) = peaks.first() {
-        let selected = select_region(&kcore_terrain.super_tree, &kcore_terrain.layout, &top.footprint);
+        let selected =
+            select_region(&kcore_terrain.super_tree, &kcore_terrain.layout, &top.footprint);
         let mut keep = vec![false; graph.vertex_count()];
         for &v in &selected {
             keep[v as usize] = true;
@@ -69,7 +74,8 @@ fn main() {
             subgraph.vertex_count(),
             subgraph.edge_count()
         );
-        let layout = spring_layout(&subgraph, &SpringConfig { iterations: 80, ..Default::default() });
+        let layout =
+            spring_layout(&subgraph, &SpringConfig { iterations: 80, ..Default::default() });
         let svg = layout_to_svg(&subgraph, &layout, 600.0, 600.0, 20_000);
         let path = std::env::temp_dir().join("graph_terrain_densest_core.svg");
         std::fs::write(&path, svg).expect("write svg");
@@ -78,7 +84,9 @@ fn main() {
 
     // Save both terrains.
     let dir = std::env::temp_dir();
-    std::fs::write(dir.join("graph_terrain_kcore.svg"), kcore_terrain.to_svg(900.0, 700.0)).unwrap();
-    std::fs::write(dir.join("graph_terrain_ktruss.svg"), ktruss_terrain.to_svg(900.0, 700.0)).unwrap();
+    std::fs::write(dir.join("graph_terrain_kcore.svg"), kcore_terrain.to_svg(900.0, 700.0))
+        .unwrap();
+    std::fs::write(dir.join("graph_terrain_ktruss.svg"), ktruss_terrain.to_svg(900.0, 700.0))
+        .unwrap();
     println!("wrote K-Core and K-Truss terrains to {}", dir.display());
 }

@@ -36,7 +36,10 @@ fn collaboration_has_many_dense_peaks_preferential_attachment_has_one() {
 
     let grqc_peaks = dense_peak_count(&grqc_like);
     let wikivote_peaks = dense_peak_count(&wikivote_like);
-    assert!(grqc_peaks >= 2, "collaboration analog should show several dense peaks, got {grqc_peaks}");
+    assert!(
+        grqc_peaks >= 2,
+        "collaboration analog should show several dense peaks, got {grqc_peaks}"
+    );
     assert_eq!(wikivote_peaks, 1, "preferential-attachment analog should show one dominant peak");
 }
 
@@ -94,9 +97,8 @@ fn roles_stratify_vertically_on_the_community_terrain() {
     let planted = hub_periphery_community(50, 120, 30, 7);
     let detected = measures::assign_roles(&planted.graph);
     let mean_score = |role: measures::Role| -> f64 {
-        let members: Vec<usize> = (0..planted.graph.vertex_count())
-            .filter(|&v| detected.roles[v] == role)
-            .collect();
+        let members: Vec<usize> =
+            (0..planted.graph.vertex_count()).filter(|&v| detected.roles[v] == role).collect();
         if members.is_empty() {
             return f64::NAN;
         }
@@ -129,10 +131,8 @@ fn simulated_user_study_reproduces_the_paper_ordering() {
         ),
         ("ppi-like".into(), ugraph::generators::watts_strogatz(500, 6, 0.2, 9)),
     ];
-    let design = vec![
-        (Task::DensestKCore, datasets.clone()),
-        (Task::SecondDisconnectedKCore, datasets),
-    ];
+    let design =
+        vec![(Task::DensestKCore, datasets.clone()), (Task::SecondDisconnectedKCore, datasets)];
     let rows = run_user_study(
         &design,
         &StudyConfig { participants: 20, betweenness_samples: 40, ..Default::default() },

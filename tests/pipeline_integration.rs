@@ -4,7 +4,7 @@
 use graph_terrain::prelude::*;
 use scalarfield::{component_members_at_alpha, maximal_alpha_components, VertexScalarGraph};
 use std::collections::BTreeSet;
-use terrain::{ascii_heightmap, mesh_to_obj, peaks_at_alpha, treemap_to_svg, build_treemap};
+use terrain::{ascii_heightmap, build_treemap, mesh_to_obj, peaks_at_alpha, treemap_to_svg};
 use ugraph::generators::{barabasi_albert, collaboration_graph, CollaborationConfig};
 
 fn collaboration_fixture() -> ugraph::CsrGraph {
@@ -50,10 +50,8 @@ fn kcore_terrain_peaks_are_kcores_end_to_end() {
             .into_iter()
             .map(|c| c.vertices.into_iter().map(|v| v.0).collect())
             .collect();
-        let from_peaks: BTreeSet<BTreeSet<u32>> = peaks
-            .into_iter()
-            .map(|p| p.members.into_iter().collect())
-            .collect();
+        let from_peaks: BTreeSet<BTreeSet<u32>> =
+            peaks.into_iter().map(|p| p.members.into_iter().collect()).collect();
         assert_eq!(from_peaks, direct, "alpha {alpha}");
     }
 }

@@ -1,0 +1,179 @@
+//! Vendored stand-in for the `bytes` crate.
+//!
+//! Provides [`Bytes`], [`BytesMut`] and the [`Buf`] / [`BufMut`] trait subset
+//! used by `ugraph::io`'s binary graph encoding. Backed by plain `Vec<u8>`
+//! storage — no refcounted zero-copy splitting, which the workspace does not
+//! need.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Read access to a byte cursor.
+pub trait Buf {
+    /// Bytes remaining between the cursor and the end.
+    fn remaining(&self) -> usize;
+
+    /// Advance the cursor by `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Borrow the unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Read a little-endian `u32` and advance.
+    fn get_u32_le(&mut self) -> u32 {
+        assert!(self.remaining() >= 4, "buffer underflow");
+        let bytes: [u8; 4] = self.chunk()[..4].try_into().expect("4 bytes");
+        self.advance(4);
+        u32::from_le_bytes(bytes)
+    }
+
+    /// Read a single byte and advance.
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.remaining() >= 1, "buffer underflow");
+        let byte = self.chunk()[0];
+        self.advance(1);
+        byte
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, value: u32) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Append a single byte.
+    fn put_u8(&mut self, value: u8) {
+        self.put_slice(&[value]);
+    }
+}
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Create a buffer over a static byte slice (copied).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes { data: data.to_vec(), pos: 0 }
+    }
+
+    /// Total length of the unread portion.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        self.pos += cnt;
+    }
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Create an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(capacity) }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data, pos: 0 }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_round_trip() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u32_le(42);
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.remaining(), 8);
+        assert_eq!(bytes.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(bytes.get_u32_le(), 42);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn from_static_reads_back() {
+        let mut b = Bytes::from_static(&[1, 0, 0, 0, 7]);
+        assert_eq!(b.get_u32_le(), 1);
+        assert_eq!(b.get_u8(), 7);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from_static(&[1, 2]);
+        b.get_u32_le();
+    }
+}

@@ -1,0 +1,143 @@
+//! Vendored stand-in for the `rand_chacha` crate.
+//!
+//! Implements a genuine ChaCha stream cipher core (8 rounds) as a PRNG so the
+//! workspace's deterministic generators get a high-quality, seedable stream
+//! without a crates.io download. The stream is deterministic given the seed
+//! but is not guaranteed bit-compatible with upstream `rand_chacha` (the
+//! workspace only relies on self-consistency).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// A ChaCha PRNG with 8 rounds.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    buffer: [u32; 16],
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut input = [0u32; 16];
+        input[..4].copy_from_slice(&CONSTANTS);
+        input[4..12].copy_from_slice(&self.key);
+        input[12] = self.counter as u32;
+        input[13] = (self.counter >> 32) as u32;
+        // input[14..16] is the (zero) nonce.
+        let mut working = input;
+        for _ in 0..4 {
+            // Two ChaCha rounds per iteration: column then diagonal.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, i)) in self.buffer.iter_mut().zip(working.iter().zip(input.iter())) {
+            *out = w.wrapping_add(*i);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng { key, counter: 0, buffer: [0; 16], index: 16 }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_u32().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(12345);
+        let mut b = ChaCha8Rng::seed_from_u64(12345);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "streams should be unrelated, {same} of 64 words matched");
+    }
+
+    #[test]
+    fn output_looks_balanced() {
+        // Crude sanity check: bit frequency of the keystream is near 1/2.
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let ones: u32 = (0..1024).map(|_| rng.next_u32().count_ones()).sum();
+        let total = 1024 * 32;
+        let fraction = ones as f64 / total as f64;
+        assert!((0.48..0.52).contains(&fraction), "bit fraction {fraction}");
+    }
+
+    #[test]
+    fn fill_bytes_handles_odd_lengths() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut buf = [0u8; 7];
+        rng.fill_bytes(&mut buf);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(5);
+        let mut buf2 = [0u8; 7];
+        rng2.fill_bytes(&mut buf2);
+        assert_eq!(buf, buf2);
+    }
+}

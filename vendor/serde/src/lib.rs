@@ -1,0 +1,236 @@
+//! Vendored stand-in for the `serde` crate.
+//!
+//! The workspace only uses `serde::Serialize` as a bound on
+//! `bench::output::write_json`, so this stub reduces serialization to one
+//! JSON-oriented method. Implementations cover primitives, strings, slices,
+//! vectors, options, tuples and string-keyed maps; no derive macros are
+//! provided (nothing in the workspace derives).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A value that can be written as JSON.
+pub trait Serialize {
+    /// Append this value's JSON representation to `out`.
+    ///
+    /// `indent` is the current pretty-printing depth (two spaces per level);
+    /// scalar types ignore it.
+    fn json_write(&self, out: &mut String, indent: usize);
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn json_write(&self, out: &mut String, indent: usize) {
+        (**self).json_write(out, indent)
+    }
+}
+
+macro_rules! impl_serialize_display {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn json_write(&self, out: &mut String, _indent: usize) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+impl_serialize_display!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn json_write(&self, out: &mut String, _indent: usize) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    // JSON has no NaN/Inf; serde_json emits null.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_float!(f32, f64);
+
+/// Escape and quote a string per JSON rules.
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Serialize for str {
+    fn json_write(&self, out: &mut String, _indent: usize) {
+        write_escaped(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn json_write(&self, out: &mut String, _indent: usize) {
+        write_escaped(self, out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json_write(&self, out: &mut String, indent: usize) {
+        match self {
+            Some(v) => v.json_write(out, indent),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+fn write_seq<'a, T: Serialize + 'a>(
+    items: impl ExactSizeIterator<Item = &'a T>,
+    out: &mut String,
+    indent: usize,
+) {
+    if items.len() == 0 {
+        out.push_str("[]");
+        return;
+    }
+    out.push('[');
+    let inner = indent + 1;
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(&"  ".repeat(inner));
+        item.json_write(out, inner);
+    }
+    out.push('\n');
+    out.push_str(&"  ".repeat(indent));
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn json_write(&self, out: &mut String, indent: usize) {
+        write_seq(self.iter(), out, indent);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn json_write(&self, out: &mut String, indent: usize) {
+        write_seq(self.iter(), out, indent);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn json_write(&self, out: &mut String, indent: usize) {
+        write_seq(self.iter(), out, indent);
+    }
+}
+
+fn write_map<'a, T: Serialize + 'a>(
+    entries: impl ExactSizeIterator<Item = (&'a String, &'a T)>,
+    out: &mut String,
+    indent: usize,
+) {
+    if entries.len() == 0 {
+        out.push_str("{}");
+        return;
+    }
+    out.push('{');
+    let inner = indent + 1;
+    for (i, (key, value)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(&"  ".repeat(inner));
+        write_escaped(key, out);
+        out.push_str(": ");
+        value.json_write(out, inner);
+    }
+    out.push('\n');
+    out.push_str(&"  ".repeat(indent));
+    out.push('}');
+}
+
+impl<T: Serialize> Serialize for BTreeMap<String, T> {
+    fn json_write(&self, out: &mut String, indent: usize) {
+        write_map(self.iter(), out, indent);
+    }
+}
+
+impl<T: Serialize> Serialize for HashMap<String, T> {
+    fn json_write(&self, out: &mut String, indent: usize) {
+        // Deterministic output: sort keys.
+        let mut entries: Vec<_> = self.iter().collect();
+        entries.sort_by_key(|(k, _)| k.as_str());
+        write_map(entries.into_iter(), out, indent);
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn json_write(&self, out: &mut String, indent: usize) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first {
+                        out.push_str(", ");
+                    }
+                    first = false;
+                    self.$idx.json_write(out, indent);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+impl_serialize_tuple!((A: 0), (A: 0, B: 1), (A: 0, B: 1, C: 2), (A: 0, B: 1, C: 2, D: 3));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_json<T: Serialize>(v: &T) -> String {
+        let mut out = String::new();
+        v.json_write(&mut out, 0);
+        out
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(to_json(&1u32), "1");
+        assert_eq!(to_json(&-3i64), "-3");
+        assert_eq!(to_json(&true), "true");
+        assert_eq!(to_json(&1.5f64), "1.5");
+        assert_eq!(to_json(&f64::NAN), "null");
+        assert_eq!(to_json(&"a\"b"), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(to_json(&Vec::<u32>::new()), "[]");
+        assert_eq!(to_json(&vec![1, 2]), "[\n  1,\n  2\n]");
+        assert_eq!(to_json(&Some(5u8)), "5");
+        assert_eq!(to_json(&None::<u8>), "null");
+        assert_eq!(to_json(&(1u8, "x".to_string())), "[1, \"x\"]");
+    }
+
+    #[test]
+    fn maps_are_sorted() {
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 2u8);
+        m.insert("a".to_string(), 1u8);
+        assert_eq!(to_json(&m), "{\n  \"a\": 1,\n  \"b\": 2\n}");
+    }
+}

@@ -1,0 +1,42 @@
+//! Vendored stand-in for the `serde_json` crate: just enough to pretty-print
+//! values implementing the vendored [`serde::Serialize`] trait.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+
+/// Serialization error. The vendored serializer is infallible, so this type
+/// exists only to keep `serde_json`'s `Result`-returning signatures.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as a pretty-printed (two-space indented) JSON string.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.json_write(&mut out, 0);
+    Ok(out)
+}
+
+/// Serialize `value` as a compact-ish JSON string (same output as
+/// [`to_string_pretty`] in this stub).
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string_pretty(value)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pretty_prints_vectors() {
+        let json = super::to_string_pretty(&vec![1u32, 2, 3]).unwrap();
+        assert_eq!(json, "[\n  1,\n  2,\n  3\n]");
+    }
+}

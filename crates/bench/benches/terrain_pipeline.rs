@@ -6,7 +6,10 @@ use bench::datasets::DatasetKind;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use measures::core_numbers;
 use scalarfield::{build_super_tree, simplify_super_tree, vertex_scalar_tree, VertexScalarGraph};
-use terrain::{build_terrain_mesh, layout_super_tree, terrain_to_svg, LayoutConfig, MeshConfig};
+use terrain::{
+    build_terrain_mesh, highest_peaks, layout_super_tree, peaks_at_alpha, terrain_to_svg,
+    LayoutConfig, MeshConfig,
+};
 
 fn bench_terrain_rendering(c: &mut Criterion) {
     let dataset = DatasetKind::GrQc.generate(0.5);
@@ -22,6 +25,22 @@ fn bench_terrain_rendering(c: &mut Criterion) {
             let layout = layout_super_tree(&tree, &LayoutConfig::default());
             let mesh = build_terrain_mesh(&tree, &layout, &MeshConfig::default());
             terrain_to_svg(&mesh, 900.0, 700.0).len()
+        })
+    });
+
+    // Peak queries: the subtree-heavy interactive stage (highest peaks plus a
+    // full α sweep), which the arena turns into contiguous range scans.
+    let layout = layout_super_tree(&tree, &LayoutConfig::default());
+    let mut levels: Vec<f64> = scalar.clone();
+    levels.sort_by(f64::total_cmp);
+    levels.dedup();
+    group.bench_function("peak_queries", |b| {
+        b.iter(|| {
+            let mut touched = highest_peaks(&tree, &layout, 10).len();
+            for &alpha in &levels {
+                touched += peaks_at_alpha(&tree, &layout, alpha).len();
+            }
+            touched
         })
     });
 

@@ -1,10 +1,11 @@
 //! Criterion bench: vertex scalar tree construction (Algorithm 1 + Algorithm 2)
-//! across dataset analogs and sizes — the `tc` column of Table II for KC(v).
+//! across dataset analogs and sizes — the `tc` column of Table II for KC(v) —
+//! plus the arena-vs-naive subtree query comparison.
 
 use bench::datasets::DatasetKind;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use measures::core_numbers;
-use scalarfield::{build_super_tree, vertex_scalar_tree, VertexScalarGraph};
+use scalarfield::{build_super_tree, vertex_scalar_tree, SuperScalarTree, VertexScalarGraph};
 
 fn bench_vertex_tree(c: &mut Criterion) {
     let mut group = c.benchmark_group("vertex_scalar_tree");
@@ -55,5 +56,65 @@ fn bench_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_vertex_tree, bench_scaling);
+/// The old pointer-chasing query path, reconstructed on top of the arena
+/// accessors: materialize per-node child `Vec`s, walk depths with an explicit
+/// stack, `sort_by_key` every node by decreasing depth, then accumulate the
+/// subtree member counts bottom-up. This is exactly what
+/// `subtree_member_counts` cost before the flat-arena refactor and serves as
+/// the baseline the arena path is measured against.
+fn subtree_member_counts_naive(tree: &SuperScalarTree) -> Vec<usize> {
+    let n = tree.node_count();
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (node, parent) in tree.parents().iter().enumerate() {
+        if let Some(p) = parent {
+            children[*p as usize].push(node as u32);
+        }
+    }
+    let mut depth = vec![0usize; n];
+    let mut stack: Vec<u32> = tree.roots().to_vec();
+    while let Some(node) = stack.pop() {
+        for &c in &children[node as usize] {
+            depth[c as usize] = depth[node as usize] + 1;
+            stack.push(c);
+        }
+    }
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(depth[v as usize]));
+    let mut counts: Vec<usize> = (0..n as u32).map(|v| tree.members(v).len()).collect();
+    for node in order {
+        if let Some(p) = tree.parent(node) {
+            counts[p as usize] += counts[node as usize];
+        }
+    }
+    counts
+}
+
+fn bench_subtree_queries(c: &mut Criterion) {
+    // The query side of the refactor: subtree member counts on the bench
+    // generator graphs, arena offsets vs the old sort-by-depth traversal.
+    let mut group = c.benchmark_group("subtree_member_counts");
+    let graphs = [
+        ("barabasi_albert", ugraph::generators::barabasi_albert(8_000, 6, 42)),
+        ("erdos_renyi", ugraph::generators::erdos_renyi(8_000, 0.002, 7)),
+    ];
+    for (name, graph) in graphs {
+        // A high-cardinality field (degree with a deterministic tie-breaking
+        // jitter) keeps the super tree large — K-Core fields collapse to a
+        // handful of levels and would understate the query cost.
+        let scalar: Vec<f64> =
+            graph.vertices().map(|v| graph.degree(v) as f64 + (v.0 % 97) as f64 / 97.0).collect();
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let tree = build_super_tree(&vertex_scalar_tree(&sg));
+        group.throughput(Throughput::Elements(tree.node_count() as u64));
+        group.bench_with_input(BenchmarkId::new("arena", name), &tree, |b, tree| {
+            b.iter(|| tree.subtree_member_counts().len())
+        });
+        group.bench_with_input(BenchmarkId::new("naive_sort", name), &tree, |b, tree| {
+            b.iter(|| subtree_member_counts_naive(tree).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vertex_tree, bench_scaling, bench_subtree_queries);
 criterion_main!(benches);

@@ -56,7 +56,7 @@ fn main() {
     // meaningful neighborhood, as the paper's drill-down does by construction).
     let mut order: Vec<usize> =
         (0..graph.vertex_count()).filter(|&v| graph.degree(VertexId::from_index(v)) >= 2).collect();
-    order.sort_by(|&a, &b| outliers[b].partial_cmp(&outliers[a]).unwrap());
+    order.sort_by(|&a, &b| outliers[b].total_cmp(&outliers[a]));
     let mut rows = Vec::new();
     let avg_degree = graph.average_degree();
     for &v in order.iter().take(5) {

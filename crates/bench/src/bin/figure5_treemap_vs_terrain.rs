@@ -43,8 +43,8 @@ fn main() {
         if let Some(second) =
             peaks.iter().skip(1).find(|p| p.members.iter().all(|m| !first_set.contains(m)))
         {
-            let max = tree.nodes.iter().map(|n| n.scalar).fold(f64::NEG_INFINITY, f64::max);
-            let min = tree.nodes.iter().map(|n| n.scalar).fold(f64::INFINITY, f64::min);
+            let max = tree.scalars().iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let min = tree.scalars().iter().copied().fold(f64::INFINITY, f64::min);
             let normalize = |h: f64| (h - min) / (max - min).max(1e-9);
             let c1 = colormap(normalize(first.summit_height));
             let c2 = colormap(normalize(second.summit_height));

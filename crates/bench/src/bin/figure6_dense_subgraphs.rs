@@ -56,7 +56,7 @@ fn main() {
             let root = p.root_node;
             let mut depth = 0;
             let mut node = root;
-            while let Some(parent) = tree.nodes[node as usize].parent {
+            while let Some(parent) = tree.parent(node) {
                 depth += 1;
                 node = parent;
             }

@@ -86,7 +86,7 @@ pub fn knn_graph(table: &PlantTable, k: usize, threshold: f64) -> CsrGraph {
                 ((dx * dx + dy * dy).sqrt(), j)
             })
             .collect();
-        distances.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        distances.sort_by(|a, b| a.0.total_cmp(&b.0));
         for &(d, j) in distances.iter().take(k) {
             if d <= threshold {
                 builder.add_edge(i as u32, j as u32);

@@ -191,11 +191,10 @@ mod tests {
         let g = barabasi_albert(300, 2, 8);
         let exact = betweenness_centrality(&g);
         let sampled = betweenness_centrality_sampled(&g, 100, 7);
-        let top_exact =
-            exact.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let top_exact = exact.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
         // The exact top vertex should rank in the sampled top 5%.
         let mut order: Vec<usize> = (0..sampled.len()).collect();
-        order.sort_by(|&a, &b| sampled[b].partial_cmp(&sampled[a]).unwrap());
+        order.sort_by(|&a, &b| sampled[b].total_cmp(&sampled[a]));
         let rank = order.iter().position(|&v| v == top_exact).unwrap();
         assert!(rank < 15, "top exact vertex ranked {rank} in sampled estimate");
     }

@@ -87,7 +87,7 @@ proptest! {
                 let top = pr
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .unwrap()
                     .0;
                 prop_assert!(graph.degree(VertexId::from_index(top)) > 0);

@@ -148,7 +148,7 @@ pub fn maximal_alpha_edge_components(
 /// levels at which the component structure can change.
 pub fn distinct_levels(scalar: &[f64]) -> Vec<f64> {
     let mut levels: Vec<f64> = scalar.to_vec();
-    levels.sort_by(|a, b| a.partial_cmp(b).expect("NaN-free scalars"));
+    levels.sort_by(f64::total_cmp);
     levels.dedup();
     levels
 }

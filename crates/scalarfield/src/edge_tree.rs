@@ -22,7 +22,7 @@ pub fn edge_scalar_tree(sg: &EdgeScalarGraph<'_>) -> ScalarTree {
     let n = graph.vertex_count();
     let mut parent: Vec<Option<u32>> = vec![None; m];
     if m == 0 {
-        return ScalarTree { parent, scalar: Vec::new(), roots: Vec::new() };
+        return ScalarTree::from_parents(parent, Vec::new());
     }
 
     // Line 1: sort edges in decreasing order of scalar value.
@@ -67,10 +67,8 @@ pub fn edge_scalar_tree(sg: &EdgeScalarGraph<'_>) -> ScalarTree {
         }
     }
 
-    let roots: Vec<u32> =
-        parent.iter().enumerate().filter(|(_, p)| p.is_none()).map(|(e, _)| e as u32).collect();
-    let scalar: Vec<f64> = (0..m).map(|e| sg.scalar()[e]).collect();
-    let tree = ScalarTree { parent, scalar, roots };
+    let scalar: Vec<f64> = sg.scalar().to_vec();
+    let tree = ScalarTree::from_parents(parent, scalar);
     debug_assert!(tree.check_monotone().is_none(), "edge scalar tree violates monotonicity");
     tree
 }
@@ -104,20 +102,20 @@ mod tests {
     /// given tree (the component partition the tree encodes at level alpha).
     fn tree_cut_partition(tree: &ScalarTree, alpha: f64) -> BTreeSet<BTreeSet<u32>> {
         let mut uf = UnionFind::new(tree.len());
-        for node in 0..tree.len() {
-            if tree.scalar[node] < alpha {
+        for node in 0..tree.len() as u32 {
+            if tree.scalar(node) < alpha {
                 continue;
             }
-            if let Some(p) = tree.parent[node] {
-                if tree.scalar[p as usize] >= alpha {
-                    uf.union(node, p as usize);
+            if let Some(p) = tree.parent(node) {
+                if tree.scalar(p) >= alpha {
+                    uf.union(node as usize, p as usize);
                 }
             }
         }
         let mut groups: std::collections::BTreeMap<usize, BTreeSet<u32>> = Default::default();
-        for node in 0..tree.len() {
-            if tree.scalar[node] >= alpha {
-                groups.entry(uf.find(node)).or_default().insert(node as u32);
+        for node in 0..tree.len() as u32 {
+            if tree.scalar(node) >= alpha {
+                groups.entry(uf.find(node as usize)).or_default().insert(node);
             }
         }
         groups.into_values().collect()
@@ -207,7 +205,7 @@ mod tests {
         let scalar = vec![3.0, 2.0, 2.0];
         let sg = EdgeScalarGraph::new(&g, &scalar).unwrap();
         let tree = edge_scalar_tree(&sg);
-        assert_eq!(tree.roots.len(), 3, "three edge components give three roots");
+        assert_eq!(tree.roots().len(), 3, "three edge components give three roots");
         check_all_levels(&g, &scalar);
     }
 
@@ -239,7 +237,7 @@ mod tests {
         let naive = build_super_tree(&edge_scalar_tree_naive(&sg));
         assert_eq!(fast.node_count(), naive.node_count());
         let sets = |t: &crate::super_tree::SuperScalarTree| -> BTreeSet<Vec<u32>> {
-            t.nodes.iter().map(|n| n.members.clone()).collect()
+            (0..t.node_count() as u32).map(|n| t.members(n).to_vec()).collect()
         };
         assert_eq!(sets(&fast), sets(&naive));
     }

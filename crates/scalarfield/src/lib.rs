@@ -23,6 +23,25 @@
 //! * [`correlation`] — the **Local/Global Correlation Index** and outlier
 //!   score for pairs of scalar fields (Section II-F, Figure 10).
 //!
+//! ## Flat-arena tree representation
+//!
+//! Both tree types are stored as flat arenas rather than pointer-chasing
+//! node structs, because every downstream stage (terrain layout, peaks,
+//! treemap, MCC queries) hammers the same handful of tree queries:
+//!
+//! * [`ScalarTree`] keeps node ids equal to element ids (Property 1) and
+//!   precomputes children as a single shared CSR vector with per-node
+//!   `(offset, len)` ranges — mirroring `ugraph::CsrGraph` — plus depths and
+//!   a BFS topological order, so `children`/`depths`/
+//!   `nodes_by_decreasing_depth` are allocation-free slice/iterator accessors.
+//! * [`SuperScalarTree`] renumbers super nodes into **DFS pre-order** at
+//!   construction: every parent id is smaller than its children's, the
+//!   subtree rooted at `i` is the contiguous id range `i..subtree_end(i)`,
+//!   and the member arena is grouped accordingly — so
+//!   `subtree_member_count` is O(1) offset arithmetic and `subtree_members`
+//!   is a single allocation, instead of the old
+//!   sort-every-node-by-depth-per-query traversal.
+//!
 //! ## Quick example: K-Core terrain input in a few lines
 //!
 //! ```
@@ -68,5 +87,5 @@ pub use mcc::{
 };
 pub use scalar_graph::{EdgeScalarGraph, VertexScalarGraph};
 pub use simplify::simplify_super_tree;
-pub use super_tree::{build_super_tree, SuperNode, SuperScalarTree};
+pub use super_tree::{build_super_tree, SuperScalarTree};
 pub use vertex_tree::{vertex_scalar_tree, ScalarTree};

@@ -34,7 +34,7 @@ impl AlphaCut {
 /// node spans exactly the maximal `scalar(element)`-connected component
 /// containing the element.
 pub fn mcc_of_element(tree: &SuperScalarTree, element: u32) -> u32 {
-    tree.node_of[element as usize]
+    tree.node_of(element)
 }
 
 /// All members (vertex or edge ids) of `MCC(element)`.
@@ -49,16 +49,16 @@ pub fn mcc_members(tree: &SuperScalarTree, element: u32) -> Vec<u32> {
 /// parent's scalar (if any) is `< alpha`.
 pub fn components_at_alpha(tree: &SuperScalarTree, alpha: f64) -> AlphaCut {
     let mut component_roots = Vec::new();
-    for (id, node) in tree.nodes.iter().enumerate() {
-        if node.scalar < alpha {
+    for id in 0..tree.node_count() as u32 {
+        if tree.scalar(id) < alpha {
             continue;
         }
-        let parent_below = match node.parent {
+        let parent_below = match tree.parent(id) {
             None => true,
-            Some(p) => tree.nodes[p as usize].scalar < alpha,
+            Some(p) => tree.scalar(p) < alpha,
         };
         if parent_below {
-            component_roots.push(id as u32);
+            component_roots.push(id);
         }
     }
     AlphaCut { alpha, component_roots }
@@ -138,7 +138,7 @@ mod tests {
                 let min_vertex = *comp
                     .vertices
                     .iter()
-                    .min_by(|a, b| sg.value(**a).partial_cmp(&sg.value(**b)).unwrap())
+                    .min_by(|a, b| sg.value(**a).total_cmp(&sg.value(**b)))
                     .unwrap();
                 let mcc: BTreeSet<u32> = mcc_members(&st, min_vertex.0).into_iter().collect();
                 let expected: BTreeSet<u32> = comp.vertices.iter().map(|v| v.0).collect();

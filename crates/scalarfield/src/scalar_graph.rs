@@ -3,8 +3,10 @@
 //! These are thin, borrow-based views — the paper's "vertex-based scalar
 //! graph" `G(V, E)` with `v.scalar` and "edge-based scalar graph" with
 //! `e.scalar` (Section II). Construction validates that the scalar vector has
-//! exactly one entry per vertex (edge) and contains no NaN, so every
-//! downstream algorithm can rely on total ordering of the scalar values.
+//! exactly one entry per vertex (edge) and contains only finite values (no
+//! NaN, no ±∞), so every downstream algorithm can rely on total ordering and
+//! meaningful arithmetic (level spacing, color normalization, mesh heights)
+//! over the scalar values.
 
 use ugraph::{CsrGraph, EdgeId, GraphError, Result, VertexId};
 
@@ -23,10 +25,12 @@ pub struct EdgeScalarGraph<'a> {
 }
 
 impl<'a> VertexScalarGraph<'a> {
-    /// Create a vertex scalar graph, validating the scalar vector.
+    /// Create a vertex scalar graph, validating the scalar vector: one entry
+    /// per vertex, every entry finite
+    /// ([`GraphError::NonFiniteScalar`] otherwise).
     pub fn new(graph: &'a CsrGraph, scalar: &'a [f64]) -> Result<Self> {
         graph.check_vertex_values(scalar)?;
-        check_no_nan(scalar, "vertex scalar field")?;
+        check_finite(scalar, "vertex scalar field")?;
         Ok(VertexScalarGraph { graph, scalar })
     }
 
@@ -58,21 +62,18 @@ impl<'a> VertexScalarGraph<'a> {
     /// vertex id — the processing order of Algorithm 1.
     pub fn vertices_by_decreasing_scalar(&self) -> Vec<VertexId> {
         let mut order: Vec<VertexId> = self.graph.vertices().collect();
-        order.sort_by(|&a, &b| {
-            self.value(b)
-                .partial_cmp(&self.value(a))
-                .expect("scalar values are NaN-free")
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| self.value(b).total_cmp(&self.value(a)).then(a.cmp(&b)));
         order
     }
 }
 
 impl<'a> EdgeScalarGraph<'a> {
-    /// Create an edge scalar graph, validating the scalar vector.
+    /// Create an edge scalar graph, validating the scalar vector: one entry
+    /// per edge, every entry finite
+    /// ([`GraphError::NonFiniteScalar`] otherwise).
     pub fn new(graph: &'a CsrGraph, scalar: &'a [f64]) -> Result<Self> {
         graph.check_edge_values(scalar)?;
-        check_no_nan(scalar, "edge scalar field")?;
+        check_finite(scalar, "edge scalar field")?;
         Ok(EdgeScalarGraph { graph, scalar })
     }
 
@@ -104,21 +105,15 @@ impl<'a> EdgeScalarGraph<'a> {
     /// id — the processing order of Algorithm 3.
     pub fn edges_by_decreasing_scalar(&self) -> Vec<EdgeId> {
         let mut order: Vec<EdgeId> = (0..self.edge_count()).map(EdgeId::from_index).collect();
-        order.sort_by(|&a, &b| {
-            self.value(b)
-                .partial_cmp(&self.value(a))
-                .expect("scalar values are NaN-free")
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| self.value(b).total_cmp(&self.value(a)).then(a.cmp(&b)));
         order
     }
 }
 
-fn check_no_nan(values: &[f64], what: &'static str) -> Result<()> {
-    if values.iter().any(|v| v.is_nan()) {
-        Err(GraphError::Parse { line: 0, message: format!("{what} contains NaN") })
-    } else {
-        Ok(())
+fn check_finite(values: &[f64], what: &'static str) -> Result<()> {
+    match values.iter().position(|v| !v.is_finite()) {
+        Some(index) => Err(GraphError::NonFiniteScalar { what, index, value: values[index] }),
+        None => Ok(()),
     }
 }
 
@@ -145,6 +140,33 @@ mod tests {
         assert!(VertexScalarGraph::new(&g, &short).is_err());
         let nan = vec![1.0, f64::NAN, 3.0, 4.0];
         assert!(VertexScalarGraph::new(&g, &nan).is_err());
+    }
+
+    #[test]
+    fn non_finite_scalars_are_rejected_with_position() {
+        let g = path4();
+        // NaN and both infinities must be refused up front — the seed code let
+        // infinities through and NaN panicked deep inside peak ranking.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let scalar = vec![1.0, 2.0, bad, 4.0];
+            let err = VertexScalarGraph::new(&g, &scalar).unwrap_err();
+            match err {
+                ugraph::GraphError::NonFiniteScalar { what, index, .. } => {
+                    assert_eq!(what, "vertex scalar field");
+                    assert_eq!(index, 2);
+                }
+                other => panic!("expected NonFiniteScalar, got {other:?}"),
+            }
+            let escalar = vec![1.0, bad, 3.0];
+            let err = EdgeScalarGraph::new(&g, &escalar).unwrap_err();
+            match err {
+                ugraph::GraphError::NonFiniteScalar { what, index, .. } => {
+                    assert_eq!(what, "edge scalar field");
+                    assert_eq!(index, 1);
+                }
+                other => panic!("expected NonFiniteScalar, got {other:?}"),
+            }
+        }
     }
 
     #[test]

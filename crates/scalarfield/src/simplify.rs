@@ -8,7 +8,7 @@
 //! implements that operation directly on a [`SuperScalarTree`], so it can be
 //! applied after construction without touching the original scalar field.
 
-use crate::super_tree::{SuperNode, SuperScalarTree};
+use crate::super_tree::SuperScalarTree;
 
 /// Simplify a super tree by snapping super-node scalars to `levels` evenly
 /// spaced values between the tree's minimum and maximum scalar and re-merging
@@ -19,11 +19,11 @@ use crate::super_tree::{SuperNode, SuperScalarTree};
 /// concatenated, so [`SuperScalarTree::total_members`] is preserved.
 pub fn simplify_super_tree(tree: &SuperScalarTree, levels: usize) -> SuperScalarTree {
     assert!(levels >= 1, "need at least one discretization level");
-    if tree.nodes.is_empty() {
+    if tree.node_count() == 0 {
         return tree.clone();
     }
-    let min = tree.nodes.iter().map(|n| n.scalar).fold(f64::INFINITY, f64::min);
-    let max = tree.nodes.iter().map(|n| n.scalar).fold(f64::NEG_INFINITY, f64::max);
+    let min = tree.scalars().iter().copied().fold(f64::INFINITY, f64::min);
+    let max = tree.scalars().iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let snap = |value: f64| -> f64 {
         if max > min && levels > 1 {
             let t = (value - min) / (max - min);
@@ -36,17 +36,18 @@ pub fn simplify_super_tree(tree: &SuperScalarTree, levels: usize) -> SuperScalar
 
     // Phase 1: assign every old node to a new (merged) group. Walk each root's
     // subtree; a child whose snapped scalar equals its parent's group scalar
-    // joins the parent's group, otherwise it starts a new group.
-    let old_count = tree.nodes.len();
+    // joins the parent's group, otherwise it starts a new group. Groups are
+    // created parents-first, which `from_parts` renumbers into DFS pre-order.
+    let old_count = tree.node_count();
     let mut group_of = vec![u32::MAX; old_count];
-    // (group id, snapped scalar, parent group) in creation order.
+    // (snapped scalar, parent group) in creation order.
     let mut groups: Vec<(f64, Option<u32>)> = Vec::new();
     let mut stack: Vec<(u32, Option<u32>)> = Vec::new(); // (old node, parent group)
-    for &root in &tree.roots {
+    for &root in tree.roots() {
         stack.push((root, None));
     }
     while let Some((old, parent_group)) = stack.pop() {
-        let snapped = snap(tree.nodes[old as usize].scalar);
+        let snapped = snap(tree.scalar(old));
         let group = match parent_group {
             Some(pg) if groups[pg as usize].0 == snapped => pg,
             _ => {
@@ -55,43 +56,38 @@ pub fn simplify_super_tree(tree: &SuperScalarTree, levels: usize) -> SuperScalar
             }
         };
         group_of[old as usize] = group;
-        for &child in &tree.nodes[old as usize].children {
+        for &child in tree.children(old) {
             stack.push((child, Some(group)));
         }
     }
 
-    // Phase 2: materialize the merged nodes.
-    let mut nodes: Vec<SuperNode> = groups
-        .iter()
-        .map(|&(scalar, parent)| SuperNode {
-            scalar,
-            members: Vec::new(),
-            parent,
-            children: Vec::new(),
-        })
-        .collect();
+    // Phase 2: scatter the members into one flat arena grouped by new group
+    // (counting sort keyed on group id; `from_parts` sorts within each group).
+    let group_count = groups.len();
+    let mut member_offsets = vec![0u32; group_count + 1];
     for (old, &group) in group_of.iter().enumerate() {
-        nodes[group as usize].members.extend_from_slice(&tree.nodes[old].members);
+        member_offsets[group as usize + 1] += tree.members(old as u32).len() as u32;
     }
-    for node in &mut nodes {
-        node.members.sort_unstable();
-        node.members.dedup();
+    for g in 0..group_count {
+        member_offsets[g + 1] += member_offsets[g];
     }
-    let mut roots = Vec::new();
-    for id in 0..nodes.len() {
-        match nodes[id].parent {
-            Some(p) => nodes[p as usize].children.push(id as u32),
-            None => roots.push(id as u32),
-        }
-    }
-    let mut node_of = vec![u32::MAX; tree.node_of.len()];
-    for (group_id, node) in nodes.iter().enumerate() {
-        for &m in &node.members {
-            node_of[m as usize] = group_id as u32;
+    let mut cursor: Vec<u32> = member_offsets[..group_count].to_vec();
+    let mut member_ids = vec![0u32; member_offsets[group_count] as usize];
+    for (old, &group) in group_of.iter().enumerate() {
+        for &m in tree.members(old as u32) {
+            member_ids[cursor[group as usize] as usize] = m;
+            cursor[group as usize] += 1;
         }
     }
 
-    let result = SuperScalarTree { nodes, roots, node_of };
+    let (scalar, parent): (Vec<f64>, Vec<Option<u32>>) = groups.into_iter().unzip();
+    let result = SuperScalarTree::from_parts(
+        scalar,
+        parent,
+        member_offsets,
+        member_ids,
+        tree.element_count(),
+    );
     debug_assert_eq!(result.check_invariants(), Ok(()));
     result
 }
@@ -156,7 +152,7 @@ mod tests {
         }
         // The coarsest simplification collapses each root's subtree entirely.
         let coarsest = simplify_super_tree(&st, 1);
-        assert_eq!(coarsest.node_count(), st.roots.len());
+        assert_eq!(coarsest.node_count(), st.roots().len());
     }
 
     #[test]

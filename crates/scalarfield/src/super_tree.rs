@@ -11,137 +11,449 @@
 //! The super tree is also the direct input of the terrain visualization: the
 //! 2D layout nests one boundary per super node, and the boundary's area is
 //! proportional to its subtree's total member count.
+//!
+//! # Arena layout
+//!
+//! [`SuperScalarTree`] is a flat arena, not a vector of per-node structs.
+//! Super nodes are renumbered into **DFS pre-order** at construction, so
+//!
+//! * `parent(i) < i` for every non-root — one forward pass computes depths,
+//!   one reverse pass accumulates subtree aggregates, no per-query sorting;
+//! * the subtree rooted at `i` is the contiguous id range
+//!   `i..subtree_end(i)`, and its members are one contiguous slice of the
+//!   shared member arena — so [`SuperScalarTree::subtree_member_count`] is
+//!   `O(1)` arithmetic on the member offsets and
+//!   [`SuperScalarTree::subtree_member_slice`] is allocation-free;
+//! * children and members are CSR-style `(offset, len)` ranges into two shared
+//!   `Vec<u32>`s, mirroring `ugraph::CsrGraph`.
 
 use crate::vertex_tree::ScalarTree;
 use std::collections::VecDeque;
 
-/// One node of a [`SuperScalarTree`]: a maximal set of equal-scalar elements
-/// merged by Algorithm 2.
-#[derive(Clone, Debug, PartialEq)]
-pub struct SuperNode {
-    /// The common scalar value of all members.
-    pub scalar: f64,
-    /// Original element ids (vertex ids or edge ids) merged into this node,
-    /// sorted increasing.
-    pub members: Vec<u32>,
-    /// Parent super node, or `None` for roots.
-    pub parent: Option<u32>,
-    /// Child super nodes, sorted by id.
-    pub children: Vec<u32>,
-}
-
 /// The super scalar tree produced by Algorithm 2 (a forest for disconnected
-/// inputs).
+/// inputs), stored as a flat DFS-pre-order arena.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SuperScalarTree {
-    /// All super nodes; ids are indices into this vector.
-    pub nodes: Vec<SuperNode>,
+    /// The common scalar value of each super node's members.
+    scalar: Vec<f64>,
+    /// Parent super node of each node, or `None` for roots. Always `<` the
+    /// node's own id (DFS pre-order invariant).
+    parent: Vec<Option<u32>>,
+    /// One past the last id of each node's subtree: the subtree rooted at `i`
+    /// is exactly the id range `i..subtree_end[i]`.
+    subtree_end: Vec<u32>,
+    /// Depth of each super node (roots at 0).
+    depth: Vec<u32>,
+    /// CSR child arena: children of node `i` are
+    /// `child_ids[child_offsets[i] .. child_offsets[i + 1]]`, in increasing
+    /// id order.
+    child_offsets: Vec<u32>,
+    child_ids: Vec<u32>,
+    /// CSR member arena: the original element ids merged into node `i` are
+    /// `member_ids[member_offsets[i] .. member_offsets[i + 1]]`, sorted
+    /// increasing within each node. Because ids are DFS pre-ordered, the
+    /// members of a whole subtree are also one contiguous slice.
+    member_offsets: Vec<u32>,
+    member_ids: Vec<u32>,
+    /// Node ids sorted by increasing depth (ties by increasing id): a level
+    /// order, reversed by [`SuperScalarTree::nodes_by_decreasing_depth`].
+    depth_order: Vec<u32>,
     /// Root super nodes, sorted by id.
-    pub roots: Vec<u32>,
+    roots: Vec<u32>,
     /// `node_of[element]` is the super node containing that original element.
-    pub node_of: Vec<u32>,
+    node_of: Vec<u32>,
 }
 
 impl SuperScalarTree {
+    /// Assemble the arena from per-node scalars, parent pointers and flat
+    /// member lists (`members_flat` grouped by node via `member_offsets`, both
+    /// indexed by the caller's provisional node ids).
+    ///
+    /// Nodes are renumbered into DFS pre-order (children visited in increasing
+    /// provisional id), member lists are sorted, and every derived array
+    /// (depths, child CSR, subtree ranges, `node_of`) is computed in `O(n + m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs are structurally inconsistent: mismatched lengths,
+    /// out-of-bounds parents or members, parent cycles, or an element that
+    /// belongs to zero or several super nodes.
+    pub fn from_parts(
+        scalar: Vec<f64>,
+        parent: Vec<Option<u32>>,
+        member_offsets: Vec<u32>,
+        member_ids: Vec<u32>,
+        element_count: usize,
+    ) -> SuperScalarTree {
+        let n = scalar.len();
+        assert_eq!(parent.len(), n, "one parent entry per super node");
+        assert_eq!(member_offsets.len(), n + 1, "member offsets bracket every node");
+        assert_eq!(member_offsets[n] as usize, member_ids.len(), "member offsets cover the arena");
+        assert_eq!(member_ids.len(), element_count, "every element in exactly one super node");
+
+        // Children lists in the provisional numbering (counting-sort CSR).
+        let mut old_child_offsets = vec![0u32; n + 1];
+        for p in parent.iter().flatten() {
+            let p = *p as usize;
+            assert!(p < n, "parent id {p} out of bounds for {n} super nodes");
+            old_child_offsets[p + 1] += 1;
+        }
+        for i in 0..n {
+            old_child_offsets[i + 1] += old_child_offsets[i];
+        }
+        let mut cursor = old_child_offsets.clone();
+        let mut old_child_ids = vec![0u32; old_child_offsets[n] as usize];
+        for (node, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                old_child_ids[cursor[*p as usize] as usize] = node as u32;
+                cursor[*p as usize] += 1;
+            }
+        }
+
+        // DFS pre-order renumbering. Children are pushed in reverse so the
+        // smallest provisional id is visited (and renumbered) first.
+        let mut order = Vec::with_capacity(n); // order[new] = old
+        let mut stack: Vec<u32> = Vec::new();
+        for (node, p) in parent.iter().enumerate().rev() {
+            if p.is_none() {
+                stack.push(node as u32);
+            }
+        }
+        while let Some(old) = stack.pop() {
+            order.push(old);
+            let (start, end) = (
+                old_child_offsets[old as usize] as usize,
+                old_child_offsets[old as usize + 1] as usize,
+            );
+            for &c in old_child_ids[start..end].iter().rev() {
+                stack.push(c);
+            }
+        }
+        assert_eq!(order.len(), n, "parent pointers contain a cycle");
+        let mut new_of_old = vec![0u32; n];
+        for (new, &old) in order.iter().enumerate() {
+            new_of_old[old as usize] = new as u32;
+        }
+
+        // Rebuild every array in the new numbering.
+        let mut new_scalar = vec![0.0f64; n];
+        let mut new_parent = vec![None; n];
+        let mut depth = vec![0u32; n];
+        let mut roots = Vec::new();
+        for (new, &old) in order.iter().enumerate() {
+            new_scalar[new] = scalar[old as usize];
+            match parent[old as usize] {
+                Some(p) => {
+                    let p = new_of_old[p as usize];
+                    assert!(p < new as u32, "DFS pre-order must place parents first");
+                    new_parent[new] = Some(p);
+                    depth[new] = depth[p as usize] + 1;
+                }
+                None => roots.push(new as u32),
+            }
+        }
+
+        // Level order by counting sort on depth (increasing id within a
+        // level), so depth-ordered iteration never sorts at query time.
+        let max_depth = depth.iter().max().copied().unwrap_or(0) as usize;
+        let mut level_offsets = vec![0u32; max_depth + 2];
+        for &d in &depth {
+            level_offsets[d as usize + 1] += 1;
+        }
+        for i in 0..=max_depth {
+            level_offsets[i + 1] += level_offsets[i];
+        }
+        let mut level_cursor = level_offsets;
+        let mut depth_order = vec![0u32; n];
+        for (node, &d) in depth.iter().enumerate() {
+            depth_order[level_cursor[d as usize] as usize] = node as u32;
+            level_cursor[d as usize] += 1;
+        }
+
+        // Subtree ranges by one reverse pass: size[i] = 1 + Σ children sizes.
+        let mut size = vec![1u32; n];
+        for i in (0..n).rev() {
+            if let Some(p) = new_parent[i] {
+                size[p as usize] += size[i];
+            }
+        }
+        let subtree_end: Vec<u32> = (0..n).map(|i| i as u32 + size[i]).collect();
+
+        // Child CSR in the new numbering: a node's children are consecutive
+        // subtree heads inside its own range, in increasing id order.
+        let mut child_offsets = vec![0u32; n + 1];
+        for p in new_parent.iter().flatten() {
+            child_offsets[*p as usize + 1] += 1;
+        }
+        for i in 0..n {
+            child_offsets[i + 1] += child_offsets[i];
+        }
+        let mut cursor = child_offsets.clone();
+        let mut child_ids = vec![0u32; child_offsets[n] as usize];
+        for (node, p) in new_parent.iter().enumerate() {
+            if let Some(p) = p {
+                child_ids[cursor[*p as usize] as usize] = node as u32;
+                cursor[*p as usize] += 1;
+            }
+        }
+
+        // Member CSR in the new numbering, each node's slice sorted.
+        let mut new_member_offsets = vec![0u32; n + 1];
+        for (new, &old) in order.iter().enumerate() {
+            new_member_offsets[new + 1] =
+                member_offsets[old as usize + 1] - member_offsets[old as usize];
+        }
+        for i in 0..n {
+            new_member_offsets[i + 1] += new_member_offsets[i];
+        }
+        let mut new_member_ids = vec![0u32; member_ids.len()];
+        let mut node_of = vec![u32::MAX; element_count];
+        for (new, &old) in order.iter().enumerate() {
+            let src = &member_ids
+                [member_offsets[old as usize] as usize..member_offsets[old as usize + 1] as usize];
+            let dst_start = new_member_offsets[new] as usize;
+            let dst = &mut new_member_ids[dst_start..dst_start + src.len()];
+            dst.copy_from_slice(src);
+            dst.sort_unstable();
+            for &m in dst.iter() {
+                assert!((m as usize) < element_count, "member id {m} out of bounds");
+                assert_eq!(node_of[m as usize], u32::MAX, "element {m} in two super nodes");
+                node_of[m as usize] = new as u32;
+            }
+        }
+
+        SuperScalarTree {
+            scalar: new_scalar,
+            parent: new_parent,
+            subtree_end,
+            depth,
+            child_offsets,
+            child_ids,
+            member_offsets: new_member_offsets,
+            member_ids: new_member_ids,
+            depth_order,
+            roots,
+            node_of,
+        }
+    }
+
     /// Number of super nodes (the `Nt` column of the paper's Table II).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.scalar.len()
     }
 
     /// Total number of original elements across all super nodes.
     pub fn total_members(&self) -> usize {
-        self.nodes.iter().map(|n| n.members.len()).sum()
+        self.member_ids.len()
+    }
+
+    /// Number of original elements the tree was built over (the domain of
+    /// [`SuperScalarTree::node_of`]).
+    pub fn element_count(&self) -> usize {
+        self.node_of.len()
     }
 
     /// Scalar value of super node `node`.
+    #[inline]
     pub fn scalar(&self, node: u32) -> f64 {
-        self.nodes[node as usize].scalar
+        self.scalar[node as usize]
+    }
+
+    /// Scalar values of all super nodes, indexed by node id.
+    #[inline]
+    pub fn scalars(&self) -> &[f64] {
+        &self.scalar
+    }
+
+    /// Parent of super node `node`, or `None` for roots.
+    #[inline]
+    pub fn parent(&self, node: u32) -> Option<u32> {
+        self.parent[node as usize]
+    }
+
+    /// Parent pointers of all super nodes, indexed by node id.
+    #[inline]
+    pub fn parents(&self) -> &[Option<u32>] {
+        &self.parent
+    }
+
+    /// Children of `node`, in increasing id order — an allocation-free slice
+    /// into the shared child arena.
+    #[inline]
+    pub fn children(&self, node: u32) -> &[u32] {
+        let (start, end) =
+            (self.child_offsets[node as usize], self.child_offsets[node as usize + 1]);
+        &self.child_ids[start as usize..end as usize]
+    }
+
+    /// The original element ids merged into `node`, sorted increasing — an
+    /// allocation-free slice into the shared member arena.
+    #[inline]
+    pub fn members(&self, node: u32) -> &[u32] {
+        let (start, end) =
+            (self.member_offsets[node as usize], self.member_offsets[node as usize + 1]);
+        &self.member_ids[start as usize..end as usize]
+    }
+
+    /// Root super nodes, sorted by id.
+    #[inline]
+    pub fn roots(&self) -> &[u32] {
+        &self.roots
+    }
+
+    /// The super node containing original element `element`.
+    #[inline]
+    pub fn node_of(&self, element: u32) -> u32 {
+        self.node_of[element as usize]
+    }
+
+    /// Depth of super node `node` (roots at 0).
+    #[inline]
+    pub fn depth(&self, node: u32) -> u32 {
+        self.depth[node as usize]
+    }
+
+    /// Depth of every super node (roots at depth 0), indexed by node id.
+    #[inline]
+    pub fn depths(&self) -> &[u32] {
+        &self.depth
+    }
+
+    /// The contiguous id range of the subtree rooted at `node` (DFS pre-order
+    /// invariant): `node` itself, then every descendant.
+    #[inline]
+    pub fn subtree_nodes(&self, node: u32) -> std::ops::Range<u32> {
+        node..self.subtree_end[node as usize]
+    }
+
+    /// Number of members in the subtree rooted at `node` — `O(1)` arithmetic
+    /// on the member offsets, no traversal.
+    #[inline]
+    pub fn subtree_member_count(&self, node: u32) -> usize {
+        let end = self.subtree_end[node as usize] as usize;
+        (self.member_offsets[end] - self.member_offsets[node as usize]) as usize
     }
 
     /// Number of members in the subtree rooted at each super node
     /// (the quantity the terrain layout maps to boundary area).
+    ///
+    /// A single output allocation; each entry is `O(1)` offset arithmetic
+    /// (the old representation re-sorted every node by depth per call).
     pub fn subtree_member_counts(&self) -> Vec<usize> {
-        let mut counts: Vec<usize> = self.nodes.iter().map(|n| n.members.len()).collect();
-        // Accumulate bottom-up: process nodes in decreasing depth.
-        let order = self.nodes_by_decreasing_depth();
-        for node in order {
-            if let Some(p) = self.nodes[node as usize].parent {
-                counts[p as usize] += counts[node as usize];
-            }
-        }
-        counts
+        (0..self.node_count() as u32).map(|n| self.subtree_member_count(n)).collect()
+    }
+
+    /// All original elements in the subtree rooted at `node`, as one
+    /// allocation-free slice of the member arena. Grouped by super node in DFS
+    /// pre-order (sorted within each node), *not* globally sorted; use
+    /// [`SuperScalarTree::subtree_members`] when a sorted vector is needed.
+    #[inline]
+    pub fn subtree_member_slice(&self, node: u32) -> &[u32] {
+        let end = self.subtree_end[node as usize] as usize;
+        &self.member_ids
+            [self.member_offsets[node as usize] as usize..self.member_offsets[end] as usize]
     }
 
     /// All original elements contained in the subtree rooted at `node`,
-    /// sorted increasing.
+    /// sorted increasing (a single allocation over
+    /// [`SuperScalarTree::subtree_member_slice`]).
     pub fn subtree_members(&self, node: u32) -> Vec<u32> {
-        let mut members = Vec::new();
-        let mut stack = vec![node];
-        while let Some(x) = stack.pop() {
-            members.extend_from_slice(&self.nodes[x as usize].members);
-            stack.extend_from_slice(&self.nodes[x as usize].children);
-        }
+        let mut members = self.subtree_member_slice(node).to_vec();
         members.sort_unstable();
         members
     }
 
-    /// Depth of every super node (roots at depth 0).
-    pub fn depths(&self) -> Vec<usize> {
-        let mut depth = vec![0usize; self.nodes.len()];
-        let mut stack: Vec<u32> = self.roots.clone();
-        while let Some(node) = stack.pop() {
-            for &c in &self.nodes[node as usize].children {
-                depth[c as usize] = depth[node as usize] + 1;
-                stack.push(c);
-            }
-        }
-        depth
-    }
-
-    /// Node ids ordered by decreasing depth (children before parents).
-    pub fn nodes_by_decreasing_depth(&self) -> Vec<u32> {
-        let depths = self.depths();
-        let mut order: Vec<u32> = (0..self.nodes.len() as u32).collect();
-        order.sort_by_key(|&n| std::cmp::Reverse(depths[n as usize]));
-        order
+    /// Node ids ordered by strictly non-increasing depth (ties by decreasing
+    /// id), so children always come before parents — the reversed precomputed
+    /// level order, no sorting per call.
+    #[inline]
+    pub fn nodes_by_decreasing_depth(&self) -> impl Iterator<Item = u32> + '_ {
+        self.depth_order.iter().rev().copied()
     }
 
     /// Verify structural invariants (used by tests and debug assertions):
-    /// parent/child consistency, members sorted, scalar monotone along edges
-    /// (child scalar strictly greater than parent scalar), and `node_of`
-    /// consistency. Returns a description of the first violation found.
+    /// parent/child consistency, the DFS pre-order id invariants (parents
+    /// before children, contiguous subtree ranges), members sorted, scalar
+    /// monotone along edges (child scalar strictly greater than parent
+    /// scalar), and full `node_of` consistency — every entry must be a valid
+    /// node id whose member slice contains the element, and every element must
+    /// belong to exactly one super node. Returns a description of the first
+    /// violation found.
     pub fn check_invariants(&self) -> Result<(), String> {
-        for (id, node) in self.nodes.iter().enumerate() {
-            if node.members.is_empty() {
+        let n = self.node_count();
+        for id in 0..n as u32 {
+            let members = self.members(id);
+            if members.is_empty() {
                 return Err(format!("super node {id} has no members"));
             }
-            if node.members.windows(2).any(|w| w[0] >= w[1]) {
+            if members.windows(2).any(|w| w[0] >= w[1]) {
                 return Err(format!("super node {id} members not sorted/unique"));
             }
-            for &m in &node.members {
-                if self.node_of.get(m as usize).copied() != Some(id as u32) {
-                    return Err(format!("node_of[{m}] does not point to super node {id}"));
-                }
+            let end = self.subtree_end[id as usize];
+            if end <= id || end as usize > n {
+                return Err(format!("super node {id} has invalid subtree range end {end}"));
             }
-            for &c in &node.children {
-                let child = &self.nodes[c as usize];
-                if child.parent != Some(id as u32) {
+            for c in self.children(id) {
+                let c = *c;
+                if self.parent(c) != Some(id) {
                     return Err(format!("child {c} of {id} has wrong parent"));
                 }
-                if child.scalar <= node.scalar {
+                if c <= id {
+                    return Err(format!("child {c} not after parent {id} in pre-order"));
+                }
+                if self.subtree_end[c as usize] > end {
+                    return Err(format!("child {c} subtree escapes parent {id} range"));
+                }
+                if self.scalar(c) <= self.scalar(id) {
                     return Err(format!(
                         "child {c} scalar {} not strictly greater than parent {id} scalar {}",
-                        child.scalar, node.scalar
+                        self.scalar(c),
+                        self.scalar(id)
                     ));
                 }
-            }
-            if let Some(p) = node.parent {
-                if !self.nodes[p as usize].children.contains(&(id as u32)) {
-                    return Err(format!("parent {p} does not list child {id}"));
+                if self.depth(c) != self.depth(id) + 1 {
+                    return Err(format!("child {c} depth inconsistent with parent {id}"));
                 }
-            } else if !self.roots.contains(&(id as u32)) {
-                return Err(format!("orphan super node {id} not listed as root"));
             }
+            match self.parent(id) {
+                Some(p) => {
+                    if p >= id {
+                        return Err(format!("parent {p} of {id} not before it in pre-order"));
+                    }
+                    if !self.children(p).contains(&id) {
+                        return Err(format!("parent {p} does not list child {id}"));
+                    }
+                }
+                None => {
+                    if !self.roots.contains(&id) {
+                        return Err(format!("orphan super node {id} not listed as root"));
+                    }
+                    if self.depth(id) != 0 {
+                        return Err(format!("root {id} has non-zero depth"));
+                    }
+                }
+            }
+        }
+        // node_of must be a total, consistent assignment: every entry a valid
+        // node id (a stale `u32::MAX` must not survive), the element present
+        // in that node's member slice, and the counts must balance so no
+        // element is double-assigned.
+        for (element, &node) in self.node_of.iter().enumerate() {
+            if node as usize >= n {
+                return Err(format!("node_of[{element}] = {node} is not a valid super node id"));
+            }
+            // Member slices are sorted (checked above), so binary search keeps
+            // this full-coverage check O(m log m) even for huge super nodes.
+            if self.members(node).binary_search(&(element as u32)).is_err() {
+                return Err(format!("node_of[{element}] points to node {node} missing it"));
+            }
+        }
+        if self.total_members() != self.element_count() {
+            return Err(format!(
+                "member arena holds {} ids but the tree covers {} elements",
+                self.total_members(),
+                self.element_count()
+            ));
         }
         Ok(())
     }
@@ -151,27 +463,26 @@ impl SuperScalarTree {
 /// super nodes and return the super scalar tree.
 pub fn build_super_tree(tree: &ScalarTree) -> SuperScalarTree {
     let n = tree.len();
-    let children = tree.children();
-    let mut node_of = vec![u32::MAX; n];
-    let mut nodes: Vec<SuperNode> = Vec::new();
-    let mut roots = Vec::new();
+    let mut scalar = Vec::new();
+    let mut parent: Vec<Option<u32>> = Vec::new();
+    let mut member_offsets: Vec<u32> = vec![0];
+    let mut member_ids: Vec<u32> = Vec::with_capacity(n);
 
     // `ancestors` is the work list of the paper's Algorithm 2: tree nodes that
     // start a new super node, paired with the super node of their parent.
     let mut ancestors: VecDeque<(u32, Option<u32>)> =
-        tree.roots.iter().map(|&r| (r, None)).collect();
+        tree.roots().iter().map(|&r| (r, None)).collect();
 
     while let Some((anchor, parent_super)) = ancestors.pop_front() {
-        let super_id = nodes.len() as u32;
-        let mut members = Vec::new();
-        // BFS over the equal-scalar region rooted at `anchor` (lines 6-13).
+        let super_id = scalar.len() as u32;
+        // BFS over the equal-scalar region rooted at `anchor` (lines 6-13);
+        // members land directly in the flat arena slice of this super node.
         let mut queue = VecDeque::new();
         queue.push_back(anchor);
         while let Some(nq) = queue.pop_front() {
-            members.push(nq);
-            node_of[nq as usize] = super_id;
-            for &nc in &children[nq as usize] {
-                if tree.scalar[nc as usize] == tree.scalar[anchor as usize] {
+            member_ids.push(nq);
+            for &nc in tree.children(nq) {
+                if tree.scalar(nc) == tree.scalar(anchor) {
                     queue.push_back(nc);
                 } else {
                     // Lines 14-18: the child starts its own super node.
@@ -179,20 +490,12 @@ pub fn build_super_tree(tree: &ScalarTree) -> SuperScalarTree {
                 }
             }
         }
-        members.sort_unstable();
-        nodes.push(SuperNode {
-            scalar: tree.scalar[anchor as usize],
-            members,
-            parent: parent_super,
-            children: Vec::new(),
-        });
-        match parent_super {
-            Some(p) => nodes[p as usize].children.push(super_id),
-            None => roots.push(super_id),
-        }
+        scalar.push(tree.scalar(anchor));
+        parent.push(parent_super);
+        member_offsets.push(member_ids.len() as u32);
     }
 
-    let result = SuperScalarTree { nodes, roots, node_of };
+    let result = SuperScalarTree::from_parts(scalar, parent, member_offsets, member_ids, n);
     debug_assert_eq!(result.check_invariants(), Ok(()));
     result
 }
@@ -227,18 +530,16 @@ mod tests {
         let st = build_super_tree(&tree);
         st.check_invariants().unwrap();
         // One super node must contain exactly {v3, v4, v5} (ids 2, 3, 4).
-        let merged = st
-            .nodes
-            .iter()
-            .find(|n| n.members == vec![2, 3, 4])
+        let merged = (0..st.node_count() as u32)
+            .find(|&n| st.members(n) == [2, 3, 4])
             .expect("v3, v4, v5 merged into one super node");
-        assert_eq!(merged.scalar, 2.0);
+        assert_eq!(st.scalar(merged), 2.0);
         // v1 and v2 stay in their own super nodes, children of the merged one.
         assert_eq!(st.node_count(), 3);
         assert_eq!(st.total_members(), 5);
-        let root = st.roots[0];
-        assert_eq!(st.nodes[root as usize].members, vec![2, 3, 4]);
-        assert_eq!(st.nodes[root as usize].children.len(), 2);
+        let root = st.roots()[0];
+        assert_eq!(st.members(root), &[2, 3, 4]);
+        assert_eq!(st.children(root).len(), 2);
     }
 
     #[test]
@@ -250,8 +551,8 @@ mod tests {
         let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
         let st = build_super_tree(&vertex_scalar_tree(&sg));
         assert_eq!(st.node_count(), 4);
-        assert!(st.nodes.iter().all(|n| n.members.len() == 1));
-        assert_eq!(st.roots.len(), 1);
+        assert!((0..4u32).all(|n| st.members(n).len() == 1));
+        assert_eq!(st.roots().len(), 1);
     }
 
     #[test]
@@ -260,16 +561,60 @@ mod tests {
         let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
         let st = build_super_tree(&vertex_scalar_tree(&sg));
         let counts = st.subtree_member_counts();
-        let root = st.roots[0] as usize;
-        assert_eq!(counts[root], 5, "root subtree holds every vertex");
+        let root = st.roots()[0];
+        assert_eq!(counts[root as usize], 5, "root subtree holds every vertex");
         // Leaf super nodes hold exactly their own members.
-        for (id, node) in st.nodes.iter().enumerate() {
-            if node.children.is_empty() {
-                assert_eq!(counts[id], node.members.len());
+        for id in 0..st.node_count() as u32 {
+            if st.children(id).is_empty() {
+                assert_eq!(counts[id as usize], st.members(id).len());
             }
+            assert_eq!(counts[id as usize], st.subtree_member_count(id));
         }
         // subtree_members agrees with the counts.
-        assert_eq!(st.subtree_members(st.roots[0]).len(), 5);
+        assert_eq!(st.subtree_members(st.roots()[0]).len(), 5);
+    }
+
+    #[test]
+    fn decreasing_depth_order_is_monotone_in_depth() {
+        // A shape where reversed pre-order would interleave depths: root with
+        // two children, the first of which has its own child.
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0u32, 1u32), (1, 2), (1, 3)]);
+        let graph = b.build();
+        // 1 is the valley; 0 and 3 are peaks; 2 sits on the 0-branch.
+        let scalar = vec![4.0, 1.0, 3.0, 2.0];
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let st = build_super_tree(&vertex_scalar_tree(&sg));
+        let order: Vec<u32> = st.nodes_by_decreasing_depth().collect();
+        assert_eq!(order.len(), st.node_count());
+        for w in order.windows(2) {
+            assert!(st.depth(w[0]) >= st.depth(w[1]), "depth order violated: {order:?}");
+        }
+    }
+
+    #[test]
+    fn arena_ids_are_dfs_preorder() {
+        let (graph, scalar) = figure3_graph();
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let st = build_super_tree(&vertex_scalar_tree(&sg));
+        for id in 0..st.node_count() as u32 {
+            if let Some(p) = st.parent(id) {
+                assert!(p < id, "parents precede children in the arena");
+            }
+            let range = st.subtree_nodes(id);
+            assert_eq!(range.start, id);
+            // Every node in the range descends from `id`.
+            for node in range {
+                let mut cur = node;
+                while cur != id {
+                    cur = st.parent(cur).expect("range member must descend from the range root");
+                }
+            }
+            // The contiguous member slice is a permutation of the sorted list.
+            let mut from_slice = st.subtree_member_slice(id).to_vec();
+            from_slice.sort_unstable();
+            assert_eq!(from_slice, st.subtree_members(id));
+        }
     }
 
     #[test]
@@ -281,7 +626,7 @@ mod tests {
         let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
         let st = build_super_tree(&vertex_scalar_tree(&sg));
         assert_eq!(st.node_count(), 2, "one super node per connected component");
-        assert_eq!(st.roots.len(), 2);
+        assert_eq!(st.roots().len(), 2);
         assert_eq!(st.total_members(), 5);
     }
 
@@ -294,5 +639,19 @@ mod tests {
         assert_eq!(st.node_count(), 0);
         assert_eq!(st.total_members(), 0);
         assert!(st.check_invariants().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "element 0 in two super nodes")]
+    fn from_parts_rejects_double_assigned_elements() {
+        // Two super nodes both claiming element 0 must be caught at
+        // construction, not silently accepted.
+        SuperScalarTree::from_parts(
+            vec![1.0, 2.0],
+            vec![None, Some(0)],
+            vec![0, 1, 2],
+            vec![0, 0],
+            2,
+        );
     }
 }

@@ -14,23 +14,94 @@
 use crate::scalar_graph::VertexScalarGraph;
 use ugraph::{UnionFind, VertexId};
 
-/// A rooted forest over elements `0..len`, each carrying a scalar value.
+/// A rooted forest over elements `0..len`, each carrying a scalar value,
+/// stored as a flat arena.
 ///
 /// Produced by Algorithm 1 (over vertices) and Algorithm 3 (over edges). For a
 /// connected input there is a single root; disconnected inputs yield one root
 /// per connected component, which downstream code (super tree, terrain) treats
 /// uniformly as a forest.
+///
+/// Node `i` *is* element `i` (vertex id or edge id) of the underlying scalar
+/// graph, so the arena keeps node ids stable and instead precomputes, once at
+/// construction, everything the old pointer-chasing representation recomputed
+/// per query: children as one shared CSR vector with per-node ranges, depths,
+/// and a BFS topological order (parents before children, non-decreasing
+/// depth). All accessors are allocation-free slices or iterators.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ScalarTree {
     /// `parent[i]` is the parent node of node `i`, or `None` for roots.
-    pub parent: Vec<Option<u32>>,
+    parent: Vec<Option<u32>>,
     /// Scalar value of each node (equal to the element's scalar value).
-    pub scalar: Vec<f64>,
+    scalar: Vec<f64>,
     /// Roots of the forest (nodes with no parent), sorted by node id.
-    pub roots: Vec<u32>,
+    roots: Vec<u32>,
+    /// CSR child arena: children of node `i` are
+    /// `child_ids[child_offsets[i] .. child_offsets[i + 1]]`, sorted by id.
+    child_offsets: Vec<u32>,
+    child_ids: Vec<u32>,
+    /// Depth of each node (roots at 0).
+    depth: Vec<u32>,
+    /// BFS order over the forest: parents before children, non-decreasing
+    /// depth. Reversed, it yields children before parents.
+    topo: Vec<u32>,
 }
 
 impl ScalarTree {
+    /// Build the arena from parent pointers and scalar values.
+    ///
+    /// This is the single constructor used by Algorithms 1 and 3; it computes
+    /// roots, the CSR child ranges, depths and the topological order in `O(n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors disagree in length or the parent pointers
+    /// contain a cycle or an out-of-bounds node id.
+    pub fn from_parents(parent: Vec<Option<u32>>, scalar: Vec<f64>) -> ScalarTree {
+        let n = parent.len();
+        assert_eq!(n, scalar.len(), "one scalar per tree node");
+
+        let mut child_offsets = vec![0u32; n + 1];
+        for p in parent.iter().flatten() {
+            let p = *p as usize;
+            assert!(p < n, "parent id {p} out of bounds for {n} nodes");
+            child_offsets[p + 1] += 1;
+        }
+        for i in 0..n {
+            child_offsets[i + 1] += child_offsets[i];
+        }
+        let mut cursor = child_offsets.clone();
+        let mut child_ids = vec![0u32; child_offsets[n] as usize];
+        // Iterating nodes in increasing id keeps every child list sorted.
+        for (node, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                child_ids[cursor[*p as usize] as usize] = node as u32;
+                cursor[*p as usize] += 1;
+            }
+        }
+
+        let roots: Vec<u32> =
+            parent.iter().enumerate().filter(|(_, p)| p.is_none()).map(|(v, _)| v as u32).collect();
+
+        // BFS from the roots: `topo` is parents-first and sorted by depth.
+        let mut depth = vec![0u32; n];
+        let mut topo = Vec::with_capacity(n);
+        topo.extend_from_slice(&roots);
+        let mut head = 0;
+        while head < topo.len() {
+            let node = topo[head] as usize;
+            head += 1;
+            let (start, end) = (child_offsets[node] as usize, child_offsets[node + 1] as usize);
+            for &c in &child_ids[start..end] {
+                depth[c as usize] = depth[node] + 1;
+                topo.push(c);
+            }
+        }
+        assert_eq!(topo.len(), n, "parent pointers contain a cycle");
+
+        ScalarTree { parent, scalar, roots, child_offsets, child_ids, depth, topo }
+    }
+
     /// Number of nodes (= number of elements of the underlying scalar graph).
     pub fn len(&self) -> usize {
         self.parent.len()
@@ -41,15 +112,69 @@ impl ScalarTree {
         self.parent.is_empty()
     }
 
-    /// Children lists, computed on demand.
-    pub fn children(&self) -> Vec<Vec<u32>> {
-        let mut children = vec![Vec::new(); self.len()];
-        for (node, parent) in self.parent.iter().enumerate() {
-            if let Some(p) = parent {
-                children[*p as usize].push(node as u32);
-            }
-        }
-        children
+    /// Parent of `node`, or `None` for roots.
+    #[inline]
+    pub fn parent(&self, node: u32) -> Option<u32> {
+        self.parent[node as usize]
+    }
+
+    /// Parent pointers of all nodes, indexed by node id.
+    #[inline]
+    pub fn parents(&self) -> &[Option<u32>] {
+        &self.parent
+    }
+
+    /// Scalar value of `node`.
+    #[inline]
+    pub fn scalar(&self, node: u32) -> f64 {
+        self.scalar[node as usize]
+    }
+
+    /// Scalar values of all nodes, indexed by node id.
+    #[inline]
+    pub fn scalars(&self) -> &[f64] {
+        &self.scalar
+    }
+
+    /// Roots of the forest, sorted by node id.
+    #[inline]
+    pub fn roots(&self) -> &[u32] {
+        &self.roots
+    }
+
+    /// Children of `node`, sorted by id — an allocation-free slice into the
+    /// shared child arena.
+    #[inline]
+    pub fn children(&self, node: u32) -> &[u32] {
+        let (start, end) =
+            (self.child_offsets[node as usize], self.child_offsets[node as usize + 1]);
+        &self.child_ids[start as usize..end as usize]
+    }
+
+    /// Depth of `node` (roots have depth 0).
+    #[inline]
+    pub fn depth(&self, node: u32) -> u32 {
+        self.depth[node as usize]
+    }
+
+    /// Depth of each node, indexed by node id.
+    #[inline]
+    pub fn depths(&self) -> &[u32] {
+        &self.depth
+    }
+
+    /// Node ids in an order where every node appears before its children
+    /// (BFS over the forest, non-decreasing depth).
+    #[inline]
+    pub fn topological_order(&self) -> &[u32] {
+        &self.topo
+    }
+
+    /// Node ids ordered by decreasing depth (children before parents) — the
+    /// reversed precomputed BFS order, so no sorting happens per call.
+    #[inline]
+    pub fn nodes_by_decreasing_depth(&self) -> impl Iterator<Item = u32> + '_ {
+        self.topo.iter().rev().copied()
     }
 
     /// Verify the defining order invariant: every node's scalar is greater
@@ -65,20 +190,6 @@ impl ScalarTree {
         }
         None
     }
-
-    /// Depth of each node (roots have depth 0).
-    pub fn depths(&self) -> Vec<usize> {
-        let children = self.children();
-        let mut depth = vec![0usize; self.len()];
-        let mut stack: Vec<u32> = self.roots.clone();
-        while let Some(node) = stack.pop() {
-            for &c in &children[node as usize] {
-                depth[c as usize] = depth[node as usize] + 1;
-                stack.push(c);
-            }
-        }
-        depth
-    }
 }
 
 /// Algorithm 1: build the vertex scalar tree of a vertex scalar graph.
@@ -87,7 +198,7 @@ pub fn vertex_scalar_tree(sg: &VertexScalarGraph<'_>) -> ScalarTree {
     let n = graph.vertex_count();
     let mut parent: Vec<Option<u32>> = vec![None; n];
     if n == 0 {
-        return ScalarTree { parent, scalar: Vec::new(), roots: Vec::new() };
+        return ScalarTree::from_parents(parent, Vec::new());
     }
 
     // Line 1: sort vertices in decreasing order of scalar value.
@@ -122,10 +233,8 @@ pub fn vertex_scalar_tree(sg: &VertexScalarGraph<'_>) -> ScalarTree {
         }
     }
 
-    let roots: Vec<u32> =
-        parent.iter().enumerate().filter(|(_, p)| p.is_none()).map(|(v, _)| v as u32).collect();
     let scalar: Vec<f64> = (0..n).map(|v| sg.value(VertexId::from_index(v))).collect();
-    let tree = ScalarTree { parent, scalar, roots };
+    let tree = ScalarTree::from_parents(parent, scalar);
     debug_assert!(tree.check_monotone().is_none(), "scalar tree violates monotonicity");
     tree
 }
@@ -141,21 +250,16 @@ mod tests {
 
     /// Collect, for each node, the set of vertices in the subtree rooted there.
     fn subtree_sets(tree: &ScalarTree) -> Vec<BTreeSet<u32>> {
-        let children = tree.children();
         let mut sets: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); tree.len()];
-        // Process nodes in an order where children come before parents:
-        // sort by depth descending.
-        let depths = tree.depths();
-        let mut order: Vec<usize> = (0..tree.len()).collect();
-        order.sort_by_key(|&v| std::cmp::Reverse(depths[v]));
-        for v in order {
+        // Children come before parents in decreasing-depth order.
+        for v in tree.nodes_by_decreasing_depth() {
             let mut set: BTreeSet<u32> = BTreeSet::new();
-            set.insert(v as u32);
-            for &c in &children[v] {
+            set.insert(v);
+            for &c in tree.children(v) {
                 let child_set = sets[c as usize].clone();
                 set.extend(child_set);
             }
-            sets[v] = set;
+            sets[v as usize] = set;
         }
         sets
     }
@@ -175,7 +279,7 @@ mod tests {
         let sg = VertexScalarGraph::new(&g, &scalar).unwrap();
         let tree = vertex_scalar_tree(&sg);
         assert_eq!(tree.len(), 1);
-        assert_eq!(tree.roots, vec![0]);
+        assert_eq!(tree.roots(), &[0]);
     }
 
     #[test]
@@ -188,11 +292,12 @@ mod tests {
         let scalar = vec![4.0, 3.0, 2.0, 1.0];
         let sg = VertexScalarGraph::new(&g, &scalar).unwrap();
         let tree = vertex_scalar_tree(&sg);
-        assert_eq!(tree.parent[0], Some(1));
-        assert_eq!(tree.parent[1], Some(2));
-        assert_eq!(tree.parent[2], Some(3));
-        assert_eq!(tree.parent[3], None);
-        assert_eq!(tree.roots, vec![3]);
+        assert_eq!(tree.parent(0), Some(1));
+        assert_eq!(tree.parent(1), Some(2));
+        assert_eq!(tree.parent(2), Some(3));
+        assert_eq!(tree.parent(3), None);
+        assert_eq!(tree.roots(), &[3]);
+        assert_eq!(tree.depths(), &[3, 2, 1, 0]);
         assert!(tree.check_monotone().is_none());
     }
 
@@ -205,10 +310,48 @@ mod tests {
         let scalar = vec![5.0, 4.0, 1.0];
         let sg = VertexScalarGraph::new(&g, &scalar).unwrap();
         let tree = vertex_scalar_tree(&sg);
-        assert_eq!(tree.parent[0], Some(2));
-        assert_eq!(tree.parent[1], Some(2));
-        assert_eq!(tree.parent[2], None);
-        assert_eq!(tree.children()[2].len(), 2);
+        assert_eq!(tree.parent(0), Some(2));
+        assert_eq!(tree.parent(1), Some(2));
+        assert_eq!(tree.parent(2), None);
+        assert_eq!(tree.children(2), &[0, 1]);
+    }
+
+    #[test]
+    fn arena_accessors_agree_with_parent_pointers() {
+        let (graph, scalar) = paper_figure2_graph();
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let tree = vertex_scalar_tree(&sg);
+        // children() inverts parent().
+        for node in 0..tree.len() as u32 {
+            for &c in tree.children(node) {
+                assert_eq!(tree.parent(c), Some(node));
+            }
+            if let Some(p) = tree.parent(node) {
+                assert!(tree.children(p).contains(&node));
+                assert_eq!(tree.depth(node), tree.depth(p) + 1);
+            } else {
+                assert_eq!(tree.depth(node), 0);
+                assert!(tree.roots().contains(&node));
+            }
+        }
+        // The topological order visits parents before children and the
+        // decreasing-depth iterator is its exact reverse.
+        let topo = tree.topological_order();
+        assert_eq!(topo.len(), tree.len());
+        let mut seen = vec![false; tree.len()];
+        for &node in topo {
+            if let Some(p) = tree.parent(node) {
+                assert!(seen[p as usize], "parent of {node} not yet visited");
+            }
+            seen[node as usize] = true;
+        }
+        let rev: Vec<u32> = tree.nodes_by_decreasing_depth().collect();
+        let mut expected: Vec<u32> = topo.to_vec();
+        expected.reverse();
+        assert_eq!(rev, expected);
+        for w in rev.windows(2) {
+            assert!(tree.depth(w[0]) >= tree.depth(w[1]));
+        }
     }
 
     #[test]
@@ -245,7 +388,7 @@ mod tests {
         let scalar = vec![2.0, 1.0, 4.0, 3.0];
         let sg = VertexScalarGraph::new(&g, &scalar).unwrap();
         let tree = vertex_scalar_tree(&sg);
-        assert_eq!(tree.roots.len(), 2);
+        assert_eq!(tree.roots().len(), 2);
         assert!(tree.check_monotone().is_none());
     }
 
@@ -262,20 +405,20 @@ mod tests {
         for &alpha in &distinct_levels(&scalar) {
             // Partition nodes with scalar >= alpha by tree connectivity.
             let mut uf = ugraph::UnionFind::new(tree.len());
-            for node in 0..tree.len() {
-                if tree.scalar[node] < alpha {
+            for node in 0..tree.len() as u32 {
+                if tree.scalar(node) < alpha {
                     continue;
                 }
-                if let Some(p) = tree.parent[node] {
-                    if tree.scalar[p as usize] >= alpha {
-                        uf.union(node, p as usize);
+                if let Some(p) = tree.parent(node) {
+                    if tree.scalar(p) >= alpha {
+                        uf.union(node as usize, p as usize);
                     }
                 }
             }
             let mut groups: std::collections::BTreeMap<usize, BTreeSet<u32>> = Default::default();
-            for node in 0..tree.len() {
-                if tree.scalar[node] >= alpha {
-                    groups.entry(uf.find(node)).or_default().insert(node as u32);
+            for node in 0..tree.len() as u32 {
+                if tree.scalar(node) >= alpha {
+                    groups.entry(uf.find(node as usize)).or_default().insert(node);
                 }
             }
             let from_tree: BTreeSet<BTreeSet<u32>> = groups.into_values().collect();

@@ -10,10 +10,55 @@ use proptest::prelude::*;
 use scalarfield::{
     build_super_tree, component_members_at_alpha, components_at_alpha, edge_scalar_tree,
     edge_scalar_tree_naive, maximal_alpha_components, maximal_alpha_edge_components,
-    mcc_of_element, simplify_super_tree, vertex_scalar_tree, EdgeScalarGraph, VertexScalarGraph,
+    mcc_of_element, simplify_super_tree, vertex_scalar_tree, EdgeScalarGraph, SuperScalarTree,
+    VertexScalarGraph,
 };
 use std::collections::BTreeSet;
 use ugraph::{CsrGraph, GraphBuilder};
+
+/// Naive recursive oracle for the arena accessors: collect the members of the
+/// subtree rooted at `node` by walking children lists, no arena tricks.
+fn oracle_subtree_members(tree: &SuperScalarTree, node: u32, out: &mut Vec<u32>) {
+    out.extend_from_slice(tree.members(node));
+    for &c in tree.children(node) {
+        oracle_subtree_members(tree, c, out);
+    }
+}
+
+/// Oracle depth: count parent hops to the root.
+fn oracle_depth(tree: &SuperScalarTree, node: u32) -> u32 {
+    let mut depth = 0;
+    let mut cur = node;
+    while let Some(p) = tree.parent(cur) {
+        depth += 1;
+        cur = p;
+    }
+    depth
+}
+
+/// The arena accessors must agree with the naive recursive oracle on every
+/// node: `subtree_members` / `subtree_member_count(s)` / `depths`.
+fn assert_arena_roundtrip(tree: &SuperScalarTree) {
+    tree.check_invariants().unwrap();
+    let by_depth: Vec<u32> = tree.nodes_by_decreasing_depth().collect();
+    assert_eq!(by_depth.len(), tree.node_count());
+    for w in by_depth.windows(2) {
+        assert!(tree.depth(w[0]) >= tree.depth(w[1]), "decreasing-depth order violated");
+    }
+    let counts = tree.subtree_member_counts();
+    for node in 0..tree.node_count() as u32 {
+        let mut expected = Vec::new();
+        oracle_subtree_members(tree, node, &mut expected);
+        expected.sort_unstable();
+        assert_eq!(tree.subtree_members(node), expected, "subtree_members({node})");
+        assert_eq!(tree.subtree_member_count(node), expected.len());
+        assert_eq!(counts[node as usize], expected.len());
+        let mut slice = tree.subtree_member_slice(node).to_vec();
+        slice.sort_unstable();
+        assert_eq!(slice, expected, "subtree_member_slice({node})");
+        assert_eq!(tree.depths()[node as usize], oracle_depth(tree, node));
+    }
+}
 
 /// Strategy: a random simple graph with up to `max_n` vertices plus a scalar
 /// value per vertex drawn from a small integer set (to force duplicates).
@@ -61,7 +106,7 @@ fn graph_and_edge_scalars(max_n: usize) -> impl Strategy<Value = (CsrGraph, Vec<
 
 fn distinct_levels(values: &[f64]) -> Vec<f64> {
     let mut levels = values.to_vec();
-    levels.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    levels.sort_by(f64::total_cmp);
     levels.dedup();
     levels
 }
@@ -133,6 +178,30 @@ proptest! {
         }
     }
 
+    /// The flat arena round-trips: for random vertex and edge scalar graphs,
+    /// `subtree_member_counts`, `depths` and `subtree_members` read off the
+    /// arena agree with a naive recursive oracle walking children lists, and
+    /// the (tightened) structural invariants hold.
+    #[test]
+    fn arena_accessors_match_recursive_oracle((graph, scalar) in graph_and_vertex_scalars(24)) {
+        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
+        let st = build_super_tree(&vertex_scalar_tree(&sg));
+        assert_arena_roundtrip(&st);
+        // Simplified trees come from the second arena producer; they must
+        // round-trip just as well.
+        for levels in [2usize, 5] {
+            assert_arena_roundtrip(&simplify_super_tree(&st, levels));
+        }
+    }
+
+    /// Same round-trip on edge scalar trees (Algorithm 3's output feeds the
+    /// identical super-tree arena).
+    #[test]
+    fn edge_arena_accessors_match_recursive_oracle((graph, scalar) in graph_and_edge_scalars(16)) {
+        let sg = EdgeScalarGraph::new(&graph, &scalar).unwrap();
+        assert_arena_roundtrip(&build_super_tree(&edge_scalar_tree(&sg)));
+    }
+
     /// Algorithm 3 and the naive dual-graph method describe the same component
     /// hierarchy, and both match the direct edge-component extraction.
     #[test]
@@ -140,6 +209,8 @@ proptest! {
         let sg = EdgeScalarGraph::new(&graph, &scalar).unwrap();
         let fast = build_super_tree(&edge_scalar_tree(&sg));
         let naive = build_super_tree(&edge_scalar_tree_naive(&sg));
+        fast.check_invariants().unwrap();
+        naive.check_invariants().unwrap();
         prop_assert_eq!(fast.node_count(), naive.node_count());
         for alpha in distinct_levels(&scalar) {
             let from_fast: BTreeSet<BTreeSet<u32>> = component_members_at_alpha(&fast, alpha)
@@ -169,9 +240,7 @@ proptest! {
             prop_assert!(s.node_count() <= st.node_count());
             // Cut the simplified tree at each of its own node scalars: the cut
             // must partition a subset of the elements into disjoint groups.
-            let snapped_levels: Vec<f64> = distinct_levels(
-                &s.nodes.iter().map(|n| n.scalar).collect::<Vec<f64>>()
-            );
+            let snapped_levels: Vec<f64> = distinct_levels(s.scalars());
             for alpha in snapped_levels {
                 let cut = components_at_alpha(&s, alpha);
                 prop_assert!(cut.component_count() <= graph.vertex_count());

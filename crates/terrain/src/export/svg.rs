@@ -93,7 +93,7 @@ pub fn terrain_to_svg(mesh: &TerrainMesh, width_px: f64, height_px: f64) -> Stri
     order.sort_by(|&a, &b| {
         let (ya, za) = depth_key(a);
         let (yb, zb) = depth_key(b);
-        yb.partial_cmp(&ya).unwrap().then(za.partial_cmp(&zb).unwrap())
+        yb.total_cmp(&ya).then(za.total_cmp(&zb))
     });
 
     let _ = writeln!(

@@ -157,21 +157,21 @@ pub fn layout_super_tree(tree: &SuperScalarTree, config: &LayoutConfig) -> Terra
     // subtree sizes.
     let domain = Rect::new(0.0, 0.0, config.width, config.height);
     let root_weights: Vec<f64> =
-        tree.roots.iter().map(|&r| subtree_members[r as usize] as f64).collect();
+        tree.roots().iter().map(|&r| subtree_members[r as usize] as f64).collect();
     let root_rects = split_rect(&domain, &root_weights, true);
     let mut stack: Vec<(u32, Rect, usize)> =
-        tree.roots.iter().zip(root_rects).map(|(&r, rect)| (r, rect, 0usize)).collect();
+        tree.roots().iter().zip(root_rects).map(|(&r, rect)| (r, rect, 0usize)).collect();
 
     while let Some((node, rect, depth)) = stack.pop() {
         rects[node as usize] = rect;
-        let children = &tree.nodes[node as usize].children;
+        let children = tree.children(node);
         if children.is_empty() {
             continue;
         }
         // Children share the inner rectangle, proportionally to their subtree
         // sizes; the parent's own members occupy the margin ring (plus a share
         // of the inner area if the parent has many direct members).
-        let own = tree.nodes[node as usize].members.len() as f64;
+        let own = tree.members(node).len() as f64;
         let child_total: f64 = children.iter().map(|&c| subtree_members[c as usize] as f64).sum();
         let inner_full = rect.shrunk(config.margin_fraction);
         // Scale the children's area share by child_total / (child_total + own)
@@ -191,8 +191,8 @@ pub fn layout_super_tree(tree: &SuperScalarTree, config: &LayoutConfig) -> Terra
     TerrainLayout {
         rects,
         config: *config,
-        scalar: tree.nodes.iter().map(|n| n.scalar).collect(),
-        parent: tree.nodes.iter().map(|n| n.parent).collect(),
+        scalar: tree.scalars().to_vec(),
+        parent: tree.parents().to_vec(),
         subtree_members,
     }
 }
@@ -273,15 +273,16 @@ mod tests {
     fn children_are_nested_inside_parents_and_siblings_disjoint() {
         let tree = figure2_tree();
         let layout = layout_super_tree(&tree, &LayoutConfig::default());
-        for (id, node) in tree.nodes.iter().enumerate() {
-            if let Some(p) = node.parent {
+        for id in 0..tree.node_count() as u32 {
+            if let Some(p) = tree.parent(id) {
                 assert!(
-                    layout.rects[p as usize].contains_rect(&layout.rects[id]),
+                    layout.rects[p as usize].contains_rect(&layout.rects[id as usize]),
                     "child {id} must nest inside parent {p}"
                 );
             }
-            for (i, &a) in node.children.iter().enumerate() {
-                for &b in node.children.iter().skip(i + 1) {
+            let children = tree.children(id);
+            for (i, &a) in children.iter().enumerate() {
+                for &b in children.iter().skip(i + 1) {
                     assert!(
                         !layout.rects[a as usize].intersects(&layout.rects[b as usize]),
                         "sibling rects {a} and {b} must not overlap"
@@ -304,11 +305,12 @@ mod tests {
         let tree = kcore_super_tree(&g);
         let layout = layout_super_tree(&tree, &LayoutConfig::default());
         let counts = tree.subtree_member_counts();
-        for node in &tree.nodes {
-            if node.children.len() < 2 {
+        for node in 0..tree.node_count() as u32 {
+            let children = tree.children(node);
+            if children.len() < 2 {
                 continue;
             }
-            for window in node.children.windows(2) {
+            for window in children.windows(2) {
                 let (a, b) = (window[0] as usize, window[1] as usize);
                 // Skip degenerate slivers where the hairline sibling gap
                 // dominates the rectangle.
@@ -333,13 +335,7 @@ mod tests {
         let layout = layout_super_tree(&tree, &LayoutConfig::default());
         // The center of the highest-scalar node's rect must report that
         // node's height.
-        let highest = layout
-            .scalar
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let highest = layout.scalar.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
         let (cx, cy) = layout.rects[highest].center();
         assert_eq!(layout.node_at_point(cx, cy), Some(highest as u32));
         assert_eq!(layout.height_at_point(cx, cy), layout.scalar[highest]);

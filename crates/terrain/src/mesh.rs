@@ -127,20 +127,19 @@ pub fn build_terrain_mesh(
     if tree.node_count() == 0 {
         return mesh;
     }
-    let min_scalar = tree.nodes.iter().map(|n| n.scalar).fold(f64::INFINITY, f64::min);
+    let min_scalar = tree.scalars().iter().copied().fold(f64::INFINITY, f64::min);
     let baseline = config.baseline.unwrap_or(min_scalar);
-    let normalized_heights =
-        normalize_for_color(&tree.nodes.iter().map(|n| n.scalar).collect::<Vec<f64>>());
+    let normalized_heights = normalize_for_color(tree.scalars());
 
-    for (id, node) in tree.nodes.iter().enumerate() {
-        let rect = layout.rects[id];
-        let bottom_scalar = match node.parent {
-            Some(p) => tree.nodes[p as usize].scalar,
+    for id in 0..tree.node_count() as u32 {
+        let rect = layout.rects[id as usize];
+        let bottom_scalar = match tree.parent(id) {
+            Some(p) => tree.scalar(p),
             None => baseline,
         };
         let z0 = (bottom_scalar - baseline) * config.height_scale;
-        let z1 = (node.scalar - baseline) * config.height_scale;
-        let color = node_color(&config.color, &node.members, normalized_heights[id]);
+        let z1 = (tree.scalar(id) - baseline) * config.height_scale;
+        let color = node_color(&config.color, tree.members(id), normalized_heights[id as usize]);
         let wall_color = color.darkened(0.75);
 
         // Top cap at z1.
@@ -148,7 +147,7 @@ pub fn build_terrain_mesh(
         let t1 = mesh.push_vertex(rect.x1, rect.y0, z1);
         let t2 = mesh.push_vertex(rect.x1, rect.y1, z1);
         let t3 = mesh.push_vertex(rect.x0, rect.y1, z1);
-        mesh.push_quad([t0, t1, t2, t3], color, id as u32, true);
+        mesh.push_quad([t0, t1, t2, t3], color, id, true);
 
         // Four walls from z0 to z1 (skipped when the prism is flat).
         if z1 > z0 {
@@ -156,10 +155,10 @@ pub fn build_terrain_mesh(
             let b1 = mesh.push_vertex(rect.x1, rect.y0, z0);
             let b2 = mesh.push_vertex(rect.x1, rect.y1, z0);
             let b3 = mesh.push_vertex(rect.x0, rect.y1, z0);
-            mesh.push_quad([b0, b1, t1, t0], wall_color, id as u32, false);
-            mesh.push_quad([b1, b2, t2, t1], wall_color, id as u32, false);
-            mesh.push_quad([b2, b3, t3, t2], wall_color, id as u32, false);
-            mesh.push_quad([b3, b0, t0, t3], wall_color, id as u32, false);
+            mesh.push_quad([b0, b1, t1, t0], wall_color, id, false);
+            mesh.push_quad([b1, b2, t2, t1], wall_color, id, false);
+            mesh.push_quad([b2, b3, t3, t2], wall_color, id, false);
+            mesh.push_quad([b3, b0, t0, t3], wall_color, id, false);
         }
     }
     mesh
@@ -192,11 +191,9 @@ mod tests {
         let caps = mesh.triangles.iter().filter(|t| t.is_top).count();
         assert_eq!(caps, 2 * tree.node_count(), "two triangles per top cap");
         // Exactly the nodes whose scalar exceeds their parent's get walls.
-        let raised = tree
-            .nodes
-            .iter()
-            .filter(|n| match n.parent {
-                Some(p) => n.scalar > tree.nodes[p as usize].scalar,
+        let raised = (0..tree.node_count() as u32)
+            .filter(|&n| match tree.parent(n) {
+                Some(p) => tree.scalar(n) > tree.scalar(p),
                 None => false,
             })
             .count();
@@ -209,13 +206,13 @@ mod tests {
         let (tree, layout) = small_tree();
         let config = MeshConfig { height_scale: 2.0, ..Default::default() };
         let mesh = build_terrain_mesh(&tree, &layout, &config);
-        let min_scalar = tree.nodes.iter().map(|n| n.scalar).fold(f64::INFINITY, f64::min);
-        let max_scalar = tree.nodes.iter().map(|n| n.scalar).fold(f64::NEG_INFINITY, f64::max);
+        let min_scalar = tree.scalars().iter().copied().fold(f64::INFINITY, f64::min);
+        let max_scalar = tree.scalars().iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let (_, max) = mesh.bounds().unwrap();
         assert!((max.2 - (max_scalar - min_scalar) * 2.0).abs() < 1e-9);
         // Every top-cap triangle of a node sits exactly at the node's scaled height.
         for t in mesh.triangles.iter().filter(|t| t.is_top) {
-            let expected = (tree.nodes[t.node as usize].scalar - min_scalar) * 2.0;
+            let expected = (tree.scalar(t.node) - min_scalar) * 2.0;
             for &i in &t.indices {
                 assert!((mesh.vertices[i as usize].z - expected).abs() < 1e-9);
             }

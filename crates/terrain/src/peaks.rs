@@ -55,27 +55,22 @@ pub fn peaks_at_alpha(tree: &SuperScalarTree, layout: &TerrainLayout, alpha: f64
 /// A "highest peak" is the subtree rooted at a super node of locally maximal
 /// scalar (a leaf super node, i.e. a summit), ranked by its scalar value; ties
 /// are broken towards larger member counts and then smaller node ids so the
-/// ordering is deterministic.
+/// ordering is deterministic. Ranking uses [`f64::total_cmp`], so a tree that
+/// somehow carries NaN scalars sorts them deterministically instead of
+/// panicking mid-comparison.
 pub fn highest_peaks(tree: &SuperScalarTree, layout: &TerrainLayout, count: usize) -> Vec<Peak> {
-    let mut summits: Vec<u32> = (0..tree.node_count() as u32)
-        .filter(|&n| tree.nodes[n as usize].children.is_empty())
-        .collect();
-    let counts = tree.subtree_member_counts();
+    let mut summits: Vec<u32> =
+        (0..tree.node_count() as u32).filter(|&n| tree.children(n).is_empty()).collect();
     summits.sort_by(|&a, &b| {
-        tree.nodes[b as usize]
-            .scalar
-            .partial_cmp(&tree.nodes[a as usize].scalar)
-            .unwrap()
-            .then(counts[b as usize].cmp(&counts[a as usize]))
+        tree.scalar(b)
+            .total_cmp(&tree.scalar(a))
+            .then(tree.subtree_member_count(b).cmp(&tree.subtree_member_count(a)))
             .then(a.cmp(&b))
     });
     summits
         .into_iter()
         .take(count)
-        .map(|summit| {
-            let alpha = tree.nodes[summit as usize].scalar;
-            build_peak(tree, layout, summit, alpha)
-        })
+        .map(|summit| build_peak(tree, layout, summit, tree.scalar(summit)))
         .collect()
 }
 
@@ -84,9 +79,9 @@ pub fn highest_peaks(tree: &SuperScalarTree, layout: &TerrainLayout, count: usiz
 /// interaction of Section II-E.
 pub fn select_region(tree: &SuperScalarTree, layout: &TerrainLayout, region: &Rect) -> Vec<u32> {
     let mut members = Vec::new();
-    for (id, node) in tree.nodes.iter().enumerate() {
-        if layout.rects[id].intersects(region) {
-            members.extend_from_slice(&node.members);
+    for id in 0..tree.node_count() as u32 {
+        if layout.rects[id as usize].intersects(region) {
+            members.extend_from_slice(tree.members(id));
         }
     }
     members.sort_unstable();
@@ -96,17 +91,14 @@ pub fn select_region(tree: &SuperScalarTree, layout: &TerrainLayout, region: &Re
 
 fn build_peak(tree: &SuperScalarTree, layout: &TerrainLayout, root: u32, alpha: f64) -> Peak {
     let members = tree.subtree_members(root);
-    // Summit height: maximum scalar in the subtree.
-    let mut summit = tree.nodes[root as usize].scalar;
-    let mut stack = vec![root];
-    while let Some(node) = stack.pop() {
-        summit = summit.max(tree.nodes[node as usize].scalar);
-        stack.extend_from_slice(&tree.nodes[node as usize].children);
-    }
+    // Summit height: maximum scalar in the subtree — a linear scan over the
+    // subtree's contiguous arena id range, no stack needed.
+    let summit =
+        tree.subtree_nodes(root).map(|node| tree.scalar(node)).fold(f64::NEG_INFINITY, f64::max);
     Peak {
         root_node: root,
         alpha,
-        base_height: tree.nodes[root as usize].scalar,
+        base_height: tree.scalar(root),
         summit_height: summit,
         member_count: members.len(),
         members,

@@ -50,18 +50,15 @@ impl Treemap {
 
 /// Build the 2D treemap from a super tree and its layout.
 pub fn build_treemap(tree: &SuperScalarTree, layout: &TerrainLayout) -> Treemap {
-    let normalized =
-        normalize_for_color(&tree.nodes.iter().map(|n| n.scalar).collect::<Vec<f64>>());
-    let depths = tree.depths();
-    let subtree_counts = tree.subtree_member_counts();
+    let normalized = normalize_for_color(tree.scalars());
     let mut cells: Vec<TreemapCell> = (0..tree.node_count())
         .map(|id| TreemapCell {
             node: id as u32,
             rect: layout.rects[id],
-            scalar: tree.nodes[id].scalar,
+            scalar: tree.scalars()[id],
             color: colormap(normalized[id]),
-            depth: depths[id],
-            subtree_members: subtree_counts[id],
+            depth: tree.depths()[id] as usize,
+            subtree_members: tree.subtree_member_count(id as u32),
         })
         .collect();
     // Draw order: shallow first so nested cells paint over their parents.
@@ -103,10 +100,10 @@ mod tests {
         let (tree, map) = chain_treemap();
         // The minimum-scalar node is blue, the maximum-scalar node is red.
         let min_node = (0..tree.node_count())
-            .min_by(|&a, &b| tree.nodes[a].scalar.partial_cmp(&tree.nodes[b].scalar).unwrap())
+            .min_by(|&a, &b| tree.scalars()[a].total_cmp(&tree.scalars()[b]))
             .unwrap();
         let max_node = (0..tree.node_count())
-            .max_by(|&a, &b| tree.nodes[a].scalar.partial_cmp(&tree.nodes[b].scalar).unwrap())
+            .max_by(|&a, &b| tree.scalars()[a].total_cmp(&tree.scalars()[b]))
             .unwrap();
         assert_eq!(map.cell_of(min_node as u32).unwrap().color, BLUE);
         assert_eq!(map.cell_of(max_node as u32).unwrap().color, RED);
@@ -115,7 +112,7 @@ mod tests {
     #[test]
     fn cells_record_subtree_sizes() {
         let (tree, map) = chain_treemap();
-        let root = tree.roots[0];
+        let root = tree.roots()[0];
         assert_eq!(map.cell_of(root).unwrap().subtree_members, 4);
         assert_eq!(map.cell_of(root).unwrap().depth, 0);
     }

@@ -42,13 +42,14 @@ proptest! {
         let config = LayoutConfig { width: 4.0, height: 3.0, margin_fraction: 0.05 };
         let layout = layout_super_tree(&tree, &config);
         let domain = terrain::Rect::new(0.0, 0.0, 4.0, 3.0);
-        for (id, node) in tree.nodes.iter().enumerate() {
-            prop_assert!(domain.contains_rect(&layout.rects[id]));
-            if let Some(p) = node.parent {
-                prop_assert!(layout.rects[p as usize].contains_rect(&layout.rects[id]));
+        for id in 0..tree.node_count() as u32 {
+            prop_assert!(domain.contains_rect(&layout.rects[id as usize]));
+            if let Some(p) = tree.parent(id) {
+                prop_assert!(layout.rects[p as usize].contains_rect(&layout.rects[id as usize]));
             }
-            for (i, &a) in node.children.iter().enumerate() {
-                for &b in node.children.iter().skip(i + 1) {
+            let children = tree.children(id);
+            for (i, &a) in children.iter().enumerate() {
+                for &b in children.iter().skip(i + 1) {
                     prop_assert!(!layout.rects[a as usize].intersects(&layout.rects[b as usize]));
                 }
             }
@@ -65,9 +66,9 @@ proptest! {
         let mesh = build_terrain_mesh(&tree, &layout, &MeshConfig::default());
         let caps = mesh.triangles.iter().filter(|t| t.is_top).count();
         prop_assert_eq!(caps, 2 * tree.node_count());
-        let min = tree.nodes.iter().map(|n| n.scalar).fold(f64::INFINITY, f64::min);
+        let min = tree.scalars().iter().copied().fold(f64::INFINITY, f64::min);
         for t in mesh.triangles.iter().filter(|t| t.is_top) {
-            let expected = tree.nodes[t.node as usize].scalar - min;
+            let expected = tree.scalar(t.node) - min;
             for &i in &t.indices {
                 prop_assert!((mesh.vertices[i as usize].z - expected).abs() < 1e-9);
             }
@@ -82,7 +83,7 @@ proptest! {
         let tree = build_super_tree(&vertex_scalar_tree(&sg));
         let layout = layout_super_tree(&tree, &LayoutConfig::default());
         let mut levels = scalar.clone();
-        levels.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        levels.sort_by(f64::total_cmp);
         levels.dedup();
         for alpha in levels {
             let peaks: BTreeSet<BTreeSet<u32>> = peaks_at_alpha(&tree, &layout, alpha)

@@ -32,6 +32,17 @@ pub enum GraphError {
         /// Actual length.
         actual: usize,
     },
+    /// A scalar field contained a NaN or infinite value, which would break
+    /// the total ordering every scalar-tree algorithm relies on.
+    NonFiniteScalar {
+        /// What the value was supposed to annotate ("vertex scalar field",
+        /// "edge scalar field", ...).
+        what: &'static str,
+        /// Index of the first offending entry.
+        index: usize,
+        /// The offending value (NaN or ±∞).
+        value: f64,
+    },
     /// A line in an edge-list file could not be parsed.
     Parse {
         /// 1-based line number.
@@ -54,6 +65,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::LengthMismatch { what, expected, actual } => {
                 write!(f, "length mismatch for {what}: expected {expected}, got {actual}")
+            }
+            GraphError::NonFiniteScalar { what, index, value } => {
+                write!(f, "{what} contains non-finite value {value} at index {index}")
             }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
@@ -93,6 +107,11 @@ mod tests {
 
         let e = GraphError::Parse { line: 7, message: "bad token".into() };
         assert!(e.to_string().contains("line 7"));
+
+        let e =
+            GraphError::NonFiniteScalar { what: "vertex scalar field", index: 3, value: f64::NAN };
+        assert!(e.to_string().contains("index 3"));
+        assert!(e.to_string().contains("NaN"));
     }
 
     #[test]

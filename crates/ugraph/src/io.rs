@@ -26,53 +26,91 @@ pub struct ParsedEdgeList {
 /// Read a whitespace-separated edge list from a reader.
 ///
 /// Lines beginning with `#` or `%` and blank lines are skipped. Each data line
-/// must contain two vertex ids and may contain a third floating-point weight;
-/// weights are returned only when *every* edge line carries one.
+/// must contain two vertex ids and may contain a third floating-point weight.
+/// The weight column is all-or-nothing: mixing weighted and unweighted edge
+/// lines is a [`GraphError::Parse`] (the seed behavior of silently dropping
+/// every weight hid exactly the kind of lossy input this guards against), and
+/// so is a non-finite weight (`nan`/`inf`), which would poison every scalar
+/// computation downstream.
+///
+/// Duplicate edges — including reversed orientation, since edges are
+/// canonicalized to `u <= v` — are deduplicated with a **last-wins** rule for
+/// their weight: the weight on the last line mentioning the edge is the one
+/// returned. Self loops (`u u [w]`) are dropped along with their weight; their
+/// lines still count towards the all-or-nothing weight-column rule.
 pub fn read_edge_list<R: Read>(reader: R) -> Result<ParsedEdgeList> {
     let reader = BufReader::new(reader);
     let mut builder = GraphBuilder::new();
-    // (canonical endpoints) -> weight, in insertion order, so weights can be
-    // re-aligned with the deduplicated canonical edge ids afterwards.
-    let mut weighted: Vec<((u32, u32), f64)> = Vec::new();
-    let mut all_weighted = true;
-    let mut any_edge = false;
+    // (canonical endpoints) -> weight; insertion overwrites, implementing the
+    // last-wins rule before weights are re-aligned with canonical edge ids.
+    let mut weights_by_edge: std::collections::HashMap<(u32, u32), f64> = Default::default();
+    // Line number of the first data line, and whether it carried a weight —
+    // every later line must agree.
+    let mut first_edge_line: Option<(usize, bool)> = None;
 
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
+        let lineno = lineno + 1;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
             continue;
         }
         let mut it = trimmed.split_whitespace();
-        let u: u32 = parse_field(it.next(), lineno + 1, "source vertex")?;
-        let v: u32 = parse_field(it.next(), lineno + 1, "target vertex")?;
-        any_edge = true;
-        match it.next() {
-            Some(w) => {
-                let w: f64 = w.parse().map_err(|_| GraphError::Parse {
-                    line: lineno + 1,
-                    message: format!("invalid weight `{w}`"),
-                })?;
-                let key = if u <= v { (u, v) } else { (v, u) };
-                weighted.push((key, w));
+        let u: u32 = parse_field(it.next(), lineno, "source vertex")?;
+        let v: u32 = parse_field(it.next(), lineno, "target vertex")?;
+        let weight = it.next();
+        match first_edge_line {
+            None => first_edge_line = Some((lineno, weight.is_some())),
+            Some((first_line, first_weighted)) => {
+                if first_weighted != weight.is_some() {
+                    let (with, without) =
+                        if first_weighted { (first_line, lineno) } else { (lineno, first_line) };
+                    return Err(GraphError::Parse {
+                        line: lineno,
+                        message: format!(
+                            "inconsistent weight column: line {with} has a weight but \
+                             line {without} does not"
+                        ),
+                    });
+                }
             }
-            None => all_weighted = false,
         }
+        if let Some(w) = weight {
+            let w: f64 = w.parse().map_err(|_| GraphError::Parse {
+                line: lineno,
+                message: format!("invalid weight `{w}`"),
+            })?;
+            if !w.is_finite() {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    message: format!("non-finite weight `{w}`"),
+                });
+            }
+            let key = if u <= v { (u, v) } else { (v, u) };
+            weights_by_edge.insert(key, w);
+        }
+        // Keep every vertex the file mentions, even when its only edge is a
+        // dropped self loop — the graph must not silently lose vertices.
+        builder.ensure_vertex(u);
+        builder.ensure_vertex(v);
         builder.add_edge(u, v);
     }
 
     let graph = builder.build();
-    let edge_weights = if any_edge && all_weighted {
-        // Map each canonical edge to the last weight seen for it.
-        let mut map = std::collections::HashMap::with_capacity(weighted.len());
-        for (key, w) in weighted {
-            map.insert(key, w);
+    let edge_weights = match first_edge_line {
+        Some((_, true)) => {
+            let weights = graph
+                .edges()
+                .map(|e| {
+                    weights_by_edge.get(&(e.u.0, e.v.0)).copied().ok_or_else(|| GraphError::Parse {
+                        line: 0,
+                        message: format!("edge {} {} has no matched weight", e.u.0, e.v.0),
+                    })
+                })
+                .collect::<Result<Vec<f64>>>()?;
+            Some(weights)
         }
-        let weights =
-            graph.edges().map(|e| map.get(&(e.u.0, e.v.0)).copied().unwrap_or(0.0)).collect();
-        Some(weights)
-    } else {
-        None
+        _ => None,
     };
     Ok(ParsedEdgeList { graph, edge_weights })
 }
@@ -169,10 +207,65 @@ mod tests {
     }
 
     #[test]
-    fn mixed_weights_are_dropped() {
-        let text = "0 1 0.5\n1 2\n";
+    fn mixed_weight_columns_are_rejected() {
+        // The seed code silently dropped every weight here; a half-weighted
+        // file is corrupt input and must fail loudly with the offending line.
+        let err = read_edge_list("0 1 0.5\n1 2\n".as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("inconsistent weight column"), "{message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Same with the orientations flipped: weight appearing late.
+        let err = read_edge_list("0 1\n1 2 0.5\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn non_finite_weights_are_rejected() {
+        for bad in ["nan", "inf", "-inf"] {
+            let text = format!("0 1 {bad}\n");
+            let err = read_edge_list(text.as_bytes()).unwrap_err();
+            match err {
+                GraphError::Parse { line, message } => {
+                    assert_eq!(line, 1);
+                    assert!(message.contains("non-finite"), "{message}");
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_keep_the_last_weight() {
+        // The same canonical edge listed three times (once reversed): the
+        // weight of the *last* line wins.
+        let text = "0 1 1.0\n1 0 2.0\n0 1 3.5\n1 2 9.0\n";
         let parsed = read_edge_list(text.as_bytes()).unwrap();
-        assert!(parsed.edge_weights.is_none());
+        assert_eq!(parsed.graph.edge_count(), 2);
+        let weights = parsed.edge_weights.unwrap();
+        let e01 = parsed.graph.find_edge(VertexId(0), VertexId(1)).unwrap();
+        assert!((weights[e01.index()] - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_self_loops_are_dropped_with_their_weight() {
+        // The self loop vanishes (the builder drops it) and its weight with
+        // it; remaining edges still get their weights, and the loop line
+        // counts towards the all-or-nothing weight rule.
+        let text = "2 2 5.0\n0 1 1.5\n";
+        let parsed = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(parsed.graph.edge_count(), 1);
+        assert_eq!(parsed.graph.vertex_count(), 3, "loop vertex still exists");
+        let weights = parsed.edge_weights.unwrap();
+        assert_eq!(weights.len(), 1);
+        assert!((weights[0] - 1.5).abs() < 1e-12);
+        // A weighted self loop in an otherwise unweighted file is still an
+        // inconsistent weight column.
+        let err = read_edge_list("2 2 5.0\n0 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
     }
 
     #[test]

@@ -58,7 +58,7 @@ fn main() {
 
     // Drill-down: the five strongest outliers and their local picture.
     let mut order: Vec<usize> = (0..graph.vertex_count()).collect();
-    order.sort_by(|&a, &b| outlier[b].partial_cmp(&outlier[a]).unwrap());
+    order.sort_by(|&a, &b| outlier[b].total_cmp(&outlier[a]));
     println!("\nstrongest outliers (local trend opposes the global correlation):");
     for &v in order.iter().take(5) {
         let vid = VertexId::from_index(v);

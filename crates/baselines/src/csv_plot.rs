@@ -1,4 +1,4 @@
-//! CSV (Cohesive Subgraph Visualization) plot [1] — the density-curve baseline
+//! CSV (Cohesive Subgraph Visualization) plot \[1\] — the density-curve baseline
 //! of Figure 6(g).
 //!
 //! CSV orders the vertices so that cohesive groups appear consecutively and

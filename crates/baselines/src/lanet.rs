@@ -1,4 +1,4 @@
-//! LaNet-vi-style K-Core shell layout [6].
+//! LaNet-vi-style K-Core shell layout \[6\].
 //!
 //! LaNet-vi places vertices on concentric annuli by core number: the densest
 //! cores sit at the center, lower shells further out, and vertices of one

@@ -3,13 +3,13 @@
 //! The paper's experiments and user study compare the terrain visualization
 //! against existing techniques:
 //!
-//! * the classic **Fruchterman–Reingold spring layout** [31]
+//! * the classic **Fruchterman–Reingold spring layout** \[31\]
 //!   (Figures 6(a,b), the linked 2D displays, Figures 9(b), 10(b,c));
-//! * **LaNet-vi** [6], which draws K-Cores as concentric shells
+//! * **LaNet-vi** \[6\], which draws K-Cores as concentric shells
 //!   (Figures 6(f), 12(b,e,h));
-//! * **OpenOrd** [26], a multilevel force-directed layout for large graphs
+//! * **OpenOrd** \[26\], a multilevel force-directed layout for large graphs
 //!   (Figures 12(c,f,i), 13(b));
-//! * the **CSV plot** [1], a cohesion curve over a vertex ordering
+//! * the **CSV plot** \[1\], a cohesion curve over a vertex ordering
 //!   (Figure 6(g)).
 //!
 //! As discussed in DESIGN.md §4 these are reimplemented in simplified form:

@@ -1,4 +1,4 @@
-//! OpenOrd-style multilevel force layout [26].
+//! OpenOrd-style multilevel force layout \[26\].
 //!
 //! OpenOrd coarsens the graph, lays out the coarse graph, then refines level
 //! by level with force-directed passes whose edge-cutting schedule emphasizes

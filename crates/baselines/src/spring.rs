@@ -1,4 +1,4 @@
-//! Fruchterman–Reingold force-directed ("spring") layout [31].
+//! Fruchterman–Reingold force-directed ("spring") layout \[31\].
 //!
 //! The classic baseline of Figures 6(a,b): nodes repel each other, edges pull
 //! their endpoints together, and the step size cools over the iterations. The

@@ -1,0 +1,101 @@
+//! Criterion bench: serial vs threaded execution of the four hot measures on
+//! 8k-vertex synthetic graphs — the speedup evidence for the `ugraph::par`
+//! engine.
+//!
+//! Every measure is run at `serial` and `threads(2/4/8)`; because the engine
+//! guarantees bit-identical results across settings (see `ugraph::par`), any
+//! timing difference is pure scheduling. On a multi-core machine `threads(4)`
+//! should beat `serial` clearly on the BFS-heavy measures (betweenness,
+//! closeness); on a single-core container the threaded runs only measure the
+//! (small) chunking + spawn overhead. The host's core count is printed so
+//! recorded numbers can be read in context.
+
+use bench::datasets::DatasetKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use measures::{
+    betweenness_centrality_sampled_with, betweenness_centrality_with, closeness_centrality_with,
+    pagerank_with, vertex_triangle_counts_with, PageRankConfig, Parallelism,
+};
+use ugraph::generators::barabasi_albert;
+
+const THREAD_SETTINGS: [Parallelism; 4] = [
+    Parallelism::Serial,
+    Parallelism::Threads(2),
+    Parallelism::Threads(4),
+    Parallelism::Threads(8),
+];
+
+fn bench_parallel_measures(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!("[parallel_measures] host exposes {cores} core(s)");
+
+    // The 8k-vertex synthetic graphs: a hub-heavy preferential-attachment
+    // graph (the shape Brandes spends its time on) and the Astro analog.
+    let ba = barabasi_albert(8_000, 4, 17);
+    eprintln!(
+        "[parallel_measures] barabasi_albert(8000, 4): {} nodes, {} edges",
+        ba.vertex_count(),
+        ba.edge_count()
+    );
+    let astro = DatasetKind::Astro.generate(0.45).graph;
+    eprintln!(
+        "[parallel_measures] astro(0.45): {} nodes, {} edges",
+        astro.vertex_count(),
+        astro.edge_count()
+    );
+
+    // Exact Brandes is the paper's bottleneck (Figure 10 / Task 3 need it on
+    // every dataset) — the headline comparison.
+    let mut group = c.benchmark_group("betweenness_exact_8k");
+    group.sample_size(2);
+    for p in THREAD_SETTINGS {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| betweenness_centrality_with(&ba, p).len())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("betweenness_sampled256_8k");
+    group.sample_size(5);
+    for p in THREAD_SETTINGS {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| betweenness_centrality_sampled_with(&ba, 256, 7, p).len())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("closeness_8k");
+    group.sample_size(2);
+    for p in THREAD_SETTINGS {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| closeness_centrality_with(&astro, p).len())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("pagerank_8k");
+    group.sample_size(10);
+    let config = PageRankConfig::default();
+    for p in THREAD_SETTINGS {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| pagerank_with(&astro, &config, p).len())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("triangle_counts_8k");
+    group.sample_size(10);
+    for p in THREAD_SETTINGS {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| vertex_triangle_counts_with(&astro, p).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parallel_measures
+}
+criterion_main!(benches);

@@ -9,7 +9,8 @@
 
 use bench::datasets::DatasetKind;
 use bench::output::{format_table, write_artifact};
-use measures::{betweenness_centrality_sampled, degrees};
+use bench::parallelism::parallelism_from_args;
+use measures::{betweenness_centrality_sampled_with, degrees};
 use scalarfield::{
     build_super_tree, global_correlation_index, local_correlation_index, outlier_scores,
     vertex_scalar_tree, VertexScalarGraph,
@@ -29,8 +30,10 @@ fn main() {
         graph.edge_count()
     );
 
+    let parallelism = parallelism_from_args();
+    println!("betweenness parallelism: {parallelism} (results are thread-count independent)");
     let degree_field: Vec<f64> = degrees(graph).iter().map(|&d| d as f64).collect();
-    let betweenness = betweenness_centrality_sampled(graph, 256, 0xf16);
+    let betweenness = betweenness_centrality_sampled_with(graph, 256, 0xf16, parallelism);
 
     let gci = global_correlation_index(graph, &degree_field, &betweenness, 1).unwrap();
     let lci = local_correlation_index(graph, &degree_field, &betweenness, 1).unwrap();

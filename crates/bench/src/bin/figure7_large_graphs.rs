@@ -2,15 +2,19 @@
 //! analogs, with the densest K-Core / K-Truss drill-down of Figures 7(e,f).
 //!
 //! The default scale keeps the run to a few seconds; `--large` uses 10x more
-//! vertices for a scalability exercise closer to the paper's full datasets.
+//! vertices for a scalability exercise closer to the paper's full datasets,
+//! and `--threads <serial|auto|N>` sets the measure-stage parallelism.
 
 use bench::datasets::DatasetKind;
 use bench::output::{format_table, write_artifact};
-use bench::pipeline::{run_edge_pipeline, run_vertex_pipeline};
-use measures::{core_numbers, truss_numbers};
+use bench::parallelism::parallelism_from_args;
+use bench::pipeline::{run_edge_pipeline_with, run_vertex_pipeline_with};
+use measures::{core_numbers, truss_numbers_with};
 
 fn main() {
     let large = std::env::args().any(|a| a == "--large");
+    let parallelism = parallelism_from_args();
+    eprintln!("[figure7] measure parallelism: {parallelism}");
     let mut rows = Vec::new();
 
     for kind in [DatasetKind::Wikipedia, DatasetKind::CitPatent] {
@@ -29,12 +33,12 @@ fn main() {
         // Full pipelines (also produce the terrains as SVG via the pipeline
         // helpers' internals; here we re-run the decompositions to report the
         // densest structures of Figures 7(e,f)).
-        let vreport = run_vertex_pipeline(graph);
-        let ereport = run_edge_pipeline(graph, false);
+        let vreport = run_vertex_pipeline_with(graph, parallelism);
+        let ereport = run_edge_pipeline_with(graph, false, parallelism);
 
         let cores = core_numbers(graph);
         let densest_core = cores.densest_core_vertices();
-        let truss = truss_numbers(graph);
+        let truss = truss_numbers_with(graph, parallelism);
         let densest_truss = truss.densest_truss_edges();
 
         rows.push(vec![

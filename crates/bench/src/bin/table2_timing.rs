@@ -7,16 +7,21 @@
 //!
 //! By default the two giant datasets run at a reduced scale so the harness
 //! finishes quickly; pass `--large` to use a 10x larger scale (still bounded
-//! by memory) and `--skip-naive` to skip the quadratic dual-graph baseline.
+//! by memory), `--skip-naive` to skip the quadratic dual-graph baseline, and
+//! `--threads <serial|auto|N>` to set the measure-stage parallelism
+//! (timings change, numbers don't).
 
 use bench::datasets::DatasetKind;
 use bench::output::{format_table, write_artifact};
-use bench::pipeline::{run_edge_pipeline, run_vertex_pipeline};
+use bench::parallelism::parallelism_from;
+use bench::pipeline::{run_edge_pipeline_with, run_vertex_pipeline_with};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let large = args.iter().any(|a| a == "--large");
     let skip_naive = args.iter().any(|a| a == "--skip-naive");
+    let parallelism = parallelism_from(&args);
+    eprintln!("[table2] measure parallelism: {parallelism}");
 
     let datasets =
         [DatasetKind::GrQc, DatasetKind::WikiVote, DatasetKind::Wikipedia, DatasetKind::CitPatent];
@@ -31,7 +36,7 @@ fn main() {
         eprintln!("[table2] {} at scale {:.2}: {} nodes, {} edges", dataset.spec.name, scale, n, m);
 
         // KC(v) row.
-        let vreport = run_vertex_pipeline(&dataset.graph);
+        let vreport = run_vertex_pipeline_with(&dataset.graph, parallelism);
         rows.push(vec![
             dataset.spec.name.to_string(),
             "KC(v)".to_string(),
@@ -46,7 +51,7 @@ fn main() {
         // scales either.
         let dual_edges = ugraph::dual::estimated_dual_edges(&dataset.graph);
         let run_naive = !skip_naive && dual_edges < 30_000_000;
-        let ereport = run_edge_pipeline(&dataset.graph, run_naive);
+        let ereport = run_edge_pipeline_with(&dataset.graph, run_naive, parallelism);
         rows.push(vec![
             dataset.spec.name.to_string(),
             "KT(e)".to_string(),

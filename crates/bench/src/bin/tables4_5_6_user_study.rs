@@ -8,11 +8,14 @@
 
 use bench::datasets::DatasetKind;
 use bench::output::write_artifact;
+use bench::parallelism::parallelism_from_args;
 use study::report::format_tables;
 use study::{run_user_study, StudyConfig, Task};
 
 fn main() {
     let scale = if std::env::args().any(|a| a == "--full") { 1.0 } else { 0.3 };
+    let parallelism = parallelism_from_args();
+    eprintln!("[user-study] measure parallelism: {parallelism}");
     let task12_datasets: Vec<(String, ugraph::CsrGraph)> =
         [DatasetKind::GrQc, DatasetKind::Ppi, DatasetKind::Dblp]
             .into_iter()
@@ -40,7 +43,7 @@ fn main() {
         (Task::CentralityCorrelation, vec![("Astro".to_string(), astro.graph)]),
     ];
 
-    let config = StudyConfig { participants: 10, ..Default::default() };
+    let config = StudyConfig { participants: 10, parallelism, ..Default::default() };
     let rows = run_user_study(&design, &config);
     let tables = format_tables(&rows);
     println!("Tables IV–VI — simulated user study (10 participants per cell)\n");

@@ -11,7 +11,9 @@
 //! * [`pipeline`] — timed end-to-end runs of the scalar-tree + terrain
 //!   pipeline (the quantities of Table II);
 //! * [`output`] — helpers to write figure artifacts (SVG, JSON, text tables)
-//!   under `results/`.
+//!   under `results/`;
+//! * [`parallelism`] — the shared `--threads <serial|auto|N>` flag wiring
+//!   the [`ugraph::par`] engine into the binaries.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -19,10 +21,13 @@
 pub mod datasets;
 pub mod nn_graph;
 pub mod output;
+pub mod parallelism;
 pub mod pipeline;
 
 pub use datasets::{DatasetKind, DatasetSpec, GeneratedDataset};
 pub use nn_graph::{generate_plant_table, knn_graph, PlantTable};
+pub use parallelism::{parallelism_from, parallelism_from_args};
 pub use pipeline::{
-    run_edge_pipeline, run_vertex_pipeline, EdgePipelineReport, VertexPipelineReport,
+    run_edge_pipeline, run_edge_pipeline_with, run_vertex_pipeline, run_vertex_pipeline_with,
+    EdgePipelineReport, VertexPipelineReport,
 };

@@ -1,0 +1,72 @@
+//! Shared `--threads` handling for the figure/table binaries.
+//!
+//! Every binary that runs a parallel-capable measure accepts
+//! `--threads <serial|auto|N>`; the default is `auto` (use the machine),
+//! which is safe for figure reproduction because the engine in
+//! [`ugraph::par`] returns bit-identical results for every setting.
+
+use ugraph::par::Parallelism;
+
+/// Parse `--threads <serial|auto|N>` from an argument list, defaulting to
+/// [`Parallelism::auto`].
+///
+/// Accepts both `--threads 4` and `--threads=4` (`0` and `1` mean serial).
+/// An unrecognized value falls back to the default with a loud stderr
+/// warning rather than aborting a long harness run, and the binaries print
+/// the effective setting — a typo cannot silently change what a recorded
+/// timing measured without leaving both lines in the log.
+pub fn parallelism_from(args: &[String]) -> Parallelism {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(value) = arg.strip_prefix("--threads=") {
+            return parse_or_warn(value);
+        }
+        if arg == "--threads" {
+            return match iter.next() {
+                Some(value) => parse_or_warn(value),
+                None => parse_or_warn(""),
+            };
+        }
+    }
+    Parallelism::auto()
+}
+
+fn parse_or_warn(value: &str) -> Parallelism {
+    Parallelism::parse(value).unwrap_or_else(|| {
+        eprintln!("[warn] unrecognized --threads value {value:?} (expected serial, auto or a thread count); using auto");
+        Parallelism::auto()
+    })
+}
+
+/// [`parallelism_from`] over [`std::env::args`] — what the binaries call.
+pub fn parallelism_from_args() -> Parallelism {
+    let args: Vec<String> = std::env::args().collect();
+    parallelism_from(&args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_both_flag_forms() {
+        assert_eq!(parallelism_from(&argv(&["bin", "--threads", "4"])), Parallelism::Threads(4));
+        assert_eq!(parallelism_from(&argv(&["bin", "--threads=2"])), Parallelism::Threads(2));
+        assert_eq!(parallelism_from(&argv(&["bin", "--threads", "serial"])), Parallelism::Serial);
+        assert_eq!(parallelism_from(&argv(&["bin", "--threads=1"])), Parallelism::Serial);
+        assert_eq!(parallelism_from(&argv(&["bin", "--threads", "0"])), Parallelism::Serial);
+    }
+
+    #[test]
+    fn defaults_to_auto_when_absent_or_malformed() {
+        let auto = Parallelism::auto();
+        assert_eq!(parallelism_from(&argv(&["bin"])), auto);
+        assert_eq!(parallelism_from(&argv(&["bin", "--large"])), auto);
+        assert_eq!(parallelism_from(&argv(&["bin", "--threads", "bogus"])), auto);
+        assert_eq!(parallelism_from(&argv(&["bin", "--threads"])), auto);
+    }
+}

@@ -12,13 +12,14 @@
 //! The helpers here run those stages with wall-clock timing and return a
 //! report struct the Table II binary and the Criterion benches both use.
 
-use measures::{core_numbers, truss_numbers};
+use measures::{core_numbers, truss_numbers_with};
 use scalarfield::{
     build_super_tree, edge_scalar_tree, edge_scalar_tree_naive, simplify_super_tree,
     vertex_scalar_tree, EdgeScalarGraph, VertexScalarGraph,
 };
 use std::time::Instant;
 use terrain::{build_terrain_mesh, layout_super_tree, terrain_to_svg, LayoutConfig, MeshConfig};
+use ugraph::par::Parallelism;
 use ugraph::CsrGraph;
 
 /// Report of a vertex-scalar (K-Core) pipeline run.
@@ -57,7 +58,23 @@ pub struct EdgePipelineReport {
 const RENDER_NODE_BUDGET: usize = 4_000;
 
 /// Run the K-Core terrain pipeline on a graph, timing each stage.
+/// Single-threaded; see [`run_vertex_pipeline_with`].
 pub fn run_vertex_pipeline(graph: &CsrGraph) -> VertexPipelineReport {
+    run_vertex_pipeline_with(graph, Parallelism::Serial)
+}
+
+/// [`run_vertex_pipeline`] with a [`Parallelism`] budget.
+///
+/// The K-Core bucket peeling, the union–find tree sweep and the layout are
+/// inherently sequential, so `parallelism` is currently accepted for
+/// interface symmetry with [`run_edge_pipeline_with`] (where the
+/// triangle-support stage does parallelize) and for future stages; reports
+/// are identical for every setting.
+pub fn run_vertex_pipeline_with(
+    graph: &CsrGraph,
+    parallelism: Parallelism,
+) -> VertexPipelineReport {
+    let _ = parallelism;
     let t0 = Instant::now();
     let cores = core_numbers(graph);
     let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
@@ -91,13 +108,28 @@ pub fn run_vertex_pipeline(graph: &CsrGraph) -> VertexPipelineReport {
 }
 
 /// Run the K-Truss terrain pipeline on a graph, timing each stage.
+/// Single-threaded; see [`run_edge_pipeline_with`].
 ///
 /// `run_naive` controls whether the dual-graph baseline (`te`) is measured;
 /// on graphs with high-degree vertices it can be orders of magnitude slower
 /// than Algorithm 3, which is exactly the point of Table II.
 pub fn run_edge_pipeline(graph: &CsrGraph, run_naive: bool) -> EdgePipelineReport {
+    run_edge_pipeline_with(graph, run_naive, Parallelism::Serial)
+}
+
+/// [`run_edge_pipeline`] with a [`Parallelism`] budget.
+///
+/// The budget currently accelerates the K-Truss scalar stage (its
+/// triangle-support initialization is parallel over edges via
+/// [`measures::truss_numbers_with`]); the report's numbers are identical for
+/// every setting, only the wall-clock timings change.
+pub fn run_edge_pipeline_with(
+    graph: &CsrGraph,
+    run_naive: bool,
+    parallelism: Parallelism,
+) -> EdgePipelineReport {
     let t0 = Instant::now();
-    let truss = truss_numbers(graph);
+    let truss = truss_numbers_with(graph, parallelism);
     let scalar: Vec<f64> = truss.truss.iter().map(|&t| t as f64).collect();
     let scalar_seconds = t0.elapsed().as_secs_f64();
 

@@ -5,47 +5,131 @@
 //! `O(|V|·|E|)`; for the larger synthetic datasets the harness uses the
 //! pivot-sampled estimator, which runs the same dependency accumulation from
 //! a random subset of sources and rescales.
+//!
+//! Both variants are parallel over Brandes sources through
+//! [`ugraph::par`]: each chunk of sources accumulates into its own
+//! per-chunk centrality vector and the vectors are summed in fixed chunk
+//! order, so [`Parallelism::Serial`] and [`Parallelism::Threads`]`(n)`
+//! return bit-identical results for every `n`.
 
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::VecDeque;
+use ugraph::par::{map_reduce_chunks, Parallelism};
 use ugraph::{CsrGraph, VertexId};
 
 /// Exact betweenness centrality of every vertex (unnormalized, undirected
-/// convention: each shortest path counted once).
+/// convention: each shortest path counted once). Single-threaded; see
+/// [`betweenness_centrality_with`] for the parallel variant.
+///
+/// ```
+/// use measures::betweenness_centrality;
+/// use ugraph::GraphBuilder;
+///
+/// // Path 0-1-2-3-4: the middle vertex lies on the most shortest paths.
+/// let mut b = GraphBuilder::new();
+/// for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4)] {
+///     b.add_edge(u, v);
+/// }
+/// let bc = betweenness_centrality(&b.build());
+/// assert_eq!(bc, vec![0.0, 3.0, 4.0, 3.0, 0.0]);
+/// ```
 pub fn betweenness_centrality(graph: &CsrGraph) -> Vec<f64> {
+    betweenness_centrality_with(graph, Parallelism::Serial)
+}
+
+/// [`betweenness_centrality`] parallelized over Brandes sources.
+///
+/// The result is bit-identical for every `parallelism` setting (see
+/// [`ugraph::par`]), so this is a pure wall-clock knob.
+pub fn betweenness_centrality_with(graph: &CsrGraph, parallelism: Parallelism) -> Vec<f64> {
     let sources: Vec<VertexId> = graph.vertices().collect();
-    brandes_from_sources(graph, &sources, 1.0)
+    brandes_from_sources(graph, &sources, 1.0, parallelism)
 }
 
 /// Sampled betweenness centrality using `samples` random source pivots.
+/// Single-threaded; see [`betweenness_centrality_sampled_with`].
 ///
 /// The estimate from each pivot is scaled by `n / samples` so that the
 /// expected value equals the exact score. With a few hundred pivots the
 /// ranking of vertices is already stable enough for visualization purposes.
+///
+/// # Exact-path boundary
+///
+/// When `samples >= n` there is nothing to sample: every vertex is a pivot,
+/// the scale factor is 1 and the function returns the **exact** centrality
+/// (identical to [`betweenness_centrality`], for any `seed`), rather than
+/// drawing `n` of `n` pivots and rescaling.
 pub fn betweenness_centrality_sampled(graph: &CsrGraph, samples: usize, seed: u64) -> Vec<f64> {
+    betweenness_centrality_sampled_with(graph, samples, seed, Parallelism::Serial)
+}
+
+/// [`betweenness_centrality_sampled`] parallelized over the sampled pivots.
+///
+/// Shares the sampled function's exact-path boundary (`samples >= n` falls
+/// back to the exact computation) and the bit-identical-across-threads
+/// guarantee of [`ugraph::par`].
+pub fn betweenness_centrality_sampled_with(
+    graph: &CsrGraph,
+    samples: usize,
+    seed: u64,
+    parallelism: Parallelism,
+) -> Vec<f64> {
     let n = graph.vertex_count();
     if n == 0 {
         return Vec::new();
     }
     if samples >= n {
-        return betweenness_centrality(graph);
+        return betweenness_centrality_with(graph, parallelism);
     }
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut all: Vec<VertexId> = graph.vertices().collect();
     all.shuffle(&mut rng);
     all.truncate(samples);
     let scale = n as f64 / samples as f64;
-    brandes_from_sources(graph, &all, scale)
+    brandes_from_sources(graph, &all, scale, parallelism)
 }
 
-fn brandes_from_sources(graph: &CsrGraph, sources: &[VertexId], scale: f64) -> Vec<f64> {
+/// Brandes dependency accumulation from `sources`, parallel over source
+/// chunks. Each chunk owns a full centrality vector plus the per-source
+/// scratch buffers; chunk vectors are summed elementwise in chunk order.
+fn brandes_from_sources(
+    graph: &CsrGraph,
+    sources: &[VertexId],
+    scale: f64,
+    parallelism: Parallelism,
+) -> Vec<f64> {
+    let n = graph.vertex_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut centrality = map_reduce_chunks(
+        parallelism,
+        sources.len(),
+        |range| brandes_chunk(graph, &sources[range], scale),
+        |mut acc, chunk| {
+            for (a, c) in acc.iter_mut().zip(&chunk) {
+                *a += c;
+            }
+            acc
+        },
+    )
+    .unwrap_or_else(|| vec![0.0f64; n]);
+
+    // Each undirected shortest path was counted from both endpoints when all
+    // sources are used; halve to follow the standard undirected convention.
+    for c in &mut centrality {
+        *c /= 2.0;
+    }
+    centrality
+}
+
+/// The serial Brandes loop over one chunk of sources, accumulating into a
+/// chunk-local centrality vector.
+fn brandes_chunk(graph: &CsrGraph, sources: &[VertexId], scale: f64) -> Vec<f64> {
     let n = graph.vertex_count();
     let mut centrality = vec![0.0f64; n];
-    if n == 0 {
-        return centrality;
-    }
 
     // Reused per-source scratch buffers.
     let mut sigma = vec![0.0f64; n];
@@ -97,12 +181,6 @@ fn brandes_from_sources(graph: &CsrGraph, sources: &[VertexId], scale: f64) -> V
                 centrality[w] += delta[w] * scale;
             }
         }
-    }
-
-    // Each undirected shortest path was counted from both endpoints when all
-    // sources are used; halve to follow the standard undirected convention.
-    for c in &mut centrality {
-        *c /= 2.0;
     }
     centrality
 }
@@ -183,6 +261,39 @@ mod tests {
         let sampled = betweenness_centrality_sampled(&g, 60, 0);
         for (a, b) in exact.iter().zip(&sampled) {
             assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn oversampling_falls_back_to_the_exact_path() {
+        // samples >= n must take the exact path: no pivot draw, no rescaling,
+        // and therefore results bit-identical to the exact function for any
+        // seed — including samples strictly greater than n.
+        let g = barabasi_albert(60, 2, 3);
+        let exact = betweenness_centrality(&g);
+        for samples in [60usize, 61, 1000] {
+            for seed in [0u64, 7, 0xdead] {
+                let sampled = betweenness_centrality_sampled(&g, samples, seed);
+                assert_eq!(sampled, exact, "samples {samples}, seed {seed}");
+            }
+        }
+        // One pivot fewer than n is a genuine sample: scaled by n/(n-1), it
+        // no longer matches the exact values bit for bit.
+        let under = betweenness_centrality_sampled(&g, 59, 0);
+        assert_ne!(under, exact);
+    }
+
+    #[test]
+    fn parallel_brandes_is_bit_identical_to_serial() {
+        let g = barabasi_albert(150, 3, 11);
+        let serial = betweenness_centrality(&g);
+        for threads in 1..=4 {
+            let par = betweenness_centrality_with(&g, Parallelism::Threads(threads));
+            assert_eq!(par, serial, "threads({threads})");
+            let s_ser = betweenness_centrality_sampled(&g, 40, 5);
+            let s_par =
+                betweenness_centrality_sampled_with(&g, 40, 5, Parallelism::Threads(threads));
+            assert_eq!(s_par, s_ser, "sampled, threads({threads})");
         }
     }
 

@@ -6,32 +6,53 @@
 //! fraction, as in Wasserman–Faust) so that disconnected graphs still produce
 //! meaningful fields, and plain `Σ 1/d` for harmonic centrality, which handles
 //! disconnection natively.
+//!
+//! Closeness is parallel over BFS sources through [`ugraph::par`]: every
+//! vertex's score depends only on its own BFS, so chunks of sources compute
+//! disjoint slices of the result and the outputs are identical — not merely
+//! close — for every [`Parallelism`] setting.
 
 use std::collections::VecDeque;
+use ugraph::par::{map_collect_chunked, Parallelism};
 use ugraph::{CsrGraph, VertexId};
 
-/// Closeness centrality of every vertex.
+/// Closeness centrality of every vertex. Single-threaded; see
+/// [`closeness_centrality_with`] for the parallel variant.
 ///
 /// `closeness(v) = ((r - 1) / (n - 1)) * ((r - 1) / Σ_{u reachable} d(v, u))`,
 /// where `r` is the number of vertices reachable from `v` (including itself).
 /// Isolated vertices get 0.
 pub fn closeness_centrality(graph: &CsrGraph) -> Vec<f64> {
+    closeness_centrality_with(graph, Parallelism::Serial)
+}
+
+/// [`closeness_centrality`] parallelized over BFS sources.
+///
+/// Each chunk of sources runs its BFSs with chunk-local scratch buffers and
+/// fills its own slice of the result, so the output is exactly the serial
+/// output for every `parallelism` setting.
+pub fn closeness_centrality_with(graph: &CsrGraph, parallelism: Parallelism) -> Vec<f64> {
     let n = graph.vertex_count();
-    let mut result = vec![0.0f64; n];
     if n <= 1 {
-        return result;
+        return vec![0.0f64; n];
     }
-    let mut dist = vec![usize::MAX; n];
-    let mut queue = VecDeque::new();
-    for v in graph.vertices() {
-        let (sum, reachable) = bfs_accumulate(graph, v, &mut dist, &mut queue);
-        if reachable > 1 && sum > 0 {
-            let r = reachable as f64;
-            let frac = (r - 1.0) / (n as f64 - 1.0);
-            result[v.index()] = frac * (r - 1.0) / sum as f64;
-        }
-    }
-    result
+    map_collect_chunked(parallelism, n, |range| {
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = VecDeque::new();
+        range
+            .map(|v| {
+                let v = VertexId::from_index(v);
+                let (sum, reachable) = bfs_accumulate(graph, v, &mut dist, &mut queue);
+                if reachable > 1 && sum > 0 {
+                    let r = reachable as f64;
+                    let frac = (r - 1.0) / (n as f64 - 1.0);
+                    frac * (r - 1.0) / sum as f64
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    })
 }
 
 /// Harmonic centrality: `Σ_{u ≠ v} 1 / d(v, u)` with `1/∞ = 0`, normalized by
@@ -155,6 +176,16 @@ mod tests {
         let g = ugraph::generators::erdos_renyi(80, 0.05, 3);
         for &v in closeness_centrality(&g).iter().chain(harmonic_centrality(&g).iter()) {
             assert!((0.0..=1.0 + 1e-9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn parallel_closeness_is_bit_identical_to_serial() {
+        let g = ugraph::generators::erdos_renyi(120, 0.04, 5);
+        let serial = closeness_centrality(&g);
+        for threads in 1..=4 {
+            let par = closeness_centrality_with(&g, Parallelism::Threads(threads));
+            assert_eq!(par, serial, "threads({threads})");
         }
     }
 

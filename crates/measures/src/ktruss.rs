@@ -11,7 +11,8 @@
 //! truss number counts *triangles*, so a lone triangle has `KT(e) = 1` on all
 //! three edges.
 
-use crate::triangles::edge_triangle_counts;
+use crate::triangles::edge_triangle_counts_with;
+use ugraph::par::Parallelism;
 use ugraph::{CsrGraph, EdgeId, VertexId};
 
 /// Result of a K-Truss decomposition.
@@ -47,11 +48,23 @@ impl KTrussDecomposition {
 /// of the edges closing triangles with it are decremented. Complexity is
 /// `O(Σ_e (deg(u)+deg(v)))` ≈ `O(|E|^1.5)` on sparse graphs.
 pub fn truss_numbers(graph: &CsrGraph) -> KTrussDecomposition {
+    truss_numbers_with(graph, Parallelism::Serial)
+}
+
+/// [`truss_numbers`] with the initial triangle-support pass parallelized
+/// over edges.
+///
+/// The peeling itself is inherently sequential (each removal changes the
+/// supports the next removal depends on), but on sparse graphs the support
+/// initialization is a large share of the cost. Results are exactly equal
+/// across every `parallelism` setting — the peeling always starts from the
+/// same supports and proceeds identically.
+pub fn truss_numbers_with(graph: &CsrGraph, parallelism: Parallelism) -> KTrussDecomposition {
     let m = graph.edge_count();
     if m == 0 {
         return KTrussDecomposition { truss: Vec::new(), max_truss: 0 };
     }
-    let mut support = edge_triangle_counts(graph);
+    let mut support = edge_triangle_counts_with(graph, parallelism);
     let max_support = support.iter().copied().max().unwrap_or(0);
 
     // Bucket queue over supports.

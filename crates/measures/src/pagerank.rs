@@ -4,8 +4,18 @@
 //! importance measures a data scientist may want to visualize as a scalar
 //! field. On an undirected graph the random walk follows each edge in both
 //! directions.
+//!
+//! The edge sweep of each power iteration runs in **gather form**: vertex
+//! `u`'s next rank sums `rank[v] / deg(v)` over `u`'s own (sorted) neighbor
+//! list, so vertices are independent and the sweep parallelizes over vertex
+//! chunks through [`ugraph::par`] with no write conflicts. The per-vertex
+//! summation order is the neighbor order — fixed by the graph, not by the
+//! chunking — and the dangling-mass and convergence-delta reductions merge
+//! per-chunk sums in fixed chunk order, so every [`Parallelism`] setting
+//! returns bit-identical ranks.
 
-use ugraph::CsrGraph;
+use ugraph::par::{map_reduce_chunks, Parallelism};
+use ugraph::{CsrGraph, VertexId};
 
 /// Configuration for [`pagerank`].
 #[derive(Clone, Copy, Debug)]
@@ -24,8 +34,30 @@ impl Default for PageRankConfig {
     }
 }
 
-/// Compute PageRank scores; the result sums to 1.
+/// Compute PageRank scores; the result sums to 1. Single-threaded; see
+/// [`pagerank_with`] for the parallel variant.
 pub fn pagerank(graph: &CsrGraph, config: &PageRankConfig) -> Vec<f64> {
+    pagerank_with(graph, config, Parallelism::Serial)
+}
+
+/// [`pagerank`] with the edge sweep of every power iteration parallelized
+/// over vertex chunks.
+///
+/// Ranks are bit-identical for every `parallelism` setting (see the module
+/// docs for why the gather-form sweep makes that hold).
+///
+/// # Granularity
+///
+/// One power iteration is only `O(|E|)` of light arithmetic, and threads are
+/// re-spawned per region (the engine has no persistent pool), so a thread
+/// budget only pays off once the graph is large enough — roughly millions of
+/// edges. For small graphs prefer [`Parallelism::Serial`], which spawns
+/// nothing and still returns the same bits.
+pub fn pagerank_with(
+    graph: &CsrGraph,
+    config: &PageRankConfig,
+    parallelism: Parallelism,
+) -> Vec<f64> {
     let n = graph.vertex_count();
     if n == 0 {
         return Vec::new();
@@ -33,29 +65,71 @@ pub fn pagerank(graph: &CsrGraph, config: &PageRankConfig) -> Vec<f64> {
     assert!((0.0..1.0).contains(&config.damping), "damping must be in [0, 1)");
     let uniform = 1.0 / n as f64;
     let mut rank = vec![uniform; n];
-    let mut next = vec![0.0f64; n];
 
+    // Chunk 0's vector is what every later chunk folds into, so give it room
+    // for the whole result up front; the merge then never reallocates.
+    let chunk_capacity =
+        |range: &std::ops::Range<usize>| if range.start == 0 { n } else { range.len() };
+    // Merge for (values, sum) chunk accumulators: concatenate in chunk order,
+    // add the scalar parts.
+    let merge = |(mut acc, acc_s): (Vec<f64>, f64), (chunk, chunk_s): (Vec<f64>, f64)| {
+        acc.extend(chunk);
+        (acc, acc_s + chunk_s)
+    };
+
+    // Each iteration is two parallel regions (not four): the share pass also
+    // sums the dangling mass, and the gather pass also sums its chunk's
+    // convergence delta. Fewer thread-scope spawns per iteration matter here
+    // because one power iteration is only O(|E|) light work.
     for _ in 0..config.max_iterations {
-        next.iter_mut().for_each(|x| *x = 0.0);
-        let mut dangling_mass = 0.0;
-        for v in graph.vertices() {
-            let d = graph.degree(v);
-            if d == 0 {
-                dangling_mass += rank[v.index()];
-                continue;
-            }
-            let share = rank[v.index()] / d as f64;
-            for u in graph.neighbor_vertices(v) {
-                next[u.index()] += share;
-            }
-        }
+        // Outgoing share of every vertex, plus the rank mass sitting on
+        // degree-0 vertices (redistributed uniformly via teleport).
+        let (share, dangling_mass) = map_reduce_chunks(
+            parallelism,
+            n,
+            |range| {
+                let mut shares = Vec::with_capacity(chunk_capacity(&range));
+                let mut dangling = 0.0f64;
+                for v in range {
+                    let d = graph.degree(VertexId::from_index(v));
+                    if d == 0 {
+                        dangling += rank[v];
+                        shares.push(0.0);
+                    } else {
+                        shares.push(rank[v] / d as f64);
+                    }
+                }
+                (shares, dangling)
+            },
+            merge,
+        )
+        .expect("n > 0");
+
         let teleport = (1.0 - config.damping) * uniform + config.damping * dangling_mass * uniform;
-        let mut delta = 0.0;
-        for v in 0..n {
-            let new_rank = teleport + config.damping * next[v];
-            delta += (new_rank - rank[v]).abs();
-            rank[v] = new_rank;
-        }
+        // Gather sweep: each vertex sums the shares of its sorted neighbor
+        // list, an order the chunking cannot affect; the chunk also sums its
+        // own |new - old| contribution to the convergence delta.
+        let (next, delta) = map_reduce_chunks(
+            parallelism,
+            n,
+            |range| {
+                let mut ranks = Vec::with_capacity(chunk_capacity(&range));
+                let mut delta = 0.0f64;
+                for u in range {
+                    let gathered: f64 = graph
+                        .neighbor_vertices(VertexId::from_index(u))
+                        .map(|v| share[v.index()])
+                        .sum();
+                    let new_rank = teleport + config.damping * gathered;
+                    delta += (new_rank - rank[u]).abs();
+                    ranks.push(new_rank);
+                }
+                (ranks, delta)
+            },
+            merge,
+        )
+        .expect("n > 0");
+        rank = next;
         if delta < config.tolerance {
             break;
         }
@@ -119,5 +193,16 @@ mod tests {
     fn empty_graph() {
         let g = GraphBuilder::new().build();
         assert!(pagerank(&g, &PageRankConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn parallel_pagerank_is_bit_identical_to_serial() {
+        let g = barabasi_albert(300, 3, 9);
+        let config = PageRankConfig::default();
+        let serial = pagerank(&g, &config);
+        for threads in 1..=4 {
+            let par = pagerank_with(&g, &config, Parallelism::Threads(threads));
+            assert_eq!(par, serial, "threads({threads})");
+        }
     }
 }

@@ -4,7 +4,7 @@
 //! role, produced there by a simultaneous community/role detection algorithm
 //! [Ruan & Parthasarathy, COSN'14]. As documented in DESIGN.md §4 we
 //! substitute a structural classifier with the same four roles the paper (and
-//! RolX [32]) use:
+//! RolX \[32\]) use:
 //!
 //! * **Whisker** — degree-1 vertices hanging off the structure;
 //! * **Hub** — vertices whose degree is far above their neighborhood's

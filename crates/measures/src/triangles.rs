@@ -3,59 +3,85 @@
 //! Per-edge triangle counts ("triangle density" in the paper's introduction)
 //! are both a scalar field in their own right and the support computation of
 //! the K-Truss decomposition.
+//!
+//! Every count here is independent per edge or per vertex, so all four
+//! functions parallelize through [`ugraph::par`]; being integer-valued they
+//! are exactly equal across every [`Parallelism`] setting.
 
-use ugraph::{CsrGraph, VertexId};
+use ugraph::par::{map_collect, Parallelism};
+use ugraph::{CsrGraph, EdgeId, VertexId};
 
 /// Number of triangles through each edge, indexed by edge id.
+/// Single-threaded; see [`edge_triangle_counts_with`].
 ///
 /// Uses the standard merge-intersection over the sorted adjacency lists of
 /// both endpoints, `O(Σ_e (deg(u) + deg(v)))`.
 pub fn edge_triangle_counts(graph: &CsrGraph) -> Vec<usize> {
-    let mut counts = vec![0usize; graph.edge_count()];
-    for e in graph.edges() {
-        counts[e.id.index()] =
-            sorted_intersection_size(graph.neighbor_slice(e.u), graph.neighbor_slice(e.v));
-    }
-    counts
+    edge_triangle_counts_with(graph, Parallelism::Serial)
+}
+
+/// [`edge_triangle_counts`] parallelized over edges.
+pub fn edge_triangle_counts_with(graph: &CsrGraph, parallelism: Parallelism) -> Vec<usize> {
+    map_collect(parallelism, graph.edge_count(), |e| {
+        let (u, v) = graph.endpoints(EdgeId::from_index(e));
+        sorted_intersection_size(graph.neighbor_slice(u), graph.neighbor_slice(v))
+    })
 }
 
 /// Number of triangles through each vertex, indexed by vertex id.
+/// Single-threaded; see [`vertex_triangle_counts_with`].
 pub fn vertex_triangle_counts(graph: &CsrGraph) -> Vec<usize> {
-    let edge_counts = edge_triangle_counts(graph);
-    let mut vertex_counts = vec![0usize; graph.vertex_count()];
-    for e in graph.edges() {
-        // Each triangle through a vertex v uses exactly two edges incident to
-        // v, so summing edge counts over incident edges double-counts.
-        vertex_counts[e.u.index()] += edge_counts[e.id.index()];
-        vertex_counts[e.v.index()] += edge_counts[e.id.index()];
-    }
-    for c in &mut vertex_counts {
-        *c /= 2;
-    }
-    vertex_counts
+    vertex_triangle_counts_with(graph, Parallelism::Serial)
+}
+
+/// [`vertex_triangle_counts`] parallelized over edges (support pass) and
+/// vertices (gather pass).
+pub fn vertex_triangle_counts_with(graph: &CsrGraph, parallelism: Parallelism) -> Vec<usize> {
+    let edge_counts = edge_triangle_counts_with(graph, parallelism);
+    map_collect(parallelism, graph.vertex_count(), |v| {
+        // Each triangle through v uses exactly two of v's incident edges, so
+        // the sum over incident-edge supports double-counts.
+        let sum: usize = graph
+            .incident_edge_slice(VertexId::from_index(v))
+            .iter()
+            .map(|e| edge_counts[e.index()])
+            .sum();
+        sum / 2
+    })
 }
 
 /// Local clustering coefficient of every vertex: the fraction of neighbor
 /// pairs that are themselves connected. Vertices of degree < 2 get 0.
+/// Single-threaded; see [`clustering_coefficients_with`].
 pub fn clustering_coefficients(graph: &CsrGraph) -> Vec<f64> {
-    let triangles = vertex_triangle_counts(graph);
-    graph
-        .vertices()
-        .map(|v| {
-            let d = graph.degree(v);
-            if d < 2 {
-                0.0
-            } else {
-                2.0 * triangles[v.index()] as f64 / (d * (d - 1)) as f64
-            }
-        })
-        .collect()
+    clustering_coefficients_with(graph, Parallelism::Serial)
 }
 
-/// Total number of triangles in the graph.
+/// [`clustering_coefficients`] parallelized over vertices.
+pub fn clustering_coefficients_with(graph: &CsrGraph, parallelism: Parallelism) -> Vec<f64> {
+    let triangles = vertex_triangle_counts_with(graph, parallelism);
+    map_collect(parallelism, graph.vertex_count(), |v| {
+        let d = graph.degree(VertexId::from_index(v));
+        if d < 2 {
+            0.0
+        } else {
+            2.0 * triangles[v] as f64 / (d * (d - 1)) as f64
+        }
+    })
+}
+
+/// Total number of triangles in the graph. Single-threaded; see
+/// [`total_triangles_with`].
 pub fn total_triangles(graph: &CsrGraph) -> usize {
-    // Each triangle is counted once per edge (3 times total).
-    edge_triangle_counts(graph).iter().sum::<usize>() / 3
+    total_triangles_with(graph, Parallelism::Serial)
+}
+
+/// [`total_triangles`] parallelized over edges.
+pub fn total_triangles_with(graph: &CsrGraph, parallelism: Parallelism) -> usize {
+    // Each triangle is counted once per edge (3 times total). The counting
+    // pass parallelizes; the final integer sum is far cheaper than a thread
+    // region, so it stays on the calling thread.
+    edge_triangle_counts_with(graph, parallelism).iter().sum::<usize>() / 3
 }
 
 fn sorted_intersection_size(a: &[VertexId], b: &[VertexId]) -> usize {
@@ -119,6 +145,18 @@ mod tests {
         let g = b.build();
         assert_eq!(total_triangles(&g), 0);
         assert!(clustering_coefficients(&g).iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn parallel_triangle_counts_equal_serial() {
+        let g = ugraph::generators::erdos_renyi(100, 0.08, 2);
+        for threads in 1..=4 {
+            let p = Parallelism::Threads(threads);
+            assert_eq!(edge_triangle_counts_with(&g, p), edge_triangle_counts(&g));
+            assert_eq!(vertex_triangle_counts_with(&g, p), vertex_triangle_counts(&g));
+            assert_eq!(clustering_coefficients_with(&g, p), clustering_coefficients(&g));
+            assert_eq!(total_triangles_with(&g, p), total_triangles(&g));
+        }
     }
 
     #[test]

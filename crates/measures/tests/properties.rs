@@ -1,12 +1,17 @@
 //! Property-based tests for the measure substrates: decompositions checked
-//! against brute force, and structural invariants of the centrality and
-//! community measures on arbitrary random graphs.
+//! against brute force, structural invariants of the centrality and
+//! community measures on arbitrary random graphs, and exact serial/parallel
+//! agreement for every measure ported onto `ugraph::par`.
 
 use measures::kcore::{core_numbers, core_numbers_bruteforce};
-use measures::ktruss::{truss_numbers, truss_numbers_bruteforce};
+use measures::ktruss::{truss_numbers, truss_numbers_bruteforce, truss_numbers_with};
 use measures::{
-    betweenness_centrality, clustering_coefficients, degree_centrality, degrees,
-    harmonic_centrality, label_propagation, pagerank, vertex_triangle_counts, PageRankConfig,
+    betweenness_centrality, betweenness_centrality_sampled, betweenness_centrality_sampled_with,
+    betweenness_centrality_with, closeness_centrality, closeness_centrality_with,
+    clustering_coefficients, clustering_coefficients_with, degree_centrality, degrees,
+    edge_triangle_counts, edge_triangle_counts_with, harmonic_centrality, label_propagation,
+    pagerank, pagerank_with, vertex_triangle_counts, vertex_triangle_counts_with, PageRankConfig,
+    Parallelism,
 };
 use proptest::prelude::*;
 use ugraph::{CsrGraph, GraphBuilder, VertexId};
@@ -123,6 +128,52 @@ proptest! {
         }
     }
 
+    /// Parallel execution is a pure wall-clock knob: for every measure ported
+    /// onto `ugraph::par`, `Threads(1..=4)` output is **exactly** equal
+    /// (`==`, not approximately) to the serial output on arbitrary graphs.
+    #[test]
+    fn parallel_measures_are_bit_identical_to_serial(graph in arbitrary_graph(40, 3)) {
+        let bc = betweenness_centrality(&graph);
+        let bcs = betweenness_centrality_sampled(&graph, 7, 3);
+        let cc = closeness_centrality(&graph);
+        let pr = pagerank(&graph, &PageRankConfig::default());
+        let et = edge_triangle_counts(&graph);
+        let vt = vertex_triangle_counts(&graph);
+        let cf = clustering_coefficients(&graph);
+        let tr = truss_numbers(&graph);
+        for threads in 1..=4usize {
+            let p = Parallelism::Threads(threads);
+            prop_assert_eq!(&betweenness_centrality_with(&graph, p), &bc, "threads {}", threads);
+            prop_assert_eq!(
+                &betweenness_centrality_sampled_with(&graph, 7, 3, p),
+                &bcs,
+                "threads {}",
+                threads
+            );
+            prop_assert_eq!(&closeness_centrality_with(&graph, p), &cc, "threads {}", threads);
+            prop_assert_eq!(
+                &pagerank_with(&graph, &PageRankConfig::default(), p),
+                &pr,
+                "threads {}",
+                threads
+            );
+            prop_assert_eq!(&edge_triangle_counts_with(&graph, p), &et, "threads {}", threads);
+            prop_assert_eq!(&vertex_triangle_counts_with(&graph, p), &vt, "threads {}", threads);
+            prop_assert_eq!(&clustering_coefficients_with(&graph, p), &cf, "threads {}", threads);
+            prop_assert_eq!(&truss_numbers_with(&graph, p).truss, &tr.truss, "threads {}", threads);
+        }
+    }
+
+    /// `samples >= n` falls back to the exact Brandes path: for any seed the
+    /// sampled function returns exactly the exact centrality.
+    #[test]
+    fn oversampled_betweenness_equals_exact(graph in arbitrary_graph(30, 3), seed in 0u64..1000) {
+        let n = graph.vertex_count();
+        let exact = betweenness_centrality(&graph);
+        prop_assert_eq!(&betweenness_centrality_sampled(&graph, n, seed), &exact);
+        prop_assert_eq!(&betweenness_centrality_sampled(&graph, n + 5, seed), &exact);
+    }
+
     /// Label propagation assigns every vertex a compact label and keeps
     /// connected components intact: vertices in different components never
     /// share a label with a vertex of another component... unless both labels
@@ -135,6 +186,36 @@ proptest! {
         if let Some(&max) = labels.iter().max() {
             let used: std::collections::BTreeSet<usize> = labels.iter().copied().collect();
             prop_assert_eq!(used.len(), max + 1);
+        }
+    }
+}
+
+/// The serial/parallel agreement must also hold on the degenerate graphs the
+/// random strategy never generates: empty (0 vertices) and a single vertex.
+#[test]
+fn parallel_measures_handle_empty_and_single_vertex_graphs() {
+    let empty = GraphBuilder::new().build();
+    let mut b = GraphBuilder::new();
+    b.ensure_vertex(0);
+    let single = b.build();
+
+    for graph in [&empty, &single] {
+        let n = graph.vertex_count();
+        for threads in 1..=4usize {
+            let p = Parallelism::Threads(threads);
+            assert_eq!(betweenness_centrality_with(graph, p), betweenness_centrality(graph));
+            assert_eq!(
+                betweenness_centrality_sampled_with(graph, 3, 0, p),
+                betweenness_centrality_sampled(graph, 3, 0)
+            );
+            assert_eq!(closeness_centrality_with(graph, p), closeness_centrality(graph));
+            let config = PageRankConfig::default();
+            assert_eq!(pagerank_with(graph, &config, p), pagerank(graph, &config));
+            assert_eq!(edge_triangle_counts_with(graph, p), edge_triangle_counts(graph));
+            assert_eq!(vertex_triangle_counts_with(graph, p), vertex_triangle_counts(graph));
+            assert_eq!(clustering_coefficients_with(graph, p), clustering_coefficients(graph));
+            assert_eq!(truss_numbers_with(graph, p).truss, truss_numbers(graph).truss);
+            assert_eq!(betweenness_centrality(graph).len(), n);
         }
     }
 }

@@ -10,11 +10,12 @@
 
 use crate::tasks::Task;
 use baselines::{lanet_layout, openord_layout, OpenOrdConfig};
-use measures::{betweenness_centrality_sampled, core_numbers, degrees};
+use measures::{betweenness_centrality_sampled_with, core_numbers, degrees};
 use scalarfield::{
     build_super_tree, global_correlation_index, vertex_scalar_tree, VertexScalarGraph,
 };
 use terrain::{highest_peaks, layout_super_tree, LayoutConfig};
+use ugraph::par::Parallelism;
 use ugraph::CsrGraph;
 
 /// Dataset-level quantities the saliency models consume.
@@ -45,11 +46,26 @@ pub struct SaliencyInputs {
 }
 
 impl SaliencyInputs {
-    /// Compute the inputs for a dataset.
+    /// Compute the inputs for a dataset. Single-threaded; see
+    /// [`SaliencyInputs::compute_with`].
     ///
     /// `betweenness_samples` bounds the cost of the exact Brandes pass on
     /// larger graphs (the study datasets are a few thousand vertices).
     pub fn compute(graph: &CsrGraph, betweenness_samples: usize, seed: u64) -> SaliencyInputs {
+        SaliencyInputs::compute_with(graph, betweenness_samples, seed, Parallelism::Serial)
+    }
+
+    /// [`SaliencyInputs::compute`] with a thread budget for the betweenness
+    /// pass behind the Task-3 correlation input.
+    ///
+    /// The inputs — and therefore every downstream study row — are identical
+    /// for every `parallelism` setting.
+    pub fn compute_with(
+        graph: &CsrGraph,
+        betweenness_samples: usize,
+        seed: u64,
+        parallelism: Parallelism,
+    ) -> SaliencyInputs {
         let n = graph.vertex_count().max(1);
         let cores = core_numbers(graph);
         let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
@@ -85,7 +101,8 @@ impl SaliencyInputs {
 
         // Degree vs betweenness correlation (Task 3).
         let degree_field: Vec<f64> = degrees(graph).iter().map(|&d| d as f64).collect();
-        let betweenness = betweenness_centrality_sampled(graph, betweenness_samples, seed);
+        let betweenness =
+            betweenness_centrality_sampled_with(graph, betweenness_samples, seed, parallelism);
         let gci = global_correlation_index(graph, &degree_field, &betweenness, 1).unwrap_or(0.0);
 
         // Node-link occlusion. The perceptual radius is a couple of pixels on

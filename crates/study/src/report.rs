@@ -3,6 +3,7 @@
 use crate::metrics::{lanet_saliency, openord_saliency, terrain_saliency, SaliencyInputs};
 use crate::simulated_user::{mean_accuracy, mean_time, simulate_participants, ParticipantModel};
 use crate::tasks::{Task, Tool};
+use ugraph::par::Parallelism;
 use ugraph::CsrGraph;
 
 /// Configuration of a study run.
@@ -14,6 +15,10 @@ pub struct StudyConfig {
     pub model: ParticipantModel,
     /// Number of betweenness source pivots used when computing Task-3 inputs.
     pub betweenness_samples: usize,
+    /// Thread budget for the measure computations behind the saliency
+    /// inputs. Results are identical for every setting (see [`ugraph::par`]),
+    /// so this never changes a study outcome — only how long it takes.
+    pub parallelism: Parallelism,
     /// PRNG seed.
     pub seed: u64,
 }
@@ -24,6 +29,7 @@ impl Default for StudyConfig {
             participants: 10,
             model: ParticipantModel::default(),
             betweenness_samples: 128,
+            parallelism: Parallelism::Serial,
             seed: 0x57d1,
         }
     }
@@ -56,10 +62,11 @@ pub fn run_user_study(
     let mut rows = Vec::new();
     for (task, datasets) in task_datasets {
         for (dataset_index, (name, graph)) in datasets.iter().enumerate() {
-            let inputs = SaliencyInputs::compute(
+            let inputs = SaliencyInputs::compute_with(
                 graph,
                 config.betweenness_samples,
                 config.seed ^ (dataset_index as u64) << 8,
+                config.parallelism,
             );
             for (tool_index, tool) in Tool::for_task(*task).into_iter().enumerate() {
                 let saliency = match tool {

@@ -39,6 +39,25 @@ impl EdgeRef {
 }
 
 /// Immutable simple undirected graph in CSR form.
+///
+/// ```
+/// use ugraph::{CsrGraph, GraphBuilder, VertexId};
+///
+/// // A triangle with a tail: 0-1, 1-2, 2-0, 2-3.
+/// let mut b = GraphBuilder::new();
+/// for (u, v) in [(0, 1), (1, 2), (2, 0), (2, 3)] {
+///     b.add_edge(u, v);
+/// }
+/// let g: CsrGraph = b.build();
+///
+/// assert_eq!((g.vertex_count(), g.edge_count()), (4, 4));
+/// assert_eq!(g.degree(VertexId(2)), 3);
+/// // Neighbor lists are sorted slices — the canonical iteration order.
+/// let nbrs: Vec<u32> = g.neighbor_slice(VertexId(2)).iter().map(|v| v.0).collect();
+/// assert_eq!(nbrs, vec![0, 1, 3]);
+/// assert!(g.has_edge(VertexId(0), VertexId(2)));
+/// assert!(!g.has_edge(VertexId(0), VertexId(3)));
+/// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CsrGraph {
     /// `offsets[v]..offsets[v+1]` is the slice of `targets`/`edge_ids` holding

@@ -18,6 +18,12 @@
 //!    those scans contiguous.
 //! 3. **Small, explicit API** — only what the upper layers need.
 //!
+//! The [`par`] module adds a deterministic chunked parallel-for
+//! ([`par::map_reduce_chunks`]) that the `measures` crate drives its hot
+//! centralities through; its [`Parallelism`] knob changes wall-clock time but
+//! never results (chunking is a pure function of the input length), so goal 1
+//! survives multithreading.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -43,6 +49,7 @@ pub mod error;
 pub mod generators;
 pub mod ids;
 pub mod io;
+pub mod par;
 pub mod traversal;
 pub mod union_find;
 
@@ -51,5 +58,6 @@ pub use csr::{CsrGraph, EdgeRef, NeighborIter};
 pub use dual::{line_graph, LineGraph};
 pub use error::{GraphError, Result};
 pub use ids::{EdgeId, VertexId};
+pub use par::Parallelism;
 pub use traversal::{bfs_order, connected_components, ConnectedComponents};
 pub use union_find::UnionFind;

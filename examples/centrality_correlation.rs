@@ -9,7 +9,7 @@
 //! ```
 
 use graph_terrain::prelude::*;
-use measures::{betweenness_centrality_sampled, degrees};
+use measures::{betweenness_centrality_sampled_with, degrees, Parallelism};
 use scalarfield::{global_correlation_index, local_correlation_index, outlier_scores};
 use terrain::ColorScheme;
 use terrain::{LayoutConfig, MeshConfig};
@@ -31,9 +31,11 @@ fn main() {
     });
     println!("network: {} authors, {} edges", graph.vertex_count(), graph.edge_count());
 
-    // Two scalar fields on the same graph.
+    // Two scalar fields on the same graph. The betweenness pass uses every
+    // core the machine offers — safe for a reproducible figure because the
+    // `ugraph::par` engine returns the same bits at any thread count.
     let degree_field: Vec<f64> = degrees(&graph).iter().map(|&d| d as f64).collect();
-    let betweenness = betweenness_centrality_sampled(&graph, 256, 7);
+    let betweenness = betweenness_centrality_sampled_with(&graph, 256, 7, Parallelism::auto());
 
     // Global and local correlation.
     let gci = global_correlation_index(&graph, &degree_field, &betweenness, 1).unwrap();

@@ -178,7 +178,7 @@ pub mod collection {
     use core::ops::Range;
     use rand::Rng;
 
-    /// A length specification for [`vec`]: a fixed size or a half-open range.
+    /// A length specification for [`vec()`]: a fixed size or a half-open range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         min: usize,

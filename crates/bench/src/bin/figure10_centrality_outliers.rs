@@ -10,14 +10,10 @@
 use bench::datasets::DatasetKind;
 use bench::output::{format_table, write_artifact};
 use bench::parallelism::parallelism_from_args;
+use graph_terrain::{SimplificationConfig, SvgSize, TerrainPipeline};
 use measures::{betweenness_centrality_sampled_with, degrees};
-use scalarfield::{
-    build_super_tree, global_correlation_index, local_correlation_index, outlier_scores,
-    vertex_scalar_tree, VertexScalarGraph,
-};
-use terrain::{
-    build_terrain_mesh, layout_super_tree, terrain_to_svg, ColorScheme, LayoutConfig, MeshConfig,
-};
+use scalarfield::{global_correlation_index, local_correlation_index, outlier_scores};
+use terrain::ColorScheme;
 use ugraph::VertexId;
 
 fn main() {
@@ -42,18 +38,13 @@ fn main() {
     println!("(paper reports 0.89 on the real Astro network — expect a strongly positive value)");
 
     // Outlier-score terrain colored by degree.
-    let sg = VertexScalarGraph::new(graph, &outliers).unwrap();
-    let tree = build_super_tree(&vertex_scalar_tree(&sg));
-    let layout = layout_super_tree(&tree, &LayoutConfig::default());
-    let mesh = build_terrain_mesh(
-        &tree,
-        &layout,
-        &MeshConfig {
-            color: ColorScheme::BySecondaryScalar(degree_field.clone()),
-            ..Default::default()
-        },
-    );
-    let _ = write_artifact("figure10_outlier_terrain.svg", &terrain_to_svg(&mesh, 900.0, 700.0));
+    let mut session =
+        TerrainPipeline::vertex(graph, outliers.clone()).expect("valid outlier score field");
+    session
+        .set_simplification(SimplificationConfig::disabled())
+        .set_color(ColorScheme::BySecondaryScalar(degree_field.clone()))
+        .set_svg_size(SvgSize::new(900.0, 700.0));
+    let _ = write_artifact("figure10_outlier_terrain.svg", &session.build().expect("svg stage"));
 
     // Drill-down: the top outlier vertices (restricted to vertices with a
     // meaningful neighborhood, as the paper's drill-down does by construction).

@@ -9,11 +9,8 @@
 
 use bench::nn_graph::{generate_plant_table, knn_graph};
 use bench::output::{format_table, write_artifact};
-use scalarfield::{build_super_tree, vertex_scalar_tree, VertexScalarGraph};
-use terrain::{
-    build_terrain_mesh, layout_super_tree, terrain_to_svg, Color, ColorScheme, LayoutConfig,
-    MeshConfig,
-};
+use graph_terrain::{SimplificationConfig, SvgSize, TerrainPipeline};
+use terrain::{Color, ColorScheme};
 use ugraph::traversal::connected_components;
 
 fn main() {
@@ -40,23 +37,19 @@ fn main() {
     let mut rows = Vec::new();
     for attribute in [0usize, 1] {
         let scalar = table.attribute(attribute);
-        let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
-        let tree = build_super_tree(&vertex_scalar_tree(&sg));
-        let layout = layout_super_tree(&tree, &LayoutConfig::default());
-        let mesh = build_terrain_mesh(
-            &tree,
-            &layout,
-            &MeshConfig {
-                color: ColorScheme::ByClass {
-                    classes: table.genus.clone(),
-                    palette: palette.clone(),
-                },
-                ..Default::default()
-            },
-        );
+        let mut session =
+            TerrainPipeline::vertex(&graph, scalar.clone()).expect("valid attribute field");
+        session
+            .set_simplification(SimplificationConfig::disabled())
+            .set_color(ColorScheme::ByClass {
+                classes: table.genus.clone(),
+                palette: palette.clone(),
+            })
+            .set_svg_size(SvgSize::new(900.0, 700.0));
+        let node_count = session.super_tree().expect("attribute super tree").node_count();
         let _ = write_artifact(
             &format!("figure11_attribute{}_terrain.svg", attribute + 1),
-            &terrain_to_svg(&mesh, 900.0, 700.0),
+            &session.build().expect("svg stage"),
         );
 
         // Observation (iii): genus separability of the attribute = variance of
@@ -78,7 +71,7 @@ fn main() {
         rows.push(vec![
             format!("attribute {}", attribute + 1),
             format!("{:.2}", between / within.max(1e-9)),
-            tree.node_count().to_string(),
+            node_count.to_string(),
         ]);
     }
 

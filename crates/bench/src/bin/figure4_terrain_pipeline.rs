@@ -2,13 +2,9 @@
 //! example, plus the peak5 / peak3 cross-sections of Figures 4(d)–(i).
 
 use bench::output::write_artifact;
-use scalarfield::{
-    build_super_tree, component_members_at_alpha, vertex_scalar_tree, VertexScalarGraph,
-};
-use terrain::{
-    ascii_heightmap, build_terrain_mesh, build_treemap, layout_super_tree, peaks_at_alpha,
-    terrain_to_svg, treemap_to_svg, LayoutConfig, MeshConfig,
-};
+use graph_terrain::{SvgSize, TerrainPipeline};
+use scalarfield::component_members_at_alpha;
+use terrain::{ascii_heightmap, build_treemap, peaks_at_alpha, treemap_to_svg};
 use ugraph::GraphBuilder;
 
 fn main() {
@@ -23,17 +19,17 @@ fn main() {
     let graph = b.build();
     let scalar = vec![3.0, 3.0, 4.0, 3.0, 5.0, 4.0, 2.0, 1.5, 1.0];
 
-    let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
-    let tree = build_super_tree(&vertex_scalar_tree(&sg));
-    let layout = layout_super_tree(&tree, &LayoutConfig::default());
-    let mesh = build_terrain_mesh(&tree, &layout, &MeshConfig::default());
+    let mut session = TerrainPipeline::vertex(&graph, scalar).expect("valid 9-vertex field");
+    session.set_svg_size(SvgSize::new(900.0, 700.0));
+    let stages = session.stages().expect("toy pipeline stages");
+    let (tree, layout, mesh) = (stages.render_tree, stages.layout, stages.mesh);
 
     println!("Figure 4 — terrain pipeline on the 9-vertex example");
     println!("super tree nodes: {}", tree.node_count());
     println!("terrain mesh: {} vertices, {} triangles", mesh.vertex_count(), mesh.triangle_count());
 
     for alpha in [5.0, 3.0, 2.5] {
-        let peaks = peaks_at_alpha(&tree, &layout, alpha);
+        let peaks = peaks_at_alpha(tree, layout, alpha);
         println!("peaks at alpha = {alpha}: {}", peaks.len());
         for p in &peaks {
             println!(
@@ -45,15 +41,15 @@ fn main() {
             );
         }
         // Cross-check against the tree-level cut.
-        let sets = component_members_at_alpha(&tree, alpha);
+        let sets = component_members_at_alpha(tree, alpha);
         assert_eq!(sets.len(), peaks.len());
     }
 
     println!("\nASCII terrain (top view, height-coded):\n");
-    println!("{}", ascii_heightmap(&layout, 64, 20));
+    println!("{}", ascii_heightmap(layout, 64, 20));
 
-    let svg3d = terrain_to_svg(&mesh, 900.0, 700.0);
-    let svg2d = treemap_to_svg(&build_treemap(&tree, &layout), 900.0, 700.0);
+    let svg2d = treemap_to_svg(&build_treemap(tree, layout), 900.0, 700.0);
+    let svg3d = session.build().expect("svg stage");
     if let Ok(p) = write_artifact("figure4_terrain.svg", &svg3d) {
         println!("wrote {}", p.display());
     }

@@ -8,24 +8,22 @@
 
 use bench::datasets::DatasetKind;
 use bench::output::write_artifact;
+use graph_terrain::{Measure, SimplificationConfig, SvgSize, TerrainPipeline};
 use measures::core_numbers;
-use scalarfield::{build_super_tree, vertex_scalar_tree, VertexScalarGraph};
-use terrain::{
-    build_terrain_mesh, build_treemap, colormap, highest_peaks, layout_super_tree, terrain_to_svg,
-    treemap_to_svg, LayoutConfig, MeshConfig,
-};
+use terrain::{build_treemap, colormap, highest_peaks, treemap_to_svg};
 
 fn main() {
     let dataset =
         DatasetKind::GrQc.generate(if std::env::args().any(|a| a == "--full") { 1.0 } else { 0.4 });
     let graph = &dataset.graph;
     let cores = core_numbers(graph);
-    let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
-    let sg = VertexScalarGraph::new(graph, &scalar).unwrap();
-    let tree = build_super_tree(&vertex_scalar_tree(&sg));
-    let layout = layout_super_tree(&tree, &LayoutConfig::default());
-    let mesh = build_terrain_mesh(&tree, &layout, &MeshConfig::default());
-    let treemap = build_treemap(&tree, &layout);
+    let mut session = TerrainPipeline::from_measure(graph, Measure::KCore);
+    session
+        .set_simplification(SimplificationConfig::disabled())
+        .set_svg_size(SvgSize::new(900.0, 700.0));
+    let stages = session.stages().expect("k-core terrain stages");
+    let (tree, layout) = (stages.render_tree, stages.layout);
+    let treemap = build_treemap(tree, layout);
 
     println!("Figure 5 — 2D treemap vs 3D terrain ({} analog)", dataset.spec.name);
     println!(
@@ -37,7 +35,7 @@ fn main() {
     );
 
     // The two tallest disjoint peaks ("peak 1" and "peak 2" of the figure).
-    let peaks = highest_peaks(&tree, &layout, 16);
+    let peaks = highest_peaks(tree, layout, 16);
     if let Some(first) = peaks.first() {
         let first_set: std::collections::BTreeSet<u32> = first.members.iter().copied().collect();
         if let Some(second) =
@@ -69,7 +67,7 @@ fn main() {
         }
     }
 
-    let svg3d = terrain_to_svg(&mesh, 900.0, 700.0);
+    let svg3d = session.build().expect("svg stage");
     let svg2d = treemap_to_svg(&treemap, 900.0, 700.0);
     if let Ok(p) = write_artifact("figure5_terrain3d.svg", &svg3d) {
         println!("wrote {}", p.display());

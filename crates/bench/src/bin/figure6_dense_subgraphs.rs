@@ -14,14 +14,9 @@
 use baselines::{csv_plot, lanet_layout, layout_to_svg, spring_layout, SpringConfig};
 use bench::datasets::DatasetKind;
 use bench::output::{format_table, write_artifact};
-use measures::{core_numbers, truss_numbers};
-use scalarfield::{
-    build_super_tree, edge_scalar_tree, vertex_scalar_tree, EdgeScalarGraph, VertexScalarGraph,
-};
-use terrain::{
-    build_terrain_mesh, highest_peaks, layout_super_tree, peaks_at_alpha, terrain_to_svg,
-    LayoutConfig, MeshConfig,
-};
+use graph_terrain::{Measure, SimplificationConfig, SvgSize, TerrainPipeline};
+use measures::core_numbers;
+use terrain::{highest_peaks, peaks_at_alpha};
 
 fn main() {
     let scale = if std::env::args().any(|a| a == "--full") { 1.0 } else { 0.4 };
@@ -40,18 +35,19 @@ fn main() {
 
         // --- K-Core terrain -------------------------------------------------
         let cores = core_numbers(graph);
-        let kc: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
-        let sg = VertexScalarGraph::new(graph, &kc).unwrap();
-        let tree = build_super_tree(&vertex_scalar_tree(&sg));
-        let layout = layout_super_tree(&tree, &LayoutConfig::default());
-        let mesh = build_terrain_mesh(&tree, &layout, &MeshConfig::default());
+        let mut session = TerrainPipeline::from_measure(graph, Measure::KCore);
+        session
+            .set_simplification(SimplificationConfig::disabled())
+            .set_svg_size(SvgSize::new(900.0, 700.0));
+        let stages = session.stages().expect("k-core terrain stages");
+        let (tree, layout) = (stages.render_tree, stages.layout);
 
         // How many disconnected dense cores exist at 60% of the degeneracy?
         let alpha = (cores.degeneracy as f64 * 0.6).floor().max(2.0);
-        let dense_peaks = peaks_at_alpha(&tree, &layout, alpha);
+        let dense_peaks = peaks_at_alpha(tree, layout, alpha);
 
         // Containment: does the tallest peak sit on a broader lower foundation?
-        let tallest = highest_peaks(&tree, &layout, 1);
+        let tallest = highest_peaks(tree, layout, 1);
         let foundation = tallest.first().map(|p| {
             let root = p.root_node;
             let mut depth = 0;
@@ -73,7 +69,7 @@ fn main() {
 
         let _ = write_artifact(
             &format!("figure6_{name}_kcore_terrain.svg"),
-            &terrain_to_svg(&mesh, 900.0, 700.0),
+            &session.build().expect("svg stage"),
         );
 
         // --- spring layout baseline ------------------------------------------
@@ -96,21 +92,21 @@ fn main() {
 
         // --- K-Truss terrain (GrQc only, as in the paper) ----------------------
         if kind == DatasetKind::GrQc {
-            let truss = truss_numbers(graph);
-            let kt: Vec<f64> = truss.truss.iter().map(|&t| t as f64).collect();
-            let esg = EdgeScalarGraph::new(graph, &kt).unwrap();
-            let etree = build_super_tree(&edge_scalar_tree(&esg));
-            let elayout = layout_super_tree(&etree, &LayoutConfig::default());
-            let emesh = build_terrain_mesh(&etree, &elayout, &MeshConfig::default());
+            let mut esession = TerrainPipeline::from_measure(graph, Measure::KTruss);
+            esession
+                .set_simplification(SimplificationConfig::disabled())
+                .set_svg_size(SvgSize::new(900.0, 700.0));
+            let max_truss = esession
+                .scalar()
+                .expect("k-truss scalar stage")
+                .iter()
+                .fold(0.0f64, |a, &b| a.max(b));
+            let nodes = esession.super_tree().expect("k-truss super tree").node_count();
             let _ = write_artifact(
                 &format!("figure6_{name}_ktruss_terrain.svg"),
-                &terrain_to_svg(&emesh, 900.0, 700.0),
+                &esession.build().expect("svg stage"),
             );
-            println!(
-                "{name} K-Truss terrain: max KT = {}, super tree nodes = {}",
-                truss.max_truss,
-                etree.node_count()
-            );
+            println!("{name} K-Truss terrain: max KT = {max_truss:.0}, super tree nodes = {nodes}");
         }
     }
 

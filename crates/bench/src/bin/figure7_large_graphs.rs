@@ -33,8 +33,20 @@ fn main() {
         // Full pipelines (also produce the terrains as SVG via the pipeline
         // helpers' internals; here we re-run the decompositions to report the
         // densest structures of Figures 7(e,f)).
-        let vreport = run_vertex_pipeline_with(graph, parallelism);
-        let ereport = run_edge_pipeline_with(graph, false, parallelism);
+        let vreport = match run_vertex_pipeline_with(graph, parallelism) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("[figure7] {} KC(v) pipeline failed: {e}", dataset.spec.name);
+                continue;
+            }
+        };
+        let ereport = match run_edge_pipeline_with(graph, false, parallelism) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("[figure7] {} KT(e) pipeline failed: {e}", dataset.spec.name);
+                continue;
+            }
+        };
 
         let cores = core_numbers(graph);
         let densest_core = cores.densest_core_vertices();

@@ -9,11 +9,8 @@
 
 use bench::datasets::DatasetKind;
 use bench::output::{format_table, write_artifact};
-use scalarfield::{build_super_tree, vertex_scalar_tree, VertexScalarGraph};
-use terrain::{
-    build_terrain_mesh, highest_peaks, layout_super_tree, peaks_at_alpha, select_region,
-    terrain_to_svg, LayoutConfig, MeshConfig,
-};
+use graph_terrain::{SimplificationConfig, SvgSize, TerrainPipeline};
+use terrain::{highest_peaks, peaks_at_alpha, select_region};
 
 fn main() {
     let scale = if std::env::args().any(|a| a == "--full") { 1.0 } else { 0.5 };
@@ -27,16 +24,19 @@ fn main() {
 
     let mut rows = Vec::new();
     for (community, scores) in dataset.scores.iter().enumerate() {
-        let sg = VertexScalarGraph::new(graph, scores).unwrap();
-        let tree = build_super_tree(&vertex_scalar_tree(&sg));
-        let layout = layout_super_tree(&tree, &LayoutConfig::default());
-        let mesh = build_terrain_mesh(&tree, &layout, &MeshConfig::default());
+        let mut session =
+            TerrainPipeline::vertex(graph, scores.clone()).expect("valid community score field");
+        session
+            .set_simplification(SimplificationConfig::disabled())
+            .set_svg_size(SvgSize::new(900.0, 700.0));
+        let stages = session.stages().expect("community terrain stages");
+        let (tree, layout) = (stages.render_tree, stages.layout);
 
         // Major peaks at score 0.3: connected regions of anyone affiliated
         // with the community (the whole community shows as one mountain).
         // Sub-peaks at 0.6: the mid/core tiers, which split by sub-community.
-        let major = peaks_at_alpha(&tree, &layout, 0.3);
-        let sub = peaks_at_alpha(&tree, &layout, 0.6);
+        let major = peaks_at_alpha(tree, layout, 0.3);
+        let sub = peaks_at_alpha(tree, layout, 0.6);
 
         // Purity of the largest major peak: how exclusively its members belong
         // to this community (the paper reads community membership off the
@@ -58,10 +58,10 @@ fn main() {
         // "select the authors in the peak" interaction). The broader
         // rectangular region selection is also exercised, mirroring the
         // linked-2D-display callback.
-        let top = highest_peaks(&tree, &layout, 1);
+        let top = highest_peaks(tree, layout, 1);
         let core_members: Vec<u32> = top.first().map(|p| p.members.clone()).unwrap_or_default();
         let _region =
-            top.first().map(|p| select_region(&tree, &layout, &p.footprint)).unwrap_or_default();
+            top.first().map(|p| select_region(tree, layout, &p.footprint)).unwrap_or_default();
         let core_mean_score = if core_members.is_empty() {
             0.0
         } else {
@@ -80,7 +80,7 @@ fn main() {
 
         let _ = write_artifact(
             &format!("figure8_community{community}_terrain.svg"),
-            &terrain_to_svg(&mesh, 900.0, 700.0),
+            &session.build().expect("svg stage"),
         );
     }
 

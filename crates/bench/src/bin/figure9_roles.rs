@@ -7,12 +7,9 @@
 //! vertices form the low red skirt.
 
 use bench::output::{format_table, write_artifact};
+use graph_terrain::{SimplificationConfig, SvgSize, TerrainPipeline};
 use measures::{assign_roles, Role};
-use scalarfield::{build_super_tree, vertex_scalar_tree, VertexScalarGraph};
-use terrain::{
-    build_terrain_mesh, build_treemap, layout_super_tree, role_palette, terrain_to_svg,
-    treemap_to_svg, ColorScheme, LayoutConfig, MeshConfig,
-};
+use terrain::{build_treemap, role_palette, treemap_to_svg, ColorScheme};
 use ugraph::generators::hub_periphery_community;
 
 fn main() {
@@ -30,18 +27,13 @@ fn main() {
     let detected = assign_roles(graph);
 
     // Terrain from the community score, colored by dominant role.
-    let sg = VertexScalarGraph::new(graph, &planted.community_score).unwrap();
-    let tree = build_super_tree(&vertex_scalar_tree(&sg));
-    let layout = layout_super_tree(&tree, &LayoutConfig::default());
     let classes: Vec<usize> = detected.roles.iter().map(|r| r.code()).collect();
-    let mesh = build_terrain_mesh(
-        &tree,
-        &layout,
-        &MeshConfig {
-            color: ColorScheme::ByClass { classes: classes.clone(), palette: role_palette() },
-            ..Default::default()
-        },
-    );
+    let mut session = TerrainPipeline::vertex(graph, planted.community_score.clone())
+        .expect("valid community score field");
+    session
+        .set_simplification(SimplificationConfig::disabled())
+        .set_color(ColorScheme::ByClass { classes: classes.clone(), palette: role_palette() })
+        .set_svg_size(SvgSize::new(900.0, 700.0));
 
     // Mean community score per detected role: the vertical ordering the
     // terrain shows (hub on top, then dense, then periphery, then whiskers).
@@ -69,10 +61,10 @@ fn main() {
          exactly as Figure 9(a) shows."
     );
 
-    let _ = write_artifact("figure9_roles_terrain.svg", &terrain_to_svg(&mesh, 900.0, 700.0));
-    let _ = write_artifact(
-        "figure9_roles_treemap.svg",
-        &treemap_to_svg(&build_treemap(&tree, &layout), 900.0, 700.0),
-    );
+    let stages = session.stages().expect("role terrain stages");
+    let treemap_svg =
+        treemap_to_svg(&build_treemap(stages.render_tree, stages.layout), 900.0, 700.0);
+    let _ = write_artifact("figure9_roles_terrain.svg", &session.build().expect("svg stage"));
+    let _ = write_artifact("figure9_roles_treemap.svg", &treemap_svg);
     let _ = write_artifact("figure9_summary.txt", &table);
 }

@@ -7,21 +7,31 @@
 //!
 //! By default the two giant datasets run at a reduced scale so the harness
 //! finishes quickly; pass `--large` to use a 10x larger scale (still bounded
-//! by memory), `--skip-naive` to skip the quadratic dual-graph baseline, and
+//! by memory), `--skip-naive` to skip the quadratic dual-graph baseline,
 //! `--threads <serial|auto|N>` to set the measure-stage parallelism
-//! (timings change, numbers don't).
+//! (timings change, numbers don't), and `--render-budget <N>` to change the
+//! Section II-E simplification threshold (default 4000 super nodes).
 
 use bench::datasets::DatasetKind;
 use bench::output::{format_table, write_artifact};
 use bench::parallelism::parallelism_from;
-use bench::pipeline::{run_edge_pipeline_with, run_vertex_pipeline_with};
+use bench::pipeline::{
+    run_edge_pipeline_configured, run_vertex_pipeline_configured, PipelineConfig,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let large = args.iter().any(|a| a == "--large");
     let skip_naive = args.iter().any(|a| a == "--skip-naive");
     let parallelism = parallelism_from(&args);
-    eprintln!("[table2] measure parallelism: {parallelism}");
+    let budget = args
+        .iter()
+        .position(|a| a == "--render-budget")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(PipelineConfig::default().render_node_budget);
+    let config = PipelineConfig { parallelism, render_node_budget: budget, ..Default::default() };
+    eprintln!("[table2] measure parallelism: {parallelism}; render budget: {budget}");
 
     let datasets =
         [DatasetKind::GrQc, DatasetKind::WikiVote, DatasetKind::Wikipedia, DatasetKind::CitPatent];
@@ -36,7 +46,13 @@ fn main() {
         eprintln!("[table2] {} at scale {:.2}: {} nodes, {} edges", dataset.spec.name, scale, n, m);
 
         // KC(v) row.
-        let vreport = run_vertex_pipeline_with(&dataset.graph, parallelism);
+        let vreport = match run_vertex_pipeline_configured(&dataset.graph, &config) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("[table2] {} KC(v) pipeline failed: {e}", dataset.spec.name);
+                continue;
+            }
+        };
         rows.push(vec![
             dataset.spec.name.to_string(),
             "KC(v)".to_string(),
@@ -51,7 +67,13 @@ fn main() {
         // scales either.
         let dual_edges = ugraph::dual::estimated_dual_edges(&dataset.graph);
         let run_naive = !skip_naive && dual_edges < 30_000_000;
-        let ereport = run_edge_pipeline_with(&dataset.graph, run_naive, parallelism);
+        let ereport = match run_edge_pipeline_configured(&dataset.graph, run_naive, &config) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("[table2] {} KT(e) pipeline failed: {e}", dataset.spec.name);
+                continue;
+            }
+        };
         rows.push(vec![
             dataset.spec.name.to_string(),
             "KT(e)".to_string(),

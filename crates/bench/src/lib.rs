@@ -9,7 +9,8 @@
 //! * [`nn_graph`] — the attribute-table → nearest-neighbor-graph construction
 //!   of the Figure 11 query-result experiment;
 //! * [`pipeline`] — timed end-to-end runs of the scalar-tree + terrain
-//!   pipeline (the quantities of Table II);
+//!   pipeline (the quantities of Table II), delegating every stage to the
+//!   façade's staged `TerrainPipeline` session;
 //! * [`output`] — helpers to write figure artifacts (SVG, JSON, text tables)
 //!   under `results/`;
 //! * [`parallelism`] — the shared `--threads <serial|auto|N>` flag wiring
@@ -28,6 +29,7 @@ pub use datasets::{DatasetKind, DatasetSpec, GeneratedDataset};
 pub use nn_graph::{generate_plant_table, knn_graph, PlantTable};
 pub use parallelism::{parallelism_from, parallelism_from_args};
 pub use pipeline::{
-    run_edge_pipeline, run_edge_pipeline_with, run_vertex_pipeline, run_vertex_pipeline_with,
-    EdgePipelineReport, VertexPipelineReport,
+    run_edge_pipeline, run_edge_pipeline_configured, run_edge_pipeline_with, run_vertex_pipeline,
+    run_vertex_pipeline_configured, run_vertex_pipeline_with, EdgePipelineReport, PipelineConfig,
+    VertexPipelineReport,
 };

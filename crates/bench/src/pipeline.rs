@@ -9,18 +9,50 @@
 //! * `tv` — time to turn the tree into the rendered terrain (here: 2D layout +
 //!   3D mesh + SVG serialization).
 //!
-//! The helpers here run those stages with wall-clock timing and return a
-//! report struct the Table II binary and the Criterion benches both use.
+//! The helpers delegate every stage to the façade's staged
+//! [`TerrainPipeline`] session — the `tc` and `tv` columns are read straight
+//! from its [`graph_terrain::StageTimings`] — and only add what is
+//! bench-specific: the dataset-level report structs, the `te` dual-graph
+//! baseline, and the [`PipelineConfig`] knobs of the harness binaries. All
+//! helpers propagate errors as [`TerrainResult`] instead of panicking.
 
-use measures::{core_numbers, truss_numbers_with};
-use scalarfield::{
-    build_super_tree, edge_scalar_tree, edge_scalar_tree_naive, simplify_super_tree,
-    vertex_scalar_tree, EdgeScalarGraph, VertexScalarGraph,
-};
+use graph_terrain::{Measure, SimplificationConfig, TerrainPipeline};
+use scalarfield::{build_super_tree, edge_scalar_tree_naive, EdgeScalarGraph};
 use std::time::Instant;
-use terrain::{build_terrain_mesh, layout_super_tree, terrain_to_svg, LayoutConfig, MeshConfig};
+use terrain::TerrainResult;
 use ugraph::par::Parallelism;
 use ugraph::CsrGraph;
+
+/// Knobs of a timed pipeline run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Thread budget for the measure stage (timings change, numbers don't).
+    pub parallelism: Parallelism,
+    /// Maximum number of super-tree nodes rendered without simplification;
+    /// larger trees are simplified first, exactly as Section II-E prescribes.
+    pub render_node_budget: usize,
+    /// Discretization levels used when the budget triggers simplification.
+    pub simplify_levels: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            parallelism: Parallelism::Serial,
+            render_node_budget: 4_000,
+            simplify_levels: 64,
+        }
+    }
+}
+
+impl PipelineConfig {
+    fn simplification(&self) -> SimplificationConfig {
+        SimplificationConfig {
+            node_budget: Some(self.render_node_budget),
+            levels: self.simplify_levels,
+        }
+    }
+}
 
 /// Report of a vertex-scalar (K-Core) pipeline run.
 #[derive(Clone, Debug)]
@@ -53,58 +85,44 @@ pub struct EdgePipelineReport {
     pub visualization_seconds: f64,
 }
 
-/// Maximum number of super-tree nodes rendered without simplification; larger
-/// trees are simplified first, exactly as Section II-E prescribes.
-const RENDER_NODE_BUDGET: usize = 4_000;
-
 /// Run the K-Core terrain pipeline on a graph, timing each stage.
 /// Single-threaded; see [`run_vertex_pipeline_with`].
-pub fn run_vertex_pipeline(graph: &CsrGraph) -> VertexPipelineReport {
-    run_vertex_pipeline_with(graph, Parallelism::Serial)
+pub fn run_vertex_pipeline(graph: &CsrGraph) -> TerrainResult<VertexPipelineReport> {
+    run_vertex_pipeline_configured(graph, &PipelineConfig::default())
 }
 
-/// [`run_vertex_pipeline`] with a [`Parallelism`] budget.
-///
-/// The K-Core bucket peeling, the union–find tree sweep and the layout are
-/// inherently sequential, so `parallelism` is currently accepted for
-/// interface symmetry with [`run_edge_pipeline_with`] (where the
-/// triangle-support stage does parallelize) and for future stages; reports
-/// are identical for every setting.
+/// [`run_vertex_pipeline`] with a [`Parallelism`] budget and the default
+/// render budget.
 pub fn run_vertex_pipeline_with(
     graph: &CsrGraph,
     parallelism: Parallelism,
-) -> VertexPipelineReport {
-    let _ = parallelism;
-    let t0 = Instant::now();
-    let cores = core_numbers(graph);
-    let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
-    let scalar_seconds = t0.elapsed().as_secs_f64();
+) -> TerrainResult<VertexPipelineReport> {
+    run_vertex_pipeline_configured(graph, &PipelineConfig { parallelism, ..Default::default() })
+}
 
-    let t1 = Instant::now();
-    let sg = VertexScalarGraph::new(graph, &scalar).expect("scalar field matches graph");
-    let tree = vertex_scalar_tree(&sg);
-    let super_tree = build_super_tree(&tree);
-    let tree_seconds = t1.elapsed().as_secs_f64();
-
-    let t2 = Instant::now();
-    let render_tree = if super_tree.node_count() > RENDER_NODE_BUDGET {
-        simplify_super_tree(&super_tree, 64)
-    } else {
-        super_tree.clone()
-    };
-    let layout = layout_super_tree(&render_tree, &LayoutConfig::default());
-    let mesh = build_terrain_mesh(&render_tree, &layout, &MeshConfig::default());
-    let svg = terrain_to_svg(&mesh, 900.0, 700.0);
-    let visualization_seconds = t2.elapsed().as_secs_f64();
-    std::hint::black_box(&svg);
-
-    VertexPipelineReport {
-        super_tree_nodes: super_tree.node_count(),
-        scalar_seconds,
-        tree_seconds,
-        visualization_seconds,
-        mesh_triangles: mesh.triangle_count(),
-    }
+/// Run the K-Core terrain pipeline under explicit [`PipelineConfig`] knobs.
+///
+/// The K-Core bucket peeling, the union–find tree sweep and the layout are
+/// inherently sequential, so the thread budget currently only matters on the
+/// edge side (where the triangle-support stage parallelizes); reports are
+/// identical for every setting.
+pub fn run_vertex_pipeline_configured(
+    graph: &CsrGraph,
+    config: &PipelineConfig,
+) -> TerrainResult<VertexPipelineReport> {
+    let mut session = TerrainPipeline::from_measure(graph, Measure::KCore);
+    session.set_parallelism(config.parallelism).set_simplification(config.simplification());
+    let super_tree_nodes = session.super_tree()?.node_count();
+    session.svg()?;
+    let mesh_triangles = session.mesh()?.triangle_count();
+    let timings = session.timings();
+    Ok(VertexPipelineReport {
+        super_tree_nodes,
+        scalar_seconds: timings.scalar_seconds.unwrap_or(0.0),
+        tree_seconds: timings.tree_construction_seconds().unwrap_or(0.0),
+        visualization_seconds: timings.visualization_seconds().unwrap_or(0.0),
+        mesh_triangles,
+    })
 }
 
 /// Run the K-Truss terrain pipeline on a graph, timing each stage.
@@ -113,34 +131,43 @@ pub fn run_vertex_pipeline_with(
 /// `run_naive` controls whether the dual-graph baseline (`te`) is measured;
 /// on graphs with high-degree vertices it can be orders of magnitude slower
 /// than Algorithm 3, which is exactly the point of Table II.
-pub fn run_edge_pipeline(graph: &CsrGraph, run_naive: bool) -> EdgePipelineReport {
-    run_edge_pipeline_with(graph, run_naive, Parallelism::Serial)
+pub fn run_edge_pipeline(graph: &CsrGraph, run_naive: bool) -> TerrainResult<EdgePipelineReport> {
+    run_edge_pipeline_configured(graph, run_naive, &PipelineConfig::default())
 }
 
-/// [`run_edge_pipeline`] with a [`Parallelism`] budget.
-///
-/// The budget currently accelerates the K-Truss scalar stage (its
-/// triangle-support initialization is parallel over edges via
-/// [`measures::truss_numbers_with`]); the report's numbers are identical for
-/// every setting, only the wall-clock timings change.
+/// [`run_edge_pipeline`] with a [`Parallelism`] budget and the default
+/// render budget.
 pub fn run_edge_pipeline_with(
     graph: &CsrGraph,
     run_naive: bool,
     parallelism: Parallelism,
-) -> EdgePipelineReport {
-    let t0 = Instant::now();
-    let truss = truss_numbers_with(graph, parallelism);
-    let scalar: Vec<f64> = truss.truss.iter().map(|&t| t as f64).collect();
-    let scalar_seconds = t0.elapsed().as_secs_f64();
+) -> TerrainResult<EdgePipelineReport> {
+    run_edge_pipeline_configured(
+        graph,
+        run_naive,
+        &PipelineConfig { parallelism, ..Default::default() },
+    )
+}
 
-    let sg = EdgeScalarGraph::new(graph, &scalar).expect("scalar field matches graph");
-
-    let t1 = Instant::now();
-    let tree = edge_scalar_tree(&sg);
-    let super_tree = build_super_tree(&tree);
-    let tree_seconds = t1.elapsed().as_secs_f64();
+/// Run the K-Truss terrain pipeline under explicit [`PipelineConfig`] knobs.
+///
+/// The thread budget accelerates the K-Truss scalar stage (its
+/// triangle-support initialization is parallel over edges); the report's
+/// numbers are identical for every setting, only wall-clock timings change.
+pub fn run_edge_pipeline_configured(
+    graph: &CsrGraph,
+    run_naive: bool,
+    config: &PipelineConfig,
+) -> TerrainResult<EdgePipelineReport> {
+    let mut session = TerrainPipeline::from_measure(graph, Measure::KTruss);
+    session.set_parallelism(config.parallelism).set_simplification(config.simplification());
+    let super_tree_nodes = session.super_tree()?.node_count();
+    session.svg()?;
+    let timings = session.timings();
 
     let naive_tree_seconds = if run_naive {
+        let scalar = session.scalar()?;
+        let sg = EdgeScalarGraph::new(graph, scalar)?;
         let t = Instant::now();
         let naive = edge_scalar_tree_naive(&sg);
         let naive_super = build_super_tree(&naive);
@@ -150,25 +177,13 @@ pub fn run_edge_pipeline_with(
         None
     };
 
-    let t2 = Instant::now();
-    let render_tree = if super_tree.node_count() > RENDER_NODE_BUDGET {
-        simplify_super_tree(&super_tree, 64)
-    } else {
-        super_tree.clone()
-    };
-    let layout = layout_super_tree(&render_tree, &LayoutConfig::default());
-    let mesh = build_terrain_mesh(&render_tree, &layout, &MeshConfig::default());
-    let svg = terrain_to_svg(&mesh, 900.0, 700.0);
-    let visualization_seconds = t2.elapsed().as_secs_f64();
-    std::hint::black_box(&svg);
-
-    EdgePipelineReport {
-        super_tree_nodes: super_tree.node_count(),
-        scalar_seconds,
-        tree_seconds,
+    Ok(EdgePipelineReport {
+        super_tree_nodes,
+        scalar_seconds: timings.scalar_seconds.unwrap_or(0.0),
+        tree_seconds: timings.tree_construction_seconds().unwrap_or(0.0),
         naive_tree_seconds,
-        visualization_seconds,
-    }
+        visualization_seconds: timings.visualization_seconds().unwrap_or(0.0),
+    })
 }
 
 #[cfg(test)]
@@ -179,10 +194,11 @@ mod tests {
     #[test]
     fn vertex_pipeline_produces_consistent_report() {
         let d = DatasetKind::GrQc.generate(0.15);
-        let report = run_vertex_pipeline(&d.graph);
+        let report = run_vertex_pipeline(&d.graph).unwrap();
+        let budget = PipelineConfig::default().render_node_budget;
         assert!(report.super_tree_nodes > 1);
         assert!(report.super_tree_nodes <= d.graph.vertex_count());
-        assert!(report.mesh_triangles >= 2 * report.super_tree_nodes.min(RENDER_NODE_BUDGET));
+        assert!(report.mesh_triangles >= 2 * report.super_tree_nodes.min(budget));
         assert!(report.tree_seconds >= 0.0 && report.visualization_seconds >= 0.0);
     }
 
@@ -191,7 +207,7 @@ mod tests {
         // WikiVote analog: preferential attachment with hubs, where the dual
         // graph explodes quadratically in hub degree.
         let d = DatasetKind::WikiVote.generate(0.08);
-        let report = run_edge_pipeline(&d.graph, true);
+        let report = run_edge_pipeline(&d.graph, true).unwrap();
         assert!(report.super_tree_nodes >= 1);
         let naive = report.naive_tree_seconds.unwrap();
         assert!(
@@ -204,8 +220,42 @@ mod tests {
     #[test]
     fn edge_pipeline_can_skip_naive() {
         let d = DatasetKind::Ppi.generate(0.1);
-        let report = run_edge_pipeline(&d.graph, false);
+        let report = run_edge_pipeline(&d.graph, false).unwrap();
         assert!(report.naive_tree_seconds.is_none());
         assert!(report.super_tree_nodes >= 1);
+    }
+
+    #[test]
+    fn reports_are_read_from_session_timings() {
+        // The Table II fields must be exactly what the session API reports —
+        // the delegation contract of the staged-pipeline redesign.
+        let d = DatasetKind::GrQc.generate(0.1);
+        let report = run_vertex_pipeline(&d.graph).unwrap();
+        let mut session = TerrainPipeline::from_measure(&d.graph, Measure::KCore);
+        session.set_simplification(PipelineConfig::default().simplification());
+        session.svg().unwrap();
+        let timings = session.timings();
+        assert_eq!(report.super_tree_nodes, session.super_tree().unwrap().node_count());
+        assert_eq!(report.mesh_triangles, session.mesh().unwrap().triangle_count());
+        // Wall-clock differs between the two runs, but both must report the
+        // same stage structure (every Table II component present).
+        assert!(timings.tree_construction_seconds().is_some());
+        assert!(timings.visualization_seconds().is_some());
+        assert!(report.tree_seconds >= 0.0 && report.scalar_seconds >= 0.0);
+    }
+
+    #[test]
+    fn render_budget_is_configurable() {
+        let d = DatasetKind::GrQc.generate(0.15);
+        // A budget of 1 forces simplification on any non-trivial tree, so the
+        // rendered mesh is far smaller than the unsimplified one.
+        let tiny = run_vertex_pipeline_configured(
+            &d.graph,
+            &PipelineConfig { render_node_budget: 1, simplify_levels: 2, ..Default::default() },
+        )
+        .unwrap();
+        let full = run_vertex_pipeline(&d.graph).unwrap();
+        assert_eq!(tiny.super_tree_nodes, full.super_tree_nodes, "Nt reports the full tree");
+        assert!(tiny.mesh_triangles < full.mesh_triangles);
     }
 }

@@ -12,9 +12,12 @@
 //! summation order is the neighbor order — fixed by the graph, not by the
 //! chunking — and the dangling-mass and convergence-delta reductions merge
 //! per-chunk sums in fixed chunk order, so every [`Parallelism`] setting
-//! returns bit-identical ranks.
+//! returns bit-identical ranks. The sweeps write into preallocated buffers
+//! through disjoint `&mut` chunk slices
+//! ([`ugraph::par::map_reduce_chunks_mut`]), so the steady state allocates
+//! nothing per iteration.
 
-use ugraph::par::{map_reduce_chunks, Parallelism};
+use ugraph::par::{map_reduce_chunks_mut, Parallelism};
 use ugraph::{CsrGraph, VertexId};
 
 /// Configuration for [`pagerank`].
@@ -65,17 +68,11 @@ pub fn pagerank_with(
     assert!((0.0..1.0).contains(&config.damping), "damping must be in [0, 1)");
     let uniform = 1.0 / n as f64;
     let mut rank = vec![uniform; n];
-
-    // Chunk 0's vector is what every later chunk folds into, so give it room
-    // for the whole result up front; the merge then never reallocates.
-    let chunk_capacity =
-        |range: &std::ops::Range<usize>| if range.start == 0 { n } else { range.len() };
-    // Merge for (values, sum) chunk accumulators: concatenate in chunk order,
-    // add the scalar parts.
-    let merge = |(mut acc, acc_s): (Vec<f64>, f64), (chunk, chunk_s): (Vec<f64>, f64)| {
-        acc.extend(chunk);
-        (acc, acc_s + chunk_s)
-    };
+    // The three vectors of the steady state are allocated once; every power
+    // iteration writes them in place through disjoint `&mut` chunk slices
+    // (ugraph::par::map_reduce_chunks_mut), so iterations allocate nothing.
+    let mut share = vec![0.0f64; n];
+    let mut next = vec![0.0f64; n];
 
     // Each iteration is two parallel regions (not four): the share pass also
     // sums the dangling mass, and the gather pass also sums its chunk's
@@ -84,24 +81,24 @@ pub fn pagerank_with(
     for _ in 0..config.max_iterations {
         // Outgoing share of every vertex, plus the rank mass sitting on
         // degree-0 vertices (redistributed uniformly via teleport).
-        let (share, dangling_mass) = map_reduce_chunks(
+        let rank_ref = &rank;
+        let dangling_mass = map_reduce_chunks_mut(
             parallelism,
-            n,
-            |range| {
-                let mut shares = Vec::with_capacity(chunk_capacity(&range));
+            &mut share,
+            |range, chunk| {
                 let mut dangling = 0.0f64;
-                for v in range {
+                for (slot, v) in chunk.iter_mut().zip(range) {
                     let d = graph.degree(VertexId::from_index(v));
                     if d == 0 {
-                        dangling += rank[v];
-                        shares.push(0.0);
+                        dangling += rank_ref[v];
+                        *slot = 0.0;
                     } else {
-                        shares.push(rank[v] / d as f64);
+                        *slot = rank_ref[v] / d as f64;
                     }
                 }
-                (shares, dangling)
+                dangling
             },
-            merge,
+            |a, b| a + b,
         )
         .expect("n > 0");
 
@@ -109,27 +106,27 @@ pub fn pagerank_with(
         // Gather sweep: each vertex sums the shares of its sorted neighbor
         // list, an order the chunking cannot affect; the chunk also sums its
         // own |new - old| contribution to the convergence delta.
-        let (next, delta) = map_reduce_chunks(
+        let share_ref = &share;
+        let delta = map_reduce_chunks_mut(
             parallelism,
-            n,
-            |range| {
-                let mut ranks = Vec::with_capacity(chunk_capacity(&range));
+            &mut next,
+            |range, chunk| {
                 let mut delta = 0.0f64;
-                for u in range {
+                for (slot, u) in chunk.iter_mut().zip(range) {
                     let gathered: f64 = graph
                         .neighbor_vertices(VertexId::from_index(u))
-                        .map(|v| share[v.index()])
+                        .map(|v| share_ref[v.index()])
                         .sum();
                     let new_rank = teleport + config.damping * gathered;
-                    delta += (new_rank - rank[u]).abs();
-                    ranks.push(new_rank);
+                    delta += (new_rank - rank_ref[u]).abs();
+                    *slot = new_rank;
                 }
-                (ranks, delta)
+                delta
             },
-            merge,
+            |a, b| a + b,
         )
         .expect("n > 0");
-        rank = next;
+        std::mem::swap(&mut rank, &mut next);
         if delta < config.tolerance {
             break;
         }

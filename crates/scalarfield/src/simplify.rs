@@ -9,14 +9,30 @@
 //! applied after construction without touching the original scalar field.
 
 use crate::super_tree::SuperScalarTree;
+use ugraph::{GraphError, Result};
+
+/// Fallible variant of [`simplify_super_tree`]: returns
+/// [`GraphError::InvalidConfig`] when `levels` is zero instead of panicking.
+/// This is the stage entry used by `graph-terrain`'s `TerrainPipeline`.
+pub fn try_simplify_super_tree(tree: &SuperScalarTree, levels: usize) -> Result<SuperScalarTree> {
+    if levels == 0 {
+        return Err(GraphError::InvalidConfig {
+            what: "simplification levels",
+            message: "need at least one discretization level".into(),
+        });
+    }
+    Ok(simplify_super_tree(tree, levels))
+}
 
 /// Simplify a super tree by snapping super-node scalars to `levels` evenly
 /// spaced values between the tree's minimum and maximum scalar and re-merging
 /// parent/child chains whose snapped values coincide.
 ///
-/// `levels` must be at least 1. Using more levels than there are distinct
-/// scalar values leaves the tree unchanged. The members of merged nodes are
-/// concatenated, so [`SuperScalarTree::total_members`] is preserved.
+/// `levels` must be at least 1 (panics otherwise; see
+/// [`try_simplify_super_tree`] for the non-panicking variant). Using more
+/// levels than there are distinct scalar values leaves the tree unchanged.
+/// The members of merged nodes are concatenated, so
+/// [`SuperScalarTree::total_members`] is preserved.
 pub fn simplify_super_tree(tree: &SuperScalarTree, levels: usize) -> SuperScalarTree {
     assert!(levels >= 1, "need at least one discretization level");
     if tree.node_count() == 0 {
@@ -153,6 +169,18 @@ mod tests {
         // The coarsest simplification collapses each root's subtree entirely.
         let coarsest = simplify_super_tree(&st, 1);
         assert_eq!(coarsest.node_count(), st.roots().len());
+    }
+
+    #[test]
+    fn zero_levels_error_instead_of_panicking() {
+        let st = chain_tree();
+        let err = try_simplify_super_tree(&st, 0).unwrap_err();
+        assert!(matches!(err, ugraph::GraphError::InvalidConfig { .. }), "{err:?}");
+        // And the fallible path agrees with the panicking one on valid input.
+        let a = try_simplify_super_tree(&st, 2).unwrap();
+        let b = simplify_super_tree(&st, 2);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.scalars(), b.scalars());
     }
 
     #[test]

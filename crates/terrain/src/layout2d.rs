@@ -16,6 +16,7 @@
 //! axis with depth, which keeps the construction deterministic and simple to
 //! reason about in tests.
 
+use crate::error::{TerrainError, TerrainResult};
 use scalarfield::SuperScalarTree;
 
 /// An axis-aligned rectangle in layout space.
@@ -107,6 +108,28 @@ impl Default for LayoutConfig {
     }
 }
 
+impl LayoutConfig {
+    /// Validate the configuration: the domain must be finite with positive
+    /// area, and the margin fraction must lie in `[0, 0.5)` (at 0.5 the
+    /// inner rectangle collapses to a point and every child degenerates).
+    pub fn validate(&self) -> TerrainResult<()> {
+        let fail = |message: String| Err(TerrainError::Layout { message });
+        if !self.width.is_finite() || self.width <= 0.0 {
+            return fail(format!("domain width must be finite and positive, got {}", self.width));
+        }
+        if !self.height.is_finite() || self.height <= 0.0 {
+            return fail(format!("domain height must be finite and positive, got {}", self.height));
+        }
+        if !self.margin_fraction.is_finite() || !(0.0..0.5).contains(&self.margin_fraction) {
+            return fail(format!(
+                "margin_fraction must lie in [0, 0.5), got {}",
+                self.margin_fraction
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// The complete 2D layout of a super scalar tree.
 #[derive(Clone, Debug)]
 pub struct TerrainLayout {
@@ -147,8 +170,32 @@ impl TerrainLayout {
     }
 }
 
+/// Compute the nested boundary layout of a super scalar tree, validating the
+/// configuration first ([`TerrainError::Layout`] on an invalid domain or
+/// margin). This is the entry point of `graph-terrain`'s staged pipeline;
+/// [`layout_super_tree`] is the historical infallible wrapper.
+pub fn try_layout_super_tree(
+    tree: &SuperScalarTree,
+    config: &LayoutConfig,
+) -> TerrainResult<TerrainLayout> {
+    config.validate()?;
+    Ok(layout_validated(tree, config))
+}
+
 /// Compute the nested boundary layout of a super scalar tree.
+///
+/// # Panics
+///
+/// Panics if `config` is invalid (see [`LayoutConfig::validate`]); use
+/// [`try_layout_super_tree`] to get a [`TerrainError`] instead.
 pub fn layout_super_tree(tree: &SuperScalarTree, config: &LayoutConfig) -> TerrainLayout {
+    match try_layout_super_tree(tree, config) {
+        Ok(layout) => layout,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+fn layout_validated(tree: &SuperScalarTree, config: &LayoutConfig) -> TerrainLayout {
     let n = tree.node_count();
     let mut rects = vec![Rect::new(0.0, 0.0, 0.0, 0.0); n];
     let subtree_members = tree.subtree_member_counts();
@@ -361,6 +408,30 @@ mod tests {
             assert!(domain.contains_rect(rect));
             assert!(rect.area() >= 0.0);
         }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_not_laid_out() {
+        let tree = figure2_tree();
+        for bad in [
+            LayoutConfig { width: 0.0, ..Default::default() },
+            LayoutConfig { width: -3.0, ..Default::default() },
+            LayoutConfig { height: f64::NAN, ..Default::default() },
+            LayoutConfig { height: f64::INFINITY, ..Default::default() },
+            LayoutConfig { margin_fraction: 0.5, ..Default::default() },
+            LayoutConfig { margin_fraction: -0.1, ..Default::default() },
+        ] {
+            let err = try_layout_super_tree(&tree, &bad).unwrap_err();
+            assert!(
+                matches!(err, crate::error::TerrainError::Layout { .. }),
+                "expected a layout error for {bad:?}, got {err:?}"
+            );
+        }
+        // The fallible and infallible paths agree on valid input.
+        let config = LayoutConfig::default();
+        let a = try_layout_super_tree(&tree, &config).unwrap();
+        let b = layout_super_tree(&tree, &config);
+        assert_eq!(a.rects, b.rects);
     }
 
     #[test]

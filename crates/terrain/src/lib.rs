@@ -25,12 +25,16 @@
 //!   interactions);
 //! * [`treemap`] — the flat 2D treemap variant of Figure 5(a);
 //! * [`export`] — SVG (2D treemap and oblique-projected 3D view), Wavefront
-//!   OBJ and ASCII-art exporters used by the figure harness.
+//!   OBJ and ASCII-art exporters used by the figure harness;
+//! * [`error`] — [`TerrainError`], the workspace-wide non-panicking error
+//!   type every staged terrain build propagates (wrapping
+//!   [`ugraph::GraphError`] and adding layout / mesh / config variants).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod color;
+pub mod error;
 pub mod export;
 pub mod layout2d;
 pub mod mesh;
@@ -38,10 +42,11 @@ pub mod peaks;
 pub mod treemap;
 
 pub use color::{colormap, role_palette, Color, ColorScheme};
+pub use error::{TerrainError, TerrainResult};
 pub use export::ascii::ascii_heightmap;
 pub use export::obj::mesh_to_obj;
 pub use export::svg::{terrain_to_svg, treemap_to_svg};
-pub use layout2d::{layout_super_tree, LayoutConfig, Rect, TerrainLayout};
-pub use mesh::{build_terrain_mesh, MeshBounds, MeshConfig, TerrainMesh};
+pub use layout2d::{layout_super_tree, try_layout_super_tree, LayoutConfig, Rect, TerrainLayout};
+pub use mesh::{build_terrain_mesh, try_build_terrain_mesh, MeshBounds, MeshConfig, TerrainMesh};
 pub use peaks::{highest_peaks, peaks_at_alpha, select_region, Peak};
 pub use treemap::{build_treemap, Treemap, TreemapCell};

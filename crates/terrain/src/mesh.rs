@@ -11,6 +11,7 @@
 //! without any graphics dependency.
 
 use crate::color::{node_color, normalize_for_color, Color, ColorScheme};
+use crate::error::{TerrainError, TerrainResult};
 use crate::layout2d::TerrainLayout;
 use scalarfield::SuperScalarTree;
 
@@ -117,7 +118,90 @@ impl TerrainMesh {
     }
 }
 
+impl MeshConfig {
+    /// Validate the configuration against the tree it will mesh: the height
+    /// scale and baseline must be finite, the height scale non-negative, and
+    /// any coloring data ([`ColorScheme::BySecondaryScalar`] /
+    /// [`ColorScheme::ByClass`]) must carry exactly one entry per element of
+    /// the scalar field (`element_count`).
+    pub fn validate(&self, element_count: usize) -> TerrainResult<()> {
+        let fail = |message: String| Err(TerrainError::Mesh { message });
+        if !self.height_scale.is_finite() || self.height_scale < 0.0 {
+            return fail(format!(
+                "height_scale must be finite and non-negative, got {}",
+                self.height_scale
+            ));
+        }
+        if let Some(baseline) = self.baseline {
+            if !baseline.is_finite() {
+                return fail(format!("baseline must be finite, got {baseline}"));
+            }
+        }
+        match &self.color {
+            ColorScheme::ByHeight => {}
+            ColorScheme::BySecondaryScalar(values) => {
+                if values.len() != element_count {
+                    return fail(format!(
+                        "secondary color scalar has {} entries, the field has {} elements",
+                        values.len(),
+                        element_count
+                    ));
+                }
+                if let Some(index) = values.iter().position(|v| !v.is_finite()) {
+                    return fail(format!(
+                        "secondary color scalar contains non-finite value {} at index {index}",
+                        values[index]
+                    ));
+                }
+            }
+            ColorScheme::ByClass { classes, palette } => {
+                if classes.len() != element_count {
+                    return fail(format!(
+                        "class vector has {} entries, the field has {} elements",
+                        classes.len(),
+                        element_count
+                    ));
+                }
+                if let Some(&class) = classes.iter().find(|&&c| c >= palette.len()) {
+                    return fail(format!(
+                        "class {class} has no palette entry (palette has {} colors)",
+                        palette.len()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Build the terrain mesh from a super tree and its 2D layout, validating the
+/// configuration and coloring data first ([`TerrainError::Mesh`] otherwise).
+/// This is the entry point of `graph-terrain`'s staged pipeline;
+/// [`build_terrain_mesh`] is the historical lenient wrapper.
+pub fn try_build_terrain_mesh(
+    tree: &SuperScalarTree,
+    layout: &TerrainLayout,
+    config: &MeshConfig,
+) -> TerrainResult<TerrainMesh> {
+    config.validate(tree.element_count())?;
+    if layout.rects.len() != tree.node_count() {
+        return Err(TerrainError::Mesh {
+            message: format!(
+                "layout has {} rectangles but the tree has {} nodes (layout built for a different tree?)",
+                layout.rects.len(),
+                tree.node_count()
+            ),
+        });
+    }
+    Ok(build_terrain_mesh(tree, layout, config))
+}
+
 /// Build the terrain mesh from a super tree and its 2D layout.
+///
+/// Out-of-range coloring data is tolerated (missing secondary values read as
+/// mid-scale, unknown classes fall back to gray); use
+/// [`try_build_terrain_mesh`] to reject such inputs with a [`TerrainError`]
+/// instead.
 pub fn build_terrain_mesh(
     tree: &SuperScalarTree,
     layout: &TerrainLayout,
@@ -245,6 +329,55 @@ mod tests {
                 assert!(brightness(&t.color) < brightness(&cap.color));
             }
         }
+    }
+
+    #[test]
+    fn invalid_mesh_inputs_are_rejected() {
+        let (tree, layout) = small_tree();
+        let n = tree.element_count();
+        let bad_configs = [
+            MeshConfig { height_scale: f64::NAN, ..Default::default() },
+            MeshConfig { height_scale: -1.0, ..Default::default() },
+            MeshConfig { baseline: Some(f64::INFINITY), ..Default::default() },
+            MeshConfig {
+                color: ColorScheme::BySecondaryScalar(vec![1.0; n + 1]),
+                ..Default::default()
+            },
+            MeshConfig {
+                color: ColorScheme::BySecondaryScalar(vec![f64::NAN; n]),
+                ..Default::default()
+            },
+            MeshConfig {
+                color: ColorScheme::ByClass { classes: vec![0; n - 1], palette: vec![] },
+                ..Default::default()
+            },
+            MeshConfig {
+                color: ColorScheme::ByClass {
+                    classes: vec![7; n],
+                    palette: vec![Color::rgb(0, 0, 0)],
+                },
+                ..Default::default()
+            },
+        ];
+        for config in bad_configs {
+            let err = try_build_terrain_mesh(&tree, &layout, &config).unwrap_err();
+            assert!(matches!(err, crate::error::TerrainError::Mesh { .. }), "{err:?}");
+        }
+        // A layout built for a different tree is refused too.
+        let (other_tree, _) = small_tree();
+        let wrong = crate::layout2d::TerrainLayout {
+            rects: layout.rects[..1].to_vec(),
+            config: layout.config,
+            scalar: layout.scalar[..1].to_vec(),
+            parent: layout.parent[..1].to_vec(),
+            subtree_members: layout.subtree_members[..1].to_vec(),
+        };
+        assert!(try_build_terrain_mesh(&other_tree, &wrong, &MeshConfig::default()).is_err());
+        // Valid input: both paths agree exactly.
+        let a = try_build_terrain_mesh(&tree, &layout, &MeshConfig::default()).unwrap();
+        let b = build_terrain_mesh(&tree, &layout, &MeshConfig::default());
+        assert_eq!(a.vertices, b.vertices);
+        assert_eq!(a.triangles, b.triangles);
     }
 
     #[test]

@@ -43,6 +43,14 @@ pub enum GraphError {
         /// The offending value (NaN or ±∞).
         value: f64,
     },
+    /// A configuration parameter was outside its valid range (e.g. a
+    /// simplification level count of zero).
+    InvalidConfig {
+        /// The parameter that was rejected.
+        what: &'static str,
+        /// Human readable description of the constraint that was violated.
+        message: String,
+    },
     /// A line in an edge-list file could not be parsed.
     Parse {
         /// 1-based line number.
@@ -68,6 +76,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::NonFiniteScalar { what, index, value } => {
                 write!(f, "{what} contains non-finite value {value} at index {index}")
+            }
+            GraphError::InvalidConfig { what, message } => {
+                write!(f, "invalid configuration for {what}: {message}")
             }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")

@@ -187,6 +187,122 @@ where
     concat_chunks(chunks, len)
 }
 
+/// Like [`map_reduce_chunks`], but every chunk closure also receives the
+/// disjoint `&mut` sub-slice of `data` covering its index range, so stages
+/// that fill a preallocated output buffer (the PageRank share/gather sweeps)
+/// run with **zero per-iteration allocation**: values are written in place
+/// instead of being collected into per-chunk `Vec`s and concatenated.
+///
+/// The chunk decomposition is the same pure function of `data.len()` as in
+/// [`map_reduce_chunks`] (see [`chunk_size`]), the sub-slices are disjoint by
+/// construction (handed out via `split_at_mut`), and the per-chunk
+/// accumulators merge in increasing chunk order on the calling thread — so
+/// results stay bit-identical for every [`Parallelism`] setting. Returns
+/// `None` iff `data` is empty.
+///
+/// ```
+/// use ugraph::par::{map_reduce_chunks_mut, Parallelism};
+///
+/// let mut out = vec![0.0f64; 1_000];
+/// let sum = map_reduce_chunks_mut(
+///     Parallelism::Threads(4),
+///     &mut out,
+///     |range, chunk| {
+///         let mut s = 0.0;
+///         for (slot, i) in chunk.iter_mut().zip(range) {
+///             *slot = i as f64 * 0.5;
+///             s += *slot;
+///         }
+///         s
+///     },
+///     |a, b| a + b,
+/// )
+/// .unwrap();
+/// assert_eq!(out[2], 1.0);
+/// assert_eq!(sum, out.iter().sum::<f64>());
+/// ```
+pub fn map_reduce_chunks_mut<T, A, M, R>(
+    parallelism: Parallelism,
+    data: &mut [T],
+    map: M,
+    reduce: R,
+) -> Option<A>
+where
+    T: Send,
+    A: Send,
+    M: Fn(Range<usize>, &mut [T]) -> A + Sync,
+    R: FnMut(A, A) -> A,
+{
+    let len = data.len();
+    if len == 0 {
+        return None;
+    }
+    let chunk = chunk_size(len);
+    let n_chunks = len.div_ceil(chunk);
+    let workers = parallelism.thread_count().min(n_chunks);
+    // Both execution paths consume the same pre-split decomposition, so the
+    // chunk boundaries — and with them the merge order — cannot drift apart.
+    let pieces = split_chunks_mut(data, chunk);
+    debug_assert_eq!(pieces.len(), n_chunks);
+    if workers <= 1 {
+        // Serial fast path: run the chunks in order on the calling thread.
+        return pieces.into_iter().map(|(range, piece)| map(range, piece)).reduce(reduce);
+    }
+
+    // Workers claim the next unclaimed chunk (same work-stealing scheme as
+    // `map_chunks`) and park their accumulator in the chunk's slot so the
+    // caller merges in chunk order regardless of completion order.
+    let next = AtomicUsize::new(0);
+    let work: Vec<Mutex<Option<ChunkPiece<'_, T>>>> =
+        pieces.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    let slots: Vec<Mutex<Option<A>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_chunks {
+                    break;
+                }
+                let (range, piece) = work[i]
+                    .lock()
+                    .expect("no other panic while holding a work lock")
+                    .take()
+                    .expect("each chunk index is claimed exactly once");
+                let acc = map(range, piece);
+                *slots[i].lock().expect("no other panic while holding a slot lock") = Some(acc);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            let acc = slot.into_inner().expect("worker panics propagate before this");
+            acc.expect("every chunk index was claimed and completed")
+        })
+        .reduce(reduce)
+}
+
+/// A chunk of a mutable slice: its global index range plus the disjoint
+/// `&mut` sub-slice covering it.
+type ChunkPiece<'a, T> = (Range<usize>, &'a mut [T]);
+
+/// Split `data` into the deterministic chunk decomposition (`chunk` from
+/// [`chunk_size`]) as disjoint `&mut` pieces, in chunk order. The single
+/// source of truth for [`map_reduce_chunks_mut`]'s serial and parallel paths.
+fn split_chunks_mut<T>(data: &mut [T], chunk: usize) -> Vec<ChunkPiece<'_, T>> {
+    let mut pieces = Vec::with_capacity(data.len().div_ceil(chunk));
+    let mut rest = data;
+    let mut start = 0usize;
+    while !rest.is_empty() {
+        let take = chunk.min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        pieces.push((start..start + take, head));
+        start += take;
+        rest = tail;
+    }
+    pieces
+}
+
 /// Run `map` over every chunk of `0..len`, returning the per-chunk results
 /// in chunk order. The lower-level primitive behind [`map_reduce_chunks`].
 fn map_chunks<A, M>(parallelism: Parallelism, len: usize, map: M) -> Vec<A>
@@ -345,6 +461,77 @@ mod tests {
         let out =
             map_reduce_chunks(Parallelism::Threads(64), 3, |r| r.sum::<usize>(), |a, b| a + b);
         assert_eq!(out, Some(3));
+    }
+
+    #[test]
+    fn map_reduce_chunks_mut_writes_every_slot_and_merges_in_chunk_order() {
+        // The in-place variant must produce exactly the same bits as the
+        // collect-and-concatenate path, for every thread count.
+        let reference: Vec<f64> = (0..12_345).map(|i| (i as f64).sin() * 1e-3 + 1.0).collect();
+        let ref_sum = map_reduce_chunks(
+            Parallelism::Serial,
+            reference.len(),
+            |r| reference[r].iter().sum::<f64>(),
+            |a, b| a + b,
+        )
+        .unwrap();
+        for p in [Parallelism::Serial, Parallelism::Threads(2), Parallelism::Threads(8)] {
+            let mut out = vec![0.0f64; reference.len()];
+            let sum = map_reduce_chunks_mut(
+                p,
+                &mut out,
+                |range, chunk| {
+                    let mut s = 0.0;
+                    for (slot, i) in chunk.iter_mut().zip(range) {
+                        *slot = (i as f64).sin() * 1e-3 + 1.0;
+                        s += *slot;
+                    }
+                    s
+                },
+                |a, b| a + b,
+            )
+            .unwrap();
+            assert_eq!(out, reference, "{p}");
+            assert_eq!(sum.to_bits(), ref_sum.to_bits(), "{p}");
+        }
+    }
+
+    #[test]
+    fn map_reduce_chunks_mut_empty_and_tiny_inputs() {
+        let mut empty: [u64; 0] = [];
+        assert_eq!(
+            map_reduce_chunks_mut(Parallelism::Threads(4), &mut empty, |_, _| 1u64, |a, b| a + b),
+            None
+        );
+        let mut tiny = [5u64, 7];
+        let total = map_reduce_chunks_mut(
+            Parallelism::Threads(64),
+            &mut tiny,
+            |_, chunk| {
+                chunk.iter_mut().for_each(|v| *v *= 2);
+                chunk.iter().sum::<u64>()
+            },
+            |a, b| a + b,
+        );
+        assert_eq!(total, Some(24));
+        assert_eq!(tiny, [10, 14]);
+    }
+
+    #[test]
+    fn map_reduce_chunks_mut_worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            let mut data = vec![0u8; 1000];
+            map_reduce_chunks_mut(
+                Parallelism::Threads(2),
+                &mut data,
+                |r, _| {
+                    assert!(!r.contains(&777), "boom");
+                    0usize
+                },
+                |a, b| a + b,
+            )
+        });
+        assert!(result.is_err(), "a panicking chunk must fail the whole call");
     }
 
     #[test]

@@ -12,7 +12,6 @@ use graph_terrain::prelude::*;
 use measures::{betweenness_centrality_sampled_with, degrees, Parallelism};
 use scalarfield::{global_correlation_index, local_correlation_index, outlier_scores};
 use terrain::ColorScheme;
-use terrain::{LayoutConfig, MeshConfig};
 use ugraph::generators::{collaboration_graph, CollaborationConfig};
 use ugraph::VertexId;
 
@@ -42,20 +41,15 @@ fn main() {
     let lci = local_correlation_index(&graph, &degree_field, &betweenness, 1).unwrap();
     println!("Global Correlation Index (degree vs betweenness): {gci:.2}");
 
-    // Outlier terrain: height = -LCI, color = degree.
+    // Outlier terrain: height = -LCI, color = degree. The staged session
+    // makes "try another colormap" a mesh-only rebuild.
     let outlier = outlier_scores(&graph, &degree_field, &betweenness, 1).unwrap();
-    let terrain = VertexTerrain::build_with(
-        &graph,
-        &outlier,
-        &LayoutConfig::default(),
-        &MeshConfig {
-            color: ColorScheme::BySecondaryScalar(degree_field.clone()),
-            ..Default::default()
-        },
-    )
-    .expect("outlier field");
+    let mut session = TerrainPipeline::vertex(&graph, outlier.clone()).expect("outlier field");
+    session
+        .set_color(ColorScheme::BySecondaryScalar(degree_field.clone()))
+        .set_svg_size(SvgSize::new(900.0, 700.0));
     let path = std::env::temp_dir().join("graph_terrain_outliers.svg");
-    std::fs::write(&path, terrain.to_svg(900.0, 700.0)).expect("write svg");
+    std::fs::write(&path, session.build().expect("svg stage")).expect("write svg");
     println!("wrote outlier-score terrain (colored by degree) to {}", path.display());
 
     // Drill-down: the five strongest outliers and their local picture.

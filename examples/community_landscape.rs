@@ -34,9 +34,11 @@ fn main() {
     println!("detected {} community score fields", detected.scores.len());
 
     for (community, scores) in detected.scores.iter().enumerate() {
-        let terrain = VertexTerrain::build(graph, scores).expect("score field");
-        let major = peaks_at_alpha(&terrain.super_tree, &terrain.layout, 0.5);
-        let tallest = highest_peaks(&terrain.super_tree, &terrain.layout, 2);
+        let mut session = TerrainPipeline::vertex(graph, scores.clone()).expect("score field");
+        session.set_svg_size(SvgSize::new(900.0, 700.0));
+        let stages = session.stages().expect("score terrain stages");
+        let major = peaks_at_alpha(stages.render_tree, stages.layout, 0.5);
+        let tallest = highest_peaks(stages.render_tree, stages.layout, 2);
         println!("\ncommunity {community}:");
         println!("  major peaks at score 0.5: {}", major.len());
         if let Some(top) = tallest.first() {
@@ -55,7 +57,7 @@ fn main() {
             );
         }
         let path = std::env::temp_dir().join(format!("graph_terrain_community{community}.svg"));
-        std::fs::write(&path, terrain.to_svg(900.0, 700.0)).expect("write svg");
+        std::fs::write(&path, session.build().expect("svg stage")).expect("write svg");
         println!("  wrote terrain to {}", path.display());
     }
 }

@@ -33,11 +33,12 @@ fn main() {
         graph.edge_count()
     );
 
-    // K-Core terrain.
+    // K-Core terrain: a staged session computes the measure itself.
     let cores = measures::core_numbers(&graph);
-    let kc: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
-    let kcore_terrain = VertexTerrain::build(&graph, &kc).expect("core field");
-    let peaks = highest_peaks(&kcore_terrain.super_tree, &kcore_terrain.layout, 5);
+    let mut kcore_session = TerrainPipeline::from_measure(&graph, Measure::KCore);
+    kcore_session.set_svg_size(SvgSize::new(900.0, 700.0));
+    let kcore = kcore_session.stages().expect("core field");
+    let peaks = highest_peaks(kcore.render_tree, kcore.layout, 5);
     println!("\nK-Core landscape (degeneracy {}):", cores.degeneracy);
     for (i, p) in peaks.iter().enumerate() {
         println!(
@@ -49,21 +50,21 @@ fn main() {
         );
     }
 
-    // K-Truss terrain over the same graph (edge scalar field).
+    // K-Truss terrain over the same graph (edge scalar field) — the session
+    // API is one generic core, so the edge path looks exactly the same.
     let truss = measures::truss_numbers(&graph);
-    let kt: Vec<f64> = truss.truss.iter().map(|&t| t as f64).collect();
-    let ktruss_terrain = EdgeTerrain::build(&graph, &kt).expect("truss field");
+    let mut ktruss_session = TerrainPipeline::from_measure(&graph, Measure::KTruss);
+    ktruss_session.set_svg_size(SvgSize::new(900.0, 700.0));
     println!(
         "\nK-Truss landscape: max KT = {}, super tree nodes = {}",
         truss.max_truss,
-        ktruss_terrain.super_tree.node_count()
+        ktruss_session.super_tree().expect("truss field").node_count()
     );
 
     // Drill into the densest K-Core peak: select its footprint and draw that
     // subgraph with a spring layout (the linked 2D display of Section II-E).
     if let Some(top) = peaks.first() {
-        let selected =
-            select_region(&kcore_terrain.super_tree, &kcore_terrain.layout, &top.footprint);
+        let selected = select_region(kcore.render_tree, kcore.layout, &top.footprint);
         let mut keep = vec![false; graph.vertex_count()];
         for &v in &selected {
             keep[v as usize] = true;
@@ -84,9 +85,7 @@ fn main() {
 
     // Save both terrains.
     let dir = std::env::temp_dir();
-    std::fs::write(dir.join("graph_terrain_kcore.svg"), kcore_terrain.to_svg(900.0, 700.0))
-        .unwrap();
-    std::fs::write(dir.join("graph_terrain_ktruss.svg"), ktruss_terrain.to_svg(900.0, 700.0))
-        .unwrap();
+    std::fs::write(dir.join("graph_terrain_kcore.svg"), kcore_session.build().unwrap()).unwrap();
+    std::fs::write(dir.join("graph_terrain_ktruss.svg"), ktruss_session.build().unwrap()).unwrap();
     println!("wrote K-Core and K-Truss terrains to {}", dir.display());
 }

@@ -1,16 +1,36 @@
 //! Quickstart: build a K-Core terrain for a small collaboration-style graph
-//! and inspect it from the terminal.
+//! with the staged [`TerrainPipeline`] session and inspect it from the
+//! terminal.
 //!
 //! Run with:
 //! ```text
-//! cargo run --example quickstart
+//! cargo run --example quickstart [-- --threads <serial|auto|N>] [-- --out <svg path>]
 //! ```
+//!
+//! The `--threads` knob is pure wall-clock: the emitted SVG is byte-identical
+//! for every setting (CI diffs the output of `--threads serial` against
+//! `--threads 2` to guard that contract end-to-end).
 
 use graph_terrain::prelude::*;
+use measures::Parallelism;
 use terrain::{ascii_heightmap, peaks_at_alpha};
 use ugraph::GraphBuilder;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let parallelism = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| Parallelism::parse(v))
+        .unwrap_or(Parallelism::Serial);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("graph_terrain_quickstart.svg"));
+
     // 1. Build a small graph by hand: two dense "research groups" (a K5 and a
     //    K4) connected through a chain of collaborations.
     let mut builder = GraphBuilder::new();
@@ -28,24 +48,26 @@ fn main() {
     let graph = builder.build();
     println!("graph: {} vertices, {} edges", graph.vertex_count(), graph.edge_count());
 
-    // 2. Choose a scalar field. Here: the K-Core number of each vertex, so the
-    //    terrain's peaks are exactly the dense K-Cores (Proposition 4 of the
-    //    paper).
-    let cores = measures::core_numbers(&graph);
-    let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
-    println!("degeneracy (max K): {}", cores.degeneracy);
+    // 2. Start a session whose scalar field is the K-Core number of each
+    //    vertex, so the terrain's peaks are exactly the dense K-Cores
+    //    (Proposition 4 of the paper). The session computes the measure
+    //    itself, under the requested thread budget.
+    let mut session = TerrainPipeline::from_measure(&graph, Measure::KCore);
+    session.set_parallelism(parallelism).set_svg_size(SvgSize::new(800.0, 600.0));
+    println!("measure parallelism: {parallelism} (the SVG is identical for every setting)");
 
-    // 3. Build the terrain: scalar tree -> super tree -> 2D layout -> 3D mesh.
-    let terrain = VertexTerrain::build(&graph, &scalar).expect("valid scalar field");
+    // 3. Stages compute lazily and are cached: asking for the mesh builds
+    //    scalar field -> scalar tree -> super tree -> layout -> mesh once.
+    let stages = session.stages().expect("valid scalar field");
     println!(
         "super tree: {} nodes; mesh: {} triangles",
-        terrain.super_tree.node_count(),
-        terrain.mesh.triangle_count()
+        stages.super_tree.node_count(),
+        stages.mesh.triangle_count()
     );
 
-    // 4. Ask analysis questions directly on the terrain.
+    // 4. Ask analysis questions directly on the cached stages.
     for alpha in [1.0, 3.0, 4.0] {
-        let peaks = peaks_at_alpha(&terrain.super_tree, &terrain.layout, alpha);
+        let peaks = peaks_at_alpha(stages.render_tree, stages.layout, alpha);
         println!("maximal {alpha}-connected components (peaks at height {alpha}): {}", peaks.len());
         for p in &peaks {
             println!("   vertices {:?} (summit K = {})", p.members, p.summit_height);
@@ -54,9 +76,8 @@ fn main() {
 
     // 5. Look at it: ASCII in the terminal, SVG on disk.
     println!("\nterrain heightmap (top view):\n");
-    println!("{}", ascii_heightmap(&terrain.layout, 60, 18));
-    let svg = terrain.to_svg(800.0, 600.0);
-    let path = std::env::temp_dir().join("graph_terrain_quickstart.svg");
-    std::fs::write(&path, svg).expect("write svg");
-    println!("wrote 3D terrain rendering to {}", path.display());
+    println!("{}", ascii_heightmap(stages.layout, 60, 18));
+    let svg = session.build().expect("svg stage");
+    std::fs::write(&out_path, svg).expect("write svg");
+    println!("wrote 3D terrain rendering to {}", out_path.display());
 }

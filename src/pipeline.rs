@@ -1,0 +1,810 @@
+//! The staged [`TerrainPipeline`] session — one fallible, cached,
+//! parallelism-aware entry point for every terrain build.
+//!
+//! The paper's workflow is explicitly staged:
+//!
+//! ```text
+//! scalar field ──► scalar tree ──► super tree ──► simplified ("render") tree
+//!   (measure)      (Alg. 1 / 3)     (Alg. 2)         (Section II-E)
+//!                                                        │
+//!                              SVG ◄── 3D mesh ◄── 2D layout
+//! ```
+//!
+//! A [`TerrainPipeline`] is a *session* over that chain: every stage output
+//! is computed lazily on first demand, cached, and invalidated precisely when
+//! a knob upstream of it changes. An analyst flipping a colormap pays for a
+//! mesh re-color, not a tree rebuild:
+//!
+//! | mutator                 | recomputes                                  |
+//! |-------------------------|---------------------------------------------|
+//! | [`set_scalar`]          | everything                                  |
+//! | [`set_simplification`]  | render tree, layout, mesh, SVG              |
+//! | [`set_layout`]          | layout, mesh, SVG                           |
+//! | [`set_mesh`] / [`set_color`] | mesh, SVG                              |
+//! | [`set_svg_size`]        | SVG                                         |
+//! | [`set_parallelism`]     | nothing (results are thread-count invariant)|
+//!
+//! [`set_scalar`]: TerrainPipeline::set_scalar
+//! [`set_simplification`]: TerrainPipeline::set_simplification
+//! [`set_layout`]: TerrainPipeline::set_layout
+//! [`set_mesh`]: TerrainPipeline::set_mesh
+//! [`set_color`]: TerrainPipeline::set_color
+//! [`set_svg_size`]: TerrainPipeline::set_svg_size
+//! [`set_parallelism`]: TerrainPipeline::set_parallelism
+//!
+//! Every stage accessor returns `Result<_, TerrainError>` — no stage panics
+//! on bad input — and the session records wall-clock [`StageTimings`]
+//! (the `tc` / `tv` split of the paper's Table II) as it computes.
+//!
+//! ```
+//! use graph_terrain::{Measure, TerrainPipeline};
+//!
+//! let graph = ugraph::generators::barabasi_albert(200, 3, 7);
+//! let mut session = TerrainPipeline::from_measure(&graph, Measure::KCore);
+//! let svg = session.svg().unwrap().to_string();
+//! assert!(svg.starts_with("<svg"));
+//!
+//! // Re-coloring by degree rebuilds only the mesh stage; the tree and the
+//! // layout are reused from cache.
+//! let degrees: Vec<f64> = measures::degrees(&graph).iter().map(|&d| d as f64).collect();
+//! session.set_color(terrain::ColorScheme::BySecondaryScalar(degrees));
+//! assert!(session.svg().unwrap().starts_with("<svg"));
+//! assert!(session.timings().tree_construction_seconds().is_some());
+//! ```
+
+use scalarfield::{
+    build_super_tree, edge_scalar_tree, try_simplify_super_tree, vertex_scalar_tree,
+    EdgeScalarGraph, ScalarTree, SuperScalarTree, VertexScalarGraph,
+};
+use std::time::Instant;
+use terrain::{
+    terrain_to_svg, try_build_terrain_mesh, try_layout_super_tree, ColorScheme, LayoutConfig,
+    MeshConfig, TerrainError, TerrainLayout, TerrainMesh, TerrainResult,
+};
+use ugraph::par::Parallelism;
+use ugraph::CsrGraph;
+
+/// Whether a session's scalar field lives on vertices or on edges.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FieldKind {
+    /// One scalar per vertex (Algorithm 1 builds the tree).
+    Vertex,
+    /// One scalar per edge (Algorithm 3 builds the tree).
+    Edge,
+}
+
+/// A built-in scalar field the pipeline can compute itself
+/// ([`TerrainPipeline::from_measure`]), using the session's
+/// [`Parallelism`] budget where the measure supports it.
+///
+/// Every measure is deterministic and thread-count invariant (the
+/// [`ugraph::par`] guarantee), so changing the parallelism never changes the
+/// terrain.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Measure {
+    /// K-Core number per vertex (Batagelj–Zaveršnik peeling).
+    KCore,
+    /// Degree per vertex.
+    Degree,
+    /// PageRank per vertex (default damping/tolerance).
+    PageRank,
+    /// Closeness centrality per vertex.
+    Closeness,
+    /// Brandes betweenness centrality per vertex, sampled over `samples`
+    /// sources with `seed` (`samples >= n` falls back to the exact
+    /// computation).
+    BetweennessSampled {
+        /// Number of sampled sources.
+        samples: usize,
+        /// RNG seed for the source sample.
+        seed: u64,
+    },
+    /// K-Truss number per edge.
+    KTruss,
+    /// Triangle count per edge.
+    EdgeTriangles,
+}
+
+impl Measure {
+    /// Whether this measure produces a vertex or an edge scalar field.
+    pub fn field_kind(&self) -> FieldKind {
+        match self {
+            Measure::KCore
+            | Measure::Degree
+            | Measure::PageRank
+            | Measure::Closeness
+            | Measure::BetweennessSampled { .. } => FieldKind::Vertex,
+            Measure::KTruss | Measure::EdgeTriangles => FieldKind::Edge,
+        }
+    }
+
+    /// Short human-readable name (used in reports and logs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Measure::KCore => "k-core",
+            Measure::Degree => "degree",
+            Measure::PageRank => "pagerank",
+            Measure::Closeness => "closeness",
+            Measure::BetweennessSampled { .. } => "betweenness(sampled)",
+            Measure::KTruss => "k-truss",
+            Measure::EdgeTriangles => "edge-triangles",
+        }
+    }
+
+    fn compute(&self, graph: &CsrGraph, parallelism: Parallelism) -> Vec<f64> {
+        match self {
+            Measure::KCore => {
+                measures::core_numbers(graph).core.iter().map(|&c| c as f64).collect()
+            }
+            Measure::Degree => measures::degrees(graph).iter().map(|&d| d as f64).collect(),
+            Measure::PageRank => {
+                measures::pagerank_with(graph, &measures::PageRankConfig::default(), parallelism)
+            }
+            Measure::Closeness => measures::closeness_centrality_with(graph, parallelism),
+            Measure::BetweennessSampled { samples, seed } => {
+                measures::betweenness_centrality_sampled_with(graph, *samples, *seed, parallelism)
+            }
+            Measure::KTruss => measures::truss_numbers_with(graph, parallelism)
+                .truss
+                .iter()
+                .map(|&t| t as f64)
+                .collect(),
+            Measure::EdgeTriangles => measures::edge_triangle_counts_with(graph, parallelism)
+                .iter()
+                .map(|&t| t as f64)
+                .collect(),
+        }
+    }
+}
+
+/// The Section II-E simplification knob: super trees larger than
+/// `node_budget` nodes are discretized to `levels` scalar levels before
+/// rendering; smaller trees render as-is.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SimplificationConfig {
+    /// Maximum super-tree size rendered without simplification
+    /// (`None` = never simplify).
+    pub node_budget: Option<usize>,
+    /// Number of evenly spaced scalar levels to snap to when simplifying
+    /// (must be at least 1; checked at the simplification stage).
+    pub levels: usize,
+}
+
+impl Default for SimplificationConfig {
+    fn default() -> Self {
+        SimplificationConfig { node_budget: Some(4_000), levels: 64 }
+    }
+}
+
+impl SimplificationConfig {
+    /// Never simplify, regardless of tree size.
+    pub fn disabled() -> Self {
+        SimplificationConfig { node_budget: None, levels: 64 }
+    }
+}
+
+/// Output size of the rendered SVG, in pixels.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct SvgSize {
+    /// Width in pixels.
+    pub width_px: f64,
+    /// Height in pixels.
+    pub height_px: f64,
+}
+
+impl Default for SvgSize {
+    fn default() -> Self {
+        SvgSize { width_px: 900.0, height_px: 700.0 }
+    }
+}
+
+impl SvgSize {
+    /// An explicit size.
+    pub fn new(width_px: f64, height_px: f64) -> Self {
+        SvgSize { width_px, height_px }
+    }
+
+    fn validate(&self) -> TerrainResult<()> {
+        for (name, v) in [("width_px", self.width_px), ("height_px", self.height_px)] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(TerrainError::Config {
+                    what: "svg size",
+                    message: format!("{name} must be finite and positive, got {v}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Wall-clock seconds spent in each stage of a session, filled in as stages
+/// compute. A stage served from cache keeps the timing of the run that built
+/// it; an invalidated stage resets to `None` until recomputed.
+///
+/// The Table II mapping: [`tree_construction_seconds`](Self::tree_construction_seconds)
+/// is `tc`, [`visualization_seconds`](Self::visualization_seconds) is `tv`
+/// (the naive dual-graph baseline `te` is measured by `bench::pipeline`,
+/// which delegates everything else to this session API).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct StageTimings {
+    /// Computing the scalar field (`None` for user-provided scalars).
+    pub scalar_seconds: Option<f64>,
+    /// Building the scalar tree (Algorithm 1 or 3, incl. field validation).
+    pub tree_seconds: Option<f64>,
+    /// Merging into the super tree (Algorithm 2).
+    pub super_tree_seconds: Option<f64>,
+    /// Deciding on / applying the Section II-E simplification.
+    pub simplify_seconds: Option<f64>,
+    /// The nested 2D boundary layout.
+    pub layout_seconds: Option<f64>,
+    /// The 3D mesh extrusion (incl. coloring).
+    pub mesh_seconds: Option<f64>,
+    /// SVG serialization.
+    pub svg_seconds: Option<f64>,
+}
+
+impl StageTimings {
+    /// Table II's `tc`: scalar tree + super tree construction. `None` until
+    /// both stages have run.
+    pub fn tree_construction_seconds(&self) -> Option<f64> {
+        Some(self.tree_seconds? + self.super_tree_seconds?)
+    }
+
+    /// Table II's `tv`: simplification + layout + mesh + SVG serialization.
+    /// `None` until all four stages have run.
+    pub fn visualization_seconds(&self) -> Option<f64> {
+        Some(self.simplify_seconds? + self.layout_seconds? + self.mesh_seconds? + self.svg_seconds?)
+    }
+}
+
+/// A borrowed view of every structural stage of a session at once, for
+/// callers that need the tree *and* the layout (peak queries, treemaps)
+/// without fighting the borrow checker over repeated `&mut` accessors.
+#[derive(Copy, Clone, Debug)]
+pub struct TerrainStages<'a> {
+    /// The full super scalar tree (before simplification).
+    pub super_tree: &'a SuperScalarTree,
+    /// The tree actually rendered (simplified iff over the node budget).
+    pub render_tree: &'a SuperScalarTree,
+    /// The 2D layout of the render tree.
+    pub layout: &'a TerrainLayout,
+    /// The 3D mesh of the render tree.
+    pub mesh: &'a TerrainMesh,
+}
+
+/// The owned stage outputs moved out of a finished session by
+/// [`TerrainPipeline::into_parts`].
+#[derive(Clone, Debug)]
+pub struct TerrainParts {
+    /// The scalar field the terrain was built from.
+    pub scalar: Vec<f64>,
+    /// The full super scalar tree (before simplification).
+    pub super_tree: SuperScalarTree,
+    /// The simplified tree, when the node budget triggered; `None` means the
+    /// super tree itself was rendered.
+    pub simplified: Option<SuperScalarTree>,
+    /// The 2D layout of the rendered tree.
+    pub layout: TerrainLayout,
+    /// The 3D mesh of the rendered tree.
+    pub mesh: TerrainMesh,
+    /// The per-stage timings recorded while building.
+    pub timings: StageTimings,
+}
+
+/// A staged, cached terrain-build session over one graph.
+///
+/// The stage/invalidation contract: every stage output (scalar field, scalar
+/// tree, super tree, render tree, layout, mesh, SVG) is computed lazily on
+/// first demand and cached; each `set_*` knob invalidates exactly the stages
+/// downstream of it ([`set_color`](Self::set_color) rebuilds only the mesh
+/// coloring, [`set_simplification`](Self::set_simplification) reuses the
+/// super tree, [`set_scalar`](Self::set_scalar) reuses nothing).
+///
+/// Construct with [`TerrainPipeline::vertex`], [`TerrainPipeline::edge`]
+/// (explicit scalar fields, validated up front) or
+/// [`TerrainPipeline::from_measure`] (the session computes the field itself,
+/// lazily, under the session's [`Parallelism`] budget).
+#[derive(Clone, Debug)]
+pub struct TerrainPipeline<'g> {
+    graph: &'g CsrGraph,
+    field: FieldKind,
+    measure: Option<Measure>,
+    parallelism: Parallelism,
+    simplification: SimplificationConfig,
+    layout_config: LayoutConfig,
+    mesh_config: MeshConfig,
+    svg_size: SvgSize,
+    // Stage caches, upstream to downstream. `render_tree` distinguishes
+    // "not computed" (outer None) from "within budget, render the super tree
+    // itself" (Some(None)) to avoid cloning unsimplified trees.
+    scalar: Option<Vec<f64>>,
+    scalar_tree: Option<ScalarTree>,
+    super_tree: Option<SuperScalarTree>,
+    render_tree: Option<Option<SuperScalarTree>>,
+    layout: Option<TerrainLayout>,
+    mesh: Option<TerrainMesh>,
+    svg: Option<String>,
+    timings: StageTimings,
+}
+
+impl<'g> TerrainPipeline<'g> {
+    fn new(graph: &'g CsrGraph, field: FieldKind) -> Self {
+        TerrainPipeline {
+            graph,
+            field,
+            measure: None,
+            parallelism: Parallelism::Serial,
+            simplification: SimplificationConfig::default(),
+            layout_config: LayoutConfig::default(),
+            mesh_config: MeshConfig::default(),
+            svg_size: SvgSize::default(),
+            scalar: None,
+            scalar_tree: None,
+            super_tree: None,
+            render_tree: None,
+            layout: None,
+            mesh: None,
+            svg: None,
+            timings: StageTimings::default(),
+        }
+    }
+
+    /// Start a session over a vertex scalar field. The field is validated up
+    /// front (one finite entry per vertex), so every later stage can assume a
+    /// totally ordered scalar.
+    pub fn vertex(graph: &'g CsrGraph, scalar: Vec<f64>) -> TerrainResult<Self> {
+        VertexScalarGraph::new(graph, &scalar)?;
+        let mut p = Self::new(graph, FieldKind::Vertex);
+        p.scalar = Some(scalar);
+        Ok(p)
+    }
+
+    /// Start a session over an edge scalar field (validated up front: one
+    /// finite entry per edge).
+    pub fn edge(graph: &'g CsrGraph, scalar: Vec<f64>) -> TerrainResult<Self> {
+        EdgeScalarGraph::new(graph, &scalar)?;
+        let mut p = Self::new(graph, FieldKind::Edge);
+        p.scalar = Some(scalar);
+        Ok(p)
+    }
+
+    /// Start a session whose scalar field is a built-in [`Measure`], computed
+    /// lazily on first demand under the session's current [`Parallelism`]
+    /// budget. Infallible: the measure always produces a valid field.
+    pub fn from_measure(graph: &'g CsrGraph, measure: Measure) -> Self {
+        let mut p = Self::new(graph, measure.field_kind());
+        p.measure = Some(measure);
+        p
+    }
+
+    // ------------------------------------------------------------------
+    // Knobs. Each setter invalidates exactly the stages downstream of it.
+    // ------------------------------------------------------------------
+
+    /// Set the thread budget for measure computation. Never invalidates
+    /// anything: every measure is bit-identical across thread counts (the
+    /// [`ugraph::par`] contract), so parallelism is pure wall-clock.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) -> &mut Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Replace the scalar field (validated against the session's field kind).
+    /// Invalidates every stage; a session started with
+    /// [`from_measure`](Self::from_measure) becomes an explicit-scalar
+    /// session.
+    pub fn set_scalar(&mut self, scalar: Vec<f64>) -> TerrainResult<&mut Self> {
+        match self.field {
+            FieldKind::Vertex => {
+                VertexScalarGraph::new(self.graph, &scalar)?;
+            }
+            FieldKind::Edge => {
+                EdgeScalarGraph::new(self.graph, &scalar)?;
+            }
+        }
+        self.measure = None;
+        self.scalar = Some(scalar);
+        self.timings.scalar_seconds = None;
+        self.invalidate_from_tree();
+        Ok(self)
+    }
+
+    /// Set the Section II-E simplification budget. Reuses the cached super
+    /// tree; rebuilds render tree, layout, mesh and SVG on next demand.
+    pub fn set_simplification(&mut self, simplification: SimplificationConfig) -> &mut Self {
+        self.simplification = simplification;
+        self.invalidate_from_render_tree();
+        self
+    }
+
+    /// Set the 2D layout configuration (validated at the layout stage).
+    /// Rebuilds layout, mesh and SVG on next demand.
+    pub fn set_layout(&mut self, config: LayoutConfig) -> &mut Self {
+        self.layout_config = config;
+        self.invalidate_from_layout();
+        self
+    }
+
+    /// Set the full mesh configuration (validated at the mesh stage).
+    /// Rebuilds mesh and SVG on next demand.
+    pub fn set_mesh(&mut self, config: MeshConfig) -> &mut Self {
+        self.mesh_config = config;
+        self.invalidate_from_mesh();
+        self
+    }
+
+    /// Change only the coloring scheme, keeping the rest of the mesh
+    /// configuration. Rebuilds mesh and SVG on next demand — the tree and
+    /// layout are reused from cache.
+    pub fn set_color(&mut self, color: ColorScheme) -> &mut Self {
+        self.mesh_config.color = color;
+        self.invalidate_from_mesh();
+        self
+    }
+
+    /// Set the SVG output size. Re-serializes only the SVG on next demand.
+    pub fn set_svg_size(&mut self, size: SvgSize) -> &mut Self {
+        self.svg_size = size;
+        self.svg = None;
+        self.timings.svg_seconds = None;
+        self
+    }
+
+    fn invalidate_from_tree(&mut self) {
+        self.scalar_tree = None;
+        self.super_tree = None;
+        self.timings.tree_seconds = None;
+        self.timings.super_tree_seconds = None;
+        self.invalidate_from_render_tree();
+    }
+
+    fn invalidate_from_render_tree(&mut self) {
+        self.render_tree = None;
+        self.timings.simplify_seconds = None;
+        self.invalidate_from_layout();
+    }
+
+    fn invalidate_from_layout(&mut self) {
+        self.layout = None;
+        self.timings.layout_seconds = None;
+        self.invalidate_from_mesh();
+    }
+
+    fn invalidate_from_mesh(&mut self) {
+        self.mesh = None;
+        self.timings.mesh_seconds = None;
+        self.svg = None;
+        self.timings.svg_seconds = None;
+    }
+
+    // ------------------------------------------------------------------
+    // Read-only session info.
+    // ------------------------------------------------------------------
+
+    /// The graph this session builds over.
+    pub fn graph(&self) -> &'g CsrGraph {
+        self.graph
+    }
+
+    /// Whether this is a vertex- or an edge-scalar session.
+    pub fn field_kind(&self) -> FieldKind {
+        self.field
+    }
+
+    /// The session's current thread budget.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// The current simplification configuration.
+    pub fn simplification(&self) -> SimplificationConfig {
+        self.simplification
+    }
+
+    /// Per-stage wall-clock timings recorded so far (see [`StageTimings`]).
+    pub fn timings(&self) -> StageTimings {
+        self.timings
+    }
+
+    // ------------------------------------------------------------------
+    // Stage accessors: lazy, cached, fallible.
+    // ------------------------------------------------------------------
+
+    /// The scalar field (stage 0). Computes the measure on first demand for
+    /// [`from_measure`](Self::from_measure) sessions.
+    pub fn scalar(&mut self) -> TerrainResult<&[f64]> {
+        self.ensure_scalar()?;
+        Ok(self.scalar.as_deref().expect("ensured"))
+    }
+
+    /// The scalar tree (Algorithm 1 for vertex fields, Algorithm 3 for edge
+    /// fields).
+    pub fn scalar_tree(&mut self) -> TerrainResult<&ScalarTree> {
+        self.ensure_scalar_tree()?;
+        Ok(self.scalar_tree.as_ref().expect("ensured"))
+    }
+
+    /// The super scalar tree (Algorithm 2), before any simplification.
+    pub fn super_tree(&mut self) -> TerrainResult<&SuperScalarTree> {
+        self.ensure_super_tree()?;
+        Ok(self.super_tree.as_ref().expect("ensured"))
+    }
+
+    /// The tree the terrain is rendered from: the super tree itself when it
+    /// fits the [`SimplificationConfig::node_budget`], the simplified tree
+    /// otherwise.
+    pub fn render_tree(&mut self) -> TerrainResult<&SuperScalarTree> {
+        self.ensure_render_tree()?;
+        Ok(self.render_tree_ref())
+    }
+
+    /// The nested 2D boundary layout of the render tree.
+    pub fn layout(&mut self) -> TerrainResult<&TerrainLayout> {
+        self.ensure_layout()?;
+        Ok(self.layout.as_ref().expect("ensured"))
+    }
+
+    /// The 3D terrain mesh of the render tree.
+    pub fn mesh(&mut self) -> TerrainResult<&TerrainMesh> {
+        self.ensure_mesh()?;
+        Ok(self.mesh.as_ref().expect("ensured"))
+    }
+
+    /// The rendered SVG document.
+    pub fn svg(&mut self) -> TerrainResult<&str> {
+        self.ensure_svg()?;
+        Ok(self.svg.as_deref().expect("ensured"))
+    }
+
+    /// Force every structural stage (through the mesh) and borrow them all at
+    /// once — for peak queries, treemaps and exports that need the tree and
+    /// the layout together.
+    pub fn stages(&mut self) -> TerrainResult<TerrainStages<'_>> {
+        self.ensure_mesh()?;
+        Ok(TerrainStages {
+            super_tree: self.super_tree.as_ref().expect("ensured"),
+            render_tree: self.render_tree_ref(),
+            layout: self.layout.as_ref().expect("ensured"),
+            mesh: self.mesh.as_ref().expect("ensured"),
+        })
+    }
+
+    /// Run the whole pipeline to the end and return the SVG (owned). Sugar
+    /// for [`svg`](Self::svg)` + to_string` for one-shot callers.
+    pub fn build(&mut self) -> TerrainResult<String> {
+        Ok(self.svg()?.to_string())
+    }
+
+    /// Force every structural stage (through the mesh), then consume the
+    /// session and move its cached outputs out without copying — for one-shot
+    /// callers that want owned results (the deprecated `VertexTerrain` /
+    /// `EdgeTerrain` wrappers are built on this).
+    pub fn into_parts(mut self) -> TerrainResult<TerrainParts> {
+        self.ensure_mesh()?;
+        Ok(TerrainParts {
+            scalar: self.scalar.take().expect("ensured"),
+            super_tree: self.super_tree.take().expect("ensured"),
+            simplified: self.render_tree.take().expect("ensured"),
+            layout: self.layout.take().expect("ensured"),
+            mesh: self.mesh.take().expect("ensured"),
+            timings: self.timings,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Stage computation.
+    // ------------------------------------------------------------------
+
+    fn render_tree_ref(&self) -> &SuperScalarTree {
+        match self.render_tree.as_ref().expect("render tree ensured") {
+            Some(simplified) => simplified,
+            None => self.super_tree.as_ref().expect("super tree ensured"),
+        }
+    }
+
+    fn ensure_scalar(&mut self) -> TerrainResult<()> {
+        if self.scalar.is_some() {
+            return Ok(());
+        }
+        let measure =
+            self.measure.as_ref().expect("a session always has a scalar or a measure").clone();
+        let started = Instant::now();
+        let scalar = measure.compute(self.graph, self.parallelism);
+        self.timings.scalar_seconds = Some(started.elapsed().as_secs_f64());
+        self.scalar = Some(scalar);
+        Ok(())
+    }
+
+    fn ensure_scalar_tree(&mut self) -> TerrainResult<()> {
+        self.ensure_scalar()?;
+        if self.scalar_tree.is_some() {
+            return Ok(());
+        }
+        let scalar = self.scalar.as_ref().expect("ensured");
+        let started = Instant::now();
+        let tree = match self.field {
+            FieldKind::Vertex => vertex_scalar_tree(&VertexScalarGraph::new(self.graph, scalar)?),
+            FieldKind::Edge => edge_scalar_tree(&EdgeScalarGraph::new(self.graph, scalar)?),
+        };
+        self.timings.tree_seconds = Some(started.elapsed().as_secs_f64());
+        self.scalar_tree = Some(tree);
+        Ok(())
+    }
+
+    fn ensure_super_tree(&mut self) -> TerrainResult<()> {
+        self.ensure_scalar_tree()?;
+        if self.super_tree.is_some() {
+            return Ok(());
+        }
+        let started = Instant::now();
+        let super_tree = build_super_tree(self.scalar_tree.as_ref().expect("ensured"));
+        self.timings.super_tree_seconds = Some(started.elapsed().as_secs_f64());
+        self.super_tree = Some(super_tree);
+        Ok(())
+    }
+
+    fn ensure_render_tree(&mut self) -> TerrainResult<()> {
+        self.ensure_super_tree()?;
+        if self.render_tree.is_some() {
+            return Ok(());
+        }
+        let super_tree = self.super_tree.as_ref().expect("ensured");
+        let started = Instant::now();
+        let simplified = match self.simplification.node_budget {
+            Some(budget) if super_tree.node_count() > budget => {
+                Some(try_simplify_super_tree(super_tree, self.simplification.levels)?)
+            }
+            _ => None,
+        };
+        self.timings.simplify_seconds = Some(started.elapsed().as_secs_f64());
+        self.render_tree = Some(simplified);
+        Ok(())
+    }
+
+    fn ensure_layout(&mut self) -> TerrainResult<()> {
+        self.ensure_render_tree()?;
+        if self.layout.is_some() {
+            return Ok(());
+        }
+        let started = Instant::now();
+        let layout = try_layout_super_tree(self.render_tree_ref(), &self.layout_config)?;
+        self.timings.layout_seconds = Some(started.elapsed().as_secs_f64());
+        self.layout = Some(layout);
+        Ok(())
+    }
+
+    fn ensure_mesh(&mut self) -> TerrainResult<()> {
+        self.ensure_layout()?;
+        if self.mesh.is_some() {
+            return Ok(());
+        }
+        let started = Instant::now();
+        let mesh = try_build_terrain_mesh(
+            self.render_tree_ref(),
+            self.layout.as_ref().expect("ensured"),
+            &self.mesh_config,
+        )?;
+        self.timings.mesh_seconds = Some(started.elapsed().as_secs_f64());
+        self.mesh = Some(mesh);
+        Ok(())
+    }
+
+    fn ensure_svg(&mut self) -> TerrainResult<()> {
+        self.ensure_mesh()?;
+        if self.svg.is_some() {
+            return Ok(());
+        }
+        self.svg_size.validate()?;
+        let started = Instant::now();
+        let svg = terrain_to_svg(
+            self.mesh.as_ref().expect("ensured"),
+            self.svg_size.width_px,
+            self.svg_size.height_px,
+        );
+        self.timings.svg_seconds = Some(started.elapsed().as_secs_f64());
+        self.svg = Some(svg);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::GraphBuilder;
+
+    fn toy_graph() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0u32, 1u32), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        b.build()
+    }
+
+    #[test]
+    fn vertex_session_runs_every_stage_and_records_timings() {
+        let graph = toy_graph();
+        let mut session = TerrainPipeline::from_measure(&graph, Measure::KCore);
+        assert_eq!(session.field_kind(), FieldKind::Vertex);
+        let svg = session.build().unwrap();
+        assert!(svg.starts_with("<svg"));
+        let t = session.timings();
+        assert!(t.scalar_seconds.is_some());
+        assert!(t.tree_construction_seconds().unwrap() >= 0.0);
+        assert!(t.visualization_seconds().unwrap() >= 0.0);
+        assert_eq!(session.super_tree().unwrap().total_members(), graph.vertex_count());
+    }
+
+    #[test]
+    fn edge_session_unifies_the_edge_path() {
+        let graph = toy_graph();
+        let mut session = TerrainPipeline::from_measure(&graph, Measure::KTruss);
+        assert_eq!(session.field_kind(), FieldKind::Edge);
+        assert_eq!(session.super_tree().unwrap().total_members(), graph.edge_count());
+        assert!(session.svg().unwrap().starts_with("<svg"));
+        // User-provided scalars go through the same core.
+        let scalar: Vec<f64> = (0..graph.edge_count()).map(|e| e as f64).collect();
+        let mut explicit = TerrainPipeline::edge(&graph, scalar).unwrap();
+        assert!(explicit.timings().scalar_seconds.is_none(), "user scalar is not timed");
+        assert!(explicit.mesh().unwrap().triangle_count() > 0);
+    }
+
+    #[test]
+    fn invalid_scalars_fail_at_the_session_boundary() {
+        let graph = toy_graph();
+        assert!(TerrainPipeline::vertex(&graph, vec![1.0]).is_err());
+        assert!(TerrainPipeline::vertex(&graph, vec![f64::NAN; 5]).is_err());
+        assert!(TerrainPipeline::edge(&graph, vec![1.0; 3]).is_err());
+        let mut ok = TerrainPipeline::vertex(&graph, vec![1.0; 5]).unwrap();
+        assert!(ok.set_scalar(vec![2.0; 4]).is_err(), "length mismatch on set_scalar");
+        // The failed set leaves the session usable with its old field.
+        assert!(ok.svg().unwrap().starts_with("<svg"));
+    }
+
+    #[test]
+    fn invalid_configs_surface_as_errors_not_panics() {
+        let graph = toy_graph();
+        let mut session = TerrainPipeline::from_measure(&graph, Measure::Degree);
+        session.set_layout(LayoutConfig { width: -1.0, ..Default::default() });
+        assert!(matches!(session.svg(), Err(TerrainError::Layout { .. })));
+        session.set_layout(LayoutConfig::default());
+        session.set_simplification(SimplificationConfig { node_budget: Some(0), levels: 0 });
+        assert!(matches!(session.svg(), Err(TerrainError::Graph(_))));
+        session.set_simplification(SimplificationConfig::default());
+        session.set_svg_size(SvgSize::new(0.0, 100.0));
+        assert!(matches!(session.svg(), Err(TerrainError::Config { .. })));
+        session.set_svg_size(SvgSize::default());
+        assert!(session.svg().unwrap().starts_with("<svg"));
+    }
+
+    #[test]
+    fn set_color_reuses_tree_and_layout() {
+        let graph = toy_graph();
+        let mut session = TerrainPipeline::from_measure(&graph, Measure::KCore);
+        session.svg().unwrap();
+        let tree_time = session.timings().tree_seconds;
+        let layout_time = session.timings().layout_seconds;
+        let triangles = session.mesh().unwrap().triangle_count();
+        let degrees: Vec<f64> = measures::degrees(&graph).iter().map(|&d| d as f64).collect();
+        session.set_color(ColorScheme::BySecondaryScalar(degrees));
+        assert!(session.timings().mesh_seconds.is_none(), "mesh invalidated");
+        session.svg().unwrap();
+        // Cached stages kept the exact timing values of their original run —
+        // they were not recomputed.
+        assert_eq!(session.timings().tree_seconds, tree_time);
+        assert_eq!(session.timings().layout_seconds, layout_time);
+        assert_eq!(session.mesh().unwrap().triangle_count(), triangles);
+    }
+
+    #[test]
+    fn simplification_budget_kicks_in_and_reuses_the_super_tree() {
+        let graph = ugraph::generators::barabasi_albert(600, 3, 5);
+        let mut session = TerrainPipeline::from_measure(&graph, Measure::Degree);
+        session.set_simplification(SimplificationConfig { node_budget: Some(10), levels: 4 });
+        let full_nodes = session.super_tree().unwrap().node_count();
+        let render_nodes = session.render_tree().unwrap().node_count();
+        assert!(full_nodes > 10, "degree field on a BA graph yields a rich tree");
+        assert!(render_nodes < full_nodes, "budget must trigger simplification");
+        let super_time = session.timings().super_tree_seconds;
+        session.set_simplification(SimplificationConfig::disabled());
+        assert_eq!(session.render_tree().unwrap().node_count(), full_nodes);
+        assert_eq!(session.timings().super_tree_seconds, super_time, "super tree reused");
+    }
+}

@@ -28,10 +28,11 @@ fn collaboration_has_many_dense_peaks_preferential_attachment_has_one() {
 
     let dense_peak_count = |graph: &ugraph::CsrGraph| -> usize {
         let cores = measures::core_numbers(graph);
-        let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
-        let terrain = VertexTerrain::build(graph, &scalar).unwrap();
+        let mut session = TerrainPipeline::from_measure(graph, Measure::KCore);
+        session.set_simplification(SimplificationConfig::disabled());
+        let stages = session.stages().unwrap();
         let alpha = (cores.degeneracy as f64 * 0.6).floor().max(2.0);
-        peaks_at_alpha(&terrain.super_tree, &terrain.layout, alpha).len()
+        peaks_at_alpha(stages.render_tree, stages.layout, alpha).len()
     };
 
     let grqc_peaks = dense_peak_count(&grqc_like);

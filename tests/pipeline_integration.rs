@@ -1,5 +1,6 @@
 //! Cross-crate integration tests: the full pipeline from generated graphs
-//! through measures, scalar trees, terrains and exports.
+//! through measures, scalar trees, terrains and exports, driven through the
+//! staged [`TerrainPipeline`] session API.
 
 use graph_terrain::prelude::*;
 use scalarfield::{component_members_at_alpha, maximal_alpha_components, VertexScalarGraph};
@@ -20,17 +21,26 @@ fn collaboration_fixture() -> ugraph::CsrGraph {
     })
 }
 
+/// A session over the K-Core field with simplification disabled (these tests
+/// reason about the exact, unsimplified tree).
+fn kcore_session(graph: &ugraph::CsrGraph) -> TerrainPipeline<'_> {
+    let mut session = TerrainPipeline::from_measure(graph, Measure::KCore);
+    session.set_simplification(SimplificationConfig::disabled());
+    session
+}
+
 #[test]
 fn kcore_terrain_peaks_are_kcores_end_to_end() {
     let graph = collaboration_fixture();
     let cores = measures::core_numbers(&graph);
     let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
-    let terrain = VertexTerrain::build(&graph, &scalar).unwrap();
+    let mut session = kcore_session(&graph);
+    let stages = session.stages().unwrap();
 
     // Every peak at every integer level is a K-Core: each member has at least
     // alpha neighbors inside the peak (Proposition 4 through the whole stack).
     for alpha in 1..=cores.degeneracy {
-        let peaks = peaks_at_alpha(&terrain.super_tree, &terrain.layout, alpha as f64);
+        let peaks = peaks_at_alpha(stages.render_tree, stages.layout, alpha as f64);
         for peak in &peaks {
             let members: BTreeSet<u32> = peak.members.iter().copied().collect();
             for &m in &peak.members {
@@ -60,13 +70,14 @@ fn kcore_terrain_peaks_are_kcores_end_to_end() {
 fn ktruss_terrain_members_are_ktruss_edges() {
     let graph = barabasi_albert(400, 4, 11);
     let truss = measures::truss_numbers(&graph);
-    let scalar: Vec<f64> = truss.truss.iter().map(|&t| t as f64).collect();
-    let terrain = EdgeTerrain::build(&graph, &scalar).unwrap();
-    assert_eq!(terrain.super_tree.total_members(), graph.edge_count());
+    let mut session = TerrainPipeline::from_measure(&graph, Measure::KTruss);
+    session.set_simplification(SimplificationConfig::disabled());
+    let stages = session.stages().unwrap();
+    assert_eq!(stages.super_tree.total_members(), graph.edge_count());
 
     // The members of every peak at the maximum truss level all have that truss
     // number.
-    let peaks = peaks_at_alpha(&terrain.super_tree, &terrain.layout, truss.max_truss as f64);
+    let peaks = peaks_at_alpha(stages.render_tree, stages.layout, truss.max_truss as f64);
     assert!(!peaks.is_empty());
     for peak in peaks {
         for e in peak.members {
@@ -78,21 +89,20 @@ fn ktruss_terrain_members_are_ktruss_edges() {
 #[test]
 fn exports_are_consistent_across_formats() {
     let graph = collaboration_fixture();
-    let cores = measures::core_numbers(&graph);
-    let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
-    let terrain = VertexTerrain::build(&graph, &scalar).unwrap();
+    let mut session = kcore_session(&graph);
+    session.set_svg_size(SvgSize::new(640.0, 480.0));
+    let svg = session.build().unwrap();
+    let stages = session.stages().unwrap();
+    assert_eq!(svg.matches("<polygon").count(), stages.mesh.triangle_count());
 
-    let svg = terrain.to_svg(640.0, 480.0);
-    assert_eq!(svg.matches("<polygon").count(), terrain.mesh.triangle_count());
+    let obj = mesh_to_obj(stages.mesh);
+    assert_eq!(obj.lines().filter(|l| l.starts_with("v ")).count(), stages.mesh.vertex_count());
 
-    let obj = mesh_to_obj(&terrain.mesh);
-    assert_eq!(obj.lines().filter(|l| l.starts_with("v ")).count(), terrain.mesh.vertex_count());
-
-    let treemap = build_treemap(&terrain.super_tree, &terrain.layout);
+    let treemap = build_treemap(stages.render_tree, stages.layout);
     let map_svg = treemap_to_svg(&treemap, 640.0, 480.0);
-    assert_eq!(map_svg.matches("<rect").count(), terrain.super_tree.node_count());
+    assert_eq!(map_svg.matches("<rect").count(), stages.render_tree.node_count());
 
-    let art = ascii_heightmap(&terrain.layout, 40, 10);
+    let art = ascii_heightmap(stages.layout, 40, 10);
     assert_eq!(art.lines().count(), 10);
 }
 
@@ -100,19 +110,21 @@ fn exports_are_consistent_across_formats() {
 fn simplification_keeps_the_headline_peaks() {
     // After discretizing to a handful of levels, the tallest structure of the
     // terrain must still be there (same summit level, non-empty membership).
+    // Exercised as a staged mutation: flipping the simplification knob on a
+    // live session reuses the cached super tree.
     let graph = collaboration_fixture();
-    let cores = measures::core_numbers(&graph);
-    let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
-    let terrain = VertexTerrain::build(&graph, &scalar).unwrap();
-
-    let simplified = scalarfield::simplify_super_tree(&terrain.super_tree, 8);
-    assert!(simplified.node_count() <= terrain.super_tree.node_count());
-    assert_eq!(simplified.total_members(), graph.vertex_count());
-
-    let layout = terrain::layout_super_tree(&simplified, &terrain::LayoutConfig::default());
-    let original_top = terrain::highest_peaks(&terrain.super_tree, &terrain.layout, 1);
-    let simplified_top = terrain::highest_peaks(&simplified, &layout, 1);
+    let mut session = kcore_session(&graph);
+    let stages = session.stages().unwrap();
+    let full_nodes = stages.super_tree.node_count();
+    let original_top = terrain::highest_peaks(stages.render_tree, stages.layout, 1);
     let orig_summit = original_top[0].summit_height;
+
+    session.set_simplification(SimplificationConfig { node_budget: Some(0), levels: 8 });
+    let simplified = session.stages().unwrap();
+    assert!(simplified.render_tree.node_count() <= full_nodes);
+    assert_eq!(simplified.render_tree.total_members(), graph.vertex_count());
+
+    let simplified_top = terrain::highest_peaks(simplified.render_tree, simplified.layout, 1);
     let simp_summit = simplified_top[0].summit_height;
     assert!(
         (orig_summit - simp_summit).abs() <= orig_summit * 0.2 + 1e-9,
@@ -125,11 +137,11 @@ fn simplification_keeps_the_headline_peaks() {
 fn cut_counts_match_between_alpha_cut_api_and_peaks() {
     let graph = barabasi_albert(600, 3, 5);
     let cores = measures::core_numbers(&graph);
-    let scalar: Vec<f64> = cores.core.iter().map(|&c| c as f64).collect();
-    let terrain = VertexTerrain::build(&graph, &scalar).unwrap();
+    let mut session = kcore_session(&graph);
+    let stages = session.stages().unwrap();
     for alpha in 1..=cores.degeneracy {
-        let cut = component_members_at_alpha(&terrain.super_tree, alpha as f64);
-        let peaks = peaks_at_alpha(&terrain.super_tree, &terrain.layout, alpha as f64);
+        let cut = component_members_at_alpha(stages.render_tree, alpha as f64);
+        let peaks = peaks_at_alpha(stages.render_tree, stages.layout, alpha as f64);
         assert_eq!(cut.len(), peaks.len());
     }
 }

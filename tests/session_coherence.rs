@@ -1,0 +1,194 @@
+//! Cache-coherence property test for the staged [`TerrainPipeline`] session:
+//! **any** sequence of staged mutations (`set_color` → `set_layout` →
+//! `set_simplification` → …), with the pipeline forced to the SVG stage after
+//! every step so each mutation really exercises cache invalidation, must
+//! leave the session bit-identical to a from-scratch build with the final
+//! settings — exact `==` on tree node counts and scalars, layout rectangles,
+//! mesh vertices and triangles, and the SVG text — for both vertex and edge
+//! fields, across [`Parallelism::Serial`] and `Threads(2)`.
+
+use graph_terrain::prelude::*;
+use proptest::collection;
+use proptest::prelude::*;
+use terrain::{role_palette, ColorScheme, LayoutConfig};
+use ugraph::generators::barabasi_albert;
+use ugraph::par::Parallelism;
+use ugraph::CsrGraph;
+
+/// One staged mutation: `(knob, variant)` indices drawn by proptest.
+type Op = (u8, u8);
+
+/// The settings a session ends up with after replaying a mutation sequence.
+/// `u8` variant indices; every knob starts at variant 0.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Settings {
+    scalar: u8,
+    simplification: u8,
+    layout: u8,
+    color: u8,
+    svg: u8,
+    parallelism: u8,
+}
+
+impl Settings {
+    fn apply(&mut self, (knob, variant): Op) {
+        match knob {
+            0 => self.color = variant,
+            1 => self.layout = variant,
+            2 => self.simplification = variant,
+            3 => self.svg = variant,
+            4 => self.scalar = variant,
+            _ => self.parallelism = variant,
+        }
+    }
+}
+
+/// Deterministic scalar field with ties: variant changes the level pattern.
+fn scalar_field(variant: u8, len: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| {
+            ((i as u64).wrapping_mul(2_654_435_761).wrapping_add(variant as u64 * 97) % 7) as f64
+        })
+        .collect()
+}
+
+fn layout_config(variant: u8) -> LayoutConfig {
+    match variant {
+        0 => LayoutConfig::default(),
+        1 => LayoutConfig { width: 2.0, height: 1.5, margin_fraction: 0.04 },
+        _ => LayoutConfig { width: 0.8, height: 1.2, margin_fraction: 0.1 },
+    }
+}
+
+fn simplification_config(variant: u8) -> SimplificationConfig {
+    match variant {
+        0 => SimplificationConfig::default(),
+        1 => SimplificationConfig::disabled(),
+        // A budget of 4 forces simplification on almost every generated tree.
+        _ => SimplificationConfig { node_budget: Some(4), levels: 3 },
+    }
+}
+
+fn color_scheme(variant: u8, element_count: usize) -> ColorScheme {
+    match variant {
+        0 => ColorScheme::ByHeight,
+        1 => ColorScheme::BySecondaryScalar((0..element_count).map(|i| (i % 5) as f64).collect()),
+        _ => ColorScheme::ByClass {
+            classes: (0..element_count).map(|i| i % 4).collect(),
+            palette: role_palette(),
+        },
+    }
+}
+
+fn svg_size(variant: u8) -> SvgSize {
+    match variant {
+        0 => SvgSize::default(),
+        1 => SvgSize::new(400.0, 300.0),
+        _ => SvgSize::new(640.0, 480.0),
+    }
+}
+
+fn parallelism(variant: u8) -> Parallelism {
+    match variant {
+        0 => Parallelism::Serial,
+        1 => Parallelism::Threads(2),
+        _ => Parallelism::Threads(3),
+    }
+}
+
+fn element_count(graph: &CsrGraph, kind: FieldKind) -> usize {
+    match kind {
+        FieldKind::Vertex => graph.vertex_count(),
+        FieldKind::Edge => graph.edge_count(),
+    }
+}
+
+/// Build a fresh session directly at `settings`.
+fn fresh_session<'g>(
+    graph: &'g CsrGraph,
+    kind: FieldKind,
+    settings: Settings,
+) -> TerrainPipeline<'g> {
+    let n = element_count(graph, kind);
+    let scalar = scalar_field(settings.scalar, n);
+    let mut session = match kind {
+        FieldKind::Vertex => TerrainPipeline::vertex(graph, scalar).unwrap(),
+        FieldKind::Edge => TerrainPipeline::edge(graph, scalar).unwrap(),
+    };
+    session
+        .set_parallelism(parallelism(settings.parallelism))
+        .set_simplification(simplification_config(settings.simplification))
+        .set_layout(layout_config(settings.layout))
+        .set_color(color_scheme(settings.color, n))
+        .set_svg_size(svg_size(settings.svg));
+    session
+}
+
+/// Apply one mutation to a live session.
+fn apply(session: &mut TerrainPipeline<'_>, n: usize, (knob, variant): Op) {
+    match knob {
+        0 => session.set_color(color_scheme(variant, n)),
+        1 => session.set_layout(layout_config(variant)),
+        2 => session.set_simplification(simplification_config(variant)),
+        3 => session.set_svg_size(svg_size(variant)),
+        4 => session.set_scalar(scalar_field(variant, n)).unwrap(),
+        _ => session.set_parallelism(parallelism(variant)),
+    };
+}
+
+/// Exact equality of every stage output of two sessions.
+fn assert_sessions_identical(
+    a: &mut TerrainPipeline<'_>,
+    b: &mut TerrainPipeline<'_>,
+    context: &str,
+) {
+    assert_eq!(a.svg().unwrap(), b.svg().unwrap(), "{context}: svg");
+    let sa = a.stages().unwrap();
+    let sb = b.stages().unwrap();
+    assert_eq!(sa.super_tree.node_count(), sb.super_tree.node_count(), "{context}: super tree");
+    assert_eq!(sa.super_tree.scalars(), sb.super_tree.scalars(), "{context}: super scalars");
+    assert_eq!(sa.render_tree.node_count(), sb.render_tree.node_count(), "{context}: render tree");
+    assert_eq!(sa.layout.rects, sb.layout.rects, "{context}: layout rects");
+    assert_eq!(sa.mesh.vertices, sb.mesh.vertices, "{context}: mesh vertices");
+    assert_eq!(sa.mesh.triangles, sb.mesh.triangles, "{context}: mesh triangles");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn staged_mutations_equal_fresh_build(
+        (n, m, seed) in (8usize..32, 2usize..4, 0u64..1_000),
+        ops in collection::vec((0u8..6, 0u8..3), 1..7),
+    ) {
+        let graph = barabasi_albert(n, m, seed);
+        for start in [Parallelism::Serial, Parallelism::Threads(2)] {
+            for kind in [FieldKind::Vertex, FieldKind::Edge] {
+                let elements = element_count(&graph, kind);
+                let mut settings = Settings::default();
+                let mut staged = fresh_session(&graph, kind, settings);
+                staged.set_parallelism(start);
+                // Force the full pipeline, mutate, force again — every op
+                // exercises invalidation on a fully populated cache.
+                staged.svg().unwrap();
+                for &op in &ops {
+                    apply(&mut staged, elements, op);
+                    settings.apply(op);
+                    staged.svg().unwrap();
+                }
+                // Parallelism mutations change no stage output, but the
+                // staged session keeps whatever the last op set; give the
+                // fresh build the same final setting for a fair comparison.
+                if !ops.iter().any(|&(knob, _)| knob >= 5) {
+                    settings.parallelism = match start {
+                        Parallelism::Serial => 0,
+                        _ => 1,
+                    };
+                }
+                let mut fresh = fresh_session(&graph, kind, settings);
+                let context = format!("kind {kind:?}, start {start}, ops {ops:?}");
+                assert_sessions_identical(&mut staged, &mut fresh, &context);
+            }
+        }
+    }
+}

@@ -7,8 +7,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use measures::core_numbers;
 use scalarfield::{build_super_tree, simplify_super_tree, vertex_scalar_tree, VertexScalarGraph};
 use terrain::{
-    build_terrain_mesh, highest_peaks, layout_super_tree, peaks_at_alpha, terrain_to_svg,
-    LayoutConfig, MeshConfig,
+    build_terrain_mesh, highest_peaks, layout_super_tree, peaks_at_alpha, Exporter, LayoutConfig,
+    MeshConfig, RenderScene, Svg,
 };
 
 fn bench_terrain_rendering(c: &mut Criterion) {
@@ -24,7 +24,8 @@ fn bench_terrain_rendering(c: &mut Criterion) {
         b.iter(|| {
             let layout = layout_super_tree(&tree, &LayoutConfig::default());
             let mesh = build_terrain_mesh(&tree, &layout, &MeshConfig::default());
-            terrain_to_svg(&mesh, 900.0, 700.0).len()
+            let scene = RenderScene::new(&tree, &layout, &mesh);
+            Svg::new(900.0, 700.0).export_string(&scene).unwrap().len()
         })
     });
 
@@ -54,7 +55,8 @@ fn bench_terrain_rendering(c: &mut Criterion) {
                 b.iter(|| {
                     let layout = layout_super_tree(simplified, &LayoutConfig::default());
                     let mesh = build_terrain_mesh(simplified, &layout, &MeshConfig::default());
-                    terrain_to_svg(&mesh, 900.0, 700.0).len()
+                    let scene = RenderScene::new(simplified, &layout, &mesh);
+                    Svg::new(900.0, 700.0).export_string(&scene).unwrap().len()
                 })
             },
         );

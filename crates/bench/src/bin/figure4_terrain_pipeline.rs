@@ -1,13 +1,19 @@
 //! Figure 4 — scalar tree → 2D layout → 3D terrain on the paper's 9-node
 //! example, plus the peak5 / peak3 cross-sections of Figures 4(d)–(i).
+//!
+//! `--format <svg|treemap|obj|ply|ascii|json>` picks the render backend for
+//! the 3D artifact (default `svg`).
 
+use bench::cli::exporter_from_args;
 use bench::output::write_artifact;
 use graph_terrain::{SvgSize, TerrainPipeline};
 use scalarfield::component_members_at_alpha;
-use terrain::{ascii_heightmap, build_treemap, peaks_at_alpha, treemap_to_svg};
+use terrain::{peaks_at_alpha, Ascii, Exporter, RenderScene, TreemapSvg};
 use ugraph::GraphBuilder;
 
 fn main() {
+    let exporter = exporter_from_args("svg");
+
     // The worked example of Figure 2/4: nine vertices, two high-scalar regions
     // meeting at lower-scalar vertices.
     let mut b = GraphBuilder::new();
@@ -23,6 +29,7 @@ fn main() {
     session.set_svg_size(SvgSize::new(900.0, 700.0));
     let stages = session.stages().expect("toy pipeline stages");
     let (tree, layout, mesh) = (stages.render_tree, stages.layout, stages.mesh);
+    let scene = RenderScene::new(tree, layout, mesh);
 
     println!("Figure 4 — terrain pipeline on the 9-vertex example");
     println!("super tree nodes: {}", tree.node_count());
@@ -46,12 +53,13 @@ fn main() {
     }
 
     println!("\nASCII terrain (top view, height-coded):\n");
-    println!("{}", ascii_heightmap(layout, 64, 20));
+    println!("{}", Ascii::new(64, 20).export_string(&scene).expect("ascii render"));
 
-    let svg2d = treemap_to_svg(&build_treemap(tree, layout), 900.0, 700.0);
-    let svg3d = session.build().expect("svg stage");
-    if let Ok(p) = write_artifact("figure4_terrain.svg", &svg3d) {
-        println!("wrote {}", p.display());
+    let svg2d = TreemapSvg::new(900.0, 700.0).export_string(&scene).expect("treemap render");
+    let artifact = exporter.export_string(&scene).expect("3D artifact render");
+    let name = format!("figure4_terrain.{}", exporter.file_extension());
+    if let Ok(p) = write_artifact(&name, &artifact) {
+        println!("wrote {} ({} backend)", p.display(), exporter.name());
     }
     if let Ok(p) = write_artifact("figure4_layout2d.svg", &svg2d) {
         println!("wrote {}", p.display());

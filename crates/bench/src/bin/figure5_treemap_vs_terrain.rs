@@ -10,7 +10,7 @@ use bench::datasets::DatasetKind;
 use bench::output::write_artifact;
 use graph_terrain::{Measure, SimplificationConfig, SvgSize, TerrainPipeline};
 use measures::core_numbers;
-use terrain::{build_treemap, colormap, highest_peaks, treemap_to_svg};
+use terrain::{colormap, highest_peaks, Exporter, RenderScene, TreemapSvg};
 
 fn main() {
     let dataset =
@@ -23,7 +23,7 @@ fn main() {
         .set_svg_size(SvgSize::new(900.0, 700.0));
     let stages = session.stages().expect("k-core terrain stages");
     let (tree, layout) = (stages.render_tree, stages.layout);
-    let treemap = build_treemap(tree, layout);
+    let scene = RenderScene::new(tree, layout, stages.mesh);
 
     println!("Figure 5 — 2D treemap vs 3D terrain ({} analog)", dataset.spec.name);
     println!(
@@ -67,8 +67,8 @@ fn main() {
         }
     }
 
+    let svg2d = TreemapSvg::new(900.0, 700.0).export_string(&scene).expect("treemap render");
     let svg3d = session.build().expect("svg stage");
-    let svg2d = treemap_to_svg(&treemap, 900.0, 700.0);
     if let Ok(p) = write_artifact("figure5_terrain3d.svg", &svg3d) {
         println!("wrote {}", p.display());
     }

@@ -4,46 +4,74 @@
 //! The default scale keeps the run to a few seconds; `--large` uses 10x more
 //! vertices for a scalability exercise closer to the paper's full datasets,
 //! and `--threads <serial|auto|N>` sets the measure-stage parallelism.
+//! `--input <path> [--input-format <name>]` pushes a *real* million-edge
+//! dump through the pipeline (ingested via `GraphSource`) instead of the
+//! analogs — the actual Figure 7 experiment when the SNAP files are on disk.
 
+use bench::cli::input_dataset_from;
 use bench::datasets::DatasetKind;
 use bench::output::{format_table, write_artifact};
-use bench::parallelism::parallelism_from_args;
+use bench::parallelism::parallelism_from;
 use bench::pipeline::{run_edge_pipeline_with, run_vertex_pipeline_with};
 use measures::{core_numbers, truss_numbers_with};
+use ugraph::CsrGraph;
+
+/// One unit of figure work: a pre-loaded real file, or an analog generated
+/// on demand (so only one graph is alive at a time).
+enum Work {
+    File(String, CsrGraph),
+    Analog(DatasetKind),
+}
 
 fn main() {
-    let large = std::env::args().any(|a| a == "--large");
-    let parallelism = parallelism_from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let large = args.iter().any(|a| a == "--large");
+    let parallelism = parallelism_from(&args);
     eprintln!("[figure7] measure parallelism: {parallelism}");
     let mut rows = Vec::new();
 
-    for kind in [DatasetKind::Wikipedia, DatasetKind::CitPatent] {
-        let scale =
-            if large { (kind.default_scale() * 10.0).min(1.0) } else { kind.default_scale() };
-        let dataset = kind.generate(scale);
-        let graph = &dataset.graph;
-        eprintln!(
-            "[figure7] {} analog at scale {:.2}: {} nodes, {} edges",
-            dataset.spec.name,
-            scale,
-            graph.vertex_count(),
-            graph.edge_count()
-        );
+    // Both analogs are large by design — generate them one at a time so only
+    // one graph is alive per iteration (with --large this halves peak memory).
+    let work: Vec<Work> = match input_dataset_from(&args) {
+        Some(file) => vec![Work::File(file.name, file.graph)],
+        None => [DatasetKind::Wikipedia, DatasetKind::CitPatent].map(Work::Analog).into(),
+    };
 
+    for item in work {
+        let (name, graph) = match item {
+            Work::File(name, graph) => (name, graph),
+            Work::Analog(kind) => {
+                let scale = if large {
+                    (kind.default_scale() * 10.0).min(1.0)
+                } else {
+                    kind.default_scale()
+                };
+                let dataset = kind.generate(scale);
+                eprintln!(
+                    "[figure7] {} analog at scale {scale:.2}: {} nodes, {} edges",
+                    dataset.spec.name,
+                    dataset.graph.vertex_count(),
+                    dataset.graph.edge_count()
+                );
+                (dataset.spec.name.to_string(), dataset.graph)
+            }
+        };
+        let graph = &graph;
+        let name = &name;
         // Full pipelines (also produce the terrains as SVG via the pipeline
         // helpers' internals; here we re-run the decompositions to report the
         // densest structures of Figures 7(e,f)).
         let vreport = match run_vertex_pipeline_with(graph, parallelism) {
             Ok(report) => report,
             Err(e) => {
-                eprintln!("[figure7] {} KC(v) pipeline failed: {e}", dataset.spec.name);
+                eprintln!("[figure7] {name} KC(v) pipeline failed: {e}");
                 continue;
             }
         };
         let ereport = match run_edge_pipeline_with(graph, false, parallelism) {
             Ok(report) => report,
             Err(e) => {
-                eprintln!("[figure7] {} KT(e) pipeline failed: {e}", dataset.spec.name);
+                eprintln!("[figure7] {name} KT(e) pipeline failed: {e}");
                 continue;
             }
         };
@@ -54,7 +82,7 @@ fn main() {
         let densest_truss = truss.densest_truss_edges();
 
         rows.push(vec![
-            dataset.spec.name.to_string(),
+            name.clone(),
             graph.vertex_count().to_string(),
             graph.edge_count().to_string(),
             format!("K={} ({} vertices)", cores.degeneracy, densest_core.len()),

@@ -9,7 +9,7 @@
 use bench::output::{format_table, write_artifact};
 use graph_terrain::{SimplificationConfig, SvgSize, TerrainPipeline};
 use measures::{assign_roles, Role};
-use terrain::{build_treemap, role_palette, treemap_to_svg, ColorScheme};
+use terrain::{role_palette, ColorScheme, Exporter, RenderScene, TreemapSvg};
 use ugraph::generators::hub_periphery_community;
 
 fn main() {
@@ -62,8 +62,8 @@ fn main() {
     );
 
     let stages = session.stages().expect("role terrain stages");
-    let treemap_svg =
-        treemap_to_svg(&build_treemap(stages.render_tree, stages.layout), 900.0, 700.0);
+    let scene = RenderScene::new(stages.render_tree, stages.layout, stages.mesh);
+    let treemap_svg = TreemapSvg::new(900.0, 700.0).export_string(&scene).expect("treemap render");
     let _ = write_artifact("figure9_roles_terrain.svg", &session.build().expect("svg stage"));
     let _ = write_artifact("figure9_roles_treemap.svg", &treemap_svg);
     let _ = write_artifact("figure9_summary.txt", &table);

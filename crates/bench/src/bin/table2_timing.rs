@@ -11,13 +11,24 @@
 //! `--threads <serial|auto|N>` to set the measure-stage parallelism
 //! (timings change, numbers don't), and `--render-budget <N>` to change the
 //! Section II-E simplification threshold (default 4000 super nodes).
+//! `--input <path> [--input-format <name>]` times a *real* graph file
+//! (ingested through `GraphSource`) instead of the synthetic analogs.
 
+use bench::cli::input_dataset_from;
 use bench::datasets::DatasetKind;
 use bench::output::{format_table, write_artifact};
 use bench::parallelism::parallelism_from;
 use bench::pipeline::{
     run_edge_pipeline_configured, run_vertex_pipeline_configured, PipelineConfig,
 };
+use ugraph::CsrGraph;
+
+/// One unit of table work: a pre-loaded real file, or an analog generated
+/// on demand (so only one graph is alive at a time).
+enum Work {
+    File(String, CsrGraph),
+    Analog(DatasetKind),
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -33,28 +44,55 @@ fn main() {
     let config = PipelineConfig { parallelism, render_node_budget: budget, ..Default::default() };
     eprintln!("[table2] measure parallelism: {parallelism}; render budget: {budget}");
 
-    let datasets =
-        [DatasetKind::GrQc, DatasetKind::WikiVote, DatasetKind::Wikipedia, DatasetKind::CitPatent];
+    // The workload: one real file (--input), or the four synthetic analogs.
+    // Graphs materialize one at a time inside the loop — with --large two of
+    // the analogs are million-edge graphs, and holding all four at once
+    // would multiply the peak memory of exactly the scalability runs this
+    // binary exists for.
+    let work: Vec<Work> = match input_dataset_from(&args) {
+        Some(file) => vec![Work::File(file.name, file.graph)],
+        None => [
+            DatasetKind::GrQc,
+            DatasetKind::WikiVote,
+            DatasetKind::Wikipedia,
+            DatasetKind::CitPatent,
+        ]
+        .map(Work::Analog)
+        .into(),
+    };
 
     let mut rows = Vec::new();
-    for kind in datasets {
-        let scale =
-            if large { (kind.default_scale() * 10.0).min(1.0) } else { kind.default_scale() };
-        let dataset = kind.generate(scale);
-        let n = dataset.graph.vertex_count();
-        let m = dataset.graph.edge_count();
-        eprintln!("[table2] {} at scale {:.2}: {} nodes, {} edges", dataset.spec.name, scale, n, m);
-
+    for item in work {
+        let (name, graph) = match item {
+            Work::File(name, graph) => (name, graph),
+            Work::Analog(kind) => {
+                let scale = if large {
+                    (kind.default_scale() * 10.0).min(1.0)
+                } else {
+                    kind.default_scale()
+                };
+                let dataset = kind.generate(scale);
+                eprintln!(
+                    "[table2] {} at scale {scale:.2}: {} nodes, {} edges",
+                    dataset.spec.name,
+                    dataset.graph.vertex_count(),
+                    dataset.graph.edge_count()
+                );
+                (dataset.spec.name.to_string(), dataset.graph)
+            }
+        };
+        let graph = &graph;
+        let name = &name;
         // KC(v) row.
-        let vreport = match run_vertex_pipeline_configured(&dataset.graph, &config) {
+        let vreport = match run_vertex_pipeline_configured(graph, &config) {
             Ok(report) => report,
             Err(e) => {
-                eprintln!("[table2] {} KC(v) pipeline failed: {e}", dataset.spec.name);
+                eprintln!("[table2] {name} KC(v) pipeline failed: {e}");
                 continue;
             }
         };
         rows.push(vec![
-            dataset.spec.name.to_string(),
+            name.clone(),
             "KC(v)".to_string(),
             vreport.super_tree_nodes.to_string(),
             format!("{:.4}", vreport.tree_seconds),
@@ -65,17 +103,17 @@ fn main() {
         // KT(e) row. The naive baseline is only attempted on graphs whose dual
         // stays manageable, mirroring how the paper could not run it at all
         // scales either.
-        let dual_edges = ugraph::dual::estimated_dual_edges(&dataset.graph);
+        let dual_edges = ugraph::dual::estimated_dual_edges(graph);
         let run_naive = !skip_naive && dual_edges < 30_000_000;
-        let ereport = match run_edge_pipeline_configured(&dataset.graph, run_naive, &config) {
+        let ereport = match run_edge_pipeline_configured(graph, run_naive, &config) {
             Ok(report) => report,
             Err(e) => {
-                eprintln!("[table2] {} KT(e) pipeline failed: {e}", dataset.spec.name);
+                eprintln!("[table2] {name} KT(e) pipeline failed: {e}");
                 continue;
             }
         };
         rows.push(vec![
-            dataset.spec.name.to_string(),
+            name.clone(),
             "KT(e)".to_string(),
             ereport.super_tree_nodes.to_string(),
             format!("{:.4}", ereport.tree_seconds),

@@ -1,0 +1,127 @@
+//! Shared I/O-boundary flags for the figure/table binaries.
+//!
+//! Binaries that can run on a real graph file accept
+//! `--input <path> [--input-format <edgelist|csv|metis|json|binary>]`
+//! (parsed here into a [`FileDataset`] via [`datasets::load_dataset`]), and
+//! binaries that render artifacts accept
+//! `--format <svg|treemap|obj|ply|ascii|json>` to pick the
+//! [`terrain::Exporter`] backend.
+//!
+//! Like the `--threads` flag ([`crate::parallelism`]), unrecognized *values*
+//! warn loudly and fall back to the default instead of aborting a long
+//! harness run; a missing or unreadable `--input` file, however, is a hard
+//! error — silently substituting a synthetic analog for a requested real
+//! dataset would corrupt a recorded experiment.
+
+use crate::datasets::{self, FileDataset};
+use terrain::{exporter_by_name, Exporter};
+use ugraph::io::GraphFormat;
+
+/// Extract the value of `--flag value` or `--flag=value` from an argument
+/// list.
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let prefix = format!("{flag}=");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(value) = arg.strip_prefix(&prefix) {
+            return Some(value.to_string());
+        }
+        if arg == flag {
+            return iter.next().cloned();
+        }
+    }
+    None
+}
+
+/// Parse `--input <path>` / `--input-format <name>` into a loaded dataset.
+/// Returns `None` when no `--input` was given; exits the process with an
+/// error message when the file cannot be loaded or the format name is
+/// unknown (a harness run on the wrong data is worse than no run).
+pub fn input_dataset_from(args: &[String]) -> Option<FileDataset> {
+    let path = flag_value(args, "--input")?;
+    let format = flag_value(args, "--input-format").map(|name| {
+        GraphFormat::from_name(&name).unwrap_or_else(|| {
+            eprintln!(
+                "[error] unknown --input-format {name:?}; expected one of: {}",
+                GraphFormat::all().map(|f| f.name()).join(", ")
+            );
+            std::process::exit(2);
+        })
+    });
+    match datasets::load_dataset(&path, format) {
+        Ok(dataset) => {
+            eprintln!(
+                "[input] {}: {} vertices, {} edges{}",
+                path,
+                dataset.graph.vertex_count(),
+                dataset.graph.edge_count(),
+                if dataset.edge_weights.is_some() { " (weighted)" } else { "" }
+            );
+            Some(dataset)
+        }
+        Err(e) => {
+            eprintln!("[error] failed to load --input {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// [`input_dataset_from`] over [`std::env::args`].
+pub fn input_dataset_from_args() -> Option<FileDataset> {
+    let args: Vec<String> = std::env::args().collect();
+    input_dataset_from(&args)
+}
+
+/// Parse `--format <name>` into an [`Exporter`] backend, defaulting to
+/// `default_name` (warning on an unknown value, like `--threads`).
+pub fn exporter_from(args: &[String], default_name: &str) -> Box<dyn Exporter> {
+    let requested = flag_value(args, "--format");
+    let name = requested.as_deref().unwrap_or(default_name);
+    exporter_by_name(name).unwrap_or_else(|| {
+        eprintln!(
+            "[warn] unknown --format {name:?} (expected svg, treemap, obj, ply, ascii or json); \
+             using {default_name}"
+        );
+        exporter_by_name(default_name).expect("default backend exists")
+    })
+}
+
+/// [`exporter_from`] over [`std::env::args`].
+pub fn exporter_from_args(default_name: &str) -> Box<dyn Exporter> {
+    let args: Vec<String> = std::env::args().collect();
+    exporter_from(&args, default_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_values_parse_both_forms() {
+        assert_eq!(
+            flag_value(&argv(&["bin", "--input", "g.csv"]), "--input").as_deref(),
+            Some("g.csv")
+        );
+        assert_eq!(
+            flag_value(&argv(&["bin", "--input=g.csv"]), "--input").as_deref(),
+            Some("g.csv")
+        );
+        assert_eq!(flag_value(&argv(&["bin"]), "--input"), None);
+    }
+
+    #[test]
+    fn exporters_resolve_with_fallback() {
+        assert_eq!(exporter_from(&argv(&["bin", "--format", "ply"]), "svg").name(), "ply");
+        assert_eq!(exporter_from(&argv(&["bin"]), "svg").name(), "svg");
+        assert_eq!(exporter_from(&argv(&["bin", "--format", "gif"]), "svg").name(), "svg");
+    }
+
+    #[test]
+    fn absent_input_flag_is_none() {
+        assert!(input_dataset_from(&argv(&["bin", "--large"])).is_none());
+    }
+}

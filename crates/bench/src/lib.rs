@@ -14,18 +14,24 @@
 //! * [`output`] — helpers to write figure artifacts (SVG, JSON, text tables)
 //!   under `results/`;
 //! * [`parallelism`] — the shared `--threads <serial|auto|N>` flag wiring
-//!   the [`ugraph::par`] engine into the binaries.
+//!   the [`ugraph::par`] engine into the binaries;
+//! * [`cli`] — the shared I/O-boundary flags: `--input <path>` /
+//!   `--input-format <name>` (ingest a real graph file through
+//!   [`ugraph::GraphSource`]) and `--format <name>` (pick a
+//!   [`terrain::Exporter`] render backend).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cli;
 pub mod datasets;
 pub mod nn_graph;
 pub mod output;
 pub mod parallelism;
 pub mod pipeline;
 
-pub use datasets::{DatasetKind, DatasetSpec, GeneratedDataset};
+pub use cli::{exporter_from, exporter_from_args, input_dataset_from, input_dataset_from_args};
+pub use datasets::{load_dataset, DatasetKind, DatasetSpec, FileDataset, GeneratedDataset};
 pub use nn_graph::{generate_plant_table, knn_graph, PlantTable};
 pub use parallelism::{parallelism_from, parallelism_from_args};
 pub use pipeline::{

@@ -73,6 +73,15 @@ impl From<GraphError> for TerrainError {
     }
 }
 
+/// Streaming exporters write into arbitrary [`std::io::Write`] sinks; their
+/// I/O failures ride the existing [`GraphError::Io`] wrapping so the whole
+/// pipeline keeps a single error type.
+impl From<std::io::Error> for TerrainError {
+    fn from(e: std::io::Error) -> Self {
+        TerrainError::Graph(GraphError::Io(e))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,18 +1,60 @@
-//! ASCII heightmap rendering: a quick terminal view of a terrain.
+//! ASCII heightmap backend: a quick terminal view of a terrain.
 //!
 //! The heightmap samples the 2D layout on a character grid; every cell shows
 //! the height of the deepest nested boundary covering it, using a ramp of
 //! characters from `.` (baseline) to `#` (summit). Examples and the quickstart
 //! use this to show a terrain without leaving the terminal.
 
+use super::{Exporter, RenderScene};
+use crate::error::TerrainResult;
 use crate::layout2d::TerrainLayout;
 
 /// The character ramp, lowest to highest.
 const RAMP: &[u8] = b" .:-=+*%@#";
 
-/// Render the terrain's height field to ASCII art of `cols` by `rows`
-/// characters (plus newlines).
-pub fn ascii_heightmap(layout: &TerrainLayout, cols: usize, rows: usize) -> String {
+/// The terminal backend: streams the layout's height field as ASCII art of
+/// `cols` by `rows` characters (plus newlines).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Ascii {
+    /// Grid width in characters.
+    pub cols: usize,
+    /// Grid height in characters.
+    pub rows: usize,
+}
+
+impl Default for Ascii {
+    fn default() -> Self {
+        Ascii { cols: 64, rows: 20 }
+    }
+}
+
+impl Ascii {
+    /// A backend with an explicit character-grid size.
+    pub fn new(cols: usize, rows: usize) -> Self {
+        Ascii { cols, rows }
+    }
+}
+
+impl Exporter for Ascii {
+    fn name(&self) -> &'static str {
+        "ascii"
+    }
+
+    fn file_extension(&self) -> &'static str {
+        "txt"
+    }
+
+    fn write_to(
+        &self,
+        scene: &RenderScene<'_>,
+        writer: &mut dyn std::io::Write,
+    ) -> TerrainResult<()> {
+        writer.write_all(render_heightmap(scene.layout, self.cols, self.rows).as_bytes())?;
+        Ok(())
+    }
+}
+
+fn render_heightmap(layout: &TerrainLayout, cols: usize, rows: usize) -> String {
     if layout.rects.is_empty() || cols == 0 || rows == 0 {
         return String::new();
     }
@@ -36,7 +78,19 @@ pub fn ascii_heightmap(layout: &TerrainLayout, cols: usize, rows: usize) -> Stri
     out
 }
 
+/// Render the terrain's height field to ASCII art of `cols` by `rows`
+/// characters (plus newlines).
+#[deprecated(
+    since = "0.3.0",
+    note = "use the `Ascii` exporter with a `RenderScene` \
+            (`Ascii::new(cols, rows).export_string(&scene)`)"
+)]
+pub fn ascii_heightmap(layout: &TerrainLayout, cols: usize, rows: usize) -> String {
+    render_heightmap(layout, cols, rows)
+}
+
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::layout2d::{layout_super_tree, LayoutConfig};

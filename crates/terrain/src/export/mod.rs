@@ -1,11 +1,224 @@
-//! Exporters: SVG (2D treemap and projected 3D terrain), Wavefront OBJ and
-//! ASCII heightmaps.
+//! The render boundary: the [`Exporter`] trait, the [`RenderScene`] it
+//! consumes, and the built-in backends.
 //!
 //! The paper's tool renders the terrain interactively; the figure harness of
-//! this reproduction instead writes deterministic files that can be inspected,
-//! diffed and embedded in reports. The `tv` column of Table II is measured as
-//! the time to produce these renderings from a super tree.
+//! this reproduction instead writes deterministic artifacts that can be
+//! inspected, diffed and embedded in reports. Every artifact is produced the
+//! same way: borrow a [`RenderScene`] from the built stages (tree, layout,
+//! mesh, optional per-stage timings) and stream it through an [`Exporter`]
+//! into any [`io::Write`] — a file, a socket, an in-memory buffer — without
+//! ever materializing the document as one `String`. The `tv` column of
+//! Table II is measured as the time to produce these renderings from a super
+//! tree.
+//!
+//! Built-in backends:
+//!
+//! | backend        | output                                             | extension |
+//! |----------------|----------------------------------------------------|-----------|
+//! | [`Svg`]        | oblique-projected 3D terrain                       | `svg`     |
+//! | [`TreemapSvg`] | flat 2D treemap (Figure 5(a))                      | `svg`     |
+//! | [`Obj`]        | Wavefront OBJ triangle mesh                        | `obj`     |
+//! | [`Ply`]        | ASCII PLY mesh with per-face colors                | `ply`     |
+//! | [`Ascii`]      | terminal heightmap (top view)                      | `txt`     |
+//! | [`JsonScene`]  | mesh + layout + timings as JSON for web frontends  | `json`    |
+//!
+//! New backends are plug-ins: implement [`Exporter`] and every call site that
+//! takes `&dyn Exporter` (the `TerrainPipeline` session's `render_to` /
+//! `write_artifact`, the figure binaries' `--format` flag) accepts it.
+//!
+//! ```
+//! use scalarfield::{build_super_tree, vertex_scalar_tree, VertexScalarGraph};
+//! use terrain::export::{Exporter, RenderScene, Svg};
+//! use terrain::{build_terrain_mesh, layout_super_tree, LayoutConfig, MeshConfig};
+//!
+//! let mut b = ugraph::GraphBuilder::new();
+//! b.extend_edges([(0u32, 1u32), (1, 2), (2, 0), (2, 3)]);
+//! let graph = b.build();
+//! let scalar = vec![2.0, 2.0, 2.0, 1.0];
+//! let sg = VertexScalarGraph::new(&graph, &scalar)?;
+//! let tree = build_super_tree(&vertex_scalar_tree(&sg));
+//! let layout = layout_super_tree(&tree, &LayoutConfig::default());
+//! let mesh = build_terrain_mesh(&tree, &layout, &MeshConfig::default());
+//!
+//! let scene = RenderScene::new(&tree, &layout, &mesh);
+//! let mut out = Vec::new();
+//! Svg::new(640.0, 480.0).write_to(&scene, &mut out)?;
+//! assert!(out.starts_with(b"<svg"));
+//! # Ok::<(), terrain::TerrainError>(())
+//! ```
 
 pub mod ascii;
+pub mod json;
 pub mod obj;
+pub mod ply;
 pub mod svg;
+
+use crate::error::TerrainResult;
+use crate::layout2d::TerrainLayout;
+use crate::mesh::TerrainMesh;
+use scalarfield::SuperScalarTree;
+use std::io;
+
+pub use ascii::Ascii;
+pub use json::JsonScene;
+pub use obj::Obj;
+pub use ply::Ply;
+pub use svg::{Svg, TreemapSvg};
+
+/// One stage's wall-clock cost, carried along for backends (like
+/// [`JsonScene`]) that report provenance next to geometry.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct SceneTiming {
+    /// Stage name (e.g. `"scalar"`, `"tree"`, `"layout"`).
+    pub stage: &'static str,
+    /// Wall-clock seconds the stage took.
+    pub seconds: f64,
+}
+
+/// A borrowed view of everything a backend may need to render one terrain:
+/// the (render) tree, its 2D layout, its 3D mesh, and optional per-stage
+/// timings. Backends use the slice of it they care about — [`Obj`] reads only
+/// the mesh, [`Ascii`] only the layout, [`JsonScene`] all of it.
+#[derive(Copy, Clone, Debug)]
+pub struct RenderScene<'a> {
+    /// The super scalar tree the terrain was rendered from (after any
+    /// Section II-E simplification).
+    pub tree: &'a SuperScalarTree,
+    /// The nested 2D boundary layout of the tree.
+    pub layout: &'a TerrainLayout,
+    /// The 3D terrain mesh of the tree.
+    pub mesh: &'a TerrainMesh,
+    /// Per-stage wall-clock timings, when the producer recorded them.
+    pub timings: &'a [SceneTiming],
+}
+
+impl<'a> RenderScene<'a> {
+    /// A scene over built stages, with no timings attached.
+    pub fn new(
+        tree: &'a SuperScalarTree,
+        layout: &'a TerrainLayout,
+        mesh: &'a TerrainMesh,
+    ) -> Self {
+        RenderScene { tree, layout, mesh, timings: &[] }
+    }
+
+    /// Attach per-stage timings (e.g. from the session's `StageTimings`).
+    pub fn with_timings(mut self, timings: &'a [SceneTiming]) -> Self {
+        self.timings = timings;
+        self
+    }
+}
+
+/// A streaming render backend: serializes a [`RenderScene`] into any
+/// [`io::Write`].
+///
+/// Implementations must be deterministic — identical scenes must produce
+/// identical bytes — because the CI determinism gate diffs artifacts across
+/// runs, thread counts and ingest paths.
+pub trait Exporter {
+    /// Short lowercase backend name (what `--format` flags accept).
+    fn name(&self) -> &'static str;
+
+    /// Conventional file extension of the artifact (no dot).
+    fn file_extension(&self) -> &'static str;
+
+    /// Serialize the scene into `writer`. I/O failures surface as
+    /// [`TerrainError::Graph`](crate::TerrainError) wrapping the underlying
+    /// [`io::Error`]; no backend panics on any scene, including empty ones.
+    fn write_to(&self, scene: &RenderScene<'_>, writer: &mut dyn io::Write) -> TerrainResult<()>;
+
+    /// Render to an owned `String` — a convenience for tests, terminal
+    /// output and small artifacts. Streaming callers should prefer
+    /// [`write_to`](Exporter::write_to).
+    fn export_string(&self, scene: &RenderScene<'_>) -> TerrainResult<String> {
+        let mut out = Vec::new();
+        self.write_to(scene, &mut out)?;
+        String::from_utf8(out).map_err(|e| crate::TerrainError::Mesh {
+            message: format!("backend `{}` emitted non-UTF-8 output: {e}", self.name()),
+        })
+    }
+}
+
+/// Every built-in backend, with its default configuration — what generic
+/// "render this scene in every format" call sites (CI gates, smoke tests)
+/// iterate over.
+pub fn builtin_exporters() -> Vec<Box<dyn Exporter>> {
+    vec![
+        Box::new(Svg::default()),
+        Box::new(TreemapSvg::default()),
+        Box::new(Obj),
+        Box::new(Ply),
+        Box::new(Ascii::default()),
+        Box::new(JsonScene),
+    ]
+}
+
+/// Look up a built-in backend by its [`Exporter::name`] (the `--format` flag
+/// of the figure binaries and examples).
+pub fn exporter_by_name(name: &str) -> Option<Box<dyn Exporter>> {
+    builtin_exporters().into_iter().find(|e| e.name() == name.to_ascii_lowercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout2d::{layout_super_tree, LayoutConfig};
+    use crate::mesh::{build_terrain_mesh, MeshConfig};
+    use scalarfield::{build_super_tree, vertex_scalar_tree, VertexScalarGraph};
+    use ugraph::GraphBuilder;
+
+    fn sample_stages() -> (SuperScalarTree, TerrainLayout, TerrainMesh) {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0u32, 1u32), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        let g = b.build();
+        let scalar = vec![2.0, 2.0, 2.0, 1.0, 1.0];
+        let sg = VertexScalarGraph::new(&g, &scalar).unwrap();
+        let tree = build_super_tree(&vertex_scalar_tree(&sg));
+        let layout = layout_super_tree(&tree, &LayoutConfig::default());
+        let mesh = build_terrain_mesh(&tree, &layout, &MeshConfig::default());
+        (tree, layout, mesh)
+    }
+
+    #[test]
+    fn every_builtin_backend_renders_nonempty_deterministic_output() {
+        let (tree, layout, mesh) = sample_stages();
+        let timings = [SceneTiming { stage: "tree", seconds: 0.25 }];
+        let scene = RenderScene::new(&tree, &layout, &mesh).with_timings(&timings);
+        for exporter in builtin_exporters() {
+            let once = exporter.export_string(&scene).unwrap();
+            let twice = exporter.export_string(&scene).unwrap();
+            assert!(!once.is_empty(), "backend {} emitted nothing", exporter.name());
+            assert_eq!(once, twice, "backend {} is not deterministic", exporter.name());
+            assert!(!exporter.file_extension().starts_with('.'));
+        }
+    }
+
+    #[test]
+    fn backends_resolve_by_name() {
+        for exporter in builtin_exporters() {
+            let found = exporter_by_name(exporter.name()).unwrap();
+            assert_eq!(found.name(), exporter.name());
+        }
+        assert_eq!(exporter_by_name("SVG").unwrap().name(), "svg");
+        assert!(exporter_by_name("gif").is_none());
+    }
+
+    #[test]
+    fn io_errors_surface_as_terrain_errors_not_panics() {
+        struct FailingWriter;
+        impl io::Write for FailingWriter {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let (tree, layout, mesh) = sample_stages();
+        let scene = RenderScene::new(&tree, &layout, &mesh);
+        for exporter in builtin_exporters() {
+            let err = exporter.write_to(&scene, &mut FailingWriter).unwrap_err();
+            assert!(err.to_string().contains("pipe closed"), "{}: {err}", exporter.name());
+        }
+    }
+}

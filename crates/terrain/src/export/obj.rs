@@ -1,30 +1,63 @@
-//! Wavefront OBJ export of terrain meshes.
+//! Wavefront OBJ backend.
 //!
-//! The OBJ file contains every mesh vertex and triangle; face colors are
-//! emitted as grouped materials in a sibling `.mtl` block appended as comments
-//! (sufficient for inspection and for importing the geometry into standard
-//! viewers, which is all the reproduction needs).
+//! The OBJ stream contains every mesh vertex and triangle — sufficient for
+//! inspection and for importing the geometry into standard viewers, which is
+//! all the reproduction needs. Per-face colors are not part of core OBJ; use
+//! [`Ply`](super::Ply) when colors must survive the export.
 
+use super::{Exporter, RenderScene};
+use crate::error::TerrainResult;
 use crate::mesh::TerrainMesh;
-use std::fmt::Write as _;
+use std::io::Write;
 
-/// Serialize a terrain mesh to Wavefront OBJ text.
-pub fn mesh_to_obj(mesh: &TerrainMesh) -> String {
-    let mut out = String::with_capacity(mesh.vertex_count() * 32 + mesh.triangle_count() * 16);
-    out.push_str("# graph-terrain mesh export\n");
-    let _ =
-        writeln!(out, "# {} vertices, {} triangles", mesh.vertex_count(), mesh.triangle_count());
+/// The Wavefront OBJ backend: streams the scene's mesh as OBJ text.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Obj;
+
+impl Exporter for Obj {
+    fn name(&self) -> &'static str {
+        "obj"
+    }
+
+    fn file_extension(&self) -> &'static str {
+        "obj"
+    }
+
+    fn write_to(
+        &self,
+        scene: &RenderScene<'_>,
+        writer: &mut dyn std::io::Write,
+    ) -> TerrainResult<()> {
+        write_obj(scene.mesh, writer)
+    }
+}
+
+fn write_obj(mesh: &TerrainMesh, out: &mut dyn Write) -> TerrainResult<()> {
+    out.write_all(b"# graph-terrain mesh export\n")?;
+    writeln!(out, "# {} vertices, {} triangles", mesh.vertex_count(), mesh.triangle_count())?;
     for v in &mesh.vertices {
-        let _ = writeln!(out, "v {:.6} {:.6} {:.6}", v.x, v.z, v.y);
+        writeln!(out, "v {:.6} {:.6} {:.6}", v.x, v.z, v.y)?;
     }
     for t in &mesh.triangles {
         // OBJ face indices are 1-based.
-        let _ = writeln!(out, "f {} {} {}", t.indices[0] + 1, t.indices[1] + 1, t.indices[2] + 1);
+        writeln!(out, "f {} {} {}", t.indices[0] + 1, t.indices[1] + 1, t.indices[2] + 1)?;
     }
-    out
+    Ok(())
+}
+
+/// Serialize a terrain mesh to Wavefront OBJ text.
+#[deprecated(
+    since = "0.3.0",
+    note = "use the `Obj` exporter with a `RenderScene` (`Obj.write_to(&scene, &mut writer)`)"
+)]
+pub fn mesh_to_obj(mesh: &TerrainMesh) -> String {
+    let mut out = Vec::with_capacity(mesh.vertex_count() * 32 + mesh.triangle_count() * 16);
+    write_obj(mesh, &mut out).expect("writing to a Vec<u8> cannot fail");
+    String::from_utf8(out).expect("OBJ output is UTF-8")
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::layout2d::{layout_super_tree, LayoutConfig};

@@ -1,5 +1,5 @@
-//! SVG exporters: the flat treemap view and an oblique-projected 3D terrain
-//! view.
+//! SVG backends: the oblique-projected 3D terrain view ([`Svg`]) and the flat
+//! treemap view ([`TreemapSvg`]).
 //!
 //! The 3D view uses a cabinet (oblique) projection: `sx = x + depth·cos(30°)·y`
 //! and `sy = -z + depth·sin(30°)·y`, with faces painted back-to-front
@@ -7,12 +7,103 @@
 //! is a faithful static stand-in for the paper's rotatable OpenGL view: the
 //! projection direction plays the role of the camera angle.
 
+use super::{Exporter, RenderScene};
+use crate::error::TerrainResult;
 use crate::mesh::TerrainMesh;
-use crate::treemap::Treemap;
-use std::fmt::Write as _;
+use crate::treemap::{build_treemap, Treemap};
+use std::io::Write;
 
-/// Render a treemap to an SVG document of the given pixel size.
-pub fn treemap_to_svg(map: &Treemap, width_px: f64, height_px: f64) -> String {
+/// The 3D terrain backend: streams the oblique-projected mesh as an SVG
+/// document. Output is byte-identical to the historical [`terrain_to_svg`].
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Svg {
+    /// Output width in pixels.
+    pub width_px: f64,
+    /// Output height in pixels.
+    pub height_px: f64,
+}
+
+impl Default for Svg {
+    fn default() -> Self {
+        Svg { width_px: 900.0, height_px: 700.0 }
+    }
+}
+
+impl Svg {
+    /// A backend with an explicit pixel size.
+    pub fn new(width_px: f64, height_px: f64) -> Self {
+        Svg { width_px, height_px }
+    }
+}
+
+impl Exporter for Svg {
+    fn name(&self) -> &'static str {
+        "svg"
+    }
+
+    fn file_extension(&self) -> &'static str {
+        "svg"
+    }
+
+    fn write_to(
+        &self,
+        scene: &RenderScene<'_>,
+        writer: &mut dyn std::io::Write,
+    ) -> TerrainResult<()> {
+        write_terrain_svg(scene.mesh, self.width_px, self.height_px, writer)
+    }
+}
+
+/// The flat 2D treemap backend (Figure 5(a)): builds the treemap from the
+/// scene's tree and layout and streams it as an SVG document. Output is
+/// byte-identical to the historical [`treemap_to_svg`] over the same treemap.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct TreemapSvg {
+    /// Output width in pixels.
+    pub width_px: f64,
+    /// Output height in pixels.
+    pub height_px: f64,
+}
+
+impl Default for TreemapSvg {
+    fn default() -> Self {
+        TreemapSvg { width_px: 900.0, height_px: 700.0 }
+    }
+}
+
+impl TreemapSvg {
+    /// A backend with an explicit pixel size.
+    pub fn new(width_px: f64, height_px: f64) -> Self {
+        TreemapSvg { width_px, height_px }
+    }
+}
+
+impl Exporter for TreemapSvg {
+    fn name(&self) -> &'static str {
+        "treemap"
+    }
+
+    fn file_extension(&self) -> &'static str {
+        "svg"
+    }
+
+    fn write_to(
+        &self,
+        scene: &RenderScene<'_>,
+        writer: &mut dyn std::io::Write,
+    ) -> TerrainResult<()> {
+        let map = build_treemap(scene.tree, scene.layout);
+        write_treemap_svg(&map, self.width_px, self.height_px, writer)
+    }
+}
+
+/// Stream a treemap as an SVG document of the given pixel size.
+fn write_treemap_svg(
+    map: &Treemap,
+    width_px: f64,
+    height_px: f64,
+    out: &mut dyn Write,
+) -> TerrainResult<()> {
     // Determine the layout extent to scale into the pixel viewport.
     let (mut max_x, mut max_y) = (1e-9f64, 1e-9f64);
     for cell in &map.cells {
@@ -22,14 +113,13 @@ pub fn treemap_to_svg(map: &Treemap, width_px: f64, height_px: f64) -> String {
     let sx = width_px / max_x;
     let sy = height_px / max_y;
 
-    let mut out = String::new();
-    let _ = writeln!(
+    writeln!(
         out,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" height="{height_px}" viewBox="0 0 {width_px} {height_px}">"#
-    );
-    out.push_str("<!-- graph-terrain 2D treemap -->\n");
+    )?;
+    out.write_all(b"<!-- graph-terrain 2D treemap -->\n")?;
     for cell in &map.cells {
-        let _ = writeln!(
+        writeln!(
             out,
             r##"  <rect x="{:.2}" y="{:.2}" width="{:.2}" height="{:.2}" fill="{}" stroke="#222222" stroke-width="0.5"><title>node {} scalar {:.3} members {}</title></rect>"##,
             cell.rect.x0 * sx,
@@ -40,21 +130,25 @@ pub fn treemap_to_svg(map: &Treemap, width_px: f64, height_px: f64) -> String {
             cell.node,
             cell.scalar,
             cell.subtree_members,
-        );
+        )?;
     }
-    out.push_str("</svg>\n");
-    out
+    out.write_all(b"</svg>\n")?;
+    Ok(())
 }
 
-/// Render a terrain mesh to an SVG document using an oblique projection.
-pub fn terrain_to_svg(mesh: &TerrainMesh, width_px: f64, height_px: f64) -> String {
-    let mut out = String::new();
+/// Stream a terrain mesh as an SVG document using an oblique projection.
+fn write_terrain_svg(
+    mesh: &TerrainMesh,
+    width_px: f64,
+    height_px: f64,
+    out: &mut dyn Write,
+) -> TerrainResult<()> {
     let Some((min, max)) = mesh.bounds() else {
-        let _ = writeln!(
+        writeln!(
             out,
             r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" height="{height_px}"/>"#
-        );
-        return out;
+        )?;
+        return Ok(());
     };
 
     // Oblique projection parameters.
@@ -96,11 +190,11 @@ pub fn terrain_to_svg(mesh: &TerrainMesh, width_px: f64, height_px: f64) -> Stri
         yb.total_cmp(&ya).then(za.total_cmp(&zb))
     });
 
-    let _ = writeln!(
+    writeln!(
         out,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" height="{height_px}" viewBox="0 0 {width_px} {height_px}">"#
-    );
-    out.push_str("<!-- graph-terrain 3D terrain (oblique projection) -->\n");
+    )?;
+    out.write_all(b"<!-- graph-terrain 3D terrain (oblique projection) -->\n")?;
     for i in order {
         let t = &mesh.triangles[i];
         let pts: Vec<String> = t
@@ -112,28 +206,53 @@ pub fn terrain_to_svg(mesh: &TerrainMesh, width_px: f64, height_px: f64) -> Stri
                 format!("{:.2},{:.2}", p.0, p.1)
             })
             .collect();
-        let _ = writeln!(
+        writeln!(
             out,
             r#"  <polygon points="{}" fill="{}" stroke="none"/>"#,
             pts.join(" "),
             t.color.hex()
-        );
+        )?;
     }
-    out.push_str("</svg>\n");
-    out
+    out.write_all(b"</svg>\n")?;
+    Ok(())
+}
+
+/// Render a treemap to an SVG document of the given pixel size.
+#[deprecated(
+    since = "0.3.0",
+    note = "use the `TreemapSvg` exporter with a `RenderScene` \
+            (`TreemapSvg::new(w, h).write_to(&scene, &mut writer)`)"
+)]
+pub fn treemap_to_svg(map: &Treemap, width_px: f64, height_px: f64) -> String {
+    let mut out = Vec::new();
+    write_treemap_svg(map, width_px, height_px, &mut out)
+        .expect("writing to a Vec<u8> cannot fail");
+    String::from_utf8(out).expect("SVG output is UTF-8")
+}
+
+/// Render a terrain mesh to an SVG document using an oblique projection.
+#[deprecated(
+    since = "0.3.0",
+    note = "use the `Svg` exporter with a `RenderScene` \
+            (`Svg::new(w, h).write_to(&scene, &mut writer)`)"
+)]
+pub fn terrain_to_svg(mesh: &TerrainMesh, width_px: f64, height_px: f64) -> String {
+    let mut out = Vec::new();
+    write_terrain_svg(mesh, width_px, height_px, &mut out)
+        .expect("writing to a Vec<u8> cannot fail");
+    String::from_utf8(out).expect("SVG output is UTF-8")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::layout2d::{layout_super_tree, LayoutConfig};
+    use crate::layout2d::{layout_super_tree, LayoutConfig, TerrainLayout};
     use crate::mesh::{build_terrain_mesh, MeshConfig};
-    use crate::treemap::build_treemap;
     use measures::core_numbers;
-    use scalarfield::{build_super_tree, vertex_scalar_tree, VertexScalarGraph};
+    use scalarfield::{build_super_tree, vertex_scalar_tree, SuperScalarTree, VertexScalarGraph};
     use ugraph::GraphBuilder;
 
-    fn pipeline() -> (TerrainMesh, Treemap) {
+    fn pipeline() -> (SuperScalarTree, TerrainLayout, TerrainMesh, Treemap) {
         let mut b = GraphBuilder::new();
         b.extend_edges([(0u32, 1u32), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5)]);
         let g = b.build();
@@ -144,13 +263,14 @@ mod tests {
         let layout = layout_super_tree(&tree, &LayoutConfig::default());
         let mesh = build_terrain_mesh(&tree, &layout, &MeshConfig::default());
         let map = build_treemap(&tree, &layout);
-        (mesh, map)
+        (tree, layout, mesh, map)
     }
 
     #[test]
     fn treemap_svg_has_one_rect_per_cell() {
-        let (_, map) = pipeline();
-        let svg = treemap_to_svg(&map, 640.0, 480.0);
+        let (tree, layout, mesh, map) = pipeline();
+        let scene = RenderScene::new(&tree, &layout, &mesh);
+        let svg = TreemapSvg::new(640.0, 480.0).export_string(&scene).unwrap();
         assert!(svg.starts_with("<svg"));
         assert!(svg.trim_end().ends_with("</svg>"));
         let rects = svg.matches("<rect").count();
@@ -159,8 +279,9 @@ mod tests {
 
     #[test]
     fn terrain_svg_has_one_polygon_per_triangle() {
-        let (mesh, _) = pipeline();
-        let svg = terrain_to_svg(&mesh, 800.0, 600.0);
+        let (tree, layout, mesh, _) = pipeline();
+        let scene = RenderScene::new(&tree, &layout, &mesh);
+        let svg = Svg::new(800.0, 600.0).export_string(&scene).unwrap();
         let polygons = svg.matches("<polygon").count();
         assert_eq!(polygons, mesh.triangle_count());
         // All emitted coordinates are finite numbers within the viewport
@@ -169,6 +290,18 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_are_byte_identical_to_the_backends() {
+        let (tree, layout, mesh, map) = pipeline();
+        let scene = RenderScene::new(&tree, &layout, &mesh);
+        let streamed = Svg::new(800.0, 600.0).export_string(&scene).unwrap();
+        assert_eq!(streamed, terrain_to_svg(&mesh, 800.0, 600.0));
+        let streamed = TreemapSvg::new(640.0, 480.0).export_string(&scene).unwrap();
+        assert_eq!(streamed, treemap_to_svg(&map, 640.0, 480.0));
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn empty_mesh_still_produces_valid_svg() {
         let svg = terrain_to_svg(&TerrainMesh::default(), 100.0, 100.0);
         assert!(svg.contains("<svg"));

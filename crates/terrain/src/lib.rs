@@ -24,8 +24,10 @@
 //!   rectangular region selection (the "click on a peak / linked 2D display"
 //!   interactions);
 //! * [`treemap`] — the flat 2D treemap variant of Figure 5(a);
-//! * [`export`] — SVG (2D treemap and oblique-projected 3D view), Wavefront
-//!   OBJ and ASCII-art exporters used by the figure harness;
+//! * [`export`] — the render boundary: the [`Exporter`] trait over a borrowed
+//!   [`RenderScene`], with streaming SVG / treemap-SVG / OBJ / PLY / ASCII /
+//!   JSON backends used by the figure harness (the old `String`-returning
+//!   free functions remain as deprecated wrappers);
 //! * [`error`] — [`TerrainError`], the workspace-wide non-panicking error
 //!   type every staged terrain build propagates (wrapping
 //!   [`ugraph::GraphError`] and adding layout / mesh / config variants).
@@ -43,9 +45,16 @@ pub mod treemap;
 
 pub use color::{colormap, role_palette, Color, ColorScheme};
 pub use error::{TerrainError, TerrainResult};
+#[allow(deprecated)]
 pub use export::ascii::ascii_heightmap;
+#[allow(deprecated)]
 pub use export::obj::mesh_to_obj;
+#[allow(deprecated)]
 pub use export::svg::{terrain_to_svg, treemap_to_svg};
+pub use export::{
+    builtin_exporters, exporter_by_name, Ascii, Exporter, JsonScene, Obj, Ply, RenderScene,
+    SceneTiming, Svg, TreemapSvg,
+};
 pub use layout2d::{layout_super_tree, try_layout_super_tree, LayoutConfig, Rect, TerrainLayout};
 pub use mesh::{build_terrain_mesh, try_build_terrain_mesh, MeshBounds, MeshConfig, TerrainMesh};
 pub use peaks::{highest_peaks, peaks_at_alpha, select_region, Peak};

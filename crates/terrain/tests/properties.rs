@@ -8,8 +8,8 @@ use scalarfield::{
 };
 use std::collections::BTreeSet;
 use terrain::{
-    ascii_heightmap, build_terrain_mesh, build_treemap, layout_super_tree, mesh_to_obj,
-    peaks_at_alpha, terrain_to_svg, treemap_to_svg, LayoutConfig, MeshConfig,
+    build_terrain_mesh, layout_super_tree, peaks_at_alpha, Ascii, Exporter, JsonScene,
+    LayoutConfig, MeshConfig, Obj, Ply, RenderScene, Svg, TreemapSvg,
 };
 use ugraph::{CsrGraph, GraphBuilder};
 
@@ -98,29 +98,41 @@ proptest! {
         }
     }
 
-    /// Every exporter produces structurally consistent output for arbitrary
-    /// terrains: one SVG polygon per triangle, one OBJ vertex line per mesh
-    /// vertex, one treemap rect per super node, an ASCII grid of the requested
-    /// size, and no NaN coordinates anywhere.
+    /// Every exporter backend produces structurally consistent output for
+    /// arbitrary terrains: one SVG polygon per triangle, one OBJ vertex line
+    /// per mesh vertex, one treemap rect per super node, one PLY face line
+    /// per triangle, an ASCII grid of the requested size, balanced JSON
+    /// delimiters, and no NaN coordinates anywhere.
     #[test]
     fn exporters_are_structurally_consistent((graph, scalar) in graph_and_scalars(18)) {
         let sg = VertexScalarGraph::new(&graph, &scalar).unwrap();
         let tree = build_super_tree(&vertex_scalar_tree(&sg));
         let layout = layout_super_tree(&tree, &LayoutConfig::default());
         let mesh = build_terrain_mesh(&tree, &layout, &MeshConfig::default());
+        let scene = RenderScene::new(&tree, &layout, &mesh);
 
-        let svg = terrain_to_svg(&mesh, 320.0, 240.0);
+        let svg = Svg::new(320.0, 240.0).export_string(&scene).unwrap();
         prop_assert_eq!(svg.matches("<polygon").count(), mesh.triangle_count());
         prop_assert!(!svg.contains("NaN"));
 
-        let obj = mesh_to_obj(&mesh);
+        let obj = Obj.export_string(&scene).unwrap();
         prop_assert_eq!(obj.lines().filter(|l| l.starts_with("v ")).count(), mesh.vertex_count());
 
-        let map = build_treemap(&tree, &layout);
-        let map_svg = treemap_to_svg(&map, 320.0, 240.0);
+        let map_svg = TreemapSvg::new(320.0, 240.0).export_string(&scene).unwrap();
         prop_assert_eq!(map_svg.matches("<rect").count(), tree.node_count());
 
-        let art = ascii_heightmap(&layout, 24, 8);
+        let ply = Ply.export_string(&scene).unwrap();
+        prop_assert_eq!(
+            ply.lines().filter(|l| l.starts_with("3 ")).count(),
+            mesh.triangle_count()
+        );
+
+        let json = JsonScene.export_string(&scene).unwrap();
+        prop_assert_eq!(json.matches('{').count(), json.matches('}').count());
+        prop_assert_eq!(json.matches('[').count(), json.matches(']').count());
+        prop_assert!(!json.contains("NaN"));
+
+        let art = Ascii::new(24, 8).export_string(&scene).unwrap();
         if tree.node_count() > 0 {
             prop_assert_eq!(art.lines().count(), 8);
             prop_assert!(art.lines().all(|l| l.chars().count() == 24));

@@ -1,0 +1,439 @@
+//! Binary graph snapshots.
+//!
+//! Two generations coexist:
+//!
+//! * **v1** ([`encode_binary`] / [`decode_binary`]) — the seed-era format:
+//!   `u32` vertex count, `u32` edge count, then `u32` endpoint pairs, all
+//!   little-endian, with no magic, no version and no integrity check. Kept so
+//!   existing blobs stay readable.
+//! * **v2** ([`encode_binary_v2`] / [`decode_binary_v2`]) — the versioned
+//!   snapshot: an ASCII magic ([`BINARY_V2_MAGIC`]), a `u32` version, a
+//!   sequence of length-prefixed sections (header, edges, optional per-edge
+//!   weights; unknown section tags are skipped for forward compatibility)
+//!   and a trailing FNV-1a 64-bit checksum over everything before it.
+//!
+//! [`decode_binary_auto`] sniffs the magic and dispatches, so callers (and
+//! [`GraphSource`](super::GraphSource)) never need to know which generation
+//! wrote a blob. Every corruption — truncation, a wrong magic, an unsupported
+//! version, a flipped bit — is a [`GraphError::Parse`], never a panic.
+
+use super::ParsedEdgeList;
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::{GraphError, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic bytes opening every v2 snapshot ("Graph Terrain Snapshot Binary").
+pub const BINARY_V2_MAGIC: &[u8; 4] = b"GTSB";
+
+const BINARY_VERSION: u32 = 2;
+
+const SECTION_HEADER: u8 = 1;
+const SECTION_EDGES: u8 = 2;
+const SECTION_WEIGHTS: u8 = 3;
+
+fn corrupt(message: impl Into<String>) -> GraphError {
+    GraphError::Parse { line: 0, message: message.into() }
+}
+
+/// FNV-1a 64-bit over `bytes` — the integrity check of the v2 snapshot.
+/// Deliberately simple and dependency-free; it guards against truncation and
+/// bit rot, not adversaries.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// v1 (legacy)
+// ---------------------------------------------------------------------------
+
+/// Encode a graph into the legacy v1 binary buffer: `u32` vertex count, `u32`
+/// edge count, then `u32` endpoint pairs. Prefer [`encode_binary_v2`] for new
+/// snapshots — v1 has no magic, no version and no checksum.
+pub fn encode_binary(graph: &CsrGraph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + graph.edge_count() * 8);
+    buf.put_u32_le(graph.vertex_count() as u32);
+    buf.put_u32_le(graph.edge_count() as u32);
+    for e in graph.edges() {
+        buf.put_u32_le(e.u.0);
+        buf.put_u32_le(e.v.0);
+    }
+    buf.freeze()
+}
+
+/// Decode a graph from the legacy v1 encoding produced by [`encode_binary`].
+/// Kept for pre-v2 blobs; [`decode_binary_auto`] dispatches here when the v2
+/// magic is absent.
+pub fn decode_binary(mut bytes: Bytes) -> Result<CsrGraph> {
+    if bytes.remaining() < 8 {
+        return Err(corrupt("binary header truncated"));
+    }
+    let vertex_count = bytes.get_u32_le() as usize;
+    let edge_count = bytes.get_u32_le() as usize;
+    if bytes.remaining() < edge_count * 8 {
+        return Err(corrupt("binary edge data truncated"));
+    }
+    let mut builder = GraphBuilder::with_capacity(edge_count);
+    if vertex_count > 0 {
+        builder.ensure_vertex(vertex_count - 1);
+    }
+    for _ in 0..edge_count {
+        let u = bytes.get_u32_le();
+        let v = bytes.get_u32_le();
+        builder.add_edge(u, v);
+    }
+    Ok(builder.build())
+}
+
+// ---------------------------------------------------------------------------
+// v2
+// ---------------------------------------------------------------------------
+
+/// Encode a graph (and optionally one weight per edge) as a v2 snapshot:
+///
+/// ```text
+/// "GTSB"  version:u32  { tag:u8  len:u64  payload[len] }*  checksum:u64
+/// ```
+///
+/// All integers are little-endian. The header section carries the vertex and
+/// edge counts, the edge section the `u32` endpoint pairs, the optional
+/// weight section one `f64` per edge (validated finite and length-matched up
+/// front). The checksum is FNV-1a 64 over every preceding byte.
+pub fn encode_binary_v2(graph: &CsrGraph, weights: Option<&[f64]>) -> Result<Vec<u8>> {
+    if let Some(weights) = weights {
+        if weights.len() != graph.edge_count() {
+            return Err(GraphError::LengthMismatch {
+                what: "edge weights",
+                expected: graph.edge_count(),
+                actual: weights.len(),
+            });
+        }
+        if let Some(index) = weights.iter().position(|w| !w.is_finite()) {
+            return Err(GraphError::NonFiniteScalar {
+                what: "edge weights",
+                index,
+                value: weights[index],
+            });
+        }
+    }
+
+    let mut out = Vec::with_capacity(4 + 4 + (1 + 8 + 16) + (1 + 8 + graph.edge_count() * 8) + 8);
+    out.extend_from_slice(BINARY_V2_MAGIC);
+    out.extend_from_slice(&BINARY_VERSION.to_le_bytes());
+
+    let section = |out: &mut Vec<u8>, tag: u8, payload: &[u8]| {
+        out.push(tag);
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(payload);
+    };
+
+    let mut header = Vec::with_capacity(16);
+    header.extend_from_slice(&(graph.vertex_count() as u64).to_le_bytes());
+    header.extend_from_slice(&(graph.edge_count() as u64).to_le_bytes());
+    section(&mut out, SECTION_HEADER, &header);
+
+    let mut edges = Vec::with_capacity(graph.edge_count() * 8);
+    for e in graph.edges() {
+        edges.extend_from_slice(&e.u.0.to_le_bytes());
+        edges.extend_from_slice(&e.v.0.to_le_bytes());
+    }
+    section(&mut out, SECTION_EDGES, &edges);
+
+    if let Some(weights) = weights {
+        let mut payload = Vec::with_capacity(weights.len() * 8);
+        for w in weights {
+            payload.extend_from_slice(&w.to_le_bytes());
+        }
+        section(&mut out, SECTION_WEIGHTS, &payload);
+    }
+
+    let checksum = fnv1a64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    Ok(out)
+}
+
+/// Decode a v2 snapshot produced by [`encode_binary_v2`].
+///
+/// The checksum is verified before any section is interpreted; a wrong magic,
+/// an unsupported version, a truncated buffer or a corrupted byte all return
+/// [`GraphError::Parse`]. Sections with unknown tags are skipped, so future
+/// writers may append new sections without breaking this reader.
+pub fn decode_binary_v2(bytes: &[u8]) -> Result<ParsedEdgeList> {
+    if bytes.len() < BINARY_V2_MAGIC.len() + 4 + 8 {
+        return Err(corrupt("binary snapshot truncated: shorter than magic + version + checksum"));
+    }
+    if &bytes[..4] != BINARY_V2_MAGIC {
+        return Err(corrupt(format!(
+            "bad magic {:02x?}: not a graph-terrain binary snapshot",
+            &bytes[..4]
+        )));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != BINARY_VERSION {
+        return Err(corrupt(format!(
+            "unsupported binary snapshot version {version} (this reader supports {BINARY_VERSION})"
+        )));
+    }
+    let (body, checksum_bytes) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(checksum_bytes.try_into().expect("8 bytes"));
+    let computed = fnv1a64(body);
+    if stored != computed {
+        return Err(corrupt(format!(
+            "checksum mismatch: stored {stored:#018x}, computed {computed:#018x} — snapshot corrupt"
+        )));
+    }
+
+    let mut cursor = &body[8..];
+    let mut counts: Option<(usize, usize)> = None;
+    let mut edges: Option<Vec<(u32, u32)>> = None;
+    let mut weights: Option<Vec<f64>> = None;
+    while !cursor.is_empty() {
+        if cursor.len() < 9 {
+            return Err(corrupt("section header truncated"));
+        }
+        let tag = cursor[0];
+        let len = u64::from_le_bytes(cursor[1..9].try_into().expect("8 bytes")) as usize;
+        cursor = &cursor[9..];
+        if cursor.len() < len {
+            return Err(corrupt(format!(
+                "section {tag} truncated: declares {len} bytes, {} remain",
+                cursor.len()
+            )));
+        }
+        let (payload, rest) = cursor.split_at(len);
+        cursor = rest;
+        match tag {
+            SECTION_HEADER => {
+                if payload.len() != 16 {
+                    return Err(corrupt(format!(
+                        "header section has {} bytes, expected 16",
+                        payload.len()
+                    )));
+                }
+                let v = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+                let e = u64::from_le_bytes(payload[8..].try_into().expect("8 bytes"));
+                counts = Some((v as usize, e as usize));
+            }
+            SECTION_EDGES => {
+                if payload.len() % 8 != 0 {
+                    return Err(corrupt(format!(
+                        "edge section length {} is not a multiple of 8",
+                        payload.len()
+                    )));
+                }
+                edges = Some(
+                    payload
+                        .chunks_exact(8)
+                        .map(|pair| {
+                            (
+                                u32::from_le_bytes(pair[..4].try_into().expect("4 bytes")),
+                                u32::from_le_bytes(pair[4..].try_into().expect("4 bytes")),
+                            )
+                        })
+                        .collect(),
+                );
+            }
+            SECTION_WEIGHTS => {
+                if payload.len() % 8 != 0 {
+                    return Err(corrupt(format!(
+                        "weight section length {} is not a multiple of 8",
+                        payload.len()
+                    )));
+                }
+                weights = Some(
+                    payload
+                        .chunks_exact(8)
+                        .map(|w| f64::from_le_bytes(w.try_into().expect("8 bytes")))
+                        .collect(),
+                );
+            }
+            // Unknown section: skip (forward compatibility).
+            _ => {}
+        }
+    }
+
+    let (vertex_count, edge_count) =
+        counts.ok_or_else(|| corrupt("snapshot has no header section"))?;
+    let edges = edges.ok_or_else(|| corrupt("snapshot has no edge section"))?;
+    if edges.len() != edge_count {
+        return Err(corrupt(format!(
+            "header declares {edge_count} edges but the edge section holds {}",
+            edges.len()
+        )));
+    }
+    if let Some(w) = &weights {
+        if w.len() != edge_count {
+            return Err(corrupt(format!(
+                "weight section holds {} weights for {edge_count} edges",
+                w.len()
+            )));
+        }
+        if let Some(bad) = w.iter().find(|w| !w.is_finite()) {
+            return Err(corrupt(format!("snapshot carries non-finite edge weight {bad}")));
+        }
+    }
+
+    let mut builder = GraphBuilder::with_capacity(edge_count);
+    if vertex_count > 0 {
+        builder.ensure_vertex((vertex_count - 1) as u32);
+    }
+    for &(u, v) in &edges {
+        builder.add_edge(u, v);
+    }
+    let graph = builder.build();
+    // The writer serializes canonical edges, so counts survive the rebuild;
+    // a mismatch means the blob was hand-built with duplicates or loops.
+    if graph.edge_count() != edge_count {
+        return Err(corrupt(format!(
+            "edge section collapses to {} canonical edges, header declares {edge_count}",
+            graph.edge_count()
+        )));
+    }
+    Ok(ParsedEdgeList { graph, edge_weights: weights })
+}
+
+/// Decode either binary generation: dispatches on the v2 magic, falling back
+/// to the legacy v1 layout (which, having no magic, cannot be told apart from
+/// corruption any better than v1 itself allowed).
+pub fn decode_binary_auto(bytes: &[u8]) -> Result<ParsedEdgeList> {
+    if bytes.starts_with(BINARY_V2_MAGIC) {
+        decode_binary_v2(bytes)
+    } else {
+        let graph = decode_binary(Bytes::from(bytes.to_vec()))?;
+        Ok(ParsedEdgeList { graph, edge_weights: None })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 5);
+        b.add_edge(5, 9);
+        b.add_edge(2, 3);
+        b.ensure_vertex(12);
+        b.build()
+    }
+
+    #[test]
+    fn v1_round_trip() {
+        let g = sample_graph();
+        let bytes = encode_binary(&g);
+        let decoded = decode_binary(bytes).unwrap();
+        assert_eq!(decoded, g);
+    }
+
+    #[test]
+    fn v1_rejects_truncated_input() {
+        assert!(decode_binary(Bytes::from_static(&[1, 2, 3])).is_err());
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(10);
+        buf.put_u32_le(5); // claims 5 edges but provides none
+        assert!(decode_binary(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn v2_round_trip_without_weights() {
+        let g = sample_graph();
+        let bytes = encode_binary_v2(&g, None).unwrap();
+        assert!(bytes.starts_with(BINARY_V2_MAGIC));
+        let decoded = decode_binary_v2(&bytes).unwrap();
+        assert_eq!(decoded.graph, g);
+        assert!(decoded.edge_weights.is_none());
+    }
+
+    #[test]
+    fn v2_round_trip_with_weights_is_bit_exact() {
+        let g = sample_graph();
+        let weights = vec![0.1 + 0.2, -1.5, f64::MIN_POSITIVE];
+        let bytes = encode_binary_v2(&g, Some(&weights)).unwrap();
+        let decoded = decode_binary_v2(&bytes).unwrap();
+        assert_eq!(decoded.graph, g);
+        let round = decoded.edge_weights.unwrap();
+        for (a, b) in weights.iter().zip(&round) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn v2_rejects_invalid_weight_vectors_at_encode_time() {
+        let g = sample_graph();
+        assert!(matches!(
+            encode_binary_v2(&g, Some(&[1.0])),
+            Err(GraphError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            encode_binary_v2(&g, Some(&[1.0, f64::NAN, 2.0])),
+            Err(GraphError::NonFiniteScalar { .. })
+        ));
+    }
+
+    #[test]
+    fn v2_rejects_bad_magic_and_version() {
+        let g = sample_graph();
+        let mut bytes = encode_binary_v2(&g, None).unwrap();
+        let err = decode_binary_v2(b"NOPE....longer than the minimum length....").unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+        // Wrong version (checksum re-stamped so the version check is what
+        // fires, not the integrity check).
+        bytes[4] = 9;
+        let body_len = bytes.len() - 8;
+        let checksum = fnv1a64(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&checksum);
+        let err = decode_binary_v2(&bytes).unwrap_err();
+        assert!(err.to_string().contains("unsupported binary snapshot version 9"), "{err}");
+    }
+
+    #[test]
+    fn v2_rejects_truncation_and_corruption_everywhere() {
+        let g = sample_graph();
+        let bytes = encode_binary_v2(&g, Some(&[1.0, 2.0, 3.0])).unwrap();
+        // Every prefix short of the full snapshot must error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(decode_binary_v2(&bytes[..cut]).is_err(), "prefix of {cut} bytes accepted");
+        }
+        // Any single flipped bit past the magic trips the checksum (or a
+        // structural check) — again an error, never a panic.
+        for byte in [4, 8, 9, 17, bytes.len() - 9, bytes.len() - 1] {
+            let mut corrupted = bytes.clone();
+            corrupted[byte] ^= 0x40;
+            assert!(decode_binary_v2(&corrupted).is_err(), "flip at byte {byte} accepted");
+        }
+    }
+
+    #[test]
+    fn v2_skips_unknown_sections() {
+        let g = sample_graph();
+        let mut bytes = encode_binary_v2(&g, None).unwrap();
+        // Splice an unknown section (tag 99, 3 payload bytes) before the
+        // checksum and re-stamp it.
+        bytes.truncate(bytes.len() - 8);
+        bytes.push(99);
+        bytes.extend_from_slice(&3u64.to_le_bytes());
+        bytes.extend_from_slice(&[1, 2, 3]);
+        let checksum = fnv1a64(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        let decoded = decode_binary_v2(&bytes).unwrap();
+        assert_eq!(decoded.graph, g);
+    }
+
+    #[test]
+    fn auto_dispatches_on_magic() {
+        let g = sample_graph();
+        let v1 = encode_binary(&g);
+        let from_v1 = decode_binary_auto(v1.as_ref()).unwrap();
+        assert_eq!(from_v1.graph, g);
+        assert!(from_v1.edge_weights.is_none());
+        let v2 = encode_binary_v2(&g, Some(&[1.0, 2.0, 3.0])).unwrap();
+        let from_v2 = decode_binary_auto(&v2).unwrap();
+        assert_eq!(from_v2.graph, g);
+        assert_eq!(from_v2.edge_weights.as_deref(), Some(&[1.0, 2.0, 3.0][..]));
+    }
+}

@@ -6,7 +6,8 @@
 //! a union–find structure (the workhorse of the scalar-tree algorithms of the
 //! paper), traversals, line (dual) graphs, deterministic random generators for
 //! the synthetic datasets that stand in for the paper's SNAP datasets, and a
-//! plain-text edge-list I/O format.
+//! streaming ingest boundary ([`io::GraphSource`]) over edge-list, CSV, METIS,
+//! JSON-adjacency and versioned binary-snapshot inputs.
 //!
 //! The design goals, in order:
 //!
@@ -58,6 +59,7 @@ pub use csr::{CsrGraph, EdgeRef, NeighborIter};
 pub use dual::{line_graph, LineGraph};
 pub use error::{GraphError, Result};
 pub use ids::{EdgeId, VertexId};
+pub use io::{GraphFormat, GraphSource, ParsedEdgeList};
 pub use par::Parallelism;
 pub use traversal::{bfs_order, connected_components, ConnectedComponents};
 pub use union_find::UnionFind;

@@ -4,7 +4,10 @@
 
 use proptest::prelude::*;
 use ugraph::dual::{estimated_dual_edges, line_graph};
-use ugraph::io::{decode_binary, encode_binary, read_edge_list, write_edge_list};
+use ugraph::io::{
+    decode_binary, decode_binary_auto, decode_binary_v2, encode_binary, encode_binary_v2,
+    read_edge_list, write_edge_list, write_edge_list_weighted,
+};
 use ugraph::{connected_components, CsrGraph, GraphBuilder, UnionFind, VertexId};
 
 fn arbitrary_edges(max_n: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
@@ -103,6 +106,54 @@ proptest! {
 
         let decoded = decode_binary(encode_binary(&g)).unwrap();
         prop_assert_eq!(decoded, g);
+    }
+
+    /// The weighted edge-list writer and the binary v2 snapshot both
+    /// round-trip arbitrary graphs *and* arbitrary finite weights exactly —
+    /// same graph, bit-identical weights — end-to-end through the readers.
+    #[test]
+    fn weighted_round_trips_are_lossless(
+        (n, edges) in arbitrary_edges(40),
+        raw_bits in proptest::collection::vec(0u64..u64::MAX, 1..200),
+    ) {
+        let g = build(n, &edges);
+        // One weight per canonical edge: arbitrary finite bit patterns
+        // (subnormals included), with non-finite draws replaced by fixed
+        // values that have long decimal expansions.
+        let awkward = [0.1 + 0.2, 1.0 / 3.0, -1e-17, f64::MIN_POSITIVE];
+        let weights: Vec<f64> = (0..g.edge_count())
+            .map(|i| {
+                let w = f64::from_bits(raw_bits[i % raw_bits.len()]);
+                if w.is_finite() && i % 3 != 0 { w } else { awkward[i % awkward.len()] }
+            })
+            .collect();
+        let bits = |w: &[f64]| w.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+
+        // Text: write → read preserves the edge set and every weight bit.
+        let mut text = Vec::new();
+        write_edge_list_weighted(&g, &weights, &mut text).unwrap();
+        let parsed = read_edge_list(text.as_slice()).unwrap();
+        let edges_of = |g: &CsrGraph| -> Vec<(u32, u32)> {
+            g.edges().map(|e| (e.u.0, e.v.0)).collect()
+        };
+        prop_assert_eq!(edges_of(&parsed.graph), edges_of(&g));
+        if g.edge_count() > 0 {
+            prop_assert_eq!(bits(&parsed.edge_weights.unwrap()), bits(&weights));
+        }
+
+        // Binary v2: the snapshot also preserves isolated trailing vertices,
+        // so the whole graph compares equal, and both decoders agree.
+        let blob = encode_binary_v2(&g, Some(&weights)).unwrap();
+        let direct = decode_binary_v2(&blob).unwrap();
+        prop_assert_eq!(&direct.graph, &g);
+        prop_assert_eq!(bits(&direct.edge_weights.unwrap()), bits(&weights));
+        let auto = decode_binary_auto(&blob).unwrap();
+        prop_assert_eq!(&auto.graph, &g);
+
+        // And an unweighted v2 snapshot round-trips the bare graph.
+        let bare = decode_binary_v2(&encode_binary_v2(&g, None).unwrap()).unwrap();
+        prop_assert_eq!(bare.graph, g);
+        prop_assert!(bare.edge_weights.is_none());
     }
 
     /// Induced subgraphs keep exactly the edges with both endpoints retained.

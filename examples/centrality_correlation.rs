@@ -11,7 +11,7 @@
 use graph_terrain::prelude::*;
 use measures::{betweenness_centrality_sampled_with, degrees, Parallelism};
 use scalarfield::{global_correlation_index, local_correlation_index, outlier_scores};
-use terrain::ColorScheme;
+use terrain::{ColorScheme, Svg};
 use ugraph::generators::{collaboration_graph, CollaborationConfig};
 use ugraph::VertexId;
 
@@ -49,7 +49,7 @@ fn main() {
         .set_color(ColorScheme::BySecondaryScalar(degree_field.clone()))
         .set_svg_size(SvgSize::new(900.0, 700.0));
     let path = std::env::temp_dir().join("graph_terrain_outliers.svg");
-    std::fs::write(&path, session.build().expect("svg stage")).expect("write svg");
+    session.write_artifact(&Svg::new(900.0, 700.0), &path).expect("write svg");
     println!("wrote outlier-score terrain (colored by degree) to {}", path.display());
 
     // Drill-down: the five strongest outliers and their local picture.

@@ -9,7 +9,7 @@
 
 use graph_terrain::prelude::*;
 use measures::overlapping_community_scores;
-use terrain::{highest_peaks, peaks_at_alpha};
+use terrain::{highest_peaks, peaks_at_alpha, Svg};
 use ugraph::generators::{overlapping_communities, OverlappingCommunityConfig};
 
 fn main() {
@@ -57,7 +57,7 @@ fn main() {
             );
         }
         let path = std::env::temp_dir().join(format!("graph_terrain_community{community}.svg"));
-        std::fs::write(&path, session.build().expect("svg stage")).expect("write svg");
+        session.write_artifact(&Svg::new(900.0, 700.0), &path).expect("write svg");
         println!("  wrote terrain to {}", path.display());
     }
 }

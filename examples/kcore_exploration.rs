@@ -11,7 +11,7 @@
 
 use baselines::{layout_to_svg, spring_layout, SpringConfig};
 use graph_terrain::prelude::*;
-use terrain::{highest_peaks, select_region};
+use terrain::{highest_peaks, select_region, Svg};
 use ugraph::generators::{collaboration_graph, CollaborationConfig};
 
 fn main() {
@@ -83,9 +83,10 @@ fn main() {
         println!("wrote linked 2D view of the densest core to {}", path.display());
     }
 
-    // Save both terrains.
+    // Save both terrains, streamed through the SVG exporter backend.
     let dir = std::env::temp_dir();
-    std::fs::write(dir.join("graph_terrain_kcore.svg"), kcore_session.build().unwrap()).unwrap();
-    std::fs::write(dir.join("graph_terrain_ktruss.svg"), ktruss_session.build().unwrap()).unwrap();
+    let svg = Svg::new(900.0, 700.0);
+    kcore_session.write_artifact(&svg, dir.join("graph_terrain_kcore.svg")).unwrap();
+    ktruss_session.write_artifact(&svg, dir.join("graph_terrain_ktruss.svg")).unwrap();
     println!("wrote K-Core and K-Truss terrains to {}", dir.display());
 }

@@ -1,60 +1,99 @@
-//! Quickstart: build a K-Core terrain for a small collaboration-style graph
-//! with the staged [`TerrainPipeline`] session and inspect it from the
-//! terminal.
+//! Quickstart: build a K-Core terrain with the staged [`TerrainPipeline`]
+//! session and inspect it from the terminal — end to end through the I/O
+//! boundary: graphs come in through `GraphSource`, artifacts go out through
+//! `Exporter` backends.
 //!
 //! Run with:
 //! ```text
-//! cargo run --example quickstart [-- --threads <serial|auto|N>] [-- --out <svg path>]
+//! cargo run --example quickstart [-- --threads <serial|auto|N>]
+//!                                [-- --input <graph file>]
+//!                                [-- --format <svg|treemap|obj|ply|ascii|json>]
+//!                                [-- --out <artifact path>]
+//!                                [-- --save-graph <binary snapshot path>]
 //! ```
 //!
-//! The `--threads` knob is pure wall-clock: the emitted SVG is byte-identical
-//! for every setting (CI diffs the output of `--threads serial` against
-//! `--threads 2` to guard that contract end-to-end).
+//! Without `--input` a small built-in collaboration graph is used;
+//! `--save-graph` writes that graph as a binary v2 snapshot which a later
+//! run can `--input` back (CI round-trips exactly this and diffs the SVG
+//! bytes). The `--threads` knob is pure wall-clock: the emitted artifact is
+//! byte-identical for every setting (CI diffs `--threads serial` against
+//! `--threads 2` end-to-end).
 
 use graph_terrain::prelude::*;
 use measures::Parallelism;
-use terrain::{ascii_heightmap, peaks_at_alpha};
+use terrain::{exporter_by_name, peaks_at_alpha, Ascii, Exporter, RenderScene};
+use ugraph::io::{encode_binary_v2, GraphSource};
 use ugraph::GraphBuilder;
+
+/// `--flag value` or `--flag=value`, matching the figure binaries' parser.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    let prefix = format!("{name}=");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(value) = arg.strip_prefix(&prefix) {
+            return Some(value.to_string());
+        }
+        if arg == name {
+            return iter.next().cloned();
+        }
+    }
+    None
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let parallelism = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| Parallelism::parse(v))
+    let parallelism = flag(&args, "--threads")
+        .and_then(|v| Parallelism::parse(&v))
         .unwrap_or(Parallelism::Serial);
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|| std::env::temp_dir().join("graph_terrain_quickstart.svg"));
+    let exporter = flag(&args, "--format")
+        .map(|name| exporter_by_name(&name).expect("unknown --format backend"))
+        .unwrap_or_else(|| exporter_by_name("svg").expect("svg backend exists"));
+    let out_path = flag(&args, "--out").map(std::path::PathBuf::from).unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("graph_terrain_quickstart.{}", exporter.file_extension()))
+    });
 
-    // 1. Build a small graph by hand: two dense "research groups" (a K5 and a
-    //    K4) connected through a chain of collaborations.
-    let mut builder = GraphBuilder::new();
-    for u in 0..5u32 {
-        for v in (u + 1)..5u32 {
-            builder.add_edge(u, v); // group A: vertices 0..5
+    // 1. Get a graph: ingest any supported format through GraphSource, or
+    //    build the demo graph by hand — two dense "research groups" (a K5 and
+    //    a K4) connected through a chain of collaborations.
+    let graph = match flag(&args, "--input") {
+        Some(path) => {
+            let parsed = GraphSource::path(&path).load().expect("load --input graph");
+            println!("loaded {path} ({} vertices)", parsed.graph.vertex_count());
+            parsed.graph
         }
-    }
-    for u in 5..9u32 {
-        for v in (u + 1)..9u32 {
-            builder.add_edge(u, v); // group B: vertices 5..9
+        None => {
+            let mut builder = GraphBuilder::new();
+            for u in 0..5u32 {
+                for v in (u + 1)..5u32 {
+                    builder.add_edge(u, v); // group A: vertices 0..5
+                }
+            }
+            for u in 5..9u32 {
+                for v in (u + 1)..9u32 {
+                    builder.add_edge(u, v); // group B: vertices 5..9
+                }
+            }
+            builder.extend_edges([(4u32, 9u32), (9, 10), (10, 5)]); // bridge authors
+            builder.build()
         }
-    }
-    builder.extend_edges([(4u32, 9u32), (9, 10), (10, 5)]); // bridge authors
-    let graph = builder.build();
+    };
     println!("graph: {} vertices, {} edges", graph.vertex_count(), graph.edge_count());
+
+    // Optionally snapshot the graph (binary v2: magic + version + checksum)
+    // so a later run can `--input` it back, byte-identically.
+    if let Some(path) = flag(&args, "--save-graph") {
+        let blob = encode_binary_v2(&graph, None).expect("encode snapshot");
+        std::fs::write(&path, blob).expect("write snapshot");
+        println!("saved binary v2 snapshot to {path}");
+    }
 
     // 2. Start a session whose scalar field is the K-Core number of each
     //    vertex, so the terrain's peaks are exactly the dense K-Cores
     //    (Proposition 4 of the paper). The session computes the measure
     //    itself, under the requested thread budget.
     let mut session = TerrainPipeline::from_measure(&graph, Measure::KCore);
-    session.set_parallelism(parallelism).set_svg_size(SvgSize::new(800.0, 600.0));
-    println!("measure parallelism: {parallelism} (the SVG is identical for every setting)");
+    session.set_parallelism(parallelism);
+    println!("measure parallelism: {parallelism} (the artifact is identical for every setting)");
 
     // 3. Stages compute lazily and are cached: asking for the mesh builds
     //    scalar field -> scalar tree -> super tree -> layout -> mesh once.
@@ -74,10 +113,12 @@ fn main() {
         }
     }
 
-    // 5. Look at it: ASCII in the terminal, SVG on disk.
+    // 5. Look at it: ASCII in the terminal (one exporter backend)...
     println!("\nterrain heightmap (top view):\n");
-    println!("{}", ascii_heightmap(stages.layout, 60, 18));
-    let svg = session.build().expect("svg stage");
-    std::fs::write(&out_path, svg).expect("write svg");
-    println!("wrote 3D terrain rendering to {}", out_path.display());
+    let scene = RenderScene::new(stages.render_tree, stages.layout, stages.mesh);
+    println!("{}", Ascii::new(60, 18).export_string(&scene).expect("ascii render"));
+
+    // ...and the requested artifact on disk (another backend, same scene).
+    session.write_artifact(exporter.as_ref(), &out_path).expect("write artifact");
+    println!("wrote {} terrain artifact to {}", exporter.name(), out_path.display());
 }

@@ -72,9 +72,10 @@ pub use pipeline::{
 pub use terrain::{TerrainError, TerrainResult};
 
 use scalarfield::SuperScalarTree;
+#[allow(deprecated)]
+use terrain::terrain_to_svg;
 use terrain::{
-    build_terrain_mesh, terrain_to_svg, ColorScheme, LayoutConfig, MeshConfig, TerrainLayout,
-    TerrainMesh,
+    build_terrain_mesh, ColorScheme, LayoutConfig, MeshConfig, TerrainLayout, TerrainMesh,
 };
 use ugraph::{CsrGraph, GraphError, Result};
 

@@ -56,11 +56,13 @@ use scalarfield::{
     build_super_tree, edge_scalar_tree, try_simplify_super_tree, vertex_scalar_tree,
     EdgeScalarGraph, ScalarTree, SuperScalarTree, VertexScalarGraph,
 };
+use std::path::Path;
 use std::time::Instant;
 use terrain::{
-    terrain_to_svg, try_build_terrain_mesh, try_layout_super_tree, ColorScheme, LayoutConfig,
-    MeshConfig, TerrainError, TerrainLayout, TerrainMesh, TerrainResult,
+    try_build_terrain_mesh, try_layout_super_tree, ColorScheme, Exporter, LayoutConfig, MeshConfig,
+    RenderScene, SceneTiming, Svg, TerrainError, TerrainLayout, TerrainMesh, TerrainResult,
 };
+use ugraph::io::GraphSource;
 use ugraph::par::Parallelism;
 use ugraph::CsrGraph;
 
@@ -291,6 +293,24 @@ pub struct TerrainParts {
     pub timings: StageTimings,
 }
 
+/// How a session holds its graph: borrowed from the caller (the historical
+/// constructors) or owned outright (sessions started from a
+/// [`GraphSource`] — there is no caller-side graph to borrow).
+#[derive(Clone, Debug)]
+enum GraphStore<'g> {
+    Borrowed(&'g CsrGraph),
+    Owned(Box<CsrGraph>),
+}
+
+impl GraphStore<'_> {
+    fn get(&self) -> &CsrGraph {
+        match self {
+            GraphStore::Borrowed(graph) => graph,
+            GraphStore::Owned(graph) => graph,
+        }
+    }
+}
+
 /// A staged, cached terrain-build session over one graph.
 ///
 /// The stage/invalidation contract: every stage output (scalar field, scalar
@@ -301,12 +321,16 @@ pub struct TerrainParts {
 /// super tree, [`set_scalar`](Self::set_scalar) reuses nothing).
 ///
 /// Construct with [`TerrainPipeline::vertex`], [`TerrainPipeline::edge`]
-/// (explicit scalar fields, validated up front) or
+/// (explicit scalar fields, validated up front),
 /// [`TerrainPipeline::from_measure`] (the session computes the field itself,
-/// lazily, under the session's [`Parallelism`] budget).
+/// lazily, under the session's [`Parallelism`] budget) or
+/// [`TerrainPipeline::from_source`] (ingest a graph from disk or any reader
+/// through [`GraphSource`]). Artifacts stream out through any
+/// [`Exporter`] backend via [`render_to`](Self::render_to) /
+/// [`write_artifact`](Self::write_artifact).
 #[derive(Clone, Debug)]
 pub struct TerrainPipeline<'g> {
-    graph: &'g CsrGraph,
+    graph: GraphStore<'g>,
     field: FieldKind,
     measure: Option<Measure>,
     parallelism: Parallelism,
@@ -328,7 +352,7 @@ pub struct TerrainPipeline<'g> {
 }
 
 impl<'g> TerrainPipeline<'g> {
-    fn new(graph: &'g CsrGraph, field: FieldKind) -> Self {
+    fn new(graph: GraphStore<'g>, field: FieldKind) -> Self {
         TerrainPipeline {
             graph,
             field,
@@ -354,7 +378,7 @@ impl<'g> TerrainPipeline<'g> {
     /// totally ordered scalar.
     pub fn vertex(graph: &'g CsrGraph, scalar: Vec<f64>) -> TerrainResult<Self> {
         VertexScalarGraph::new(graph, &scalar)?;
-        let mut p = Self::new(graph, FieldKind::Vertex);
+        let mut p = Self::new(GraphStore::Borrowed(graph), FieldKind::Vertex);
         p.scalar = Some(scalar);
         Ok(p)
     }
@@ -363,7 +387,7 @@ impl<'g> TerrainPipeline<'g> {
     /// finite entry per edge).
     pub fn edge(graph: &'g CsrGraph, scalar: Vec<f64>) -> TerrainResult<Self> {
         EdgeScalarGraph::new(graph, &scalar)?;
-        let mut p = Self::new(graph, FieldKind::Edge);
+        let mut p = Self::new(GraphStore::Borrowed(graph), FieldKind::Edge);
         p.scalar = Some(scalar);
         Ok(p)
     }
@@ -372,9 +396,39 @@ impl<'g> TerrainPipeline<'g> {
     /// lazily on first demand under the session's current [`Parallelism`]
     /// budget. Infallible: the measure always produces a valid field.
     pub fn from_measure(graph: &'g CsrGraph, measure: Measure) -> Self {
-        let mut p = Self::new(graph, measure.field_kind());
+        let mut p = Self::new(GraphStore::Borrowed(graph), measure.field_kind());
         p.measure = Some(measure);
         p
+    }
+
+    /// Ingest a graph through a [`GraphSource`] and start a measure session
+    /// over it. The session *owns* the loaded graph, so it has no borrow tie
+    /// to the caller (`TerrainPipeline<'static>`).
+    ///
+    /// Per-edge weights carried by the input are not consumed by the built-in
+    /// measures; to build a terrain over file weights, load via
+    /// [`GraphSource::load`] and hand the weights to
+    /// [`TerrainPipeline::edge`].
+    ///
+    /// ```no_run
+    /// use graph_terrain::{Measure, TerrainPipeline};
+    /// use terrain::Svg;
+    /// use ugraph::io::GraphSource;
+    ///
+    /// let mut session =
+    ///     TerrainPipeline::from_source(GraphSource::path("astro.csv"), Measure::KCore)?;
+    /// session.write_artifact(&Svg::default(), "astro_kcore.svg")?;
+    /// # Ok::<(), graph_terrain::TerrainError>(())
+    /// ```
+    pub fn from_source(
+        source: GraphSource,
+        measure: Measure,
+    ) -> TerrainResult<TerrainPipeline<'static>> {
+        let parsed = source.load()?;
+        let mut p =
+            TerrainPipeline::new(GraphStore::Owned(Box::new(parsed.graph)), measure.field_kind());
+        p.measure = Some(measure);
+        Ok(p)
     }
 
     // ------------------------------------------------------------------
@@ -396,10 +450,10 @@ impl<'g> TerrainPipeline<'g> {
     pub fn set_scalar(&mut self, scalar: Vec<f64>) -> TerrainResult<&mut Self> {
         match self.field {
             FieldKind::Vertex => {
-                VertexScalarGraph::new(self.graph, &scalar)?;
+                VertexScalarGraph::new(self.graph.get(), &scalar)?;
             }
             FieldKind::Edge => {
-                EdgeScalarGraph::new(self.graph, &scalar)?;
+                EdgeScalarGraph::new(self.graph.get(), &scalar)?;
             }
         }
         self.measure = None;
@@ -481,9 +535,9 @@ impl<'g> TerrainPipeline<'g> {
     // Read-only session info.
     // ------------------------------------------------------------------
 
-    /// The graph this session builds over.
-    pub fn graph(&self) -> &'g CsrGraph {
-        self.graph
+    /// The graph this session builds over (borrowed or session-owned).
+    pub fn graph(&self) -> &CsrGraph {
+        self.graph.get()
     }
 
     /// Whether this is a vertex- or an edge-scalar session.
@@ -575,6 +629,61 @@ impl<'g> TerrainPipeline<'g> {
         Ok(self.svg()?.to_string())
     }
 
+    /// Render the session through any [`Exporter`] backend, streaming the
+    /// artifact into `writer`. The backend sees a [`RenderScene`] borrowed
+    /// from the cached stages (forcing them on first demand) together with
+    /// the per-stage timings recorded so far, so repeated renders across
+    /// backends share one pipeline run.
+    ///
+    /// The built-in [`Svg`] backend at the session's
+    /// [`SvgSize`] produces exactly the bytes of [`svg`](Self::svg).
+    pub fn render_to(
+        &mut self,
+        exporter: &dyn Exporter,
+        writer: &mut dyn std::io::Write,
+    ) -> TerrainResult<()> {
+        self.ensure_mesh()?;
+        let timings = self.scene_timings();
+        let scene = RenderScene::new(
+            self.render_tree_ref(),
+            self.layout.as_ref().expect("ensured"),
+            self.mesh.as_ref().expect("ensured"),
+        )
+        .with_timings(&timings);
+        exporter.write_to(&scene, writer)
+    }
+
+    /// [`render_to`](Self::render_to) into a freshly created (buffered) file.
+    pub fn write_artifact(
+        &mut self,
+        exporter: &dyn Exporter,
+        path: impl AsRef<Path>,
+    ) -> TerrainResult<()> {
+        let file = std::fs::File::create(path.as_ref()).map_err(TerrainError::from)?;
+        let mut writer = std::io::BufWriter::new(file);
+        self.render_to(exporter, &mut writer)?;
+        std::io::Write::flush(&mut writer)?;
+        Ok(())
+    }
+
+    /// The recorded stage timings as exporter-facing [`SceneTiming`]s
+    /// (stages that have not run are absent).
+    fn scene_timings(&self) -> Vec<SceneTiming> {
+        let t = &self.timings;
+        [
+            ("scalar", t.scalar_seconds),
+            ("tree", t.tree_seconds),
+            ("super_tree", t.super_tree_seconds),
+            ("simplify", t.simplify_seconds),
+            ("layout", t.layout_seconds),
+            ("mesh", t.mesh_seconds),
+            ("svg", t.svg_seconds),
+        ]
+        .into_iter()
+        .filter_map(|(stage, seconds)| seconds.map(|seconds| SceneTiming { stage, seconds }))
+        .collect()
+    }
+
     /// Force every structural stage (through the mesh), then consume the
     /// session and move its cached outputs out without copying — for one-shot
     /// callers that want owned results (the deprecated `VertexTerrain` /
@@ -609,7 +718,7 @@ impl<'g> TerrainPipeline<'g> {
         let measure =
             self.measure.as_ref().expect("a session always has a scalar or a measure").clone();
         let started = Instant::now();
-        let scalar = measure.compute(self.graph, self.parallelism);
+        let scalar = measure.compute(self.graph.get(), self.parallelism);
         self.timings.scalar_seconds = Some(started.elapsed().as_secs_f64());
         self.scalar = Some(scalar);
         Ok(())
@@ -623,8 +732,10 @@ impl<'g> TerrainPipeline<'g> {
         let scalar = self.scalar.as_ref().expect("ensured");
         let started = Instant::now();
         let tree = match self.field {
-            FieldKind::Vertex => vertex_scalar_tree(&VertexScalarGraph::new(self.graph, scalar)?),
-            FieldKind::Edge => edge_scalar_tree(&EdgeScalarGraph::new(self.graph, scalar)?),
+            FieldKind::Vertex => {
+                vertex_scalar_tree(&VertexScalarGraph::new(self.graph.get(), scalar)?)
+            }
+            FieldKind::Edge => edge_scalar_tree(&EdgeScalarGraph::new(self.graph.get(), scalar)?),
         };
         self.timings.tree_seconds = Some(started.elapsed().as_secs_f64());
         self.scalar_tree = Some(tree);
@@ -696,11 +807,16 @@ impl<'g> TerrainPipeline<'g> {
         }
         self.svg_size.validate()?;
         let started = Instant::now();
-        let svg = terrain_to_svg(
+        // The session's cached SVG is produced by the same streaming backend
+        // `render_to` exposes, so the two paths are byte-identical by
+        // construction.
+        let scene = RenderScene::new(
+            self.render_tree_ref(),
+            self.layout.as_ref().expect("ensured"),
             self.mesh.as_ref().expect("ensured"),
-            self.svg_size.width_px,
-            self.svg_size.height_px,
         );
+        let svg =
+            Svg::new(self.svg_size.width_px, self.svg_size.height_px).export_string(&scene)?;
         self.timings.svg_seconds = Some(started.elapsed().as_secs_f64());
         self.svg = Some(svg);
         Ok(())
@@ -791,6 +907,54 @@ mod tests {
         assert_eq!(session.timings().tree_seconds, tree_time);
         assert_eq!(session.timings().layout_seconds, layout_time);
         assert_eq!(session.mesh().unwrap().triangle_count(), triangles);
+    }
+
+    #[test]
+    fn from_source_matches_a_borrowed_session_bit_for_bit() {
+        // The same graph, once ingested through a GraphSource (edge-list
+        // text) and once borrowed directly: identical SVG bytes.
+        let text = "0 1\n1 2\n2 0\n2 3\n3 4\n";
+        let mut ingested =
+            TerrainPipeline::from_source(GraphSource::reader(text.as_bytes()), Measure::KCore)
+                .unwrap();
+        let graph = toy_graph();
+        let mut borrowed = TerrainPipeline::from_measure(&graph, Measure::KCore);
+        assert_eq!(ingested.graph().vertex_count(), graph.vertex_count());
+        assert_eq!(ingested.svg().unwrap(), borrowed.svg().unwrap());
+    }
+
+    #[test]
+    fn render_to_svg_matches_the_cached_svg_stage() {
+        let graph = toy_graph();
+        let mut session = TerrainPipeline::from_measure(&graph, Measure::KCore);
+        let svg = session.build().unwrap();
+        let mut streamed = Vec::new();
+        session.render_to(&Svg::new(900.0, 700.0), &mut streamed).unwrap();
+        assert_eq!(String::from_utf8(streamed).unwrap(), svg);
+        // The scene handed to backends carries the session's timings.
+        let mut json = Vec::new();
+        session.render_to(&terrain::JsonScene, &mut json).unwrap();
+        let json = String::from_utf8(json).unwrap();
+        assert!(json.contains("\"stage\": \"tree\""), "{json}");
+        assert!(json.contains("\"stage\": \"svg\""), "{json}");
+    }
+
+    #[test]
+    fn write_artifact_streams_through_any_backend() {
+        let graph = toy_graph();
+        let mut session = TerrainPipeline::from_measure(&graph, Measure::KCore);
+        let dir = std::env::temp_dir();
+        for exporter in terrain::builtin_exporters() {
+            let path = dir.join(format!(
+                "graph_terrain_artifact_test_{}.{}",
+                exporter.name(),
+                exporter.file_extension()
+            ));
+            session.write_artifact(exporter.as_ref(), &path).unwrap();
+            let written = std::fs::read(&path).unwrap();
+            assert!(!written.is_empty(), "{} artifact is empty", exporter.name());
+            let _ = std::fs::remove_file(&path);
+        }
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! The I/O boundary, end to end: every ingest format resolves to the same
+//! `CsrGraph`, every export backend renders the same scene, and the whole
+//! chain `GraphSource -> TerrainPipeline -> Exporter` is byte-stable across
+//! ingest paths and identical to the pre-redesign output.
+
+use graph_terrain::{Measure, TerrainPipeline};
+use terrain::{builtin_exporters, Exporter, RenderScene, Svg};
+use ugraph::io::{encode_binary, encode_binary_v2, GraphFormat, GraphSource};
+use ugraph::{CsrGraph, GraphBuilder};
+
+/// The quickstart graph: a K5 and a K4 bridged through two extra authors.
+fn quickstart_graph() -> CsrGraph {
+    let mut builder = GraphBuilder::new();
+    for u in 0..5u32 {
+        for v in (u + 1)..5u32 {
+            builder.add_edge(u, v);
+        }
+    }
+    for u in 5..9u32 {
+        for v in (u + 1)..9u32 {
+            builder.add_edge(u, v);
+        }
+    }
+    builder.extend_edges([(4u32, 9u32), (9, 10), (10, 5)]);
+    builder.build()
+}
+
+/// Serialize the quickstart graph by hand in every text dialect.
+fn edge_list_fixture(graph: &CsrGraph) -> String {
+    let mut out = String::from("# quickstart graph\n");
+    for e in graph.edges() {
+        out.push_str(&format!("{} {}\n", e.u.0, e.v.0));
+    }
+    out
+}
+
+fn csv_fixture(graph: &CsrGraph) -> String {
+    let mut out = String::from("source,target\n");
+    for e in graph.edges() {
+        out.push_str(&format!("{},{}\n", e.u.0, e.v.0));
+    }
+    out
+}
+
+fn metis_fixture(graph: &CsrGraph) -> String {
+    let mut out = format!("{} {}\n", graph.vertex_count(), graph.edge_count());
+    for v in graph.vertices() {
+        let line: Vec<String> =
+            graph.neighbor_slice(v).iter().map(|n| (n.0 + 1).to_string()).collect();
+        out.push_str(&line.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+fn json_fixture(graph: &CsrGraph) -> String {
+    let mut out = String::new();
+    for v in graph.vertices() {
+        let adj: Vec<String> = graph.neighbor_slice(v).iter().map(|n| n.0.to_string()).collect();
+        out.push_str(&format!("{{\"id\": {}, \"adj\": [{}]}}\n", v.0, adj.join(", ")));
+    }
+    out
+}
+
+#[test]
+fn every_ingest_format_round_trips_to_an_identical_graph() {
+    let reference = quickstart_graph();
+    let cases: Vec<(GraphFormat, Vec<u8>)> = vec![
+        (GraphFormat::EdgeList, edge_list_fixture(&reference).into_bytes()),
+        (GraphFormat::Csv, csv_fixture(&reference).into_bytes()),
+        (GraphFormat::Metis, metis_fixture(&reference).into_bytes()),
+        (GraphFormat::JsonAdjacency, json_fixture(&reference).into_bytes()),
+        (GraphFormat::Binary, encode_binary_v2(&reference, None).unwrap()),
+        (GraphFormat::Binary, encode_binary(&reference).as_ref().to_vec()),
+    ];
+    for (format, bytes) in cases {
+        // Explicit format.
+        let parsed = GraphSource::reader(std::io::Cursor::new(bytes.clone()))
+            .with_format(format)
+            .load()
+            .unwrap_or_else(|e| panic!("{format} failed: {e}"));
+        assert_eq!(parsed.graph, reference, "{format} does not round-trip");
+        // Sniffed format (METIS is not sniffable by design — skip it there).
+        if format != GraphFormat::Metis {
+            let sniffed = GraphSource::reader(std::io::Cursor::new(bytes))
+                .load()
+                .unwrap_or_else(|e| panic!("sniffing the {format} fixture failed: {e}"));
+            assert_eq!(sniffed.graph, reference, "sniffed {format} does not round-trip");
+        }
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn streaming_svg_is_byte_identical_to_the_pre_redesign_output() {
+    // The acceptance criterion of the redesign: the Exporter-based SVG path
+    // must reproduce the old `terrain_to_svg` free function byte for byte on
+    // the quickstart terrain — via the trait, via the session's cached
+    // `svg()` stage, and via `render_to`.
+    let graph = quickstart_graph();
+    let mut session = TerrainPipeline::from_measure(&graph, Measure::KCore);
+    let stages = session.stages().unwrap();
+    let legacy = terrain::terrain_to_svg(stages.mesh, 900.0, 700.0);
+
+    let scene = RenderScene::new(stages.render_tree, stages.layout, stages.mesh);
+    let streamed = Svg::new(900.0, 700.0).export_string(&scene).unwrap();
+    assert_eq!(streamed, legacy);
+
+    let mut via_render_to = Vec::new();
+    session.render_to(&Svg::new(900.0, 700.0), &mut via_render_to).unwrap();
+    assert_eq!(String::from_utf8(via_render_to).unwrap(), legacy);
+    assert_eq!(session.svg().unwrap(), legacy);
+}
+
+#[test]
+fn every_ingest_path_yields_the_same_svg_bytes() {
+    // GraphSource -> from_source -> Exporter across all five formats: one
+    // graph, five encodings, one set of SVG bytes.
+    let reference = quickstart_graph();
+    let mut direct = TerrainPipeline::from_measure(&reference, Measure::KCore);
+    let expected = direct.svg().unwrap().to_string();
+
+    let cases: Vec<(GraphFormat, Vec<u8>)> = vec![
+        (GraphFormat::EdgeList, edge_list_fixture(&reference).into_bytes()),
+        (GraphFormat::Csv, csv_fixture(&reference).into_bytes()),
+        (GraphFormat::Metis, metis_fixture(&reference).into_bytes()),
+        (GraphFormat::JsonAdjacency, json_fixture(&reference).into_bytes()),
+        (GraphFormat::Binary, encode_binary_v2(&reference, None).unwrap()),
+    ];
+    for (format, bytes) in cases {
+        let source = GraphSource::reader(std::io::Cursor::new(bytes)).with_format(format);
+        let mut session = TerrainPipeline::from_source(source, Measure::KCore).unwrap();
+        assert_eq!(session.svg().unwrap(), expected, "{format} ingest changes the terrain");
+    }
+}
+
+#[test]
+fn every_backend_renders_the_quickstart_scene_nonempty() {
+    let graph = quickstart_graph();
+    let mut session = TerrainPipeline::from_measure(&graph, Measure::KCore);
+    for exporter in builtin_exporters() {
+        let mut out = Vec::new();
+        session.render_to(exporter.as_ref(), &mut out).unwrap();
+        assert!(!out.is_empty(), "backend {} rendered nothing", exporter.name());
+    }
+}
+
+#[test]
+fn corrupt_snapshots_fail_loudly_through_the_whole_stack() {
+    // Corruption must surface as an error from `from_source`, not a panic —
+    // the session boundary is where a serving system catches bad uploads.
+    let good = encode_binary_v2(&quickstart_graph(), None).unwrap();
+    let mut corrupt = good.clone();
+    corrupt[good.len() / 2] ^= 0xff;
+    for blob in [corrupt, good[..good.len() - 3].to_vec(), b"GTSB\x07garbagegarbage".to_vec()] {
+        let source = GraphSource::reader(std::io::Cursor::new(blob));
+        match TerrainPipeline::from_source(source, Measure::KCore) {
+            Err(e) => assert!(!e.to_string().is_empty()),
+            Ok(_) => panic!("corrupt snapshot was accepted"),
+        }
+    }
+}

@@ -5,7 +5,7 @@
 use graph_terrain::prelude::*;
 use scalarfield::{component_members_at_alpha, maximal_alpha_components, VertexScalarGraph};
 use std::collections::BTreeSet;
-use terrain::{ascii_heightmap, build_treemap, mesh_to_obj, peaks_at_alpha, treemap_to_svg};
+use terrain::{peaks_at_alpha, Ascii, Exporter, Obj, RenderScene, TreemapSvg};
 use ugraph::generators::{barabasi_albert, collaboration_graph, CollaborationConfig};
 
 fn collaboration_fixture() -> ugraph::CsrGraph {
@@ -94,15 +94,15 @@ fn exports_are_consistent_across_formats() {
     let svg = session.build().unwrap();
     let stages = session.stages().unwrap();
     assert_eq!(svg.matches("<polygon").count(), stages.mesh.triangle_count());
+    let scene = RenderScene::new(stages.render_tree, stages.layout, stages.mesh);
 
-    let obj = mesh_to_obj(stages.mesh);
+    let obj = Obj.export_string(&scene).unwrap();
     assert_eq!(obj.lines().filter(|l| l.starts_with("v ")).count(), stages.mesh.vertex_count());
 
-    let treemap = build_treemap(stages.render_tree, stages.layout);
-    let map_svg = treemap_to_svg(&treemap, 640.0, 480.0);
+    let map_svg = TreemapSvg::new(640.0, 480.0).export_string(&scene).unwrap();
     assert_eq!(map_svg.matches("<rect").count(), stages.render_tree.node_count());
 
-    let art = ascii_heightmap(stages.layout, 40, 10);
+    let art = Ascii::new(40, 10).export_string(&scene).unwrap();
     assert_eq!(art.lines().count(), 10);
 }
 

@@ -64,9 +64,31 @@ fn bench_terrain_rendering(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_unsimplified_scale(c: &mut Criterion) {
+    // Allocation-churn spotlight: layout and meshing of a large super tree
+    // that is *not* simplified down to the render budget, so per-node
+    // temporaries dominate the cost. This is the tree shape the `10k` rung of
+    // the scale ladder hits (see PERFORMANCE.md) — small enough to fit under
+    // the simplification budget, large enough that the per-node work shows.
+    let graph = ugraph::generators::rmat(13, 100_000, 42);
+    let scores = measures::pagerank(&graph, &measures::PageRankConfig::default());
+    let sg = VertexScalarGraph::new(&graph, &scores).unwrap();
+    let tree = build_super_tree(&vertex_scalar_tree(&sg));
+
+    let mut group = c.benchmark_group("terrain_unsimplified");
+    group.bench_function("layout", |b| {
+        b.iter(|| layout_super_tree(&tree, &LayoutConfig::default()).rects.len())
+    });
+    let layout = layout_super_tree(&tree, &LayoutConfig::default());
+    group.bench_function("mesh", |b| {
+        b.iter(|| build_terrain_mesh(&tree, &layout, &MeshConfig::default()).triangle_count())
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_terrain_rendering
+    targets = bench_terrain_rendering, bench_unsimplified_scale
 }
 criterion_main!(benches);

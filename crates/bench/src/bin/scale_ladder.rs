@@ -1,0 +1,240 @@
+//! `scale_ladder` — run the full `TerrainPipeline` across a rung ladder of
+//! generated graphs at several `Parallelism` settings and record a
+//! `BENCH_<date>.json` perf baseline (schema and methodology: `PERFORMANCE.md`).
+//!
+//! ```text
+//! scale_ladder [--rungs full|ci] [--parallelism serial,2,4x128]
+//!              [--measure pagerank|degree|kcore] [--out NAME.json]
+//!              [--compare PATH --tolerance 2.0]
+//! ```
+//!
+//! * `--rungs` — `full` (1k → 10M edges, the recorded-baseline ladder) or
+//!   `ci` (≤100k edges, the smoke-gate subset). Default `full`.
+//! * `--parallelism` — comma-separated [`Parallelism::parse`] settings to run
+//!   each rung at. Default `serial,2,4x128`.
+//!
+//! [`Parallelism::parse`]: ugraph::par::Parallelism::parse
+//! * `--measure` — scalar field driving the pipeline. Default `pagerank`
+//!   (parallel-capable and linear per iteration, so every ladder rung
+//!   finishes; `degree` isolates the tree/render stages, `kcore` exercises
+//!   the peeling path).
+//! * `--out` — artifact name under the results directory. Default
+//!   `BENCH_<date>.json`.
+//! * `--compare` — a committed reference baseline to diff against; exits
+//!   non-zero when any matched rung regresses by more than `--tolerance`
+//!   (default 2.0) × the reference `total_seconds`.
+//!
+//! Every graph is generated once per rung and shared by all parallelism
+//! settings, so the recorded `generate_seconds` is amortized exactly as the
+//! pipeline timings are.
+
+use bench::output::{results_dir, write_artifact};
+use bench::report::{
+    compare, git_short_rev, peak_rss_bytes, utc_date, validate, BenchReport, RungResult,
+    StageSeconds, SCHEMA_VERSION,
+};
+use bench::{format_table_for, parallelism_list_from};
+use graph_terrain::{Measure, TerrainPipeline};
+use ugraph::generators::rmat;
+
+/// One ladder rung: name, RMAT scale, and the number of edge samples.
+const FULL_LADDER: &[(&str, u32, usize)] = &[
+    ("1k", 7, 1_000),
+    ("10k", 10, 10_000),
+    ("100k", 13, 100_000),
+    ("1M", 17, 1_000_000),
+    ("10M", 20, 10_000_000),
+];
+
+/// The ≤100k-edge subset the CI smoke gate runs.
+const CI_LADDER: &[(&str, u32, usize)] =
+    &[("1k", 7, 1_000), ("10k", 10, 10_000), ("100k", 13, 100_000)];
+
+/// Seed shared by every baseline so runs are comparable across machines.
+const LADDER_SEED: u64 = 20_170_419; // the paper's ICDE 2017 presentation date
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let prefix = format!("{flag}=");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(value) = arg.strip_prefix(&prefix) {
+            return Some(value.to_string());
+        }
+        if arg == flag {
+            return iter.next().cloned();
+        }
+    }
+    None
+}
+
+fn measure_from(name: &str) -> Option<Measure> {
+    match name {
+        "pagerank" => Some(Measure::PageRank),
+        "degree" => Some(Measure::Degree),
+        "kcore" => Some(Measure::KCore),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+
+    let ladder = match flag_value(&args, "--rungs").as_deref() {
+        None | Some("full") => FULL_LADDER,
+        Some("ci") => CI_LADDER,
+        Some(other) => {
+            eprintln!("[error] unknown --rungs value {other:?} (expected full or ci)");
+            std::process::exit(2);
+        }
+    };
+    let settings = parallelism_list_from(&args, "serial,2,4x128").unwrap_or_else(|bad| {
+        eprintln!(
+            "[error] unrecognized --parallelism entry {bad:?} (expected serial, auto, N or NxW)"
+        );
+        std::process::exit(2);
+    });
+    let measure_name = flag_value(&args, "--measure").unwrap_or_else(|| "pagerank".to_string());
+    let Some(measure) = measure_from(&measure_name) else {
+        eprintln!(
+            "[error] unknown --measure {measure_name:?} (expected pagerank, degree or kcore)"
+        );
+        std::process::exit(2);
+    };
+    let out_name =
+        flag_value(&args, "--out").unwrap_or_else(|| format!("BENCH_{}.json", utc_date()));
+    let tolerance: f64 = match flag_value(&args, "--tolerance") {
+        Some(t) => t.parse().unwrap_or_else(|_| {
+            eprintln!("[error] --tolerance must be a number, got {t:?}");
+            std::process::exit(2);
+        }),
+        None => 2.0,
+    };
+
+    let mut report = BenchReport {
+        schema_version: SCHEMA_VERSION,
+        created: utc_date(),
+        git_rev: git_short_rev(),
+        host_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        host_os: std::env::consts::OS.to_string(),
+        rungs: Vec::new(),
+    };
+    println!(
+        "scale ladder · measure {} · {} rungs × {} parallelism settings · git {}",
+        measure_name,
+        ladder.len(),
+        settings.len(),
+        report.git_rev
+    );
+
+    for &(rung_name, scale, target_edges) in ladder {
+        let started = std::time::Instant::now();
+        let graph = rmat(scale, target_edges, LADDER_SEED);
+        let generate_seconds = started.elapsed().as_secs_f64();
+        println!(
+            "[{rung_name}] rmat scale {scale}: {} vertices, {} edges ({generate_seconds:.2}s)",
+            graph.vertex_count(),
+            graph.edge_count()
+        );
+        for &parallelism in &settings {
+            let mut session = TerrainPipeline::from_measure(&graph, measure.clone());
+            session.set_parallelism(parallelism);
+            if let Err(e) = session.svg() {
+                eprintln!("[error] {rung_name} @ {parallelism}: pipeline failed: {e}");
+                std::process::exit(1);
+            }
+            let t = session.timings();
+            let stages = StageSeconds {
+                scalar: t.scalar_seconds.unwrap_or(0.0),
+                tree: t.tree_seconds.unwrap_or(0.0),
+                super_tree: t.super_tree_seconds.unwrap_or(0.0),
+                simplify: t.simplify_seconds.unwrap_or(0.0),
+                layout: t.layout_seconds.unwrap_or(0.0),
+                mesh: t.mesh_seconds.unwrap_or(0.0),
+                svg: t.svg_seconds.unwrap_or(0.0),
+            };
+            let total_seconds = stages.total();
+            report.rungs.push(RungResult {
+                rung: rung_name.to_string(),
+                generator: "rmat".to_string(),
+                scale,
+                target_edges,
+                vertices: graph.vertex_count(),
+                edges: graph.edge_count(),
+                generate_seconds,
+                measure: measure_name.clone(),
+                parallelism: parallelism.canonical_flag(),
+                threads: parallelism.thread_count(),
+                width: parallelism.width(),
+                stages,
+                total_seconds,
+                edges_per_second: if total_seconds > 0.0 {
+                    graph.edge_count() as f64 / total_seconds
+                } else {
+                    0.0
+                },
+                peak_rss_bytes: peak_rss_bytes(),
+            });
+            println!(
+                "  {parallelism}: total {total_seconds:.3}s ({:.0} edges/s)",
+                report.rungs.last().expect("just pushed").edges_per_second
+            );
+        }
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let path = match write_artifact(&out_name, &json) {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("[error] could not write {out_name}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("\n{}", format_table_for(&report));
+    println!("baseline written to {}", path.display());
+
+    if let Some(reference_name) = flag_value(&args, "--compare") {
+        let reference_path = {
+            let as_given = std::path::PathBuf::from(&reference_name);
+            if as_given.exists() {
+                as_given
+            } else {
+                results_dir().join(&reference_name)
+            }
+        };
+        let reference_text = match std::fs::read_to_string(&reference_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("[error] cannot read reference {}: {e}", reference_path.display());
+                std::process::exit(1);
+            }
+        };
+        let current = serde_json::from_str(&json).expect("own output parses");
+        let reference = match serde_json::from_str(&reference_text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("[error] reference {} is not JSON: {e}", reference_path.display());
+                std::process::exit(1);
+            }
+        };
+        for doc in [("current", &current), ("reference", &reference)] {
+            let errors = validate(doc.1);
+            if !errors.is_empty() {
+                eprintln!("[error] {} baseline fails schema validation:", doc.0);
+                for e in errors {
+                    eprintln!("  - {e}");
+                }
+                std::process::exit(1);
+            }
+        }
+        let problems = compare(&current, &reference, tolerance);
+        if problems.is_empty() {
+            println!("no regression vs {} at {tolerance:.1}x tolerance", reference_path.display());
+        } else {
+            eprintln!("[error] perf regression vs {}:", reference_path.display());
+            for p in &problems {
+                eprintln!("  - {p}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

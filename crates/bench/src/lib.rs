@@ -15,6 +15,9 @@
 //!   under `results/`;
 //! * [`parallelism`] — the shared `--threads <serial|auto|N>` flag wiring
 //!   the [`ugraph::par`] engine into the binaries;
+//! * [`report`] — the `BENCH_*.json` perf-baseline schema and the
+//!   regression comparator behind the `scale_ladder` binary (methodology in
+//!   `PERFORMANCE.md`);
 //! * [`cli`] — the shared I/O-boundary flags: `--input <path>` /
 //!   `--input-format <name>` (ingest a real graph file through
 //!   [`ugraph::GraphSource`]) and `--format <name>` (pick a
@@ -29,13 +32,16 @@ pub mod nn_graph;
 pub mod output;
 pub mod parallelism;
 pub mod pipeline;
+pub mod report;
 
 pub use cli::{exporter_from, exporter_from_args, input_dataset_from, input_dataset_from_args};
 pub use datasets::{load_dataset, DatasetKind, DatasetSpec, FileDataset, GeneratedDataset};
 pub use nn_graph::{generate_plant_table, knn_graph, PlantTable};
-pub use parallelism::{parallelism_from, parallelism_from_args};
+pub use output::format_table;
+pub use parallelism::{parallelism_from, parallelism_from_args, parallelism_list_from};
 pub use pipeline::{
     run_edge_pipeline, run_edge_pipeline_configured, run_edge_pipeline_with, run_vertex_pipeline,
     run_vertex_pipeline_configured, run_vertex_pipeline_with, EdgePipelineReport, PipelineConfig,
     VertexPipelineReport,
 };
+pub use report::{format_table_for, BenchReport, RungResult, StageSeconds, SCHEMA_VERSION};

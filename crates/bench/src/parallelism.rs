@@ -44,6 +44,40 @@ pub fn parallelism_from_args() -> Parallelism {
     parallelism_from(&args)
 }
 
+/// Parse `--parallelism <a,b,c>` — a comma-separated list of
+/// [`Parallelism::parse`] settings (e.g. `serial,2,4x128`) — falling back to
+/// `default` when the flag is absent.
+///
+/// Unlike [`parallelism_from`], a malformed entry is a hard `Err` carrying
+/// the offending token: the scale ladder records baselines, and a typo'd
+/// setting must abort the run rather than silently measure something else.
+pub fn parallelism_list_from(args: &[String], default: &str) -> Result<Vec<Parallelism>, String> {
+    let mut value = default.to_string();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(v) = arg.strip_prefix("--parallelism=") {
+            value = v.to_string();
+            break;
+        }
+        if arg == "--parallelism" {
+            if let Some(v) = iter.next() {
+                value = v.clone();
+            }
+            break;
+        }
+    }
+    let settings: Vec<Parallelism> = value
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| Parallelism::parse(s).ok_or_else(|| s.to_string()))
+        .collect::<Result<_, _>>()?;
+    if settings.is_empty() {
+        return Err(value);
+    }
+    Ok(settings)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,6 +93,32 @@ mod tests {
         assert_eq!(parallelism_from(&argv(&["bin", "--threads", "serial"])), Parallelism::Serial);
         assert_eq!(parallelism_from(&argv(&["bin", "--threads=1"])), Parallelism::Serial);
         assert_eq!(parallelism_from(&argv(&["bin", "--threads", "0"])), Parallelism::Serial);
+    }
+
+    #[test]
+    fn parses_parallelism_lists_strictly() {
+        let list =
+            parallelism_list_from(&argv(&["bin", "--parallelism", "serial,2,4x128"]), "serial")
+                .unwrap();
+        assert_eq!(
+            list,
+            vec![
+                Parallelism::Serial,
+                Parallelism::Threads(2),
+                Parallelism::Wide { threads: 4, width: 128 }
+            ]
+        );
+        // Absent flag: the default string is parsed instead.
+        assert_eq!(
+            parallelism_list_from(&argv(&["bin"]), "serial,2").unwrap(),
+            vec![Parallelism::Serial, Parallelism::Threads(2)]
+        );
+        // A typo is a hard error carrying the bad token, not a fallback.
+        assert_eq!(
+            parallelism_list_from(&argv(&["bin", "--parallelism=serial,bogus"]), "serial"),
+            Err("bogus".to_string())
+        );
+        assert!(parallelism_list_from(&argv(&["bin", "--parallelism", ","]), "serial").is_err());
     }
 
     #[test]

@@ -164,6 +164,49 @@ proptest! {
         }
     }
 
+    /// The chunk-cap lift keeps the determinism contract at explicit widths
+    /// beyond the old ≤32 cap: for any fixed decomposition width, every
+    /// measure is **exactly** equal across thread counts. (Different widths
+    /// may legitimately differ in the last f64 bit — the contract is
+    /// bit-identity across *threads*, never across *widths*.)
+    #[test]
+    fn wide_parallel_measures_are_bit_identical_across_threads(
+        graph in arbitrary_graph(40, 3),
+        width_choice in 0usize..4,
+    ) {
+        let width = [33usize, 64, 128, 257][width_choice];
+        let reference = Parallelism::Serial.with_width(width);
+        let bc = betweenness_centrality_with(&graph, reference);
+        let cc = closeness_centrality_with(&graph, reference);
+        let pr = pagerank_with(&graph, &PageRankConfig::default(), reference);
+        let et = edge_triangle_counts_with(&graph, reference);
+        let cf = clustering_coefficients_with(&graph, reference);
+        for threads in 2..=4usize {
+            let p = Parallelism::Threads(threads).with_width(width);
+            prop_assert_eq!(p.width(), width);
+            prop_assert_eq!(
+                &betweenness_centrality_with(&graph, p), &bc,
+                "threads {} width {}", threads, width
+            );
+            prop_assert_eq!(
+                &closeness_centrality_with(&graph, p), &cc,
+                "threads {} width {}", threads, width
+            );
+            prop_assert_eq!(
+                &pagerank_with(&graph, &PageRankConfig::default(), p), &pr,
+                "threads {} width {}", threads, width
+            );
+            prop_assert_eq!(
+                &edge_triangle_counts_with(&graph, p), &et,
+                "threads {} width {}", threads, width
+            );
+            prop_assert_eq!(
+                &clustering_coefficients_with(&graph, p), &cf,
+                "threads {} width {}", threads, width
+            );
+        }
+    }
+
     /// `samples >= n` falls back to the exact Brandes path: for any seed the
     /// sampled function returns exactly the exact centrality.
     #[test]

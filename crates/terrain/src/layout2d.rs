@@ -225,11 +225,34 @@ fn layout_validated(tree: &SuperScalarTree, config: &LayoutConfig) -> TerrainLay
         // so parents with many direct members keep more visible ring area.
         let share = if child_total + own > 0.0 { child_total / (child_total + own) } else { 0.0 };
         let inner = scale_rect_area(&inner_full, share.max(0.2));
-        let weights: Vec<f64> =
-            children.iter().map(|&c| subtree_members[c as usize] as f64).collect();
         let horizontal = depth % 2 == 0;
-        let child_rects = split_rect(&inner, &weights, horizontal);
-        for (&c, child_rect) in children.iter().zip(child_rects) {
+        // Walk the children with a running cursor instead of materializing a
+        // weight vector and a rect vector per node (`split_rect` stays for the
+        // one-shot root partition). `child_total` sums the same values in the
+        // same order as `split_rect`'s internal total, so the arithmetic — and
+        // therefore every emitted coordinate — is bit-identical to splitting.
+        let mut cursor = 0.0f64;
+        for &c in children {
+            let w = subtree_members[c as usize] as f64;
+            let fraction =
+                if child_total > 0.0 { w / child_total } else { 1.0 / children.len() as f64 };
+            let next = cursor + fraction;
+            let child_rect = if horizontal {
+                Rect::new(
+                    inner.x0 + cursor * inner.width(),
+                    inner.y0,
+                    inner.x0 + next * inner.width(),
+                    inner.y1,
+                )
+            } else {
+                Rect::new(
+                    inner.x0,
+                    inner.y0 + cursor * inner.height(),
+                    inner.x1,
+                    inner.y0 + next * inner.height(),
+                )
+            };
+            cursor = next;
             // Leave a hairline gap between siblings so walls are distinct.
             stack.push((c, child_rect.shrunk(0.02), depth + 1));
         }

@@ -215,6 +215,23 @@ pub fn build_terrain_mesh(
     let baseline = config.baseline.unwrap_or(min_scalar);
     let normalized_heights = normalize_for_color(tree.scalars());
 
+    // Reserve exact capacity up front: every node emits a 4-vertex/2-triangle
+    // top cap, and every raised node (z1 > z0, same test as the build loop)
+    // adds 4 base vertices and 4 wall quads. Large unsimplified trees would
+    // otherwise regrow both vectors a dozen times.
+    let raised = (0..tree.node_count() as u32)
+        .filter(|&id| {
+            let bottom_scalar = match tree.parent(id) {
+                Some(p) => tree.scalar(p),
+                None => baseline,
+            };
+            (tree.scalar(id) - baseline) * config.height_scale
+                > (bottom_scalar - baseline) * config.height_scale
+        })
+        .count();
+    mesh.vertices.reserve_exact(4 * tree.node_count() + 4 * raised);
+    mesh.triangles.reserve_exact(2 * tree.node_count() + 8 * raised);
+
     for id in 0..tree.node_count() as u32 {
         let rect = layout.rects[id as usize];
         let bottom_scalar = match tree.parent(id) {

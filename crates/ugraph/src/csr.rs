@@ -297,6 +297,99 @@ impl CsrGraph {
         (CsrGraph::from_canonical_edges(back.len(), edges), back)
     }
 
+    /// Verify every structural invariant of the CSR representation.
+    ///
+    /// Safe construction through [`crate::GraphBuilder`] guarantees all of
+    /// these by design, so the check exists for the boundaries where that
+    /// guarantee ends: graphs arriving from deserialization or mmap, fuzzing
+    /// harnesses, and the generator property tests. `O(|V| + |E|)`.
+    ///
+    /// Checked invariants:
+    /// 1. `offsets` starts at 0, is non-decreasing, ends at `2|E|`, and
+    ///    `targets`/`edge_ids` have exactly that length.
+    /// 2. Every endpoint pair is canonical (`u < v`) and in bounds.
+    /// 3. Each neighbor list is strictly sorted (sorted + no duplicates, which
+    ///    also rules out self loops since a loop would duplicate `v` itself).
+    /// 4. Every half-edge's edge id points back at an endpoint pair containing
+    ///    both the owning vertex and the stored target, and each edge id
+    ///    appears exactly twice.
+    ///
+    /// ```
+    /// use ugraph::generators::rmat;
+    ///
+    /// rmat(10, 5_000, 42).check_invariants().expect("builder output is canonical");
+    /// ```
+    pub fn check_invariants(&self) -> Result<()> {
+        let broken = |what: &'static str, message: String| {
+            Err(GraphError::BrokenInvariant { what, message })
+        };
+        let n = self.vertex_count();
+        let half_edges = 2 * self.edge_count();
+        if self.offsets.first() != Some(&0) {
+            return broken("offsets", "offsets must start at 0".into());
+        }
+        if let Some(w) = self.offsets.windows(2).position(|w| w[0] > w[1]) {
+            return broken("offsets", format!("offsets decrease at vertex {w}"));
+        }
+        if self.offsets[n] != half_edges {
+            return broken(
+                "offsets",
+                format!(
+                    "offsets end at {} but the graph has {half_edges} half-edges",
+                    self.offsets[n]
+                ),
+            );
+        }
+        if self.targets.len() != half_edges || self.edge_ids.len() != half_edges {
+            return broken(
+                "adjacency",
+                format!(
+                    "targets/edge_ids have lengths {}/{}, expected {half_edges}",
+                    self.targets.len(),
+                    self.edge_ids.len()
+                ),
+            );
+        }
+        for (i, &(u, v)) in self.endpoints.iter().enumerate() {
+            if u >= v {
+                return broken("endpoints", format!("edge {i} is not canonical: ({u:?}, {v:?})"));
+            }
+            if v.index() >= n {
+                return broken("endpoints", format!("edge {i} endpoint {v:?} out of bounds"));
+            }
+        }
+        let mut seen = vec![0u8; self.edge_count()];
+        for v in self.vertices() {
+            let nbrs = self.neighbor_slice(v);
+            if let Some(w) = nbrs.windows(2).position(|w| w[0] >= w[1]) {
+                return broken(
+                    "neighbor order",
+                    format!("neighbors of {v:?} are not strictly sorted at position {w}"),
+                );
+            }
+            for (t, e) in self.neighbors(v) {
+                if e.index() >= self.edge_count() {
+                    return broken("edge ids", format!("{v:?} references {e:?} out of bounds"));
+                }
+                let (a, b) = self.endpoints[e.index()];
+                if (a, b) != (v.min(t), v.max(t)) {
+                    return broken(
+                        "edge ids",
+                        format!("{e:?} stored at half-edge {v:?}→{t:?} but has endpoints ({a:?}, {b:?})"),
+                    );
+                }
+                seen[e.index()] += 1;
+            }
+        }
+        if let Some(i) = seen.iter().position(|&c| c != 2) {
+            return broken(
+                "edge ids",
+                format!("edge {i} appears {} times in the adjacency arrays, expected 2", seen[i]),
+            );
+        }
+        Ok(())
+    }
+
     /// Average degree `2|E| / |V|`, or 0 for the empty graph.
     pub fn average_degree(&self) -> f64 {
         if self.vertex_count() == 0 {
@@ -437,6 +530,29 @@ mod tests {
         assert_eq!(g.edge_count(), 0);
         assert_eq!(g.degree(VertexId(5)), 0);
         assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn check_invariants_accepts_builder_output_and_detects_corruption() {
+        let g = triangle_plus_tail();
+        g.check_invariants().unwrap();
+        GraphBuilder::new().build().check_invariants().unwrap();
+
+        let mut corrupt = g.clone();
+        corrupt.offsets[1] = 5; // no longer matches the adjacency layout
+        assert!(corrupt.check_invariants().is_err());
+
+        let mut corrupt = g.clone();
+        corrupt.targets.swap(0, 1); // breaks strict neighbor ordering
+        assert!(corrupt.check_invariants().is_err());
+
+        let mut corrupt = g.clone();
+        corrupt.endpoints[0] = (VertexId(1), VertexId(0)); // not canonical
+        assert!(corrupt.check_invariants().is_err());
+
+        let mut corrupt = g;
+        corrupt.edge_ids[0] = EdgeId(3); // half-edge points at the wrong edge
+        assert!(corrupt.check_invariants().is_err());
     }
 
     #[test]

@@ -51,6 +51,16 @@ pub enum GraphError {
         /// Human readable description of the constraint that was violated.
         message: String,
     },
+    /// A structural invariant of the CSR representation does not hold (see
+    /// [`crate::CsrGraph::check_invariants`]). Safe code cannot construct such
+    /// a graph; this signals corruption from an external source (a mmap'd or
+    /// deserialized structure, a future unsafe fast path).
+    BrokenInvariant {
+        /// The invariant that was violated ("offsets", "neighbor order", ...).
+        what: &'static str,
+        /// Human readable description of the violation.
+        message: String,
+    },
     /// A line in an edge-list file could not be parsed.
     Parse {
         /// 1-based line number.
@@ -79,6 +89,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::InvalidConfig { what, message } => {
                 write!(f, "invalid configuration for {what}: {message}")
+            }
+            GraphError::BrokenInvariant { what, message } => {
+                write!(f, "broken CSR invariant ({what}): {message}")
             }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")

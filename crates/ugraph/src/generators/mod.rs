@@ -16,13 +16,17 @@
 //! | [`collaboration_graph`] | unions of small cliques around repeated co-authorships | GrQc, Astro, DBLP |
 //! | [`layered_citation`] | time-layered sparse citations | Cit-Patent |
 //! | [`hub_periphery_community`] | one community with hub / dense / periphery roles | Amazon community of Fig. 9 |
+//! | [`rmat`] | Graph500 recursive-matrix skew, heavy-tailed hubs | scale-ladder stress graphs (1k–10M+ edges) |
+//! | [`lfr`] | power-law degrees + power-law communities, tunable mixing | large labelled community benchmarks |
 
 mod barabasi_albert;
 mod citation;
 mod collaboration;
 mod erdos_renyi;
+mod lfr;
 mod overlapping;
 mod planted;
+mod rmat;
 mod roles;
 mod watts_strogatz;
 
@@ -30,10 +34,12 @@ pub use barabasi_albert::{barabasi_albert, preferential_attachment};
 pub use citation::layered_citation;
 pub use collaboration::{collaboration_graph, CollaborationConfig};
 pub use erdos_renyi::erdos_renyi;
+pub use lfr::{lfr, lfr_with, LfrConfig, LfrGraph};
 pub use overlapping::{
     overlapping_communities, OverlappingCommunityConfig, OverlappingCommunityGraph,
 };
 pub use planted::{planted_partition, PlantedPartitionGraph};
+pub use rmat::{rmat, rmat_with, RmatConfig};
 pub use roles::{hub_periphery_community, HubPeripheryGraph, PlantedRole};
 pub use watts_strogatz::watts_strogatz;
 

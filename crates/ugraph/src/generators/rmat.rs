@@ -1,0 +1,188 @@
+//! Recursive-matrix (RMAT / Graph500-style) random graphs.
+//!
+//! The RMAT model samples each edge by recursively descending into one
+//! quadrant of the adjacency matrix: starting from the full `2^scale ×
+//! 2^scale` matrix, the generator picks a quadrant with probabilities
+//! `(a, b, c, d)` and recurses `scale` times until a single cell — one
+//! `(u, v)` pair — remains. Skewed quadrant probabilities (Graph500 uses
+//! `a = 0.57`) yield the heavy-tailed degree distributions and community-like
+//! blocks of real web/social graphs, which is why it is the standard
+//! scale-ladder workload: the same model generates a 1k-edge smoke graph and
+//! a 10M+-edge stress graph, with the skew held constant.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use rand::Rng;
+
+/// Parameters of the RMAT recursive-matrix sampler (see [`rmat_with`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RmatConfig {
+    /// The graph has `2^scale` vertices (`1 ≤ scale ≤ 31`).
+    pub scale: u32,
+    /// Number of edge *samples* drawn. Self loops and duplicate pairs are
+    /// discarded during CSR canonicalization, so the resulting
+    /// [`CsrGraph::edge_count`] is at most (and on skewed graphs noticeably
+    /// below) this number — record the realized count, not the target.
+    pub edges: usize,
+    /// Probability of the top-left quadrant (both endpoint prefixes 0).
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+    /// Probability of the bottom-right quadrant.
+    pub d: f64,
+    /// PRNG seed (ChaCha8; the same config always yields the same graph).
+    pub seed: u64,
+}
+
+impl RmatConfig {
+    /// The Graph500 reference parameters `(a, b, c, d) = (0.57, 0.19, 0.19,
+    /// 0.05)` at the given scale, edge count and seed.
+    pub fn graph500(scale: u32, edges: usize, seed: u64) -> Self {
+        RmatConfig { scale, edges, a: 0.57, b: 0.19, c: 0.19, d: 0.05, seed }
+    }
+}
+
+/// Sample an RMAT graph with the Graph500 reference skew
+/// (`a=0.57, b=0.19, c=0.19, d=0.05`).
+///
+/// * `scale` — the graph has `2^scale` vertices.
+/// * `edges` — number of edge samples (the realized edge count is lower; see
+///   [`RmatConfig::edges`]).
+/// * `seed` — PRNG seed.
+///
+/// Determinism: the same `(scale, edges, seed)` always produces the same
+/// graph, on every platform and at every thread count — generation is
+/// single-threaded ChaCha8 and CSR construction canonicalizes edge order.
+///
+/// ```
+/// use ugraph::generators::rmat;
+///
+/// let a = rmat(10, 5_000, 42);
+/// let b = rmat(10, 5_000, 42);
+/// assert_eq!(a, b);                       // same seed ⇒ identical graph
+/// assert_eq!(a.vertex_count(), 1 << 10);
+/// assert!(a.edge_count() <= 5_000);       // duplicates/self-loops discarded
+/// assert_ne!(a, rmat(10, 5_000, 43));     // different seed ⇒ different graph
+/// ```
+pub fn rmat(scale: u32, edges: usize, seed: u64) -> CsrGraph {
+    rmat_with(&RmatConfig::graph500(scale, edges, seed))
+}
+
+/// Sample an RMAT graph with explicit quadrant probabilities.
+///
+/// The probabilities must be non-negative with a positive sum; they are
+/// normalized internally, so `(57.0, 19.0, 19.0, 5.0)` means the same as the
+/// Graph500 fractions.
+///
+/// # Panics
+///
+/// Panics if `scale` is 0 or exceeds 31, or if any probability is negative,
+/// non-finite, or all four are zero.
+pub fn rmat_with(config: &RmatConfig) -> CsrGraph {
+    let &RmatConfig { scale, edges, a, b, c, d, seed } = config;
+    assert!((1..=31).contains(&scale), "scale must be in 1..=31, got {scale}");
+    for (name, p) in [("a", a), ("b", b), ("c", c), ("d", d)] {
+        assert!(p.is_finite() && p >= 0.0, "quadrant probability {name} must be ≥ 0, got {p}");
+    }
+    let total = a + b + c + d;
+    assert!(total > 0.0, "at least one quadrant probability must be positive");
+    // Cumulative quadrant thresholds over [0, 1).
+    let t_a = a / total;
+    let t_ab = t_a + b / total;
+    let t_abc = t_ab + c / total;
+
+    let n: u32 = 1u32.checked_shl(scale).expect("scale ≤ 31");
+    let mut rng = super::rng(seed);
+    let mut builder = GraphBuilder::with_capacity(edges);
+    builder.ensure_vertex(n - 1);
+    for _ in 0..edges {
+        let mut u = 0u32;
+        let mut v = 0u32;
+        for level in (0..scale).rev() {
+            let r: f64 = rng.gen_range(0.0..1.0);
+            let (row, col) = if r < t_a {
+                (0u32, 0u32)
+            } else if r < t_ab {
+                (0, 1)
+            } else if r < t_abc {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u |= row << level;
+            v |= col << level;
+        }
+        // Self loops are dropped by the builder; duplicates are deduplicated
+        // during canonicalization. Both are expected under the model.
+        builder.add_edge(u, v);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_count_is_two_to_the_scale() {
+        for scale in [1u32, 4, 10] {
+            let g = rmat(scale, 100, 7);
+            assert_eq!(g.vertex_count(), 1usize << scale);
+        }
+    }
+
+    #[test]
+    fn skewed_quadrants_produce_heavy_hubs() {
+        // With a = 0.57 the low-id corner of the matrix is hit most often, so
+        // the maximum degree should far exceed the average.
+        let g = rmat(12, 40_000, 3);
+        let avg = g.average_degree();
+        assert!(
+            g.max_degree() as f64 > 8.0 * avg,
+            "max degree {} vs average {avg}: RMAT should be heavy-tailed",
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    fn uniform_quadrants_approximate_erdos_renyi() {
+        // Equal probabilities remove the skew; degrees concentrate near the
+        // mean instead of forming hubs.
+        let config = RmatConfig {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            d: 0.25,
+            ..RmatConfig::graph500(12, 40_000, 3)
+        };
+        let g = rmat_with(&config);
+        assert!((g.max_degree() as f64) < 4.0 * g.average_degree().max(1.0));
+    }
+
+    #[test]
+    fn probabilities_are_normalized() {
+        let reference = rmat(8, 2_000, 11);
+        let scaled = rmat_with(&RmatConfig {
+            a: 5.7,
+            b: 1.9,
+            c: 1.9,
+            d: 0.5,
+            ..RmatConfig::graph500(8, 2_000, 11)
+        });
+        assert_eq!(reference, scaled);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_scale() {
+        rmat(0, 10, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_probability() {
+        rmat_with(&RmatConfig { a: -0.1, ..RmatConfig::graph500(4, 10, 1) });
+    }
+}

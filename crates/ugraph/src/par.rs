@@ -10,14 +10,35 @@
 //!
 //! > **The work decomposition never depends on the thread count.**
 //!
-//! An input of length `len` is always split into the same chunks (a pure
-//! function of `len`, see [`chunk_size`]), each chunk produces its own
-//! accumulator, and accumulators are merged left-to-right in chunk order.
-//! Threads only change *who* computes a chunk, never *what* a chunk is or
-//! the order accumulators combine. Floating-point reductions therefore give
-//! **bit-identical results** for [`Parallelism::Serial`] and
-//! [`Parallelism::Threads`]`(n)` for every `n` — the property tests in
-//! `measures` assert exact `==` on `Vec<f64>` outputs across thread counts.
+//! An input of length `len` is always split into the same chunks — a pure
+//! function of `len` and the *declared* chunk-count target
+//! ([`Parallelism::width`], default [`DEFAULT_WIDTH`]; see [`chunk_size`]) —
+//! each chunk produces its own accumulator, and accumulators are merged
+//! left-to-right in chunk order. Threads only change *who* computes a chunk,
+//! never *what* a chunk is or the order accumulators combine. Floating-point
+//! reductions therefore give **bit-identical results** for
+//! [`Parallelism::Serial`] and [`Parallelism::Threads`]`(n)` for every `n`
+//! — the property tests in `measures` assert exact `==` on `Vec<f64>`
+//! outputs across thread counts.
+//!
+//! The width is part of the *declared decomposition*, not of the execution:
+//! [`Parallelism::Wide`]`{ threads, width }` splits the input into up to
+//! `width` chunks, so machines beyond [`DEFAULT_WIDTH`]-way parallelism can
+//! be saturated — at the cost of results being a function of the chosen
+//! width. For any *fixed* width the bit-identity guarantee is unchanged:
+//!
+//! ```
+//! use ugraph::par::{map_reduce_chunks, Parallelism};
+//!
+//! let xs: Vec<f64> = (0..50_000).map(|i| (i as f64).cos()).collect();
+//! let sum = |p: Parallelism| {
+//!     map_reduce_chunks(p, xs.len(), |r| xs[r].iter().sum::<f64>(), |a, b| a + b).unwrap()
+//! };
+//! // 128 chunks, executed on 1 worker and on 8 workers: the same f64.
+//! let wide_serial = sum(Parallelism::Serial.with_width(128));
+//! let wide_threads = sum(Parallelism::Threads(8).with_width(128));
+//! assert_eq!(wide_serial.to_bits(), wide_threads.to_bits());
+//! ```
 //!
 //! ## Example
 //!
@@ -37,19 +58,38 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// How many worker threads a parallel region may use.
+/// How many worker threads a parallel region may use, and (optionally) how
+/// finely the input is decomposed.
 ///
-/// The choice never affects results (see the module docs), only wall-clock
-/// time, so callers can default to [`Parallelism::auto`] without giving up
-/// reproducibility.
+/// The thread count never affects results (see the module docs), only
+/// wall-clock time, so callers can default to [`Parallelism::auto`] without
+/// giving up reproducibility. The *width* — the chunk-count target of
+/// [`Parallelism::Wide`] — does shape results of floating-point reductions
+/// (it decides the merge tree), which is why it is an explicit, declared
+/// parameter and is never derived from the thread count or the machine.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
 pub enum Parallelism {
     /// Run everything on the calling thread. No threads are spawned.
     #[default]
     Serial,
     /// Use up to this many worker threads (`Threads(0)` and `Threads(1)`
-    /// behave like [`Parallelism::Serial`]).
+    /// behave like [`Parallelism::Serial`]) over the default decomposition
+    /// of [`DEFAULT_WIDTH`] chunks.
     Threads(usize),
+    /// Use up to `threads` workers over an input split into up to `width`
+    /// chunks (`width` ≥ 1; 0 is treated as 1).
+    ///
+    /// Use this to saturate machines with more than [`DEFAULT_WIDTH`] cores,
+    /// or to load-balance skewed per-chunk costs with a finer decomposition.
+    /// Results are bit-identical across `threads` for any fixed `width`, but
+    /// two different widths are two different merge orders — record the width
+    /// next to any number you want to reproduce (the bench ladder does).
+    Wide {
+        /// Worker-thread budget (0 and 1 mean serial execution).
+        threads: usize,
+        /// Chunk-count target the input is split into (0 means 1).
+        width: usize,
+    },
 }
 
 impl Parallelism {
@@ -68,15 +108,83 @@ impl Parallelism {
         match self {
             Parallelism::Serial => 1,
             Parallelism::Threads(n) => n.max(1),
+            Parallelism::Wide { threads, .. } => threads.max(1),
         }
     }
 
-    /// Parse a `Parallelism` from a thread-count string: `"serial"`, `"auto"`
-    /// or an integer — `"0"` and `"1"` mean serial, consistent with how
-    /// [`Parallelism::Threads`]`(0)` behaves.
+    /// The chunk-count target this setting declares (at least 1):
+    /// [`DEFAULT_WIDTH`] for [`Parallelism::Serial`] and
+    /// [`Parallelism::Threads`], the carried width for
+    /// [`Parallelism::Wide`].
     ///
-    /// This is the format the figure binaries accept for `--threads`.
+    /// ```
+    /// use ugraph::par::{Parallelism, DEFAULT_WIDTH};
+    ///
+    /// assert_eq!(Parallelism::Serial.width(), DEFAULT_WIDTH);
+    /// assert_eq!(Parallelism::Threads(64).width(), DEFAULT_WIDTH);
+    /// assert_eq!(Parallelism::Threads(64).with_width(256).width(), 256);
+    /// ```
+    pub fn width(self) -> usize {
+        match self {
+            Parallelism::Serial | Parallelism::Threads(_) => DEFAULT_WIDTH,
+            Parallelism::Wide { width, .. } => width.max(1),
+        }
+    }
+
+    /// This setting with an explicit chunk-count target: the same thread
+    /// budget as `self`, decomposing inputs into up to `width` chunks.
+    ///
+    /// `Serial.with_width(w)` keeps serial *execution* but adopts the `w`-chunk
+    /// decomposition — exactly what `Threads(n).with_width(w)` computes, so the
+    /// two compare bit-for-bit in the determinism tests.
+    pub fn with_width(self, width: usize) -> Parallelism {
+        Parallelism::Wide { threads: self.thread_count(), width }
+    }
+
+    /// The flag string [`Parallelism::parse`] maps back to an equivalent
+    /// setting: `"serial"`, `"4"`, `"4x128"`. The bench ladder records this
+    /// form in `BENCH_*.json` so a baseline's parallelism column pastes
+    /// straight back into `scale_ladder --parallelism`.
+    ///
+    /// ```
+    /// use ugraph::par::Parallelism;
+    ///
+    /// for p in [Parallelism::Serial, Parallelism::Threads(4), Parallelism::Threads(4).with_width(128)] {
+    ///     let flag = p.canonical_flag();
+    ///     let parsed = Parallelism::parse(&flag).unwrap();
+    ///     // Round-trips to a behaviorally identical setting.
+    ///     assert_eq!(parsed.thread_count(), p.thread_count());
+    ///     assert_eq!(parsed.width(), p.width());
+    /// }
+    /// assert_eq!(Parallelism::Threads(4).canonical_flag(), "4");
+    /// assert_eq!(Parallelism::Serial.with_width(64).canonical_flag(), "1x64");
+    /// ```
+    pub fn canonical_flag(self) -> String {
+        match self {
+            Parallelism::Serial => "serial".to_string(),
+            Parallelism::Threads(n) => n.max(1).to_string(),
+            Parallelism::Wide { threads, width } => {
+                format!("{}x{}", threads.max(1), width.max(1))
+            }
+        }
+    }
+
+    /// Parse a `Parallelism` from a thread-count string: `"serial"`, `"auto"`,
+    /// an integer — `"0"` and `"1"` mean serial, consistent with how
+    /// [`Parallelism::Threads`]`(0)` behaves — or `"<threads>x<width>"`
+    /// (e.g. `"8x128"`: 8 workers over a 128-chunk decomposition).
+    ///
+    /// This is the format the figure binaries accept for `--threads` and the
+    /// bench ladder accepts in `--threads-list`.
     pub fn parse(s: &str) -> Option<Parallelism> {
+        if let Some((threads, width)) = s.split_once('x') {
+            let threads: usize = threads.parse().ok()?;
+            let width: usize = width.parse().ok()?;
+            if width == 0 {
+                return None;
+            }
+            return Some(Parallelism::Wide { threads, width });
+        }
         match s {
             "serial" => Some(Parallelism::Serial),
             "auto" => Some(Parallelism::auto()),
@@ -94,25 +202,41 @@ impl std::fmt::Display for Parallelism {
         match self {
             Parallelism::Serial => write!(f, "serial"),
             Parallelism::Threads(n) => write!(f, "threads({n})"),
+            Parallelism::Wide { threads, width } => write!(f, "threads({threads})x{width}"),
         }
     }
 }
 
-/// Upper bound on the number of chunks an input is split into.
+/// The default chunk-count target ([`Parallelism::width`]) when no explicit
+/// width is declared.
 ///
 /// Fixed (rather than derived from the thread count) so that the chunk
 /// decomposition — and with it every floating-point merge order — is a pure
 /// function of the input length. 32 chunks keep per-chunk accumulators small
-/// while still load-balancing well for the ≤16-thread machines the bench
-/// harness targets.
-pub const MAX_CHUNKS: usize = 32;
+/// while load-balancing well up to 32-way hardware; machines beyond that
+/// declare a wider decomposition with [`Parallelism::with_width`].
+pub const DEFAULT_WIDTH: usize = 32;
 
-/// The deterministic chunk size for an input of `len` items: the smallest
-/// size that covers `len` with at most [`MAX_CHUNKS`] chunks.
+/// Historical name for [`DEFAULT_WIDTH`], from when the chunk-count cap was
+/// not configurable.
+#[deprecated(note = "use DEFAULT_WIDTH; the cap is now per-Parallelism (`with_width`)")]
+pub const MAX_CHUNKS: usize = DEFAULT_WIDTH;
+
+/// The deterministic chunk size for an input of `len` items under a
+/// chunk-count target of `width`: the smallest size that covers `len` with at
+/// most `width.max(1)` chunks.
 ///
-/// This is a pure function of `len` — never of the thread count.
-pub fn chunk_size(len: usize) -> usize {
-    len.div_ceil(MAX_CHUNKS).max(1)
+/// This is a pure function of `(len, width)` — never of the thread count.
+///
+/// ```
+/// use ugraph::par::chunk_size;
+///
+/// assert_eq!(chunk_size(1_000, 32), 32);  // 32 chunks of ≤32 items
+/// assert_eq!(chunk_size(1_000, 128), 8);  // finer declared decomposition
+/// assert_eq!(chunk_size(5, 32), 1);       // never below one item per chunk
+/// ```
+pub fn chunk_size(len: usize, width: usize) -> usize {
+    len.div_ceil(width.max(1)).max(1)
 }
 
 /// Map every chunk of `0..len` through `map` and fold the per-chunk
@@ -123,8 +247,8 @@ pub fn chunk_size(len: usize) -> usize {
 /// thread (or the calling thread under [`Parallelism::Serial`]); `reduce`
 /// always runs on the calling thread, merging `(…(a₀ ⊕ a₁) ⊕ a₂…)` in
 /// increasing chunk order. Because the chunk decomposition is a pure function
-/// of `len` (see [`chunk_size`]) the result is bit-identical for every
-/// [`Parallelism`] setting.
+/// of `len` and the declared width (see [`chunk_size`]) the result is
+/// bit-identical for every [`Parallelism`] setting of that width.
 ///
 /// Panics in `map` are propagated to the caller once all workers have
 /// stopped.
@@ -193,8 +317,9 @@ where
 /// run with **zero per-iteration allocation**: values are written in place
 /// instead of being collected into per-chunk `Vec`s and concatenated.
 ///
-/// The chunk decomposition is the same pure function of `data.len()` as in
-/// [`map_reduce_chunks`] (see [`chunk_size`]), the sub-slices are disjoint by
+/// The chunk decomposition is the same pure function of `data.len()` and the
+/// declared width as in [`map_reduce_chunks`] (see [`chunk_size`]), the
+/// sub-slices are disjoint by
 /// construction (handed out via `split_at_mut`), and the per-chunk
 /// accumulators merge in increasing chunk order on the calling thread — so
 /// results stay bit-identical for every [`Parallelism`] setting. Returns
@@ -237,7 +362,7 @@ where
     if len == 0 {
         return None;
     }
-    let chunk = chunk_size(len);
+    let chunk = chunk_size(len, parallelism.width());
     let n_chunks = len.div_ceil(chunk);
     let workers = parallelism.thread_count().min(n_chunks);
     // Both execution paths consume the same pre-split decomposition, so the
@@ -313,7 +438,7 @@ where
     if len == 0 {
         return Vec::new();
     }
-    let chunk = chunk_size(len);
+    let chunk = chunk_size(len, parallelism.width());
     let n_chunks = len.div_ceil(chunk);
     let chunk_range = |i: usize| i * chunk..((i + 1) * chunk).min(len);
     let workers = parallelism.thread_count().min(n_chunks);
@@ -376,16 +501,33 @@ mod tests {
     use super::*;
 
     #[test]
-    fn chunk_size_is_a_pure_function_of_len() {
-        assert_eq!(chunk_size(0), 1);
-        assert_eq!(chunk_size(1), 1);
-        assert_eq!(chunk_size(MAX_CHUNKS), 1);
-        assert_eq!(chunk_size(MAX_CHUNKS + 1), 2);
-        assert_eq!(chunk_size(10 * MAX_CHUNKS), 10);
-        // Covers len with at most MAX_CHUNKS chunks.
-        for len in [1usize, 5, 31, 32, 33, 100, 1000, 12345] {
-            assert!(len.div_ceil(chunk_size(len)) <= MAX_CHUNKS, "len {len}");
+    fn chunk_size_is_a_pure_function_of_len_and_width() {
+        assert_eq!(chunk_size(0, DEFAULT_WIDTH), 1);
+        assert_eq!(chunk_size(1, DEFAULT_WIDTH), 1);
+        assert_eq!(chunk_size(DEFAULT_WIDTH, DEFAULT_WIDTH), 1);
+        assert_eq!(chunk_size(DEFAULT_WIDTH + 1, DEFAULT_WIDTH), 2);
+        assert_eq!(chunk_size(10 * DEFAULT_WIDTH, DEFAULT_WIDTH), 10);
+        // A zero width is treated as one chunk, never a division by zero.
+        assert_eq!(chunk_size(100, 0), 100);
+        // Covers len with at most `width` chunks, for widths beyond the old cap.
+        for width in [1usize, 7, 32, 48, 64, 128, 257, 1024] {
+            for len in [1usize, 5, 31, 32, 33, 100, 1000, 12345] {
+                assert!(len.div_ceil(chunk_size(len, width)) <= width, "len {len} width {width}");
+            }
         }
+    }
+
+    #[test]
+    fn width_defaults_and_wide_carries_it() {
+        assert_eq!(Parallelism::Serial.width(), DEFAULT_WIDTH);
+        assert_eq!(Parallelism::Threads(64).width(), DEFAULT_WIDTH);
+        assert_eq!(Parallelism::Wide { threads: 64, width: 256 }.width(), 256);
+        assert_eq!(Parallelism::Wide { threads: 2, width: 0 }.width(), 1);
+        assert_eq!(Parallelism::Serial.with_width(9), Parallelism::Wide { threads: 1, width: 9 });
+        assert_eq!(
+            Parallelism::Threads(8).with_width(64),
+            Parallelism::Wide { threads: 8, width: 64 }
+        );
     }
 
     #[test]
@@ -393,21 +535,29 @@ mod tests {
         assert_eq!(Parallelism::Serial.thread_count(), 1);
         assert_eq!(Parallelism::Threads(0).thread_count(), 1);
         assert_eq!(Parallelism::Threads(7).thread_count(), 7);
+        assert_eq!(Parallelism::Wide { threads: 0, width: 64 }.thread_count(), 1);
+        assert_eq!(Parallelism::Wide { threads: 5, width: 64 }.thread_count(), 5);
         assert!(Parallelism::auto().thread_count() >= 1);
     }
 
     #[test]
-    fn parse_accepts_serial_auto_and_counts() {
+    fn parse_accepts_serial_auto_counts_and_widths() {
         assert_eq!(Parallelism::parse("serial"), Some(Parallelism::Serial));
         assert_eq!(Parallelism::parse("0"), Some(Parallelism::Serial));
         assert_eq!(Parallelism::parse("1"), Some(Parallelism::Serial));
         assert_eq!(Parallelism::parse("4"), Some(Parallelism::Threads(4)));
         assert_eq!(Parallelism::parse("auto"), Some(Parallelism::auto()));
+        assert_eq!(Parallelism::parse("8x128"), Some(Parallelism::Wide { threads: 8, width: 128 }));
+        assert_eq!(Parallelism::parse("0x64"), Some(Parallelism::Wide { threads: 0, width: 64 }));
+        assert_eq!(Parallelism::parse("8x0"), None, "a zero width is a typo, not a request");
+        assert_eq!(Parallelism::parse("8x"), None);
+        assert_eq!(Parallelism::parse("x64"), None);
         assert_eq!(Parallelism::parse("four"), None);
         assert_eq!(Parallelism::parse(""), None);
         assert_eq!(Parallelism::parse("-2"), None);
         assert_eq!(format!("{}", Parallelism::Threads(4)), "threads(4)");
         assert_eq!(format!("{}", Parallelism::Serial), "serial");
+        assert_eq!(format!("{}", Parallelism::Wide { threads: 8, width: 128 }), "threads(8)x128");
     }
 
     #[test]
@@ -430,6 +580,57 @@ mod tests {
         // serial path really goes through the same chunk decomposition.
         let naive: f64 = xs.iter().sum();
         assert!((serial - naive).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wide_widths_beyond_the_old_cap_stay_bit_identical_across_threads() {
+        let xs: Vec<f64> = (0..10_000).map(|i| (i as f64).sin() * 1e-3 + 1.0).collect();
+        let run = |p: Parallelism| {
+            map_reduce_chunks(p, xs.len(), |r| xs[r].iter().sum::<f64>(), |a, b| a + b).unwrap()
+        };
+        for width in [33usize, 48, 64, 100, 128, 257] {
+            let reference = run(Parallelism::Serial.with_width(width));
+            for threads in [2usize, 4, 8, 64] {
+                assert_eq!(
+                    reference.to_bits(),
+                    run(Parallelism::Threads(threads).with_width(width)).to_bits(),
+                    "threads({threads}) at width {width}"
+                );
+            }
+            // The in-place variant follows the same decomposition.
+            let mut buf = vec![0.0f64; xs.len()];
+            let in_place = map_reduce_chunks_mut(
+                Parallelism::Threads(4).with_width(width),
+                &mut buf,
+                |range, chunk| {
+                    let mut s = 0.0;
+                    for (slot, i) in chunk.iter_mut().zip(range) {
+                        *slot = xs[i];
+                        s += *slot;
+                    }
+                    s
+                },
+                |a, b| a + b,
+            )
+            .unwrap();
+            assert_eq!(reference.to_bits(), in_place.to_bits(), "mut variant at width {width}");
+        }
+    }
+
+    #[test]
+    fn width_one_behaves_like_a_single_chunk() {
+        let out = map_collect(Parallelism::Threads(4).with_width(1), 100, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        let sum = map_reduce_chunks(
+            Parallelism::Serial.with_width(1),
+            1000,
+            |r| {
+                assert_eq!(r, 0..1000, "one chunk covers everything");
+                r.sum::<usize>()
+            },
+            |a, b| a + b,
+        );
+        assert_eq!(sum, Some(499_500));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use proptest::prelude::*;
 use ugraph::dual::{estimated_dual_edges, line_graph};
+use ugraph::generators::{lfr, rmat, rmat_with, RmatConfig};
 use ugraph::io::{
     decode_binary, decode_binary_auto, decode_binary_v2, encode_binary, encode_binary_v2,
     read_edge_list, write_edge_list, write_edge_list_weighted,
@@ -154,6 +155,74 @@ proptest! {
         let bare = decode_binary_v2(&encode_binary_v2(&g, None).unwrap()).unwrap();
         prop_assert_eq!(bare.graph, g);
         prop_assert!(bare.edge_weights.is_none());
+    }
+
+    /// Arbitrary builder output satisfies every invariant `check_invariants`
+    /// verifies — the check must never reject a safely constructed graph.
+    #[test]
+    fn builder_output_passes_check_invariants((n, edges) in arbitrary_edges(40)) {
+        let g = build(n, &edges);
+        prop_assert!(g.check_invariants().is_ok());
+    }
+
+    /// Generator determinism: the same seed yields bit-identical edge lists,
+    /// and the generated graphs pass the full CSR invariant check.
+    #[test]
+    fn rmat_is_deterministic_and_well_formed(
+        scale in 2u32..9,
+        edges in 1usize..2_000,
+        seed in 0u64..1_000,
+    ) {
+        let edge_list = |g: &CsrGraph| -> Vec<(u32, u32)> {
+            g.edges().map(|e| (e.u.0, e.v.0)).collect()
+        };
+        let a = rmat(scale, edges, seed);
+        let b = rmat(scale, edges, seed);
+        prop_assert_eq!(edge_list(&a), edge_list(&b));
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.check_invariants().is_ok());
+        prop_assert_eq!(a.vertex_count(), 1usize << scale);
+        prop_assert!(a.edge_count() <= edges);
+    }
+
+    /// Same property for the LFR-style generator, plus labelling consistency.
+    #[test]
+    fn lfr_is_deterministic_and_well_formed(
+        n in 50usize..400,
+        mu_percent in 0usize..=100,
+        seed in 0u64..1_000,
+    ) {
+        let mu = mu_percent as f64 / 100.0;
+        let edge_list = |g: &CsrGraph| -> Vec<(u32, u32)> {
+            g.edges().map(|e| (e.u.0, e.v.0)).collect()
+        };
+        let a = lfr(n, mu, seed);
+        let b = lfr(n, mu, seed);
+        prop_assert_eq!(edge_list(&a.graph), edge_list(&b.graph));
+        prop_assert_eq!(&a.community, &b.community);
+        prop_assert!(a.graph.check_invariants().is_ok());
+        prop_assert_eq!(a.graph.vertex_count(), n);
+        prop_assert_eq!(a.community.len(), n);
+        prop_assert!(a.community.iter().all(|&c| c < a.community_count));
+    }
+
+    /// RMAT quadrant probabilities are normalized: scaling all four by a
+    /// common factor never changes the sampled graph.
+    #[test]
+    fn rmat_probabilities_are_scale_free(
+        seed in 0u64..500,
+        factor_tenths in 1usize..50,
+    ) {
+        let factor = factor_tenths as f64 / 10.0;
+        let base = RmatConfig::graph500(7, 800, seed);
+        let scaled = RmatConfig {
+            a: base.a * factor,
+            b: base.b * factor,
+            c: base.c * factor,
+            d: base.d * factor,
+            ..base.clone()
+        };
+        prop_assert_eq!(rmat_with(&base), rmat_with(&scaled));
     }
 
     /// Induced subgraphs keep exactly the edges with both endpoints retained.

@@ -21,7 +21,7 @@ use scalarfield::{build_super_tree, edge_scalar_tree_naive, EdgeScalarGraph};
 use std::time::Instant;
 use terrain::TerrainResult;
 use ugraph::par::Parallelism;
-use ugraph::CsrGraph;
+use ugraph::GraphStorage;
 
 /// Knobs of a timed pipeline run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -87,14 +87,14 @@ pub struct EdgePipelineReport {
 
 /// Run the K-Core terrain pipeline on a graph, timing each stage.
 /// Single-threaded; see [`run_vertex_pipeline_with`].
-pub fn run_vertex_pipeline(graph: &CsrGraph) -> TerrainResult<VertexPipelineReport> {
+pub fn run_vertex_pipeline(graph: &dyn GraphStorage) -> TerrainResult<VertexPipelineReport> {
     run_vertex_pipeline_configured(graph, &PipelineConfig::default())
 }
 
 /// [`run_vertex_pipeline`] with a [`Parallelism`] budget and the default
 /// render budget.
 pub fn run_vertex_pipeline_with(
-    graph: &CsrGraph,
+    graph: &dyn GraphStorage,
     parallelism: Parallelism,
 ) -> TerrainResult<VertexPipelineReport> {
     run_vertex_pipeline_configured(graph, &PipelineConfig { parallelism, ..Default::default() })
@@ -107,7 +107,7 @@ pub fn run_vertex_pipeline_with(
 /// edge side (where the triangle-support stage parallelizes); reports are
 /// identical for every setting.
 pub fn run_vertex_pipeline_configured(
-    graph: &CsrGraph,
+    graph: &dyn GraphStorage,
     config: &PipelineConfig,
 ) -> TerrainResult<VertexPipelineReport> {
     let mut session = TerrainPipeline::from_measure(graph, Measure::KCore);
@@ -131,14 +131,17 @@ pub fn run_vertex_pipeline_configured(
 /// `run_naive` controls whether the dual-graph baseline (`te`) is measured;
 /// on graphs with high-degree vertices it can be orders of magnitude slower
 /// than Algorithm 3, which is exactly the point of Table II.
-pub fn run_edge_pipeline(graph: &CsrGraph, run_naive: bool) -> TerrainResult<EdgePipelineReport> {
+pub fn run_edge_pipeline(
+    graph: &dyn GraphStorage,
+    run_naive: bool,
+) -> TerrainResult<EdgePipelineReport> {
     run_edge_pipeline_configured(graph, run_naive, &PipelineConfig::default())
 }
 
 /// [`run_edge_pipeline`] with a [`Parallelism`] budget and the default
 /// render budget.
 pub fn run_edge_pipeline_with(
-    graph: &CsrGraph,
+    graph: &dyn GraphStorage,
     run_naive: bool,
     parallelism: Parallelism,
 ) -> TerrainResult<EdgePipelineReport> {
@@ -155,7 +158,7 @@ pub fn run_edge_pipeline_with(
 /// triangle-support initialization is parallel over edges); the report's
 /// numbers are identical for every setting, only wall-clock timings change.
 pub fn run_edge_pipeline_configured(
-    graph: &CsrGraph,
+    graph: &dyn GraphStorage,
     run_naive: bool,
     config: &PipelineConfig,
 ) -> TerrainResult<EdgePipelineReport> {

@@ -15,7 +15,10 @@ use serde_json::Value;
 
 /// Version stamp written into every baseline. Bump when a field changes
 /// meaning; the comparator refuses to diff files with mismatched versions.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the per-rung `storage` discriminator and the nullable
+/// `open_seconds` field (snapshot-open rungs of the zero-copy storage layer).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One complete ladder run — the top-level object of a `BENCH_*.json` file.
 #[derive(Clone, Debug)]
@@ -87,6 +90,13 @@ pub struct RungResult {
     pub generate_seconds: f64,
     /// Measure driving the scalar field (`"pagerank"`, `"degree"`, ...).
     pub measure: String,
+    /// How the rung obtained its graph: `"generated"` (in-memory RMAT, the
+    /// pipeline rungs), `"snapshot-v2"` (binary v2 full deserialize) or
+    /// `"snapshot-v3-mapped"` (binary v3 via [`ugraph::MappedCsrGraph`]).
+    pub storage: String,
+    /// Seconds to reopen the graph from its snapshot (checksum + validation
+    /// included). `None` on `"generated"` rungs, which never touch disk.
+    pub open_seconds: Option<f64>,
     /// The `Parallelism` setting, in its `parse` round-trip form
     /// (`"serial"`, `"4"`, `"4x128"`).
     pub parallelism: String,
@@ -166,6 +176,8 @@ impl Serialize for RungResult {
             .field("edges", &self.edges)
             .field("generate_seconds", &self.generate_seconds)
             .field("measure", &self.measure)
+            .field("storage", &self.storage)
+            .field("open_seconds", &self.open_seconds)
             .field("parallelism", &self.parallelism)
             .field("threads", &self.threads)
             .field("width", &self.width)
@@ -263,7 +275,7 @@ pub fn validate(doc: &Value) -> Vec<SchemaError> {
         return errors;
     };
     for (i, rung) in rungs.iter().enumerate() {
-        for key in ["rung", "generator", "measure", "parallelism"] {
+        for key in ["rung", "generator", "measure", "storage", "parallelism"] {
             if rung.get(key).and_then(Value::as_str).is_none() {
                 errors.push(format!("rungs[{i}]: missing string field {key:?}"));
             }
@@ -292,6 +304,10 @@ pub fn validate(doc: &Value) -> Vec<SchemaError> {
             Some(v) if v.is_null() || v.as_u64().is_some() => {}
             _ => errors.push(format!("rungs[{i}]: peak_rss_bytes must be a number or null")),
         }
+        match rung.get("open_seconds") {
+            Some(v) if v.is_null() || v.as_f64().is_some() => {}
+            _ => errors.push(format!("rungs[{i}]: open_seconds must be a number or null")),
+        }
     }
     errors
 }
@@ -304,7 +320,8 @@ pub const COMPARE_NOISE_FLOOR_SECONDS: f64 = 0.01;
 
 /// Compare a current run against a committed reference baseline.
 ///
-/// Rungs are matched by the `(rung, measure, parallelism)` triple; a rung
+/// Rungs are matched by the `(rung, measure, parallelism, storage)` tuple; a
+/// rung
 /// present in only one file is skipped (ladders may grow). A matched rung is
 /// a regression when `current.total_seconds > tolerance ×
 /// reference.total_seconds` and the reference is above
@@ -321,11 +338,12 @@ pub fn compare(current: &Value, reference: &Value, tolerance: f64) -> Vec<Schema
         ));
         return problems;
     }
-    let key_of = |rung: &Value| -> Option<(String, String, String)> {
+    let key_of = |rung: &Value| -> Option<(String, String, String, String)> {
         Some((
             rung.get("rung")?.as_str()?.to_string(),
             rung.get("measure")?.as_str()?.to_string(),
             rung.get("parallelism")?.as_str()?.to_string(),
+            rung.get("storage")?.as_str()?.to_string(),
         ))
     };
     let empty = Vec::new();
@@ -346,10 +364,11 @@ pub fn compare(current: &Value, reference: &Value, tolerance: f64) -> Vec<Schema
         }
         if current_total > tolerance * reference_total {
             problems.push(format!(
-                "{}/{}/{}: {:.3}s vs reference {:.3}s ({:.2}x > {:.2}x tolerance)",
+                "{}/{}/{}/{}: {:.3}s vs reference {:.3}s ({:.2}x > {:.2}x tolerance)",
                 key.0,
                 key.1,
                 key.2,
+                key.3,
                 current_total,
                 reference_total,
                 current_total / reference_total,
@@ -369,9 +388,14 @@ pub fn format_table_for(report: &BenchReport) -> String {
         .map(|r| {
             vec![
                 r.rung.clone(),
+                r.storage.clone(),
                 r.parallelism.clone(),
                 r.vertices.to_string(),
                 r.edges.to_string(),
+                match r.open_seconds {
+                    Some(open) => format!("{open:.3}"),
+                    None => "n/a".to_string(),
+                },
                 format!("{:.3}", r.stages.scalar),
                 format!("{:.3}", r.stages.tree + r.stages.super_tree),
                 format!(
@@ -389,8 +413,8 @@ pub fn format_table_for(report: &BenchReport) -> String {
         .collect();
     crate::output::format_table(
         &[
-            "rung", "par", "vertices", "edges", "scalar", "tree", "viz", "total_s", "edges/s",
-            "rss_MiB",
+            "rung", "storage", "par", "vertices", "edges", "open_s", "scalar", "tree", "viz",
+            "total_s", "edges/s", "rss_MiB",
         ],
         &rows,
     )
@@ -416,6 +440,8 @@ mod tests {
                 edges: 900,
                 generate_seconds: 0.001,
                 measure: "pagerank".to_string(),
+                storage: "generated".to_string(),
+                open_seconds: None,
                 parallelism: "serial".to_string(),
                 threads: 1,
                 width: 32,

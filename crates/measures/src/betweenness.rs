@@ -17,7 +17,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::VecDeque;
 use ugraph::par::{map_reduce_chunks, Parallelism};
-use ugraph::{CsrGraph, VertexId};
+use ugraph::{GraphStorage, VertexId};
 
 /// Exact betweenness centrality of every vertex (unnormalized, undirected
 /// convention: each shortest path counted once). Single-threaded; see
@@ -35,7 +35,7 @@ use ugraph::{CsrGraph, VertexId};
 /// let bc = betweenness_centrality(&b.build());
 /// assert_eq!(bc, vec![0.0, 3.0, 4.0, 3.0, 0.0]);
 /// ```
-pub fn betweenness_centrality(graph: &CsrGraph) -> Vec<f64> {
+pub fn betweenness_centrality<G: GraphStorage + ?Sized>(graph: &G) -> Vec<f64> {
     betweenness_centrality_with(graph, Parallelism::Serial)
 }
 
@@ -43,7 +43,10 @@ pub fn betweenness_centrality(graph: &CsrGraph) -> Vec<f64> {
 ///
 /// The result is bit-identical for every `parallelism` setting (see
 /// [`ugraph::par`]), so this is a pure wall-clock knob.
-pub fn betweenness_centrality_with(graph: &CsrGraph, parallelism: Parallelism) -> Vec<f64> {
+pub fn betweenness_centrality_with<G: GraphStorage + ?Sized>(
+    graph: &G,
+    parallelism: Parallelism,
+) -> Vec<f64> {
     let sources: Vec<VertexId> = graph.vertices().collect();
     brandes_from_sources(graph, &sources, 1.0, parallelism)
 }
@@ -61,7 +64,11 @@ pub fn betweenness_centrality_with(graph: &CsrGraph, parallelism: Parallelism) -
 /// the scale factor is 1 and the function returns the **exact** centrality
 /// (identical to [`betweenness_centrality`], for any `seed`), rather than
 /// drawing `n` of `n` pivots and rescaling.
-pub fn betweenness_centrality_sampled(graph: &CsrGraph, samples: usize, seed: u64) -> Vec<f64> {
+pub fn betweenness_centrality_sampled<G: GraphStorage + ?Sized>(
+    graph: &G,
+    samples: usize,
+    seed: u64,
+) -> Vec<f64> {
     betweenness_centrality_sampled_with(graph, samples, seed, Parallelism::Serial)
 }
 
@@ -70,8 +77,8 @@ pub fn betweenness_centrality_sampled(graph: &CsrGraph, samples: usize, seed: u6
 /// Shares the sampled function's exact-path boundary (`samples >= n` falls
 /// back to the exact computation) and the bit-identical-across-threads
 /// guarantee of [`ugraph::par`].
-pub fn betweenness_centrality_sampled_with(
-    graph: &CsrGraph,
+pub fn betweenness_centrality_sampled_with<G: GraphStorage + ?Sized>(
+    graph: &G,
     samples: usize,
     seed: u64,
     parallelism: Parallelism,
@@ -94,8 +101,8 @@ pub fn betweenness_centrality_sampled_with(
 /// Brandes dependency accumulation from `sources`, parallel over source
 /// chunks. Each chunk owns a full centrality vector plus the per-source
 /// scratch buffers; chunk vectors are summed elementwise in chunk order.
-fn brandes_from_sources(
-    graph: &CsrGraph,
+fn brandes_from_sources<G: GraphStorage + ?Sized>(
+    graph: &G,
     sources: &[VertexId],
     scale: f64,
     parallelism: Parallelism,
@@ -127,7 +134,11 @@ fn brandes_from_sources(
 
 /// The serial Brandes loop over one chunk of sources, accumulating into a
 /// chunk-local centrality vector.
-fn brandes_chunk(graph: &CsrGraph, sources: &[VertexId], scale: f64) -> Vec<f64> {
+fn brandes_chunk<G: GraphStorage + ?Sized>(
+    graph: &G,
+    sources: &[VertexId],
+    scale: f64,
+) -> Vec<f64> {
     let n = graph.vertex_count();
     let mut centrality = vec![0.0f64; n];
 

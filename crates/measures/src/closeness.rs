@@ -14,7 +14,7 @@
 
 use std::collections::VecDeque;
 use ugraph::par::{map_collect_chunked, Parallelism};
-use ugraph::{CsrGraph, VertexId};
+use ugraph::{GraphStorage, VertexId};
 
 /// Closeness centrality of every vertex. Single-threaded; see
 /// [`closeness_centrality_with`] for the parallel variant.
@@ -22,7 +22,7 @@ use ugraph::{CsrGraph, VertexId};
 /// `closeness(v) = ((r - 1) / (n - 1)) * ((r - 1) / Σ_{u reachable} d(v, u))`,
 /// where `r` is the number of vertices reachable from `v` (including itself).
 /// Isolated vertices get 0.
-pub fn closeness_centrality(graph: &CsrGraph) -> Vec<f64> {
+pub fn closeness_centrality<G: GraphStorage + ?Sized>(graph: &G) -> Vec<f64> {
     closeness_centrality_with(graph, Parallelism::Serial)
 }
 
@@ -31,7 +31,10 @@ pub fn closeness_centrality(graph: &CsrGraph) -> Vec<f64> {
 /// Each chunk of sources runs its BFSs with chunk-local scratch buffers and
 /// fills its own slice of the result, so the output is exactly the serial
 /// output for every `parallelism` setting.
-pub fn closeness_centrality_with(graph: &CsrGraph, parallelism: Parallelism) -> Vec<f64> {
+pub fn closeness_centrality_with<G: GraphStorage + ?Sized>(
+    graph: &G,
+    parallelism: Parallelism,
+) -> Vec<f64> {
     let n = graph.vertex_count();
     if n <= 1 {
         return vec![0.0f64; n];
@@ -57,7 +60,7 @@ pub fn closeness_centrality_with(graph: &CsrGraph, parallelism: Parallelism) -> 
 
 /// Harmonic centrality: `Σ_{u ≠ v} 1 / d(v, u)` with `1/∞ = 0`, normalized by
 /// `n - 1` so values lie in `[0, 1]`.
-pub fn harmonic_centrality(graph: &CsrGraph) -> Vec<f64> {
+pub fn harmonic_centrality<G: GraphStorage + ?Sized>(graph: &G) -> Vec<f64> {
     let n = graph.vertex_count();
     let mut result = vec![0.0f64; n];
     if n <= 1 {
@@ -93,8 +96,8 @@ pub fn harmonic_centrality(graph: &CsrGraph) -> Vec<f64> {
 
 /// BFS from `v`, returning (sum of distances to reachable vertices, number of
 /// reachable vertices including `v`). Scratch buffers are reused.
-fn bfs_accumulate(
-    graph: &CsrGraph,
+fn bfs_accumulate<G: GraphStorage + ?Sized>(
+    graph: &G,
     v: VertexId,
     dist: &mut [usize],
     queue: &mut VecDeque<VertexId>,

@@ -20,7 +20,7 @@
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use ugraph::{CsrGraph, VertexId};
+use ugraph::{GraphStorage, VertexId};
 
 /// Result of overlapping community scoring.
 #[derive(Clone, Debug)]
@@ -37,7 +37,11 @@ pub struct CommunityScores {
 /// Labels are compacted to `0..community_count`. Deterministic for a fixed
 /// seed: vertex visiting order is shuffled with a seeded PRNG and ties are
 /// broken towards the smallest label.
-pub fn label_propagation(graph: &CsrGraph, max_rounds: usize, seed: u64) -> Vec<usize> {
+pub fn label_propagation<G: GraphStorage + ?Sized>(
+    graph: &G,
+    max_rounds: usize,
+    seed: u64,
+) -> Vec<usize> {
     let n = graph.vertex_count();
     let mut label: Vec<usize> = (0..n).collect();
     if n == 0 {
@@ -92,8 +96,8 @@ pub fn label_propagation(graph: &CsrGraph, max_rounds: usize, seed: u64) -> Vec<
 /// `[0, 1]`; members of a community get scores weighted by embeddedness, and
 /// 1-hop neighbors of members get a small spill-over score, producing the
 /// soft overlaps of Figure 8.
-pub fn overlapping_community_scores(
-    graph: &CsrGraph,
+pub fn overlapping_community_scores<G: GraphStorage + ?Sized>(
+    graph: &G,
     communities: usize,
     seed: u64,
 ) -> CommunityScores {

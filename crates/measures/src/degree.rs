@@ -1,16 +1,16 @@
 //! Degree and degree centrality.
 
-use ugraph::CsrGraph;
+use ugraph::GraphStorage;
 
 /// Degree of every vertex, indexed by vertex id.
-pub fn degrees(graph: &CsrGraph) -> Vec<usize> {
+pub fn degrees<G: GraphStorage + ?Sized>(graph: &G) -> Vec<usize> {
     graph.vertices().map(|v| graph.degree(v)).collect()
 }
 
 /// Normalized degree centrality: `deg(v) / (n - 1)`.
 ///
 /// For graphs with fewer than two vertices every centrality is 0.
-pub fn degree_centrality(graph: &CsrGraph) -> Vec<f64> {
+pub fn degree_centrality<G: GraphStorage + ?Sized>(graph: &G) -> Vec<f64> {
     let n = graph.vertex_count();
     if n < 2 {
         return vec![0.0; n];

@@ -7,7 +7,7 @@
 //! with `K = α` — this is the scalar field behind Figures 1(a), 6(c,d),
 //! 7(a,c) and the user-study Tasks 1 and 2.
 
-use ugraph::{CsrGraph, VertexId};
+use ugraph::{GraphStorage, VertexId};
 
 /// Result of a K-Core decomposition.
 #[derive(Clone, Debug)]
@@ -40,7 +40,7 @@ impl KCoreDecomposition {
 /// Runs in `O(|V| + |E|)`: vertices are kept in an array bucketed by their
 /// current effective degree and repeatedly the lowest-degree vertex is peeled,
 /// decrementing its still-present neighbors.
-pub fn core_numbers(graph: &CsrGraph) -> KCoreDecomposition {
+pub fn core_numbers<G: GraphStorage + ?Sized>(graph: &G) -> KCoreDecomposition {
     let n = graph.vertex_count();
     if n == 0 {
         return KCoreDecomposition { core: Vec::new(), degeneracy: 0 };
@@ -103,7 +103,7 @@ pub fn core_numbers(graph: &CsrGraph) -> KCoreDecomposition {
 /// Brute-force core numbers by repeated peeling; `O(|V|·|E|)`.
 ///
 /// Exposed for tests and property checks only.
-pub fn core_numbers_bruteforce(graph: &CsrGraph) -> Vec<usize> {
+pub fn core_numbers_bruteforce<G: GraphStorage + ?Sized>(graph: &G) -> Vec<usize> {
     let n = graph.vertex_count();
     let mut core = vec![0usize; n];
     let mut removed = vec![false; n];
@@ -130,6 +130,7 @@ pub fn core_numbers_bruteforce(graph: &CsrGraph) -> Vec<usize> {
 mod tests {
     use super::*;
     use ugraph::generators::{barabasi_albert, erdos_renyi};
+    use ugraph::CsrGraph;
     use ugraph::GraphBuilder;
 
     fn clique(k: usize) -> CsrGraph {

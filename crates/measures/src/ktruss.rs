@@ -13,7 +13,7 @@
 
 use crate::triangles::edge_triangle_counts_with;
 use ugraph::par::Parallelism;
-use ugraph::{CsrGraph, EdgeId, VertexId};
+use ugraph::{EdgeId, GraphStorage, VertexId};
 
 /// Result of a K-Truss decomposition.
 #[derive(Clone, Debug)]
@@ -47,7 +47,7 @@ impl KTrussDecomposition {
 /// still-present edges); the minimum-support edge is peeled and the supports
 /// of the edges closing triangles with it are decremented. Complexity is
 /// `O(Σ_e (deg(u)+deg(v)))` ≈ `O(|E|^1.5)` on sparse graphs.
-pub fn truss_numbers(graph: &CsrGraph) -> KTrussDecomposition {
+pub fn truss_numbers<G: GraphStorage + ?Sized>(graph: &G) -> KTrussDecomposition {
     truss_numbers_with(graph, Parallelism::Serial)
 }
 
@@ -59,7 +59,10 @@ pub fn truss_numbers(graph: &CsrGraph) -> KTrussDecomposition {
 /// initialization is a large share of the cost. Results are exactly equal
 /// across every `parallelism` setting — the peeling always starts from the
 /// same supports and proceeds identically.
-pub fn truss_numbers_with(graph: &CsrGraph, parallelism: Parallelism) -> KTrussDecomposition {
+pub fn truss_numbers_with<G: GraphStorage + ?Sized>(
+    graph: &G,
+    parallelism: Parallelism,
+) -> KTrussDecomposition {
     let m = graph.edge_count();
     if m == 0 {
         return KTrussDecomposition { truss: Vec::new(), max_truss: 0 };
@@ -130,7 +133,7 @@ pub fn truss_numbers_with(graph: &CsrGraph, parallelism: Parallelism) -> KTrussD
 
 /// Brute-force truss numbers for testing: for each `k`, iteratively delete
 /// edges with fewer than `k` triangles and record the survivors.
-pub fn truss_numbers_bruteforce(graph: &CsrGraph) -> Vec<usize> {
+pub fn truss_numbers_bruteforce<G: GraphStorage + ?Sized>(graph: &G) -> Vec<usize> {
     let m = graph.edge_count();
     let mut truss = vec![0usize; m];
     let mut k = 1usize;
@@ -165,7 +168,12 @@ pub fn truss_numbers_bruteforce(graph: &CsrGraph) -> Vec<usize> {
     truss
 }
 
-fn triangles_within(graph: &CsrGraph, present: &[bool], u: VertexId, v: VertexId) -> usize {
+fn triangles_within<G: GraphStorage + ?Sized>(
+    graph: &G,
+    present: &[bool],
+    u: VertexId,
+    v: VertexId,
+) -> usize {
     let mut count = 0;
     for (w, euw) in graph.neighbors(u) {
         if w == v || !present[euw.index()] {
@@ -184,6 +192,7 @@ fn triangles_within(graph: &CsrGraph, present: &[bool], u: VertexId, v: VertexId
 mod tests {
     use super::*;
     use ugraph::generators::erdos_renyi;
+    use ugraph::CsrGraph;
     use ugraph::GraphBuilder;
 
     fn clique(k: usize) -> CsrGraph {

@@ -18,7 +18,7 @@
 //! nothing per iteration.
 
 use ugraph::par::{map_reduce_chunks_mut, Parallelism};
-use ugraph::{CsrGraph, VertexId};
+use ugraph::{GraphStorage, VertexId};
 
 /// Configuration for [`pagerank`].
 #[derive(Clone, Copy, Debug)]
@@ -39,7 +39,7 @@ impl Default for PageRankConfig {
 
 /// Compute PageRank scores; the result sums to 1. Single-threaded; see
 /// [`pagerank_with`] for the parallel variant.
-pub fn pagerank(graph: &CsrGraph, config: &PageRankConfig) -> Vec<f64> {
+pub fn pagerank<G: GraphStorage + ?Sized>(graph: &G, config: &PageRankConfig) -> Vec<f64> {
     pagerank_with(graph, config, Parallelism::Serial)
 }
 
@@ -56,8 +56,8 @@ pub fn pagerank(graph: &CsrGraph, config: &PageRankConfig) -> Vec<f64> {
 /// budget only pays off once the graph is large enough — roughly millions of
 /// edges. For small graphs prefer [`Parallelism::Serial`], which spawns
 /// nothing and still returns the same bits.
-pub fn pagerank_with(
-    graph: &CsrGraph,
+pub fn pagerank_with<G: GraphStorage + ?Sized>(
+    graph: &G,
     config: &PageRankConfig,
     parallelism: Parallelism,
 ) -> Vec<f64> {

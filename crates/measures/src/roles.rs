@@ -15,7 +15,7 @@
 
 use crate::kcore::core_numbers;
 use crate::triangles::clustering_coefficients;
-use ugraph::{CsrGraph, VertexId};
+use ugraph::{GraphStorage, VertexId};
 
 /// The four structural roles used in Figure 9.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -65,7 +65,7 @@ pub struct RoleAssignment {
 }
 
 /// Classify every vertex into one of the four roles.
-pub fn assign_roles(graph: &CsrGraph) -> RoleAssignment {
+pub fn assign_roles<G: GraphStorage + ?Sized>(graph: &G) -> RoleAssignment {
     let n = graph.vertex_count();
     let cores = core_numbers(graph);
     let clustering = clustering_coefficients(graph);
@@ -83,8 +83,8 @@ pub fn assign_roles(graph: &CsrGraph) -> RoleAssignment {
     RoleAssignment { roles, affinity }
 }
 
-fn classify(
-    graph: &CsrGraph,
+fn classify<G: GraphStorage + ?Sized>(
+    graph: &G,
     v: VertexId,
     degree: usize,
     core: &[usize],

@@ -6,7 +6,7 @@
 //! terrain pipeline needs, and give the rest of the workspace a common
 //! vocabulary type.
 
-use ugraph::{CsrGraph, EdgeId, GraphError, Result, VertexId};
+use ugraph::{EdgeId, GraphError, GraphStorage, GraphStorageExt, Result, VertexId};
 
 /// A scalar value per vertex of a specific graph.
 #[derive(Clone, Debug, PartialEq)]
@@ -22,18 +22,21 @@ pub struct EdgeScalarField {
 
 impl VertexScalarField {
     /// Wrap per-vertex values, checking the length against `graph`.
-    pub fn new(graph: &CsrGraph, values: Vec<f64>) -> Result<Self> {
+    pub fn new<G: GraphStorage + ?Sized>(graph: &G, values: Vec<f64>) -> Result<Self> {
         graph.check_vertex_values(&values)?;
         Ok(VertexScalarField { values })
     }
 
     /// Build a field by evaluating `f` on every vertex.
-    pub fn from_fn(graph: &CsrGraph, mut f: impl FnMut(VertexId) -> f64) -> Self {
+    pub fn from_fn<G: GraphStorage + ?Sized>(
+        graph: &G,
+        mut f: impl FnMut(VertexId) -> f64,
+    ) -> Self {
         VertexScalarField { values: graph.vertices().map(&mut f).collect() }
     }
 
     /// Build from integer values (e.g. core numbers).
-    pub fn from_usize(graph: &CsrGraph, values: &[usize]) -> Result<Self> {
+    pub fn from_usize<G: GraphStorage + ?Sized>(graph: &G, values: &[usize]) -> Result<Self> {
         graph.check_vertex_values(values)?;
         Ok(VertexScalarField { values: values.iter().map(|&v| v as f64).collect() })
     }
@@ -87,20 +90,20 @@ impl VertexScalarField {
 
 impl EdgeScalarField {
     /// Wrap per-edge values, checking the length against `graph`.
-    pub fn new(graph: &CsrGraph, values: Vec<f64>) -> Result<Self> {
+    pub fn new<G: GraphStorage + ?Sized>(graph: &G, values: Vec<f64>) -> Result<Self> {
         graph.check_edge_values(&values)?;
         Ok(EdgeScalarField { values })
     }
 
     /// Build a field by evaluating `f` on every edge.
-    pub fn from_fn(graph: &CsrGraph, mut f: impl FnMut(EdgeId) -> f64) -> Self {
+    pub fn from_fn<G: GraphStorage + ?Sized>(graph: &G, mut f: impl FnMut(EdgeId) -> f64) -> Self {
         EdgeScalarField {
             values: (0..graph.edge_count()).map(|i| f(EdgeId::from_index(i))).collect(),
         }
     }
 
     /// Build from integer values (e.g. truss numbers).
-    pub fn from_usize(graph: &CsrGraph, values: &[usize]) -> Result<Self> {
+    pub fn from_usize<G: GraphStorage + ?Sized>(graph: &G, values: &[usize]) -> Result<Self> {
         graph.check_edge_values(values)?;
         Ok(EdgeScalarField { values: values.iter().map(|&v| v as f64).collect() })
     }
@@ -200,6 +203,7 @@ pub fn check_finite(values: &[f64], what: &'static str) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ugraph::CsrGraph;
     use ugraph::GraphBuilder;
 
     fn path3() -> CsrGraph {

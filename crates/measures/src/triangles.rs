@@ -9,19 +9,22 @@
 //! are exactly equal across every [`Parallelism`] setting.
 
 use ugraph::par::{map_collect, Parallelism};
-use ugraph::{CsrGraph, EdgeId, VertexId};
+use ugraph::{EdgeId, GraphStorage, VertexId};
 
 /// Number of triangles through each edge, indexed by edge id.
 /// Single-threaded; see [`edge_triangle_counts_with`].
 ///
 /// Uses the standard merge-intersection over the sorted adjacency lists of
 /// both endpoints, `O(Σ_e (deg(u) + deg(v)))`.
-pub fn edge_triangle_counts(graph: &CsrGraph) -> Vec<usize> {
+pub fn edge_triangle_counts<G: GraphStorage + ?Sized>(graph: &G) -> Vec<usize> {
     edge_triangle_counts_with(graph, Parallelism::Serial)
 }
 
 /// [`edge_triangle_counts`] parallelized over edges.
-pub fn edge_triangle_counts_with(graph: &CsrGraph, parallelism: Parallelism) -> Vec<usize> {
+pub fn edge_triangle_counts_with<G: GraphStorage + ?Sized>(
+    graph: &G,
+    parallelism: Parallelism,
+) -> Vec<usize> {
     map_collect(parallelism, graph.edge_count(), |e| {
         let (u, v) = graph.endpoints(EdgeId::from_index(e));
         sorted_intersection_size(graph.neighbor_slice(u), graph.neighbor_slice(v))
@@ -30,13 +33,16 @@ pub fn edge_triangle_counts_with(graph: &CsrGraph, parallelism: Parallelism) -> 
 
 /// Number of triangles through each vertex, indexed by vertex id.
 /// Single-threaded; see [`vertex_triangle_counts_with`].
-pub fn vertex_triangle_counts(graph: &CsrGraph) -> Vec<usize> {
+pub fn vertex_triangle_counts<G: GraphStorage + ?Sized>(graph: &G) -> Vec<usize> {
     vertex_triangle_counts_with(graph, Parallelism::Serial)
 }
 
 /// [`vertex_triangle_counts`] parallelized over edges (support pass) and
 /// vertices (gather pass).
-pub fn vertex_triangle_counts_with(graph: &CsrGraph, parallelism: Parallelism) -> Vec<usize> {
+pub fn vertex_triangle_counts_with<G: GraphStorage + ?Sized>(
+    graph: &G,
+    parallelism: Parallelism,
+) -> Vec<usize> {
     let edge_counts = edge_triangle_counts_with(graph, parallelism);
     map_collect(parallelism, graph.vertex_count(), |v| {
         // Each triangle through v uses exactly two of v's incident edges, so
@@ -53,12 +59,15 @@ pub fn vertex_triangle_counts_with(graph: &CsrGraph, parallelism: Parallelism) -
 /// Local clustering coefficient of every vertex: the fraction of neighbor
 /// pairs that are themselves connected. Vertices of degree < 2 get 0.
 /// Single-threaded; see [`clustering_coefficients_with`].
-pub fn clustering_coefficients(graph: &CsrGraph) -> Vec<f64> {
+pub fn clustering_coefficients<G: GraphStorage + ?Sized>(graph: &G) -> Vec<f64> {
     clustering_coefficients_with(graph, Parallelism::Serial)
 }
 
 /// [`clustering_coefficients`] parallelized over vertices.
-pub fn clustering_coefficients_with(graph: &CsrGraph, parallelism: Parallelism) -> Vec<f64> {
+pub fn clustering_coefficients_with<G: GraphStorage + ?Sized>(
+    graph: &G,
+    parallelism: Parallelism,
+) -> Vec<f64> {
     let triangles = vertex_triangle_counts_with(graph, parallelism);
     map_collect(parallelism, graph.vertex_count(), |v| {
         let d = graph.degree(VertexId::from_index(v));
@@ -72,12 +81,15 @@ pub fn clustering_coefficients_with(graph: &CsrGraph, parallelism: Parallelism) 
 
 /// Total number of triangles in the graph. Single-threaded; see
 /// [`total_triangles_with`].
-pub fn total_triangles(graph: &CsrGraph) -> usize {
+pub fn total_triangles<G: GraphStorage + ?Sized>(graph: &G) -> usize {
     total_triangles_with(graph, Parallelism::Serial)
 }
 
 /// [`total_triangles`] parallelized over edges.
-pub fn total_triangles_with(graph: &CsrGraph, parallelism: Parallelism) -> usize {
+pub fn total_triangles_with<G: GraphStorage + ?Sized>(
+    graph: &G,
+    parallelism: Parallelism,
+) -> usize {
     // Each triangle is counted once per edge (3 times total). The counting
     // pass parallelizes; the final integer sum is far cheaper than a thread
     // region, so it stays on the calling thread.
@@ -105,6 +117,7 @@ fn sorted_intersection_size(a: &[VertexId], b: &[VertexId]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ugraph::CsrGraph;
     use ugraph::GraphBuilder;
 
     fn clique(k: usize) -> CsrGraph {

@@ -10,7 +10,7 @@
 
 use crate::scalar_graph::{EdgeScalarGraph, VertexScalarGraph};
 use std::collections::VecDeque;
-use ugraph::{EdgeId, VertexId};
+use ugraph::{EdgeId, GraphStorage, VertexId};
 
 /// One maximal α-connected component (Definition 1).
 #[derive(Clone, Debug, PartialEq)]
@@ -45,7 +45,10 @@ pub struct AlphaEdgeComponent {
 /// A component is a maximal connected set of vertices whose scalar is `>= α`,
 /// together with every edge joining two member vertices. Components are
 /// returned sorted by their smallest vertex id, so the output is canonical.
-pub fn maximal_alpha_components(sg: &VertexScalarGraph<'_>, alpha: f64) -> Vec<AlphaComponent> {
+pub fn maximal_alpha_components<G: GraphStorage + ?Sized>(
+    sg: &VertexScalarGraph<'_, G>,
+    alpha: f64,
+) -> Vec<AlphaComponent> {
     let graph = sg.graph();
     let n = graph.vertex_count();
     let mut visited = vec![false; n];
@@ -98,8 +101,8 @@ pub fn maximal_alpha_components(sg: &VertexScalarGraph<'_>, alpha: f64) -> Vec<A
 ///
 /// Two qualifying edges (scalar `>= α`) belong to the same component when they
 /// are connected through a chain of qualifying edges sharing endpoints.
-pub fn maximal_alpha_edge_components(
-    sg: &EdgeScalarGraph<'_>,
+pub fn maximal_alpha_edge_components<G: GraphStorage + ?Sized>(
+    sg: &EdgeScalarGraph<'_, G>,
     alpha: f64,
 ) -> Vec<AlphaEdgeComponent> {
     let graph = sg.graph();

@@ -8,7 +8,9 @@
 //! LCI disagrees with the global trend is an outlier; the paper visualizes
 //! `outlier_score(v) = -LCI(v)` as its own scalar field (Figure 10).
 
-use ugraph::{traversal::k_hop_neighborhood, CsrGraph, GraphError, Result, VertexId};
+use ugraph::{
+    traversal::k_hop_neighborhood, GraphError, GraphStorage, GraphStorageExt, Result, VertexId,
+};
 
 /// Local Correlation Index of two scalar fields over the `k`-hop neighborhood
 /// of every vertex.
@@ -16,8 +18,8 @@ use ugraph::{traversal::k_hop_neighborhood, CsrGraph, GraphError, Result, Vertex
 /// Degenerate neighborhoods (fewer than 2 vertices, or zero variance in either
 /// field) get an LCI of 0, which the paper's formula leaves undefined; 0 is
 /// the neutral choice (no evidence of correlation either way).
-pub fn local_correlation_index(
-    graph: &CsrGraph,
+pub fn local_correlation_index<G: GraphStorage + ?Sized>(
+    graph: &G,
     field_i: &[f64],
     field_j: &[f64],
     k: usize,
@@ -36,8 +38,8 @@ pub fn local_correlation_index(
 }
 
 /// Global Correlation Index: the mean of the Local Correlation Indexes.
-pub fn global_correlation_index(
-    graph: &CsrGraph,
+pub fn global_correlation_index<G: GraphStorage + ?Sized>(
+    graph: &G,
     field_i: &[f64],
     field_j: &[f64],
     k: usize,
@@ -51,8 +53,8 @@ pub fn global_correlation_index(
 
 /// Outlier scores: `-LCI(v)` (Section III-C). Vertices whose local correlation
 /// opposes the global trend get high scores.
-pub fn outlier_scores(
-    graph: &CsrGraph,
+pub fn outlier_scores<G: GraphStorage + ?Sized>(
+    graph: &G,
     field_i: &[f64],
     field_j: &[f64],
     k: usize,
@@ -101,6 +103,7 @@ fn check_finite(values: &[f64]) -> Result<()> {
 mod tests {
     use super::*;
     use ugraph::generators::barabasi_albert;
+    use ugraph::CsrGraph;
     use ugraph::GraphBuilder;
 
     fn path5() -> CsrGraph {

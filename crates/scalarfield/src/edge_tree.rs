@@ -12,11 +12,11 @@
 
 use crate::scalar_graph::{EdgeScalarGraph, VertexScalarGraph};
 use crate::vertex_tree::{vertex_scalar_tree, ScalarTree};
-use ugraph::{line_graph, UnionFind};
+use ugraph::{line_graph, GraphStorage, UnionFind};
 
 /// Algorithm 3: build the edge scalar tree of an edge scalar graph in
 /// `O(|E| log |E|)` without materializing the dual graph.
-pub fn edge_scalar_tree(sg: &EdgeScalarGraph<'_>) -> ScalarTree {
+pub fn edge_scalar_tree<G: GraphStorage + ?Sized>(sg: &EdgeScalarGraph<'_, G>) -> ScalarTree {
     let graph = sg.graph();
     let m = graph.edge_count();
     let n = graph.vertex_count();
@@ -80,7 +80,7 @@ pub fn edge_scalar_tree(sg: &EdgeScalarGraph<'_>) -> ScalarTree {
 /// graph, exactly as in [`edge_scalar_tree`], so the two results are directly
 /// comparable. Kept as the baseline measured by the `te` column of Table II
 /// and as a correctness oracle in tests.
-pub fn edge_scalar_tree_naive(sg: &EdgeScalarGraph<'_>) -> ScalarTree {
+pub fn edge_scalar_tree_naive<G: GraphStorage + ?Sized>(sg: &EdgeScalarGraph<'_, G>) -> ScalarTree {
     let dual = line_graph(sg.graph());
     // Dual vertex i corresponds to original edge i, so the scalar vector can
     // be reused as-is.

@@ -8,27 +8,63 @@
 //! meaningful arithmetic (level spacing, color normalization, mesh heights)
 //! over the scalar values.
 
-use ugraph::{CsrGraph, EdgeId, GraphError, Result, VertexId};
+use ugraph::{CsrGraph, EdgeId, GraphError, GraphStorage, GraphStorageExt, Result, VertexId};
 
 /// A vertex-based scalar graph: every vertex carries one scalar value.
-#[derive(Copy, Clone, Debug)]
-pub struct VertexScalarGraph<'a> {
-    graph: &'a CsrGraph,
+///
+/// Generic over the storage backend: `G` defaults to the owned [`CsrGraph`]
+/// but can be any [`GraphStorage`] implementation (including a
+/// memory-mapped snapshot or a `dyn GraphStorage` trait object).
+pub struct VertexScalarGraph<'a, G: GraphStorage + ?Sized = CsrGraph> {
+    graph: &'a G,
     scalar: &'a [f64],
 }
 
 /// An edge-based scalar graph: every edge carries one scalar value.
-#[derive(Copy, Clone, Debug)]
-pub struct EdgeScalarGraph<'a> {
-    graph: &'a CsrGraph,
+///
+/// Generic over the storage backend exactly like [`VertexScalarGraph`].
+pub struct EdgeScalarGraph<'a, G: GraphStorage + ?Sized = CsrGraph> {
+    graph: &'a G,
     scalar: &'a [f64],
 }
 
-impl<'a> VertexScalarGraph<'a> {
+// Manual `Copy`/`Clone`/`Debug`: derives would demand `G: Copy`/`G: Debug`
+// even though only the *reference* is copied, which would rule out
+// `dyn GraphStorage` backends.
+impl<G: GraphStorage + ?Sized> Copy for VertexScalarGraph<'_, G> {}
+impl<G: GraphStorage + ?Sized> Clone for VertexScalarGraph<'_, G> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<G: GraphStorage + ?Sized> std::fmt::Debug for VertexScalarGraph<'_, G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VertexScalarGraph")
+            .field("vertices", &self.graph.vertex_count())
+            .field("edges", &self.graph.edge_count())
+            .finish()
+    }
+}
+impl<G: GraphStorage + ?Sized> Copy for EdgeScalarGraph<'_, G> {}
+impl<G: GraphStorage + ?Sized> Clone for EdgeScalarGraph<'_, G> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<G: GraphStorage + ?Sized> std::fmt::Debug for EdgeScalarGraph<'_, G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EdgeScalarGraph")
+            .field("vertices", &self.graph.vertex_count())
+            .field("edges", &self.graph.edge_count())
+            .finish()
+    }
+}
+
+impl<'a, G: GraphStorage + ?Sized> VertexScalarGraph<'a, G> {
     /// Create a vertex scalar graph, validating the scalar vector: one entry
     /// per vertex, every entry finite
     /// ([`GraphError::NonFiniteScalar`] otherwise).
-    pub fn new(graph: &'a CsrGraph, scalar: &'a [f64]) -> Result<Self> {
+    pub fn new(graph: &'a G, scalar: &'a [f64]) -> Result<Self> {
         graph.check_vertex_values(scalar)?;
         check_finite(scalar, "vertex scalar field")?;
         Ok(VertexScalarGraph { graph, scalar })
@@ -36,7 +72,7 @@ impl<'a> VertexScalarGraph<'a> {
 
     /// The underlying graph.
     #[inline]
-    pub fn graph(&self) -> &'a CsrGraph {
+    pub fn graph(&self) -> &'a G {
         self.graph
     }
 
@@ -67,11 +103,11 @@ impl<'a> VertexScalarGraph<'a> {
     }
 }
 
-impl<'a> EdgeScalarGraph<'a> {
+impl<'a, G: GraphStorage + ?Sized> EdgeScalarGraph<'a, G> {
     /// Create an edge scalar graph, validating the scalar vector: one entry
     /// per edge, every entry finite
     /// ([`GraphError::NonFiniteScalar`] otherwise).
-    pub fn new(graph: &'a CsrGraph, scalar: &'a [f64]) -> Result<Self> {
+    pub fn new(graph: &'a G, scalar: &'a [f64]) -> Result<Self> {
         graph.check_edge_values(scalar)?;
         check_finite(scalar, "edge scalar field")?;
         Ok(EdgeScalarGraph { graph, scalar })
@@ -79,7 +115,7 @@ impl<'a> EdgeScalarGraph<'a> {
 
     /// The underlying graph.
     #[inline]
-    pub fn graph(&self) -> &'a CsrGraph {
+    pub fn graph(&self) -> &'a G {
         self.graph
     }
 

@@ -12,7 +12,7 @@
 //! `O(|E|·α(n) + |V| log |V|)`, matching the paper's analysis.
 
 use crate::scalar_graph::VertexScalarGraph;
-use ugraph::{UnionFind, VertexId};
+use ugraph::{GraphStorage, UnionFind, VertexId};
 
 /// A rooted forest over elements `0..len`, each carrying a scalar value,
 /// stored as a flat arena.
@@ -193,7 +193,7 @@ impl ScalarTree {
 }
 
 /// Algorithm 1: build the vertex scalar tree of a vertex scalar graph.
-pub fn vertex_scalar_tree(sg: &VertexScalarGraph<'_>) -> ScalarTree {
+pub fn vertex_scalar_tree<G: GraphStorage + ?Sized>(sg: &VertexScalarGraph<'_, G>) -> ScalarTree {
     let graph = sg.graph();
     let n = graph.vertex_count();
     let mut parent: Vec<Option<u32>> = vec![None; n];

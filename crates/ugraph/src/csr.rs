@@ -7,9 +7,15 @@
 //! [`EdgeId`]. Neighbor lists are sorted by target vertex id, which gives the
 //! whole structure a canonical form: two graphs with the same edge set compare
 //! equal and iterate identically.
+//!
+//! `CsrGraph` is the owned implementation of [`GraphStorage`]; the accessor
+//! surface lives on that trait (shared with [`crate::MappedCsrGraph`]) and is
+//! mirrored here as inherent methods so plain `&CsrGraph` call sites need no
+//! trait import.
 
-use crate::error::{GraphError, Result};
+use crate::error::Result;
 use crate::ids::{EdgeId, VertexId};
+use crate::storage::{EdgeIter, GraphStorage, GraphStorageExt, VertexIds};
 
 /// A reference to one undirected edge: its id and its two endpoints.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -67,8 +73,10 @@ pub struct CsrGraph {
     targets: Vec<VertexId>,
     /// Edge id for each half-edge, aligned with `targets`.
     edge_ids: Vec<EdgeId>,
-    /// Endpoints `(u, v)` with `u < v` for each edge id.
-    endpoints: Vec<(VertexId, VertexId)>,
+    /// Endpoints `[u, v]` with `u < v` for each edge id. Stored as plain
+    /// `u32` pairs (guaranteed layout) so the slice type matches what a
+    /// memory-mapped snapshot can expose without copying.
+    endpoints: Vec<[u32; 2]>,
 }
 
 impl CsrGraph {
@@ -111,8 +119,10 @@ impl CsrGraph {
             cursor[v.index()] += 1;
         }
 
+        let endpoints = edges.into_iter().map(|(u, v)| [u.0, v.0]).collect();
+
         // Sort each adjacency block by target id to obtain the canonical form.
-        let mut graph = CsrGraph { offsets, targets, edge_ids, endpoints: edges };
+        let mut graph = CsrGraph { offsets, targets, edge_ids, endpoints };
         for v in 0..vertex_count {
             let (start, end) = (graph.offsets[v], graph.offsets[v + 1]);
             // Sort the (target, edge_id) pairs together.
@@ -128,6 +138,21 @@ impl CsrGraph {
             }
         }
         graph
+    }
+
+    /// Assemble a graph directly from the four canonical CSR arrays.
+    ///
+    /// No validation is performed — the caller must guarantee the invariants
+    /// of [`GraphStorage::check_invariants`] (snapshot decoders validate the
+    /// arrays first; [`GraphStorage::to_csr_graph`] copies from an
+    /// already-valid storage).
+    pub(crate) fn from_raw_parts(
+        offsets: Vec<usize>,
+        targets: Vec<VertexId>,
+        edge_ids: Vec<EdgeId>,
+        endpoints: Vec<[u32; 2]>,
+    ) -> Self {
+        CsrGraph { offsets, targets, edge_ids, endpoints }
     }
 
     /// Number of vertices.
@@ -150,55 +175,41 @@ impl CsrGraph {
 
     /// Largest degree over all vertices, or 0 for an empty graph.
     pub fn max_degree(&self) -> usize {
-        (0..self.vertex_count()).map(|v| self.degree(VertexId::from_index(v))).max().unwrap_or(0)
+        GraphStorage::max_degree(self)
     }
 
     /// Iterator over all vertex ids in increasing order.
-    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        (0..self.vertex_count()).map(VertexId::from_index)
+    pub fn vertices(&self) -> VertexIds {
+        GraphStorage::vertices(self)
     }
 
     /// Iterator over all edges in increasing [`EdgeId`] order.
-    pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
-        self.endpoints.iter().enumerate().map(|(i, &(u, v))| EdgeRef {
-            id: EdgeId::from_index(i),
-            u,
-            v,
-        })
+    pub fn edges(&self) -> EdgeIter<'_> {
+        GraphStorage::edges(self)
     }
 
     /// Endpoints `(u, v)` with `u < v` of edge `e`.
     #[inline]
     pub fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
-        self.endpoints[e.index()]
+        let [u, v] = self.endpoints[e.index()];
+        (VertexId(u), VertexId(v))
     }
 
     /// Checked variant of [`CsrGraph::endpoints`].
     pub fn try_endpoints(&self, e: EdgeId) -> Result<(VertexId, VertexId)> {
-        self.endpoints
-            .get(e.index())
-            .copied()
-            .ok_or(GraphError::EdgeOutOfBounds { edge: e.0, edge_count: self.edge_count() })
+        GraphStorage::try_endpoints(self, e)
     }
 
     /// Iterator over the neighbors of `v` as `(neighbor, edge id)` pairs,
     /// sorted by neighbor id.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> NeighborIter<'_> {
-        let start = self.offsets[v.index()];
-        let end = self.offsets[v.index() + 1];
-        NeighborIter {
-            targets: &self.targets[start..end],
-            edge_ids: &self.edge_ids[start..end],
-            pos: 0,
-        }
+        GraphStorage::neighbors(self, v)
     }
 
     /// Iterator over just the neighbor vertices of `v`, sorted by id.
     pub fn neighbor_vertices(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
-        let start = self.offsets[v.index()];
-        let end = self.offsets[v.index() + 1];
-        self.targets[start..end].iter().copied()
+        self.neighbor_slice(v).iter().copied()
     }
 
     /// Slice of neighbor vertices of `v` (sorted by id).
@@ -219,55 +230,29 @@ impl CsrGraph {
 
     /// Whether an edge between `u` and `v` exists. `O(log degree)`.
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
-        self.find_edge(u, v).is_some()
+        GraphStorage::has_edge(self, u, v)
     }
 
     /// The id of the edge between `u` and `v`, if present. `O(log degree)`.
     ///
     /// The search runs over the smaller of the two adjacency lists.
     pub fn find_edge(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
-        if u == v {
-            return None;
-        }
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
-        let slice = self.neighbor_slice(a);
-        let idx = slice.binary_search(&b).ok()?;
-        Some(self.incident_edge_slice(a)[idx])
+        GraphStorage::find_edge(self, u, v)
     }
 
     /// Validate that `v` is a vertex of this graph.
     pub fn check_vertex(&self, v: VertexId) -> Result<()> {
-        if v.index() < self.vertex_count() {
-            Ok(())
-        } else {
-            Err(GraphError::VertexOutOfBounds { vertex: v.0, vertex_count: self.vertex_count() })
-        }
+        GraphStorage::check_vertex(self, v)
     }
 
     /// Validate that a per-vertex attribute vector has the right length.
     pub fn check_vertex_values<T>(&self, values: &[T]) -> Result<()> {
-        if values.len() == self.vertex_count() {
-            Ok(())
-        } else {
-            Err(GraphError::LengthMismatch {
-                what: "vertices",
-                expected: self.vertex_count(),
-                actual: values.len(),
-            })
-        }
+        GraphStorageExt::check_vertex_values(self, values)
     }
 
     /// Validate that a per-edge attribute vector has the right length.
     pub fn check_edge_values<T>(&self, values: &[T]) -> Result<()> {
-        if values.len() == self.edge_count() {
-            Ok(())
-        } else {
-            Err(GraphError::LengthMismatch {
-                what: "edges",
-                expected: self.edge_count(),
-                actual: values.len(),
-            })
-        }
+        GraphStorageExt::check_edge_values(self, values)
     }
 
     /// Extract the subgraph induced by `keep` (vertices with `keep[v] == true`).
@@ -275,44 +260,13 @@ impl CsrGraph {
     /// Returns the induced graph together with the mapping from new vertex ids
     /// to original vertex ids.
     pub fn induced_subgraph(&self, keep: &[bool]) -> (CsrGraph, Vec<VertexId>) {
-        assert_eq!(keep.len(), self.vertex_count(), "mask length mismatch");
-        let mut new_id = vec![u32::MAX; self.vertex_count()];
-        let mut back = Vec::new();
-        for v in 0..self.vertex_count() {
-            if keep[v] {
-                new_id[v] = back.len() as u32;
-                back.push(VertexId::from_index(v));
-            }
-        }
-        let mut edges = Vec::new();
-        for e in self.edges() {
-            if keep[e.u.index()] && keep[e.v.index()] {
-                let a = VertexId(new_id[e.u.index()]);
-                let b = VertexId(new_id[e.v.index()]);
-                let (a, b) = if a < b { (a, b) } else { (b, a) };
-                edges.push((a, b));
-            }
-        }
-        edges.sort_unstable();
-        (CsrGraph::from_canonical_edges(back.len(), edges), back)
+        GraphStorage::induced_subgraph(self, keep)
     }
 
     /// Verify every structural invariant of the CSR representation.
     ///
-    /// Safe construction through [`crate::GraphBuilder`] guarantees all of
-    /// these by design, so the check exists for the boundaries where that
-    /// guarantee ends: graphs arriving from deserialization or mmap, fuzzing
-    /// harnesses, and the generator property tests. `O(|V| + |E|)`.
-    ///
-    /// Checked invariants:
-    /// 1. `offsets` starts at 0, is non-decreasing, ends at `2|E|`, and
-    ///    `targets`/`edge_ids` have exactly that length.
-    /// 2. Every endpoint pair is canonical (`u < v`) and in bounds.
-    /// 3. Each neighbor list is strictly sorted (sorted + no duplicates, which
-    ///    also rules out self loops since a loop would duplicate `v` itself).
-    /// 4. Every half-edge's edge id points back at an endpoint pair containing
-    ///    both the owning vertex and the stored target, and each edge id
-    ///    appears exactly twice.
+    /// See [`GraphStorage::check_invariants`] for the list of checked
+    /// invariants. `O(|V| + |E|)`.
     ///
     /// ```
     /// use ugraph::generators::rmat;
@@ -320,83 +274,51 @@ impl CsrGraph {
     /// rmat(10, 5_000, 42).check_invariants().expect("builder output is canonical");
     /// ```
     pub fn check_invariants(&self) -> Result<()> {
-        let broken = |what: &'static str, message: String| {
-            Err(GraphError::BrokenInvariant { what, message })
-        };
-        let n = self.vertex_count();
-        let half_edges = 2 * self.edge_count();
-        if self.offsets.first() != Some(&0) {
-            return broken("offsets", "offsets must start at 0".into());
-        }
-        if let Some(w) = self.offsets.windows(2).position(|w| w[0] > w[1]) {
-            return broken("offsets", format!("offsets decrease at vertex {w}"));
-        }
-        if self.offsets[n] != half_edges {
-            return broken(
-                "offsets",
-                format!(
-                    "offsets end at {} but the graph has {half_edges} half-edges",
-                    self.offsets[n]
-                ),
-            );
-        }
-        if self.targets.len() != half_edges || self.edge_ids.len() != half_edges {
-            return broken(
-                "adjacency",
-                format!(
-                    "targets/edge_ids have lengths {}/{}, expected {half_edges}",
-                    self.targets.len(),
-                    self.edge_ids.len()
-                ),
-            );
-        }
-        for (i, &(u, v)) in self.endpoints.iter().enumerate() {
-            if u >= v {
-                return broken("endpoints", format!("edge {i} is not canonical: ({u:?}, {v:?})"));
-            }
-            if v.index() >= n {
-                return broken("endpoints", format!("edge {i} endpoint {v:?} out of bounds"));
-            }
-        }
-        let mut seen = vec![0u8; self.edge_count()];
-        for v in self.vertices() {
-            let nbrs = self.neighbor_slice(v);
-            if let Some(w) = nbrs.windows(2).position(|w| w[0] >= w[1]) {
-                return broken(
-                    "neighbor order",
-                    format!("neighbors of {v:?} are not strictly sorted at position {w}"),
-                );
-            }
-            for (t, e) in self.neighbors(v) {
-                if e.index() >= self.edge_count() {
-                    return broken("edge ids", format!("{v:?} references {e:?} out of bounds"));
-                }
-                let (a, b) = self.endpoints[e.index()];
-                if (a, b) != (v.min(t), v.max(t)) {
-                    return broken(
-                        "edge ids",
-                        format!("{e:?} stored at half-edge {v:?}→{t:?} but has endpoints ({a:?}, {b:?})"),
-                    );
-                }
-                seen[e.index()] += 1;
-            }
-        }
-        if let Some(i) = seen.iter().position(|&c| c != 2) {
-            return broken(
-                "edge ids",
-                format!("edge {i} appears {} times in the adjacency arrays, expected 2", seen[i]),
-            );
-        }
-        Ok(())
+        GraphStorage::check_invariants(self)
     }
 
     /// Average degree `2|E| / |V|`, or 0 for the empty graph.
     pub fn average_degree(&self) -> f64 {
-        if self.vertex_count() == 0 {
-            0.0
-        } else {
-            2.0 * self.edge_count() as f64 / self.vertex_count() as f64
-        }
+        GraphStorage::average_degree(self)
+    }
+}
+
+impl GraphStorage for CsrGraph {
+    #[inline]
+    fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    #[inline]
+    fn targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    #[inline]
+    fn edge_ids(&self) -> &[EdgeId] {
+        &self.edge_ids
+    }
+
+    #[inline]
+    fn endpoint_pairs(&self) -> &[[u32; 2]] {
+        &self.endpoints
+    }
+
+    // The derived defaults are correct for the owned backend too; only the
+    // trivially field-backed ones are overridden to skip the slice plumbing.
+    #[inline]
+    fn vertex_count(&self) -> usize {
+        CsrGraph::vertex_count(self)
+    }
+
+    #[inline]
+    fn edge_count(&self) -> usize {
+        CsrGraph::edge_count(self)
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        CsrGraph::degree(self, v)
     }
 }
 
@@ -405,6 +327,15 @@ pub struct NeighborIter<'a> {
     targets: &'a [VertexId],
     edge_ids: &'a [EdgeId],
     pos: usize,
+}
+
+impl<'a> NeighborIter<'a> {
+    /// Pair up aligned target / edge-id slices of one adjacency block.
+    #[inline]
+    pub(crate) fn new(targets: &'a [VertexId], edge_ids: &'a [EdgeId]) -> Self {
+        debug_assert_eq!(targets.len(), edge_ids.len());
+        NeighborIter { targets, edge_ids, pos: 0 }
+    }
 }
 
 impl<'a> Iterator for NeighborIter<'a> {
@@ -547,7 +478,7 @@ mod tests {
         assert!(corrupt.check_invariants().is_err());
 
         let mut corrupt = g.clone();
-        corrupt.endpoints[0] = (VertexId(1), VertexId(0)); // not canonical
+        corrupt.endpoints[0] = [1, 0]; // not canonical
         assert!(corrupt.check_invariants().is_err());
 
         let mut corrupt = g;

@@ -11,6 +11,7 @@
 
 use crate::csr::CsrGraph;
 use crate::ids::{EdgeId, VertexId};
+use crate::storage::GraphStorage;
 use crate::GraphBuilder;
 
 /// The line graph of an undirected graph, with the mapping back to the
@@ -32,7 +33,7 @@ pub struct LineGraph {
 /// dual vertices are connected iff the corresponding original edges share an
 /// endpoint. The construction cost is `O(Σ_v deg(v)²)`, matching the bound
 /// discussed in the paper.
-pub fn line_graph(graph: &CsrGraph) -> LineGraph {
+pub fn line_graph<G: GraphStorage + ?Sized>(graph: &G) -> LineGraph {
     let mut builder = GraphBuilder::with_capacity(estimated_dual_edges(graph));
     if graph.edge_count() > 0 {
         builder.ensure_vertex(graph.edge_count() - 1);
@@ -55,7 +56,7 @@ pub fn line_graph(graph: &CsrGraph) -> LineGraph {
 ///
 /// Edges that form a triangle in the source graph are counted once per shared
 /// endpoint pair, so the deduplicated dual can be slightly smaller.
-pub fn estimated_dual_edges(graph: &CsrGraph) -> usize {
+pub fn estimated_dual_edges<G: GraphStorage + ?Sized>(graph: &G) -> usize {
     graph
         .vertices()
         .map(|v| {
@@ -66,7 +67,10 @@ pub fn estimated_dual_edges(graph: &CsrGraph) -> usize {
 }
 
 /// Map a dual vertex back to the original edge's endpoints.
-pub fn dual_vertex_endpoints(graph: &CsrGraph, dual_vertex: VertexId) -> (VertexId, VertexId) {
+pub fn dual_vertex_endpoints<G: GraphStorage + ?Sized>(
+    graph: &G,
+    dual_vertex: VertexId,
+) -> (VertexId, VertexId) {
     graph.endpoints(EdgeId(dual_vertex.0))
 }
 

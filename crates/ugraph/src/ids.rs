@@ -9,14 +9,24 @@
 use std::fmt;
 
 /// Identifier of a vertex: an index in `0..graph.vertex_count()`.
+///
+/// `#[repr(transparent)]` guarantees the same layout as a bare `u32`, so a
+/// `&[u32]` borrowed from a binary snapshot can be reinterpreted as
+/// `&[VertexId]` without copying (the zero-copy contract of
+/// [`crate::MappedCsrGraph`]).
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
 pub struct VertexId(pub u32);
 
 /// Identifier of an undirected edge: an index in `0..graph.edge_count()`.
 ///
 /// Each undirected edge has exactly one [`EdgeId`], regardless of direction;
 /// the CSR structure maps both half-edges of an edge to the same id.
+///
+/// Like [`VertexId`], `#[repr(transparent)]` over `u32` makes the type safe to
+/// reinterpret from snapshot bytes.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
 pub struct EdgeId(pub u32);
 
 impl VertexId {

@@ -32,14 +32,14 @@ const SECTION_HEADER: u8 = 1;
 const SECTION_EDGES: u8 = 2;
 const SECTION_WEIGHTS: u8 = 3;
 
-fn corrupt(message: impl Into<String>) -> GraphError {
+pub(crate) fn corrupt(message: impl Into<String>) -> GraphError {
     GraphError::Parse { line: 0, message: message.into() }
 }
 
-/// FNV-1a 64-bit over `bytes` — the integrity check of the v2 snapshot.
-/// Deliberately simple and dependency-free; it guards against truncation and
-/// bit rot, not adversaries.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// FNV-1a 64-bit over `bytes` — the integrity check of the v2 and v3
+/// snapshots. Deliberately simple and dependency-free; it guards against
+/// truncation and bit rot, not adversaries.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= b as u64;
@@ -297,12 +297,21 @@ pub fn decode_binary_v2(bytes: &[u8]) -> Result<ParsedEdgeList> {
     Ok(ParsedEdgeList { graph, edge_weights: weights })
 }
 
-/// Decode either binary generation: dispatches on the v2 magic, falling back
-/// to the legacy v1 layout (which, having no magic, cannot be told apart from
-/// corruption any better than v1 itself allowed).
+/// Decode any binary generation: dispatches on the shared magic and the
+/// version stamp behind it (2 → the edge-list snapshot, 3 → the zero-copy
+/// CSR snapshot), falling back to the legacy v1 layout when the magic is
+/// absent (v1, having no magic, cannot be told apart from corruption any
+/// better than v1 itself allowed).
 pub fn decode_binary_auto(bytes: &[u8]) -> Result<ParsedEdgeList> {
     if bytes.starts_with(BINARY_V2_MAGIC) {
-        decode_binary_v2(bytes)
+        match bytes.get(4..8).map(|v| u32::from_le_bytes(v.try_into().expect("4 bytes"))) {
+            Some(BINARY_VERSION) => decode_binary_v2(bytes),
+            Some(super::v3::BINARY_V3_VERSION) => super::v3::decode_binary_v3(bytes),
+            Some(version) => Err(corrupt(format!(
+                "unsupported binary snapshot version {version} (this reader supports 2 and 3)"
+            ))),
+            None => Err(corrupt("binary snapshot truncated inside the version stamp")),
+        }
     } else {
         let graph = decode_binary(Bytes::from(bytes.to_vec()))?;
         Ok(ParsedEdgeList { graph, edge_weights: None })

@@ -11,7 +11,7 @@
 //! | CSV with header                 | [`read_csv`]             | —                              |
 //! | METIS adjacency                 | [`read_metis`]           | —                              |
 //! | JSON adjacency (one object/line)| [`read_json_adjacency`]  | —                              |
-//! | binary snapshot v2 (+ legacy v1)| [`decode_binary_auto`]   | [`encode_binary_v2`]           |
+//! | binary snapshot v2/v3 (+ legacy v1) | [`decode_binary_auto`] | [`encode_binary_v2`] / [`encode_binary_v3`] |
 //!
 //! Callers rarely pick a reader by hand: [`GraphSource`] resolves the format
 //! from an explicit [`GraphFormat`], the file extension, or content sniffing,
@@ -39,8 +39,11 @@ use std::io::{BufRead, Write};
 use std::path::Path;
 
 mod binary;
+mod checksum;
 mod formats;
+pub mod mmap;
 mod source;
+mod v3;
 
 pub use binary::{
     decode_binary, decode_binary_auto, decode_binary_v2, encode_binary, encode_binary_v2,
@@ -48,6 +51,12 @@ pub use binary::{
 };
 pub use formats::{read_csv, read_json_adjacency, read_metis, GraphFormat};
 pub use source::GraphSource;
+#[doc(hidden)]
+pub use v3::restamp_v3_checksum;
+pub use v3::{
+    decode_binary_v3, encode_binary_v3, write_binary_v3, write_binary_v3_file, MappedCsrGraph,
+    BINARY_V3_VERSION,
+};
 
 /// An edge list parsed from any ingest format: the graph plus optional
 /// per-edge weights.

@@ -51,6 +51,7 @@ pub mod generators;
 pub mod ids;
 pub mod io;
 pub mod par;
+pub mod storage;
 pub mod traversal;
 pub mod union_find;
 
@@ -59,7 +60,8 @@ pub use csr::{CsrGraph, EdgeRef, NeighborIter};
 pub use dual::{line_graph, LineGraph};
 pub use error::{GraphError, Result};
 pub use ids::{EdgeId, VertexId};
-pub use io::{GraphFormat, GraphSource, ParsedEdgeList};
+pub use io::{GraphFormat, GraphSource, MappedCsrGraph, ParsedEdgeList};
 pub use par::Parallelism;
+pub use storage::{GraphStorage, GraphStorageExt};
 pub use traversal::{bfs_order, connected_components, ConnectedComponents};
 pub use union_find::UnionFind;

@@ -1,13 +1,13 @@
 //! Traversals and connectivity: BFS orderings, connected components,
 //! shortest-path distances (unweighted) and k-hop neighborhoods.
 
-use crate::csr::CsrGraph;
 use crate::ids::VertexId;
+use crate::storage::GraphStorage;
 use std::collections::VecDeque;
 
 /// Breadth-first visit order from `source`, restricted to `source`'s
 /// connected component.
-pub fn bfs_order(graph: &CsrGraph, source: VertexId) -> Vec<VertexId> {
+pub fn bfs_order<G: GraphStorage + ?Sized>(graph: &G, source: VertexId) -> Vec<VertexId> {
     let mut visited = vec![false; graph.vertex_count()];
     let mut order = Vec::new();
     let mut queue = VecDeque::new();
@@ -15,7 +15,7 @@ pub fn bfs_order(graph: &CsrGraph, source: VertexId) -> Vec<VertexId> {
     queue.push_back(source);
     while let Some(v) = queue.pop_front() {
         order.push(v);
-        for n in graph.neighbor_vertices(v) {
+        for &n in graph.neighbor_slice(v) {
             if !visited[n.index()] {
                 visited[n.index()] = true;
                 queue.push_back(n);
@@ -28,14 +28,14 @@ pub fn bfs_order(graph: &CsrGraph, source: VertexId) -> Vec<VertexId> {
 /// Unweighted single-source shortest-path distances (hop counts).
 ///
 /// Unreachable vertices get `usize::MAX`.
-pub fn bfs_distances(graph: &CsrGraph, source: VertexId) -> Vec<usize> {
+pub fn bfs_distances<G: GraphStorage + ?Sized>(graph: &G, source: VertexId) -> Vec<usize> {
     let mut dist = vec![usize::MAX; graph.vertex_count()];
     let mut queue = VecDeque::new();
     dist[source.index()] = 0;
     queue.push_back(source);
     while let Some(v) = queue.pop_front() {
         let d = dist[v.index()];
-        for n in graph.neighbor_vertices(v) {
+        for &n in graph.neighbor_slice(v) {
             if dist[n.index()] == usize::MAX {
                 dist[n.index()] = d + 1;
                 queue.push_back(n);
@@ -50,7 +50,11 @@ pub fn bfs_distances(graph: &CsrGraph, source: VertexId) -> Vec<usize> {
 /// This is the "k-hop neighborhood" `N(v)` used by the paper's Local
 /// Correlation Index (Section II-F); the paper fixes `k = 1` in experiments
 /// but we keep it general.
-pub fn k_hop_neighborhood(graph: &CsrGraph, center: VertexId, k: usize) -> Vec<VertexId> {
+pub fn k_hop_neighborhood<G: GraphStorage + ?Sized>(
+    graph: &G,
+    center: VertexId,
+    k: usize,
+) -> Vec<VertexId> {
     let mut dist = vec![usize::MAX; graph.vertex_count()];
     let mut out = Vec::new();
     let mut queue = VecDeque::new();
@@ -62,7 +66,7 @@ pub fn k_hop_neighborhood(graph: &CsrGraph, center: VertexId, k: usize) -> Vec<V
         if d == k {
             continue;
         }
-        for n in graph.neighbor_vertices(v) {
+        for &n in graph.neighbor_slice(v) {
             if dist[n.index()] == usize::MAX {
                 dist[n.index()] = d + 1;
                 out.push(n);
@@ -117,7 +121,7 @@ impl ConnectedComponents {
 ///
 /// Components are numbered in order of their smallest vertex, so the labelling
 /// is canonical.
-pub fn connected_components(graph: &CsrGraph) -> ConnectedComponents {
+pub fn connected_components<G: GraphStorage + ?Sized>(graph: &G) -> ConnectedComponents {
     let n = graph.vertex_count();
     let mut label = vec![usize::MAX; n];
     let mut sizes = Vec::new();
@@ -132,7 +136,7 @@ pub fn connected_components(graph: &CsrGraph) -> ConnectedComponents {
         queue.push_back(VertexId::from_index(start));
         while let Some(v) = queue.pop_front() {
             sizes[comp] += 1;
-            for nb in graph.neighbor_vertices(v) {
+            for &nb in graph.neighbor_slice(v) {
                 if label[nb.index()] == usize::MAX {
                     label[nb.index()] = comp;
                     queue.push_back(nb);
@@ -148,7 +152,7 @@ mod tests {
     use super::*;
     use crate::builder::GraphBuilder;
 
-    fn two_components() -> CsrGraph {
+    fn two_components() -> crate::csr::CsrGraph {
         // Component A: 0-1-2 path; component B: 3-4 edge; vertex 5 isolated.
         let mut b = GraphBuilder::new();
         b.add_edge(0, 1);

@@ -10,19 +10,27 @@
 //!                                [-- --format <svg|treemap|obj|ply|ascii|json>]
 //!                                [-- --out <artifact path>]
 //!                                [-- --save-graph <binary snapshot path>]
+//!                                [-- --snapshot-version <2|3>]
+//!                                [-- --mapped]
 //! ```
 //!
 //! Without `--input` a small built-in collaboration graph is used;
-//! `--save-graph` writes that graph as a binary v2 snapshot which a later
-//! run can `--input` back (CI round-trips exactly this and diffs the SVG
-//! bytes). The `--threads` knob is pure wall-clock: the emitted artifact is
-//! byte-identical for every setting (CI diffs `--threads serial` against
-//! `--threads 2` end-to-end).
+//! `--save-graph` writes that graph as a binary snapshot which a later run
+//! can `--input` back (CI round-trips exactly this and diffs the SVG
+//! bytes). `--snapshot-version` picks the generation: `3` (the default) is
+//! the zero-copy CSR layout that `TerrainPipeline::open_mapped` serves
+//! straight from the mapped file; `2` keeps the legacy edge-list encoding
+//! for older readers. `--mapped` makes `--input` (which must then name a
+//! v3 snapshot) open memory-mapped instead of deserializing — the session
+//! runs off the page cache and the artifact bytes are identical to the
+//! owned path (CI diffs exactly that). The `--threads` knob is pure
+//! wall-clock: the emitted artifact is byte-identical for every setting
+//! (CI diffs `--threads serial` against `--threads 2` end-to-end).
 
 use graph_terrain::prelude::*;
 use measures::Parallelism;
 use terrain::{exporter_by_name, peaks_at_alpha, Ascii, Exporter, RenderScene};
-use ugraph::io::{encode_binary_v2, GraphSource};
+use ugraph::io::{encode_binary_v2, write_binary_v3_file, GraphSource};
 use ugraph::GraphBuilder;
 
 /// `--flag value` or `--flag=value`, matching the figure binaries' parser.
@@ -52,46 +60,75 @@ fn main() {
         std::env::temp_dir().join(format!("graph_terrain_quickstart.{}", exporter.file_extension()))
     });
 
-    // 1. Get a graph: ingest any supported format through GraphSource, or
-    //    build the demo graph by hand — two dense "research groups" (a K5 and
-    //    a K4) connected through a chain of collaborations.
-    let graph = match flag(&args, "--input") {
-        Some(path) => {
-            let parsed = GraphSource::path(&path).load().expect("load --input graph");
-            println!("loaded {path} ({} vertices)", parsed.graph.vertex_count());
-            parsed.graph
-        }
-        None => {
-            let mut builder = GraphBuilder::new();
-            for u in 0..5u32 {
-                for v in (u + 1)..5u32 {
-                    builder.add_edge(u, v); // group A: vertices 0..5
-                }
+    // 1+2. Get a graph and start a session whose scalar field is the K-Core
+    //    number of each vertex, so the terrain's peaks are exactly the dense
+    //    K-Cores (Proposition 4 of the paper). The session computes the
+    //    measure itself, under the requested thread budget. With `--mapped`
+    //    the graph never leaves the snapshot file: the session serves the
+    //    CSR arrays straight out of the memory mapping.
+    let input = flag(&args, "--input");
+    let owned_graph; // keeps the owned graph alive for the borrowed session
+    let mut session = if args.iter().any(|a| a == "--mapped") {
+        let path = input.as_deref().expect("--mapped requires --input <v3 snapshot path>");
+        let session =
+            TerrainPipeline::open_mapped(path, Measure::KCore).expect("open mapped v3 snapshot");
+        println!(
+            "opened {path} zero-copy ({} vertices, {} edges)",
+            session.graph().vertex_count(),
+            session.graph().edge_count()
+        );
+        session
+    } else {
+        // Ingest any supported format through GraphSource, or build the demo
+        // graph by hand — two dense "research groups" (a K5 and a K4)
+        // connected through a chain of collaborations.
+        owned_graph = match input {
+            Some(path) => {
+                let parsed = GraphSource::path(&path).load().expect("load --input graph");
+                println!("loaded {path} ({} vertices)", parsed.graph.vertex_count());
+                parsed.graph
             }
-            for u in 5..9u32 {
-                for v in (u + 1)..9u32 {
-                    builder.add_edge(u, v); // group B: vertices 5..9
+            None => {
+                let mut builder = GraphBuilder::new();
+                for u in 0..5u32 {
+                    for v in (u + 1)..5u32 {
+                        builder.add_edge(u, v); // group A: vertices 0..5
+                    }
                 }
+                for u in 5..9u32 {
+                    for v in (u + 1)..9u32 {
+                        builder.add_edge(u, v); // group B: vertices 5..9
+                    }
+                }
+                builder.extend_edges([(4u32, 9u32), (9, 10), (10, 5)]); // bridge authors
+                builder.build()
             }
-            builder.extend_edges([(4u32, 9u32), (9, 10), (10, 5)]); // bridge authors
-            builder.build()
+        };
+        println!(
+            "graph: {} vertices, {} edges",
+            owned_graph.vertex_count(),
+            owned_graph.edge_count()
+        );
+
+        // Optionally snapshot the graph so a later run can `--input` it back,
+        // byte-identically. v3 (default) is the zero-copy CSR layout that
+        // `MappedCsrGraph` serves without deserializing; v2 stays available
+        // for readers that predate it.
+        if let Some(path) = flag(&args, "--save-graph") {
+            let version = flag(&args, "--snapshot-version").unwrap_or_else(|| "3".to_string());
+            match version.as_str() {
+                "3" => write_binary_v3_file(&owned_graph, None, &path).expect("write v3 snapshot"),
+                "2" => {
+                    let blob = encode_binary_v2(&owned_graph, None).expect("encode v2 snapshot");
+                    std::fs::write(&path, blob).expect("write v2 snapshot");
+                }
+                other => panic!("unsupported --snapshot-version {other:?} (expected 2 or 3)"),
+            }
+            println!("saved binary v{version} snapshot to {path}");
         }
+
+        TerrainPipeline::from_measure(&owned_graph, Measure::KCore)
     };
-    println!("graph: {} vertices, {} edges", graph.vertex_count(), graph.edge_count());
-
-    // Optionally snapshot the graph (binary v2: magic + version + checksum)
-    // so a later run can `--input` it back, byte-identically.
-    if let Some(path) = flag(&args, "--save-graph") {
-        let blob = encode_binary_v2(&graph, None).expect("encode snapshot");
-        std::fs::write(&path, blob).expect("write snapshot");
-        println!("saved binary v2 snapshot to {path}");
-    }
-
-    // 2. Start a session whose scalar field is the K-Core number of each
-    //    vertex, so the terrain's peaks are exactly the dense K-Cores
-    //    (Proposition 4 of the paper). The session computes the measure
-    //    itself, under the requested thread budget.
-    let mut session = TerrainPipeline::from_measure(&graph, Measure::KCore);
     session.set_parallelism(parallelism);
     println!("measure parallelism: {parallelism} (the artifact is identical for every setting)");
 

@@ -57,6 +57,7 @@ use scalarfield::{
     EdgeScalarGraph, ScalarTree, SuperScalarTree, VertexScalarGraph,
 };
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 use terrain::{
     try_build_terrain_mesh, try_layout_super_tree, ColorScheme, Exporter, LayoutConfig, MeshConfig,
@@ -64,7 +65,7 @@ use terrain::{
 };
 use ugraph::io::GraphSource;
 use ugraph::par::Parallelism;
-use ugraph::CsrGraph;
+use ugraph::{CsrGraph, GraphStorage, MappedCsrGraph};
 
 /// Whether a session's scalar field lives on vertices or on edges.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -133,7 +134,7 @@ impl Measure {
         }
     }
 
-    fn compute(&self, graph: &CsrGraph, parallelism: Parallelism) -> Vec<f64> {
+    fn compute(&self, graph: &dyn GraphStorage, parallelism: Parallelism) -> Vec<f64> {
         match self {
             Measure::KCore => {
                 measures::core_numbers(graph).core.iter().map(|&c| c as f64).collect()
@@ -294,20 +295,44 @@ pub struct TerrainParts {
 }
 
 /// How a session holds its graph: borrowed from the caller (the historical
-/// constructors) or owned outright (sessions started from a
-/// [`GraphSource`] — there is no caller-side graph to borrow).
-#[derive(Clone, Debug)]
+/// constructors), owned outright (sessions started from a
+/// [`GraphSource`] — there is no caller-side graph to borrow), or backed by
+/// a memory-mapped binary v3 snapshot ([`TerrainPipeline::open_mapped`]).
+///
+/// The mapped variant is reference-counted so cloning a session shares the
+/// one kernel mapping instead of duplicating file-sized buffers.
+#[derive(Clone)]
 enum GraphStore<'g> {
-    Borrowed(&'g CsrGraph),
+    Borrowed(&'g dyn GraphStorage),
     Owned(Box<CsrGraph>),
+    Mapped(Arc<MappedCsrGraph>),
 }
 
 impl GraphStore<'_> {
-    fn get(&self) -> &CsrGraph {
+    fn get(&self) -> &dyn GraphStorage {
         match self {
-            GraphStore::Borrowed(graph) => graph,
-            GraphStore::Owned(graph) => graph,
+            GraphStore::Borrowed(graph) => *graph,
+            GraphStore::Owned(graph) => &**graph,
+            GraphStore::Mapped(graph) => &**graph,
         }
+    }
+}
+
+// Manual `Debug`: `&dyn GraphStorage` carries no `Debug` bound, and the
+// interesting facts are the backend kind and the graph size anyway.
+impl std::fmt::Debug for GraphStore<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self {
+            GraphStore::Borrowed(_) => "borrowed",
+            GraphStore::Owned(_) => "owned",
+            GraphStore::Mapped(_) => "mapped",
+        };
+        let graph = self.get();
+        f.debug_struct("GraphStore")
+            .field("kind", &kind)
+            .field("vertices", &graph.vertex_count())
+            .field("edges", &graph.edge_count())
+            .finish()
     }
 }
 
@@ -376,7 +401,7 @@ impl<'g> TerrainPipeline<'g> {
     /// Start a session over a vertex scalar field. The field is validated up
     /// front (one finite entry per vertex), so every later stage can assume a
     /// totally ordered scalar.
-    pub fn vertex(graph: &'g CsrGraph, scalar: Vec<f64>) -> TerrainResult<Self> {
+    pub fn vertex(graph: &'g dyn GraphStorage, scalar: Vec<f64>) -> TerrainResult<Self> {
         VertexScalarGraph::new(graph, &scalar)?;
         let mut p = Self::new(GraphStore::Borrowed(graph), FieldKind::Vertex);
         p.scalar = Some(scalar);
@@ -385,7 +410,7 @@ impl<'g> TerrainPipeline<'g> {
 
     /// Start a session over an edge scalar field (validated up front: one
     /// finite entry per edge).
-    pub fn edge(graph: &'g CsrGraph, scalar: Vec<f64>) -> TerrainResult<Self> {
+    pub fn edge(graph: &'g dyn GraphStorage, scalar: Vec<f64>) -> TerrainResult<Self> {
         EdgeScalarGraph::new(graph, &scalar)?;
         let mut p = Self::new(GraphStore::Borrowed(graph), FieldKind::Edge);
         p.scalar = Some(scalar);
@@ -395,7 +420,7 @@ impl<'g> TerrainPipeline<'g> {
     /// Start a session whose scalar field is a built-in [`Measure`], computed
     /// lazily on first demand under the session's current [`Parallelism`]
     /// budget. Infallible: the measure always produces a valid field.
-    pub fn from_measure(graph: &'g CsrGraph, measure: Measure) -> Self {
+    pub fn from_measure(graph: &'g dyn GraphStorage, measure: Measure) -> Self {
         let mut p = Self::new(GraphStore::Borrowed(graph), measure.field_kind());
         p.measure = Some(measure);
         p
@@ -427,6 +452,34 @@ impl<'g> TerrainPipeline<'g> {
         let parsed = source.load()?;
         let mut p =
             TerrainPipeline::new(GraphStore::Owned(Box::new(parsed.graph)), measure.field_kind());
+        p.measure = Some(measure);
+        Ok(p)
+    }
+
+    /// Open a binary v3 snapshot as a memory-mapped graph and start a measure
+    /// session over it without deserializing the CSR arrays — the session
+    /// reads them zero-copy straight out of the page cache (see
+    /// [`MappedCsrGraph`]). Like [`from_source`](Self::from_source) the
+    /// session owns its storage, so it has no borrow tie to the caller.
+    ///
+    /// The snapshot is fully validated at open (checksum, section framing,
+    /// CSR invariants); v1/v2 snapshots and corrupt files are rejected with a
+    /// [`TerrainError`], never a panic.
+    ///
+    /// ```no_run
+    /// use graph_terrain::{Measure, TerrainPipeline};
+    /// use terrain::Svg;
+    ///
+    /// let mut session = TerrainPipeline::open_mapped("astro.gtsb", Measure::KCore)?;
+    /// session.write_artifact(&Svg::default(), "astro_kcore.svg")?;
+    /// # Ok::<(), graph_terrain::TerrainError>(())
+    /// ```
+    pub fn open_mapped(
+        path: impl AsRef<Path>,
+        measure: Measure,
+    ) -> TerrainResult<TerrainPipeline<'static>> {
+        let graph = MappedCsrGraph::open(path.as_ref())?;
+        let mut p = TerrainPipeline::new(GraphStore::Mapped(Arc::new(graph)), measure.field_kind());
         p.measure = Some(measure);
         Ok(p)
     }
@@ -535,9 +588,20 @@ impl<'g> TerrainPipeline<'g> {
     // Read-only session info.
     // ------------------------------------------------------------------
 
-    /// The graph this session builds over (borrowed or session-owned).
-    pub fn graph(&self) -> &CsrGraph {
+    /// The graph this session builds over, as an abstract [`GraphStorage`]
+    /// view — borrowed, session-owned, or memory-mapped.
+    pub fn graph(&self) -> &dyn GraphStorage {
         self.graph.get()
+    }
+
+    /// Whether the session's graph is served from a live kernel memory map
+    /// (only possible for [`open_mapped`](Self::open_mapped) sessions on
+    /// platforms where mapping succeeded).
+    pub fn is_memory_mapped(&self) -> bool {
+        match &self.graph {
+            GraphStore::Mapped(graph) => graph.is_memory_mapped(),
+            _ => false,
+        }
     }
 
     /// Whether this is a vertex- or an edge-scalar session.

@@ -5,7 +5,10 @@
 
 use graph_terrain::{Measure, TerrainPipeline};
 use terrain::{builtin_exporters, Exporter, RenderScene, Svg};
-use ugraph::io::{encode_binary, encode_binary_v2, GraphFormat, GraphSource};
+use ugraph::io::{
+    encode_binary, encode_binary_v2, encode_binary_v3, restamp_v3_checksum, GraphFormat,
+    GraphSource, MappedCsrGraph,
+};
 use ugraph::{CsrGraph, GraphBuilder};
 
 /// The quickstart graph: a K5 and a K4 bridged through two extra authors.
@@ -159,4 +162,92 @@ fn corrupt_snapshots_fail_loudly_through_the_whole_stack() {
             Ok(_) => panic!("corrupt snapshot was accepted"),
         }
     }
+}
+
+/// Assert `blob` is rejected — with an error, never a panic — by both v3
+/// openers: the zero-copy [`MappedCsrGraph`] path and the full
+/// `GraphSource -> TerrainPipeline` stack with an explicit binary format.
+fn expect_v3_rejected(blob: &[u8], what: &str) {
+    match MappedCsrGraph::from_bytes(blob) {
+        Err(e) => assert!(!e.to_string().is_empty(), "{what}: empty mapped-open error"),
+        Ok(_) => panic!("{what}: corrupt v3 snapshot accepted by MappedCsrGraph"),
+    }
+    let source =
+        GraphSource::reader(std::io::Cursor::new(blob.to_vec())).with_format(GraphFormat::Binary);
+    match TerrainPipeline::from_source(source, Measure::KCore) {
+        Err(e) => assert!(!e.to_string().is_empty(), "{what}: empty from_source error"),
+        Ok(_) => panic!("{what}: corrupt v3 snapshot accepted by from_source"),
+    }
+}
+
+#[test]
+fn every_v3_truncation_prefix_is_rejected() {
+    let blob = encode_binary_v3(&quickstart_graph(), None).unwrap();
+    for cut in 0..blob.len() {
+        expect_v3_rejected(&blob[..cut], &format!("prefix of {cut} bytes"));
+    }
+}
+
+#[test]
+fn every_v3_byte_flip_is_rejected() {
+    // Weighted snapshot so the flip sweep also crosses the weights section.
+    let graph = quickstart_graph();
+    let weights: Vec<f64> = (0..graph.edge_count()).map(|i| 1.0 + i as f64).collect();
+    let blob = encode_binary_v3(&graph, Some(&weights)).unwrap();
+    for at in 0..blob.len() {
+        let mut corrupted = blob.to_vec();
+        corrupted[at] ^= 0x20;
+        if at < 4 {
+            // A flip inside the magic stops the blob claiming to be a GTSB
+            // snapshot at all — the auto-dispatching stack then applies its
+            // documented legacy-v1 fallback, so only the strict v3 opener
+            // is in scope here.
+            assert!(
+                MappedCsrGraph::from_bytes(&corrupted).is_err(),
+                "flipped magic byte {at} accepted by MappedCsrGraph"
+            );
+        } else {
+            expect_v3_rejected(&corrupted, &format!("flipped bit at byte {at}"));
+        }
+    }
+}
+
+#[test]
+fn doctored_v3_snapshots_fail_for_the_right_reason() {
+    let clean = encode_binary_v3(&quickstart_graph(), None).unwrap();
+
+    // Bad magic (re-stamped so only the magic stands in the way).
+    let mut blob = clean.clone();
+    blob[..4].copy_from_slice(b"NOPE");
+    restamp_v3_checksum(&mut blob);
+    let err = MappedCsrGraph::from_bytes(&blob).unwrap_err();
+    assert!(err.to_string().contains("bad magic"), "{err}");
+
+    // Wrong version stamp.
+    let mut blob = clean.clone();
+    blob[4] = 9;
+    restamp_v3_checksum(&mut blob);
+    let err = MappedCsrGraph::from_bytes(&blob).unwrap_err();
+    assert!(err.to_string().contains("version 9"), "{err}");
+
+    // Bad checksum trailer over otherwise pristine bytes.
+    let mut blob = clean.clone();
+    let trailer = blob.len() - 1;
+    blob[trailer] ^= 0xff;
+    let err = MappedCsrGraph::from_bytes(&blob).unwrap_err();
+    assert!(err.to_string().contains("checksum mismatch"), "{err}");
+
+    // Misaligned section length: the offsets section header declares a
+    // length that is not a multiple of 8 (byte 48 is the low byte of that
+    // length: magic+version 8, header section 16+16, section tag+len 8+8).
+    let mut blob = clean.clone();
+    blob[48] = blob[48].wrapping_add(4);
+    restamp_v3_checksum(&mut blob);
+    expect_v3_rejected(&blob, "misaligned section length");
+
+    // Structurally broken payload behind a valid checksum: offsets[0] != 0.
+    let mut blob = clean;
+    blob[56] = 0xff;
+    restamp_v3_checksum(&mut blob);
+    expect_v3_rejected(&blob, "offsets[0] != 0");
 }

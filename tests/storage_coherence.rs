@@ -1,0 +1,88 @@
+//! Storage-backend coherence: the terrain pipeline must be **bit-identical**
+//! over owned and mapped storage. The same graph served from an in-memory
+//! [`CsrGraph`] and from a binary v3 snapshot behind [`MappedCsrGraph`] has
+//! to produce exact `==` trees, layout rectangles, mesh buffers and SVG
+//! bytes — for a vertex measure and an edge measure, across
+//! [`Parallelism::Serial`] and `Threads(2)`. The storage backend is a
+//! residency decision, never a semantic one.
+
+use graph_terrain::prelude::*;
+use proptest::prelude::*;
+use ugraph::generators::barabasi_albert;
+use ugraph::io::{encode_binary_v3, write_binary_v3_file, MappedCsrGraph};
+use ugraph::par::Parallelism;
+
+/// Exact equality of every stage output of two sessions.
+fn assert_sessions_identical(
+    a: &mut TerrainPipeline<'_>,
+    b: &mut TerrainPipeline<'_>,
+    context: &str,
+) {
+    assert_eq!(a.svg().unwrap(), b.svg().unwrap(), "{context}: svg");
+    let sa = a.stages().unwrap();
+    let sb = b.stages().unwrap();
+    assert_eq!(sa.super_tree.node_count(), sb.super_tree.node_count(), "{context}: super tree");
+    assert_eq!(sa.super_tree.scalars(), sb.super_tree.scalars(), "{context}: super scalars");
+    assert_eq!(sa.render_tree.node_count(), sb.render_tree.node_count(), "{context}: render tree");
+    assert_eq!(sa.layout.rects, sb.layout.rects, "{context}: layout rects");
+    assert_eq!(sa.mesh.vertices, sb.mesh.vertices, "{context}: mesh vertices");
+    assert_eq!(sa.mesh.triangles, sb.mesh.triangles, "{context}: mesh triangles");
+}
+
+/// One vertex measure and one edge measure, so both tree algorithms run.
+fn measures() -> [Measure; 2] {
+    [Measure::KCore, Measure::EdgeTriangles]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn owned_and_mapped_storage_yield_identical_terrains(
+        (n, m, seed) in (8usize..48, 2usize..4, 0u64..1_000),
+    ) {
+        let graph = barabasi_albert(n, m, seed);
+        // Round-trip through the v3 snapshot encoding into the zero-copy
+        // mapped representation (heap-backed here; the mmap syscall path is
+        // covered by the deterministic test below — both hand out the same
+        // `MappedBytes` view).
+        let blob = encode_binary_v3(&graph, None).unwrap();
+        let mapped = MappedCsrGraph::from_bytes(&blob).unwrap();
+        prop_assert!(mapped.is_zero_copy(), "round-trip fell back to eager decode");
+
+        for measure in measures() {
+            for parallelism in [Parallelism::Serial, Parallelism::Threads(2)] {
+                let mut owned = TerrainPipeline::from_measure(&graph, measure.clone());
+                owned.set_parallelism(parallelism);
+                let mut via_mapped = TerrainPipeline::from_measure(&mapped, measure.clone());
+                via_mapped.set_parallelism(parallelism);
+                let context =
+                    format!("measure {measure:?}, parallelism {parallelism}, n={n} m={m} seed={seed}");
+                assert_sessions_identical(&mut owned, &mut via_mapped, &context);
+            }
+        }
+    }
+}
+
+#[test]
+fn open_mapped_session_matches_owned_end_to_end() {
+    // The file-backed path: write a v3 snapshot to disk, reopen it through
+    // `TerrainPipeline::open_mapped` (a live kernel mapping on Unix), and
+    // demand the identical artifact the owned graph produces.
+    let graph = barabasi_albert(64, 3, 7);
+    let path = std::env::temp_dir()
+        .join(format!("graph-terrain-storage-coherence-{}.gtsb", std::process::id()));
+    write_binary_v3_file(&graph, None, &path).unwrap();
+
+    for measure in measures() {
+        for parallelism in [Parallelism::Serial, Parallelism::Threads(2)] {
+            let mut owned = TerrainPipeline::from_measure(&graph, measure.clone());
+            owned.set_parallelism(parallelism);
+            let mut mapped = TerrainPipeline::open_mapped(&path, measure.clone()).unwrap();
+            mapped.set_parallelism(parallelism);
+            let context = format!("measure {measure:?}, parallelism {parallelism}");
+            assert_sessions_identical(&mut owned, &mut mapped, &context);
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}

@@ -77,11 +77,8 @@ pub fn input_dataset_from_args() -> Option<FileDataset> {
 pub fn exporter_from(args: &[String], default_name: &str) -> Box<dyn Exporter> {
     let requested = flag_value(args, "--format");
     let name = requested.as_deref().unwrap_or(default_name);
-    exporter_by_name(name).unwrap_or_else(|| {
-        eprintln!(
-            "[warn] unknown --format {name:?} (expected svg, treemap, obj, ply, ascii or json); \
-             using {default_name}"
-        );
+    exporter_by_name(name).unwrap_or_else(|e| {
+        eprintln!("[warn] {e}; using {default_name}");
         exporter_by_name(default_name).expect("default backend exists")
     })
 }

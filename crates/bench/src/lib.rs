@@ -28,6 +28,7 @@
 
 pub mod cli;
 pub mod datasets;
+pub mod load_report;
 pub mod nn_graph;
 pub mod output;
 pub mod parallelism;

@@ -1,0 +1,281 @@
+//! The `LOAD_*.json` schema: one recorded run of the terrain server's load
+//! generator, committed next to the `BENCH_*.json` perf baselines.
+//!
+//! Where a bench baseline records single-pipeline wall clock, a load report
+//! records *served* behaviour: concurrent clients, request mix, latency
+//! percentiles, and the artifact cache's hit rate — the numbers the server
+//! story in `PERFORMANCE.md` quotes. As with [`crate::report`], this module
+//! is the single source of truth: the writer, the validator and the doc
+//! cannot drift apart.
+
+use serde::Serialize;
+use serde_json::Value;
+
+use crate::report::JsonObject;
+
+/// Version stamp written into every load report.
+pub const LOAD_SCHEMA_VERSION: u64 = 1;
+
+/// Latency percentiles over one request population, in milliseconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencyMillis {
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Slowest observed request.
+    pub max: f64,
+}
+
+impl LatencyMillis {
+    /// Percentiles from raw per-request latencies (any order). Returns the
+    /// zero value for an empty population.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return LatencyMillis::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let at = |q: f64| {
+            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+            sorted[idx]
+        };
+        LatencyMillis { p50: at(0.50), p90: at(0.90), p99: at(0.99), max: sorted[sorted.len() - 1] }
+    }
+}
+
+/// Cache counters scraped from the server's `/stats` after the run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheOutcome {
+    /// Cache hits.
+    pub hits: u64,
+    /// Cache misses.
+    pub misses: u64,
+    /// Hits over lookups (0.0 before any lookup).
+    pub hit_rate: f64,
+    /// Entries evicted during the run.
+    pub evictions: u64,
+    /// `304 Not Modified` responses (served from the ETag, not the cache).
+    pub not_modified: u64,
+}
+
+/// One complete load-generator run — the top-level object of a
+/// `LOAD_*.json` file.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Always [`LOAD_SCHEMA_VERSION`].
+    pub schema_version: u64,
+    /// ISO date (`YYYY-MM-DD`, UTC) the run started.
+    pub created: String,
+    /// `git rev-parse --short HEAD`, or `"unknown"`.
+    pub git_rev: String,
+    /// Hardware threads visible to the generator process.
+    pub host_threads: usize,
+    /// Operating system (`std::env::consts::OS`).
+    pub host_os: String,
+    /// Worker threads the target server ran with.
+    pub server_workers: usize,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests issued per client.
+    pub requests_per_client: usize,
+    /// Total requests issued (`clients * requests_per_client` plus setup).
+    pub total_requests: u64,
+    /// Responses with status 200/201.
+    pub ok_responses: u64,
+    /// `304 Not Modified` responses received.
+    pub not_modified_responses: u64,
+    /// Responses with status >= 400, or transport failures.
+    pub failed_requests: u64,
+    /// RNG seed driving the request mix.
+    pub seed: u64,
+    /// Vertices in the graph the run rendered.
+    pub graph_vertices: usize,
+    /// Edges in the graph the run rendered.
+    pub graph_edges: usize,
+    /// Wall-clock seconds from first to last response.
+    pub wall_seconds: f64,
+    /// `total_requests / wall_seconds`.
+    pub requests_per_second: f64,
+    /// Latency percentiles across every request.
+    pub latency_ms: LatencyMillis,
+    /// The server's cache counters after the run.
+    pub cache: CacheOutcome,
+}
+
+impl Serialize for LatencyMillis {
+    fn json_write(&self, out: &mut String, indent: usize) {
+        let mut obj = JsonObject::new(out, indent);
+        obj.field("p50", &self.p50)
+            .field("p90", &self.p90)
+            .field("p99", &self.p99)
+            .field("max", &self.max);
+        obj.finish();
+    }
+}
+
+impl Serialize for CacheOutcome {
+    fn json_write(&self, out: &mut String, indent: usize) {
+        let mut obj = JsonObject::new(out, indent);
+        obj.field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .field("hit_rate", &self.hit_rate)
+            .field("evictions", &self.evictions)
+            .field("not_modified", &self.not_modified);
+        obj.finish();
+    }
+}
+
+impl Serialize for LoadReport {
+    fn json_write(&self, out: &mut String, indent: usize) {
+        let mut obj = JsonObject::new(out, indent);
+        obj.field("schema_version", &self.schema_version)
+            .field("created", &self.created)
+            .field("git_rev", &self.git_rev)
+            .field("host_threads", &self.host_threads)
+            .field("host_os", &self.host_os)
+            .field("server_workers", &self.server_workers)
+            .field("clients", &self.clients)
+            .field("requests_per_client", &self.requests_per_client)
+            .field("total_requests", &self.total_requests)
+            .field("ok_responses", &self.ok_responses)
+            .field("not_modified_responses", &self.not_modified_responses)
+            .field("failed_requests", &self.failed_requests)
+            .field("seed", &self.seed)
+            .field("graph_vertices", &self.graph_vertices)
+            .field("graph_edges", &self.graph_edges)
+            .field("wall_seconds", &self.wall_seconds)
+            .field("requests_per_second", &self.requests_per_second)
+            .field("latency_ms", &self.latency_ms)
+            .field("cache", &self.cache);
+        obj.finish();
+    }
+}
+
+/// Validate a parsed `LOAD_*.json` document. Returns every violation
+/// (empty = valid).
+pub fn validate(doc: &Value) -> Vec<String> {
+    let mut errors = Vec::new();
+    match doc.get("schema_version").and_then(Value::as_u64) {
+        Some(LOAD_SCHEMA_VERSION) => {}
+        Some(v) => errors.push(format!("schema_version {v} != supported {LOAD_SCHEMA_VERSION}")),
+        None => errors.push("missing numeric schema_version".to_string()),
+    }
+    for key in ["created", "git_rev", "host_os"] {
+        if doc.get(key).and_then(Value::as_str).is_none() {
+            errors.push(format!("missing string field {key:?}"));
+        }
+    }
+    for key in [
+        "host_threads",
+        "server_workers",
+        "clients",
+        "requests_per_client",
+        "total_requests",
+        "ok_responses",
+        "not_modified_responses",
+        "failed_requests",
+        "seed",
+        "graph_vertices",
+        "graph_edges",
+    ] {
+        if doc.get(key).and_then(Value::as_u64).is_none() {
+            errors.push(format!("missing numeric field {key:?}"));
+        }
+    }
+    for key in ["wall_seconds", "requests_per_second"] {
+        if doc.get(key).and_then(Value::as_f64).is_none() {
+            errors.push(format!("missing numeric field {key:?}"));
+        }
+    }
+    match doc.get("latency_ms") {
+        Some(latency) => {
+            for key in ["p50", "p90", "p99", "max"] {
+                if latency.get(key).and_then(Value::as_f64).is_none() {
+                    errors.push(format!("latency_ms: missing numeric field {key:?}"));
+                }
+            }
+        }
+        None => errors.push("missing object field \"latency_ms\"".to_string()),
+    }
+    match doc.get("cache") {
+        Some(cache) => {
+            for key in ["hits", "misses", "evictions", "not_modified"] {
+                if cache.get(key).and_then(Value::as_u64).is_none() {
+                    errors.push(format!("cache: missing numeric field {key:?}"));
+                }
+            }
+            if cache.get("hit_rate").and_then(Value::as_f64).is_none() {
+                errors.push("cache: missing numeric field \"hit_rate\"".to_string());
+            }
+        }
+        None => errors.push("missing object field \"cache\"".to_string()),
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{git_short_rev, utc_date};
+
+    fn sample_report() -> LoadReport {
+        LoadReport {
+            schema_version: LOAD_SCHEMA_VERSION,
+            created: utc_date(),
+            git_rev: git_short_rev(),
+            host_threads: 8,
+            host_os: "linux".to_string(),
+            server_workers: 4,
+            clients: 8,
+            requests_per_client: 128,
+            total_requests: 1_024,
+            ok_responses: 900,
+            not_modified_responses: 100,
+            failed_requests: 24,
+            seed: 20_170_419,
+            graph_vertices: 11,
+            graph_edges: 19,
+            wall_seconds: 2.5,
+            requests_per_second: 409.6,
+            latency_ms: LatencyMillis::from_samples(&[1.0, 2.0, 3.0, 50.0]),
+            cache: CacheOutcome {
+                hits: 800,
+                misses: 100,
+                hit_rate: 800.0 / 900.0,
+                evictions: 3,
+                not_modified: 100,
+            },
+        }
+    }
+
+    #[test]
+    fn emitted_reports_round_trip_through_validate() {
+        let json = serde_json::to_string_pretty(&sample_report()).expect("serialize");
+        let doc = serde_json::from_str(&json).expect("parse back");
+        assert_eq!(validate(&doc), Vec::<String>::new());
+    }
+
+    #[test]
+    fn validate_names_missing_and_mismatched_fields() {
+        let doc = serde_json::from_str("{\"schema_version\": 99}").unwrap();
+        let errors = validate(&doc);
+        assert!(errors.iter().any(|e| e.contains("schema_version 99")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("latency_ms")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("cache")), "{errors:?}");
+    }
+
+    #[test]
+    fn percentiles_are_order_insensitive_and_bounded_by_max() {
+        let shuffled = [9.0, 1.0, 5.0, 3.0, 7.0, 2.0, 8.0, 4.0, 6.0, 10.0];
+        let latency = LatencyMillis::from_samples(&shuffled);
+        // Nearest-rank on 10 samples: round(9 * 0.5) = index 5.
+        assert_eq!(latency.p50, 6.0);
+        assert_eq!(latency.max, 10.0);
+        assert!(latency.p50 <= latency.p90 && latency.p90 <= latency.p99);
+        assert!(latency.p99 <= latency.max);
+        assert_eq!(LatencyMillis::from_samples(&[]).max, 0.0);
+    }
+}

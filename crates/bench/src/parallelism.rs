@@ -32,8 +32,8 @@ pub fn parallelism_from(args: &[String]) -> Parallelism {
 }
 
 fn parse_or_warn(value: &str) -> Parallelism {
-    Parallelism::parse(value).unwrap_or_else(|| {
-        eprintln!("[warn] unrecognized --threads value {value:?} (expected serial, auto or a thread count); using auto");
+    Parallelism::parse(value).unwrap_or_else(|e| {
+        eprintln!("[warn] {e}; using auto");
         Parallelism::auto()
     })
 }
@@ -70,7 +70,7 @@ pub fn parallelism_list_from(args: &[String], default: &str) -> Result<Vec<Paral
         .split(',')
         .map(str::trim)
         .filter(|s| !s.is_empty())
-        .map(|s| Parallelism::parse(s).ok_or_else(|| s.to_string()))
+        .map(|s| Parallelism::parse(s).map_err(|e| e.to_string()))
         .collect::<Result<_, _>>()?;
     if settings.is_empty() {
         return Err(value);
@@ -113,11 +113,12 @@ mod tests {
             parallelism_list_from(&argv(&["bin"]), "serial,2").unwrap(),
             vec![Parallelism::Serial, Parallelism::Threads(2)]
         );
-        // A typo is a hard error carrying the bad token, not a fallback.
-        assert_eq!(
-            parallelism_list_from(&argv(&["bin", "--parallelism=serial,bogus"]), "serial"),
-            Err("bogus".to_string())
-        );
+        // A typo is a hard error carrying the typed parse message (which
+        // names the bad token), not a fallback.
+        let err = parallelism_list_from(&argv(&["bin", "--parallelism=serial,bogus"]), "serial")
+            .unwrap_err();
+        assert!(err.contains("\"bogus\""), "error should name the bad token: {err}");
+        assert!(err.contains("expected"), "error should list accepted forms: {err}");
         assert!(parallelism_list_from(&argv(&["bin", "--parallelism", ","]), "serial").is_err());
     }
 

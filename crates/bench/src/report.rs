@@ -116,20 +116,21 @@ pub struct RungResult {
 }
 
 // Hand-written JSON emission: the vendored serde has no derive macros, so
-// each report struct writes its own object with the shared field helper.
-struct JsonObject<'a> {
+// each report struct writes its own object with the shared field helper
+// (also used by the `LOAD_*.json` sibling schema in [`crate::load_report`]).
+pub(crate) struct JsonObject<'a> {
     out: &'a mut String,
     indent: usize,
     any: bool,
 }
 
 impl<'a> JsonObject<'a> {
-    fn new(out: &'a mut String, indent: usize) -> Self {
+    pub(crate) fn new(out: &'a mut String, indent: usize) -> Self {
         out.push('{');
         JsonObject { out, indent, any: false }
     }
 
-    fn field(&mut self, key: &str, value: &dyn Serialize) -> &mut Self {
+    pub(crate) fn field(&mut self, key: &str, value: &dyn Serialize) -> &mut Self {
         if self.any {
             self.out.push(',');
         }
@@ -142,7 +143,7 @@ impl<'a> JsonObject<'a> {
         self
     }
 
-    fn finish(self) {
+    pub(crate) fn finish(self) {
         if self.any {
             self.out.push('\n');
             self.out.push_str(&"  ".repeat(self.indent));

@@ -66,4 +66,4 @@ pub use triangles::{
     edge_triangle_counts_with, total_triangles, total_triangles_with, vertex_triangle_counts,
     vertex_triangle_counts_with,
 };
-pub use ugraph::par::Parallelism;
+pub use ugraph::par::{Parallelism, ParseParallelismError, ParseParallelismErrorKind};

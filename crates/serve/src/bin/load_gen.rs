@@ -1,0 +1,249 @@
+//! Load generator for the terrain server: N client threads each issue M
+//! randomized requests (terrain renders across measures/formats/sizes,
+//! peaks, stats, and conditional revalidations), then the run is written as
+//! a schema'd `LOAD_*.json` report next to the `BENCH_*.json` perf
+//! baselines.
+//!
+//! ```text
+//! load_gen --addr <host:port> --graph <path>
+//!          [--clients 8] [--requests 128] [--seed 20170419] [--out <path>]
+//! ```
+//!
+//! The request mix is seeded and deterministic per client: mostly terrain
+//! renders drawn from a small pool of parameter combinations (so the cache
+//! sees both cold misses and plenty of hits), a slice of peaks queries, an
+//! occasional `/stats`, and — once a client has seen an ETag for a target —
+//! conditional re-requests that exercise the `304` path.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::load_report::{CacheOutcome, LatencyMillis, LoadReport, LOAD_SCHEMA_VERSION};
+use bench::report::{git_short_rev, utc_date};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serve::client;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    let prefix = format!("{name}=");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(value) = arg.strip_prefix(&prefix) {
+            return Some(value.to_string());
+        }
+        if arg == name {
+            return iter.next().cloned();
+        }
+    }
+    None
+}
+
+fn numeric<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    match flag(args, name) {
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("[error] {name} value {raw:?} is not a valid number");
+            std::process::exit(2);
+        }),
+        None => default,
+    }
+}
+
+/// One client's tally.
+#[derive(Default)]
+struct ClientOutcome {
+    latencies_ms: Vec<f64>,
+    ok: u64,
+    not_modified: u64,
+    failed: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let addr: SocketAddr = flag(&args, "--addr")
+        .unwrap_or_else(|| {
+            eprintln!("[error] --addr <host:port> is required");
+            std::process::exit(2);
+        })
+        .parse()
+        .unwrap_or_else(|e| {
+            eprintln!("[error] bad --addr: {e}");
+            std::process::exit(2);
+        });
+    let graph_path = flag(&args, "--graph").unwrap_or_else(|| {
+        eprintln!("[error] --graph <path> is required");
+        std::process::exit(2);
+    });
+    let clients: usize = numeric(&args, "--clients", 8);
+    let requests_per_client: usize = numeric(&args, "--requests", 128);
+    let seed: u64 = numeric(&args, "--seed", 20_170_419);
+
+    // Register the graph (idempotent across repeated runs against one
+    // server: a 409 means an earlier run already registered it).
+    let graph_bytes = std::fs::read(&graph_path).unwrap_or_else(|e| {
+        eprintln!("[error] cannot read --graph {graph_path}: {e}");
+        std::process::exit(2);
+    });
+    let upload = client::post(addr, "/graphs?id=loadgen", &graph_bytes).unwrap_or_else(|e| {
+        eprintln!("[error] upload failed: {e}");
+        std::process::exit(2);
+    });
+    if upload.status != 201 && upload.status != 409 {
+        eprintln!("[error] upload returned {}: {}", upload.status, upload.body_utf8());
+        std::process::exit(1);
+    }
+    let graph_doc =
+        serde_json::from_str(&client::get(addr, "/graphs/loadgen").unwrap().body_utf8())
+            .unwrap_or_else(|e| {
+                eprintln!("[error] /graphs/loadgen is not JSON: {e}");
+                std::process::exit(1);
+            });
+    let graph_vertices = graph_doc.get("vertices").and_then(|v| v.as_u64()).unwrap_or(0) as usize;
+    let graph_edges = graph_doc.get("edges").and_then(|v| v.as_u64()).unwrap_or(0) as usize;
+
+    // The randomized target pool: small enough that the cache converges to
+    // hits, large enough to keep several entries live at once.
+    let terrain_targets: Arc<Vec<String>> = Arc::new(
+        ["kcore", "degree", "ktruss"]
+            .iter()
+            .flat_map(|measure| {
+                ["svg", "json"].iter().flat_map(move |format| {
+                    [(900, 700), (640, 480)].iter().map(move |(w, h)| {
+                        format!(
+                            "/graphs/loadgen/terrain?measure={measure}&format={format}&width={w}&height={h}"
+                        )
+                    })
+                })
+            })
+            .collect(),
+    );
+    let peaks_targets: Arc<Vec<String>> = Arc::new(
+        [3usize, 5].iter().map(|count| format!("/graphs/loadgen/peaks?count={count}")).collect(),
+    );
+
+    let started = Instant::now();
+    let threads: Vec<std::thread::JoinHandle<ClientOutcome>> = (0..clients)
+        .map(|client_idx| {
+            let terrain_targets = Arc::clone(&terrain_targets);
+            let peaks_targets = Arc::clone(&peaks_targets);
+            std::thread::spawn(move || {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(client_idx as u64));
+                let mut seen_etags: HashMap<String, String> = HashMap::new();
+                let mut outcome = ClientOutcome::default();
+                for _ in 0..requests_per_client {
+                    let roll: f64 = rng.gen();
+                    let (target, conditional) = if roll < 0.70 {
+                        let target =
+                            terrain_targets.choose(&mut rng).expect("non-empty pool").clone();
+                        // Revalidate targets we already hold an ETag for,
+                        // about a third of the time.
+                        let conditional = seen_etags.contains_key(&target) && rng.gen_bool(0.33);
+                        (target, conditional)
+                    } else if roll < 0.90 {
+                        (peaks_targets.choose(&mut rng).expect("non-empty pool").clone(), false)
+                    } else {
+                        ("/stats".to_string(), false)
+                    };
+                    let begin = Instant::now();
+                    let result = if conditional {
+                        let etag = seen_etags.get(&target).expect("checked").clone();
+                        client::get_with_headers(addr, &target, &[("If-None-Match", &etag)])
+                    } else {
+                        client::get(addr, &target)
+                    };
+                    let elapsed_ms = begin.elapsed().as_secs_f64() * 1_000.0;
+                    outcome.latencies_ms.push(elapsed_ms);
+                    match result {
+                        Ok(response) if response.status == 200 => {
+                            if let Some(etag) = response.header("etag") {
+                                seen_etags.insert(target, etag.to_string());
+                            }
+                            outcome.ok += 1;
+                        }
+                        Ok(response) if response.status == 304 => outcome.not_modified += 1,
+                        Ok(_) | Err(_) => outcome.failed += 1,
+                    }
+                }
+                outcome
+            })
+        })
+        .collect();
+
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(clients * requests_per_client);
+    let (mut ok, mut not_modified, mut failed) = (0u64, 0u64, 0u64);
+    for thread in threads {
+        let outcome = thread.join().expect("client thread panicked");
+        latencies_ms.extend(outcome.latencies_ms);
+        ok += outcome.ok;
+        not_modified += outcome.not_modified;
+        failed += outcome.failed;
+    }
+    let wall_seconds = started.elapsed().as_secs_f64();
+    let total_requests = latencies_ms.len() as u64;
+
+    // Scrape the server's own counters for the cache story.
+    let stats_doc = serde_json::from_str(&client::get(addr, "/stats").unwrap().body_utf8())
+        .expect("/stats is JSON");
+    let cache_doc = stats_doc.get("cache").expect("stats has a cache object");
+    let scrape = |key: &str| cache_doc.get(key).and_then(|v| v.as_u64()).unwrap_or(0);
+    let cache = CacheOutcome {
+        hits: scrape("hits"),
+        misses: scrape("misses"),
+        hit_rate: cache_doc.get("hit_rate").and_then(|v| v.as_f64()).unwrap_or(0.0),
+        evictions: scrape("evictions"),
+        not_modified: stats_doc.get("not_modified").and_then(|v| v.as_u64()).unwrap_or(0),
+    };
+
+    let report = LoadReport {
+        schema_version: LOAD_SCHEMA_VERSION,
+        created: utc_date(),
+        git_rev: git_short_rev(),
+        host_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        host_os: std::env::consts::OS.to_string(),
+        server_workers: stats_doc.get("workers").and_then(|v| v.as_u64()).unwrap_or(0) as usize,
+        clients,
+        requests_per_client,
+        total_requests,
+        ok_responses: ok,
+        not_modified_responses: not_modified,
+        failed_requests: failed,
+        seed,
+        graph_vertices,
+        graph_edges,
+        wall_seconds,
+        requests_per_second: if wall_seconds > 0.0 {
+            total_requests as f64 / wall_seconds
+        } else {
+            0.0
+        },
+        latency_ms: LatencyMillis::from_samples(&latencies_ms),
+        cache,
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("serialize load report");
+    match flag(&args, "--out") {
+        Some(path) => {
+            std::fs::write(&path, format!("{json}\n")).unwrap_or_else(|e| {
+                eprintln!("[error] cannot write --out {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("[load] wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    eprintln!(
+        "[load] {total_requests} requests in {wall_seconds:.2}s ({:.0} req/s) | ok {ok}, 304 {not_modified}, failed {failed} | cache {}/{} hits ({:.0}%) | p50 {:.2}ms p99 {:.2}ms",
+        report.requests_per_second,
+        report.cache.hits,
+        report.cache.hits + report.cache.misses,
+        report.cache.hit_rate * 100.0,
+        report.latency_ms.p50,
+        report.latency_ms.p99,
+    );
+    if failed > 0 {
+        eprintln!("[load] FAIL: {failed} requests failed");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Scripted smoke check against a *running* terrain server: upload a graph,
+//! render it through two exporter backends, query peaks and stats, and
+//! verify the cache protocol (miss → hit byte-equality, ETag stability,
+//! `If-None-Match` → 304). CI boots `terrain_server` on an ephemeral port,
+//! runs this binary, then byte-diffs the saved `terrain.svg` against a
+//! direct `quickstart` render of the same snapshot — closing the loop that
+//! the *served* artifact equals the *library* artifact.
+//!
+//! ```text
+//! route_smoke --addr <host:port> --graph <path> [--out-dir <dir>]
+//! ```
+//!
+//! Exits 0 and prints `route smoke: PASS` only if every step held.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+
+use serve::client;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    let prefix = format!("{name}=");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(value) = arg.strip_prefix(&prefix) {
+            return Some(value.to_string());
+        }
+        if arg == name {
+            return iter.next().cloned();
+        }
+    }
+    None
+}
+
+fn fail(step: &str, detail: impl std::fmt::Display) -> ! {
+    eprintln!("route smoke: FAIL at {step}: {detail}");
+    std::process::exit(1);
+}
+
+fn expect_status(step: &str, response: &client::HttpResponse, status: u16) {
+    if response.status != status {
+        fail(
+            step,
+            format!("expected status {status}, got {} with body {}", response.status, {
+                let body = response.body_utf8();
+                body.chars().take(300).collect::<String>()
+            }),
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let addr: SocketAddr = flag(&args, "--addr")
+        .unwrap_or_else(|| fail("args", "--addr <host:port> is required"))
+        .parse()
+        .unwrap_or_else(|e| fail("args", format!("bad --addr: {e}")));
+    let graph_path =
+        flag(&args, "--graph").unwrap_or_else(|| fail("args", "--graph <path> is required"));
+    let out_dir = flag(&args, "--out-dir").map(PathBuf::from);
+    let graph_bytes = std::fs::read(&graph_path)
+        .unwrap_or_else(|e| fail("read graph", format!("{graph_path}: {e}")));
+
+    // 1. Health first: the server is actually up.
+    let health = client::get(addr, "/healthz").unwrap_or_else(|e| fail("healthz", e));
+    expect_status("healthz", &health, 200);
+
+    // 2. Upload the graph under a fixed id.
+    let upload =
+        client::post(addr, "/graphs?id=smoke", &graph_bytes).unwrap_or_else(|e| fail("upload", e));
+    expect_status("upload", &upload, 201);
+    if !upload.body_utf8().contains("\"id\":\"smoke\"") {
+        fail("upload", format!("body does not echo the id: {}", upload.body_utf8()));
+    }
+
+    // 3. First terrain render must be a cache miss with an ETag.
+    let target = "/graphs/smoke/terrain?measure=kcore&format=svg";
+    let miss = client::get(addr, target).unwrap_or_else(|e| fail("terrain miss", e));
+    expect_status("terrain miss", &miss, 200);
+    if miss.header("x-cache") != Some("miss") {
+        fail("terrain miss", format!("X-Cache = {:?}, expected miss", miss.header("x-cache")));
+    }
+    let etag =
+        miss.header("etag").unwrap_or_else(|| fail("terrain miss", "no ETag header")).to_string();
+    if miss.body.is_empty() || !miss.body_utf8().contains("<svg") {
+        fail("terrain miss", "body is not an SVG document");
+    }
+
+    // 4. The same request again: a hit, byte-identical, same ETag.
+    let hit = client::get(addr, target).unwrap_or_else(|e| fail("terrain hit", e));
+    expect_status("terrain hit", &hit, 200);
+    if hit.header("x-cache") != Some("hit") {
+        fail("terrain hit", format!("X-Cache = {:?}, expected hit", hit.header("x-cache")));
+    }
+    if hit.body != miss.body {
+        fail("terrain hit", "cache hit bytes differ from the miss render");
+    }
+    if hit.header("etag") != Some(etag.as_str()) {
+        fail("terrain hit", "ETag changed between miss and hit");
+    }
+
+    // 5. Conditional request: 304, no body.
+    let conditional = client::get_with_headers(addr, target, &[("If-None-Match", &etag)])
+        .unwrap_or_else(|e| fail("conditional", e));
+    expect_status("conditional", &conditional, 304);
+    if !conditional.body.is_empty() {
+        fail("conditional", "304 must not carry a body");
+    }
+
+    // 6. A second exporter backend over the same session defaults.
+    let json_render = client::get(addr, "/graphs/smoke/terrain?measure=kcore&format=json")
+        .unwrap_or_else(|e| fail("terrain json", e));
+    expect_status("terrain json", &json_render, 200);
+    serde_json::from_str(&json_render.body_utf8())
+        .unwrap_or_else(|e| fail("terrain json", format!("body is not JSON: {e}")));
+
+    // 7. Peaks.
+    let peaks =
+        client::get(addr, "/graphs/smoke/peaks?count=3").unwrap_or_else(|e| fail("peaks", e));
+    expect_status("peaks", &peaks, 200);
+    let peaks_doc = serde_json::from_str(&peaks.body_utf8())
+        .unwrap_or_else(|e| fail("peaks", format!("body is not JSON: {e}")));
+    if peaks_doc.get("peaks").and_then(|p| p.as_array()).is_none() {
+        fail("peaks", "no peaks array in response");
+    }
+
+    // 8. A bad measure is a structured 400 that lists the accepted names.
+    let bad = client::get(addr, "/graphs/smoke/terrain?measure=bogus")
+        .unwrap_or_else(|e| fail("bad measure", e));
+    expect_status("bad measure", &bad, 400);
+    if !bad.body_utf8().contains("kcore") {
+        fail("bad measure", "400 body should list known measures");
+    }
+
+    // 9. Stats must reflect the traffic above: at least one hit, one miss.
+    let stats = client::get(addr, "/stats").unwrap_or_else(|e| fail("stats", e));
+    expect_status("stats", &stats, 200);
+    let stats_doc = serde_json::from_str(&stats.body_utf8())
+        .unwrap_or_else(|e| fail("stats", format!("body is not JSON: {e}")));
+    let cache = stats_doc.get("cache").unwrap_or_else(|| fail("stats", "no cache object"));
+    let hits = cache.get("hits").and_then(|v| v.as_u64()).unwrap_or(0);
+    let misses = cache.get("misses").and_then(|v| v.as_u64()).unwrap_or(0);
+    if hits < 1 || misses < 1 {
+        fail("stats", format!("expected hits >= 1 and misses >= 1, got {hits}/{misses}"));
+    }
+
+    // 10. Save artifacts for the CI byte-diff against a direct render.
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(&dir).unwrap_or_else(|e| fail("out-dir", e));
+        std::fs::write(dir.join("terrain.svg"), &miss.body)
+            .unwrap_or_else(|e| fail("write svg", e));
+        std::fs::write(dir.join("terrain.json"), &json_render.body)
+            .unwrap_or_else(|e| fail("write json", e));
+        std::fs::write(dir.join("peaks.json"), &peaks.body)
+            .unwrap_or_else(|e| fail("write peaks", e));
+    }
+
+    println!("route smoke: PASS ({} byte SVG, {hits} hits / {misses} misses)", miss.body.len());
+}

@@ -1,0 +1,129 @@
+//! The terrain server binary.
+//!
+//! ```text
+//! terrain_server [--addr 127.0.0.1:7878] [--addr-file <path>]
+//!                [--workers N] [--cache-entries N] [--cache-bytes N]
+//!                [--graph <path> ...]
+//! ```
+//!
+//! `--addr 127.0.0.1:0` binds an ephemeral port; `--addr-file` writes the
+//! actually-bound address to a file once listening, which is how the CI
+//! smoke script finds the server without racing the log output. Each
+//! `--graph` preloads a file into the registry under its file stem — a v3
+//! binary snapshot opens memory-mapped (zero-copy), any other format loads
+//! through `GraphSource`.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use graph_terrain::SharedGraph;
+use serve::state::{AppState, ServerConfig};
+use serve::Server;
+use ugraph::io::GraphSource;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    let prefix = format!("{name}=");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(value) = arg.strip_prefix(&prefix) {
+            return Some(value.to_string());
+        }
+        if arg == name {
+            return iter.next().cloned();
+        }
+    }
+    None
+}
+
+fn flag_values(args: &[String], name: &str) -> Vec<String> {
+    let prefix = format!("{name}=");
+    let mut values = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(value) = arg.strip_prefix(&prefix) {
+            values.push(value.to_string());
+        } else if arg == name {
+            if let Some(value) = iter.next() {
+                values.push(value.clone());
+            }
+        }
+    }
+    values
+}
+
+fn numeric<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    match flag(args, name) {
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("[error] {name} value {raw:?} is not a valid number");
+            std::process::exit(2);
+        }),
+        None => default,
+    }
+}
+
+/// Open a graph file: v3 snapshots map zero-copy, everything else parses.
+fn open_graph(path: &str) -> SharedGraph {
+    match SharedGraph::open_mapped(path) {
+        Ok(graph) => graph,
+        Err(_) => {
+            let parsed = GraphSource::auto(path).load().unwrap_or_else(|e| {
+                eprintln!("[error] failed to load --graph {path}: {e}");
+                std::process::exit(2);
+            });
+            SharedGraph::new(parsed.graph)
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        workers: numeric(&args, "--workers", defaults.workers),
+        cache_entries: numeric(&args, "--cache-entries", defaults.cache_entries),
+        cache_bytes: numeric(&args, "--cache-bytes", defaults.cache_bytes),
+        ..defaults
+    };
+    let addr = flag(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+
+    let state = Arc::new(AppState::new(config));
+    for path in flag_values(&args, "--graph") {
+        let id = Path::new(&path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "graph".to_string())
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '-' })
+            .collect::<String>();
+        let graph = open_graph(&path);
+        let entry = state.insert_graph(Some(id), graph).unwrap_or_else(|e| {
+            eprintln!("[error] cannot register --graph {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!(
+            "[graph] {} <- {path} ({} vertices, {} edges, {})",
+            entry.id,
+            entry.graph.storage().vertex_count(),
+            entry.graph.storage().edge_count(),
+            entry.graph.backend_name(),
+        );
+    }
+
+    let handle = Server::bind_with_state(addr.as_str(), state).unwrap_or_else(|e| {
+        eprintln!("[error] cannot bind {addr}: {e}");
+        std::process::exit(2);
+    });
+
+    if let Some(path) = flag(&args, "--addr-file") {
+        if let Err(e) = std::fs::write(&path, handle.addr().to_string()) {
+            eprintln!("[error] cannot write --addr-file {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    println!("serving terrains on http://{}", handle.addr());
+
+    // Serve until killed; the accept loop and workers own all the work.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,137 @@
+//! A minimal blocking HTTP/1.1 client for the test battery, the load
+//! generator, and the CI smoke binary.
+//!
+//! Speaks exactly the dialect the server does: one request per connection,
+//! `Content-Length` framing, `Connection: close`. The response body is read
+//! to the declared length when one is given, else to EOF (both are valid
+//! for a close-delimited server).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+use std::{fmt, io};
+
+/// A parsed response.
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    /// The status code.
+    pub status: u16,
+    /// Headers with ASCII-lower-cased names, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First header value with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == lower).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_utf8(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+impl fmt::Display for HttpResponse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HTTP {} ({} bytes)", self.status, self.body.len())
+    }
+}
+
+/// Send one request and read the full response.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<HttpResponse> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_nodelay(true)?;
+
+    let mut writer = io::BufWriter::new(stream.try_clone()?);
+    write!(writer, "{method} {target} HTTP/1.1\r\nHost: {addr}\r\n")?;
+    for (name, value) in headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    if !body.is_empty() || method == "POST" {
+        write!(writer, "Content-Length: {}\r\n", body.len())?;
+    }
+    write!(writer, "Connection: close\r\n\r\n")?;
+    writer.write_all(body)?;
+    writer.flush()?;
+
+    read_response(&mut BufReader::new(stream))
+}
+
+/// `GET target`.
+pub fn get(addr: SocketAddr, target: &str) -> io::Result<HttpResponse> {
+    request(addr, "GET", target, &[], &[])
+}
+
+/// `GET target` with extra headers (e.g. `If-None-Match`).
+pub fn get_with_headers(
+    addr: SocketAddr,
+    target: &str,
+    headers: &[(&str, &str)],
+) -> io::Result<HttpResponse> {
+    request(addr, "GET", target, headers, &[])
+}
+
+/// `POST target` with a body.
+pub fn post(addr: SocketAddr, target: &str, body: &[u8]) -> io::Result<HttpResponse> {
+    request(addr, "POST", target, &[], body)
+}
+
+fn bad_response(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+fn read_response(reader: &mut impl BufRead) -> io::Result<HttpResponse> {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status_line = status_line.trim_end();
+    let mut parts = status_line.splitn(3, ' ');
+    let (proto, status) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if !proto.starts_with("HTTP/") {
+        return Err(bad_response(format!("not an HTTP status line: {status_line:?}")));
+    }
+    let status: u16 =
+        status.parse().map_err(|_| bad_response(format!("bad status in {status_line:?}")))?;
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad_response("EOF inside response headers"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok());
+    let mut body = Vec::new();
+    match content_length {
+        Some(n) => {
+            body.resize(n, 0);
+            reader.read_exact(&mut body)?;
+        }
+        None => {
+            reader.read_to_end(&mut body)?;
+        }
+    }
+    Ok(HttpResponse { status, headers, body })
+}

@@ -1,0 +1,445 @@
+//! The route table and handlers.
+//!
+//! ```text
+//! POST /graphs[?id=&format=]          register a graph (body = graph file)
+//! GET  /graphs                        list registered graphs
+//! GET  /graphs/{id}                   one graph's facts
+//! GET  /graphs/{id}/terrain?...       render a terrain artifact (cached)
+//! GET  /graphs/{id}/peaks?...         peak extraction as JSON (cached)
+//! GET  /stats                         cache/timing/traffic counters
+//! GET  /healthz                       liveness probe
+//! ```
+//!
+//! Render parameters: `measure` (kcore | degree | pagerank | closeness |
+//! betweenness | ktruss | edge-triangles), `samples`/`seed` (betweenness),
+//! `format` (exporter backend), `width`/`height` (SVG px), `color`
+//! (height | degree), `budget` (`none` or a node count), `levels`,
+//! `threads` (parallelism — deliberately *excluded* from the cache key:
+//! the pipeline's determinism contract makes artifacts byte-identical at
+//! every thread count, so a serial render and a wide render share one
+//! cache entry).
+//!
+//! A v3 binary snapshot upload (`GTSB` magic) registers as a *mapped*
+//! graph — the CSR arrays are served zero-copy out of the uploaded buffer,
+//! shared by every concurrent session. Anything else goes through
+//! [`GraphSource`] with the `format` parameter (default `edgelist`).
+
+use std::sync::Arc;
+
+use crate::cache::{etag_for_key, CachedArtifact};
+use crate::error::{json_f64, json_string, ApiError};
+use crate::http::{Method, Request, Response};
+use crate::state::{AppState, GraphEntry};
+use graph_terrain::{
+    FieldKind, Measure, SharedGraph, SimplificationConfig, SvgSize, TerrainPipeline,
+};
+use measures::Parallelism;
+use terrain::{exporter_by_name_sized, highest_peaks, peaks_at_alpha, ColorScheme, Exporter, Peak};
+use ugraph::io::{GraphFormat, GraphSource};
+
+/// Most peak member ids echoed inline per peak (the full count is always
+/// reported; huge member lists would dwarf the artifact itself).
+const MAX_PEAK_MEMBERS: usize = 64;
+
+/// Dispatch a parsed request; never panics, never leaks a raw error.
+pub fn handle(state: &AppState, req: &Request) -> Response {
+    match route(state, req) {
+        Ok(response) => response,
+        Err(e) => e.into_response(),
+    }
+}
+
+fn route(state: &AppState, req: &Request) -> Result<Response, ApiError> {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method, segments.as_slice()) {
+        (Method::Post, ["graphs"]) => upload_graph(state, req),
+        (Method::Get, ["graphs"]) => Ok(list_graphs(state)),
+        (Method::Get, ["graphs", id]) => graph_info(state, id),
+        (Method::Get, ["graphs", id, "terrain"]) => terrain(state, req, id),
+        (Method::Get, ["graphs", id, "peaks"]) => peaks(state, req, id),
+        (Method::Get, ["stats"]) => Ok(stats(state)),
+        (Method::Get, ["healthz"]) => Ok(Response::with_body(200, "text/plain", b"ok\n".to_vec())),
+        _ => Err(ApiError::not_found(format!("no route for {} {}", req.method, req.path))),
+    }
+}
+
+// ---------------------------------------------------------------- registry
+
+fn upload_graph(state: &AppState, req: &Request) -> Result<Response, ApiError> {
+    if req.body.is_empty() {
+        return Err(ApiError::new(400, "empty_body", "graph upload requires a non-empty body"));
+    }
+    let graph = if is_v3_snapshot(&req.body) {
+        SharedGraph::from_snapshot_bytes(&req.body)?
+    } else {
+        let format = match req.query_param("format") {
+            Some(name) => GraphFormat::from_name(name).ok_or_else(|| {
+                ApiError::invalid_parameter(
+                    "format",
+                    format!(
+                        "unknown graph format {name:?}; expected one of: {}",
+                        GraphFormat::all().map(|f| f.name()).join(", ")
+                    ),
+                )
+            })?,
+            None => GraphFormat::EdgeList,
+        };
+        let parsed = GraphSource::reader(std::io::Cursor::new(req.body.clone()))
+            .with_format(format)
+            .load()
+            .map_err(|e| ApiError::new(400, "invalid_graph", e.to_string()))?;
+        SharedGraph::new(parsed.graph)
+    };
+    let entry = state.insert_graph(req.query_param("id").map(str::to_string), graph)?;
+    Ok(Response::json(201, graph_json(&entry)).header("Location", &format!("/graphs/{}", entry.id)))
+}
+
+/// The v3 snapshot magic + version sniff (`GTSB` then a little-endian 3).
+fn is_v3_snapshot(body: &[u8]) -> bool {
+    body.len() >= 8 && &body[..4] == b"GTSB" && body[4..8] == [3, 0, 0, 0]
+}
+
+fn list_graphs(state: &AppState) -> Response {
+    let entries: Vec<String> = state.graphs().iter().map(|e| graph_json(e)).collect();
+    Response::json(200, format!("{{\"graphs\":[{}]}}", entries.join(",")))
+}
+
+fn graph_info(state: &AppState, id: &str) -> Result<Response, ApiError> {
+    let entry = lookup(state, id)?;
+    Ok(Response::json(200, graph_json(&entry)))
+}
+
+fn graph_json(entry: &GraphEntry) -> String {
+    let storage = entry.graph.storage();
+    format!(
+        "{{\"id\":{},\"vertices\":{},\"edges\":{},\"storage\":{},\"zero_copy\":{}}}",
+        json_string(&entry.id),
+        storage.vertex_count(),
+        storage.edge_count(),
+        json_string(entry.graph.backend_name()),
+        entry.graph.is_memory_mapped(),
+    )
+}
+
+fn lookup(state: &AppState, id: &str) -> Result<Arc<GraphEntry>, ApiError> {
+    state.graph(id).ok_or_else(|| ApiError::not_found(format!("no graph with id {id:?}")))
+}
+
+// ---------------------------------------------------------------- rendering
+
+/// Which non-height color scheme was requested.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum ColorChoice {
+    Height,
+    Degree,
+}
+
+/// Parsed, validated render parameters for one terrain request.
+struct RenderParams {
+    measure: Measure,
+    parallelism: Parallelism,
+    simplification: SimplificationConfig,
+    svg_size: SvgSize,
+    color: ColorChoice,
+    exporter: Box<dyn Exporter>,
+    exporter_name: String,
+}
+
+fn parse_render_params(req: &Request) -> Result<RenderParams, ApiError> {
+    let measure = parse_measure(req)?;
+    let parallelism = match req.query_param("threads") {
+        Some(raw) => Parallelism::parse(raw)?,
+        None => Parallelism::Serial,
+    };
+    let simplification = SimplificationConfig {
+        node_budget: match req.query_param("budget") {
+            None => SimplificationConfig::default().node_budget,
+            Some("none") => None,
+            Some(raw) => Some(numeric_param("budget", raw)?),
+        },
+        levels: match req.query_param("levels") {
+            None => SimplificationConfig::default().levels,
+            Some(raw) => numeric_param("levels", raw)?,
+        },
+    };
+    let svg_size = SvgSize {
+        width_px: match req.query_param("width") {
+            None => SvgSize::default().width_px,
+            Some(raw) => numeric_param("width", raw)?,
+        },
+        height_px: match req.query_param("height") {
+            None => SvgSize::default().height_px,
+            Some(raw) => numeric_param("height", raw)?,
+        },
+    };
+    let color = match req.query_param("color") {
+        None | Some("height") => ColorChoice::Height,
+        Some("degree") => ColorChoice::Degree,
+        Some(other) => {
+            return Err(ApiError::invalid_parameter(
+                "color",
+                format!("unknown color scheme {other:?}; expected `height` or `degree`"),
+            ))
+        }
+    };
+    if color == ColorChoice::Degree && measure.field_kind() != FieldKind::Vertex {
+        return Err(ApiError::invalid_parameter(
+            "color",
+            format!("color=degree needs a vertex measure; {} is an edge measure", measure.name()),
+        ));
+    }
+    let exporter_name = req.query_param("format").unwrap_or("svg").to_string();
+    // The sized lookup, not `exporter_by_name`: the pipeline's
+    // `set_svg_size` does not reach an externally constructed exporter.
+    let exporter = exporter_by_name_sized(&exporter_name, svg_size.width_px, svg_size.height_px)?;
+    Ok(RenderParams {
+        measure,
+        parallelism,
+        simplification,
+        svg_size,
+        color,
+        exporter,
+        exporter_name,
+    })
+}
+
+fn parse_measure(req: &Request) -> Result<Measure, ApiError> {
+    let name = req.query_param("measure").unwrap_or("kcore");
+    let mut measure = Measure::from_name(name).ok_or_else(|| {
+        ApiError::invalid_parameter(
+            "measure",
+            format!(
+                "unknown measure {name:?}; expected one of: {}",
+                Measure::known_names().join(", ")
+            ),
+        )
+    })?;
+    if let Measure::BetweennessSampled { samples, seed } = &mut measure {
+        if let Some(raw) = req.query_param("samples") {
+            *samples = numeric_param("samples", raw)?;
+        }
+        if let Some(raw) = req.query_param("seed") {
+            *seed = numeric_param("seed", raw)?;
+        }
+    }
+    Ok(measure)
+}
+
+fn numeric_param<T: std::str::FromStr>(name: &'static str, raw: &str) -> Result<T, ApiError> {
+    raw.parse().map_err(|_| {
+        ApiError::invalid_parameter(name, format!("{name} value {raw:?} is not a valid number"))
+    })
+}
+
+/// The canonical cache key. Everything that can change the artifact bytes
+/// is in here — and nothing else. `threads` is deliberately absent
+/// (determinism makes it byte-invisible); the layout and mesh configs are
+/// server-fixed defaults, pinned by a literal so a future knob can't
+/// silently alias old entries.
+fn render_cache_key(graph_id: &str, p: &RenderParams) -> String {
+    format!(
+        "{graph_id}|terrain|measure={}|budget={}|levels={}|layout=default|mesh=default|color={}|svg={}x{}|exporter={}",
+        measure_canonical(&p.measure),
+        match p.simplification.node_budget {
+            Some(n) => n.to_string(),
+            None => "none".to_string(),
+        },
+        p.simplification.levels,
+        match p.color {
+            ColorChoice::Height => "height",
+            ColorChoice::Degree => "degree",
+        },
+        p.svg_size.width_px,
+        p.svg_size.height_px,
+        p.exporter_name,
+    )
+}
+
+fn measure_canonical(measure: &Measure) -> String {
+    match measure {
+        Measure::BetweennessSampled { samples, seed } => {
+            format!("betweenness:samples={samples}:seed={seed}")
+        }
+        other => other.name().to_string(),
+    }
+}
+
+fn content_type_for(exporter_name: &str) -> &'static str {
+    match exporter_name {
+        "svg" | "treemap" => "image/svg+xml",
+        "json" => "application/json",
+        _ => "text/plain", // obj, ply, ascii
+    }
+}
+
+fn terrain(state: &AppState, req: &Request, id: &str) -> Result<Response, ApiError> {
+    let entry = lookup(state, id)?;
+    let params = parse_render_params(req)?;
+    let key = render_cache_key(id, &params);
+    serve_cached(state, req, &key, || {
+        let mut session = TerrainPipeline::from_shared(entry.graph.clone(), params.measure);
+        session.set_parallelism(params.parallelism);
+        session.set_simplification(params.simplification);
+        session.set_svg_size(params.svg_size);
+        if params.color == ColorChoice::Degree {
+            let degrees: Vec<f64> =
+                measures::degrees(entry.graph.storage()).into_iter().map(|d| d as f64).collect();
+            session.set_color(ColorScheme::BySecondaryScalar(degrees));
+        }
+        let mut bytes = Vec::new();
+        // The timing-free render: cached artifacts must depend on nothing
+        // but the key. Wall-clock timings still land in `/stats`.
+        session.render_deterministic_to(params.exporter.as_ref(), &mut bytes)?;
+        state.stage_totals.lock().expect("stage totals lock").absorb(&session.timings());
+        Ok((bytes, content_type_for(&params.exporter_name)))
+    })
+}
+
+fn peaks(state: &AppState, req: &Request, id: &str) -> Result<Response, ApiError> {
+    let entry = lookup(state, id)?;
+    let measure = parse_measure(req)?;
+    let parallelism = match req.query_param("threads") {
+        Some(raw) => Parallelism::parse(raw)?,
+        None => Parallelism::Serial,
+    };
+    let alpha: Option<f64> = match req.query_param("alpha") {
+        Some(raw) => Some(numeric_param("alpha", raw)?),
+        None => None,
+    };
+    let count: usize = match req.query_param("count") {
+        Some(raw) => numeric_param("count", raw)?,
+        None => 5,
+    };
+    let measure_name = measure_canonical(&measure);
+    let key = format!(
+        "{id}|peaks|measure={measure_name}|{}",
+        match alpha {
+            Some(a) => format!("alpha={a}"),
+            None => format!("count={count}"),
+        }
+    );
+    serve_cached(state, req, &key, || {
+        let mut session = TerrainPipeline::from_shared(entry.graph.clone(), measure);
+        session.set_parallelism(parallelism);
+        let stages = session.stages()?;
+        let peaks = match alpha {
+            Some(a) => peaks_at_alpha(stages.render_tree, stages.layout, a),
+            None => highest_peaks(stages.render_tree, stages.layout, count),
+        };
+        let body = peaks_json(id, &measure_name, alpha, &peaks);
+        state.stage_totals.lock().expect("stage totals lock").absorb(&session.timings());
+        Ok((body.into_bytes(), "application/json"))
+    })
+}
+
+fn peaks_json(graph_id: &str, measure: &str, alpha: Option<f64>, peaks: &[Peak]) -> String {
+    let mut body =
+        format!("{{\"graph\":{},\"measure\":{},", json_string(graph_id), json_string(measure));
+    if let Some(a) = alpha {
+        body.push_str(&format!("\"alpha\":{},", json_f64(a)));
+    }
+    body.push_str(&format!("\"count\":{},\"peaks\":[", peaks.len()));
+    for (i, peak) in peaks.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let members: Vec<String> =
+            peak.members.iter().take(MAX_PEAK_MEMBERS).map(|m| m.to_string()).collect();
+        body.push_str(&format!(
+            "{{\"root_node\":{},\"alpha\":{},\"base_height\":{},\"summit_height\":{},\"member_count\":{},\"members\":[{}],\"members_truncated\":{},\"footprint\":{{\"x0\":{},\"y0\":{},\"x1\":{},\"y1\":{}}}}}",
+            peak.root_node,
+            json_f64(peak.alpha),
+            json_f64(peak.base_height),
+            json_f64(peak.summit_height),
+            peak.member_count,
+            members.join(","),
+            peak.members.len() > MAX_PEAK_MEMBERS,
+            json_f64(peak.footprint.x0),
+            json_f64(peak.footprint.y0),
+            json_f64(peak.footprint.x1),
+            json_f64(peak.footprint.y1),
+        ));
+    }
+    body.push_str("]}");
+    body
+}
+
+/// The shared cache protocol for deterministic artifacts:
+/// 1. the ETag comes from the key hash, so `If-None-Match` answers with a
+///    `304` before rendering or even locking the cache;
+/// 2. a cache hit returns the stored bytes with `X-Cache: hit`;
+/// 3. a miss renders *outside* the cache lock, stores, and returns
+///    `X-Cache: miss` — the bytes are identical either way.
+fn serve_cached(
+    state: &AppState,
+    req: &Request,
+    key: &str,
+    render: impl FnOnce() -> Result<(Vec<u8>, &'static str), ApiError>,
+) -> Result<Response, ApiError> {
+    let etag = etag_for_key(key);
+    if let Some(candidates) = req.header("if-none-match") {
+        if candidates == "*" || candidates.split(',').any(|c| c.trim() == etag) {
+            state.not_modified.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return Ok(Response::new(304).header("ETag", &etag));
+        }
+    }
+    if let Some(artifact) = state.cache.lock().expect("cache lock").get(key) {
+        return Ok(artifact_response(&artifact, "hit"));
+    }
+    let (bytes, content_type) = render()?;
+    let artifact = Arc::new(CachedArtifact { bytes, etag, content_type });
+    state.cache.lock().expect("cache lock").insert(key.to_string(), Arc::clone(&artifact));
+    Ok(artifact_response(&artifact, "miss"))
+}
+
+fn artifact_response(artifact: &CachedArtifact, x_cache: &str) -> Response {
+    Response::with_body(200, artifact.content_type, artifact.bytes.clone())
+        .header("ETag", &artifact.etag)
+        .header("X-Cache", x_cache)
+}
+
+// ------------------------------------------------------------------- stats
+
+fn stats(state: &AppState) -> Response {
+    let cache = state.cache.lock().expect("cache lock").stats();
+    let totals = state.stage_totals.lock().expect("stage totals lock").clone();
+    let load = std::sync::atomic::Ordering::Relaxed;
+    let body = format!(
+        concat!(
+            "{{\"requests_served\":{},\"in_flight\":{},\"error_responses\":{},",
+            "\"dropped_connections\":{},\"not_modified\":{},",
+            "\"graphs\":{},\"workers\":{},",
+            "\"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{},\"evictions\":{},",
+            "\"insertions\":{},\"uncacheable\":{},\"entries\":{},\"bytes\":{},",
+            "\"capacity\":{},\"max_bytes\":{}}},",
+            "\"stage_seconds\":{{\"renders\":{},\"scalar\":{},\"tree\":{},\"super_tree\":{},",
+            "\"simplify\":{},\"layout\":{},\"mesh\":{},\"svg\":{}}}}}"
+        ),
+        state.requests_served.load(load),
+        state.in_flight.load(load),
+        state.error_responses.load(load),
+        state.dropped_connections.load(load),
+        state.not_modified.load(load),
+        state.graphs().len(),
+        state.config.workers,
+        cache.hits,
+        cache.misses,
+        json_f64(cache.hit_rate()),
+        cache.evictions,
+        cache.insertions,
+        cache.uncacheable,
+        cache.entries,
+        cache.bytes,
+        cache.capacity,
+        cache.max_bytes,
+        totals.renders,
+        json_f64(totals.scalar_seconds),
+        json_f64(totals.tree_seconds),
+        json_f64(totals.super_tree_seconds),
+        json_f64(totals.simplify_seconds),
+        json_f64(totals.layout_seconds),
+        json_f64(totals.mesh_seconds),
+        json_f64(totals.svg_seconds),
+    );
+    Response::json(200, body)
+}

@@ -1,0 +1,230 @@
+//! Shared server state: the named-graph registry, the artifact cache, and
+//! the counters behind `/stats`.
+//!
+//! One [`AppState`] is shared by every worker thread through an `Arc`. The
+//! registry maps graph ids to [`SharedGraph`]s — uploading a v3 snapshot
+//! registers a *mapped* graph whose CSR arrays live in one buffer that all
+//! concurrent sessions borrow (an upload is stored once no matter how many
+//! workers render from it); any other format parses into an owned graph
+//! behind the same `Arc`. Locking is coarse but short: the registry is a
+//! `RwLock` (reads vastly dominate), the cache a `Mutex` held only for
+//! lookup/insert — renders always run outside every lock.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+use crate::cache::LruCache;
+use crate::error::ApiError;
+use graph_terrain::{SharedGraph, StageTimings};
+
+/// Tunables fixed at server start.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Artifact-cache entry bound.
+    pub cache_entries: usize,
+    /// Artifact-cache byte bound.
+    pub cache_bytes: usize,
+    /// Largest accepted request body (graph uploads).
+    pub max_body_bytes: usize,
+    /// Socket read timeout (bounds how long a slow or silent client can
+    /// hold a worker).
+    pub read_timeout: Duration,
+    /// Accepted connections queued ahead of the workers before `accept`
+    /// blocks.
+    pub pending_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            cache_entries: 128,
+            cache_bytes: 64 << 20,
+            max_body_bytes: 64 << 20,
+            read_timeout: Duration::from_secs(10),
+            pending_connections: 64,
+        }
+    }
+}
+
+/// One registered graph.
+#[derive(Clone, Debug)]
+pub struct GraphEntry {
+    /// The registry id (path segment in `/graphs/{id}/...`).
+    pub id: String,
+    /// The graph itself, shared across sessions.
+    pub graph: SharedGraph,
+}
+
+/// Per-stage wall-clock totals accumulated across every cache-miss render,
+/// reported by `/stats` (the served-traffic analog of the per-run
+/// [`StageTimings`]).
+#[derive(Clone, Debug, Default)]
+pub struct StageTotals {
+    /// Renders absorbed.
+    pub renders: u64,
+    /// Summed seconds per stage, in pipeline order.
+    pub scalar_seconds: f64,
+    /// Scalar-tree construction.
+    pub tree_seconds: f64,
+    /// Super-tree merge.
+    pub super_tree_seconds: f64,
+    /// Simplification.
+    pub simplify_seconds: f64,
+    /// 2D layout.
+    pub layout_seconds: f64,
+    /// Mesh extrusion.
+    pub mesh_seconds: f64,
+    /// SVG/exporter serialization.
+    pub svg_seconds: f64,
+}
+
+impl StageTotals {
+    /// Fold one session's timings into the totals.
+    pub fn absorb(&mut self, t: &StageTimings) {
+        self.renders += 1;
+        self.scalar_seconds += t.scalar_seconds.unwrap_or(0.0);
+        self.tree_seconds += t.tree_seconds.unwrap_or(0.0);
+        self.super_tree_seconds += t.super_tree_seconds.unwrap_or(0.0);
+        self.simplify_seconds += t.simplify_seconds.unwrap_or(0.0);
+        self.layout_seconds += t.layout_seconds.unwrap_or(0.0);
+        self.mesh_seconds += t.mesh_seconds.unwrap_or(0.0);
+        self.svg_seconds += t.svg_seconds.unwrap_or(0.0);
+    }
+}
+
+/// Everything the workers share.
+pub struct AppState {
+    /// The start-time configuration (echoed by `/stats`).
+    pub config: ServerConfig,
+    registry: RwLock<BTreeMap<String, Arc<GraphEntry>>>,
+    /// The artifact cache.
+    pub cache: Mutex<LruCache>,
+    /// Stage-seconds accumulated across cache-miss renders.
+    pub stage_totals: Mutex<StageTotals>,
+    next_id: AtomicU64,
+    /// Requests that received a response (any status).
+    pub requests_served: AtomicU64,
+    /// Connections currently inside a worker.
+    pub in_flight: AtomicU64,
+    /// Responses with status >= 400.
+    pub error_responses: AtomicU64,
+    /// Connections dropped without a response (peer vanished).
+    pub dropped_connections: AtomicU64,
+    /// `304 Not Modified` responses served from `If-None-Match`.
+    pub not_modified: AtomicU64,
+}
+
+impl AppState {
+    /// Fresh state with an empty registry and cache.
+    pub fn new(config: ServerConfig) -> Self {
+        let cache = LruCache::new(config.cache_entries, config.cache_bytes);
+        AppState {
+            config,
+            registry: RwLock::new(BTreeMap::new()),
+            cache: Mutex::new(cache),
+            stage_totals: Mutex::new(StageTotals::default()),
+            next_id: AtomicU64::new(1),
+            requests_served: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            error_responses: AtomicU64::new(0),
+            dropped_connections: AtomicU64::new(0),
+            not_modified: AtomicU64::new(0),
+        }
+    }
+
+    /// Register a graph under `id` (or an auto-assigned `g<n>` when `None`).
+    /// Explicit ids must be `[A-Za-z0-9_-]{1,64}` and unused — an id
+    /// collision is a 409, never a silent replace, because cache keys embed
+    /// the id and a replaced graph would leave stale byte-exact entries
+    /// behind.
+    pub fn insert_graph(
+        &self,
+        id: Option<String>,
+        graph: SharedGraph,
+    ) -> Result<Arc<GraphEntry>, ApiError> {
+        let mut registry = self.registry.write().expect("registry lock");
+        let id = match id {
+            Some(id) => {
+                validate_graph_id(&id)?;
+                if registry.contains_key(&id) {
+                    return Err(ApiError::new(
+                        409,
+                        "graph_exists",
+                        format!("graph id {id:?} is already registered"),
+                    ));
+                }
+                id
+            }
+            None => loop {
+                let candidate = format!("g{}", self.next_id.fetch_add(1, Ordering::Relaxed));
+                if !registry.contains_key(&candidate) {
+                    break candidate;
+                }
+            },
+        };
+        let entry = Arc::new(GraphEntry { id: id.clone(), graph });
+        registry.insert(id, Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Look up a graph by id.
+    pub fn graph(&self, id: &str) -> Option<Arc<GraphEntry>> {
+        self.registry.read().expect("registry lock").get(id).cloned()
+    }
+
+    /// All registered graphs in id order.
+    pub fn graphs(&self) -> Vec<Arc<GraphEntry>> {
+        self.registry.read().expect("registry lock").values().cloned().collect()
+    }
+}
+
+fn validate_graph_id(id: &str) -> Result<(), ApiError> {
+    let ok = !id.is_empty()
+        && id.len() <= 64
+        && id.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-');
+    if ok {
+        Ok(())
+    } else {
+        Err(ApiError::invalid_parameter(
+            "id",
+            format!("graph id {id:?} must be 1-64 characters of [A-Za-z0-9_-]"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::GraphBuilder;
+
+    fn tiny_graph() -> SharedGraph {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0u32, 1u32), (1, 2), (2, 0)]);
+        SharedGraph::new(b.build())
+    }
+
+    #[test]
+    fn auto_ids_skip_taken_names_and_explicit_conflicts_are_409() {
+        let state = AppState::new(ServerConfig::default());
+        state.insert_graph(Some("g1".into()), tiny_graph()).unwrap();
+        let auto = state.insert_graph(None, tiny_graph()).unwrap();
+        assert_eq!(auto.id, "g2", "auto id must skip the taken g1");
+        let err = state.insert_graph(Some("g1".into()), tiny_graph()).unwrap_err();
+        assert_eq!(err.status, 409);
+        assert_eq!(state.graphs().len(), 2);
+    }
+
+    #[test]
+    fn bad_ids_are_rejected_with_400() {
+        let state = AppState::new(ServerConfig::default());
+        for bad in ["", "has space", "slash/y", &"x".repeat(65)] {
+            let err = state.insert_graph(Some(bad.to_string()), tiny_graph()).unwrap_err();
+            assert_eq!(err.status, 400, "{bad:?}");
+        }
+    }
+}

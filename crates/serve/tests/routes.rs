@@ -1,0 +1,226 @@
+//! In-process route tests: drive [`serve::routes::handle`] directly with
+//! constructed [`Request`]s — no sockets — to pin the API contract: status
+//! codes, the structured error bodies (including the typed
+//! `Parallelism::parse` / `exporter_by_name` 400 mappings), the registry
+//! protocol, and the cache headers.
+
+use std::sync::Arc;
+
+use graph_terrain::SharedGraph;
+use serve::http::{parse_query, Method, Request};
+use serve::routes;
+use serve::state::{AppState, ServerConfig};
+use ugraph::GraphBuilder;
+
+fn state_with_graph() -> Arc<AppState> {
+    let state = Arc::new(AppState::new(ServerConfig::default()));
+    let mut builder = GraphBuilder::new();
+    for u in 0..5u32 {
+        for v in (u + 1)..5u32 {
+            builder.add_edge(u, v);
+        }
+    }
+    builder.extend_edges([(4u32, 5u32), (5, 6)]);
+    state.insert_graph(Some("g".into()), SharedGraph::new(builder.build())).unwrap();
+    state
+}
+
+fn get(target: &str) -> Request {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), Vec::new()),
+    };
+    Request { method: Method::Get, path, query, headers: Vec::new(), body: Vec::new() }
+}
+
+fn post(target: &str, body: Vec<u8>) -> Request {
+    Request { method: Method::Post, body, ..get(target) }
+}
+
+fn body_json(response: &serve::Response) -> serde_json::Value {
+    serde_json::from_str(&String::from_utf8_lossy(&response.body))
+        .expect("response body must be JSON")
+}
+
+#[test]
+fn unknown_routes_and_graphs_are_structured_404s() {
+    let state = state_with_graph();
+    for target in ["/nope", "/graphs/missing/terrain", "/graphs/g/nope", "/graphs/missing"] {
+        let response = routes::handle(&state, &get(target));
+        assert_eq!(response.status, 404, "{target}");
+        let doc = body_json(&response);
+        assert_eq!(
+            doc.get("error").and_then(|e| e.get("code")).and_then(|c| c.as_str()),
+            Some("not_found"),
+            "{target}"
+        );
+    }
+}
+
+#[test]
+fn bad_threads_param_is_the_typed_parallelism_400() {
+    let state = state_with_graph();
+    let response = routes::handle(&state, &get("/graphs/g/terrain?threads=8x0"));
+    assert_eq!(response.status, 400);
+    let doc = body_json(&response);
+    let error = doc.get("error").expect("error object");
+    assert_eq!(error.get("code").and_then(|c| c.as_str()), Some("invalid_parameter"));
+    assert_eq!(error.get("param").and_then(|p| p.as_str()), Some("threads"));
+    let message = error.get("message").and_then(|m| m.as_str()).unwrap();
+    assert!(message.contains("8x0"), "{message}");
+    assert!(message.contains("nonzero width"), "{message}");
+}
+
+#[test]
+fn bad_format_param_is_the_typed_exporter_400() {
+    let state = state_with_graph();
+    let response = routes::handle(&state, &get("/graphs/g/terrain?format=gif"));
+    assert_eq!(response.status, 400);
+    let error = body_json(&response);
+    let error = error.get("error").expect("error object");
+    assert_eq!(error.get("param").and_then(|p| p.as_str()), Some("format"));
+    let message = error.get("message").and_then(|m| m.as_str()).unwrap();
+    assert!(message.contains("gif"), "{message}");
+    assert!(message.contains("treemap"), "should list backends: {message}");
+}
+
+#[test]
+fn invalid_parameters_never_panic_and_name_the_param() {
+    let state = state_with_graph();
+    let cases = [
+        ("/graphs/g/terrain?measure=bogus", "measure"),
+        ("/graphs/g/terrain?width=fat", "width"),
+        ("/graphs/g/terrain?levels=zero", "levels"),
+        ("/graphs/g/terrain?budget=-3", "budget"),
+        ("/graphs/g/terrain?color=plaid", "color"),
+        ("/graphs/g/terrain?measure=edge-triangles&color=degree", "color"),
+        ("/graphs/g/peaks?alpha=tall", "alpha"),
+        ("/graphs/g/peaks?count=-1", "count"),
+    ];
+    for (target, param) in cases {
+        let response = routes::handle(&state, &get(target));
+        assert_eq!(response.status, 400, "{target}");
+        let doc = body_json(&response);
+        assert_eq!(
+            doc.get("error").and_then(|e| e.get("param")).and_then(|p| p.as_str()),
+            Some(param),
+            "{target}"
+        );
+    }
+}
+
+#[test]
+fn threads_param_changes_nothing_about_the_artifact_or_cache_key() {
+    let state = state_with_graph();
+    let serial = routes::handle(&state, &get("/graphs/g/terrain?threads=serial"));
+    assert_eq!(serial.status, 200);
+    assert_eq!(serial.header_value("x-cache"), Some("miss"));
+    // Different thread budget, same everything else: must be a *hit* (the
+    // key excludes parallelism) with identical bytes.
+    let threaded = routes::handle(&state, &get("/graphs/g/terrain?threads=2x64"));
+    assert_eq!(threaded.status, 200);
+    assert_eq!(threaded.header_value("x-cache"), Some("hit"));
+    assert_eq!(serial.body, threaded.body);
+    assert_eq!(serial.header_value("etag"), threaded.header_value("etag"));
+}
+
+#[test]
+fn distinct_render_parameters_get_distinct_cache_entries_and_etags() {
+    let state = state_with_graph();
+    let default = routes::handle(&state, &get("/graphs/g/terrain"));
+    let resized = routes::handle(&state, &get("/graphs/g/terrain?width=640&height=480"));
+    let recolored = routes::handle(&state, &get("/graphs/g/terrain?color=degree"));
+    assert_eq!(default.status, 200);
+    assert_eq!(resized.status, 200);
+    assert_eq!(recolored.status, 200);
+    for response in [&resized, &recolored] {
+        assert_eq!(response.header_value("x-cache"), Some("miss"));
+        assert_ne!(response.header_value("etag"), default.header_value("etag"));
+    }
+    // A different size provably changes the bytes; a different palette may
+    // coincide on a tiny graph, so only the key separation is asserted.
+    assert_ne!(resized.body, default.body);
+    assert_eq!(state.cache.lock().unwrap().len(), 3);
+}
+
+#[test]
+fn if_none_match_returns_304_without_rendering() {
+    let state = state_with_graph();
+    let first = routes::handle(&state, &get("/graphs/g/terrain"));
+    let etag = first.header_value("etag").unwrap().to_string();
+    let mut conditional = get("/graphs/g/terrain");
+    conditional.headers.push(("if-none-match".into(), etag.clone()));
+    let response = routes::handle(&state, &conditional);
+    assert_eq!(response.status, 304);
+    assert_eq!(response.header_value("etag"), Some(etag.as_str()));
+    // The 304 never touched the cache: exactly one lookup (the first
+    // render's miss) is on the books.
+    let stats = state.cache.lock().unwrap().stats();
+    assert_eq!(stats.hits + stats.misses, 1);
+}
+
+#[test]
+fn upload_registers_lists_describes_and_conflicts() {
+    let state = Arc::new(AppState::new(ServerConfig::default()));
+    let edgelist = b"0 1\n1 2\n2 0\n".to_vec();
+
+    let created = routes::handle(&state, &post("/graphs?id=tri", edgelist.clone()));
+    assert_eq!(created.status, 201, "{}", String::from_utf8_lossy(&created.body));
+    assert_eq!(created.header_value("location"), Some("/graphs/tri"));
+    let doc = body_json(&created);
+    assert_eq!(doc.get("vertices").and_then(|v| v.as_u64()), Some(3));
+    assert_eq!(doc.get("edges").and_then(|v| v.as_u64()), Some(3));
+    assert_eq!(doc.get("storage").and_then(|v| v.as_str()), Some("owned"));
+
+    // Same id again: 409, registry unchanged.
+    let conflict = routes::handle(&state, &post("/graphs?id=tri", edgelist.clone()));
+    assert_eq!(conflict.status, 409);
+
+    // Auto-id upload, then list both.
+    let auto = routes::handle(&state, &post("/graphs", edgelist));
+    assert_eq!(auto.status, 201);
+    let list = routes::handle(&state, &get("/graphs"));
+    let listed = body_json(&list);
+    assert_eq!(listed.get("graphs").and_then(|g| g.as_array()).map(|a| a.len()), Some(2));
+
+    // Garbage uploads are 400s, not panics.
+    let garbage = routes::handle(&state, &post("/graphs", b"not a graph \xff".to_vec()));
+    assert_eq!(garbage.status, 400);
+    let empty = routes::handle(&state, &post("/graphs", Vec::new()));
+    assert_eq!(empty.status, 400);
+}
+
+#[test]
+fn peaks_returns_the_clique_and_stats_reflects_traffic() {
+    let state = state_with_graph();
+    let peaks = routes::handle(&state, &get("/graphs/g/peaks?count=2"));
+    assert_eq!(peaks.status, 200);
+    let doc = body_json(&peaks);
+    let list = doc.get("peaks").and_then(|p| p.as_array()).expect("peaks array");
+    assert!(!list.is_empty());
+    let first = &list[0];
+    // The K5 dominates the K-Core terrain: the top peak has summit 4.
+    assert_eq!(first.get("summit_height").and_then(|v| v.as_f64()), Some(4.0));
+    assert!(first.get("member_count").and_then(|v| v.as_u64()).unwrap() >= 5);
+    assert!(first.get("footprint").is_some());
+
+    let stats = routes::handle(&state, &get("/stats"));
+    assert_eq!(stats.status, 200);
+    let doc = body_json(&stats);
+    assert_eq!(doc.get("graphs").and_then(|v| v.as_u64()), Some(1));
+    let cache = doc.get("cache").expect("cache object");
+    assert_eq!(cache.get("misses").and_then(|v| v.as_u64()), Some(1));
+    let totals = doc.get("stage_seconds").expect("stage_seconds object");
+    assert_eq!(totals.get("renders").and_then(|v| v.as_u64()), Some(1));
+}
+
+#[test]
+fn betweenness_sampling_parameters_key_the_cache() {
+    let state = state_with_graph();
+    let a = routes::handle(&state, &get("/graphs/g/terrain?measure=betweenness&samples=8&seed=1"));
+    let b = routes::handle(&state, &get("/graphs/g/terrain?measure=betweenness&samples=8&seed=2"));
+    assert_eq!(a.status, 200);
+    assert_eq!(b.status, 200);
+    assert_eq!(b.header_value("x-cache"), Some("miss"), "a new seed is a new artifact");
+    assert_ne!(a.header_value("etag"), b.header_value("etag"));
+}

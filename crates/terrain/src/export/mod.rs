@@ -153,11 +153,75 @@ pub fn builtin_exporters() -> Vec<Box<dyn Exporter>> {
     ]
 }
 
-/// Look up a built-in backend by its [`Exporter::name`] (the `--format` flag
-/// of the figure binaries and examples).
-pub fn exporter_by_name(name: &str) -> Option<Box<dyn Exporter>> {
-    builtin_exporters().into_iter().find(|e| e.name() == name.to_ascii_lowercase())
+/// The [`Exporter::name`]s of every built-in backend, in
+/// [`builtin_exporters`] order — what error messages and HTTP 400 bodies
+/// list as the accepted `format` values.
+pub fn exporter_names() -> Vec<&'static str> {
+    builtin_exporters().iter().map(|e| e.name()).collect()
 }
+
+/// Look up a built-in backend by its [`Exporter::name`] (the `--format` flag
+/// of the figure binaries and examples, the `format` query parameter of the
+/// terrain server). Unknown names return a typed [`UnknownExporterError`]
+/// carrying the rejected name and the accepted ones, so callers can surface
+/// a precise message (or a structured 400 body) instead of a bare "no".
+pub fn exporter_by_name(name: &str) -> Result<Box<dyn Exporter>, UnknownExporterError> {
+    builtin_exporters()
+        .into_iter()
+        .find(|e| e.name() == name.to_ascii_lowercase())
+        .ok_or_else(|| UnknownExporterError { requested: name.to_string() })
+}
+
+/// [`exporter_by_name`], with an explicit pixel size applied to the
+/// size-aware backends (`svg`, `treemap`). The other backends emit
+/// resolution-independent geometry or text and are returned as-is. This is
+/// the lookup render services should use: a pipeline's
+/// `set_svg_size` only configures its own `svg()` convenience stage, not an
+/// externally constructed exporter.
+pub fn exporter_by_name_sized(
+    name: &str,
+    width_px: f64,
+    height_px: f64,
+) -> Result<Box<dyn Exporter>, UnknownExporterError> {
+    let exporter = exporter_by_name(name)?;
+    Ok(match exporter.name() {
+        "svg" => Box::new(Svg::new(width_px, height_px)),
+        "treemap" => Box::new(TreemapSvg::new(width_px, height_px)),
+        _ => exporter,
+    })
+}
+
+/// Error returned by [`exporter_by_name`] when no built-in backend answers
+/// to the requested name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownExporterError {
+    requested: String,
+}
+
+impl UnknownExporterError {
+    /// The name that was requested, verbatim (before lowercasing).
+    pub fn requested(&self) -> &str {
+        &self.requested
+    }
+
+    /// The names that *would* have been accepted ([`exporter_names`]).
+    pub fn known(&self) -> Vec<&'static str> {
+        exporter_names()
+    }
+}
+
+impl std::fmt::Display for UnknownExporterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown exporter backend {:?}; expected one of: {}",
+            self.requested,
+            exporter_names().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownExporterError {}
 
 #[cfg(test)]
 mod tests {
@@ -200,7 +264,41 @@ mod tests {
             assert_eq!(found.name(), exporter.name());
         }
         assert_eq!(exporter_by_name("SVG").unwrap().name(), "svg");
-        assert!(exporter_by_name("gif").is_none());
+        let err = match exporter_by_name("gif") {
+            Err(err) => err,
+            Ok(_) => panic!("gif must not resolve"),
+        };
+        assert_eq!(err.requested(), "gif");
+        assert_eq!(err.known(), exporter_names());
+        let message = err.to_string();
+        assert!(message.contains("gif"), "{message}");
+        for name in exporter_names() {
+            assert!(message.contains(name), "{message} should list {name}");
+        }
+    }
+
+    #[test]
+    fn sized_lookup_applies_pixel_size_to_svg_backends() {
+        let (tree, layout, mesh) = sample_stages();
+        let scene = RenderScene::new(&tree, &layout, &mesh);
+        for name in ["svg", "treemap"] {
+            let small = exporter_by_name_sized(name, 320.0, 240.0).unwrap();
+            let output = small.export_string(&scene).unwrap();
+            assert!(output.contains("width=\"320\""), "{name}: {output}");
+            assert!(output.contains("height=\"240\""), "{name}: {output}");
+            assert_ne!(
+                output,
+                exporter_by_name(name).unwrap().export_string(&scene).unwrap(),
+                "{name}: the size must change the artifact"
+            );
+        }
+        // Resolution-independent backends are untouched by the size.
+        let obj = exporter_by_name_sized("obj", 320.0, 240.0).unwrap();
+        assert_eq!(
+            obj.export_string(&scene).unwrap(),
+            exporter_by_name("obj").unwrap().export_string(&scene).unwrap()
+        );
+        assert!(exporter_by_name_sized("gif", 320.0, 240.0).is_err());
     }
 
     #[test]

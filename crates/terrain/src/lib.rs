@@ -52,8 +52,8 @@ pub use export::obj::mesh_to_obj;
 #[allow(deprecated)]
 pub use export::svg::{terrain_to_svg, treemap_to_svg};
 pub use export::{
-    builtin_exporters, exporter_by_name, Ascii, Exporter, JsonScene, Obj, Ply, RenderScene,
-    SceneTiming, Svg, TreemapSvg,
+    builtin_exporters, exporter_by_name, exporter_by_name_sized, exporter_names, Ascii, Exporter,
+    JsonScene, Obj, Ply, RenderScene, SceneTiming, Svg, TreemapSvg, UnknownExporterError,
 };
 pub use layout2d::{layout_super_tree, try_layout_super_tree, LayoutConfig, Rect, TerrainLayout};
 pub use mesh::{build_terrain_mesh, try_build_terrain_mesh, MeshBounds, MeshConfig, TerrainMesh};

@@ -174,28 +174,91 @@ impl Parallelism {
     /// [`Parallelism::Threads`]`(0)` behaves — or `"<threads>x<width>"`
     /// (e.g. `"8x128"`: 8 workers over a 128-chunk decomposition).
     ///
-    /// This is the format the figure binaries accept for `--threads` and the
-    /// bench ladder accepts in `--threads-list`.
-    pub fn parse(s: &str) -> Option<Parallelism> {
+    /// This is the format the figure binaries accept for `--threads`, the
+    /// bench ladder accepts in `--parallelism`, and the terrain server
+    /// accepts as the `threads` query parameter. A rejected string carries a
+    /// typed [`ParseParallelismError`] saying *which* part was wrong, so
+    /// callers (a CLI warning, an HTTP 400 body) can report it precisely.
+    pub fn parse(s: &str) -> Result<Parallelism, ParseParallelismError> {
+        let fail = |kind| Err(ParseParallelismError { input: s.to_string(), kind });
         if let Some((threads, width)) = s.split_once('x') {
-            let threads: usize = threads.parse().ok()?;
-            let width: usize = width.parse().ok()?;
+            let Ok(threads) = threads.parse::<usize>() else {
+                return fail(ParseParallelismErrorKind::BadThreadCount);
+            };
+            let Ok(width) = width.parse::<usize>() else {
+                return fail(ParseParallelismErrorKind::BadWidth);
+            };
             if width == 0 {
-                return None;
+                return fail(ParseParallelismErrorKind::ZeroWidth);
             }
-            return Some(Parallelism::Wide { threads, width });
+            return Ok(Parallelism::Wide { threads, width });
         }
         match s {
-            "serial" => Some(Parallelism::Serial),
-            "auto" => Some(Parallelism::auto()),
+            "serial" => Ok(Parallelism::Serial),
+            "auto" => Ok(Parallelism::auto()),
             _ => match s.parse::<usize>() {
-                Ok(0 | 1) => Some(Parallelism::Serial),
-                Ok(n) => Some(Parallelism::Threads(n)),
-                Err(_) => None,
+                Ok(0 | 1) => Ok(Parallelism::Serial),
+                Ok(n) => Ok(Parallelism::Threads(n)),
+                Err(_) => fail(ParseParallelismErrorKind::Unrecognized),
             },
         }
     }
 }
+
+/// Why a [`Parallelism::parse`] input was rejected.
+///
+/// The variants name the offending part of the flag; [`std::fmt::Display`]
+/// renders a full sentence including [`ParseParallelismError::EXPECTED`], so
+/// an error surfaced verbatim (CLI warning, HTTP 400 body) tells the caller
+/// exactly what the accepted forms are.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseParallelismError {
+    input: String,
+    kind: ParseParallelismErrorKind,
+}
+
+/// The specific malformation [`Parallelism::parse`] found.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ParseParallelismErrorKind {
+    /// The `<threads>` part of a `<threads>x<width>` form is not a number.
+    BadThreadCount,
+    /// The `<width>` part of a `<threads>x<width>` form is not a number.
+    BadWidth,
+    /// A `<threads>x0` form: a zero width is a typo, not a request.
+    ZeroWidth,
+    /// The input is none of `serial`, `auto`, an integer, or a `NxW` pair.
+    Unrecognized,
+}
+
+impl ParseParallelismError {
+    /// The accepted input forms, as a human-readable fragment.
+    pub const EXPECTED: &'static str =
+        "`serial`, `auto`, a thread count, or `<threads>x<width>` with a nonzero width";
+
+    /// The string that failed to parse, verbatim.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+
+    /// Which part of the input was malformed.
+    pub fn kind(&self) -> ParseParallelismErrorKind {
+        self.kind
+    }
+}
+
+impl std::fmt::Display for ParseParallelismError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let problem = match self.kind {
+            ParseParallelismErrorKind::BadThreadCount => "the thread count is not a number",
+            ParseParallelismErrorKind::BadWidth => "the chunk width is not a number",
+            ParseParallelismErrorKind::ZeroWidth => "the chunk width must be nonzero",
+            ParseParallelismErrorKind::Unrecognized => "unrecognized form",
+        };
+        write!(f, "invalid parallelism {:?}: {problem}; expected {}", self.input, Self::EXPECTED)
+    }
+}
+
+impl std::error::Error for ParseParallelismError {}
 
 impl std::fmt::Display for Parallelism {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -542,22 +605,34 @@ mod tests {
 
     #[test]
     fn parse_accepts_serial_auto_counts_and_widths() {
-        assert_eq!(Parallelism::parse("serial"), Some(Parallelism::Serial));
-        assert_eq!(Parallelism::parse("0"), Some(Parallelism::Serial));
-        assert_eq!(Parallelism::parse("1"), Some(Parallelism::Serial));
-        assert_eq!(Parallelism::parse("4"), Some(Parallelism::Threads(4)));
-        assert_eq!(Parallelism::parse("auto"), Some(Parallelism::auto()));
-        assert_eq!(Parallelism::parse("8x128"), Some(Parallelism::Wide { threads: 8, width: 128 }));
-        assert_eq!(Parallelism::parse("0x64"), Some(Parallelism::Wide { threads: 0, width: 64 }));
-        assert_eq!(Parallelism::parse("8x0"), None, "a zero width is a typo, not a request");
-        assert_eq!(Parallelism::parse("8x"), None);
-        assert_eq!(Parallelism::parse("x64"), None);
-        assert_eq!(Parallelism::parse("four"), None);
-        assert_eq!(Parallelism::parse(""), None);
-        assert_eq!(Parallelism::parse("-2"), None);
+        assert_eq!(Parallelism::parse("serial"), Ok(Parallelism::Serial));
+        assert_eq!(Parallelism::parse("0"), Ok(Parallelism::Serial));
+        assert_eq!(Parallelism::parse("1"), Ok(Parallelism::Serial));
+        assert_eq!(Parallelism::parse("4"), Ok(Parallelism::Threads(4)));
+        assert_eq!(Parallelism::parse("auto"), Ok(Parallelism::auto()));
+        assert_eq!(Parallelism::parse("8x128"), Ok(Parallelism::Wide { threads: 8, width: 128 }));
+        assert_eq!(Parallelism::parse("0x64"), Ok(Parallelism::Wide { threads: 0, width: 64 }));
         assert_eq!(format!("{}", Parallelism::Threads(4)), "threads(4)");
         assert_eq!(format!("{}", Parallelism::Serial), "serial");
         assert_eq!(format!("{}", Parallelism::Wide { threads: 8, width: 128 }), "threads(8)x128");
+    }
+
+    #[test]
+    fn parse_rejections_carry_a_typed_kind_and_the_input() {
+        let kind = |s: &str| Parallelism::parse(s).unwrap_err().kind();
+        assert_eq!(kind("8x0"), ParseParallelismErrorKind::ZeroWidth);
+        assert_eq!(kind("8x"), ParseParallelismErrorKind::BadWidth);
+        assert_eq!(kind("8xsixty"), ParseParallelismErrorKind::BadWidth);
+        assert_eq!(kind("x64"), ParseParallelismErrorKind::BadThreadCount);
+        assert_eq!(kind("four"), ParseParallelismErrorKind::Unrecognized);
+        assert_eq!(kind(""), ParseParallelismErrorKind::Unrecognized);
+        assert_eq!(kind("-2"), ParseParallelismErrorKind::Unrecognized);
+        let err = Parallelism::parse("8x0").unwrap_err();
+        assert_eq!(err.input(), "8x0");
+        let message = err.to_string();
+        assert!(message.contains("8x0"), "{message}");
+        assert!(message.contains("nonzero"), "{message}");
+        assert!(message.contains(ParseParallelismError::EXPECTED), "{message}");
     }
 
     #[test]

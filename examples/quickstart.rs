@@ -51,7 +51,7 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let parallelism = flag(&args, "--threads")
-        .and_then(|v| Parallelism::parse(&v))
+        .and_then(|v| Parallelism::parse(&v).ok())
         .unwrap_or(Parallelism::Serial);
     let exporter = flag(&args, "--format")
         .map(|name| exporter_by_name(&name).expect("unknown --format backend"))

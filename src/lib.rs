@@ -66,8 +66,8 @@ pub use ugraph;
 mod pipeline;
 
 pub use pipeline::{
-    FieldKind, Measure, SimplificationConfig, StageTimings, SvgSize, TerrainParts, TerrainPipeline,
-    TerrainStages,
+    FieldKind, Measure, SharedGraph, SimplificationConfig, StageTimings, SvgSize, TerrainParts,
+    TerrainPipeline, TerrainStages,
 };
 pub use terrain::{TerrainError, TerrainResult};
 
@@ -84,7 +84,7 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use crate::{EdgeTerrain, VertexTerrain};
     pub use crate::{
-        FieldKind, Measure, SimplificationConfig, StageTimings, SvgSize, TerrainError,
+        FieldKind, Measure, SharedGraph, SimplificationConfig, StageTimings, SvgSize, TerrainError,
         TerrainParts, TerrainPipeline, TerrainResult, TerrainStages,
     };
     pub use baselines;

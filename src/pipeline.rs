@@ -121,6 +121,38 @@ impl Measure {
         }
     }
 
+    /// Parse a measure from its request-facing name (the `measure` query
+    /// parameter of the terrain server, case-insensitive): `"kcore"` /
+    /// `"k-core"`, `"degree"`, `"pagerank"`, `"closeness"`,
+    /// `"betweenness"` (sampled, with the defaults of
+    /// [`Measure::BETWEENNESS_DEFAULT`]), `"ktruss"` / `"k-truss"`, and
+    /// `"edge-triangles"` / `"triangles"`. `None` for anything else; the
+    /// accepted names are [`Measure::known_names`].
+    pub fn from_name(name: &str) -> Option<Measure> {
+        match name.to_ascii_lowercase().as_str() {
+            "kcore" | "k-core" => Some(Measure::KCore),
+            "degree" => Some(Measure::Degree),
+            "pagerank" => Some(Measure::PageRank),
+            "closeness" => Some(Measure::Closeness),
+            "betweenness" | "betweenness-sampled" => Some(Measure::BETWEENNESS_DEFAULT),
+            "ktruss" | "k-truss" => Some(Measure::KTruss),
+            "edge-triangles" | "triangles" => Some(Measure::EdgeTriangles),
+            _ => None,
+        }
+    }
+
+    /// The canonical names [`Measure::from_name`] accepts, for error
+    /// messages that must list the alternatives.
+    pub fn known_names() -> [&'static str; 7] {
+        ["kcore", "degree", "pagerank", "closeness", "betweenness", "ktruss", "edge-triangles"]
+    }
+
+    /// The sampled-betweenness setting [`Measure::from_name`] resolves
+    /// `"betweenness"` to: 64 sources, seed 20170419 (the scale ladder's
+    /// seed). `samples >= n` graphs fall back to the exact computation.
+    pub const BETWEENNESS_DEFAULT: Measure =
+        Measure::BetweennessSampled { samples: 64, seed: 20170419 };
+
     /// Short human-readable name (used in reports and logs).
     pub fn name(&self) -> &'static str {
         match self {
@@ -294,26 +326,92 @@ pub struct TerrainParts {
     pub timings: StageTimings,
 }
 
-/// How a session holds its graph: borrowed from the caller (the historical
-/// constructors), owned outright (sessions started from a
-/// [`GraphSource`] — there is no caller-side graph to borrow), or backed by
-/// a memory-mapped binary v3 snapshot ([`TerrainPipeline::open_mapped`]).
+/// A reference-counted, shareable graph backend — the unit a multi-session
+/// registry (like the terrain server's `GraphStore` registry) hands out.
 ///
-/// The mapped variant is reference-counted so cloning a session shares the
-/// one kernel mapping instead of duplicating file-sized buffers.
+/// Cloning is an `Arc` bump: every session started from the same
+/// `SharedGraph` reads the same owned CSR arrays or the same kernel memory
+/// mapping, so N concurrent sessions over one 10M-edge snapshot cost one
+/// graph, not N.
+#[derive(Clone)]
+pub enum SharedGraph {
+    /// A heap-owned CSR graph (ingested through a [`GraphSource`] or built
+    /// in memory).
+    Owned(Arc<CsrGraph>),
+    /// A binary v3 snapshot served by [`MappedCsrGraph`] — zero-copy where
+    /// the platform allows it.
+    Mapped(Arc<MappedCsrGraph>),
+}
+
+impl SharedGraph {
+    /// Wrap an owned graph for sharing.
+    pub fn new(graph: CsrGraph) -> Self {
+        SharedGraph::Owned(Arc::new(graph))
+    }
+
+    /// Open a binary v3 snapshot memory-mapped (heap fallback where mapping
+    /// is unavailable), fully validated — see [`MappedCsrGraph::open`].
+    pub fn open_mapped(path: impl AsRef<Path>) -> TerrainResult<Self> {
+        Ok(SharedGraph::Mapped(Arc::new(MappedCsrGraph::open(path.as_ref())?)))
+    }
+
+    /// Validate an in-memory binary v3 snapshot and wrap it for sharing —
+    /// the upload path of a server that receives snapshot bytes over the
+    /// wire and never touches disk.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> TerrainResult<Self> {
+        Ok(SharedGraph::Mapped(Arc::new(MappedCsrGraph::from_bytes(bytes)?)))
+    }
+
+    /// The graph as an abstract [`GraphStorage`] view.
+    pub fn storage(&self) -> &dyn GraphStorage {
+        match self {
+            SharedGraph::Owned(graph) => &**graph,
+            SharedGraph::Mapped(graph) => &**graph,
+        }
+    }
+
+    /// Short backend discriminator (`"owned"` / `"mapped"`), for stats and
+    /// registry listings.
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            SharedGraph::Owned(_) => "owned",
+            SharedGraph::Mapped(_) => "mapped",
+        }
+    }
+
+    /// Whether the graph is served from a live kernel memory map.
+    pub fn is_memory_mapped(&self) -> bool {
+        match self {
+            SharedGraph::Owned(_) => false,
+            SharedGraph::Mapped(graph) => graph.is_memory_mapped(),
+        }
+    }
+}
+
+impl std::fmt::Debug for SharedGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedGraph")
+            .field("backend", &self.backend_name())
+            .field("vertices", &self.storage().vertex_count())
+            .field("edges", &self.storage().edge_count())
+            .finish()
+    }
+}
+
+/// How a session holds its graph: borrowed from the caller (the historical
+/// constructors) or shared/owned via a [`SharedGraph`] (sessions started
+/// from a [`GraphSource`], a mapped snapshot, or a registry).
 #[derive(Clone)]
 enum GraphStore<'g> {
     Borrowed(&'g dyn GraphStorage),
-    Owned(Box<CsrGraph>),
-    Mapped(Arc<MappedCsrGraph>),
+    Shared(SharedGraph),
 }
 
 impl GraphStore<'_> {
     fn get(&self) -> &dyn GraphStorage {
         match self {
             GraphStore::Borrowed(graph) => *graph,
-            GraphStore::Owned(graph) => &**graph,
-            GraphStore::Mapped(graph) => &**graph,
+            GraphStore::Shared(graph) => graph.storage(),
         }
     }
 }
@@ -324,8 +422,7 @@ impl std::fmt::Debug for GraphStore<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let kind = match self {
             GraphStore::Borrowed(_) => "borrowed",
-            GraphStore::Owned(_) => "owned",
-            GraphStore::Mapped(_) => "mapped",
+            GraphStore::Shared(graph) => graph.backend_name(),
         };
         let graph = self.get();
         f.debug_struct("GraphStore")
@@ -450,10 +547,19 @@ impl<'g> TerrainPipeline<'g> {
         measure: Measure,
     ) -> TerrainResult<TerrainPipeline<'static>> {
         let parsed = source.load()?;
-        let mut p =
-            TerrainPipeline::new(GraphStore::Owned(Box::new(parsed.graph)), measure.field_kind());
+        Ok(Self::from_shared(SharedGraph::new(parsed.graph), measure))
+    }
+
+    /// Start a measure session over a [`SharedGraph`] — the entry point for
+    /// multi-session callers (the terrain server's graph registry): the
+    /// session holds an `Arc` clone, so any number of concurrent sessions
+    /// share one set of CSR arrays (or one kernel mapping). Like
+    /// [`from_source`](Self::from_source) the session has no borrow tie to
+    /// the caller.
+    pub fn from_shared(graph: SharedGraph, measure: Measure) -> TerrainPipeline<'static> {
+        let mut p = TerrainPipeline::new(GraphStore::Shared(graph), measure.field_kind());
         p.measure = Some(measure);
-        Ok(p)
+        p
     }
 
     /// Open a binary v3 snapshot as a memory-mapped graph and start a measure
@@ -478,10 +584,7 @@ impl<'g> TerrainPipeline<'g> {
         path: impl AsRef<Path>,
         measure: Measure,
     ) -> TerrainResult<TerrainPipeline<'static>> {
-        let graph = MappedCsrGraph::open(path.as_ref())?;
-        let mut p = TerrainPipeline::new(GraphStore::Mapped(Arc::new(graph)), measure.field_kind());
-        p.measure = Some(measure);
-        Ok(p)
+        Ok(Self::from_shared(SharedGraph::open_mapped(path)?, measure))
     }
 
     // ------------------------------------------------------------------
@@ -599,8 +702,8 @@ impl<'g> TerrainPipeline<'g> {
     /// platforms where mapping succeeded).
     pub fn is_memory_mapped(&self) -> bool {
         match &self.graph {
-            GraphStore::Mapped(graph) => graph.is_memory_mapped(),
-            _ => false,
+            GraphStore::Shared(graph) => graph.is_memory_mapped(),
+            GraphStore::Borrowed(_) => false,
         }
     }
 
@@ -714,6 +817,26 @@ impl<'g> TerrainPipeline<'g> {
             self.mesh.as_ref().expect("ensured"),
         )
         .with_timings(&timings);
+        exporter.write_to(&scene, writer)
+    }
+
+    /// [`render_to`](Self::render_to) minus the wall-clock stage timings:
+    /// the scene handed to the backend carries geometry only, so the bytes
+    /// depend on nothing but the graph, the measure and the configuration.
+    /// Backends that serialize timings (`json`, `ascii` headers) become
+    /// reproducible byte-for-byte across runs — the form a
+    /// content-addressed artifact cache must serve and revalidate against.
+    pub fn render_deterministic_to(
+        &mut self,
+        exporter: &dyn Exporter,
+        writer: &mut dyn std::io::Write,
+    ) -> TerrainResult<()> {
+        self.ensure_mesh()?;
+        let scene = RenderScene::new(
+            self.render_tree_ref(),
+            self.layout.as_ref().expect("ensured"),
+            self.mesh.as_ref().expect("ensured"),
+        );
         exporter.write_to(&scene, writer)
     }
 
@@ -988,6 +1111,45 @@ mod tests {
     }
 
     #[test]
+    fn from_shared_sessions_share_one_graph_and_match_borrowed_output() {
+        let graph = toy_graph();
+        let shared = SharedGraph::new(graph.clone());
+        let mut borrowed = TerrainPipeline::from_measure(&graph, Measure::KCore);
+        let expected = borrowed.svg().unwrap().to_string();
+        // Two sessions cloned off the same SharedGraph: identical bytes, one
+        // underlying graph allocation.
+        let mut a = TerrainPipeline::from_shared(shared.clone(), Measure::KCore);
+        let mut b = TerrainPipeline::from_shared(shared.clone(), Measure::KCore);
+        assert_eq!(a.svg().unwrap(), expected);
+        assert_eq!(b.svg().unwrap(), expected);
+        assert_eq!(shared.backend_name(), "owned");
+        assert!(!shared.is_memory_mapped());
+        // The mapped backend through snapshot bytes: same artifact.
+        let bytes = ugraph::io::encode_binary_v3(&graph, None).unwrap();
+        let mapped = SharedGraph::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(mapped.backend_name(), "mapped");
+        let mut c = TerrainPipeline::from_shared(mapped, Measure::KCore);
+        assert_eq!(c.svg().unwrap(), expected);
+    }
+
+    #[test]
+    fn measure_names_round_trip_through_from_name() {
+        for name in Measure::known_names() {
+            let measure = Measure::from_name(name).unwrap();
+            // The parsed measure's display name maps back to itself.
+            assert_eq!(Measure::from_name(measure.name().split('(').next().unwrap()), {
+                Some(measure)
+            });
+        }
+        assert_eq!(Measure::from_name("K-Core"), Some(Measure::KCore));
+        assert_eq!(
+            Measure::from_name("betweenness"),
+            Some(Measure::BetweennessSampled { samples: 64, seed: 20170419 })
+        );
+        assert_eq!(Measure::from_name("voronoi"), None);
+    }
+
+    #[test]
     fn render_to_svg_matches_the_cached_svg_stage() {
         let graph = toy_graph();
         let mut session = TerrainPipeline::from_measure(&graph, Measure::KCore);
@@ -1001,6 +1163,22 @@ mod tests {
         let json = String::from_utf8(json).unwrap();
         assert!(json.contains("\"stage\": \"tree\""), "{json}");
         assert!(json.contains("\"stage\": \"svg\""), "{json}");
+    }
+
+    #[test]
+    fn deterministic_render_is_reproducible_across_fresh_sessions() {
+        let graph = toy_graph();
+        let render = || {
+            let mut session = TerrainPipeline::from_measure(&graph, Measure::KCore);
+            let mut bytes = Vec::new();
+            session.render_deterministic_to(&terrain::JsonScene, &mut bytes).unwrap();
+            bytes
+        };
+        // `json` serializes scene timings when present; the deterministic
+        // variant must strip them so independent runs agree byte-for-byte.
+        let first = render();
+        assert_eq!(first, render());
+        assert!(String::from_utf8(first).unwrap().contains("\"timings\": []"));
     }
 
     #[test]

@@ -35,6 +35,20 @@
 //! [`ugraph::MappedCsrGraph::open`] (mmap + checksum + validation walk, no
 //! array copies). The `open_seconds` gap between the two is the headline of
 //! the zero-copy storage layer.
+//!
+//! Each rung also runs the delta bench: a fixed ≤1k-edge batch (half
+//! deletes of existing edges, half fresh inserts) applied to a warm session
+//! via [`TerrainPipeline::apply_delta`] and re-rendered (`storage:
+//! "delta-apply"`, timing covers overlay + compaction + scalar splice +
+//! downstream re-render), against the from-scratch path a client without
+//! the delta subsystem pays: re-parse the final edge list (the same
+//! re-upload CI's delta smoke performs), build the graph, and render a
+//! fresh session (`storage: "delta-rebuild"`). Timings are best-of-3; a
+//! byte-equality guard on the two SVGs backs every recorded pair. Both run
+//! at `degree` (local incremental tier), `kcore` (dirty-region tier), and
+//! `pagerank` (full-recompute fallback), so the recorded baseline
+//! documents where incremental recomputation pays and where it degenerates
+//! to a rebuild.
 
 use bench::output::{results_dir, write_artifact};
 use bench::report::{
@@ -43,9 +57,12 @@ use bench::report::{
 };
 use bench::{format_table_for, parallelism_list_from};
 use graph_terrain::{Measure, TerrainPipeline};
+use ugraph::delta::{DeltaOp, DeltaOverlay, GraphDelta};
 use ugraph::generators::rmat;
-use ugraph::io::{decode_binary_auto, encode_binary_v2, write_binary_v3_file};
-use ugraph::{GraphStorage, MappedCsrGraph};
+use ugraph::io::{
+    decode_binary_auto, encode_binary_v2, write_binary_v3_file, GraphFormat, GraphSource,
+};
+use ugraph::{CsrGraph, GraphStorage, MappedCsrGraph};
 
 /// One ladder rung: name, RMAT scale, and the number of edge samples.
 const FULL_LADDER: &[(&str, u32, usize)] = &[
@@ -75,6 +92,35 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         }
     }
     None
+}
+
+/// The fixed ≤1k-edge batch the delta bench applies: half stride-sampled
+/// deletes of existing edges, half fresh inserts from a deterministic
+/// xorshift stream — the same batch for every measure and every run of a
+/// given rung, so baselines stay comparable.
+fn ladder_delta(graph: &CsrGraph) -> GraphDelta {
+    const TARGET: usize = 1_000;
+    let half = TARGET / 2;
+    let mut delta = GraphDelta::new();
+    let stride = (graph.edge_count() / half).max(1);
+    for (i, e) in graph.edges().enumerate() {
+        if i % stride == 0 && delta.len() < half {
+            delta.push(DeltaOp::Delete, e.u, e.v);
+        }
+    }
+    let n = graph.vertex_count() as u64;
+    let mut state = LADDER_SEED | 1;
+    let mut attempts = 0;
+    while delta.len() < TARGET && attempts < TARGET * 10 {
+        attempts += 1;
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let u = ((state >> 8) % n) as u32;
+        let v = ((state >> 40) % n) as u32;
+        delta.push(DeltaOp::Insert, u, v);
+    }
+    delta
 }
 
 fn measure_from(name: &str) -> Option<Measure> {
@@ -264,6 +310,111 @@ fn main() {
             "  open: v2 {v2_open_seconds:.3}s vs v3-mapped {v3_open_seconds:.3}s ({:.1}x, mmap: {v3_mapped})",
             v2_open_seconds / v3_open_seconds.max(1e-9)
         );
+
+        // Delta bench: apply the fixed ≤1k-edge batch to a warm session and
+        // re-render, vs the from-scratch path — rebuild the final graph
+        // from its edge list, then build and render a fresh session. One
+        // pair of rows per incremental-cost tier.
+        let delta = ladder_delta(&graph);
+        let final_graph = {
+            let mut overlay = DeltaOverlay::new(&graph);
+            overlay.apply(&delta);
+            overlay.compact().graph
+        };
+        // The final edge list serialized as text — what a rebuilding client
+        // re-uploads (CI's delta smoke performs exactly this re-upload), so
+        // the rebuild timing covers parse + build + render. The trailing
+        // self loop pins the vertex count: the edge-list reader drops the
+        // loop but keeps its endpoint, like the delta intake does.
+        let rebuild_text = {
+            use std::fmt::Write as _;
+            let mut text = String::new();
+            for e in final_graph.edges() {
+                let _ = writeln!(text, "{} {}", e.u.0, e.v.0);
+            }
+            let last = final_graph.vertex_count().saturating_sub(1);
+            let _ = writeln!(text, "{last} {last}");
+            text
+        };
+        // Best-of-N timing: each iteration re-warms a session on the base
+        // graph, so apply timings always start from a fully cached pipeline.
+        // The minimum is the least-noise estimate on a shared container.
+        const DELTA_ITERS: usize = 3;
+        for delta_measure in [Measure::Degree, Measure::KCore, Measure::PageRank] {
+            let tier = delta_measure.delta_cost().name();
+            let delta_measure_name = delta_measure.name().to_string();
+            let mut apply_seconds = f64::INFINITY;
+            let mut rebuild_seconds = f64::INFINITY;
+            for _ in 0..DELTA_ITERS {
+                let mut warm = TerrainPipeline::from_measure(&graph, delta_measure.clone());
+                if let Err(e) = warm.svg() {
+                    eprintln!("[error] {rung_name} delta warm-up ({delta_measure_name}): {e}");
+                    std::process::exit(1);
+                }
+                let apply_started = std::time::Instant::now();
+                warm.apply_delta(&delta).expect("ladder delta applies");
+                let warm_svg_ok = warm.svg().is_ok();
+                apply_seconds = apply_seconds.min(apply_started.elapsed().as_secs_f64());
+
+                // The owned copy is made outside the timer: a rebuilding
+                // client already holds the upload bytes.
+                let rebuild_input = rebuild_text.clone().into_bytes();
+                let rebuild_started = std::time::Instant::now();
+                let rebuilt = GraphSource::reader(std::io::Cursor::new(rebuild_input))
+                    .with_format(GraphFormat::EdgeList)
+                    .load()
+                    .expect("ladder rebuild edge list parses")
+                    .graph;
+                let mut fresh = TerrainPipeline::from_measure(&rebuilt, delta_measure.clone());
+                let fresh_svg_ok = fresh.svg().is_ok();
+                rebuild_seconds = rebuild_seconds.min(rebuild_started.elapsed().as_secs_f64());
+                if !warm_svg_ok || !fresh_svg_ok {
+                    eprintln!(
+                        "[error] {rung_name} delta bench render failed ({delta_measure_name})"
+                    );
+                    std::process::exit(1);
+                }
+                // The byte-exactness guard the timings ride on: incremental
+                // and from-scratch renders must agree or the numbers mean
+                // nothing.
+                if warm.svg().expect("cached") != fresh.svg().expect("cached") {
+                    eprintln!("[error] {rung_name} delta bench incoherent ({delta_measure_name})");
+                    std::process::exit(1);
+                }
+            }
+            for (storage, seconds) in
+                [("delta-apply", apply_seconds), ("delta-rebuild", rebuild_seconds)]
+            {
+                report.rungs.push(RungResult {
+                    rung: rung_name.to_string(),
+                    generator: "rmat".to_string(),
+                    scale,
+                    target_edges,
+                    vertices: final_graph.vertex_count(),
+                    edges: final_graph.edge_count(),
+                    generate_seconds,
+                    measure: delta_measure_name.clone(),
+                    storage: storage.to_string(),
+                    open_seconds: None,
+                    parallelism: "serial".to_string(),
+                    threads: 1,
+                    width: 1,
+                    stages: StageSeconds::default(),
+                    total_seconds: seconds,
+                    edges_per_second: if seconds > 0.0 {
+                        delta.len() as f64 / seconds
+                    } else {
+                        0.0
+                    },
+                    peak_rss_bytes: peak_rss_bytes(),
+                });
+            }
+            println!(
+                "  delta ({} edges, {delta_measure_name}/{tier}): apply {apply_seconds:.3}s vs rebuild {rebuild_seconds:.3}s ({:.1}x)",
+                delta.len(),
+                rebuild_seconds / apply_seconds.max(1e-9)
+            );
+        }
     }
     let _ = std::fs::remove_dir(&snapshot_dir);
 

@@ -43,7 +43,7 @@ pub fn input_dataset_from(args: &[String]) -> Option<FileDataset> {
         GraphFormat::from_name(&name).unwrap_or_else(|| {
             eprintln!(
                 "[error] unknown --input-format {name:?}; expected one of: {}",
-                GraphFormat::all().map(|f| f.name()).join(", ")
+                GraphFormat::all().iter().map(|f| f.name()).collect::<Vec<_>>().join(", ")
             );
             std::process::exit(2);
         })

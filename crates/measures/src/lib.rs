@@ -42,6 +42,7 @@ pub mod betweenness;
 pub mod closeness;
 pub mod community;
 pub mod degree;
+pub mod incremental;
 pub mod kcore;
 pub mod ktruss;
 pub mod pagerank;
@@ -56,6 +57,10 @@ pub use betweenness::{
 pub use closeness::{closeness_centrality, closeness_centrality_with, harmonic_centrality};
 pub use community::{label_propagation, overlapping_community_scores, CommunityScores};
 pub use degree::{degree_centrality, degrees};
+pub use incremental::{
+    incremental_core_numbers, incremental_degrees, incremental_edge_triangle_counts,
+    incremental_truss_numbers, vertex_triangle_counts_from_edges, DeltaCost,
+};
 pub use kcore::{core_numbers, KCoreDecomposition};
 pub use ktruss::{truss_numbers, truss_numbers_with, KTrussDecomposition};
 pub use pagerank::{pagerank, pagerank_with, PageRankConfig};

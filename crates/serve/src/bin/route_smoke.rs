@@ -4,7 +4,11 @@
 //! `If-None-Match` → 304). CI boots `terrain_server` on an ephemeral port,
 //! runs this binary, then byte-diffs the saved `terrain.svg` against a
 //! direct `quickstart` render of the same snapshot — closing the loop that
-//! the *served* artifact equals the *library* artifact.
+//! the *served* artifact equals the *library* artifact. The script also
+//! exercises the dynamic-graph routes: it streams insert/delete batches at
+//! a fixed base graph and byte-diffs the mutated render against a
+//! from-scratch upload of the final edge list (saved as
+//! `terrain_delta.svg` / `terrain_delta_rebuilt.svg` for CI to re-diff).
 //!
 //! ```text
 //! route_smoke --addr <host:port> --graph <path> [--out-dir <dir>]
@@ -143,7 +147,60 @@ fn main() {
         fail("stats", format!("expected hits >= 1 and misses >= 1, got {hits}/{misses}"));
     }
 
-    // 10. Save artifacts for the CI byte-diff against a direct render.
+    // 10. Dynamic graphs: upload a small fixed base, stream an insert and a
+    // delete batch at it, and check the mutated graph renders
+    // byte-identically to a from-scratch upload of the final edge list.
+    let base = client::post(addr, "/graphs?id=delta-base", b"0 1\n1 2\n2 0\n0 3\n")
+        .unwrap_or_else(|e| fail("delta base upload", e));
+    expect_status("delta base upload", &base, 201);
+    let pre = client::get(addr, "/graphs/delta-base/terrain")
+        .unwrap_or_else(|e| fail("pre-delta render", e));
+    expect_status("pre-delta render", &pre, 200);
+    let pre_etag =
+        pre.header("etag").unwrap_or_else(|| fail("pre-delta render", "no ETag")).to_string();
+
+    let insert = client::post(addr, "/graphs/delta-base/deltas", b"3 4\n1 3\n")
+        .unwrap_or_else(|e| fail("delta insert", e));
+    expect_status("delta insert", &insert, 200);
+    if !insert.body_utf8().contains("\"structural\":true") {
+        fail("delta insert", format!("expected a structural delta: {}", insert.body_utf8()));
+    }
+    let delete = client::post(addr, "/graphs/delta-base/deltas?op=delete", b"0 3\n")
+        .unwrap_or_else(|e| fail("delta delete", e));
+    expect_status("delta delete", &delete, 200);
+
+    let mutated = client::get(addr, "/graphs/delta-base/terrain")
+        .unwrap_or_else(|e| fail("post-delta render", e));
+    expect_status("post-delta render", &mutated, 200);
+    if mutated.header("x-cache") != Some("miss") {
+        fail("post-delta render", "a mutated graph must not serve stale cached bytes");
+    }
+    if mutated.header("etag") == Some(pre_etag.as_str()) {
+        fail("post-delta render", "the ETag must change when the graph mutates");
+    }
+    // Final edge list after both batches: the base plus {3-4, 1-3} minus {0-3}.
+    let rebuilt = client::post(addr, "/graphs?id=delta-rebuilt", b"0 1\n1 2\n2 0\n1 3\n3 4\n")
+        .unwrap_or_else(|e| fail("rebuilt upload", e));
+    expect_status("rebuilt upload", &rebuilt, 201);
+    let direct = client::get(addr, "/graphs/delta-rebuilt/terrain")
+        .unwrap_or_else(|e| fail("rebuilt render", e));
+    expect_status("rebuilt render", &direct, 200);
+    if direct.body != mutated.body {
+        fail("delta coherence", "incremental and from-scratch renders disagree byte-wise");
+    }
+
+    // 11. DELETE unregisters; a second DELETE is a 404.
+    let deleted =
+        client::delete(addr, "/graphs/delta-rebuilt").unwrap_or_else(|e| fail("delete graph", e));
+    expect_status("delete graph", &deleted, 200);
+    let gone =
+        client::delete(addr, "/graphs/delta-rebuilt").unwrap_or_else(|e| fail("delete again", e));
+    expect_status("delete again", &gone, 404);
+    let lookup =
+        client::get(addr, "/graphs/delta-rebuilt").unwrap_or_else(|e| fail("deleted lookup", e));
+    expect_status("deleted lookup", &lookup, 404);
+
+    // 12. Save artifacts for the CI byte-diff against a direct render.
     if let Some(dir) = out_dir {
         std::fs::create_dir_all(&dir).unwrap_or_else(|e| fail("out-dir", e));
         std::fs::write(dir.join("terrain.svg"), &miss.body)
@@ -152,6 +209,10 @@ fn main() {
             .unwrap_or_else(|e| fail("write json", e));
         std::fs::write(dir.join("peaks.json"), &peaks.body)
             .unwrap_or_else(|e| fail("write peaks", e));
+        std::fs::write(dir.join("terrain_delta.svg"), &mutated.body)
+            .unwrap_or_else(|e| fail("write delta svg", e));
+        std::fs::write(dir.join("terrain_delta_rebuilt.svg"), &direct.body)
+            .unwrap_or_else(|e| fail("write rebuilt svg", e));
     }
 
     println!("route smoke: PASS ({} byte SVG, {hits} hits / {misses} misses)", miss.body.len());

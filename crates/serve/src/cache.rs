@@ -216,6 +216,30 @@ impl LruCache {
         keys
     }
 
+    /// Drop every entry whose key starts with `prefix`, returning how many
+    /// were removed. Used when a graph is deleted or mutated: its cache keys
+    /// all begin `{graph_id}|`, so one prefix sweep evicts exactly that
+    /// graph's artifacts and nothing else. Counted as evictions.
+    pub fn evict_prefix(&mut self, prefix: &str) -> usize {
+        let doomed: Vec<usize> =
+            self.map.iter().filter(|(k, _)| k.starts_with(prefix)).map(|(_, &s)| s).collect();
+        for slot in &doomed {
+            let slot = *slot;
+            self.unlink(slot);
+            let key = std::mem::take(&mut self.slots[slot].key);
+            self.bytes -= self.slots[slot].value.bytes.len();
+            self.slots[slot].value = Arc::new(CachedArtifact {
+                bytes: Vec::new(),
+                etag: String::new(),
+                content_type: "",
+            });
+            self.map.remove(&key);
+            self.free.push(slot);
+            self.evictions += 1;
+        }
+        doomed.len()
+    }
+
     /// The current counter values.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -330,6 +354,23 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.bytes(), 20);
         assert_eq!(cache.stats().insertions, 2);
+    }
+
+    #[test]
+    fn prefix_eviction_removes_exactly_the_matching_keys() {
+        let mut cache = LruCache::new(8, 1 << 20);
+        cache.insert("g1|terrain|kcore".into(), artifact(3));
+        cache.insert("g1|peaks|kcore".into(), artifact(4));
+        cache.insert("g2|terrain|kcore".into(), artifact(5));
+        assert_eq!(cache.evict_prefix("g1|"), 2);
+        assert_eq!(cache.keys_most_recent_first(), vec!["g2|terrain|kcore"]);
+        assert_eq!(cache.bytes(), 5, "evicted bodies must leave the byte count");
+        assert_eq!(cache.stats().evictions, 2);
+        assert_eq!(cache.evict_prefix("g1|"), 0, "a second sweep finds nothing");
+        // The freed slots are reusable and the list survives the surgery.
+        cache.insert("g3|terrain|kcore".into(), artifact(1));
+        assert!(cache.get("g2|terrain|kcore").is_some());
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

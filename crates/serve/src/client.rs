@@ -88,6 +88,12 @@ pub fn post(addr: SocketAddr, target: &str, body: &[u8]) -> io::Result<HttpRespo
     request(addr, "POST", target, &[], body)
 }
 
+/// `DELETE target` (no body, no `Content-Length` — the server accepts
+/// bodyless non-POST requests).
+pub fn delete(addr: SocketAddr, target: &str) -> io::Result<HttpResponse> {
+    request(addr, "DELETE", target, &[], &[])
+}
+
 fn bad_response(message: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message.into())
 }

@@ -2,7 +2,8 @@
 //!
 //! The server speaks the smallest useful subset of HTTP: one request per
 //! connection (`Connection: close` on every response), fixed
-//! `Content-Length` bodies only (no chunked encoding), `GET` and `POST`.
+//! `Content-Length` bodies only (no chunked encoding), `GET`, `POST` and
+//! `DELETE`.
 //! That subset is enough for every client we care about (`curl`, the
 //! [`crate::client`] module, browsers) and keeps the parser small enough to
 //! test exhaustively — the corrupt-request suite feeds every truncation
@@ -33,6 +34,8 @@ pub enum Method {
     Get,
     /// `POST`.
     Post,
+    /// `DELETE`.
+    Delete,
 }
 
 impl fmt::Display for Method {
@@ -40,6 +43,7 @@ impl fmt::Display for Method {
         f.write_str(match self {
             Method::Get => "GET",
             Method::Post => "POST",
+            Method::Delete => "DELETE",
         })
     }
 }
@@ -90,7 +94,7 @@ pub enum HttpError {
     RequestLineTooLong,
     /// The request line was not `<method> <target> HTTP/1.x`.
     MalformedRequestLine(String),
-    /// A method other than `GET`/`POST`.
+    /// A method other than `GET`/`POST`/`DELETE`.
     UnsupportedMethod(String),
     /// An `HTTP/<major>.<minor>` version other than 1.0/1.1.
     UnsupportedVersion(String),
@@ -170,7 +174,7 @@ impl fmt::Display for HttpError {
                 write!(f, "malformed request line {line:?}; expected `<method> <target> HTTP/1.1`")
             }
             HttpError::UnsupportedMethod(m) => {
-                write!(f, "method {m:?} not allowed; expected GET or POST")
+                write!(f, "method {m:?} not allowed; expected GET, POST or DELETE")
             }
             HttpError::UnsupportedVersion(v) => {
                 write!(f, "unsupported protocol version {v:?}; expected HTTP/1.0 or HTTP/1.1")
@@ -273,6 +277,7 @@ pub fn read_request(
     let method = match method {
         "GET" => Method::Get,
         "POST" => Method::Post,
+        "DELETE" => Method::Delete,
         other => return Err(HttpError::UnsupportedMethod(other.to_string())),
     };
     if !target.starts_with('/') {
@@ -519,6 +524,14 @@ mod tests {
         let req = parse(b"POST /graphs HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello extra").unwrap();
         assert_eq!(req.method, Method::Post);
         assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_a_bodyless_delete() {
+        let req = parse(b"DELETE /graphs/g1 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, Method::Delete);
+        assert_eq!(req.path, "/graphs/g1");
+        assert!(req.body.is_empty(), "DELETE needs no Content-Length");
     }
 
     #[test]

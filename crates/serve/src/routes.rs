@@ -1,14 +1,25 @@
 //! The route table and handlers.
 //!
 //! ```text
-//! POST /graphs[?id=&format=]          register a graph (body = graph file)
-//! GET  /graphs                        list registered graphs
-//! GET  /graphs/{id}                   one graph's facts
-//! GET  /graphs/{id}/terrain?...       render a terrain artifact (cached)
-//! GET  /graphs/{id}/peaks?...         peak extraction as JSON (cached)
-//! GET  /stats                         cache/timing/traffic counters
-//! GET  /healthz                       liveness probe
+//! POST   /graphs[?id=&format=]          register a graph (body = graph file)
+//! GET    /graphs                        list registered graphs
+//! GET    /graphs/{id}                   one graph's facts
+//! POST   /graphs/{id}/deltas[?op=&format=]  mutate a graph in place (body = edge batch)
+//! DELETE /graphs/{id}                   unregister a graph
+//! GET    /graphs/{id}/terrain?...       render a terrain artifact (cached)
+//! GET    /graphs/{id}/peaks?...         peak extraction as JSON (cached)
+//! GET    /stats                         cache/timing/traffic counters
+//! GET    /healthz                       liveness probe
 //! ```
+//!
+//! Deltas: the body is an edge batch in any [`GraphFormat`] (same `format`
+//! parameter as uploads) and `op` (`insert` | `delete` | `reweight`,
+//! default `insert`) is applied to every edge in it. A structural delta
+//! compacts into a fresh graph registered under the same id and evicts the
+//! id's cached artifacts — their ETags change because the bytes do. A no-op
+//! batch (all redundant) leaves the graph, the cache, and every ETag
+//! untouched. `DELETE /graphs/{id}` likewise evicts the id's artifacts so a
+//! later upload under the same id cannot alias stale bytes.
 //!
 //! Render parameters: `measure` (kcore | degree | pagerank | closeness |
 //! betweenness | ktruss | edge-triangles), `samples`/`seed` (betweenness),
@@ -31,10 +42,11 @@ use crate::error::{json_f64, json_string, ApiError};
 use crate::http::{Method, Request, Response};
 use crate::state::{AppState, GraphEntry};
 use graph_terrain::{
-    FieldKind, Measure, SharedGraph, SimplificationConfig, SvgSize, TerrainPipeline,
+    FieldKind, Measure, SharedGraph, SimplificationConfig, SvgSize, TerrainPipeline, MEASURES,
 };
 use measures::Parallelism;
 use terrain::{exporter_by_name_sized, highest_peaks, peaks_at_alpha, ColorScheme, Exporter, Peak};
+use ugraph::delta::{DeltaApplyStats, DeltaOp, GraphDelta};
 use ugraph::io::{GraphFormat, GraphSource};
 
 /// Most peak member ids echoed inline per peak (the full count is always
@@ -55,6 +67,8 @@ fn route(state: &AppState, req: &Request) -> Result<Response, ApiError> {
         (Method::Post, ["graphs"]) => upload_graph(state, req),
         (Method::Get, ["graphs"]) => Ok(list_graphs(state)),
         (Method::Get, ["graphs", id]) => graph_info(state, id),
+        (Method::Post, ["graphs", id, "deltas"]) => post_delta(state, req, id),
+        (Method::Delete, ["graphs", id]) => delete_graph(state, id),
         (Method::Get, ["graphs", id, "terrain"]) => terrain(state, req, id),
         (Method::Get, ["graphs", id, "peaks"]) => peaks(state, req, id),
         (Method::Get, ["stats"]) => Ok(stats(state)),
@@ -72,20 +86,8 @@ fn upload_graph(state: &AppState, req: &Request) -> Result<Response, ApiError> {
     let graph = if is_v3_snapshot(&req.body) {
         SharedGraph::from_snapshot_bytes(&req.body)?
     } else {
-        let format = match req.query_param("format") {
-            Some(name) => GraphFormat::from_name(name).ok_or_else(|| {
-                ApiError::invalid_parameter(
-                    "format",
-                    format!(
-                        "unknown graph format {name:?}; expected one of: {}",
-                        GraphFormat::all().map(|f| f.name()).join(", ")
-                    ),
-                )
-            })?,
-            None => GraphFormat::EdgeList,
-        };
         let parsed = GraphSource::reader(std::io::Cursor::new(req.body.clone()))
-            .with_format(format)
+            .with_format(graph_format_param(req)?)
             .load()
             .map_err(|e| ApiError::new(400, "invalid_graph", e.to_string()))?;
         SharedGraph::new(parsed.graph)
@@ -97,6 +99,112 @@ fn upload_graph(state: &AppState, req: &Request) -> Result<Response, ApiError> {
 /// The v3 snapshot magic + version sniff (`GTSB` then a little-endian 3).
 fn is_v3_snapshot(body: &[u8]) -> bool {
     body.len() >= 8 && &body[..4] == b"GTSB" && body[4..8] == [3, 0, 0, 0]
+}
+
+/// The `format` query parameter (default `edgelist`), shared by uploads
+/// and delta batches.
+fn graph_format_param(req: &Request) -> Result<GraphFormat, ApiError> {
+    match req.query_param("format") {
+        Some(name) => GraphFormat::from_name(name).ok_or_else(|| {
+            ApiError::invalid_parameter(
+                "format",
+                format!(
+                    "unknown graph format {name:?}; expected one of: {}",
+                    GraphFormat::all().iter().map(|f| f.name()).collect::<Vec<_>>().join(", ")
+                ),
+            )
+        }),
+        None => Ok(GraphFormat::EdgeList),
+    }
+}
+
+/// `POST /graphs/{id}/deltas`: parse the body as an edge batch, apply it
+/// copy-on-write, and re-register the compacted graph under the same id.
+/// Structural deltas evict the id's cached artifacts; no-op batches change
+/// nothing (and evict nothing — the cached bytes are still exact).
+fn post_delta(state: &AppState, req: &Request, id: &str) -> Result<Response, ApiError> {
+    let entry = lookup(state, id)?;
+    if req.body.is_empty() {
+        return Err(ApiError::new(400, "empty_body", "a delta batch requires a non-empty body"));
+    }
+    let op = match req.query_param("op") {
+        Some(name) => DeltaOp::from_name(name).ok_or_else(|| {
+            ApiError::invalid_parameter(
+                "op",
+                format!("unknown delta op {name:?}; expected insert, delete or reweight"),
+            )
+        })?,
+        None => DeltaOp::Insert,
+    };
+    let parsed = GraphSource::reader(std::io::Cursor::new(req.body.clone()))
+        .with_format(graph_format_param(req)?)
+        .load()
+        .map_err(|e| ApiError::new(400, "invalid_delta", e.to_string()))?;
+    let delta = GraphDelta::from_graph(op, &parsed.graph);
+
+    let mut graph = entry.graph.clone();
+    let old_vertices = graph.storage().vertex_count();
+    let stats = graph.apply_delta(&delta);
+    let structural =
+        stats.structural_changes() > 0 || graph.storage().vertex_count() != old_vertices;
+    if !structural {
+        return Ok(Response::json(200, delta_json(&entry, &stats, false, 0)));
+    }
+    let entry = state.replace_graph(id, graph).ok_or_else(|| {
+        // The graph vanished between lookup and replace (a concurrent
+        // DELETE won the race); the mutation has nowhere to land.
+        ApiError::not_found(format!("graph {id:?} was deleted while the delta was applied"))
+    })?;
+    let evicted = state.cache.lock().expect("cache lock").evict_prefix(&format!("{id}|"));
+    Ok(Response::json(200, delta_json(&entry, &stats, true, evicted)))
+}
+
+/// The delta response: the apply statistics, the resulting graph facts, and
+/// the per-measure recompute cost table (what a client should expect a
+/// re-render after this delta to pay).
+fn delta_json(
+    entry: &GraphEntry,
+    stats: &DeltaApplyStats,
+    structural: bool,
+    evicted: usize,
+) -> String {
+    let costs: Vec<String> = MEASURES
+        .iter()
+        .map(|m| format!("{}:{}", json_string(m.name), json_string(m.delta_cost.name())))
+        .collect();
+    format!(
+        concat!(
+            "{{\"graph\":{},\"structural\":{structural},\"evicted_artifacts\":{evicted},",
+            "\"inserted\":{},\"deleted\":{},\"reinserted\":{},\"redundant_inserts\":{},",
+            "\"absent_deletes\":{},\"reweights\":{},\"dropped_self_loops\":{},",
+            "\"superseded\":{},\"measure_costs\":{{{costs}}}}}"
+        ),
+        graph_json(entry),
+        stats.inserted,
+        stats.deleted,
+        stats.reinserted,
+        stats.redundant_inserts,
+        stats.absent_deletes,
+        stats.reweights,
+        stats.dropped_self_loops,
+        stats.superseded,
+        structural = structural,
+        evicted = evicted,
+        costs = costs.join(","),
+    )
+}
+
+/// `DELETE /graphs/{id}`: unregister the graph and evict its cached
+/// artifacts. 404 when the id is unknown.
+fn delete_graph(state: &AppState, id: &str) -> Result<Response, ApiError> {
+    let entry = state
+        .remove_graph(id)
+        .ok_or_else(|| ApiError::not_found(format!("no graph with id {id:?}")))?;
+    let evicted = state.cache.lock().expect("cache lock").evict_prefix(&format!("{id}|"));
+    Ok(Response::json(
+        200,
+        format!("{{\"deleted\":{},\"evicted_artifacts\":{evicted}}}", json_string(&entry.id)),
+    ))
 }
 
 fn list_graphs(state: &AppState) -> Response {
@@ -112,12 +220,13 @@ fn graph_info(state: &AppState, id: &str) -> Result<Response, ApiError> {
 fn graph_json(entry: &GraphEntry) -> String {
     let storage = entry.graph.storage();
     format!(
-        "{{\"id\":{},\"vertices\":{},\"edges\":{},\"storage\":{},\"zero_copy\":{}}}",
+        "{{\"id\":{},\"vertices\":{},\"edges\":{},\"storage\":{},\"zero_copy\":{},\"generation\":{}}}",
         json_string(&entry.id),
         storage.vertex_count(),
         storage.edge_count(),
         json_string(entry.graph.backend_name()),
         entry.graph.is_memory_mapped(),
+        entry.generation,
     )
 }
 
@@ -235,10 +344,12 @@ fn numeric_param<T: std::str::FromStr>(name: &'static str, raw: &str) -> Result<
 /// is in here — and nothing else. `threads` is deliberately absent
 /// (determinism makes it byte-invisible); the layout and mesh configs are
 /// server-fixed defaults, pinned by a literal so a future knob can't
-/// silently alias old entries.
-fn render_cache_key(graph_id: &str, p: &RenderParams) -> String {
+/// silently alias old entries. The entry's delta generation is in the key
+/// (and therefore in the key-derived ETag): a mutated graph must invalidate
+/// conditional requests, not answer them with `304` for vanished bytes.
+fn render_cache_key(entry: &GraphEntry, p: &RenderParams) -> String {
     format!(
-        "{graph_id}|terrain|measure={}|budget={}|levels={}|layout=default|mesh=default|color={}|svg={}x{}|exporter={}",
+        "{graph_id}|terrain|gen={generation}|measure={}|budget={}|levels={}|layout=default|mesh=default|color={}|svg={}x{}|exporter={}",
         measure_canonical(&p.measure),
         match p.simplification.node_budget {
             Some(n) => n.to_string(),
@@ -252,6 +363,8 @@ fn render_cache_key(graph_id: &str, p: &RenderParams) -> String {
         p.svg_size.width_px,
         p.svg_size.height_px,
         p.exporter_name,
+        graph_id = entry.id,
+        generation = entry.generation,
     )
 }
 
@@ -275,7 +388,7 @@ fn content_type_for(exporter_name: &str) -> &'static str {
 fn terrain(state: &AppState, req: &Request, id: &str) -> Result<Response, ApiError> {
     let entry = lookup(state, id)?;
     let params = parse_render_params(req)?;
-    let key = render_cache_key(id, &params);
+    let key = render_cache_key(&entry, &params);
     serve_cached(state, req, &key, || {
         let mut session = TerrainPipeline::from_shared(entry.graph.clone(), params.measure);
         session.set_parallelism(params.parallelism);
@@ -312,7 +425,8 @@ fn peaks(state: &AppState, req: &Request, id: &str) -> Result<Response, ApiError
     };
     let measure_name = measure_canonical(&measure);
     let key = format!(
-        "{id}|peaks|measure={measure_name}|{}",
+        "{id}|peaks|gen={}|measure={measure_name}|{}",
+        entry.generation,
         match alpha {
             Some(a) => format!("alpha={a}"),
             None => format!("count={count}"),

@@ -58,6 +58,13 @@ pub struct GraphEntry {
     pub id: String,
     /// The graph itself, shared across sessions.
     pub graph: SharedGraph,
+    /// How many times the graph under this id has been replaced by a delta.
+    /// Cache keys embed the generation, so a mutation changes every key —
+    /// and with it every key-derived ETag — while the old graph's entries
+    /// are evicted by id prefix. Without this, a client holding a
+    /// pre-mutation ETag would keep getting `304 Not Modified` for bytes
+    /// that no longer exist.
+    pub generation: u64,
 }
 
 /// Per-stage wall-clock totals accumulated across every cache-miss render,
@@ -167,7 +174,7 @@ impl AppState {
                 }
             },
         };
-        let entry = Arc::new(GraphEntry { id: id.clone(), graph });
+        let entry = Arc::new(GraphEntry { id: id.clone(), graph, generation: 0 });
         registry.insert(id, Arc::clone(&entry));
         Ok(entry)
     }
@@ -175,6 +182,29 @@ impl AppState {
     /// Look up a graph by id.
     pub fn graph(&self, id: &str) -> Option<Arc<GraphEntry>> {
         self.registry.read().expect("registry lock").get(id).cloned()
+    }
+
+    /// Unregister a graph, returning the removed entry (`None` when the id
+    /// was never registered). The caller owes the cache a
+    /// [`LruCache::evict_prefix`] sweep for `"{id}|"` — a removed graph must
+    /// not leave byte-exact artifacts answerable under its old id.
+    pub fn remove_graph(&self, id: &str) -> Option<Arc<GraphEntry>> {
+        self.registry.write().expect("registry lock").remove(id)
+    }
+
+    /// Swap the graph registered under `id` for a mutated successor (the
+    /// delta path), returning the new entry or `None` when the id is not
+    /// registered. Sessions holding the old `Arc` keep rendering the old
+    /// graph unharmed; as with [`remove_graph`](Self::remove_graph), the
+    /// caller must evict the id's cache prefix so stale artifacts cannot be
+    /// served for the mutated graph.
+    pub fn replace_graph(&self, id: &str, graph: SharedGraph) -> Option<Arc<GraphEntry>> {
+        let mut registry = self.registry.write().expect("registry lock");
+        let old = registry.get(id)?;
+        let entry =
+            Arc::new(GraphEntry { id: id.to_string(), graph, generation: old.generation + 1 });
+        registry.insert(id.to_string(), Arc::clone(&entry));
+        Some(entry)
     }
 
     /// All registered graphs in id order.
@@ -217,6 +247,19 @@ mod tests {
         let err = state.insert_graph(Some("g1".into()), tiny_graph()).unwrap_err();
         assert_eq!(err.status, 409);
         assert_eq!(state.graphs().len(), 2);
+    }
+
+    #[test]
+    fn remove_and_replace_round_trip() {
+        let state = AppState::new(ServerConfig::default());
+        state.insert_graph(Some("g1".into()), tiny_graph()).unwrap();
+        assert!(state.replace_graph("missing", tiny_graph()).is_none());
+        let replaced = state.replace_graph("g1", tiny_graph()).unwrap();
+        assert_eq!((replaced.id.as_str(), replaced.generation), ("g1", 1));
+        assert_eq!(state.replace_graph("g1", tiny_graph()).unwrap().generation, 2);
+        assert!(state.remove_graph("g1").is_some());
+        assert!(state.remove_graph("g1").is_none(), "second delete finds nothing");
+        assert!(state.graph("g1").is_none());
     }
 
     #[test]

@@ -142,8 +142,9 @@ fn bad_methods_paths_versions_and_content_lengths_get_typed_statuses() {
     let server = boot();
     let addr = server.addr();
     let cases: Vec<(&[u8], u16)> = vec![
-        (b"DELETE /graphs/g HTTP/1.1\r\n\r\n" as &[u8], 405),
+        (b"PUT /graphs/g HTTP/1.1\r\n\r\n" as &[u8], 405),
         (b"BREW /coffee HTTP/1.1\r\n\r\n", 405),
+        (b"DELETE /graphs/never-registered HTTP/1.1\r\n\r\n", 404),
         (b"GET /healthz HTTP/9.9\r\n\r\n", 505),
         (b"GET healthz HTTP/1.1\r\n\r\n", 400),
         (b"GET /healthz\r\n\r\n", 400),

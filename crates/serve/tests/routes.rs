@@ -37,6 +37,10 @@ fn post(target: &str, body: Vec<u8>) -> Request {
     Request { method: Method::Post, body, ..get(target) }
 }
 
+fn delete(target: &str) -> Request {
+    Request { method: Method::Delete, ..get(target) }
+}
+
 fn body_json(response: &serve::Response) -> serde_json::Value {
     serde_json::from_str(&String::from_utf8_lossy(&response.body))
         .expect("response body must be JSON")
@@ -212,6 +216,137 @@ fn peaks_returns_the_clique_and_stats_reflects_traffic() {
     assert_eq!(cache.get("misses").and_then(|v| v.as_u64()), Some(1));
     let totals = doc.get("stage_seconds").expect("stage_seconds object");
     assert_eq!(totals.get("renders").and_then(|v| v.as_u64()), Some(1));
+}
+
+#[test]
+fn delete_unregisters_the_graph_and_evicts_its_artifacts() {
+    let state = state_with_graph();
+    assert_eq!(routes::handle(&state, &get("/graphs/g/terrain")).status, 200);
+    assert_eq!(routes::handle(&state, &get("/graphs/g/peaks")).status, 200);
+    assert_eq!(state.cache.lock().unwrap().len(), 2);
+
+    let gone = routes::handle(&state, &delete("/graphs/missing"));
+    assert_eq!(gone.status, 404);
+
+    let deleted = routes::handle(&state, &delete("/graphs/g"));
+    assert_eq!(deleted.status, 200, "{}", String::from_utf8_lossy(&deleted.body));
+    let doc = body_json(&deleted);
+    assert_eq!(doc.get("deleted").and_then(|v| v.as_str()), Some("g"));
+    assert_eq!(doc.get("evicted_artifacts").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(state.cache.lock().unwrap().len(), 0, "the id's artifacts must go");
+
+    assert_eq!(routes::handle(&state, &get("/graphs/g")).status, 404);
+    assert_eq!(routes::handle(&state, &delete("/graphs/g")).status, 404, "second delete");
+}
+
+#[test]
+fn structural_deltas_mutate_the_graph_and_change_the_etag() {
+    let state = state_with_graph();
+    let before = routes::handle(&state, &get("/graphs/g/terrain"));
+    assert_eq!(before.status, 200);
+
+    // Grow the graph: a new edge into fresh vertex 7 plus a redundant one.
+    let applied = routes::handle(&state, &post("/graphs/g/deltas", b"6 7\n0 1\n".to_vec()));
+    assert_eq!(applied.status, 200, "{}", String::from_utf8_lossy(&applied.body));
+    let doc = body_json(&applied);
+    assert_eq!(doc.get("structural").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(doc.get("inserted").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(doc.get("redundant_inserts").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(doc.get("evicted_artifacts").and_then(|v| v.as_u64()), Some(1));
+    let graph = doc.get("graph").expect("graph facts");
+    assert_eq!(graph.get("vertices").and_then(|v| v.as_u64()), Some(8));
+    let costs = doc.get("measure_costs").expect("measure cost table");
+    assert_eq!(costs.get("degree").and_then(|v| v.as_str()), Some("local"));
+    assert_eq!(costs.get("kcore").and_then(|v| v.as_str()), Some("dirty-region"));
+    assert_eq!(costs.get("pagerank").and_then(|v| v.as_str()), Some("full"));
+
+    // The registry now serves the mutated graph, and a re-render is a
+    // fresh artifact with a different ETag (the key embeds only the id,
+    // but the old entry was evicted so the bytes are recomputed).
+    let info = body_json(&routes::handle(&state, &get("/graphs/g")));
+    assert_eq!(info.get("vertices").and_then(|v| v.as_u64()), Some(8));
+    assert_eq!(info.get("generation").and_then(|v| v.as_u64()), Some(1));
+    let after = routes::handle(&state, &get("/graphs/g/terrain"));
+    assert_eq!(after.header_value("x-cache"), Some("miss"), "stale bytes must not be served");
+    assert_ne!(after.body, before.body);
+    assert_ne!(
+        after.header_value("etag"),
+        before.header_value("etag"),
+        "the generation is in the key, so the key-derived ETag must change"
+    );
+    // A conditional request with the pre-delta ETag must re-render, not 304.
+    let mut conditional = get("/graphs/g/terrain");
+    conditional
+        .headers
+        .push(("if-none-match".into(), before.header_value("etag").unwrap().to_string()));
+    assert_eq!(routes::handle(&state, &conditional).status, 200);
+
+    // The mutated graph renders byte-identically to a direct upload of the
+    // same final edge list under a fresh id modulo the id-dependent key.
+    let mut final_edges = Vec::new();
+    let entry = state.graph("g").unwrap();
+    let storage = entry.graph.storage();
+    for e in storage.edges() {
+        final_edges.extend_from_slice(format!("{} {}\n", e.u, e.v).as_bytes());
+    }
+    let fresh = routes::handle(&state, &post("/graphs?id=rebuilt", final_edges));
+    assert_eq!(fresh.status, 201);
+    let direct = routes::handle(&state, &get("/graphs/rebuilt/terrain"));
+    assert_eq!(direct.body, after.body, "incremental and from-scratch artifacts must agree");
+}
+
+#[test]
+fn noop_deltas_leave_the_graph_cache_and_etags_alone() {
+    let state = state_with_graph();
+    let before = routes::handle(&state, &get("/graphs/g/terrain"));
+    let etag = before.header_value("etag").unwrap().to_string();
+
+    // A redundant insert, an absent delete, and a reweight: no structure.
+    // The absent delete names vertices inside the existing range — a batch
+    // mentioning a fresh vertex id grows the graph, which *is* structural.
+    let redundant = routes::handle(&state, &post("/graphs/g/deltas", b"0 1\n".to_vec()));
+    let absent = routes::handle(&state, &post("/graphs/g/deltas?op=delete", b"0 5\n".to_vec()));
+    let reweight = routes::handle(&state, &post("/graphs/g/deltas?op=reweight", b"0 1\n".to_vec()));
+    for (response, field) in
+        [(&redundant, "redundant_inserts"), (&absent, "absent_deletes"), (&reweight, "reweights")]
+    {
+        assert_eq!(response.status, 200, "{}", String::from_utf8_lossy(&response.body));
+        let doc = body_json(response);
+        assert_eq!(doc.get("structural").and_then(|v| v.as_bool()), Some(false), "{field}");
+        assert_eq!(doc.get("evicted_artifacts").and_then(|v| v.as_u64()), Some(0), "{field}");
+        assert_eq!(doc.get(field).and_then(|v| v.as_u64()), Some(1), "{field}");
+    }
+    let cached = routes::handle(&state, &get("/graphs/g/terrain"));
+    assert_eq!(cached.header_value("x-cache"), Some("hit"), "no-op deltas must not evict");
+    assert_eq!(cached.header_value("etag"), Some(etag.as_str()));
+}
+
+#[test]
+fn delta_parameter_errors_are_structured_400s_and_404s() {
+    let state = state_with_graph();
+    let missing = routes::handle(&state, &post("/graphs/nope/deltas", b"0 1\n".to_vec()));
+    assert_eq!(missing.status, 404);
+
+    let empty = routes::handle(&state, &post("/graphs/g/deltas", Vec::new()));
+    assert_eq!(empty.status, 400);
+    assert_eq!(
+        body_json(&empty).get("error").and_then(|e| e.get("code")).and_then(|c| c.as_str()),
+        Some("empty_body")
+    );
+
+    let bad_op = routes::handle(&state, &post("/graphs/g/deltas?op=upsert", b"0 1\n".to_vec()));
+    assert_eq!(bad_op.status, 400);
+    let doc = body_json(&bad_op);
+    let error = doc.get("error").expect("error object");
+    assert_eq!(error.get("param").and_then(|p| p.as_str()), Some("op"));
+    assert!(error.get("message").and_then(|m| m.as_str()).unwrap().contains("upsert"));
+
+    let garbage = routes::handle(&state, &post("/graphs/g/deltas", b"not edges \xff".to_vec()));
+    assert_eq!(garbage.status, 400);
+    assert_eq!(
+        body_json(&garbage).get("error").and_then(|e| e.get("code")).and_then(|c| c.as_str()),
+        Some("invalid_delta")
+    );
 }
 
 #[test]

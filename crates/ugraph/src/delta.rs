@@ -1,0 +1,778 @@
+//! Dynamic-graph deltas: batched edge mutations over an immutable base.
+//!
+//! Every structure in this crate is frozen once built; this module is the
+//! mutation boundary. A [`GraphDelta`] is a *validated batch* of edge
+//! operations (insert / delete / reweight) with the same intake semantics as
+//! [`crate::io::read_edge_list`]: endpoints are canonicalized to `u < v`,
+//! self loops are dropped (but their vertices are kept), duplicate mentions
+//! of the same edge are deduplicated **last-wins**, and non-finite weights
+//! are rejected up front.
+//!
+//! A [`DeltaOverlay`] layers one or more batches over any
+//! [`GraphStorage`] backend without touching it — the base may be an owned
+//! [`CsrGraph`] or a read-only memory-mapped snapshot; the overlay records
+//! per-edge deletion marks and a sorted set of inserted edges, plus the set
+//! of *dirty* vertices (endpoints of every effective structural change),
+//! which seeds the incremental-recompute paths downstream.
+//!
+//! [`DeltaOverlay::compact`] merges the overlay into a fresh canonical
+//! [`CsrGraph`] **without a full edge re-sort**: the surviving base edges
+//! (iterated in CSR order) and the inserted edges (kept sorted by the
+//! overlay) are two already-sorted streams, so one linear merge produces the
+//! canonical edge list directly. The result is bit-identical to building the
+//! final edge list from scratch with [`crate::GraphBuilder`], and comes with
+//! a new-edge-id → base-edge-id remap so per-edge results (triangle counts,
+//! truss numbers) can be copied instead of recomputed for untouched edges.
+//!
+//! Vertices are never removed: like the builder's `ensure_vertex`, every
+//! vertex *mentioned* by a delta (including by dropped self loops and
+//! deletes of absent edges) exists in the compacted graph.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::csr::CsrGraph;
+use crate::error::{GraphError, Result};
+use crate::ids::{EdgeId, VertexId};
+use crate::storage::GraphStorage;
+
+/// One kind of edge mutation carried by a [`GraphDelta`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// Add the edge if absent (a no-op, counted, when it already exists).
+    Insert,
+    /// Remove the edge if present (a no-op, counted, when it is absent).
+    Delete,
+    /// Re-weight the edge. The CSR stores no weights, so this is a tracked
+    /// structural no-op: it is validated and counted but changes nothing.
+    Reweight,
+}
+
+impl DeltaOp {
+    /// Stable lower-case name (`insert` / `delete` / `reweight`).
+    pub fn name(self) -> &'static str {
+        match self {
+            DeltaOp::Insert => "insert",
+            DeltaOp::Delete => "delete",
+            DeltaOp::Reweight => "reweight",
+        }
+    }
+
+    /// Parse a name as produced by [`DeltaOp::name`]. Case-insensitive.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "insert" => Some(DeltaOp::Insert),
+            "delete" => Some(DeltaOp::Delete),
+            "reweight" => Some(DeltaOp::Reweight),
+            _ => None,
+        }
+    }
+}
+
+/// One deduplicated, canonical (`u < v`) edge change.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct EdgeChange {
+    /// Smaller endpoint.
+    pub u: VertexId,
+    /// Larger endpoint.
+    pub v: VertexId,
+    /// The operation that *last* mentioned this edge in the batch.
+    pub op: DeltaOp,
+}
+
+/// A validated, deduplicated batch of edge mutations.
+///
+/// Intake mirrors [`crate::io::read_edge_list`]: endpoints canonicalize to
+/// `u < v`, self loops are dropped (their vertices still count as
+/// mentioned), duplicate mentions of one edge keep only the **last**
+/// operation, and weights must be finite (they are validated, counted, then
+/// discarded — the graph is unweighted).
+///
+/// ```
+/// use ugraph::delta::{DeltaOp, GraphDelta};
+///
+/// let mut d = GraphDelta::new();
+/// d.push(DeltaOp::Insert, 0, 1);
+/// d.push(DeltaOp::Delete, 1, 0); // same edge, reversed: last wins
+/// d.push(DeltaOp::Insert, 2, 2); // self loop: dropped, vertex 2 kept
+/// assert_eq!(d.len(), 1);
+/// assert_eq!(d.changes()[0].op, DeltaOp::Delete);
+/// assert_eq!(d.min_vertex_count(), 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphDelta {
+    // Canonical (u, v) -> last op. BTreeMap keeps `changes()` sorted, which
+    // keeps every downstream consumer deterministic.
+    ops: BTreeMap<(VertexId, VertexId), DeltaOp>,
+    min_vertex_count: usize,
+    dropped_self_loops: usize,
+    superseded: usize,
+    reweights: usize,
+}
+
+impl GraphDelta {
+    /// An empty batch.
+    pub fn new() -> Self {
+        GraphDelta::default()
+    }
+
+    /// A batch applying one operation to every edge of `graph`, also
+    /// claiming all of the graph's vertices as mentioned (so isolated
+    /// vertices of a parsed batch survive into the compacted result).
+    pub fn from_graph<G: GraphStorage + ?Sized>(op: DeltaOp, graph: &G) -> Self {
+        let mut delta = GraphDelta::new();
+        for e in graph.edges() {
+            delta.push(op, e.u, e.v);
+        }
+        delta.min_vertex_count = delta.min_vertex_count.max(graph.vertex_count());
+        delta
+    }
+
+    /// Record one edge mention. Self loops are dropped (and counted); a
+    /// repeat mention of an edge supersedes the earlier operation.
+    pub fn push(&mut self, op: DeltaOp, u: impl Into<VertexId>, v: impl Into<VertexId>) {
+        let (u, v) = (u.into(), v.into());
+        self.min_vertex_count = self.min_vertex_count.max(u.index() + 1).max(v.index() + 1);
+        if u == v {
+            self.dropped_self_loops += 1;
+            return;
+        }
+        if op == DeltaOp::Reweight {
+            self.reweights += 1;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if self.ops.insert(key, op).is_some() {
+            self.superseded += 1;
+        }
+    }
+
+    /// Record one weighted edge mention. The weight must be finite; it is
+    /// then discarded (the CSR stores no weights).
+    pub fn push_weighted(
+        &mut self,
+        op: DeltaOp,
+        u: impl Into<VertexId>,
+        v: impl Into<VertexId>,
+        weight: f64,
+    ) -> Result<()> {
+        if !weight.is_finite() {
+            return Err(GraphError::NonFiniteScalar {
+                what: "delta edge weight",
+                index: self.len(),
+                value: weight,
+            });
+        }
+        self.push(op, u, v);
+        Ok(())
+    }
+
+    /// The deduplicated changes, sorted by canonical endpoints.
+    pub fn changes(&self) -> Vec<EdgeChange> {
+        self.ops.iter().map(|(&(u, v), &op)| EdgeChange { u, v, op }).collect()
+    }
+
+    /// Number of deduplicated changes in the batch.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the batch carries no changes (it may still mention
+    /// vertices, via dropped self loops).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// One more than the largest vertex id mentioned anywhere in the batch
+    /// (including by dropped self loops), or 0 for an untouched batch.
+    /// Mentioned vertices always exist in the compacted graph.
+    pub fn min_vertex_count(&self) -> usize {
+        self.min_vertex_count
+    }
+
+    /// Self-loop mentions dropped at intake.
+    pub fn dropped_self_loops(&self) -> usize {
+        self.dropped_self_loops
+    }
+
+    /// Mentions superseded by a later mention of the same edge (last-wins).
+    pub fn superseded(&self) -> usize {
+        self.superseded
+    }
+
+    /// Reweight mentions recorded (tracked structural no-ops).
+    pub fn reweights(&self) -> usize {
+        self.reweights
+    }
+}
+
+/// Counters describing what applying one or more batches actually did.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeltaApplyStats {
+    /// Edges inserted that were absent from the base and overlay.
+    pub inserted: usize,
+    /// Base edges newly marked deleted, plus overlay-inserted edges
+    /// removed again.
+    pub deleted: usize,
+    /// Base edges whose deletion mark was cleared by a later insert.
+    pub reinserted: usize,
+    /// Inserts of edges that already existed (no-ops).
+    pub redundant_inserts: usize,
+    /// Deletes of edges that did not exist (no-ops).
+    pub absent_deletes: usize,
+    /// Reweight operations applied (structural no-ops; the CSR stores no
+    /// weights).
+    pub reweights: usize,
+    /// Self-loop mentions dropped at batch intake.
+    pub dropped_self_loops: usize,
+    /// Batch mentions superseded by last-wins deduplication.
+    pub superseded: usize,
+}
+
+impl DeltaApplyStats {
+    /// Number of effective structural changes (edges whose presence
+    /// changed). Zero means the compacted graph equals the base graph.
+    pub fn structural_changes(&self) -> usize {
+        self.inserted + self.deleted + self.reinserted
+    }
+}
+
+/// The product of [`DeltaOverlay::compact`]: the new canonical graph plus
+/// the provenance needed by incremental recomputation.
+#[derive(Clone, Debug)]
+pub struct CompactedDelta {
+    /// The merged graph, bit-identical to a from-scratch
+    /// [`crate::GraphBuilder`] build of the final edge list (with every
+    /// mentioned vertex ensured).
+    pub graph: CsrGraph,
+    /// For each new edge id, the base edge id it survives from
+    /// (`None` = freshly inserted). Length `graph.edge_count()`.
+    pub base_edge: Vec<Option<EdgeId>>,
+    /// Per-vertex dirty flags: `true` for endpoints of every effective
+    /// structural change. Length `graph.vertex_count()`.
+    pub dirty: Vec<bool>,
+    /// What the applied batches actually did.
+    pub stats: DeltaApplyStats,
+}
+
+impl CompactedDelta {
+    /// Vertex ids flagged dirty, ascending.
+    pub fn dirty_vertices(&self) -> Vec<VertexId> {
+        self.dirty
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d)
+            .map(|(i, _)| VertexId::from_index(i))
+            .collect()
+    }
+}
+
+/// Pending edge mutations layered over an immutable [`GraphStorage`] base.
+///
+/// The base is never modified — deletion marks and inserted edges live in
+/// the overlay — so the same overlay shape works over an owned
+/// [`CsrGraph`] (whose holder may then swap in the compacted result,
+/// copy-on-write) and over a read-only [`crate::MappedCsrGraph`] (where the
+/// compacted result becomes a new owned graph).
+///
+/// ```
+/// use ugraph::delta::{DeltaOp, DeltaOverlay, GraphDelta};
+/// use ugraph::{GraphBuilder, VertexId};
+///
+/// let mut b = GraphBuilder::new();
+/// for (u, v) in [(0, 1), (1, 2), (2, 0)] {
+///     b.add_edge(u, v);
+/// }
+/// let base = b.build();
+///
+/// let mut delta = GraphDelta::new();
+/// delta.push(DeltaOp::Delete, 0, 1);
+/// delta.push(DeltaOp::Insert, 1, 3);
+///
+/// let mut overlay = DeltaOverlay::new(&base);
+/// overlay.apply(&delta);
+/// assert_eq!(overlay.edge_count(), 3);
+/// assert!(!overlay.has_edge(VertexId(0), VertexId(1)));
+/// assert!(overlay.has_edge(VertexId(1), VertexId(3)));
+///
+/// let compacted = overlay.compact();
+/// assert_eq!(compacted.graph.vertex_count(), 4);
+/// assert_eq!(compacted.graph.edge_count(), 3);
+/// ```
+pub struct DeltaOverlay<'g, G: GraphStorage + ?Sized> {
+    base: &'g G,
+    /// Current vertex count: base count, grown by mentioned vertices.
+    vertex_count: usize,
+    /// Symmetric half-edge set of overlay-inserted edges. Sorted, which is
+    /// what lets [`DeltaOverlay::compact`] merge instead of re-sort.
+    inserts: BTreeSet<(VertexId, VertexId)>,
+    /// Deletion marks, indexed by base edge id.
+    deleted: Vec<bool>,
+    deleted_count: usize,
+    /// Dirty flags, indexed by (current) vertex id.
+    dirty: Vec<bool>,
+    stats: DeltaApplyStats,
+}
+
+impl<'g, G: GraphStorage + ?Sized> DeltaOverlay<'g, G> {
+    /// An overlay with no pending changes over `base`.
+    pub fn new(base: &'g G) -> Self {
+        DeltaOverlay {
+            base,
+            vertex_count: base.vertex_count(),
+            inserts: BTreeSet::new(),
+            deleted: vec![false; base.edge_count()],
+            deleted_count: 0,
+            dirty: vec![false; base.vertex_count()],
+            stats: DeltaApplyStats::default(),
+        }
+    }
+
+    /// Apply one batch on top of whatever is already pending.
+    pub fn apply(&mut self, delta: &GraphDelta) {
+        self.grow_to(delta.min_vertex_count());
+        self.stats.dropped_self_loops += delta.dropped_self_loops();
+        self.stats.superseded += delta.superseded();
+        for change in delta.changes() {
+            let (u, v) = (change.u, change.v);
+            match change.op {
+                DeltaOp::Insert => match self.base_edge_between(u, v) {
+                    Some(e) if self.deleted[e.index()] => {
+                        self.deleted[e.index()] = false;
+                        self.deleted_count -= 1;
+                        self.stats.reinserted += 1;
+                        self.mark_dirty(u, v);
+                    }
+                    Some(_) => self.stats.redundant_inserts += 1,
+                    None => {
+                        if self.inserts.insert((u, v)) {
+                            self.inserts.insert((v, u));
+                            self.stats.inserted += 1;
+                            self.mark_dirty(u, v);
+                        } else {
+                            self.stats.redundant_inserts += 1;
+                        }
+                    }
+                },
+                DeltaOp::Delete => match self.base_edge_between(u, v) {
+                    Some(e) if !self.deleted[e.index()] => {
+                        self.deleted[e.index()] = true;
+                        self.deleted_count += 1;
+                        self.stats.deleted += 1;
+                        self.mark_dirty(u, v);
+                    }
+                    Some(_) => self.stats.absent_deletes += 1,
+                    None => {
+                        if self.inserts.remove(&(u, v)) {
+                            self.inserts.remove(&(v, u));
+                            self.stats.deleted += 1;
+                            self.mark_dirty(u, v);
+                        } else {
+                            self.stats.absent_deletes += 1;
+                        }
+                    }
+                },
+                DeltaOp::Reweight => self.stats.reweights += 1,
+            }
+        }
+    }
+
+    /// Current vertex count (base vertices plus newly mentioned ones).
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_count
+    }
+
+    /// Current edge count (base edges minus deletions plus insertions).
+    pub fn edge_count(&self) -> usize {
+        self.base.edge_count() - self.deleted_count + self.inserts.len() / 2
+    }
+
+    /// Whether the merged view contains edge `{u, v}`.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return false;
+        }
+        match self.base_edge_between(u, v) {
+            Some(e) => !self.deleted[e.index()],
+            None => {
+                let key = if u < v { (u, v) } else { (v, u) };
+                self.inserts.contains(&key)
+            }
+        }
+    }
+
+    /// Degree of `v` in the merged view. `O(degree)` (scans the base
+    /// incident edges for deletion marks).
+    pub fn degree(&self, v: VertexId) -> usize {
+        let base = if v.index() < self.base.vertex_count() {
+            self.base.incident_edge_slice(v).iter().filter(|e| !self.deleted[e.index()]).count()
+        } else {
+            0
+        };
+        base + self.insert_range(v).count()
+    }
+
+    /// Merged sorted neighbor list of `v` (allocates).
+    pub fn neighbor_vec(&self, v: VertexId) -> Vec<VertexId> {
+        let base: Vec<VertexId> = if v.index() < self.base.vertex_count() {
+            self.base
+                .neighbors(v)
+                .filter(|(_, e)| !self.deleted[e.index()])
+                .map(|(t, _)| t)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let ins: Vec<VertexId> = self.insert_range(v).collect();
+        // Both inputs are sorted and disjoint: a linear merge keeps order.
+        let mut merged = Vec::with_capacity(base.len() + ins.len());
+        let (mut i, mut j) = (0, 0);
+        while i < base.len() && j < ins.len() {
+            if base[i] < ins[j] {
+                merged.push(base[i]);
+                i += 1;
+            } else {
+                merged.push(ins[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&base[i..]);
+        merged.extend_from_slice(&ins[j..]);
+        merged
+    }
+
+    /// True when `v` is an endpoint of an effective structural change.
+    pub fn is_dirty(&self, v: VertexId) -> bool {
+        self.dirty.get(v.index()).copied().unwrap_or(false)
+    }
+
+    /// Vertex ids flagged dirty, ascending.
+    pub fn dirty_vertices(&self) -> Vec<VertexId> {
+        self.dirty
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d)
+            .map(|(i, _)| VertexId::from_index(i))
+            .collect()
+    }
+
+    /// Counters for everything applied so far.
+    pub fn stats(&self) -> DeltaApplyStats {
+        self.stats
+    }
+
+    /// True when no pending change survives (the compacted graph would
+    /// equal the base graph with [`DeltaOverlay::vertex_count`] vertices).
+    pub fn is_structurally_unchanged(&self) -> bool {
+        self.deleted_count == 0 && self.inserts.is_empty()
+    }
+
+    /// Merge the overlay into a fresh canonical [`CsrGraph`].
+    ///
+    /// Surviving base edges arrive in CSR (canonical) order and the insert
+    /// set is kept sorted, so a single linear merge of the two streams
+    /// yields the globally sorted edge list — no re-sort of the full edge
+    /// set. The output is bit-identical to a from-scratch build of the
+    /// final edge list.
+    pub fn compact(&self) -> CompactedDelta {
+        let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(self.edge_count());
+        let mut base_edge: Vec<Option<EdgeId>> = Vec::with_capacity(self.edge_count());
+        let mut ins = self.inserts.iter().filter(|&&(a, b)| a < b).copied().peekable();
+        for u in 0..self.base.vertex_count() {
+            let u = VertexId::from_index(u);
+            for (t, e) in self.base.neighbors(u) {
+                if t < u || self.deleted[e.index()] {
+                    continue;
+                }
+                while let Some(&(a, b)) = ins.peek() {
+                    if (a, b) < (u, t) {
+                        edges.push((a, b));
+                        base_edge.push(None);
+                        ins.next();
+                    } else {
+                        break;
+                    }
+                }
+                edges.push((u, t));
+                base_edge.push(Some(e));
+            }
+        }
+        for (a, b) in ins {
+            edges.push((a, b));
+            base_edge.push(None);
+        }
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "merge output must be canonical");
+        let graph = CsrGraph::from_canonical_edges(self.vertex_count, edges);
+        CompactedDelta { graph, base_edge, dirty: self.dirty.clone(), stats: self.stats }
+    }
+
+    fn grow_to(&mut self, vertex_count: usize) {
+        if vertex_count > self.vertex_count {
+            self.vertex_count = vertex_count;
+            self.dirty.resize(vertex_count, false);
+        }
+    }
+
+    fn mark_dirty(&mut self, u: VertexId, v: VertexId) {
+        self.dirty[u.index()] = true;
+        self.dirty[v.index()] = true;
+    }
+
+    /// The base edge between `u` and `v`, deleted or not, if the base has
+    /// one. Out-of-base vertices have no base edges.
+    fn base_edge_between(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        let n = self.base.vertex_count();
+        if u.index() >= n || v.index() >= n {
+            return None;
+        }
+        self.base.find_edge(u, v)
+    }
+
+    /// Inserted neighbors of `v`, ascending (a range scan of the symmetric
+    /// insert set).
+    fn insert_range(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.inserts.range((v, VertexId(0))..=(v, VertexId(u32::MAX))).map(|&(_, t)| t)
+    }
+}
+
+impl<'g, G: GraphStorage + ?Sized> std::fmt::Debug for DeltaOverlay<'g, G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeltaOverlay")
+            .field("vertex_count", &self.vertex_count)
+            .field("edge_count", &self.edge_count())
+            .field("inserted", &(self.inserts.len() / 2))
+            .field("deleted", &self.deleted_count)
+            .field("dirty", &self.dirty.iter().filter(|&&d| d).count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators::rmat;
+
+    fn base_graph() -> CsrGraph {
+        // Triangle 0-1-2 with a tail 2-3 and an island edge 4-5.
+        let mut b = GraphBuilder::new();
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (2, 3), (4, 5)] {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// From-scratch oracle: builder build of the final edge list with all
+    /// mentioned vertices ensured.
+    fn rebuild(vertex_count: usize, edges: &BTreeSet<(u32, u32)>) -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        if vertex_count > 0 {
+            b.ensure_vertex(vertex_count as u32 - 1);
+        }
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn intake_dedups_last_wins_and_drops_self_loops() {
+        let mut d = GraphDelta::new();
+        d.push(DeltaOp::Insert, 0, 1);
+        d.push(DeltaOp::Delete, 1, 0);
+        d.push(DeltaOp::Insert, 7, 7);
+        d.push(DeltaOp::Reweight, 2, 3);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.superseded(), 1);
+        assert_eq!(d.dropped_self_loops(), 1);
+        assert_eq!(d.reweights(), 1);
+        assert_eq!(d.min_vertex_count(), 8);
+        let changes = d.changes();
+        assert_eq!(changes[0], EdgeChange { u: VertexId(0), v: VertexId(1), op: DeltaOp::Delete });
+        assert_eq!(
+            changes[1],
+            EdgeChange { u: VertexId(2), v: VertexId(3), op: DeltaOp::Reweight }
+        );
+    }
+
+    #[test]
+    fn weights_must_be_finite() {
+        let mut d = GraphDelta::new();
+        d.push_weighted(DeltaOp::Insert, 0, 1, 2.5).unwrap();
+        let err = d.push_weighted(DeltaOp::Insert, 1, 2, f64::NAN).unwrap_err();
+        assert!(matches!(err, GraphError::NonFiniteScalar { .. }));
+        assert_eq!(d.len(), 1, "the rejected mention must not be recorded");
+    }
+
+    #[test]
+    fn overlay_merged_view_reflects_inserts_and_deletes() {
+        let base = base_graph();
+        let mut delta = GraphDelta::new();
+        delta.push(DeltaOp::Delete, 0, 1);
+        delta.push(DeltaOp::Insert, 3, 5);
+        delta.push(DeltaOp::Insert, 0, 6);
+        let mut overlay = DeltaOverlay::new(&base);
+        overlay.apply(&delta);
+
+        assert_eq!(overlay.vertex_count(), 7);
+        assert_eq!(overlay.edge_count(), 6);
+        assert!(!overlay.has_edge(VertexId(0), VertexId(1)));
+        assert!(overlay.has_edge(VertexId(3), VertexId(5)));
+        assert!(overlay.has_edge(VertexId(6), VertexId(0)));
+        assert_eq!(overlay.degree(VertexId(0)), 2); // lost 1, gained 6
+        assert_eq!(overlay.neighbor_vec(VertexId(0)), vec![VertexId(2), VertexId(6)]);
+        assert_eq!(overlay.neighbor_vec(VertexId(6)), vec![VertexId(0)]);
+        assert_eq!(
+            overlay.dirty_vertices(),
+            vec![VertexId(0), VertexId(1), VertexId(3), VertexId(5), VertexId(6)]
+        );
+        let stats = overlay.stats();
+        assert_eq!((stats.inserted, stats.deleted), (2, 1));
+        assert_eq!(stats.structural_changes(), 3);
+    }
+
+    #[test]
+    fn redundant_and_absent_operations_are_counted_no_ops() {
+        let base = base_graph();
+        let mut delta = GraphDelta::new();
+        delta.push(DeltaOp::Insert, 0, 1); // already present
+        delta.push(DeltaOp::Delete, 0, 3); // absent
+        let mut overlay = DeltaOverlay::new(&base);
+        overlay.apply(&delta);
+        assert!(overlay.is_structurally_unchanged());
+        assert!(overlay.dirty_vertices().is_empty());
+        let stats = overlay.stats();
+        assert_eq!((stats.redundant_inserts, stats.absent_deletes), (1, 1));
+        assert_eq!(overlay.compact().graph, base);
+    }
+
+    #[test]
+    fn reinsert_clears_the_deletion_mark() {
+        let base = base_graph();
+        let mut overlay = DeltaOverlay::new(&base);
+        let mut del = GraphDelta::new();
+        del.push(DeltaOp::Delete, 0, 1);
+        overlay.apply(&del);
+        let mut ins = GraphDelta::new();
+        ins.push(DeltaOp::Insert, 0, 1);
+        overlay.apply(&ins);
+        assert!(overlay.has_edge(VertexId(0), VertexId(1)));
+        assert_eq!(overlay.stats().reinserted, 1);
+        assert_eq!(overlay.compact().graph, base);
+        // The edge's presence toggled twice: its endpoints stay dirty.
+        assert!(overlay.is_dirty(VertexId(0)) && overlay.is_dirty(VertexId(1)));
+    }
+
+    #[test]
+    fn compact_matches_from_scratch_build_and_remaps_edges() {
+        let base = base_graph();
+        let mut delta = GraphDelta::new();
+        delta.push(DeltaOp::Delete, 1, 2);
+        delta.push(DeltaOp::Insert, 1, 3);
+        delta.push(DeltaOp::Insert, 6, 2);
+        let mut overlay = DeltaOverlay::new(&base);
+        overlay.apply(&delta);
+        let compacted = overlay.compact();
+
+        let mut final_edges: BTreeSet<(u32, u32)> = base.edges().map(|e| (e.u.0, e.v.0)).collect();
+        final_edges.remove(&(1, 2));
+        final_edges.insert((1, 3));
+        final_edges.insert((2, 6));
+        assert_eq!(compacted.graph, rebuild(7, &final_edges));
+        compacted.graph.check_invariants().unwrap();
+
+        // Every surviving edge maps back to the base edge with the same
+        // endpoints; inserted edges map to None.
+        assert_eq!(compacted.base_edge.len(), compacted.graph.edge_count());
+        for e in compacted.graph.edges() {
+            match compacted.base_edge[e.id.index()] {
+                Some(old) => assert_eq!(base.endpoints(old), (e.u, e.v)),
+                None => assert!([(1, 3), (2, 6)].contains(&(e.u.0, e.v.0))),
+            }
+        }
+        assert_eq!(
+            compacted.dirty_vertices(),
+            vec![VertexId(1), VertexId(2), VertexId(3), VertexId(6)]
+        );
+    }
+
+    #[test]
+    fn mentioned_vertices_survive_even_without_edges() {
+        let base = base_graph();
+        let mut delta = GraphDelta::new();
+        delta.push(DeltaOp::Insert, 9, 9); // dropped self loop, vertex kept
+        let mut overlay = DeltaOverlay::new(&base);
+        overlay.apply(&delta);
+        assert!(overlay.is_structurally_unchanged());
+        let compacted = overlay.compact();
+        assert_eq!(compacted.graph.vertex_count(), 10);
+        assert_eq!(compacted.graph.edge_count(), base.edge_count());
+        assert_eq!(compacted.stats.dropped_self_loops, 1);
+    }
+
+    #[test]
+    fn from_graph_claims_every_vertex_of_the_batch() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.ensure_vertex(4);
+        let batch = b.build();
+        let delta = GraphDelta::from_graph(DeltaOp::Insert, &batch);
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta.min_vertex_count(), 5);
+    }
+
+    #[test]
+    fn random_delta_sequences_compact_to_the_from_scratch_build() {
+        // Deterministic pseudo-random op stream over a generated base;
+        // the oracle is a plain edge-set rebuild.
+        let base = rmat(6, 120, 99);
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut step = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut edges: BTreeSet<(u32, u32)> = base.edges().map(|e| (e.u.0, e.v.0)).collect();
+        let mut vertex_count = base.vertex_count();
+        let mut overlay = DeltaOverlay::new(&base);
+        for _ in 0..20 {
+            let mut delta = GraphDelta::new();
+            for _ in 0..15 {
+                let r = step();
+                let u = (r >> 8) as u32 % 80;
+                let v = (r >> 40) as u32 % 80;
+                let op = if r % 3 == 0 {
+                    DeltaOp::Delete
+                } else if r % 3 == 1 {
+                    DeltaOp::Insert
+                } else {
+                    DeltaOp::Reweight
+                };
+                delta.push(op, u, v);
+                vertex_count = vertex_count.max(u as usize + 1).max(v as usize + 1);
+            }
+            for change in delta.changes() {
+                let key = (change.u.0, change.v.0);
+                match change.op {
+                    DeltaOp::Insert => {
+                        edges.insert(key);
+                    }
+                    DeltaOp::Delete => {
+                        edges.remove(&key);
+                    }
+                    DeltaOp::Reweight => {}
+                }
+            }
+            overlay.apply(&delta);
+        }
+        let compacted = overlay.compact();
+        assert_eq!(compacted.graph, rebuild(vertex_count, &edges));
+        compacted.graph.check_invariants().unwrap();
+        assert_eq!(compacted.graph.edge_count(), overlay.edge_count());
+        for e in compacted.graph.edges() {
+            if let Some(old) = compacted.base_edge[e.id.index()] {
+                assert_eq!(base.endpoints(old), (e.u, e.v));
+            }
+        }
+    }
+}

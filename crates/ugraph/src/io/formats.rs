@@ -36,8 +36,10 @@ pub enum GraphFormat {
 
 impl GraphFormat {
     /// All formats, in the order of the format matrix in ARCHITECTURE.md.
-    pub fn all() -> [GraphFormat; 5] {
-        [
+    /// Returns a slice so adding a format never changes the signature
+    /// callers (error messages, CLI help, smoke tests) are built against.
+    pub fn all() -> &'static [GraphFormat] {
+        &[
             GraphFormat::EdgeList,
             GraphFormat::Csv,
             GraphFormat::Metis,
@@ -611,7 +613,7 @@ mod tests {
 
     #[test]
     fn format_names_round_trip() {
-        for format in GraphFormat::all() {
+        for &format in GraphFormat::all() {
             assert_eq!(GraphFormat::from_name(format.name()), Some(format));
             assert_eq!(format.to_string(), format.name());
         }

@@ -45,6 +45,7 @@
 
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod dual;
 pub mod error;
 pub mod generators;
@@ -57,6 +58,7 @@ pub mod union_find;
 
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, EdgeRef, NeighborIter};
+pub use delta::{CompactedDelta, DeltaApplyStats, DeltaOp, DeltaOverlay, EdgeChange, GraphDelta};
 pub use dual::{line_graph, LineGraph};
 pub use error::{GraphError, Result};
 pub use ids::{EdgeId, VertexId};

@@ -66,8 +66,8 @@ pub use ugraph;
 mod pipeline;
 
 pub use pipeline::{
-    FieldKind, Measure, SharedGraph, SimplificationConfig, StageTimings, SvgSize, TerrainParts,
-    TerrainPipeline, TerrainStages,
+    DeltaReport, FieldKind, Measure, MeasureInfo, SharedGraph, SimplificationConfig, StageTimings,
+    SvgSize, TerrainParts, TerrainPipeline, TerrainStages, MEASURES,
 };
 pub use terrain::{TerrainError, TerrainResult};
 
@@ -81,12 +81,13 @@ use ugraph::{CsrGraph, GraphError, Result};
 
 /// Convenience prelude for downstream users and the examples.
 pub mod prelude {
+    pub use crate::{
+        DeltaReport, FieldKind, Measure, MeasureInfo, SharedGraph, SimplificationConfig,
+        StageTimings, SvgSize, TerrainError, TerrainParts, TerrainPipeline, TerrainResult,
+        TerrainStages, MEASURES,
+    };
     #[allow(deprecated)]
     pub use crate::{EdgeTerrain, VertexTerrain};
-    pub use crate::{
-        FieldKind, Measure, SharedGraph, SimplificationConfig, StageTimings, SvgSize, TerrainError,
-        TerrainParts, TerrainPipeline, TerrainResult, TerrainStages,
-    };
     pub use baselines;
     pub use measures;
     pub use scalarfield;

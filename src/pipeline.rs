@@ -23,7 +23,9 @@
 //! | [`set_mesh`] / [`set_color`] | mesh, SVG                              |
 //! | [`set_svg_size`]        | SVG                                         |
 //! | [`set_parallelism`]     | nothing (results are thread-count invariant)|
+//! | [`apply_delta`]         | scalar (incrementally where the measure allows) and everything downstream; nothing for no-op batches |
 //!
+//! [`apply_delta`]: TerrainPipeline::apply_delta
 //! [`set_scalar`]: TerrainPipeline::set_scalar
 //! [`set_simplification`]: TerrainPipeline::set_simplification
 //! [`set_layout`]: TerrainPipeline::set_layout
@@ -52,6 +54,7 @@
 //! assert!(session.timings().tree_construction_seconds().is_some());
 //! ```
 
+use measures::{DeltaCost, KCoreDecomposition, KTrussDecomposition};
 use scalarfield::{
     build_super_tree, edge_scalar_tree, try_simplify_super_tree, vertex_scalar_tree,
     EdgeScalarGraph, ScalarTree, SuperScalarTree, VertexScalarGraph,
@@ -63,6 +66,7 @@ use terrain::{
     try_build_terrain_mesh, try_layout_super_tree, ColorScheme, Exporter, LayoutConfig, MeshConfig,
     RenderScene, SceneTiming, Svg, TerrainError, TerrainLayout, TerrainMesh, TerrainResult,
 };
+use ugraph::delta::{CompactedDelta, DeltaApplyStats, DeltaOverlay, GraphDelta};
 use ugraph::io::GraphSource;
 use ugraph::par::Parallelism;
 use ugraph::{CsrGraph, GraphStorage, MappedCsrGraph};
@@ -142,9 +146,35 @@ impl Measure {
     }
 
     /// The canonical names [`Measure::from_name`] accepts, for error
-    /// messages that must list the alternatives.
-    pub fn known_names() -> [&'static str; 7] {
-        ["kcore", "degree", "pagerank", "closeness", "betweenness", "ktruss", "edge-triangles"]
+    /// messages that must list the alternatives. Derived from the
+    /// [`MEASURES`] table, so it cannot desync from the per-measure
+    /// metadata.
+    pub fn known_names() -> &'static [&'static str] {
+        const NAMES: [&str; MEASURES.len()] = {
+            let mut names = [""; MEASURES.len()];
+            let mut i = 0;
+            while i < MEASURES.len() {
+                names[i] = MEASURES[i].name;
+                i += 1;
+            }
+            names
+        };
+        &NAMES
+    }
+
+    /// How much of this measure survives a graph delta (see
+    /// [`TerrainPipeline::apply_delta`]): `Local` measures update only
+    /// around dirty endpoints, `DirtyRegion` measures re-peel only the
+    /// connected components a change touched, `Full` measures recompute
+    /// from scratch.
+    pub fn delta_cost(&self) -> DeltaCost {
+        match self {
+            Measure::Degree | Measure::EdgeTriangles => DeltaCost::Local,
+            Measure::KCore | Measure::KTruss => DeltaCost::DirtyRegion,
+            Measure::PageRank | Measure::Closeness | Measure::BetweennessSampled { .. } => {
+                DeltaCost::Full
+            }
+        }
     }
 
     /// The sampled-betweenness setting [`Measure::from_name`] resolves
@@ -191,6 +221,30 @@ impl Measure {
         }
     }
 }
+
+/// One row of the measure metadata table: the canonical request-facing
+/// name together with the measure's incremental-recompute tier.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct MeasureInfo {
+    /// The canonical name [`Measure::from_name`] accepts.
+    pub name: &'static str,
+    /// How much of the measure survives a graph delta.
+    pub delta_cost: DeltaCost,
+}
+
+/// The single-source measure table: every request-facing measure with its
+/// delta-recompute tier, in the order the server and the docs list them.
+/// [`Measure::known_names`] and the per-measure delta report derive from
+/// this slice, so adding a measure here cannot silently desync them.
+pub const MEASURES: &[MeasureInfo] = &[
+    MeasureInfo { name: "kcore", delta_cost: DeltaCost::DirtyRegion },
+    MeasureInfo { name: "degree", delta_cost: DeltaCost::Local },
+    MeasureInfo { name: "pagerank", delta_cost: DeltaCost::Full },
+    MeasureInfo { name: "closeness", delta_cost: DeltaCost::Full },
+    MeasureInfo { name: "betweenness", delta_cost: DeltaCost::Full },
+    MeasureInfo { name: "ktruss", delta_cost: DeltaCost::DirtyRegion },
+    MeasureInfo { name: "edge-triangles", delta_cost: DeltaCost::Local },
+];
 
 /// The Section II-E simplification knob: super trees larger than
 /// `node_budget` nodes are discretized to `levels` scalar levels before
@@ -326,6 +380,34 @@ pub struct TerrainParts {
     pub timings: StageTimings,
 }
 
+/// What [`TerrainPipeline::apply_delta`] did: the overlay's apply counters
+/// plus how the session's cached scalar field crossed the mutation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// Counters for the applied batch (inserted / deleted / no-ops …).
+    pub stats: DeltaApplyStats,
+    /// Vertex count after the delta.
+    pub vertex_count: usize,
+    /// Edge count after the delta.
+    pub edge_count: usize,
+    /// Vertices flagged dirty (endpoints of effective structural changes).
+    pub dirty_vertex_count: usize,
+    /// Whether the graph actually changed. `false` means every stage cache
+    /// was kept and nothing was invalidated.
+    pub structural: bool,
+    /// How the scalar field crossed the delta: `"unchanged"` (no-op
+    /// batch), `"incremental"` (Local / DirtyRegion measure updated around
+    /// the dirty vertices), `"recompute"` (Full measure dropped, recomputed
+    /// lazily), `"uncomputed"` (measure never computed yet), `"kept"`
+    /// (explicit vertex scalar still valid) or `"remapped"` (explicit edge
+    /// scalar carried through the edge remap).
+    pub scalar_path: &'static str,
+    /// The session's measure name, for measure sessions.
+    pub measure: Option<&'static str>,
+    /// The measure's incremental-recompute tier, for measure sessions.
+    pub delta_cost: Option<DeltaCost>,
+}
+
 /// A reference-counted, shareable graph backend — the unit a multi-session
 /// registry (like the terrain server's `GraphStore` registry) hands out.
 ///
@@ -385,6 +467,27 @@ impl SharedGraph {
             SharedGraph::Owned(_) => false,
             SharedGraph::Mapped(graph) => graph.is_memory_mapped(),
         }
+    }
+
+    /// Apply a [`GraphDelta`] copy-on-write: when the batch changes the
+    /// graph (an edge's presence toggled, or a new vertex was mentioned),
+    /// the compacted result replaces `self` as a fresh owned graph — other
+    /// `Arc` holders keep reading the old one. A batch of pure no-ops
+    /// (redundant inserts, absent deletes, reweights) leaves the backend
+    /// untouched, so a memory-mapped snapshot stays mapped.
+    pub fn apply_delta(&mut self, delta: &GraphDelta) -> DeltaApplyStats {
+        let (stats, replacement) = {
+            let base = self.storage();
+            let mut overlay = DeltaOverlay::new(base);
+            overlay.apply(delta);
+            let structural = !overlay.is_structurally_unchanged()
+                || overlay.vertex_count() != base.vertex_count();
+            (overlay.stats(), structural.then(|| overlay.compact().graph))
+        };
+        if let Some(graph) = replacement {
+            *self = SharedGraph::Owned(Arc::new(graph));
+        }
+        stats
     }
 }
 
@@ -658,6 +761,142 @@ impl<'g> TerrainPipeline<'g> {
         self.svg = None;
         self.timings.svg_seconds = None;
         self
+    }
+
+    /// Apply a [`GraphDelta`] to the session's graph and invalidate exactly
+    /// the affected stages.
+    ///
+    /// A batch with no effective change (redundant inserts, absent deletes,
+    /// reweights) invalidates **nothing** — every cached stage, including
+    /// the SVG, stays valid. A structural change swaps the graph for the
+    /// compacted result (copy-on-write: borrowed and mapped backends become
+    /// session-owned graphs) and rebuilds the tree stages downward through
+    /// the session's usual downstream-only invalidation, carrying the
+    /// scalar field across where the measure's [`DeltaCost`] tier allows:
+    ///
+    /// | session scalar                              | carried across as                        |
+    /// |---------------------------------------------|------------------------------------------|
+    /// | `Local` / `DirtyRegion` measure, computed   | incremental update around dirty vertices |
+    /// | `Full` measure, computed                    | dropped; recomputed lazily               |
+    /// | measure, not yet computed                   | nothing to carry                         |
+    /// | explicit vertex scalar                      | kept (error if the vertex set grew)      |
+    /// | explicit edge scalar                        | remapped (error if edges were inserted)  |
+    ///
+    /// The explicit-scalar error paths reject the delta *before* touching
+    /// the session — it stays fully usable on its old graph; call
+    /// [`set_scalar`](Self::set_scalar) with a field for the new graph and
+    /// re-apply.
+    pub fn apply_delta(&mut self, delta: &GraphDelta) -> TerrainResult<DeltaReport> {
+        let old_vertex_count = self.graph.get().vertex_count();
+        let measure_name = self.measure.as_ref().map(|m| m.name());
+        let measure_cost = self.measure.as_ref().map(|m| m.delta_cost());
+        let compacted = {
+            let base = self.graph.get();
+            let mut overlay = DeltaOverlay::new(base);
+            overlay.apply(delta);
+            let structural =
+                !overlay.is_structurally_unchanged() || overlay.vertex_count() != old_vertex_count;
+            if !structural {
+                return Ok(DeltaReport {
+                    stats: overlay.stats(),
+                    vertex_count: base.vertex_count(),
+                    edge_count: base.edge_count(),
+                    dirty_vertex_count: 0,
+                    structural: false,
+                    scalar_path: "unchanged",
+                    measure: measure_name,
+                    delta_cost: measure_cost,
+                });
+            }
+            overlay.compact()
+        };
+
+        // Decide the scalar's fate before mutating anything, so the error
+        // paths leave the session untouched.
+        enum ScalarUpdate {
+            Keep,
+            Clear,
+            Set(Vec<f64>, Option<f64>),
+        }
+        let (update, scalar_path) = match (&self.measure, &self.scalar) {
+            (Some(measure), Some(old_scalar)) => match measure.delta_cost() {
+                DeltaCost::Local | DeltaCost::DirtyRegion => {
+                    let started = Instant::now();
+                    let updated = incremental_measure_scalar(
+                        measure,
+                        &compacted,
+                        old_scalar,
+                        self.parallelism,
+                    );
+                    let seconds = started.elapsed().as_secs_f64();
+                    (ScalarUpdate::Set(updated, Some(seconds)), "incremental")
+                }
+                DeltaCost::Full => (ScalarUpdate::Clear, "recompute"),
+            },
+            (Some(_), None) => (ScalarUpdate::Keep, "uncomputed"),
+            (None, Some(old_scalar)) => match self.field {
+                FieldKind::Vertex => {
+                    if compacted.graph.vertex_count() == old_vertex_count {
+                        (ScalarUpdate::Keep, "kept")
+                    } else {
+                        return Err(TerrainError::Config {
+                            what: "graph delta",
+                            message: format!(
+                                "the delta grew the graph from {} to {} vertices but the \
+                                 session has an explicit vertex scalar; call set_scalar with \
+                                 a field for the new graph and re-apply",
+                                old_vertex_count,
+                                compacted.graph.vertex_count()
+                            ),
+                        });
+                    }
+                }
+                FieldKind::Edge => {
+                    if compacted.base_edge.iter().all(Option::is_some) {
+                        let remapped = compacted
+                            .base_edge
+                            .iter()
+                            .map(|e| old_scalar[e.expect("all checked Some").index()])
+                            .collect();
+                        (ScalarUpdate::Set(remapped, None), "remapped")
+                    } else {
+                        return Err(TerrainError::Config {
+                            what: "graph delta",
+                            message: "the delta inserted edges but the session has an explicit \
+                                      edge scalar with no value for them; call set_scalar with \
+                                      a field for the new graph and re-apply"
+                                .to_string(),
+                        });
+                    }
+                }
+            },
+            (None, None) => unreachable!("a session always has a scalar or a measure"),
+        };
+
+        let report = DeltaReport {
+            stats: compacted.stats,
+            vertex_count: compacted.graph.vertex_count(),
+            edge_count: compacted.graph.edge_count(),
+            dirty_vertex_count: compacted.dirty.iter().filter(|&&d| d).count(),
+            structural: true,
+            scalar_path,
+            measure: measure_name,
+            delta_cost: measure_cost,
+        };
+        self.graph = GraphStore::Shared(SharedGraph::new(compacted.graph));
+        match update {
+            ScalarUpdate::Keep => {}
+            ScalarUpdate::Clear => {
+                self.scalar = None;
+                self.timings.scalar_seconds = None;
+            }
+            ScalarUpdate::Set(scalar, seconds) => {
+                self.scalar = Some(scalar);
+                self.timings.scalar_seconds = seconds;
+            }
+        }
+        self.invalidate_from_tree();
+        Ok(report)
     }
 
     fn invalidate_from_tree(&mut self) {
@@ -1010,6 +1249,53 @@ impl<'g> TerrainPipeline<'g> {
     }
 }
 
+/// Exact incremental update of a computed measure scalar across a delta.
+/// Every Local / DirtyRegion measure is an integer count (degree, triangle
+/// count, core / truss number) stored as `f64`, so the `usize` round-trip
+/// is lossless and the result matches a from-scratch recompute bit for bit.
+fn incremental_measure_scalar(
+    measure: &Measure,
+    compacted: &CompactedDelta,
+    old_scalar: &[f64],
+    parallelism: Parallelism,
+) -> Vec<f64> {
+    let graph = &compacted.graph;
+    let old_counts: Vec<usize> = old_scalar.iter().map(|&x| x as usize).collect();
+    match measure {
+        Measure::Degree => measures::incremental_degrees(graph, &old_counts, &compacted.dirty)
+            .into_iter()
+            .map(|d| d as f64)
+            .collect(),
+        Measure::EdgeTriangles => {
+            measures::incremental_edge_triangle_counts(graph, &old_counts, compacted, parallelism)
+                .into_iter()
+                .map(|t| t as f64)
+                .collect()
+        }
+        Measure::KCore => {
+            let degeneracy = old_counts.iter().copied().max().unwrap_or(0);
+            let old = KCoreDecomposition { core: old_counts, degeneracy };
+            measures::incremental_core_numbers(graph, &old, &compacted.dirty)
+                .core
+                .into_iter()
+                .map(|c| c as f64)
+                .collect()
+        }
+        Measure::KTruss => {
+            let max_truss = old_counts.iter().copied().max().unwrap_or(0);
+            let old = KTrussDecomposition { truss: old_counts, max_truss };
+            measures::incremental_truss_numbers(graph, &old, compacted, parallelism)
+                .truss
+                .into_iter()
+                .map(|t| t as f64)
+                .collect()
+        }
+        Measure::PageRank | Measure::Closeness | Measure::BetweennessSampled { .. } => {
+            unreachable!("Full-cost measures recompute from scratch, not incrementally")
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1130,6 +1416,145 @@ mod tests {
         assert_eq!(mapped.backend_name(), "mapped");
         let mut c = TerrainPipeline::from_shared(mapped, Measure::KCore);
         assert_eq!(c.svg().unwrap(), expected);
+    }
+
+    #[test]
+    fn measures_table_is_the_single_source_of_measure_metadata() {
+        assert_eq!(Measure::known_names().len(), MEASURES.len());
+        for info in MEASURES {
+            let measure = Measure::from_name(info.name).unwrap();
+            assert_eq!(measure.delta_cost(), info.delta_cost, "{}", info.name);
+        }
+    }
+
+    #[test]
+    fn apply_delta_matches_a_fresh_session_for_every_measure_tier() {
+        use ugraph::delta::{DeltaOp, DeltaOverlay, GraphDelta};
+        let graph = ugraph::generators::barabasi_albert(120, 3, 5);
+        let e0 = graph.edges().next().unwrap();
+        let grown = graph.vertex_count() as u32;
+        let mut delta = GraphDelta::new();
+        delta.push(DeltaOp::Delete, e0.u, e0.v);
+        delta.push(DeltaOp::Insert, 0u32, grown); // grows the vertex set
+        delta.push(DeltaOp::Insert, grown, grown + 1);
+        // The oracle graph, via the delta crate's compaction (itself proven
+        // equal to a from-scratch build in its own tests).
+        let mut oracle = DeltaOverlay::new(&graph);
+        oracle.apply(&delta);
+        let final_graph = oracle.compact().graph;
+
+        for measure in [
+            Measure::Degree,
+            Measure::EdgeTriangles,
+            Measure::KCore,
+            Measure::KTruss,
+            Measure::PageRank,
+        ] {
+            let mut session = TerrainPipeline::from_measure(&graph, measure.clone());
+            session.svg().unwrap(); // warm every stage cache
+            let report = session.apply_delta(&delta).unwrap();
+            assert!(report.structural);
+            assert_eq!(report.vertex_count, final_graph.vertex_count());
+            assert_eq!(report.edge_count, final_graph.edge_count());
+            assert_eq!(report.measure, Some(measure.name()));
+            assert_eq!(report.delta_cost, Some(measure.delta_cost()));
+            let expected_path = match measure.delta_cost() {
+                DeltaCost::Local | DeltaCost::DirtyRegion => "incremental",
+                DeltaCost::Full => "recompute",
+            };
+            assert_eq!(report.scalar_path, expected_path, "{}", measure.name());
+            if report.scalar_path == "incremental" {
+                assert!(session.timings().scalar_seconds.is_some(), "incremental update is timed");
+            }
+            let mut fresh = TerrainPipeline::from_measure(&final_graph, measure.clone());
+            assert_eq!(session.svg().unwrap(), fresh.svg().unwrap(), "{}", measure.name());
+        }
+    }
+
+    #[test]
+    fn no_op_deltas_invalidate_nothing() {
+        use ugraph::delta::{DeltaOp, GraphDelta};
+        let graph = toy_graph();
+        let mut session = TerrainPipeline::from_measure(&graph, Measure::KCore);
+        let svg = session.build().unwrap();
+        let tree_time = session.timings().tree_seconds;
+        let mut delta = GraphDelta::new();
+        delta.push(DeltaOp::Insert, 0u32, 1u32); // already present
+        delta.push(DeltaOp::Delete, 0u32, 3u32); // absent
+        delta.push(DeltaOp::Reweight, 1u32, 2u32);
+        let report = session.apply_delta(&delta).unwrap();
+        assert!(!report.structural);
+        assert_eq!(report.scalar_path, "unchanged");
+        assert_eq!(report.stats.redundant_inserts, 1);
+        assert_eq!(report.stats.absent_deletes, 1);
+        assert_eq!(report.stats.reweights, 1);
+        assert_eq!(report.dirty_vertex_count, 0);
+        // Every cache survived: identical timings, identical bytes.
+        assert_eq!(session.timings().tree_seconds, tree_time);
+        assert!(session.timings().svg_seconds.is_some(), "SVG cache kept");
+        assert_eq!(session.build().unwrap(), svg);
+    }
+
+    #[test]
+    fn explicit_scalars_cross_deltas_or_fail_safely() {
+        use ugraph::delta::{DeltaOp, GraphDelta};
+        let graph = toy_graph();
+        // Vertex scalar: kept verbatim while the vertex set is stable.
+        let scalar = vec![5.0, 4.0, 3.0, 2.0, 1.0];
+        let mut session = TerrainPipeline::vertex(&graph, scalar.clone()).unwrap();
+        let mut shrink = GraphDelta::new();
+        shrink.push(DeltaOp::Delete, 0u32, 1u32);
+        let report = session.apply_delta(&shrink).unwrap();
+        assert_eq!(report.scalar_path, "kept");
+        assert_eq!(session.scalar().unwrap(), &scalar[..]);
+        // Growing the vertex set has no scalar values for the new vertices:
+        // rejected, and the session stays usable on its current graph.
+        let mut grow = GraphDelta::new();
+        grow.push(DeltaOp::Insert, 0u32, 9u32);
+        assert!(matches!(session.apply_delta(&grow), Err(TerrainError::Config { .. })));
+        assert_eq!(session.graph().vertex_count(), 5);
+        assert!(session.svg().unwrap().starts_with("<svg"));
+
+        // Edge scalar: deletions remap the surviving values by edge id.
+        let edge_scalar: Vec<f64> = (0..graph.edge_count()).map(|e| 10.0 + e as f64).collect();
+        let mut edges = TerrainPipeline::edge(&graph, edge_scalar.clone()).unwrap();
+        let e0 = graph.edges().next().unwrap();
+        let mut del = GraphDelta::new();
+        del.push(DeltaOp::Delete, e0.u, e0.v);
+        let report = edges.apply_delta(&del).unwrap();
+        assert_eq!(report.scalar_path, "remapped");
+        let remapped = edges.scalar().unwrap().to_vec();
+        assert_eq!(remapped.len(), graph.edge_count() - 1);
+        assert!(!remapped.contains(&edge_scalar[e0.id.index()]), "deleted edge's value is gone");
+        // Insertions have no value to remap from: rejected up front.
+        let mut ins = GraphDelta::new();
+        ins.push(DeltaOp::Insert, 0u32, 4u32);
+        assert!(matches!(edges.apply_delta(&ins), Err(TerrainError::Config { .. })));
+        assert!(edges.svg().unwrap().starts_with("<svg"));
+    }
+
+    #[test]
+    fn shared_graph_apply_delta_is_copy_on_write() {
+        use ugraph::delta::{DeltaOp, GraphDelta};
+        let graph = toy_graph();
+        let bytes = ugraph::io::encode_binary_v3(&graph, None).unwrap();
+        let mut shared = SharedGraph::from_snapshot_bytes(&bytes).unwrap();
+        // A batch of pure no-ops leaves the mapped backend mapped.
+        let mut noop = GraphDelta::new();
+        noop.push(DeltaOp::Insert, 0u32, 1u32);
+        let stats = shared.apply_delta(&noop);
+        assert_eq!(stats.redundant_inserts, 1);
+        assert_eq!(shared.backend_name(), "mapped");
+        // A structural change swaps in a fresh owned graph; clones taken
+        // before the swap keep reading the old one.
+        let before = shared.clone();
+        let mut del = GraphDelta::new();
+        del.push(DeltaOp::Delete, 0u32, 1u32);
+        let stats = shared.apply_delta(&del);
+        assert_eq!(stats.deleted, 1);
+        assert_eq!(shared.backend_name(), "owned");
+        assert_eq!(shared.storage().edge_count(), graph.edge_count() - 1);
+        assert_eq!(before.storage().edge_count(), graph.edge_count());
     }
 
     #[test]

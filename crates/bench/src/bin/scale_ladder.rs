@@ -49,6 +49,13 @@
 //! `pagerank` (full-recompute fallback), so the recorded baseline
 //! documents where incremental recomputation pays and where it degenerates
 //! to a rebuild.
+//!
+//! Finally each rung runs the tile bench over the retained scene: `storage:
+//! "tile-query"` records the *mean* quadtree viewport query over a fixed
+//! diagonal sweep of tile viewports at zooms 0–4 (best-of-3 sweeps), and
+//! `storage: "tile-render"` records one 256-pixel tile's SVG render
+//! (best-of-3, guarded byte-identical across iterations). The scene build
+//! itself lands in those rows' `generate_seconds`.
 
 use bench::output::{results_dir, write_artifact};
 use bench::report::{
@@ -415,6 +422,106 @@ fn main() {
                 rebuild_seconds / apply_seconds.max(1e-9)
             );
         }
+
+        // Tile bench: build the retained scene once (its cost lands in the
+        // row's `generate_seconds`, like the snapshot rows record their
+        // save), then time (a) quadtree viewport queries over a
+        // deterministic pan/zoom sweep — `total_seconds` is the *mean*
+        // query, the number the sub-millisecond claim rides on — and (b)
+        // single-tile SVG renders, best-of-3 with a byte-equality guard
+        // across iterations. `edges_per_second` doubles as ops/second
+        // (queries, tiles) for these rows.
+        let scene_started = std::time::Instant::now();
+        let mut scene_session = TerrainPipeline::from_measure(&graph, measure.clone());
+        let scene = match scene_session.scene() {
+            Ok(scene) => scene,
+            Err(e) => {
+                eprintln!("[error] {rung_name} scene build failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let scene_build_seconds = scene_started.elapsed().as_secs_f64();
+        let viewports: Vec<graph_terrain::Rect> = {
+            let mut v = Vec::new();
+            for zoom in 0..=4u8 {
+                let per_axis = 1u32 << zoom;
+                // The diagonal plus the anti-diagonal: corner, center and
+                // edge viewports at every zoom, fixed for every run.
+                for i in 0..per_axis {
+                    let key = graph_terrain::TileKey { zoom, tx: i, ty: i };
+                    v.push(scene.tile_bounds(&key).expect("zoom <= 4 is inside the default grid"));
+                    let key = graph_terrain::TileKey { zoom, tx: per_axis - 1 - i, ty: i };
+                    v.push(scene.tile_bounds(&key).expect("zoom <= 4 is inside the default grid"));
+                }
+            }
+            v
+        };
+        const TILE_ITERS: usize = 3;
+        let mut query_sweep_seconds = f64::INFINITY;
+        let mut query_results = 0usize;
+        for _ in 0..TILE_ITERS {
+            let sweep_started = std::time::Instant::now();
+            let mut found = 0usize;
+            for viewport in &viewports {
+                found += scene.query(viewport).len();
+            }
+            query_sweep_seconds = query_sweep_seconds.min(sweep_started.elapsed().as_secs_f64());
+            query_results = found;
+        }
+        let query_mean_seconds = query_sweep_seconds / viewports.len() as f64;
+
+        let render_key = graph_terrain::TileKey { zoom: 2, tx: 1, ty: 1 };
+        let mut tile_render_seconds = f64::INFINITY;
+        let mut tile_bytes: Option<Vec<u8>> = None;
+        for _ in 0..TILE_ITERS {
+            let mut bytes = Vec::new();
+            let render_started = std::time::Instant::now();
+            if let Err(e) = scene.write_tile_svg(&render_key, 256, &mut bytes) {
+                eprintln!("[error] {rung_name} tile render failed: {e}");
+                std::process::exit(1);
+            }
+            tile_render_seconds = tile_render_seconds.min(render_started.elapsed().as_secs_f64());
+            match &tile_bytes {
+                Some(first) if *first != bytes => {
+                    eprintln!("[error] {rung_name} tile render is not deterministic");
+                    std::process::exit(1);
+                }
+                Some(_) => {}
+                None => tile_bytes = Some(bytes),
+            }
+        }
+        for (storage, seconds, ops) in [
+            ("tile-query", query_mean_seconds, viewports.len()),
+            ("tile-render", tile_render_seconds, 1usize),
+        ] {
+            report.rungs.push(RungResult {
+                rung: rung_name.to_string(),
+                generator: "rmat".to_string(),
+                scale,
+                target_edges,
+                vertices: graph.vertex_count(),
+                edges: graph.edge_count(),
+                generate_seconds: scene_build_seconds,
+                measure: measure_name.clone(),
+                storage: storage.to_string(),
+                open_seconds: None,
+                parallelism: "serial".to_string(),
+                threads: 1,
+                width: 1,
+                stages: StageSeconds::default(),
+                total_seconds: seconds,
+                edges_per_second: if seconds > 0.0 { ops as f64 / seconds } else { 0.0 },
+                peak_rss_bytes: peak_rss_bytes(),
+            });
+        }
+        println!(
+            "  tiles ({} items, scene {scene_build_seconds:.3}s): query mean {:.1}µs over {} viewports ({query_results} results) · render z2 {:.3}s ({} bytes)",
+            scene.item_count(),
+            query_mean_seconds * 1e6,
+            viewports.len(),
+            tile_render_seconds,
+            tile_bytes.as_ref().map(Vec::len).unwrap_or(0),
+        );
     }
     let _ = std::fs::remove_dir(&snapshot_dir);
 

@@ -13,8 +13,10 @@ use serde_json::Value;
 
 use crate::report::JsonObject;
 
-/// Version stamp written into every load report.
-pub const LOAD_SCHEMA_VERSION: u64 = 1;
+/// Version stamp written into every load report. Version 2 added the
+/// `tiles` object (pan/zoom tile traffic); version-1 files remain valid
+/// legacy documents without it.
+pub const LOAD_SCHEMA_VERSION: u64 = 2;
 
 /// Latency percentiles over one request population, in milliseconds.
 #[derive(Clone, Copy, Debug, Default)]
@@ -61,6 +63,22 @@ pub struct CacheOutcome {
     pub not_modified: u64,
 }
 
+/// Tile-route traffic scraped from the generator's own `X-Cache`
+/// bookkeeping: how the pan/zoom walk fared against the artifact cache.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TileOutcome {
+    /// Tile requests issued (including conditional re-requests).
+    pub requests: u64,
+    /// Responses served from the artifact cache (`X-Cache: hit`).
+    pub hits: u64,
+    /// Responses rendered on demand (`X-Cache: miss`).
+    pub misses: u64,
+    /// Hits over rendered lookups (0.0 before any tile request).
+    pub hit_rate: f64,
+    /// `304 Not Modified` tile responses (ETag replays).
+    pub not_modified: u64,
+}
+
 /// One complete load-generator run — the top-level object of a
 /// `LOAD_*.json` file.
 #[derive(Clone, Debug)]
@@ -103,6 +121,8 @@ pub struct LoadReport {
     pub latency_ms: LatencyMillis,
     /// The server's cache counters after the run.
     pub cache: CacheOutcome,
+    /// Tile-route traffic (zeroed when the run had no `--tiles` weight).
+    pub tiles: TileOutcome,
 }
 
 impl Serialize for LatencyMillis {
@@ -123,6 +143,18 @@ impl Serialize for CacheOutcome {
             .field("misses", &self.misses)
             .field("hit_rate", &self.hit_rate)
             .field("evictions", &self.evictions)
+            .field("not_modified", &self.not_modified);
+        obj.finish();
+    }
+}
+
+impl Serialize for TileOutcome {
+    fn json_write(&self, out: &mut String, indent: usize) {
+        let mut obj = JsonObject::new(out, indent);
+        obj.field("requests", &self.requests)
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .field("hit_rate", &self.hit_rate)
             .field("not_modified", &self.not_modified);
         obj.finish();
     }
@@ -149,7 +181,8 @@ impl Serialize for LoadReport {
             .field("wall_seconds", &self.wall_seconds)
             .field("requests_per_second", &self.requests_per_second)
             .field("latency_ms", &self.latency_ms)
-            .field("cache", &self.cache);
+            .field("cache", &self.cache)
+            .field("tiles", &self.tiles);
         obj.finish();
     }
 }
@@ -158,8 +191,9 @@ impl Serialize for LoadReport {
 /// (empty = valid).
 pub fn validate(doc: &Value) -> Vec<String> {
     let mut errors = Vec::new();
-    match doc.get("schema_version").and_then(Value::as_u64) {
-        Some(LOAD_SCHEMA_VERSION) => {}
+    let version = doc.get("schema_version").and_then(Value::as_u64);
+    match version {
+        Some(1) | Some(LOAD_SCHEMA_VERSION) => {}
         Some(v) => errors.push(format!("schema_version {v} != supported {LOAD_SCHEMA_VERSION}")),
         None => errors.push("missing numeric schema_version".to_string()),
     }
@@ -213,6 +247,23 @@ pub fn validate(doc: &Value) -> Vec<String> {
         }
         None => errors.push("missing object field \"cache\"".to_string()),
     }
+    // The tiles object arrived with schema version 2; version-1 files are
+    // complete without it.
+    if version == Some(LOAD_SCHEMA_VERSION) {
+        match doc.get("tiles") {
+            Some(tiles) => {
+                for key in ["requests", "hits", "misses", "not_modified"] {
+                    if tiles.get(key).and_then(Value::as_u64).is_none() {
+                        errors.push(format!("tiles: missing numeric field {key:?}"));
+                    }
+                }
+                if tiles.get("hit_rate").and_then(Value::as_f64).is_none() {
+                    errors.push("tiles: missing numeric field \"hit_rate\"".to_string());
+                }
+            }
+            None => errors.push("missing object field \"tiles\"".to_string()),
+        }
+    }
     errors
 }
 
@@ -248,6 +299,13 @@ mod tests {
                 evictions: 3,
                 not_modified: 100,
             },
+            tiles: TileOutcome {
+                requests: 200,
+                hits: 150,
+                misses: 40,
+                hit_rate: 150.0 / 190.0,
+                not_modified: 10,
+            },
         }
     }
 
@@ -265,6 +323,19 @@ mod tests {
         assert!(errors.iter().any(|e| e.contains("schema_version 99")), "{errors:?}");
         assert!(errors.iter().any(|e| e.contains("latency_ms")), "{errors:?}");
         assert!(errors.iter().any(|e| e.contains("cache")), "{errors:?}");
+    }
+
+    #[test]
+    fn the_tiles_object_is_required_at_v2_but_not_for_legacy_v1_files() {
+        let json = serde_json::to_string_pretty(&sample_report()).expect("serialize");
+        // A v2 document missing tiles is a violation...
+        let without_tiles = json.replace("\"tiles\"", "\"tiles_renamed\"");
+        let doc = serde_json::from_str(&without_tiles).expect("parse back");
+        assert!(validate(&doc).iter().any(|e| e.contains("tiles")), "{:?}", validate(&doc));
+        // ...but the same document stamped v1 (the pre-tile schema) passes.
+        let legacy = without_tiles.replace("\"schema_version\": 2", "\"schema_version\": 1");
+        let doc = serde_json::from_str(&legacy).expect("parse back");
+        assert_eq!(validate(&doc), Vec::<String>::new());
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! load_gen --addr <host:port> --graph <path>
-//!          [--clients 8] [--requests 128] [--seed 20170419] [--out <path>]
+//!          [--clients 8] [--requests 128] [--seed 20170419]
+//!          [--tiles 0] [--out <path>]
 //! ```
 //!
 //! The request mix is seeded and deterministic per client: mostly terrain
@@ -14,13 +15,24 @@
 //! sees both cold misses and plenty of hits), a slice of peaks queries, an
 //! occasional `/stats`, and — once a client has seen an ETag for a target —
 //! conditional re-requests that exercise the `304` path.
+//!
+//! `--tiles <weight>` mixes in pan/zoom tile traffic: the base mix weighs
+//! terrain 7, peaks 2, stats 1, and tiles join with the given weight (so
+//! `--tiles 3` sends ~23% of requests at the tile routes). Each client
+//! walks its own viewport — zoom in to a child tile, zoom out to the
+//! parent, or pan to a clamped neighbor — the locality pattern a real
+//! pan/zoom client produces, so re-visited tiles measure the cache. Tile
+//! hits/misses are tallied from the `X-Cache` header into the report's
+//! `tiles` object.
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Instant;
 
-use bench::load_report::{CacheOutcome, LatencyMillis, LoadReport, LOAD_SCHEMA_VERSION};
+use bench::load_report::{
+    CacheOutcome, LatencyMillis, LoadReport, TileOutcome, LOAD_SCHEMA_VERSION,
+};
 use bench::report::{git_short_rev, utc_date};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -58,6 +70,57 @@ struct ClientOutcome {
     ok: u64,
     not_modified: u64,
     failed: u64,
+    tile_requests: u64,
+    tile_hits: u64,
+    tile_misses: u64,
+    tile_not_modified: u64,
+}
+
+/// One client's pan/zoom viewport walk over the power-of-two tile grid.
+/// Kept shallow (zoom <= 4) so the walk re-visits tiles the way a human
+/// panning around does — the revisits are what measure the cache.
+struct TileWalk {
+    zoom: u8,
+    tx: u32,
+    ty: u32,
+}
+
+impl TileWalk {
+    const MAX_ZOOM: u8 = 4;
+
+    fn new() -> Self {
+        TileWalk { zoom: 0, tx: 0, ty: 0 }
+    }
+
+    /// Advance one step (zoom in / zoom out / pan to a neighbor, clamped to
+    /// the grid) and return the tile route for the new viewport.
+    fn step(&mut self, rng: &mut ChaCha8Rng) -> String {
+        match rng.gen_range(0..4u32) {
+            // Zoom in: descend into one of the four child tiles.
+            0 if self.zoom < Self::MAX_ZOOM => {
+                self.zoom += 1;
+                self.tx = self.tx * 2 + rng.gen_range(0..2u32);
+                self.ty = self.ty * 2 + rng.gen_range(0..2u32);
+            }
+            // Zoom out: back to the parent tile.
+            1 if self.zoom > 0 => {
+                self.zoom -= 1;
+                self.tx /= 2;
+                self.ty /= 2;
+            }
+            // Pan: one tile over, staying inside the 2^zoom grid.
+            _ => {
+                let last = (1u32 << self.zoom) - 1;
+                match rng.gen_range(0..4u32) {
+                    0 => self.tx = self.tx.saturating_sub(1),
+                    1 => self.tx = (self.tx + 1).min(last),
+                    2 => self.ty = self.ty.saturating_sub(1),
+                    _ => self.ty = (self.ty + 1).min(last),
+                }
+            }
+        }
+        format!("/graphs/loadgen/tiles/{}/{}/{}", self.zoom, self.tx, self.ty)
+    }
 }
 
 fn main() {
@@ -79,6 +142,7 @@ fn main() {
     let clients: usize = numeric(&args, "--clients", 8);
     let requests_per_client: usize = numeric(&args, "--requests", 128);
     let seed: u64 = numeric(&args, "--seed", 20_170_419);
+    let tile_weight: u64 = numeric(&args, "--tiles", 0);
 
     // Register the graph (idempotent across repeated runs against one
     // server: a 409 means an earlier run already registered it).
@@ -132,19 +196,31 @@ fn main() {
                 let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(client_idx as u64));
                 let mut seen_etags: HashMap<String, String> = HashMap::new();
                 let mut outcome = ClientOutcome::default();
+                let mut walk = TileWalk::new();
+                // Base mix terrain:peaks:stats = 7:2:1; tiles join with
+                // their own weight so `--tiles 0` reproduces the old mix.
+                let total_weight = 10 + tile_weight;
                 for _ in 0..requests_per_client {
-                    let roll: f64 = rng.gen();
-                    let (target, conditional) = if roll < 0.70 {
+                    let roll = rng.gen_range(0..total_weight);
+                    let (target, conditional, is_tile) = if roll < 7 {
                         let target =
                             terrain_targets.choose(&mut rng).expect("non-empty pool").clone();
                         // Revalidate targets we already hold an ETag for,
                         // about a third of the time.
                         let conditional = seen_etags.contains_key(&target) && rng.gen_bool(0.33);
-                        (target, conditional)
-                    } else if roll < 0.90 {
-                        (peaks_targets.choose(&mut rng).expect("non-empty pool").clone(), false)
+                        (target, conditional, false)
+                    } else if roll < 9 {
+                        (
+                            peaks_targets.choose(&mut rng).expect("non-empty pool").clone(),
+                            false,
+                            false,
+                        )
+                    } else if roll < 10 {
+                        ("/stats".to_string(), false, false)
                     } else {
-                        ("/stats".to_string(), false)
+                        let target = walk.step(&mut rng);
+                        let conditional = seen_etags.contains_key(&target) && rng.gen_bool(0.33);
+                        (target, conditional, true)
                     };
                     let begin = Instant::now();
                     let result = if conditional {
@@ -155,14 +231,29 @@ fn main() {
                     };
                     let elapsed_ms = begin.elapsed().as_secs_f64() * 1_000.0;
                     outcome.latencies_ms.push(elapsed_ms);
+                    if is_tile {
+                        outcome.tile_requests += 1;
+                    }
                     match result {
                         Ok(response) if response.status == 200 => {
+                            if is_tile {
+                                match response.header("x-cache") {
+                                    Some("hit") => outcome.tile_hits += 1,
+                                    Some("miss") => outcome.tile_misses += 1,
+                                    _ => {}
+                                }
+                            }
                             if let Some(etag) = response.header("etag") {
                                 seen_etags.insert(target, etag.to_string());
                             }
                             outcome.ok += 1;
                         }
-                        Ok(response) if response.status == 304 => outcome.not_modified += 1,
+                        Ok(response) if response.status == 304 => {
+                            if is_tile {
+                                outcome.tile_not_modified += 1;
+                            }
+                            outcome.not_modified += 1;
+                        }
                         Ok(_) | Err(_) => outcome.failed += 1,
                     }
                 }
@@ -173,12 +264,20 @@ fn main() {
 
     let mut latencies_ms: Vec<f64> = Vec::with_capacity(clients * requests_per_client);
     let (mut ok, mut not_modified, mut failed) = (0u64, 0u64, 0u64);
+    let mut tiles = TileOutcome::default();
     for thread in threads {
         let outcome = thread.join().expect("client thread panicked");
         latencies_ms.extend(outcome.latencies_ms);
         ok += outcome.ok;
         not_modified += outcome.not_modified;
         failed += outcome.failed;
+        tiles.requests += outcome.tile_requests;
+        tiles.hits += outcome.tile_hits;
+        tiles.misses += outcome.tile_misses;
+        tiles.not_modified += outcome.tile_not_modified;
+    }
+    if tiles.hits + tiles.misses > 0 {
+        tiles.hit_rate = tiles.hits as f64 / (tiles.hits + tiles.misses) as f64;
     }
     let wall_seconds = started.elapsed().as_secs_f64();
     let total_requests = latencies_ms.len() as u64;
@@ -220,6 +319,7 @@ fn main() {
         },
         latency_ms: LatencyMillis::from_samples(&latencies_ms),
         cache,
+        tiles,
     };
 
     let json = serde_json::to_string_pretty(&report).expect("serialize load report");
@@ -242,6 +342,16 @@ fn main() {
         report.latency_ms.p50,
         report.latency_ms.p99,
     );
+    if report.tiles.requests > 0 {
+        eprintln!(
+            "[load] tiles: {} requests | {}/{} hits ({:.0}%) | 304 {}",
+            report.tiles.requests,
+            report.tiles.hits,
+            report.tiles.hits + report.tiles.misses,
+            report.tiles.hit_rate * 100.0,
+            report.tiles.not_modified,
+        );
+    }
     if failed > 0 {
         eprintln!("[load] FAIL: {failed} requests failed");
         std::process::exit(1);

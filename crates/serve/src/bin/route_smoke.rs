@@ -8,7 +8,11 @@
 //! exercises the dynamic-graph routes: it streams insert/delete batches at
 //! a fixed base graph and byte-diffs the mutated render against a
 //! from-scratch upload of the final edge list (saved as
-//! `terrain_delta.svg` / `terrain_delta_rebuilt.svg` for CI to re-diff).
+//! `terrain_delta.svg` / `terrain_delta_rebuilt.svg` for CI to re-diff),
+//! and the viewport-tile routes: one tile must miss then hit
+//! byte-identically, answer `If-None-Match` with a 304, 404 past the grid,
+//! and stream a `GTSC` scene document (saved as `tile_1_0_0.svg` /
+//! `scene.gtsc` so CI can byte-diff a re-requested tile).
 //!
 //! ```text
 //! route_smoke --addr <host:port> --graph <path> [--out-dir <dir>]
@@ -147,7 +151,54 @@ fn main() {
         fail("stats", format!("expected hits >= 1 and misses >= 1, got {hits}/{misses}"));
     }
 
-    // 10. Dynamic graphs: upload a small fixed base, stream an insert and a
+    // 10. Tiles: a pan/zoom tile misses, hits byte-identically, honors
+    // If-None-Match, and out-of-grid keys are 404s decided before any
+    // render. The whole-scene GTSC stream must carry its magic.
+    let tile_target = "/graphs/smoke/tiles/1/0/0?measure=kcore";
+    let tile_miss = client::get(addr, tile_target).unwrap_or_else(|e| fail("tile miss", e));
+    expect_status("tile miss", &tile_miss, 200);
+    if tile_miss.header("x-cache") != Some("miss") {
+        fail("tile miss", format!("X-Cache = {:?}, expected miss", tile_miss.header("x-cache")));
+    }
+    if !tile_miss.body_utf8().starts_with("<svg") {
+        fail("tile miss", "tile body is not an SVG document");
+    }
+    let tile_etag =
+        tile_miss.header("etag").unwrap_or_else(|| fail("tile miss", "no ETag")).to_string();
+    let tile_hit = client::get(addr, tile_target).unwrap_or_else(|e| fail("tile hit", e));
+    expect_status("tile hit", &tile_hit, 200);
+    if tile_hit.header("x-cache") != Some("hit") {
+        fail("tile hit", format!("X-Cache = {:?}, expected hit", tile_hit.header("x-cache")));
+    }
+    if tile_hit.body != tile_miss.body {
+        fail("tile hit", "cache hit bytes differ from the miss render");
+    }
+    let tile_conditional =
+        client::get_with_headers(addr, tile_target, &[("If-None-Match", &tile_etag)])
+            .unwrap_or_else(|e| fail("tile conditional", e));
+    expect_status("tile conditional", &tile_conditional, 304);
+    if !tile_conditional.body.is_empty() {
+        fail("tile conditional", "304 must not carry a body");
+    }
+    for bad_target in ["/graphs/smoke/tiles/99/0/0", "/graphs/smoke/tiles/1/2/0"] {
+        let out_of_grid =
+            client::get(addr, bad_target).unwrap_or_else(|e| fail("tile out of grid", e));
+        expect_status("tile out of grid", &out_of_grid, 404);
+        if !out_of_grid.body_utf8().contains("outside the grid") {
+            fail("tile out of grid", format!("unexpected body: {}", out_of_grid.body_utf8()));
+        }
+    }
+    let scene =
+        client::get(addr, "/graphs/smoke/scene?measure=kcore").unwrap_or_else(|e| fail("scene", e));
+    expect_status("scene", &scene, 200);
+    if !scene.body.starts_with(b"GTSC") {
+        fail("scene", "scene body does not start with the GTSC magic");
+    }
+    if scene.header("content-type") != Some("application/octet-stream") {
+        fail("scene", format!("content-type = {:?}", scene.header("content-type")));
+    }
+
+    // 11. Dynamic graphs: upload a small fixed base, stream an insert and a
     // delete batch at it, and check the mutated graph renders
     // byte-identically to a from-scratch upload of the final edge list.
     let base = client::post(addr, "/graphs?id=delta-base", b"0 1\n1 2\n2 0\n0 3\n")
@@ -189,7 +240,7 @@ fn main() {
         fail("delta coherence", "incremental and from-scratch renders disagree byte-wise");
     }
 
-    // 11. DELETE unregisters; a second DELETE is a 404.
+    // 12. DELETE unregisters; a second DELETE is a 404.
     let deleted =
         client::delete(addr, "/graphs/delta-rebuilt").unwrap_or_else(|e| fail("delete graph", e));
     expect_status("delete graph", &deleted, 200);
@@ -200,11 +251,16 @@ fn main() {
         client::get(addr, "/graphs/delta-rebuilt").unwrap_or_else(|e| fail("deleted lookup", e));
     expect_status("deleted lookup", &lookup, 404);
 
-    // 12. Save artifacts for the CI byte-diff against a direct render.
+    // 13. Save artifacts for the CI byte-diff against a direct render (and
+    // the tile/scene re-request diffs).
     if let Some(dir) = out_dir {
         std::fs::create_dir_all(&dir).unwrap_or_else(|e| fail("out-dir", e));
         std::fs::write(dir.join("terrain.svg"), &miss.body)
             .unwrap_or_else(|e| fail("write svg", e));
+        std::fs::write(dir.join("tile_1_0_0.svg"), &tile_miss.body)
+            .unwrap_or_else(|e| fail("write tile svg", e));
+        std::fs::write(dir.join("scene.gtsc"), &scene.body)
+            .unwrap_or_else(|e| fail("write scene", e));
         std::fs::write(dir.join("terrain.json"), &json_render.body)
             .unwrap_or_else(|e| fail("write json", e));
         std::fs::write(dir.join("peaks.json"), &peaks.body)

@@ -8,9 +8,21 @@
 //! DELETE /graphs/{id}                   unregister a graph
 //! GET    /graphs/{id}/terrain?...       render a terrain artifact (cached)
 //! GET    /graphs/{id}/peaks?...         peak extraction as JSON (cached)
+//! GET    /graphs/{id}/tiles/{z}/{tx}/{ty}?...  one pan/zoom tile (cached)
+//! GET    /graphs/{id}/scene?...         binary `GTSC` scene document (cached)
 //! GET    /stats                         cache/timing/traffic counters
 //! GET    /healthz                       liveness probe
 //! ```
+//!
+//! Tiles: the layout domain is a power-of-two grid (`2^z × 2^z` tiles at
+//! zoom `z`, south-west origin) over the server's fixed default layout and
+//! LOD configurations, so every client shares one grid and one cache. A
+//! tile request takes `measure`, `threads`, `format` (`svg` | `scene`) and
+//! `size` (square tile edge in px, SVG only); keys past the grid (zoom
+//! above the scene's maximum, `tx`/`ty` at or above `2^zoom`) are 404s.
+//! Tile bytes depend only on the graph, its delta generation, the measure
+//! and the key — *not* on `budget`/`levels` (tiles render the unsimplified
+//! tree) and not on `threads` — which is exactly what the cache key embeds.
 //!
 //! Deltas: the body is an edge batch in any [`GraphFormat`] (same `format`
 //! parameter as uploads) and `op` (`insert` | `delete` | `reweight`,
@@ -42,7 +54,8 @@ use crate::error::{json_f64, json_string, ApiError};
 use crate::http::{Method, Request, Response};
 use crate::state::{AppState, GraphEntry};
 use graph_terrain::{
-    FieldKind, Measure, SharedGraph, SimplificationConfig, SvgSize, TerrainPipeline, MEASURES,
+    FieldKind, LodConfig, Measure, SharedGraph, SimplificationConfig, SvgSize, TerrainPipeline,
+    TileKey, MEASURES,
 };
 use measures::Parallelism;
 use terrain::{exporter_by_name_sized, highest_peaks, peaks_at_alpha, ColorScheme, Exporter, Peak};
@@ -71,6 +84,8 @@ fn route(state: &AppState, req: &Request) -> Result<Response, ApiError> {
         (Method::Delete, ["graphs", id]) => delete_graph(state, id),
         (Method::Get, ["graphs", id, "terrain"]) => terrain(state, req, id),
         (Method::Get, ["graphs", id, "peaks"]) => peaks(state, req, id),
+        (Method::Get, ["graphs", id, "tiles", zoom, tx, ty]) => tile(state, req, id, zoom, tx, ty),
+        (Method::Get, ["graphs", id, "scene"]) => scene_document(state, req, id),
         (Method::Get, ["stats"]) => Ok(stats(state)),
         (Method::Get, ["healthz"]) => Ok(Response::with_body(200, "text/plain", b"ok\n".to_vec())),
         _ => Err(ApiError::not_found(format!("no route for {} {}", req.method, req.path))),
@@ -379,9 +394,10 @@ fn measure_canonical(measure: &Measure) -> String {
 
 fn content_type_for(exporter_name: &str) -> &'static str {
     match exporter_name {
-        "svg" | "treemap" => "image/svg+xml",
+        "svg" | "treemap" | "tiled" => "image/svg+xml",
         "json" => "application/json",
-        _ => "text/plain", // obj, ply, ascii
+        "scene" => "application/octet-stream", // binary GTSC
+        _ => "text/plain",                     // obj, ply, ascii
     }
 }
 
@@ -443,6 +459,118 @@ fn peaks(state: &AppState, req: &Request, id: &str) -> Result<Response, ApiError
         let body = peaks_json(id, &measure_name, alpha, &peaks);
         state.stage_totals.lock().expect("stage totals lock").absorb(&session.timings());
         Ok((body.into_bytes(), "application/json"))
+    })
+}
+
+// ------------------------------------------------------------------- tiles
+
+/// The `threads` query parameter (shared by every render route).
+fn parse_parallelism(req: &Request) -> Result<Parallelism, ApiError> {
+    match req.query_param("threads") {
+        Some(raw) => Ok(Parallelism::parse(raw)?),
+        None => Ok(Parallelism::Serial),
+    }
+}
+
+/// `GET /graphs/{id}/tiles/{zoom}/{tx}/{ty}`: one pan/zoom tile over the
+/// server-fixed default layout and LOD configurations. `format=svg`
+/// (default) renders a `size`-pixel square SVG; `format=scene` streams the
+/// tile's items as a binary `GTSC` document. Out-of-grid keys are 404s —
+/// decided from the fixed configuration, before any render.
+fn tile(
+    state: &AppState,
+    req: &Request,
+    id: &str,
+    zoom: &str,
+    tx: &str,
+    ty: &str,
+) -> Result<Response, ApiError> {
+    let entry = lookup(state, id)?;
+    let key = TileKey {
+        zoom: numeric_param("zoom", zoom)?,
+        tx: numeric_param("tx", tx)?,
+        ty: numeric_param("ty", ty)?,
+    };
+    let max_zoom = LodConfig::default().max_lod;
+    if !key.in_range(max_zoom) {
+        return Err(ApiError::not_found(format!(
+            "tile {key} is outside the grid: zoom must be at most {max_zoom} \
+             and tx/ty below 2^zoom"
+        )));
+    }
+    let measure = parse_measure(req)?;
+    let parallelism = parse_parallelism(req)?;
+    let format = req.query_param("format").unwrap_or("svg");
+    let as_svg = match format {
+        "svg" => true,
+        "scene" => false,
+        other => {
+            return Err(ApiError::invalid_parameter(
+                "format",
+                format!("unknown tile format {other:?}; expected `svg` or `scene`"),
+            ))
+        }
+    };
+    let size: u32 = match req.query_param("size") {
+        Some(raw) => numeric_param("size", raw)?,
+        None => 256,
+    };
+    if size == 0 || size > 2048 {
+        return Err(ApiError::invalid_parameter(
+            "size",
+            format!("tile size must lie in [1, 2048], got {size}"),
+        ));
+    }
+    // Everything that can change the tile bytes, nothing else: generation
+    // (deltas), measure, the key, the format, the pixel size. `budget`,
+    // `levels` and `threads` are deliberately absent — tiles render the
+    // unsimplified tree and are thread-count invariant.
+    let cache_key = format!(
+        "{id}|tile|gen={}|measure={}|layout=default|lod=default|zoom={}|tx={}|ty={}|exporter={format}|size={size}",
+        entry.generation,
+        measure_canonical(&measure),
+        key.zoom,
+        key.tx,
+        key.ty,
+    );
+    let content_type = if as_svg { "image/svg+xml" } else { "application/octet-stream" };
+    serve_cached(state, req, &cache_key, || {
+        let mut session = TerrainPipeline::from_shared(entry.graph.clone(), measure);
+        session.set_parallelism(parallelism);
+        let mut bytes = Vec::new();
+        {
+            let scene = session.scene()?;
+            if as_svg {
+                scene.write_tile_svg(&key, size, &mut bytes)?;
+            } else {
+                scene.write_tile_gtsc(&key, &mut bytes)?;
+            }
+        }
+        state.stage_totals.lock().expect("stage totals lock").absorb(&session.timings());
+        Ok((bytes, content_type))
+    })
+}
+
+/// `GET /graphs/{id}/scene`: the whole retained scene as one binary `GTSC`
+/// document — every visible item with its rectangle, height, cushion
+/// surface and minimum visible LOD, for client-side pan/zoom renderers
+/// that then fetch (or draw) tiles locally.
+fn scene_document(state: &AppState, req: &Request, id: &str) -> Result<Response, ApiError> {
+    let entry = lookup(state, id)?;
+    let measure = parse_measure(req)?;
+    let parallelism = parse_parallelism(req)?;
+    let cache_key = format!(
+        "{id}|scene|gen={}|measure={}|layout=default|lod=default",
+        entry.generation,
+        measure_canonical(&measure),
+    );
+    serve_cached(state, req, &cache_key, || {
+        let mut session = TerrainPipeline::from_shared(entry.graph.clone(), measure);
+        session.set_parallelism(parallelism);
+        let mut bytes = Vec::new();
+        session.scene()?.write_scene_gtsc(&mut bytes)?;
+        state.stage_totals.lock().expect("stage totals lock").absorb(&session.timings());
+        Ok((bytes, "application/octet-stream"))
     })
 }
 
@@ -527,7 +655,7 @@ fn stats(state: &AppState) -> Response {
             "\"insertions\":{},\"uncacheable\":{},\"entries\":{},\"bytes\":{},",
             "\"capacity\":{},\"max_bytes\":{}}},",
             "\"stage_seconds\":{{\"renders\":{},\"scalar\":{},\"tree\":{},\"super_tree\":{},",
-            "\"simplify\":{},\"layout\":{},\"mesh\":{},\"svg\":{}}}}}"
+            "\"simplify\":{},\"layout\":{},\"mesh\":{},\"svg\":{},\"scene\":{}}}}}"
         ),
         state.requests_served.load(load),
         state.in_flight.load(load),
@@ -554,6 +682,7 @@ fn stats(state: &AppState) -> Response {
         json_f64(totals.layout_seconds),
         json_f64(totals.mesh_seconds),
         json_f64(totals.svg_seconds),
+        json_f64(totals.scene_seconds),
     );
     Response::json(200, body)
 }

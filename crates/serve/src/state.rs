@@ -88,6 +88,8 @@ pub struct StageTotals {
     pub mesh_seconds: f64,
     /// SVG/exporter serialization.
     pub svg_seconds: f64,
+    /// Retained LOD scene builds (tile and scene routes).
+    pub scene_seconds: f64,
 }
 
 impl StageTotals {
@@ -101,6 +103,7 @@ impl StageTotals {
         self.layout_seconds += t.layout_seconds.unwrap_or(0.0);
         self.mesh_seconds += t.mesh_seconds.unwrap_or(0.0);
         self.svg_seconds += t.svg_seconds.unwrap_or(0.0);
+        self.scene_seconds += t.scene_seconds.unwrap_or(0.0);
     }
 }
 

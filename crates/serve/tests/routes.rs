@@ -350,6 +350,159 @@ fn delta_parameter_errors_are_structured_400s_and_404s() {
 }
 
 #[test]
+fn tile_requests_miss_then_hit_with_identical_bytes_regardless_of_threads() {
+    let state = state_with_graph();
+    let first = routes::handle(&state, &get("/graphs/g/tiles/0/0/0"));
+    assert_eq!(first.status, 200, "{}", String::from_utf8_lossy(&first.body));
+    assert_eq!(first.header_value("x-cache"), Some("miss"));
+    assert_eq!(first.header_value("content-type"), Some("image/svg+xml"));
+    assert!(first.body.starts_with(b"<svg"), "tile body must be an SVG document");
+    let etag = first.header_value("etag").expect("tile responses carry an ETag").to_string();
+
+    // Re-request under a different thread budget: the tile key excludes
+    // parallelism, so this must be a byte-identical cache hit.
+    let again = routes::handle(&state, &get("/graphs/g/tiles/0/0/0?threads=2x64"));
+    assert_eq!(again.status, 200);
+    assert_eq!(again.header_value("x-cache"), Some("hit"));
+    assert_eq!(again.body, first.body);
+    assert_eq!(again.header_value("etag"), Some(etag.as_str()));
+
+    // And the conditional protocol holds: If-None-Match short-circuits to a
+    // bodyless 304 carrying the same ETag.
+    let mut conditional = get("/graphs/g/tiles/0/0/0");
+    conditional.headers.push(("if-none-match".into(), etag.clone()));
+    let not_modified = routes::handle(&state, &conditional);
+    assert_eq!(not_modified.status, 304);
+    assert_eq!(not_modified.header_value("etag"), Some(etag.as_str()));
+    assert!(not_modified.body.is_empty());
+}
+
+#[test]
+fn distinct_tile_keys_zooms_sizes_and_formats_are_distinct_artifacts() {
+    let state = state_with_graph();
+    let base = routes::handle(&state, &get("/graphs/g/tiles/0/0/0"));
+    let zoomed = routes::handle(&state, &get("/graphs/g/tiles/1/0/0"));
+    let neighbor = routes::handle(&state, &get("/graphs/g/tiles/1/1/1"));
+    let resized = routes::handle(&state, &get("/graphs/g/tiles/0/0/0?size=128"));
+    let binary = routes::handle(&state, &get("/graphs/g/tiles/0/0/0?format=scene"));
+    for (response, what) in [
+        (&base, "base"),
+        (&zoomed, "zoomed"),
+        (&neighbor, "neighbor"),
+        (&resized, "resized"),
+        (&binary, "binary"),
+    ] {
+        assert_eq!(response.status, 200, "{what}");
+        assert_eq!(response.header_value("x-cache"), Some("miss"), "{what}");
+        if what != "base" {
+            assert_ne!(response.header_value("etag"), base.header_value("etag"), "{what}");
+        }
+    }
+    assert_eq!(binary.header_value("content-type"), Some("application/octet-stream"));
+    assert!(binary.body.starts_with(b"GTSC"), "format=scene streams the binary tile");
+    assert_eq!(state.cache.lock().unwrap().len(), 5);
+}
+
+#[test]
+fn tiles_outside_the_grid_are_404s_and_bad_tile_parameters_are_400s() {
+    let state = state_with_graph();
+    // Past the zoom ceiling, and tx/ty at or past 2^zoom: the range check
+    // rejects before any render, so the cache stays untouched.
+    for target in [
+        "/graphs/g/tiles/9/0/0",
+        "/graphs/g/tiles/1/2/0",
+        "/graphs/g/tiles/0/0/1",
+        "/graphs/g/tiles/2/0/4",
+    ] {
+        let response = routes::handle(&state, &get(target));
+        assert_eq!(response.status, 404, "{target}");
+        let doc = body_json(&response);
+        let message = doc
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(|m| m.as_str())
+            .expect("message");
+        assert!(message.contains("outside the grid"), "{target}: {message}");
+    }
+    let cases = [
+        ("/graphs/g/tiles/x/0/0", "zoom"),
+        ("/graphs/g/tiles/0/-1/0", "tx"),
+        ("/graphs/g/tiles/0/0/1.5", "ty"),
+        ("/graphs/g/tiles/0/0/0?format=gif", "format"),
+        ("/graphs/g/tiles/0/0/0?size=0", "size"),
+        ("/graphs/g/tiles/0/0/0?size=4096", "size"),
+        ("/graphs/g/tiles/0/0/0?measure=bogus", "measure"),
+    ];
+    for (target, param) in cases {
+        let response = routes::handle(&state, &get(target));
+        assert_eq!(response.status, 400, "{target}");
+        let doc = body_json(&response);
+        assert_eq!(
+            doc.get("error").and_then(|e| e.get("param")).and_then(|p| p.as_str()),
+            Some(param),
+            "{target}"
+        );
+    }
+    assert_eq!(state.cache.lock().unwrap().len(), 0, "rejected requests never render");
+    assert_eq!(routes::handle(&state, &get("/graphs/missing/tiles/0/0/0")).status, 404);
+}
+
+#[test]
+fn scene_route_streams_a_decodable_gtsc_document() {
+    let state = state_with_graph();
+    let response = routes::handle(&state, &get("/graphs/g/scene"));
+    assert_eq!(response.status, 200, "{}", String::from_utf8_lossy(&response.body));
+    assert_eq!(response.header_value("content-type"), Some("application/octet-stream"));
+    assert_eq!(response.header_value("x-cache"), Some("miss"));
+    let doc = graph_terrain::decode_gtsc(&response.body).expect("scene body must decode");
+    assert!(!doc.items.is_empty());
+    assert_eq!(doc.header.tile_px, 256, "the server pins the default LOD config");
+    assert!(doc.tile.is_none(), "the whole-scene document is not stamped with a tile key");
+
+    // Second fetch is the cached bytes; a tile's GTSC stream is a strict
+    // subset stamped with its key.
+    let again = routes::handle(&state, &get("/graphs/g/scene"));
+    assert_eq!(again.header_value("x-cache"), Some("hit"));
+    assert_eq!(again.body, response.body);
+    let tile = routes::handle(&state, &get("/graphs/g/tiles/1/0/0?format=scene"));
+    assert_eq!(tile.status, 200);
+    let tile_doc = graph_terrain::decode_gtsc(&tile.body).expect("tile body must decode");
+    let (stamp, _bounds) = tile_doc.tile.expect("tile documents are stamped");
+    assert_eq!((stamp.zoom, stamp.tx, stamp.ty), (1, 0, 0));
+    assert!(tile_doc.items.len() <= doc.items.len());
+}
+
+#[test]
+fn structural_deltas_invalidate_tiles_and_scenes_through_the_generation() {
+    let state = state_with_graph();
+    let tile_before = routes::handle(&state, &get("/graphs/g/tiles/0/0/0"));
+    let scene_before = routes::handle(&state, &get("/graphs/g/scene"));
+    assert_eq!(tile_before.status, 200);
+    assert_eq!(scene_before.status, 200);
+    let old_etag = tile_before.header_value("etag").unwrap().to_string();
+
+    // Grow the graph into fresh vertex 7: structural, so the id's artifacts
+    // are evicted and the generation lands in every new cache key.
+    let applied = routes::handle(&state, &post("/graphs/g/deltas", b"6 7\n".to_vec()));
+    assert_eq!(applied.status, 200, "{}", String::from_utf8_lossy(&applied.body));
+
+    let tile_after = routes::handle(&state, &get("/graphs/g/tiles/0/0/0"));
+    assert_eq!(tile_after.header_value("x-cache"), Some("miss"), "stale tiles must not serve");
+    assert_ne!(tile_after.header_value("etag"), Some(old_etag.as_str()));
+    assert_ne!(tile_after.body, tile_before.body, "a new vertex changes the rendered terrain");
+    let scene_after = routes::handle(&state, &get("/graphs/g/scene"));
+    assert_eq!(scene_after.header_value("x-cache"), Some("miss"));
+    assert_ne!(scene_after.body, scene_before.body);
+
+    // A client replaying its pre-delta ETag re-renders instead of 304ing.
+    let mut conditional = get("/graphs/g/tiles/0/0/0");
+    conditional.headers.push(("if-none-match".into(), old_etag));
+    let replay = routes::handle(&state, &conditional);
+    assert_eq!(replay.status, 200);
+    assert_eq!(replay.body, tile_after.body);
+}
+
+#[test]
 fn betweenness_sampling_parameters_key_the_cache() {
     let state = state_with_graph();
     let a = routes::handle(&state, &get("/graphs/g/terrain?measure=betweenness&samples=8&seed=1"));

@@ -21,6 +21,8 @@
 //! | [`Ply`]        | ASCII PLY mesh with per-face colors                | `ply`     |
 //! | [`Ascii`]      | terminal heightmap (top view)                      | `txt`     |
 //! | [`JsonScene`]  | mesh + layout + timings as JSON for web frontends  | `json`    |
+//! | [`TiledSvg`]   | top-down LOD view of the retained scene            | `svg`     |
+//! | [`SceneBin`]   | binary `GTSC` scene document for pan/zoom clients  | `gtsc`    |
 //!
 //! New backends are plug-ins: implement [`Exporter`] and every call site that
 //! takes `&dyn Exporter` (the `TerrainPipeline` session's `render_to` /
@@ -52,6 +54,7 @@ pub mod json;
 pub mod obj;
 pub mod ply;
 pub mod svg;
+pub mod tiled;
 
 use crate::error::TerrainResult;
 use crate::layout2d::TerrainLayout;
@@ -64,6 +67,7 @@ pub use json::JsonScene;
 pub use obj::Obj;
 pub use ply::Ply;
 pub use svg::{Svg, TreemapSvg};
+pub use tiled::{SceneBin, TiledSvg};
 
 /// One stage's wall-clock cost, carried along for backends (like
 /// [`JsonScene`]) that report provenance next to geometry.
@@ -150,6 +154,8 @@ pub fn builtin_exporters() -> Vec<Box<dyn Exporter>> {
         Box::new(Ply),
         Box::new(Ascii::default()),
         Box::new(JsonScene),
+        Box::new(TiledSvg::default()),
+        Box::new(SceneBin::default()),
     ]
 }
 
@@ -173,7 +179,7 @@ pub fn exporter_by_name(name: &str) -> Result<Box<dyn Exporter>, UnknownExporter
 }
 
 /// [`exporter_by_name`], with an explicit pixel size applied to the
-/// size-aware backends (`svg`, `treemap`). The other backends emit
+/// size-aware backends (`svg`, `treemap`, `tiled`). The other backends emit
 /// resolution-independent geometry or text and are returned as-is. This is
 /// the lookup render services should use: a pipeline's
 /// `set_svg_size` only configures its own `svg()` convenience stage, not an
@@ -187,6 +193,7 @@ pub fn exporter_by_name_sized(
     Ok(match exporter.name() {
         "svg" => Box::new(Svg::new(width_px, height_px)),
         "treemap" => Box::new(TreemapSvg::new(width_px, height_px)),
+        "tiled" => Box::new(TiledSvg::new(width_px, height_px)),
         _ => exporter,
     })
 }
@@ -249,8 +256,14 @@ mod tests {
         let timings = [SceneTiming { stage: "tree", seconds: 0.25 }];
         let scene = RenderScene::new(&tree, &layout, &mesh).with_timings(&timings);
         for exporter in builtin_exporters() {
-            let once = exporter.export_string(&scene).unwrap();
-            let twice = exporter.export_string(&scene).unwrap();
+            // Bytes, not `export_string`: the `scene` backend is binary.
+            let render = || {
+                let mut out = Vec::new();
+                exporter.write_to(&scene, &mut out).unwrap();
+                out
+            };
+            let once = render();
+            let twice = render();
             assert!(!once.is_empty(), "backend {} emitted nothing", exporter.name());
             assert_eq!(once, twice, "backend {} is not deterministic", exporter.name());
             assert!(!exporter.file_extension().starts_with('.'));
@@ -281,7 +294,7 @@ mod tests {
     fn sized_lookup_applies_pixel_size_to_svg_backends() {
         let (tree, layout, mesh) = sample_stages();
         let scene = RenderScene::new(&tree, &layout, &mesh);
-        for name in ["svg", "treemap"] {
+        for name in ["svg", "treemap", "tiled"] {
             let small = exporter_by_name_sized(name, 320.0, 240.0).unwrap();
             let output = small.export_string(&scene).unwrap();
             assert!(output.contains("width=\"320\""), "{name}: {output}");
@@ -299,6 +312,48 @@ mod tests {
             exporter_by_name("obj").unwrap().export_string(&scene).unwrap()
         );
         assert!(exporter_by_name_sized("gif", 320.0, 240.0).is_err());
+    }
+
+    #[test]
+    fn every_registered_backend_honors_the_sized_lookup() {
+        // Regression: a size-aware backend registered in
+        // `builtin_exporters` but missed by `exporter_by_name_sized`'s
+        // match would silently ignore the request's pixel size. Every
+        // backend whose artifact carries a pixel size must change it;
+        // every other backend must produce byte-identical output.
+        let (tree, layout, mesh) = sample_stages();
+        let scene = RenderScene::new(&tree, &layout, &mesh);
+        for exporter in builtin_exporters() {
+            let name = exporter.name();
+            let sized = exporter_by_name_sized(name, 128.0, 96.0).unwrap();
+            assert_eq!(sized.name(), name);
+            assert_eq!(sized.file_extension(), exporter.file_extension());
+            let default_bytes = {
+                let mut out = Vec::new();
+                exporter.write_to(&scene, &mut out).unwrap();
+                out
+            };
+            let sized_bytes = {
+                let mut out = Vec::new();
+                sized.write_to(&scene, &mut out).unwrap();
+                out
+            };
+            let size_aware = ["svg", "treemap", "tiled"].contains(&name);
+            if size_aware {
+                assert_ne!(
+                    sized_bytes, default_bytes,
+                    "{name} must honor the requested pixel size"
+                );
+                let text = String::from_utf8(sized_bytes).unwrap();
+                assert!(text.contains("width=\"128\""), "{name}: {text}");
+                assert!(text.contains("height=\"96\""), "{name}: {text}");
+            } else {
+                assert_eq!(
+                    sized_bytes, default_bytes,
+                    "{name} is resolution-independent and must ignore the size"
+                );
+            }
+        }
     }
 
     #[test]

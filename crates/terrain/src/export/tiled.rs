@@ -1,0 +1,179 @@
+//! Scene-based streaming backends: [`TiledSvg`], the top-down
+//! level-of-detail view of the retained scene, and [`SceneBin`], the
+//! compact binary `GTSC` scene document.
+//!
+//! Both backends run the [`crate::scene`] LOD layout pass over the scene's
+//! tree and render from the retained [`Scene`] instead of the 3D mesh:
+//! [`TiledSvg`] paints the visible set at the zoom level matching the
+//! requested pixel width (what a pan/zoom client's initial full view
+//! shows), [`SceneBin`] streams every retained item resolution-free for
+//! client-side renderers. The per-tile variants of the same drawings are
+//! served straight from [`Scene::write_tile_svg`] /
+//! [`Scene::write_tile_gtsc`] by the HTTP tile routes; these exporters
+//! cover the "whole graph, one artifact" render paths (figure binaries,
+//! `format=` query parameter, CI determinism gates).
+
+use super::{Exporter, RenderScene};
+use crate::error::TerrainResult;
+use crate::layout2d::LayoutConfig;
+use crate::scene::{LodConfig, Scene};
+use std::io;
+
+/// Top-down cushion-shaded SVG of the retained scene's visible set at the
+/// zoom level matching the output width.
+///
+/// Unlike [`super::Svg`] (the oblique 3D projection of the full mesh), the
+/// byte size of this artifact is bounded by the LOD pass: a million-node
+/// tree still draws only the items visible at the chosen zoom.
+#[derive(Copy, Clone, Debug)]
+pub struct TiledSvg {
+    width_px: u32,
+    height_px: u32,
+    layout: LayoutConfig,
+    lod: LodConfig,
+}
+
+impl TiledSvg {
+    /// A backend rendering at the given pixel size (fractions are rounded,
+    /// sizes clamp to at least one pixel), with default layout and LOD
+    /// configurations.
+    pub fn new(width_px: f64, height_px: f64) -> Self {
+        TiledSvg {
+            width_px: (width_px.round().max(1.0)) as u32,
+            height_px: (height_px.round().max(1.0)) as u32,
+            layout: LayoutConfig::default(),
+            lod: LodConfig::default(),
+        }
+    }
+
+    /// Replace the LOD configuration (validated when the scene is built).
+    pub fn with_lod(mut self, lod: LodConfig) -> Self {
+        self.lod = lod;
+        self
+    }
+}
+
+impl Default for TiledSvg {
+    fn default() -> Self {
+        TiledSvg::new(1024.0, 1024.0)
+    }
+}
+
+impl Exporter for TiledSvg {
+    fn name(&self) -> &'static str {
+        "tiled"
+    }
+
+    fn file_extension(&self) -> &'static str {
+        "svg"
+    }
+
+    fn write_to(&self, scene: &RenderScene<'_>, writer: &mut dyn io::Write) -> TerrainResult<()> {
+        let retained = Scene::build(scene.tree, &self.layout, &self.lod)?;
+        let zoom = retained.zoom_for_width(f64::from(self.width_px));
+        let domain = retained.domain();
+        let mut ids = retained.query(&domain);
+        ids.retain(|&id| retained.items()[id as usize].min_visible_lod <= zoom);
+        retained.write_view_svg(&domain, &ids, self.width_px, self.height_px, writer)
+    }
+}
+
+/// The whole retained scene as one binary `GTSC` document (see
+/// [`crate::scene::decode_gtsc`] for the wire format) — what
+/// `GET /graphs/{id}/scene` streams to pan/zoom clients.
+#[derive(Copy, Clone, Debug)]
+pub struct SceneBin {
+    layout: LayoutConfig,
+    lod: LodConfig,
+}
+
+impl SceneBin {
+    /// A backend with default layout and LOD configurations.
+    pub fn new() -> Self {
+        SceneBin { layout: LayoutConfig::default(), lod: LodConfig::default() }
+    }
+
+    /// Replace the LOD configuration (validated when the scene is built).
+    pub fn with_lod(mut self, lod: LodConfig) -> Self {
+        self.lod = lod;
+        self
+    }
+}
+
+impl Default for SceneBin {
+    fn default() -> Self {
+        SceneBin::new()
+    }
+}
+
+impl Exporter for SceneBin {
+    fn name(&self) -> &'static str {
+        "scene"
+    }
+
+    fn file_extension(&self) -> &'static str {
+        "gtsc"
+    }
+
+    fn write_to(&self, scene: &RenderScene<'_>, writer: &mut dyn io::Write) -> TerrainResult<()> {
+        Scene::build(scene.tree, &self.layout, &self.lod)?.write_scene_gtsc(writer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout2d::layout_super_tree;
+    use crate::mesh::{build_terrain_mesh, MeshConfig};
+    use crate::scene::decode_gtsc;
+    use scalarfield::{build_super_tree, vertex_scalar_tree, VertexScalarGraph};
+    use ugraph::GraphBuilder;
+
+    fn sample_scene_parts(
+    ) -> (scalarfield::SuperScalarTree, crate::layout2d::TerrainLayout, crate::mesh::TerrainMesh)
+    {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0u32, 1u32), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5)]);
+        let g = b.build();
+        let scalar = vec![3.0, 3.0, 2.0, 1.0, 2.0, 2.0];
+        let sg = VertexScalarGraph::new(&g, &scalar).unwrap();
+        let tree = build_super_tree(&vertex_scalar_tree(&sg));
+        let layout = layout_super_tree(&tree, &LayoutConfig::default());
+        let mesh = build_terrain_mesh(&tree, &layout, &MeshConfig::default());
+        (tree, layout, mesh)
+    }
+
+    #[test]
+    fn tiled_svg_renders_the_lod_view_at_the_requested_size() {
+        let (tree, layout, mesh) = sample_scene_parts();
+        let scene = RenderScene::new(&tree, &layout, &mesh);
+        let svg = TiledSvg::new(320.0, 240.0).export_string(&scene).unwrap();
+        assert!(svg.starts_with("<svg"), "{svg}");
+        assert!(svg.contains("width=\"320\""), "{svg}");
+        assert!(svg.contains("height=\"240\""), "{svg}");
+        assert_eq!(svg, TiledSvg::new(320.0, 240.0).export_string(&scene).unwrap());
+    }
+
+    #[test]
+    fn scene_bin_round_trips_through_the_decoder() {
+        let (tree, layout, mesh) = sample_scene_parts();
+        let scene = RenderScene::new(&tree, &layout, &mesh);
+        let mut bytes = Vec::new();
+        SceneBin::new().write_to(&scene, &mut bytes).unwrap();
+        let doc = decode_gtsc(&bytes).unwrap();
+        assert!(doc.tile.is_none(), "a whole-scene document carries no tile stamp");
+        let direct = Scene::build(&tree, &LayoutConfig::default(), &LodConfig::default()).unwrap();
+        assert_eq!(doc.items.len(), direct.item_count());
+    }
+
+    #[test]
+    fn invalid_lod_config_surfaces_as_a_config_error() {
+        let (tree, layout, mesh) = sample_scene_parts();
+        let scene = RenderScene::new(&tree, &layout, &mesh);
+        let bad = TiledSvg::default().with_lod(LodConfig { tile_px: 0, ..Default::default() });
+        let err = bad.export_string(&scene).unwrap_err();
+        assert!(err.to_string().contains("tile_px"), "{err}");
+        let bad = SceneBin::new().with_lod(LodConfig { max_children: 1, ..Default::default() });
+        assert!(bad.export_string(&scene).is_err());
+    }
+}

@@ -23,6 +23,10 @@
 //! * [`peaks`] — `peakα` extraction (Definition 6), highest-peak queries and
 //!   rectangular region selection (the "click on a peak / linked 2D display"
 //!   interactions);
+//! * [`scene`] — the retained level-of-detail scene: the LOD layout pass
+//!   (culling, recursion gating, child capping, cushion shading), the
+//!   flat-arena quadtree index, the power-of-two tile grid, and the `GTSC`
+//!   binary scene format streamed to pan/zoom clients;
 //! * [`treemap`] — the flat 2D treemap variant of Figure 5(a);
 //! * [`export`] — the render boundary: the [`Exporter`] trait over a borrowed
 //!   [`RenderScene`], with streaming SVG / treemap-SVG / OBJ / PLY / ASCII /
@@ -41,6 +45,7 @@ pub mod export;
 pub mod layout2d;
 pub mod mesh;
 pub mod peaks;
+pub mod scene;
 pub mod treemap;
 
 pub use color::{colormap, role_palette, Color, ColorScheme};
@@ -53,9 +58,13 @@ pub use export::obj::mesh_to_obj;
 pub use export::svg::{terrain_to_svg, treemap_to_svg};
 pub use export::{
     builtin_exporters, exporter_by_name, exporter_by_name_sized, exporter_names, Ascii, Exporter,
-    JsonScene, Obj, Ply, RenderScene, SceneTiming, Svg, TreemapSvg, UnknownExporterError,
+    JsonScene, Obj, Ply, RenderScene, SceneBin, SceneTiming, Svg, TiledSvg, TreemapSvg,
+    UnknownExporterError,
 };
 pub use layout2d::{layout_super_tree, try_layout_super_tree, LayoutConfig, Rect, TerrainLayout};
 pub use mesh::{build_terrain_mesh, try_build_terrain_mesh, MeshBounds, MeshConfig, TerrainMesh};
 pub use peaks::{highest_peaks, peaks_at_alpha, select_region, Peak};
+pub use scene::{
+    decode_gtsc, GtscDocument, GtscHeader, GtscItem, LodConfig, Quadtree, Scene, SceneItem, TileKey,
+};
 pub use treemap::{build_treemap, Treemap, TreemapCell};

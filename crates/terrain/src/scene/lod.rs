@@ -1,0 +1,426 @@
+//! The level-of-detail layout pass: `layout_super_tree` extended with a
+//! validated [`LodConfig`] so a million-node super tree lays out to a
+//! *bounded visible set* instead of one rectangle per node.
+//!
+//! The pass walks the tree with exactly the slice-and-dice arithmetic of
+//! [`crate::layout2d`] (same margin ring, same area scaling, same running
+//! cursor, same hairline sibling gap) but makes three additional decisions
+//! per node, all phrased in *pixels at the finest LOD* so they are
+//! resolution-independent in layout space:
+//!
+//! * **culling** — a node whose rectangle stays below `min_side` /
+//!   `min_area` pixels even at the finest LOD is dropped together with its
+//!   subtree (children are strictly nested, so they can only be smaller);
+//! * **recursion gating** — children are laid out only while the parent's
+//!   inner rectangle is at least `recurse_min_side` pixels at the finest
+//!   LOD, which bounds the walk long before a 10M-edge tree is exhausted;
+//! * **child capping** — a node with more than `max_children` children
+//!   keeps the heaviest ones (by subtree member count, ties to the lower
+//!   node id) and redistributes the tail into one synthetic *"other"
+//!   bucket* item that occupies the tail's combined area share.
+//!
+//! Every emitted item additionally carries the accumulated cushion surface
+//! coefficients `[sx1, sx2, sy1, sy2]` of van Wijk & van de Wetering,
+//! *Cushion Treemaps* (1999): each nesting level adds a parabolic ridge of
+//! height `cushion_height * cushion_falloff^depth` over the item's extent
+//! on both axes, and renderers shade by the surface normal
+//! `(-dz/dx, -dz/dy, 1)`.
+//!
+//! The pass is a single serial walk over the (already deterministic) super
+//! tree, so its output is bit-identical across thread counts by
+//! construction — the property the tile cache keys on.
+
+use crate::error::{TerrainError, TerrainResult};
+use crate::layout2d::{LayoutConfig, Rect};
+use scalarfield::SuperScalarTree;
+
+/// Level-of-detail knobs of the scene pass. All pixel thresholds are
+/// evaluated at the finest LOD (`max_lod`), where one layout domain spans
+/// `tile_px * 2^max_lod` pixels per axis.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct LodConfig {
+    /// Edge length of one square tile, in pixels.
+    pub tile_px: u32,
+    /// Finest LOD level; the tile grid at zoom `z` has `2^z × 2^z` tiles
+    /// and zooms past `max_lod` do not exist.
+    pub max_lod: u8,
+    /// Cull items below this area (px² at the finest LOD).
+    pub min_area: f64,
+    /// Cull items below this side length (px at the finest LOD).
+    pub min_side: f64,
+    /// Stop recursing into children once the parent's inner rectangle is
+    /// below this side length (px at the finest LOD).
+    pub recurse_min_side: f64,
+    /// Per-node child cap; the tail beyond the `max_children - 1` heaviest
+    /// children collapses into one "other" bucket item.
+    pub max_children: usize,
+    /// Cushion ridge height at depth 0 (van Wijk & van de Wetering 1999).
+    pub cushion_height: f64,
+    /// Multiplicative ridge decay per nesting level, in `(0, 1]`.
+    pub cushion_falloff: f64,
+}
+
+impl Default for LodConfig {
+    fn default() -> Self {
+        LodConfig {
+            tile_px: 256,
+            max_lod: 8,
+            min_area: 49.0,
+            min_side: 3.0,
+            recurse_min_side: 12.0,
+            max_children: 32,
+            cushion_height: 0.5,
+            cushion_falloff: 0.75,
+        }
+    }
+}
+
+impl LodConfig {
+    /// Validate the configuration ([`TerrainError::Config`] on violation).
+    pub fn validate(&self) -> TerrainResult<()> {
+        let fail = |message: String| Err(TerrainError::Config { what: "lod config", message });
+        if self.tile_px == 0 || self.tile_px > 8192 {
+            return fail(format!("tile_px must lie in [1, 8192], got {}", self.tile_px));
+        }
+        if self.max_lod > 16 {
+            return fail(format!("max_lod must be at most 16, got {}", self.max_lod));
+        }
+        for (name, v) in [("min_area", self.min_area), ("min_side", self.min_side)] {
+            if !v.is_finite() || v < 0.0 {
+                return fail(format!("{name} must be finite and non-negative, got {v}"));
+            }
+        }
+        if !self.recurse_min_side.is_finite() || self.recurse_min_side < 0.0 {
+            return fail(format!(
+                "recurse_min_side must be finite and non-negative, got {}",
+                self.recurse_min_side
+            ));
+        }
+        if self.max_children < 2 {
+            return fail(format!("max_children must be at least 2, got {}", self.max_children));
+        }
+        if !self.cushion_height.is_finite() || self.cushion_height < 0.0 {
+            return fail(format!(
+                "cushion_height must be finite and non-negative, got {}",
+                self.cushion_height
+            ));
+        }
+        if !self.cushion_falloff.is_finite()
+            || !(0.0..=1.0).contains(&self.cushion_falloff)
+            || self.cushion_falloff == 0.0
+        {
+            return fail(format!(
+                "cushion_falloff must lie in (0, 1], got {}",
+                self.cushion_falloff
+            ));
+        }
+        Ok(())
+    }
+
+    /// Pixels per layout-space unit on each axis at LOD `lod`: the whole
+    /// domain spans `tile_px * 2^lod` pixels per axis.
+    pub fn pixel_scale(&self, lod: u8, layout: &LayoutConfig) -> (f64, f64) {
+        let px = self.tile_px as f64 * (1u64 << u32::from(lod)) as f64;
+        (px / layout.width, px / layout.height)
+    }
+}
+
+/// One visible element of the retained scene: a laid-out super node (or a
+/// collapsed "other" bucket of sibling tails), with everything a tile
+/// renderer needs to paint it without touching the tree again.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SceneItem {
+    /// The super node this item renders, or `None` for an "other" bucket
+    /// aggregating capped-off siblings.
+    pub node: Option<u32>,
+    /// The item's boundary rectangle in layout space.
+    pub rect: Rect,
+    /// Nesting depth (roots at 0; an "other" bucket sits at its collapsed
+    /// siblings' depth).
+    pub depth: u32,
+    /// Terrain height: the node's scalar, or the maximum scalar over the
+    /// collapsed tail for an "other" bucket.
+    pub height: f64,
+    /// Subtree members this item stands for (the area weight).
+    pub members: u64,
+    /// Coarsest LOD at which the item is at least `min_side` / `min_area`
+    /// pixels — tiles at zoom `z` draw exactly the items with
+    /// `min_visible_lod <= z`.
+    pub min_visible_lod: u8,
+    /// Accumulated cushion surface coefficients `[sx1, sx2, sy1, sy2]`:
+    /// the shading surface is `z = sx2·x² + sx1·x + sy2·y² + sy1·y`.
+    pub surface: [f64; 4],
+}
+
+/// Whether a rectangle passes the cull thresholds at `lod`.
+fn visible_at(rect: &Rect, lod: u8, layout: &LayoutConfig, config: &LodConfig) -> bool {
+    let (sx, sy) = config.pixel_scale(lod, layout);
+    let w = rect.width() * sx;
+    let h = rect.height() * sy;
+    w >= config.min_side && h >= config.min_side && w * h >= config.min_area
+}
+
+/// The coarsest LOD at which the rectangle is visible, given that it is
+/// visible at `max_lod` (visibility is monotone in the LOD because the
+/// pixel scale doubles per level).
+fn min_visible_lod(rect: &Rect, layout: &LayoutConfig, config: &LodConfig) -> u8 {
+    for lod in 0..config.max_lod {
+        if visible_at(rect, lod, layout, config) {
+            return lod;
+        }
+    }
+    config.max_lod
+}
+
+/// One van Wijk parabolic ridge of height `h` over `[lo, hi]`, as the
+/// `(Δs1, Δs2)` increments of one axis' coefficient pair.
+fn ridge(h: f64, lo: f64, hi: f64) -> (f64, f64) {
+    let extent = hi - lo;
+    if extent <= 0.0 || h == 0.0 {
+        return (0.0, 0.0);
+    }
+    (4.0 * h * (hi + lo) / extent, -4.0 * h / extent)
+}
+
+/// The cushion surface of an item at `depth` with extent `rect`, derived
+/// from its parent's surface.
+fn cushion_surface(parent: &[f64; 4], rect: &Rect, depth: u32, config: &LodConfig) -> [f64; 4] {
+    let mut surface = *parent;
+    let h = config.cushion_height * config.cushion_falloff.powi(depth as i32);
+    let (dx1, dx2) = ridge(h, rect.x0, rect.x1);
+    let (dy1, dy2) = ridge(h, rect.y0, rect.y1);
+    surface[0] += dx1;
+    surface[1] += dx2;
+    surface[2] += dy1;
+    surface[3] += dy2;
+    surface
+}
+
+/// Run the LOD layout pass over a super tree. Both configurations are
+/// assumed validated by the caller ([`crate::scene::Scene::build`] does).
+///
+/// Items come out in depth-first walk order: a parent always precedes every
+/// item of its subtree, so painting items in index order is a correct
+/// painter's algorithm for the nested rectangles.
+pub(crate) fn lod_layout(
+    tree: &SuperScalarTree,
+    layout: &LayoutConfig,
+    config: &LodConfig,
+) -> Vec<SceneItem> {
+    let subtree_members = tree.subtree_member_counts();
+    let domain = Rect::new(0.0, 0.0, layout.width, layout.height);
+
+    // Roots partition the domain horizontally by subtree weight — the same
+    // arithmetic as `layout2d::split_rect`, inlined as a running cursor.
+    let root_total: f64 = tree.roots().iter().map(|&r| subtree_members[r as usize] as f64).sum();
+    let mut stack: Vec<(u32, Rect, u32, [f64; 4])> = Vec::new();
+    let mut cursor = 0.0f64;
+    for &root in tree.roots() {
+        let w = subtree_members[root as usize] as f64;
+        let fraction =
+            if root_total > 0.0 { w / root_total } else { 1.0 / tree.roots().len() as f64 };
+        let next = cursor + fraction;
+        let rect = Rect::new(
+            domain.x0 + cursor * domain.width(),
+            domain.y0,
+            domain.x0 + next * domain.width(),
+            domain.y1,
+        );
+        cursor = next;
+        stack.push((root, rect, 0, [0.0; 4]));
+    }
+    // Match `layout_validated`'s LIFO order exactly: it pops roots from the
+    // end of the stack, so reverse to process the first root first.
+    stack.reverse();
+
+    let mut items = Vec::new();
+    let mut keep: Vec<u32> = Vec::new();
+    while let Some((node, rect, depth, parent_surface)) = stack.pop() {
+        if !visible_at(&rect, config.max_lod, layout, config) {
+            // Too small even at the finest LOD; the whole subtree is
+            // strictly nested inside, so nothing below can be visible.
+            continue;
+        }
+        let surface = cushion_surface(&parent_surface, &rect, depth, config);
+        items.push(SceneItem {
+            node: Some(node),
+            rect,
+            depth,
+            height: tree.scalar(node),
+            members: subtree_members[node as usize] as u64,
+            min_visible_lod: min_visible_lod(&rect, layout, config),
+            surface,
+        });
+
+        let children = tree.children(node);
+        if children.is_empty() {
+            continue;
+        }
+        let own = tree.members(node).len() as f64;
+        let child_total: f64 = children.iter().map(|&c| subtree_members[c as usize] as f64).sum();
+        let inner_full = rect.shrunk(layout.margin_fraction);
+        let share = if child_total + own > 0.0 { child_total / (child_total + own) } else { 0.0 };
+        let inner = scale_rect_area(&inner_full, share.max(0.2));
+        {
+            // Recursion gate: once the inner rectangle is below
+            // `recurse_min_side` pixels at the finest LOD, no child can be
+            // individually explorable — stop walking this branch.
+            let (sx, sy) = config.pixel_scale(config.max_lod, layout);
+            let side = (inner.width() * sx).min(inner.height() * sy);
+            if side < config.recurse_min_side {
+                continue;
+            }
+        }
+
+        // Child cap: keep the heaviest `max_children - 1` children (ties
+        // broken toward the lower node id), collapse the rest into one
+        // "other" bucket that takes the tail's combined share at the end
+        // of the cursor walk.
+        keep.clear();
+        let capped = children.len() > config.max_children;
+        let (kept_children, tail_members, tail_height, tail_count) = if capped {
+            let mut order: Vec<u32> = children.to_vec();
+            order.sort_by(|&a, &b| {
+                subtree_members[b as usize].cmp(&subtree_members[a as usize]).then(a.cmp(&b))
+            });
+            order.truncate(config.max_children - 1);
+            keep.extend_from_slice(&order);
+            keep.sort_unstable();
+            let mut tail_members = 0u64;
+            let mut tail_height = f64::NEG_INFINITY;
+            let mut tail_count = 0u64;
+            for &c in children {
+                if keep.binary_search(&c).is_err() {
+                    tail_members += subtree_members[c as usize] as u64;
+                    tail_height = tail_height.max(tree.scalar(c));
+                    tail_count += 1;
+                }
+            }
+            (keep.as_slice(), tail_members, tail_height, tail_count)
+        } else {
+            (children, 0, f64::NEG_INFINITY, 0)
+        };
+
+        let horizontal = depth % 2 == 0;
+        // The running cursor, bit-identical to `layout_validated` when the
+        // cap does not trigger: same fractions of the same totals, summed
+        // in the same (arena) order.
+        let mut cursor = 0.0f64;
+        let slots = kept_children.len() + usize::from(capped);
+        let place = |weight: f64, cursor: &mut f64| -> Rect {
+            let fraction =
+                if child_total > 0.0 { weight / child_total } else { 1.0 / slots as f64 };
+            let next = *cursor + fraction;
+            let r = if horizontal {
+                Rect::new(
+                    inner.x0 + *cursor * inner.width(),
+                    inner.y0,
+                    inner.x0 + next * inner.width(),
+                    inner.y1,
+                )
+            } else {
+                Rect::new(
+                    inner.x0,
+                    inner.y0 + *cursor * inner.height(),
+                    inner.x1,
+                    inner.y0 + next * inner.height(),
+                )
+            };
+            *cursor = next;
+            r
+        };
+        // Children keep their arena order (the order the full layout walks
+        // them in); the other bucket takes the trailing slot.
+        let mut pending = Vec::with_capacity(kept_children.len());
+        for &c in kept_children {
+            let child_rect = place(subtree_members[c as usize] as f64, &mut cursor);
+            pending.push((c, child_rect.shrunk(0.02)));
+        }
+        if capped && tail_count > 0 {
+            let other_rect = place(tail_members as f64, &mut cursor).shrunk(0.02);
+            if visible_at(&other_rect, config.max_lod, layout, config) {
+                let other_surface = cushion_surface(&surface, &other_rect, depth + 1, config);
+                items.push(SceneItem {
+                    node: None,
+                    rect: other_rect,
+                    depth: depth + 1,
+                    height: tail_height,
+                    members: tail_members,
+                    min_visible_lod: min_visible_lod(&other_rect, layout, config),
+                    surface: other_surface,
+                });
+            }
+        }
+        // Push in reverse so the stack pops children in arena order,
+        // mirroring `layout_validated`'s traversal.
+        for (c, r) in pending.into_iter().rev() {
+            stack.push((c, r, depth + 1, surface));
+        }
+    }
+    items
+}
+
+/// Shrink a rectangle about its center so its area becomes `fraction` of
+/// the original — must stay bit-identical to `layout2d::scale_rect_area`.
+fn scale_rect_area(rect: &Rect, fraction: f64) -> Rect {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let scale = fraction.sqrt();
+    let (cx, cy) = rect.center();
+    let half_w = rect.width() / 2.0 * scale;
+    let half_h = rect.height() / 2.0 * scale;
+    Rect::new(cx - half_w, cy - half_h, cx + half_w, cy + half_h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid_and_bad_knobs_are_rejected() {
+        LodConfig::default().validate().unwrap();
+        for bad in [
+            LodConfig { tile_px: 0, ..Default::default() },
+            LodConfig { tile_px: 9000, ..Default::default() },
+            LodConfig { max_lod: 17, ..Default::default() },
+            LodConfig { min_area: -1.0, ..Default::default() },
+            LodConfig { min_side: f64::NAN, ..Default::default() },
+            LodConfig { recurse_min_side: f64::INFINITY, ..Default::default() },
+            LodConfig { max_children: 1, ..Default::default() },
+            LodConfig { cushion_height: -0.5, ..Default::default() },
+            LodConfig { cushion_falloff: 0.0, ..Default::default() },
+            LodConfig { cushion_falloff: 1.5, ..Default::default() },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn pixel_scale_doubles_per_lod() {
+        let config = LodConfig::default();
+        let layout = LayoutConfig::default();
+        let (sx0, sy0) = config.pixel_scale(0, &layout);
+        let (sx1, sy1) = config.pixel_scale(1, &layout);
+        assert_eq!(sx0, 256.0);
+        assert_eq!(sy0, 256.0);
+        assert_eq!(sx1, 2.0 * sx0);
+        assert_eq!(sy1, 2.0 * sy0);
+    }
+
+    #[test]
+    fn ridges_accumulate_and_decay_with_depth() {
+        let config = LodConfig::default();
+        let rect = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let base = cushion_surface(&[0.0; 4], &rect, 0, &config);
+        assert!(base[1] < 0.0, "x² coefficient must bend downward");
+        assert!(base[3] < 0.0, "y² coefficient must bend downward");
+        let deeper = cushion_surface(&[0.0; 4], &rect, 3, &config);
+        assert!(
+            deeper[1].abs() < base[1].abs(),
+            "deeper ridges must be shallower: {deeper:?} vs {base:?}"
+        );
+        // The surface height at the rect center exceeds the edges (a bump).
+        let z = |s: &[f64; 4], x: f64, y: f64| s[1] * x * x + s[0] * x + s[3] * y * y + s[2] * y;
+        assert!(z(&base, 0.5, 0.5) > z(&base, 0.0, 0.5));
+        assert!(z(&base, 0.5, 0.5) > z(&base, 0.5, 1.0));
+    }
+}

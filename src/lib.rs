@@ -69,7 +69,10 @@ pub use pipeline::{
     DeltaReport, FieldKind, Measure, MeasureInfo, SharedGraph, SimplificationConfig, StageTimings,
     SvgSize, TerrainParts, TerrainPipeline, TerrainStages, MEASURES,
 };
-pub use terrain::{TerrainError, TerrainResult};
+pub use terrain::{
+    decode_gtsc, GtscDocument, GtscHeader, GtscItem, LodConfig, Rect, Scene, SceneItem,
+    TerrainError, TerrainResult, TileKey,
+};
 
 use scalarfield::SuperScalarTree;
 #[allow(deprecated)]

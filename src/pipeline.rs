@@ -22,8 +22,14 @@
 //! | [`set_layout`]          | layout, mesh, SVG                           |
 //! | [`set_mesh`] / [`set_color`] | mesh, SVG                              |
 //! | [`set_svg_size`]        | SVG                                         |
+//! | [`set_lod`]             | retained scene (tiles)                      |
 //! | [`set_parallelism`]     | nothing (results are thread-count invariant)|
 //! | [`apply_delta`]         | scalar (incrementally where the measure allows) and everything downstream; nothing for no-op batches |
+//!
+//! The retained [`scene`] stage (the tile / pan-zoom payloads) hangs off
+//! the *unsimplified* super tree, so [`set_simplification`] and the mesh /
+//! SVG knobs never invalidate it; [`set_layout`] and anything that rebuilds
+//! the tree do.
 //!
 //! [`apply_delta`]: TerrainPipeline::apply_delta
 //! [`set_scalar`]: TerrainPipeline::set_scalar
@@ -32,7 +38,9 @@
 //! [`set_mesh`]: TerrainPipeline::set_mesh
 //! [`set_color`]: TerrainPipeline::set_color
 //! [`set_svg_size`]: TerrainPipeline::set_svg_size
+//! [`set_lod`]: TerrainPipeline::set_lod
 //! [`set_parallelism`]: TerrainPipeline::set_parallelism
+//! [`scene`]: TerrainPipeline::scene
 //!
 //! Every stage accessor returns `Result<_, TerrainError>` — no stage panics
 //! on bad input — and the session records wall-clock [`StageTimings`]
@@ -63,8 +71,9 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 use terrain::{
-    try_build_terrain_mesh, try_layout_super_tree, ColorScheme, Exporter, LayoutConfig, MeshConfig,
-    RenderScene, SceneTiming, Svg, TerrainError, TerrainLayout, TerrainMesh, TerrainResult,
+    try_build_terrain_mesh, try_layout_super_tree, ColorScheme, Exporter, LayoutConfig, LodConfig,
+    MeshConfig, RenderScene, Scene, SceneTiming, Svg, TerrainError, TerrainLayout, TerrainMesh,
+    TerrainResult,
 };
 use ugraph::delta::{CompactedDelta, DeltaApplyStats, DeltaOverlay, GraphDelta};
 use ugraph::io::GraphSource;
@@ -330,6 +339,8 @@ pub struct StageTimings {
     pub mesh_seconds: Option<f64>,
     /// SVG serialization.
     pub svg_seconds: Option<f64>,
+    /// The retained LOD scene build (layout pass + quadtree index).
+    pub scene_seconds: Option<f64>,
 }
 
 impl StageTimings {
@@ -563,6 +574,7 @@ pub struct TerrainPipeline<'g> {
     layout_config: LayoutConfig,
     mesh_config: MeshConfig,
     svg_size: SvgSize,
+    lod_config: LodConfig,
     // Stage caches, upstream to downstream. `render_tree` distinguishes
     // "not computed" (outer None) from "within budget, render the super tree
     // itself" (Some(None)) to avoid cloning unsimplified trees.
@@ -573,6 +585,9 @@ pub struct TerrainPipeline<'g> {
     layout: Option<TerrainLayout>,
     mesh: Option<TerrainMesh>,
     svg: Option<String>,
+    // The retained LOD scene is a side stage off the *unsimplified* super
+    // tree: simplification and the mesh/SVG knobs never invalidate it.
+    scene: Option<Scene>,
     timings: StageTimings,
 }
 
@@ -587,6 +602,7 @@ impl<'g> TerrainPipeline<'g> {
             layout_config: LayoutConfig::default(),
             mesh_config: MeshConfig::default(),
             svg_size: SvgSize::default(),
+            lod_config: LodConfig::default(),
             scalar: None,
             scalar_tree: None,
             super_tree: None,
@@ -594,6 +610,7 @@ impl<'g> TerrainPipeline<'g> {
             layout: None,
             mesh: None,
             svg: None,
+            scene: None,
             timings: StageTimings::default(),
         }
     }
@@ -731,10 +748,12 @@ impl<'g> TerrainPipeline<'g> {
     }
 
     /// Set the 2D layout configuration (validated at the layout stage).
-    /// Rebuilds layout, mesh and SVG on next demand.
+    /// Rebuilds layout, mesh, SVG and the retained scene on next demand
+    /// (the scene's LOD pass runs in the same layout space).
     pub fn set_layout(&mut self, config: LayoutConfig) -> &mut Self {
         self.layout_config = config;
         self.invalidate_from_layout();
+        self.invalidate_scene();
         self
     }
 
@@ -761,6 +780,16 @@ impl<'g> TerrainPipeline<'g> {
         self.svg = None;
         self.timings.svg_seconds = None;
         self
+    }
+
+    /// Set the scene level-of-detail configuration (validated immediately).
+    /// Rebuilds only the retained [`scene`](Self::scene) on next demand —
+    /// the structural stages and the mesh/SVG artifacts are untouched.
+    pub fn set_lod(&mut self, config: LodConfig) -> TerrainResult<&mut Self> {
+        config.validate()?;
+        self.lod_config = config;
+        self.invalidate_scene();
+        Ok(self)
     }
 
     /// Apply a [`GraphDelta`] to the session's graph and invalidate exactly
@@ -904,6 +933,7 @@ impl<'g> TerrainPipeline<'g> {
         self.super_tree = None;
         self.timings.tree_seconds = None;
         self.timings.super_tree_seconds = None;
+        self.invalidate_scene();
         self.invalidate_from_render_tree();
     }
 
@@ -924,6 +954,14 @@ impl<'g> TerrainPipeline<'g> {
         self.timings.mesh_seconds = None;
         self.svg = None;
         self.timings.svg_seconds = None;
+    }
+
+    /// The retained scene is invalidated by tree rebuilds and layout
+    /// changes only — deliberately *not* part of the render-tree chain,
+    /// because it is built from the unsimplified super tree.
+    fn invalidate_scene(&mut self) {
+        self.scene = None;
+        self.timings.scene_seconds = None;
     }
 
     // ------------------------------------------------------------------
@@ -1016,6 +1054,25 @@ impl<'g> TerrainPipeline<'g> {
         Ok(self.svg.as_deref().expect("ensured"))
     }
 
+    /// The retained level-of-detail scene over the **unsimplified** super
+    /// tree — the stage tile and pan/zoom payloads are served from (see
+    /// [`terrain::Scene`]). Built lazily on first demand; invalidated by
+    /// tree rebuilds ([`set_scalar`](Self::set_scalar),
+    /// [`apply_delta`](Self::apply_delta)), [`set_layout`](Self::set_layout)
+    /// and [`set_lod`](Self::set_lod), but *not* by
+    /// [`set_simplification`](Self::set_simplification) or any mesh / SVG
+    /// knob: a tile's bytes depend only on the graph, the measure, the
+    /// layout and the LOD configuration.
+    pub fn scene(&mut self) -> TerrainResult<&Scene> {
+        self.ensure_scene()?;
+        Ok(self.scene.as_ref().expect("ensured"))
+    }
+
+    /// The current scene level-of-detail configuration.
+    pub fn lod_config(&self) -> LodConfig {
+        self.lod_config
+    }
+
     /// Force every structural stage (through the mesh) and borrow them all at
     /// once — for peak queries, treemaps and exports that need the tree and
     /// the layout together.
@@ -1104,6 +1161,7 @@ impl<'g> TerrainPipeline<'g> {
             ("layout", t.layout_seconds),
             ("mesh", t.mesh_seconds),
             ("svg", t.svg_seconds),
+            ("scene", t.scene_seconds),
         ]
         .into_iter()
         .filter_map(|(stage, seconds)| seconds.map(|seconds| SceneTiming { stage, seconds }))
@@ -1223,6 +1281,22 @@ impl<'g> TerrainPipeline<'g> {
         )?;
         self.timings.mesh_seconds = Some(started.elapsed().as_secs_f64());
         self.mesh = Some(mesh);
+        Ok(())
+    }
+
+    fn ensure_scene(&mut self) -> TerrainResult<()> {
+        self.ensure_super_tree()?;
+        if self.scene.is_some() {
+            return Ok(());
+        }
+        let started = Instant::now();
+        let scene = Scene::build(
+            self.super_tree.as_ref().expect("ensured"),
+            &self.layout_config,
+            &self.lod_config,
+        )?;
+        self.timings.scene_seconds = Some(started.elapsed().as_secs_f64());
+        self.scene = Some(scene);
         Ok(())
     }
 
@@ -1637,5 +1711,50 @@ mod tests {
         session.set_simplification(SimplificationConfig::disabled());
         assert_eq!(session.render_tree().unwrap().node_count(), full_nodes);
         assert_eq!(session.timings().super_tree_seconds, super_time, "super tree reused");
+    }
+
+    #[test]
+    fn scene_stage_survives_simplification_but_not_tree_or_layout_changes() {
+        use ugraph::delta::{DeltaOp, GraphDelta};
+        let graph = ugraph::generators::barabasi_albert(600, 3, 5);
+        let mut session = TerrainPipeline::from_measure(&graph, Measure::Degree);
+        let item_count = session.scene().unwrap().item_count();
+        assert!(item_count > 0);
+        let scene_time = session.timings().scene_seconds;
+        assert!(scene_time.is_some());
+
+        // Simplification and mesh/SVG knobs never touch the scene: it is
+        // built from the unsimplified super tree, so tiles ignore budgets.
+        session.set_simplification(SimplificationConfig { node_budget: Some(10), levels: 4 });
+        session.set_color(ColorScheme::ByHeight);
+        session.set_svg_size(SvgSize { width_px: 77.0, height_px: 55.0 });
+        assert_eq!(session.timings().scene_seconds, scene_time, "scene cache kept");
+        assert_eq!(session.scene().unwrap().item_count(), item_count);
+
+        // A layout change moves every rectangle, so the scene rebuilds.
+        session.set_layout(LayoutConfig { width: 2.0, ..Default::default() });
+        assert!(session.timings().scene_seconds.is_none(), "layout change drops the scene");
+        assert!(session.scene().unwrap().item_count() > 0);
+
+        // An invalid LOD config is rejected up front; a valid one rebuilds
+        // only the scene.
+        assert!(session.set_lod(LodConfig { tile_px: 0, ..Default::default() }).is_err());
+        let layout_time = session.timings().layout_seconds;
+        session.set_lod(LodConfig { max_lod: 4, ..Default::default() }).unwrap();
+        assert!(session.timings().scene_seconds.is_none());
+        assert_eq!(session.scene().unwrap().max_zoom(), 4);
+        assert_eq!(session.timings().layout_seconds, layout_time, "layout untouched");
+
+        // A structural delta rebuilds the tree, hence the scene.
+        let mut delta = GraphDelta::new();
+        delta.push(DeltaOp::Insert, 0u32, 600u32); // a brand-new vertex
+        let report = session.apply_delta(&delta).unwrap();
+        assert!(report.structural);
+        assert!(session.timings().scene_seconds.is_none(), "delta drops the scene");
+        assert!(session.scene().unwrap().item_count() > 0);
+
+        // The stage timing list exposes the scene stage once it has run.
+        let timings = session.scene_timings();
+        assert!(timings.iter().any(|t| t.stage == "scene"));
     }
 }
